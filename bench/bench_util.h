@@ -1,0 +1,63 @@
+#ifndef MOTTO_BENCH_BENCH_UTIL_H_
+#define MOTTO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace motto::bench {
+
+/// Minimal --key=value flag parser shared by the figure benches.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  int64_t GetInt(std::string_view name, int64_t fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return std::strtoll(value.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(std::string_view name, double fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return std::strtod(value.c_str(), nullptr);
+  }
+
+  bool GetBool(std::string_view name, bool fallback) const {
+    std::string value;
+    if (!Lookup(name, &value)) return fallback;
+    return value != "0" && value != "false";
+  }
+
+ private:
+  bool Lookup(std::string_view name, std::string* value) const {
+    std::string prefix = "--" + std::string(name) + "=";
+    for (const std::string& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) {
+        *value = arg.substr(prefix.size());
+        return true;
+      }
+      if (arg == "--" + std::string(name)) {
+        *value = "true";
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> args_;
+};
+
+inline void PrintBanner(const std::string& title,
+                        const std::string& description) {
+  std::printf("== %s ==\n%s\n\n", title.c_str(), description.c_str());
+}
+
+}  // namespace motto::bench
+
+#endif  // MOTTO_BENCH_BENCH_UTIL_H_

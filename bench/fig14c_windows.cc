@@ -1,0 +1,75 @@
+// Reproduces Fig 14c: sharing effectiveness while the source:beneficiary
+// window ratio s_w : b_w varies from 4:1 to 1:4 (paper §VII-C).
+//
+// Workload: type-5 pairs (prefix sharing across window constraints).
+//
+// Flags: --events=N, --queries=N, --seed=S.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "workload/data_gen.h"
+#include "workload/harness.h"
+#include "workload/query_gen.h"
+
+namespace motto::bench {
+namespace {
+
+int Run(const Flags& flags) {
+  int64_t num_events = flags.GetInt("events", 50000);
+  int num_queries = static_cast<int>(flags.GetInt("queries", 60));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  EventTypeRegistry registry;
+  StreamOptions stream_options;
+  stream_options.num_events = num_events;
+  stream_options.seed = seed;
+  EventStream stream = GenerateStream(stream_options, &registry);
+
+  struct Ratio {
+    const char* label;
+    double value;
+  };
+  const Ratio ratios[] = {
+      {"4:1", 4.0}, {"2:1", 2.0}, {"1:1", 1.0}, {"1:2", 0.5}, {"1:4", 0.25}};
+
+  std::printf(" sw:bw | NA eps    | MOTTO xNA | matches\n");
+  std::printf("-------+-----------+-----------+--------\n");
+  for (const Ratio& ratio : ratios) {
+    WorkloadOptions workload_options;
+    workload_options.num_queries = num_queries;
+    workload_options.base_window = Seconds(5);
+    workload_options.only_type = 5;
+    workload_options.window_ratio = ratio.value;
+    workload_options.seed = seed;
+    auto workload = GenerateWorkload(workload_options, &registry);
+    MOTTO_CHECK(workload.ok()) << workload.status();
+
+    ComparisonOptions options;
+    options.modes = {OptimizerMode::kNa, OptimizerMode::kMotto};
+    options.warmup = true;
+    options.measure_runs = static_cast<int>(flags.GetInt("runs", 3));
+    auto runs = CompareModes(workload->queries, stream, &registry, options);
+    MOTTO_CHECK(runs.ok()) << runs.status();
+    std::printf("  %s  | %9.0f | %9.2f | %llu\n", ratio.label,
+                (*runs)[0].throughput_eps, (*runs)[1].normalized,
+                static_cast<unsigned long long>((*runs)[0].total_matches));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape (Fig 14c): MOTTO improves throughput at every ratio;\n"
+      "the gain peaks at 1:1 (no window handling overhead), shrinks\n"
+      "slightly for s_w > b_w (extra span filtering), and is smallest for\n"
+      "s_w < b_w (the source window must be extended, raising source cost).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace motto::bench
+
+int main(int argc, char** argv) {
+  motto::bench::Flags flags(argc, argv);
+  motto::bench::PrintBanner("Fig 14c — varying the window constraints",
+                            "Sharing across source/beneficiary window ratios.");
+  return motto::bench::Run(flags);
+}

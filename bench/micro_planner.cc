@@ -1,0 +1,95 @@
+// Micro-benchmarks of the optimizer: rewriter (sharing discovery) and the
+// two DSMT solvers (§V).
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "common/check.h"
+#include "motto/nested.h"
+#include "motto/rewriter.h"
+#include "planner/solver.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace motto {
+namespace {
+
+struct PreparedWorkload {
+  EventTypeRegistry registry;
+  CompositeCatalog catalog;
+  std::vector<FlatQuery> flat;
+  StreamStats stats;
+};
+
+std::unique_ptr<PreparedWorkload> Prepare(int num_queries, double ratio) {
+  auto prepared = std::make_unique<PreparedWorkload>();
+  WorkloadOptions options;
+  options.num_queries = num_queries;
+  options.basic_ratio = ratio;
+  auto workload = GenerateWorkload(options, &prepared->registry);
+  MOTTO_CHECK(workload.ok());
+  auto flat = DivideWorkload(workload->queries, &prepared->registry,
+                             &prepared->catalog);
+  MOTTO_CHECK(flat.ok());
+  prepared->flat = *std::move(flat);
+  for (EventTypeId t : prepared->registry.PrimitiveTypes()) {
+    prepared->stats.rate_per_second[t] = 0.1;
+    prepared->stats.total_rate += 0.1;
+  }
+  prepared->stats.duration = Seconds(1000);
+  return prepared;
+}
+
+void BM_Rewriter(benchmark::State& state) {
+  auto prepared = Prepare(static_cast<int>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    CompositeCatalog catalog = prepared->catalog;
+    CostModel cost(prepared->stats);
+    SharingGraph graph =
+        BuildSharingGraph(prepared->flat, RewriterOptions::Motto(),
+                          &prepared->registry, &catalog, &cost);
+    benchmark::DoNotOptimize(graph.edges.size());
+  }
+}
+BENCHMARK(BM_Rewriter)->Arg(20)->Arg(60)->Arg(100)->Unit(benchmark::kMillisecond);
+
+SharingGraph BuildGraphFor(PreparedWorkload* prepared) {
+  CostModel cost(prepared->stats);
+  return BuildSharingGraph(prepared->flat, RewriterOptions::Motto(),
+                           &prepared->registry, &prepared->catalog, &cost);
+}
+
+void BM_BranchAndBound(benchmark::State& state) {
+  auto prepared = Prepare(static_cast<int>(state.range(0)), 0.5);
+  SharingGraph graph = BuildGraphFor(prepared.get());
+  for (auto _ : state) {
+    PlanDecision decision = SolveBranchAndBound(graph, 5.0);
+    benchmark::DoNotOptimize(decision.cost);
+  }
+  state.counters["nodes"] = static_cast<double>(graph.nodes.size());
+  state.counters["edges"] = static_cast<double>(graph.edges.size());
+}
+BENCHMARK(BM_BranchAndBound)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  auto prepared = Prepare(static_cast<int>(state.range(0)), 0.5);
+  SharingGraph graph = BuildGraphFor(prepared.get());
+  for (auto _ : state) {
+    PlanDecision decision = SolveSimulatedAnnealing(graph, 17, 20000);
+    benchmark::DoNotOptimize(decision.cost);
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing)
+    ->Arg(20)
+    ->Arg(60)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace motto
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Micro-benchmarks of the generalized suffix tree used by DST (§IV-B).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "util/suffix_tree.h"
+
+namespace motto {
+namespace {
+
+SymbolSeq RandomSeq(size_t n, int alphabet, uint64_t seed) {
+  Rng rng(seed);
+  SymbolSeq out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<int32_t>(rng.Uniform(0, alphabet - 1)));
+  }
+  return out;
+}
+
+void BM_SuffixTreeBuild(benchmark::State& state) {
+  SymbolSeq text = RandomSeq(static_cast<size_t>(state.range(0)), 16, 3);
+  for (auto _ : state) {
+    SuffixTree tree{SymbolSeq(text)};
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixTreeBuild)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_SuffixTreeOccurrences(benchmark::State& state) {
+  SymbolSeq text = RandomSeq(8192, 8, 5);
+  SuffixTree tree{SymbolSeq(text)};
+  SymbolSeq needle(text.begin() + 100, text.begin() + 104);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Occurrences(needle));
+  }
+}
+BENCHMARK(BM_SuffixTreeOccurrences);
+
+void BM_MaximalCommonMatches(benchmark::State& state) {
+  // Operand-list sized inputs: the rewriter calls this per query pair.
+  size_t n = static_cast<size_t>(state.range(0));
+  SymbolSeq a = RandomSeq(n, 8, 7);
+  SymbolSeq b = RandomSeq(n, 8, 9);
+  for (auto _ : state) {
+    GeneralizedSuffixTree tree{SymbolSeq(a), SymbolSeq(b)};
+    benchmark::DoNotOptimize(tree.MaximalCommonMatches());
+  }
+}
+BENCHMARK(BM_MaximalCommonMatches)->Arg(4)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LongestCommonSubstring(benchmark::State& state) {
+  SymbolSeq a = RandomSeq(64, 6, 11);
+  SymbolSeq b = RandomSeq(64, 6, 13);
+  for (auto _ : state) {
+    GeneralizedSuffixTree tree{SymbolSeq(a), SymbolSeq(b)};
+    benchmark::DoNotOptimize(tree.LongestCommonSubstring());
+  }
+}
+BENCHMARK(BM_LongestCommonSubstring);
+
+}  // namespace
+}  // namespace motto
+
+BENCHMARK_MAIN();

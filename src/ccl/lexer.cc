@@ -1,0 +1,179 @@
+#include "ccl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace motto::ccl {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEqEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_')) {
+        ++j;
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::string(text.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      int64_t value = 0;
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j]))) {
+        value = value * 10 + (text[j] - '0');
+        ++j;
+      }
+      bool is_decimal = j + 1 < text.size() && text[j] == '.' &&
+                        std::isdigit(static_cast<unsigned char>(text[j + 1]));
+      if (is_decimal) {
+        ++j;
+        while (j < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+        tok.kind = TokenKind::kNumber;
+        tok.text = std::string(text.substr(i, j - i));
+        tok.number_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.text = std::string(text.substr(i, j - i));
+        tok.int_value = value;
+        tok.number_value = static_cast<double>(value);
+      }
+      i = j;
+    } else {
+      switch (c) {
+        case '(':
+          tok.kind = TokenKind::kLParen;
+          break;
+        case ')':
+          tok.kind = TokenKind::kRParen;
+          break;
+        case '[':
+          tok.kind = TokenKind::kLBracket;
+          break;
+        case ']':
+          tok.kind = TokenKind::kRBracket;
+          break;
+        case ',':
+          tok.kind = TokenKind::kComma;
+          break;
+        case '&':
+          tok.kind = TokenKind::kAmp;
+          break;
+        case '|':
+          tok.kind = TokenKind::kPipe;
+          break;
+        case '!':
+          if (i + 1 < text.size() && text[i + 1] == '=') {
+            tok.kind = TokenKind::kNe;
+            ++i;
+          } else {
+            tok.kind = TokenKind::kBang;
+          }
+          break;
+        case '<':
+          if (i + 1 < text.size() && text[i + 1] == '=') {
+            tok.kind = TokenKind::kLe;
+            ++i;
+          } else {
+            tok.kind = TokenKind::kLt;
+          }
+          break;
+        case '>':
+          if (i + 1 < text.size() && text[i + 1] == '=') {
+            tok.kind = TokenKind::kGe;
+            ++i;
+          } else {
+            tok.kind = TokenKind::kGt;
+          }
+          break;
+        case '=':
+          if (i + 1 < text.size() && text[i + 1] == '=') ++i;
+          tok.kind = TokenKind::kEqEq;
+          break;
+        case '-':
+          tok.kind = TokenKind::kMinus;
+          break;
+        case ':':
+          tok.kind = TokenKind::kColon;
+          break;
+        case '*':
+          tok.kind = TokenKind::kStar;
+          break;
+        default:
+          return InvalidArgumentError("unexpected character '" +
+                                      std::string(1, c) + "' at offset " +
+                                      std::to_string(i));
+      }
+      ++i;
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.offset = text.size();
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace motto::ccl

@@ -1,0 +1,53 @@
+#ifndef MOTTO_CCL_LEXER_H_
+#define MOTTO_CCL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace motto::ccl {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kNumber,  // Decimal literal (predicate constants).
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kAmp,
+  kPipe,
+  kBang,
+  kColon,
+  kStar,
+  kLt,      // <
+  kLe,      // <=
+  kGt,      // >
+  kGe,      // >=
+  kEqEq,    // == (or =)
+  kNe,      // !=
+  kMinus,   // - (negative predicate constants)
+  kEof,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // Identifier spelling / number digits.
+  int64_t int_value = 0;
+  double number_value = 0.0;  // For kInt and kNumber.
+  size_t offset = 0;    // Byte offset in the input, for error messages.
+};
+
+/// Splits CCL text into tokens. Returns InvalidArgument on characters outside
+/// the CCL alphabet. The token list always ends with one kEof token.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace motto::ccl
+
+#endif  // MOTTO_CCL_LEXER_H_

@@ -1,0 +1,402 @@
+#include "ccl/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "ccl/lexer.h"
+#include "common/check.h"
+
+namespace motto::ccl {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Duration> UnitToMicros(std::string_view unit) {
+  for (std::string_view u : {"us", "micro", "micros", "microsecond",
+                             "microseconds"}) {
+    if (EqualsIgnoreCase(unit, u)) return Duration{1};
+  }
+  for (std::string_view u : {"ms", "milli", "millis", "millisecond",
+                             "milliseconds"}) {
+    if (EqualsIgnoreCase(unit, u)) return kMicrosPerMilli;
+  }
+  for (std::string_view u : {"s", "sec", "secs", "second", "seconds"}) {
+    if (EqualsIgnoreCase(unit, u)) return kMicrosPerSecond;
+  }
+  for (std::string_view u : {"m", "min", "mins", "minute", "minutes"}) {
+    if (EqualsIgnoreCase(unit, u)) return kMicrosPerMinute;
+  }
+  return InvalidArgumentError("unknown time unit '" + std::string(unit) + "'");
+}
+
+/// One parsed pattern element, possibly marked with negation. Negated
+/// elements must be leaves and are folded into the enclosing operator node.
+struct Part {
+  PatternExpr expr = PatternExpr::Leaf(kInvalidEventType);
+  bool negated = false;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, EventTypeRegistry* registry,
+         const ParseOptions& options)
+      : tokens_(std::move(tokens)), registry_(registry), options_(options) {}
+
+  Result<Query> ParseQueryTop(std::string name) {
+    if (!IsKeyword("SELECT")) {
+      return Error("expected SELECT");
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kStar) return Error("expected '*'");
+    Advance();
+    if (!IsKeyword("FROM")) return Error("expected FROM");
+    Advance();
+    if (Peek().kind != TokenKind::kIdent) return Error("expected stream name");
+    std::string stream = Peek().text;
+    Advance();
+    if (!IsKeyword("MATCHING")) return Error("expected MATCHING");
+    Advance();
+    if (Peek().kind != TokenKind::kLBracket) return Error("expected '['");
+    Advance();
+    MOTTO_ASSIGN_OR_RETURN(Duration window, ParseWindow());
+    if (Peek().kind != TokenKind::kColon) return Error("expected ':'");
+    Advance();
+    MOTTO_ASSIGN_OR_RETURN(PatternExpr pattern, ParsePatternClause());
+    if (Peek().kind != TokenKind::kRBracket) return Error("expected ']'");
+    Advance();
+    if (Peek().kind != TokenKind::kEof) return Error("trailing input");
+    Query query;
+    query.name = std::move(name);
+    query.pattern = std::move(pattern);
+    query.window = window;
+    return query;
+  }
+
+  Result<PatternExpr> ParsePatternTop() {
+    MOTTO_ASSIGN_OR_RETURN(PatternExpr pattern, ParsePatternClause());
+    if (Peek().kind != TokenKind::kEof) return Error("trailing input");
+    return pattern;
+  }
+
+  Result<Duration> ParseDurationTop() {
+    MOTTO_ASSIGN_OR_RETURN(Duration window, ParseWindow());
+    if (Peek().kind != TokenKind::kEof) return Error("trailing input");
+    return window;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool IsKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, kw);
+  }
+
+  Status Error(std::string message) const {
+    return InvalidArgumentError(message + " at offset " +
+                                std::to_string(Peek().offset) + " (found " +
+                                std::string(TokenKindName(Peek().kind)) + ")");
+  }
+
+  Result<Duration> ParseWindow() {
+    if (Peek().kind != TokenKind::kInt) return Error("expected window length");
+    int64_t count = Peek().int_value;
+    Advance();
+    if (Peek().kind != TokenKind::kIdent) return Error("expected time unit");
+    MOTTO_ASSIGN_OR_RETURN(Duration unit, UnitToMicros(Peek().text));
+    Advance();
+    return count * unit;
+  }
+
+  Result<PatternExpr> ParsePatternClause() {
+    MOTTO_ASSIGN_OR_RETURN(Part part, ParseDisj());
+    if (part.negated) {
+      return InvalidArgumentError("NEG must be used with SEQ or CONJ");
+    }
+    MOTTO_RETURN_IF_ERROR(ValidatePattern(part.expr));
+    return part.expr;
+  }
+
+  /// Builds an operator node from parsed parts: negated leaves become the
+  /// node's NEG list, everything else its children. Collapses single-child
+  /// nodes without negation.
+  Result<Part> BuildOperator(PatternOp op, std::vector<Part> parts) {
+    std::vector<PatternExpr> children;
+    std::vector<PatternExpr> negated;
+    for (Part& p : parts) {
+      if (p.negated) {
+        negated.push_back(std::move(p.expr));
+      } else {
+        children.push_back(std::move(p.expr));
+      }
+    }
+    if (op == PatternOp::kDisj && !negated.empty()) {
+      return InvalidArgumentError("NEG must be used with SEQ or CONJ");
+    }
+    if (children.size() == 1 && negated.empty()) {
+      return Part{std::move(children.front()), false};
+    }
+    if (children.empty()) {
+      return InvalidArgumentError("pattern operator needs at least one "
+                                  "non-negated operand");
+    }
+    return Part{
+        PatternExpr::Operator(op, std::move(children), std::move(negated)),
+        false};
+  }
+
+  // Infix precedence: '|' < '&' < ','.
+  Result<Part> ParseDisj() {
+    MOTTO_ASSIGN_OR_RETURN(Part first, ParseConj());
+    if (Peek().kind != TokenKind::kPipe) return first;
+    std::vector<Part> parts;
+    parts.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      MOTTO_ASSIGN_OR_RETURN(Part next, ParseConj());
+      parts.push_back(std::move(next));
+    }
+    return BuildOperator(PatternOp::kDisj, std::move(parts));
+  }
+
+  Result<Part> ParseConj() {
+    MOTTO_ASSIGN_OR_RETURN(Part first, ParseSeq());
+    if (Peek().kind != TokenKind::kAmp) return first;
+    std::vector<Part> parts;
+    parts.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kAmp) {
+      Advance();
+      MOTTO_ASSIGN_OR_RETURN(Part next, ParseSeq());
+      parts.push_back(std::move(next));
+    }
+    return BuildOperator(PatternOp::kConj, std::move(parts));
+  }
+
+  Result<Part> ParseSeq() {
+    MOTTO_ASSIGN_OR_RETURN(Part first, ParseUnary());
+    if (Peek().kind != TokenKind::kComma) return first;
+    std::vector<Part> parts;
+    parts.push_back(std::move(first));
+    while (Peek().kind == TokenKind::kComma) {
+      Advance();
+      MOTTO_ASSIGN_OR_RETURN(Part next, ParseUnary());
+      parts.push_back(std::move(next));
+    }
+    return BuildOperator(PatternOp::kSeq, std::move(parts));
+  }
+
+  Result<Part> ParseUnary() {
+    if (Peek().kind == TokenKind::kBang) {
+      Advance();
+      MOTTO_ASSIGN_OR_RETURN(Part inner, ParseUnary());
+      return Negate(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Part> Negate(Part inner) {
+    if (inner.negated) return InvalidArgumentError("double negation");
+    if (!inner.expr.is_leaf()) {
+      return InvalidArgumentError(
+          "NEG supports only primitive event operands");
+    }
+    inner.negated = true;
+    return inner;
+  }
+
+  Result<Part> ParsePrimary() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      MOTTO_ASSIGN_OR_RETURN(Part inner, ParseDisj());
+      if (Peek().kind != TokenKind::kRParen) return Error("expected ')'");
+      Advance();
+      return inner;
+    }
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected event type or pattern");
+    }
+    const std::string word = Peek().text;
+    if (EqualsIgnoreCase(word, "SEQ")) return ParseFunctional(PatternOp::kSeq);
+    if (EqualsIgnoreCase(word, "CONJ")) {
+      return ParseFunctional(PatternOp::kConj);
+    }
+    if (EqualsIgnoreCase(word, "DISJ")) {
+      return ParseFunctional(PatternOp::kDisj);
+    }
+    if (EqualsIgnoreCase(word, "NEG")) {
+      Advance();
+      if (Peek().kind != TokenKind::kLParen) return Error("expected '('");
+      Advance();
+      MOTTO_ASSIGN_OR_RETURN(Part inner, ParseUnary());
+      if (Peek().kind != TokenKind::kRParen) return Error("expected ')'");
+      Advance();
+      return Negate(std::move(inner));
+    }
+    Advance();
+    MOTTO_ASSIGN_OR_RETURN(EventTypeId type, LookupType(word));
+    if (Peek().kind == TokenKind::kLBracket) {
+      MOTTO_ASSIGN_OR_RETURN(Predicate predicate, ParsePredicateBrackets());
+      return Part{PatternExpr::Leaf(type, std::move(predicate)), false};
+    }
+    return Part{PatternExpr::Leaf(type), false};
+  }
+
+  /// Parses "[field cmp number (& field cmp number)*]" after an operand,
+  /// e.g. "AAPL[value > 100 & aux <= 5000]". Field aliases: value/price,
+  /// aux/volume/size.
+  Result<Predicate> ParsePredicateBrackets() {
+    Advance();  // '['
+    std::vector<Comparison> comparisons;
+    while (true) {
+      Comparison comparison;
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected predicate field (value/price/aux/volume)");
+      }
+      const std::string field = Peek().text;
+      if (EqualsIgnoreCase(field, "value") || EqualsIgnoreCase(field, "price")) {
+        comparison.field = PredicateField::kValue;
+      } else if (EqualsIgnoreCase(field, "aux") ||
+                 EqualsIgnoreCase(field, "volume") ||
+                 EqualsIgnoreCase(field, "size")) {
+        comparison.field = PredicateField::kAux;
+      } else {
+        return Error("unknown predicate field '" + field + "'");
+      }
+      Advance();
+      switch (Peek().kind) {
+        case TokenKind::kLt:
+          comparison.cmp = PredicateCmp::kLt;
+          break;
+        case TokenKind::kLe:
+          comparison.cmp = PredicateCmp::kLe;
+          break;
+        case TokenKind::kGt:
+          comparison.cmp = PredicateCmp::kGt;
+          break;
+        case TokenKind::kGe:
+          comparison.cmp = PredicateCmp::kGe;
+          break;
+        case TokenKind::kEqEq:
+          comparison.cmp = PredicateCmp::kEq;
+          break;
+        case TokenKind::kNe:
+          comparison.cmp = PredicateCmp::kNe;
+          break;
+        default:
+          return Error("expected comparison operator");
+      }
+      Advance();
+      double sign = 1.0;
+      if (Peek().kind == TokenKind::kMinus) {
+        sign = -1.0;
+        Advance();
+      }
+      if (Peek().kind != TokenKind::kInt &&
+          Peek().kind != TokenKind::kNumber) {
+        return Error("expected numeric constant");
+      }
+      comparison.constant = sign * Peek().number_value;
+      Advance();
+      comparisons.push_back(comparison);
+      if (Peek().kind == TokenKind::kAmp || Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      if (Peek().kind == TokenKind::kRBracket) {
+        Advance();
+        break;
+      }
+      return Error("expected '&' or ']' in predicate");
+    }
+    return Predicate(std::move(comparisons));
+  }
+
+  /// Functional form, e.g. SEQ(a, b) / CONJ(a & b) / DISJ(a | b). Arguments
+  /// are separated by the operator's canonical separator (',' also accepted
+  /// for CONJ/DISJ); mixing separators requires parentheses.
+  Result<Part> ParseFunctional(PatternOp op) {
+    Advance();  // Operator keyword.
+    if (Peek().kind != TokenKind::kLParen) return Error("expected '('");
+    Advance();
+    TokenKind canonical_sep = op == PatternOp::kSeq    ? TokenKind::kComma
+                              : op == PatternOp::kConj ? TokenKind::kAmp
+                                                       : TokenKind::kPipe;
+    std::vector<Part> parts;
+    while (true) {
+      MOTTO_ASSIGN_OR_RETURN(Part part, ParseUnary());
+      parts.push_back(std::move(part));
+      if (Peek().kind == canonical_sep ||
+          (Peek().kind == TokenKind::kComma && op != PatternOp::kSeq)) {
+        Advance();
+        continue;
+      }
+      if (Peek().kind == TokenKind::kRParen) {
+        Advance();
+        break;
+      }
+      return Error("expected argument separator or ')'");
+    }
+    return BuildOperator(op, std::move(parts));
+  }
+
+  Result<EventTypeId> LookupType(const std::string& name) {
+    EventTypeId id = registry_->Find(name);
+    if (id != kInvalidEventType) {
+      if (!registry_->IsPrimitive(id)) {
+        return InvalidArgumentError("'" + name +
+                                    "' names a composite event type");
+      }
+      return id;
+    }
+    if (!options_.register_unknown_types) {
+      return NotFoundError("unknown event type '" + name + "'");
+    }
+    return registry_->RegisterPrimitive(name);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  EventTypeRegistry* registry_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, EventTypeRegistry* registry,
+                         std::string name, const ParseOptions& options) {
+  MOTTO_CHECK(registry != nullptr);
+  MOTTO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), registry, options);
+  return parser.ParseQueryTop(std::move(name));
+}
+
+Result<PatternExpr> ParsePattern(std::string_view text,
+                                 EventTypeRegistry* registry,
+                                 const ParseOptions& options) {
+  MOTTO_CHECK(registry != nullptr);
+  MOTTO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens), registry, options);
+  return parser.ParsePatternTop();
+}
+
+Result<Duration> ParseDuration(std::string_view text) {
+  MOTTO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  EventTypeRegistry unused;
+  Parser parser(std::move(tokens), &unused, ParseOptions{});
+  return parser.ParseDurationTop();
+}
+
+}  // namespace motto::ccl

@@ -1,0 +1,41 @@
+#ifndef MOTTO_CCL_PARSER_H_
+#define MOTTO_CCL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "event/event_type.h"
+
+namespace motto::ccl {
+
+struct ParseOptions {
+  /// When true (default), identifiers not yet in the registry are registered
+  /// as primitive event types; otherwise unknown identifiers are an error.
+  bool register_unknown_types = true;
+};
+
+/// Parses a full CCL pattern query:
+///
+///   SELECT * FROM trades MATCHING [10 seconds : SEQ(E1, E2, NEG(E3))]
+///
+/// Patterns accept both functional form — SEQ(a, b), CONJ(a & b),
+/// DISJ(a | b), NEG(x) — and infix form with precedence `,` (SEQ, tightest),
+/// then `&` (CONJ), then `|` (DISJ); `!x` is NEG. Window units: us, ms,
+/// s/sec/seconds, m/min/minutes.
+Result<Query> ParseQuery(std::string_view text, EventTypeRegistry* registry,
+                         std::string name = "",
+                         const ParseOptions& options = ParseOptions{});
+
+/// Parses just a pattern expression (no SELECT/window clause).
+Result<PatternExpr> ParsePattern(std::string_view text,
+                                 EventTypeRegistry* registry,
+                                 const ParseOptions& options = ParseOptions{});
+
+/// Parses a window like "10 seconds" into microseconds.
+Result<Duration> ParseDuration(std::string_view text);
+
+}  // namespace motto::ccl
+
+#endif  // MOTTO_CCL_PARSER_H_

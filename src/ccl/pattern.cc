@@ -1,0 +1,253 @@
+#include "ccl/pattern.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace motto {
+
+std::string_view PatternOpName(PatternOp op) {
+  switch (op) {
+    case PatternOp::kSeq:
+      return "SEQ";
+    case PatternOp::kConj:
+      return "CONJ";
+    case PatternOp::kDisj:
+      return "DISJ";
+  }
+  return "?";
+}
+
+bool IsCommutative(PatternOp op) { return op != PatternOp::kSeq; }
+
+PatternExpr PatternExpr::Leaf(EventTypeId type) {
+  return Leaf(type, Predicate{});
+}
+
+PatternExpr PatternExpr::Leaf(EventTypeId type, Predicate predicate) {
+  PatternExpr e;
+  e.kind_ = Kind::kLeaf;
+  e.leaf_type_ = type;
+  e.leaf_predicate_ = std::move(predicate);
+  return e;
+}
+
+PatternExpr PatternExpr::Operator(PatternOp op,
+                                  std::vector<PatternExpr> children,
+                                  std::vector<PatternExpr> negated) {
+  PatternExpr e;
+  e.kind_ = Kind::kOperator;
+  e.op_ = op;
+  e.children_ = std::move(children);
+  e.negated_ = std::move(negated);
+  return e;
+}
+
+EventTypeId PatternExpr::leaf_type() const {
+  MOTTO_CHECK(kind_ == Kind::kLeaf);
+  return leaf_type_;
+}
+
+const Predicate& PatternExpr::leaf_predicate() const {
+  MOTTO_CHECK(kind_ == Kind::kLeaf);
+  return leaf_predicate_;
+}
+
+PatternOp PatternExpr::op() const {
+  MOTTO_CHECK(kind_ == Kind::kOperator);
+  return op_;
+}
+
+const std::vector<PatternExpr>& PatternExpr::children() const {
+  MOTTO_CHECK(kind_ == Kind::kOperator);
+  return children_;
+}
+
+const std::vector<PatternExpr>& PatternExpr::negated() const {
+  MOTTO_CHECK(kind_ == Kind::kOperator);
+  return negated_;
+}
+
+bool PatternExpr::IsFlat() const {
+  if (kind_ == Kind::kLeaf) return false;
+  for (const PatternExpr& c : children_) {
+    if (!c.is_leaf()) return false;
+  }
+  return true;
+}
+
+int PatternExpr::NestedLevel() const {
+  if (kind_ == Kind::kLeaf) return 0;
+  int deepest = 0;
+  for (const PatternExpr& c : children_) {
+    deepest = std::max(deepest, c.NestedLevel());
+  }
+  return deepest + 1;
+}
+
+std::string PatternExpr::CanonicalKey() const {
+  if (kind_ == Kind::kLeaf) {
+    std::string out = std::to_string(leaf_type_);
+    if (!leaf_predicate_.empty()) {
+      out += '[' + leaf_predicate_.CanonicalKey() + ']';
+    }
+    return out;
+  }
+  std::string out(PatternOpName(op_));
+  out += '(';
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += children_[i].CanonicalKey();
+  }
+  for (const PatternExpr& n : negated_) {
+    out += ",!";
+    out += n.CanonicalKey();
+  }
+  out += ')';
+  return out;
+}
+
+std::string PatternExpr::ToString(const EventTypeRegistry& registry) const {
+  if (kind_ == Kind::kLeaf) {
+    std::string out = registry.NameOf(leaf_type_);
+    if (!leaf_predicate_.empty()) {
+      out += '[' + leaf_predicate_.ToString() + ']';
+    }
+    return out;
+  }
+  std::string out(PatternOpName(op_));
+  out += '(';
+  const char* sep = op_ == PatternOp::kSeq   ? ", "
+                    : op_ == PatternOp::kConj ? " & "
+                                              : " | ";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children_[i].ToString(registry);
+  }
+  for (const PatternExpr& n : negated_) {
+    out += sep;
+    out += "NEG(";
+    out += n.ToString(registry);
+    out += ')';
+  }
+  out += ')';
+  return out;
+}
+
+bool operator==(const PatternExpr& a, const PatternExpr& b) {
+  if (a.kind_ != b.kind_) return false;
+  if (a.kind_ == PatternExpr::Kind::kLeaf) {
+    return a.leaf_type_ == b.leaf_type_ &&
+           a.leaf_predicate_ == b.leaf_predicate_;
+  }
+  return a.op_ == b.op_ && a.children_ == b.children_ &&
+         a.negated_ == b.negated_;
+}
+
+PatternExpr Canonicalize(const PatternExpr& expr) {
+  if (expr.is_leaf()) return expr;
+  std::vector<PatternExpr> children;
+  children.reserve(expr.children().size());
+  for (const PatternExpr& c : expr.children()) {
+    children.push_back(Canonicalize(c));
+  }
+  if (IsCommutative(expr.op())) {
+    std::sort(children.begin(), children.end(),
+              [](const PatternExpr& x, const PatternExpr& y) {
+                return x.CanonicalKey() < y.CanonicalKey();
+              });
+  }
+  std::vector<PatternExpr> negated = expr.negated();
+  std::sort(negated.begin(), negated.end(),
+            [](const PatternExpr& x, const PatternExpr& y) {
+              return x.CanonicalKey() < y.CanonicalKey();
+            });
+  return PatternExpr::Operator(expr.op(), std::move(children),
+                               std::move(negated));
+}
+
+Status ValidatePattern(const PatternExpr& expr) {
+  if (expr.is_leaf()) {
+    if (expr.leaf_type() == kInvalidEventType) {
+      return InvalidArgumentError("leaf with invalid event type");
+    }
+    return Status::Ok();
+  }
+  if (expr.children().empty()) {
+    return InvalidArgumentError("operator node without operands");
+  }
+  if (expr.op() == PatternOp::kDisj && !expr.negated().empty()) {
+    return InvalidArgumentError("NEG must be used with SEQ or CONJ");
+  }
+  std::unordered_set<std::string> neg_seen;
+  for (const PatternExpr& n : expr.negated()) {
+    if (!n.is_leaf()) {
+      return InvalidArgumentError("NEG supports only primitive operands");
+    }
+    if (n.leaf_type() == kInvalidEventType) {
+      return InvalidArgumentError("NEG of invalid event type");
+    }
+    if (!neg_seen.insert(n.CanonicalKey()).second) {
+      return InvalidArgumentError("duplicate NEG operand");
+    }
+  }
+  for (const PatternExpr& c : expr.children()) {
+    MOTTO_RETURN_IF_ERROR(ValidatePattern(c));
+  }
+  return Status::Ok();
+}
+
+SymbolSeq FlatPattern::OperandSeq() const {
+  SymbolSeq seq;
+  seq.reserve(operands.size());
+  for (EventTypeId t : operands) seq.push_back(t);
+  return seq;
+}
+
+FlatPattern FlatPattern::Canonical() const {
+  FlatPattern out = *this;
+  if (IsCommutative(op)) std::sort(out.operands.begin(), out.operands.end());
+  std::sort(out.negated.begin(), out.negated.end());
+  return out;
+}
+
+std::string FlatPattern::CanonicalKey() const {
+  FlatPattern canon = Canonical();
+  return ToExpr(canon).CanonicalKey();
+}
+
+std::string FlatPattern::ToString(const EventTypeRegistry& registry) const {
+  return ToExpr(*this).ToString(registry);
+}
+
+FlatPattern ToFlatPattern(const PatternExpr& expr) {
+  MOTTO_CHECK(expr.IsFlat()) << "pattern is nested: " << expr.CanonicalKey();
+  FlatPattern flat;
+  flat.op = expr.op();
+  flat.operands.reserve(expr.children().size());
+  for (const PatternExpr& c : expr.children()) {
+    MOTTO_CHECK(c.leaf_predicate().empty())
+        << "predicated operands must be interned through nested division";
+    flat.operands.push_back(c.leaf_type());
+  }
+  for (const PatternExpr& n : expr.negated()) {
+    MOTTO_CHECK(n.leaf_predicate().empty())
+        << "predicated operands must be interned through nested division";
+    flat.negated.push_back(n.leaf_type());
+  }
+  return flat;
+}
+
+PatternExpr ToExpr(const FlatPattern& flat) {
+  std::vector<PatternExpr> children;
+  children.reserve(flat.operands.size());
+  for (EventTypeId t : flat.operands) children.push_back(PatternExpr::Leaf(t));
+  std::vector<PatternExpr> negated;
+  negated.reserve(flat.negated.size());
+  for (EventTypeId t : flat.negated) negated.push_back(PatternExpr::Leaf(t));
+  return PatternExpr::Operator(flat.op, std::move(children),
+                               std::move(negated));
+}
+
+}  // namespace motto

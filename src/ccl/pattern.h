@@ -1,0 +1,138 @@
+#ifndef MOTTO_CCL_PATTERN_H_
+#define MOTTO_CCL_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccl/predicate.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "event/event_type.h"
+#include "util/sequence.h"
+
+namespace motto {
+
+/// The three composite pattern operators of CCL (paper §II). Negation is not
+/// an operator node: NEG'd operands are carried alongside a SEQ/CONJ node.
+enum class PatternOp {
+  kSeq,   // Ordered occurrence of all operands.
+  kConj,  // Occurrence of all operands, any order.
+  kDisj,  // Occurrence of at least one operand.
+};
+
+std::string_view PatternOpName(PatternOp op);
+bool IsCommutative(PatternOp op);
+
+/// Pattern expression tree. A leaf names one event type; an operator node
+/// combines child patterns with SEQ/CONJ/DISJ and may carry NEG'd event
+/// types (window-scoped negation, paper §II).
+///
+/// Value semantics; cheap to copy for the pattern sizes CEP uses.
+class PatternExpr {
+ public:
+  enum class Kind { kLeaf, kOperator };
+
+  /// Builds a leaf referring to event type `type`, optionally restricted by
+  /// a payload predicate (`AAPL[value > 100]`).
+  static PatternExpr Leaf(EventTypeId type);
+  static PatternExpr Leaf(EventTypeId type, Predicate predicate);
+
+  /// Builds an operator node. `negated` lists the NEG'd operands (leaves,
+  /// possibly with predicates); only meaningful for SEQ/CONJ (validated by
+  /// ValidatePattern).
+  static PatternExpr Operator(PatternOp op, std::vector<PatternExpr> children,
+                              std::vector<PatternExpr> negated = {});
+
+  Kind kind() const { return kind_; }
+  bool is_leaf() const { return kind_ == Kind::kLeaf; }
+
+  EventTypeId leaf_type() const;
+  /// Payload restriction of a leaf (empty predicate = unrestricted).
+  const Predicate& leaf_predicate() const;
+  PatternOp op() const;
+  const std::vector<PatternExpr>& children() const;
+  const std::vector<PatternExpr>& negated() const;
+
+  /// True when every child is a leaf (no nesting).
+  bool IsFlat() const;
+
+  /// Nesting depth: a leaf is 0, a flat operator is 1 (paper Definition 2
+  /// counts the innermost operator layer as level 1).
+  int NestedLevel() const;
+
+  /// Canonical id-based key, unique per semantic pattern after
+  /// Canonicalize(). E.g. "SEQ(0,CONJ(1,2),!3)".
+  std::string CanonicalKey() const;
+
+  /// Human-readable rendering using registered type names.
+  std::string ToString(const EventTypeRegistry& registry) const;
+
+  friend bool operator==(const PatternExpr& a, const PatternExpr& b);
+
+ private:
+  Kind kind_ = Kind::kLeaf;
+  EventTypeId leaf_type_ = kInvalidEventType;
+  Predicate leaf_predicate_;
+  PatternOp op_ = PatternOp::kSeq;
+  std::vector<PatternExpr> children_;
+  std::vector<PatternExpr> negated_;
+};
+
+/// Sorts commutative (CONJ/DISJ) operand lists recursively into canonical
+/// order and sorts NEG lists, so semantically equal patterns compare equal
+/// (paper §IV-B: "pre-sort non-ordered operators ... predefined order").
+PatternExpr Canonicalize(const PatternExpr& expr);
+
+/// Structural validity: operator nodes have >= 1 child, DISJ carries no NEG,
+/// leaves have valid type ids, NEG lists are non-duplicated.
+Status ValidatePattern(const PatternExpr& expr);
+
+/// A non-nested pattern: one operator over event type operands (which may be
+/// composite types produced by other queries). This is the unit the sharing
+/// techniques and the execution engine work with.
+struct FlatPattern {
+  PatternOp op = PatternOp::kSeq;
+  std::vector<EventTypeId> operands;
+  std::vector<EventTypeId> negated;
+
+  /// Operand list viewed as a symbol sequence for substring machinery.
+  SymbolSeq OperandSeq() const;
+
+  /// Canonical form: commutative operand lists and NEG lists sorted.
+  FlatPattern Canonical() const;
+
+  /// Canonical id-based key, e.g. "SEQ(0,5,!2)|neg".
+  std::string CanonicalKey() const;
+
+  std::string ToString(const EventTypeRegistry& registry) const;
+
+  friend bool operator==(const FlatPattern& a, const FlatPattern& b) {
+    return a.op == b.op && a.operands == b.operands && a.negated == b.negated;
+  }
+};
+
+/// Converts a flat expression tree into a FlatPattern; expr must be an
+/// operator node with IsFlat().
+FlatPattern ToFlatPattern(const PatternExpr& expr);
+
+/// Converts back to an expression tree.
+PatternExpr ToExpr(const FlatPattern& flat);
+
+/// A user-registered pattern query: named pattern + window constraint.
+struct Query {
+  std::string name;
+  PatternExpr pattern;
+  Duration window = 0;
+};
+
+/// A divided, non-nested query as used by the optimizer and engine.
+struct FlatQuery {
+  std::string name;
+  FlatPattern pattern;
+  Duration window = 0;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_CCL_PATTERN_H_

@@ -1,0 +1,101 @@
+#include "ccl/predicate.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace motto {
+
+std::string_view PredicateFieldName(PredicateField field) {
+  return field == PredicateField::kValue ? "value" : "aux";
+}
+
+std::string_view PredicateCmpName(PredicateCmp cmp) {
+  switch (cmp) {
+    case PredicateCmp::kLt:
+      return "<";
+    case PredicateCmp::kLe:
+      return "<=";
+    case PredicateCmp::kGt:
+      return ">";
+    case PredicateCmp::kGe:
+      return ">=";
+    case PredicateCmp::kEq:
+      return "==";
+    case PredicateCmp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool Comparison::Matches(const Payload& payload) const {
+  double lhs = field == PredicateField::kValue
+                   ? payload.value
+                   : static_cast<double>(payload.aux);
+  switch (cmp) {
+    case PredicateCmp::kLt:
+      return lhs < constant;
+    case PredicateCmp::kLe:
+      return lhs <= constant;
+    case PredicateCmp::kGt:
+      return lhs > constant;
+    case PredicateCmp::kGe:
+      return lhs >= constant;
+    case PredicateCmp::kEq:
+      return lhs == constant;
+    case PredicateCmp::kNe:
+      return lhs != constant;
+  }
+  return false;
+}
+
+std::string Comparison::ToString() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s %s %.10g",
+                std::string(PredicateFieldName(field)).c_str(),
+                std::string(PredicateCmpName(cmp)).c_str(), constant);
+  return buffer;
+}
+
+Predicate::Predicate(std::vector<Comparison> comparisons)
+    : comparisons_(std::move(comparisons)) {
+  std::sort(comparisons_.begin(), comparisons_.end(),
+            [](const Comparison& a, const Comparison& b) {
+              if (a.field != b.field) return a.field < b.field;
+              if (a.cmp != b.cmp) return a.cmp < b.cmp;
+              return a.constant < b.constant;
+            });
+  comparisons_.erase(std::unique(comparisons_.begin(), comparisons_.end()),
+                     comparisons_.end());
+}
+
+bool Predicate::Matches(const Payload& payload) const {
+  for (const Comparison& comparison : comparisons_) {
+    if (!comparison.Matches(payload)) return false;
+  }
+  return true;
+}
+
+std::string Predicate::CanonicalKey() const {
+  std::string out;
+  for (size_t i = 0; i < comparisons_.size(); ++i) {
+    if (i > 0) out += '&';
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s%s%.10g",
+                  std::string(PredicateFieldName(comparisons_[i].field)).c_str(),
+                  std::string(PredicateCmpName(comparisons_[i].cmp)).c_str(),
+                  comparisons_[i].constant);
+    out += buffer;
+  }
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < comparisons_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += comparisons_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace motto

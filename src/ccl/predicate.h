@@ -1,0 +1,65 @@
+#ifndef MOTTO_CCL_PREDICATE_H_
+#define MOTTO_CCL_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "event/event.h"
+
+namespace motto {
+
+/// Payload field a predicate compares. `value` (alias `price`) is the
+/// double field, `aux` (aliases `volume`, `size`) the integer field.
+enum class PredicateField { kValue, kAux };
+
+enum class PredicateCmp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+std::string_view PredicateFieldName(PredicateField field);
+std::string_view PredicateCmpName(PredicateCmp cmp);
+
+/// One comparison against a constant, e.g. `value > 100`.
+struct Comparison {
+  PredicateField field = PredicateField::kValue;
+  PredicateCmp cmp = PredicateCmp::kGt;
+  double constant = 0.0;
+
+  bool Matches(const Payload& payload) const;
+  std::string ToString() const;
+
+  friend bool operator==(const Comparison& a, const Comparison& b) {
+    return a.field == b.field && a.cmp == b.cmp && a.constant == b.constant;
+  }
+};
+
+/// Conjunction of comparisons on one event's payload — the selection
+/// condition of a pattern operand (`AAPL[value > 100 & aux <= 5000]`).
+/// The empty predicate is always true. Comparisons are kept in canonical
+/// (sorted) order so equal predicates share one representation.
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Comparison> comparisons);
+
+  bool empty() const { return comparisons_.empty(); }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+  bool Matches(const Payload& payload) const;
+
+  /// Stable key, e.g. "aux<=5000&value>100"; empty string when empty.
+  std::string CanonicalKey() const;
+
+  /// Human-readable form, e.g. "value > 100 & aux <= 5000" (original order
+  /// is not preserved; canonical order is).
+  std::string ToString() const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.comparisons_ == b.comparisons_;
+  }
+
+ private:
+  std::vector<Comparison> comparisons_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_CCL_PREDICATE_H_

@@ -1,0 +1,16 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace motto::internal_check {
+
+void CheckFail(const char* file, int line, const char* condition,
+               const std::string& message) {
+  std::fprintf(stderr, "%s:%d CHECK failed: %s %s\n", file, line, condition,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace motto::internal_check

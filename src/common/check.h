@@ -1,0 +1,57 @@
+#ifndef MOTTO_COMMON_CHECK_H_
+#define MOTTO_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace motto::internal_check {
+
+/// Prints `file:line CHECK failed: condition message` to stderr and aborts.
+[[noreturn]] void CheckFail(const char* file, int line, const char* condition,
+                            const std::string& message);
+
+/// Stream-collecting helper so call sites can write
+/// `MOTTO_CHECK(x) << "context " << v;`.
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  [[noreturn]] ~CheckStream() { CheckFail(file_, line_, condition_, stream_.str()); }
+
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace motto::internal_check
+
+/// Aborts the process with a diagnostic if `condition` is false. Used for
+/// programming-error invariants (never for user input; that returns Status).
+#define MOTTO_CHECK(condition)                                         \
+  while (!(condition))                                                 \
+  ::motto::internal_check::CheckStream(__FILE__, __LINE__, #condition)
+
+#define MOTTO_CHECK_EQ(a, b) MOTTO_CHECK((a) == (b))
+#define MOTTO_CHECK_NE(a, b) MOTTO_CHECK((a) != (b))
+#define MOTTO_CHECK_LT(a, b) MOTTO_CHECK((a) < (b))
+#define MOTTO_CHECK_LE(a, b) MOTTO_CHECK((a) <= (b))
+#define MOTTO_CHECK_GT(a, b) MOTTO_CHECK((a) > (b))
+#define MOTTO_CHECK_GE(a, b) MOTTO_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define MOTTO_DCHECK(condition) MOTTO_CHECK(condition)
+#else
+#define MOTTO_DCHECK(condition) \
+  while (false && !(condition)) \
+  ::motto::internal_check::CheckStream(__FILE__, __LINE__, #condition)
+#endif
+
+#endif  // MOTTO_COMMON_CHECK_H_

@@ -1,0 +1,26 @@
+#include "common/interner.h"
+
+#include "common/check.h"
+
+namespace motto {
+
+int32_t StringInterner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t StringInterner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& StringInterner::NameOf(int32_t id) const {
+  MOTTO_CHECK(id >= 0 && id < size()) << "bad interned id " << id;
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace motto

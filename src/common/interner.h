@@ -1,0 +1,39 @@
+#ifndef MOTTO_COMMON_INTERNER_H_
+#define MOTTO_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace motto {
+
+/// Bidirectional mapping between strings and dense int32 ids, used to intern
+/// event type names. Ids are assigned in insertion order starting at 0.
+/// Not thread-safe; each workload owns its interner (via EventTypeRegistry).
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = default;
+  StringInterner& operator=(const StringInterner&) = default;
+
+  /// Returns the id for `name`, assigning a fresh one on first sight.
+  int32_t Intern(std::string_view name);
+
+  /// Returns the id for `name`, or -1 if it was never interned.
+  int32_t Find(std::string_view name) const;
+
+  /// Returns the string for `id`; id must be valid.
+  const std::string& NameOf(int32_t id) const;
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_COMMON_INTERNER_H_

@@ -1,0 +1,73 @@
+#ifndef MOTTO_COMMON_RESULT_H_
+#define MOTTO_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace motto {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Analogous to absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from Status so `return InvalidArgumentError(...)` works.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    MOTTO_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+  /// Implicit from T so `return value;` works.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MOTTO_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MOTTO_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MOTTO_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace motto
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define MOTTO_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  MOTTO_ASSIGN_OR_RETURN_IMPL_(                                 \
+      MOTTO_RESULT_CONCAT_(motto_result_, __LINE__), lhs, rexpr)
+
+#define MOTTO_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) return result.status();              \
+  lhs = std::move(result).value()
+
+#define MOTTO_RESULT_CONCAT_(x, y) MOTTO_RESULT_CONCAT_IMPL_(x, y)
+#define MOTTO_RESULT_CONCAT_IMPL_(x, y) x##y
+
+#endif  // MOTTO_COMMON_RESULT_H_

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace motto {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  MOTTO_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+int32_t Rng::Zipf(int32_t n, double s) {
+  MOTTO_CHECK_GT(n, 0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int32_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[static_cast<size_t>(i)] = total;
+    }
+    for (double& v : zipf_cdf_) v /= total;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) --it;
+  return static_cast<int32_t>(it - zipf_cdf_.begin());
+}
+
+double Rng::Exponential(double mean) {
+  MOTTO_CHECK_GT(mean, 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+}  // namespace motto

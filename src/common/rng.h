@@ -1,0 +1,55 @@
+#ifndef MOTTO_COMMON_RNG_H_
+#define MOTTO_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace motto {
+
+/// Seeded pseudo-random generator used by data/workload generators and the
+/// simulated-annealing solver. All randomness in the project flows through
+/// this class so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Rank 0 is the most frequent. Uses inverse-CDF over precomputed weights.
+  int32_t Zipf(int32_t n, double s);
+
+  /// Exponentially distributed interarrival time with the given mean.
+  double Exponential(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf CDF keyed by (n, s) of the last call; generators typically
+  // draw many ranks from one distribution.
+  int32_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_COMMON_RNG_H_

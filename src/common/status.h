@@ -1,0 +1,80 @@
+#ifndef MOTTO_COMMON_STATUS_H_
+#define MOTTO_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace motto {
+
+/// Canonical error codes, a small subset of the usual Google taxonomy.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kDeadlineExceeded,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code`, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value type describing the outcome of an operation that may fail.
+///
+/// The library is built without exceptions; fallible operations return a
+/// `Status` (or `Result<T>`, see result.h). An OK status carries no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience constructors mirroring the code names.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace motto
+
+/// Propagates a non-OK status to the caller.
+#define MOTTO_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::motto::Status motto_status_tmp_ = (expr);       \
+    if (!motto_status_tmp_.ok()) return motto_status_tmp_; \
+  } while (false)
+
+#endif  // MOTTO_COMMON_STATUS_H_

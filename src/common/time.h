@@ -1,0 +1,24 @@
+#ifndef MOTTO_COMMON_TIME_H_
+#define MOTTO_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace motto {
+
+/// Logical event time in microseconds since stream start.
+using Timestamp = int64_t;
+
+/// Time span in microseconds (window constraints, filters).
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosPerMilli = 1000;
+inline constexpr Duration kMicrosPerSecond = 1000 * kMicrosPerMilli;
+inline constexpr Duration kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+constexpr Duration Millis(int64_t n) { return n * kMicrosPerMilli; }
+constexpr Duration Seconds(int64_t n) { return n * kMicrosPerSecond; }
+constexpr Duration Minutes(int64_t n) { return n * kMicrosPerMinute; }
+
+}  // namespace motto
+
+#endif  // MOTTO_COMMON_TIME_H_

@@ -1,0 +1,162 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace motto {
+
+CostModel::CostModel(StreamStats stats)
+    : CostModel(std::move(stats), Constants{}) {}
+
+CostModel::CostModel(StreamStats stats, Constants constants)
+    : stats_(std::move(stats)), constants_(constants) {}
+
+double CostModel::RateOf(EventTypeId type) const {
+  auto it = rate_overrides_.find(type);
+  if (it != rate_overrides_.end()) return it->second;
+  return stats_.RateOf(type);
+}
+
+void CostModel::SetRate(EventTypeId type, double rate) {
+  rate_overrides_[type] = rate;
+}
+
+double CostModel::OrderFilterSelectivity(size_t num_operands) {
+  double factorial = 1.0;
+  for (size_t i = 2; i <= num_operands; ++i) {
+    factorial *= static_cast<double>(i);
+  }
+  return 1.0 / factorial;
+}
+
+double CostModel::PredicateSelectivity(EventTypeId base,
+                                       const Predicate& predicate) const {
+  if (predicate.empty()) return 1.0;
+  auto it = stats_.payload_samples.find(base);
+  if (it == stats_.payload_samples.end() || it->second.empty()) {
+    double selectivity = 1.0;
+    for (size_t c = 0; c < predicate.comparisons().size(); ++c) {
+      selectivity *= 0.5;
+    }
+    return selectivity;
+  }
+  size_t hits = 0;
+  for (const Payload& payload : it->second) {
+    if (predicate.Matches(payload)) ++hits;
+  }
+  double selectivity =
+      static_cast<double>(hits) / static_cast<double>(it->second.size());
+  return std::max(selectivity, 0.01);
+}
+
+double CostModel::NegationSurvival(const std::vector<EventTypeId>& negated,
+                                   double window_seconds) const {
+  double neg_rate = 0.0;
+  for (EventTypeId t : negated) neg_rate += RateOf(t);
+  return std::exp(-neg_rate * window_seconds);
+}
+
+OperatorEstimate CostModel::EstimatePattern(const FlatPattern& pattern,
+                                            Duration window) const {
+  std::vector<double> rates;
+  rates.reserve(pattern.operands.size());
+  for (EventTypeId t : pattern.operands) rates.push_back(RateOf(t));
+  return EstimateOperator(pattern.op, rates, pattern.negated, window);
+}
+
+double CostModel::ProcessingCpu(PatternOp op,
+                                const std::vector<double>& operand_rates,
+                                Duration window) const {
+  MOTTO_CHECK(!operand_rates.empty());
+  size_t n = operand_rates.size();
+  double w = static_cast<double>(window) / kMicrosPerSecond;
+  double sum_rate = 0.0;
+  for (double r : operand_rates) sum_rate += r;
+  double cpu = constants_.per_event * sum_rate;
+  if (op == PatternOp::kDisj) return cpu;
+
+  // N_i = expected per-operand population of one window.
+  std::vector<double> populations;
+  populations.reserve(n);
+  for (double r : operand_rates) populations.push_back(r * w);
+
+  if (op == PatternOp::kSeq) {
+    // Extension work: arrivals of operand k scan partials at prefix k-1;
+    // E[partials at prefix k] = prod_{j<=k} N_j / (k-1)!.
+    double prefix = populations[0];  // Partials at prefix length 1.
+    double factorial = 1.0;
+    for (size_t k = 1; k < n; ++k) {
+      cpu += constants_.per_partial * operand_rates[k] * (prefix / factorial);
+      factorial *= static_cast<double>(k);
+      prefix *= populations[k];
+    }
+  } else {  // CONJ
+    // Arrivals of operand k extend partials containing the other operands:
+    // roughly prod_{j != k} N_j live combinations to probe.
+    for (size_t k = 0; k < n; ++k) {
+      double scan = 1.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j != k) scan *= populations[j];
+      }
+      cpu += constants_.per_partial * operand_rates[k] * scan;
+    }
+  }
+  return cpu;
+}
+
+double CostModel::EmitCpu(double output_rate, size_t arity) const {
+  return constants_.per_emit * output_rate * static_cast<double>(arity);
+}
+
+double CostModel::OutputRate(PatternOp op,
+                             const std::vector<double>& operand_rates,
+                             const std::vector<EventTypeId>& negated,
+                             Duration window) const {
+  MOTTO_CHECK(!operand_rates.empty());
+  size_t n = operand_rates.size();
+  double w = static_cast<double>(window) / kMicrosPerSecond;
+  double output;
+  if (op == PatternOp::kDisj) {
+    output = 0.0;
+    for (double r : operand_rates) output += r;
+    return output;
+  }
+  if (op == PatternOp::kSeq) {
+    // Matches closed by the last operand: prod(r_i) * w^(n-1) / (n-1)!.
+    output = operand_rates[0];
+    double factorial = 1.0;
+    for (size_t i = 1; i < n; ++i) {
+      output *= operand_rates[i] * w;
+      factorial *= static_cast<double>(i);
+    }
+    output /= factorial;
+  } else {
+    // Any-order matches, closed by any operand: n * prod(r_i) * w^(n-1).
+    output = static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) output *= operand_rates[i];
+    for (size_t i = 1; i < n; ++i) output *= w;
+  }
+  return output * NegationSurvival(negated, w);
+}
+
+OperatorEstimate CostModel::EstimateOperator(
+    PatternOp op, const std::vector<double>& operand_rates,
+    const std::vector<EventTypeId>& negated, Duration window) const {
+  OperatorEstimate est;
+  est.output_rate = OutputRate(op, operand_rates, negated, window);
+  size_t arity = op == PatternOp::kDisj ? 1 : operand_rates.size();
+  est.cpu_per_second = ProcessingCpu(op, operand_rates, window) +
+                       EmitCpu(est.output_rate, arity);
+  return est;
+}
+
+OperatorEstimate CostModel::EstimateFilter(double input_rate,
+                                           double selectivity) const {
+  OperatorEstimate est;
+  est.cpu_per_second = constants_.per_filter * input_rate;
+  est.output_rate = input_rate * selectivity;
+  return est;
+}
+
+}  // namespace motto

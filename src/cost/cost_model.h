@@ -1,0 +1,110 @@
+#ifndef MOTTO_COST_COST_MODEL_H_
+#define MOTTO_COST_COST_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "ccl/predicate.h"
+#include "event/stream.h"
+
+namespace motto {
+
+/// Cost/cardinality estimate for one operator (paper §VI).
+struct OperatorEstimate {
+  /// Estimated CPU work per second of stream time (abstract units; only
+  /// relative magnitudes matter for plan selection).
+  double cpu_per_second = 0.0;
+  /// Estimated emissions per second of stream time.
+  double output_rate = 0.0;
+};
+
+/// Analytical cost model over stream arrival statistics.
+///
+/// Rates are Poisson-style expectations: with per-type rates r_i and a
+/// window of w seconds, N_i = r_i * w is the expected per-type population of
+/// a window, SEQ emits prod(r_i) * w^(n-1) / (n-1)! matches/s, CONJ emits
+/// n * prod(r_i) * w^(n-1), DISJ emits sum(r_i). CPU combines a per-arrival
+/// term, a partial-match extension term (the dominant NFA cost) and a
+/// per-emission term. Negation scales output by the Poisson survival
+/// probability exp(-sum(r_neg) * w).
+///
+/// Composite operand types (outputs of other queries) get their rates via
+/// SetRate, maintained by the optimizer in dependency order.
+class CostModel {
+ public:
+  /// Relative work units, calibrated by least-squares regression of the
+  /// model terms against measured per-node busy times of unshared plans on
+  /// generated workloads (R^2 ~ 0.94; see EXPERIMENTS.md "cost model
+  /// calibration"). Delivery overhead dominates in this engine; one unit is
+  /// roughly 140ns on the reference machine.
+  struct Constants {
+    double per_event = 1.0;     // Dispatch + bookkeeping per delivered event.
+    double per_partial = 0.68;  // Per partial match probed on extension.
+    double per_emit = 0.12;     // Per constituent of an emitted composite.
+    double per_filter = 0.5;    // Per event evaluated by a stateless filter.
+  };
+
+  explicit CostModel(StreamStats stats);
+  CostModel(StreamStats stats, Constants constants);
+
+  /// Arrival rate of `type` (raw statistics or a SetRate override).
+  double RateOf(EventTypeId type) const;
+
+  /// Registers the output rate of a composite type produced by some node.
+  void SetRate(EventTypeId type, double rate);
+
+  /// Estimates a flat pattern whose operand rates come from RateOf.
+  OperatorEstimate EstimatePattern(const FlatPattern& pattern,
+                                   Duration window) const;
+
+  /// Estimates a pattern operator with explicit operand rates (used for
+  /// rewritten operators whose inputs are other queries' outputs).
+  OperatorEstimate EstimateOperator(PatternOp op,
+                                    const std::vector<double>& operand_rates,
+                                    const std::vector<EventTypeId>& negated,
+                                    Duration window) const;
+
+  /// Per-arrival and partial-extension work of an operator, excluding
+  /// emission. Edge costs combine this with EmitCpu anchored at the target
+  /// node's own output rate, so a rewritten plan and the from-scratch plan
+  /// of the same query are charged identical emission work.
+  double ProcessingCpu(PatternOp op, const std::vector<double>& operand_rates,
+                       Duration window) const;
+
+  /// Emission cost of `output_rate` composites with `arity` constituents.
+  double EmitCpu(double output_rate, size_t arity) const;
+
+  /// Output-rate estimate alone.
+  double OutputRate(PatternOp op, const std::vector<double>& operand_rates,
+                    const std::vector<EventTypeId>& negated,
+                    Duration window) const;
+
+  /// Cost of a stateless filter stage consuming `input_rate` events/s with
+  /// the given pass-through fraction.
+  OperatorEstimate EstimateFilter(double input_rate, double selectivity) const;
+
+  /// Pass fraction of Filter_sc over a CONJ's output (1/n! orderings).
+  static double OrderFilterSelectivity(size_t num_operands);
+
+  /// Fraction of `base`-typed events satisfying `predicate`, estimated from
+  /// the stream's payload samples; falls back to 0.5 per comparison when no
+  /// samples are available. Clamped away from 0 so selector rates stay
+  /// positive.
+  double PredicateSelectivity(EventTypeId base,
+                              const Predicate& predicate) const;
+
+  const Constants& constants() const { return constants_; }
+
+ private:
+  double NegationSurvival(const std::vector<EventTypeId>& negated,
+                          double window_seconds) const;
+
+  StreamStats stats_;
+  Constants constants_;
+  std::unordered_map<EventTypeId, double> rate_overrides_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_COST_COST_MODEL_H_

@@ -1,0 +1,165 @@
+#include "engine/executor.h"
+
+#include <chrono>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace motto {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr Timestamp kFinalWatermark =
+    std::numeric_limits<Timestamp>::max() / 4;
+
+}  // namespace
+
+uint64_t RunResult::TotalMatches() const {
+  uint64_t total = 0;
+  for (const auto& [name, count] : sink_counts) total += count;
+  return total;
+}
+
+Executor::Executor(Jqp jqp) : jqp_(std::move(jqp)) {}
+
+Result<Executor> Executor::Create(Jqp jqp) {
+  MOTTO_RETURN_IF_ERROR(jqp.Validate());
+  Executor executor(std::move(jqp));
+  MOTTO_ASSIGN_OR_RETURN(executor.topo_order_, executor.jqp_.TopoOrder());
+  executor.reads_raw_.assign(executor.jqp_.nodes.size(), false);
+  for (size_t i = 0; i < executor.jqp_.nodes.size(); ++i) {
+    const JqpNode& node = executor.jqp_.nodes[i];
+    executor.runtimes_.push_back(MakeNodeRuntime(node.spec));
+    if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      std::unordered_set<EventTypeId> types;
+      for (const OperandBinding& binding : pattern->operands) {
+        if (binding.channel == kRawChannel) {
+          types.insert(binding.types.begin(), binding.types.end());
+        }
+      }
+      for (EventTypeId t : pattern->negated) types.insert(t);
+      for (EventTypeId t : types) {
+        executor.raw_interest_[t].push_back(static_cast<int32_t>(i));
+        executor.reads_raw_[i] = true;
+      }
+    }
+  }
+  return executor;
+}
+
+Result<RunResult> Executor::Run(const EventStream& stream,
+                                const ExecutorOptions& options) {
+  MOTTO_RETURN_IF_ERROR(ValidateStream(stream));
+  for (auto& runtime : runtimes_) runtime->Reset();
+
+  size_t n = jqp_.nodes.size();
+  RunResult result;
+  result.raw_events = stream.size();
+  result.node_stats.assign(n, NodeStats{});
+  for (const Jqp::Sink& sink : jqp_.sinks) {
+    if (!options.count_matches_only) {
+      result.sink_events.emplace(sink.query_name, std::vector<Event>{});
+    }
+    result.sink_counts.emplace(sink.query_name, 0);
+  }
+
+  std::vector<std::vector<Event>> buffers(n);
+  std::vector<uint64_t> raw_stamp(n, 0);
+  std::vector<uint64_t> active_stamp(n, 0);
+  // Consumers of each node, for activation propagation.
+  std::vector<std::vector<int32_t>> consumers(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int32_t input : jqp_.nodes[i].inputs) {
+      consumers[static_cast<size_t>(input)].push_back(static_cast<int32_t>(i));
+    }
+  }
+  uint64_t seq = 0;
+
+  Clock::time_point run_start = Clock::now();
+
+  // Only nodes touched this round run: nodes routed the raw event, nodes
+  // whose upstream emitted, and (on the final flush) everyone. Skipping idle
+  // nodes is safe: watermark advancement only matters when a node processes
+  // input or flushes deferred negation matches, and the latter is driven by
+  // negated-type arrivals (routed) or the final flush.
+  auto process_round = [&](const Event* raw, Timestamp watermark,
+                           bool activate_all) {
+    if (activate_all) {
+      for (size_t i = 0; i < n; ++i) active_stamp[i] = seq;
+    }
+    bool any_sink_output = false;
+    for (int32_t idx : topo_order_) {
+      size_t ui = static_cast<size_t>(idx);
+      if (active_stamp[ui] != seq) continue;
+      NodeRuntime& runtime = *runtimes_[ui];
+      const JqpNode& node = jqp_.nodes[ui];
+      std::vector<Event>& out = buffers[ui];
+      out.clear();
+      Clock::time_point node_start;
+      if (options.collect_node_timing) node_start = Clock::now();
+      runtime.OnWatermark(watermark, &out);
+      if (raw != nullptr && raw_stamp[ui] == seq) {
+        runtime.OnEvent(kRawChannel, *raw, &out);
+        ++result.node_stats[ui].events_in;
+      }
+      for (size_t c = 0; c < node.inputs.size(); ++c) {
+        size_t input = static_cast<size_t>(node.inputs[c]);
+        if (active_stamp[input] != seq) continue;
+        const std::vector<Event>& upstream = buffers[input];
+        Channel channel = static_cast<Channel>(c + 1);
+        for (const Event& ev : upstream) {
+          runtime.OnEvent(channel, ev, &out);
+        }
+        result.node_stats[ui].events_in += upstream.size();
+      }
+      if (options.collect_node_timing) {
+        result.node_stats[ui].busy_seconds += SecondsSince(node_start);
+      }
+      if (!out.empty()) {
+        result.node_stats[ui].events_out += out.size();
+        any_sink_output = true;
+        for (int32_t consumer : consumers[ui]) {
+          active_stamp[static_cast<size_t>(consumer)] = seq;
+        }
+      }
+    }
+    if (!any_sink_output) return;
+    for (const Jqp::Sink& sink : jqp_.sinks) {
+      size_t node = static_cast<size_t>(sink.node);
+      if (active_stamp[node] != seq || buffers[node].empty()) continue;
+      const std::vector<Event>& out = buffers[node];
+      result.sink_counts[sink.query_name] += out.size();
+      if (!options.count_matches_only) {
+        auto& collected = result.sink_events[sink.query_name];
+        collected.insert(collected.end(), out.begin(), out.end());
+      }
+    }
+  };
+
+  for (const Event& raw : stream) {
+    ++seq;
+    auto interest = raw_interest_.find(raw.type());
+    if (interest != raw_interest_.end()) {
+      for (int32_t idx : interest->second) {
+        raw_stamp[static_cast<size_t>(idx)] = seq;
+        active_stamp[static_cast<size_t>(idx)] = seq;
+      }
+    }
+    process_round(&raw, raw.begin(), /*activate_all=*/false);
+  }
+  // Final flush so window-expiry (NEG) emissions at the stream tail appear.
+  ++seq;
+  process_round(nullptr, kFinalWatermark, /*activate_all=*/true);
+
+  result.elapsed_seconds = SecondsSince(run_start);
+  return result;
+}
+
+}  // namespace motto

@@ -1,0 +1,92 @@
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "engine/matcher.h"
+#include "engine/runtime.h"
+
+namespace motto {
+
+namespace {
+
+/// Filter_sc: keeps composites whose constituents, sorted by timestamp, are
+/// strictly ordered and carry exactly the required type sequence.
+class OrderFilterRuntime : public NodeRuntime {
+ public:
+  explicit OrderFilterRuntime(const OrderFilterSpec& spec) : spec_(spec) {}
+
+  void OnWatermark(Timestamp, std::vector<Event>*) override {}
+
+  void OnEvent(Channel channel, const Event& event,
+               std::vector<Event>* out) override {
+    MOTTO_DCHECK(channel != kRawChannel);
+    (void)channel;
+    std::vector<Constituent> self;
+    std::vector<Constituent> parts = event.constituents_or(self);
+    if (parts.size() != spec_.required_order.size()) return;
+    std::sort(parts.begin(), parts.end(),
+              [](const Constituent& a, const Constituent& b) {
+                return a.ts < b.ts;
+              });
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].type != spec_.required_order[i]) return;
+      if (i > 0 && parts[i - 1].ts >= parts[i].ts) return;
+    }
+    if (!spec_.relabel) {
+      out->push_back(event);
+      return;
+    }
+    for (size_t i = 0; i < parts.size(); ++i) {
+      parts[i].slot = static_cast<int32_t>(i);
+    }
+    out->push_back(
+        Event::Composite(spec_.output_type, std::move(parts), event.end()));
+  }
+
+  void Reset() override {}
+
+ private:
+  OrderFilterSpec spec_;
+};
+
+/// Window mark-point filter: keeps composites that fit the consumer window.
+class SpanFilterRuntime : public NodeRuntime {
+ public:
+  explicit SpanFilterRuntime(const SpanFilterSpec& spec) : spec_(spec) {}
+
+  void OnWatermark(Timestamp, std::vector<Event>*) override {}
+
+  void OnEvent(Channel channel, const Event& event,
+               std::vector<Event>* out) override {
+    MOTTO_DCHECK(channel != kRawChannel);
+    (void)channel;
+    if (event.span() > spec_.max_span) return;
+    if (spec_.retype == kInvalidEventType || event.is_primitive()) {
+      out->push_back(event);
+      return;
+    }
+    out->push_back(Event::Composite(spec_.retype, event.constituents(),
+                                    event.end()));
+  }
+
+  void Reset() override {}
+
+ private:
+  SpanFilterSpec spec_;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeRuntime> MakeNodeRuntime(const NodeSpec& spec) {
+  if (const auto* pattern = std::get_if<PatternSpec>(&spec)) {
+    return std::make_unique<PatternMatcher>(*pattern);
+  }
+  if (const auto* order = std::get_if<OrderFilterSpec>(&spec)) {
+    return std::make_unique<OrderFilterRuntime>(*order);
+  }
+  const auto* span = std::get_if<SpanFilterSpec>(&spec);
+  MOTTO_CHECK(span != nullptr);
+  return std::make_unique<SpanFilterRuntime>(*span);
+}
+
+}  // namespace motto

@@ -1,0 +1,120 @@
+#ifndef MOTTO_ENGINE_GRAPH_H_
+#define MOTTO_ENGINE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "ccl/predicate.h"
+#include "common/result.h"
+#include "common/time.h"
+#include "event/event_type.h"
+
+namespace motto {
+
+/// Input channel of an operator node. Channel 0 is the raw primitive stream;
+/// channel i >= 1 is the output of the node's (i-1)-th upstream input.
+using Channel = int32_t;
+inline constexpr Channel kRawChannel = 0;
+
+/// Where one pattern operand takes its events from, and how the constituents
+/// it contributes are relabeled into the producing node's slot space.
+struct OperandBinding {
+  /// Event types this operand accepts (usually one: a primitive, or the
+  /// output composite type of the bound upstream node). Multiple types
+  /// express an "any of" operand, e.g. a nested DISJ sub-pattern whose
+  /// matches are pass-through primitives of several types.
+  std::vector<EventTypeId> types;
+  Channel channel = kRawChannel;
+  /// slot_map[s] is the output slot for an incoming constituent with slot s.
+  /// For primitive operands this has one entry (incoming slot is 0).
+  std::vector<int32_t> slot_map;
+  /// Payload restriction evaluated on arriving primitive events (selector
+  /// operands, e.g. `AAPL[value > 100]`). Empty = unrestricted.
+  Predicate predicate;
+};
+
+/// A pattern operator node: the NFA matcher for SEQ/CONJ/DISJ with window
+/// constraint and (for terminal nodes) window-scoped negation.
+struct PatternSpec {
+  PatternOp op = PatternOp::kSeq;
+  std::vector<OperandBinding> operands;
+  /// NEG'd primitive types, observed on the raw channel. Only allowed on
+  /// nodes without downstream consumers (emission is deferred to window
+  /// expiry, paper §II).
+  std::vector<EventTypeId> negated;
+  /// Optional payload restrictions on the negated types; when non-empty it
+  /// parallels `negated` (empty predicate = any event of that type kills).
+  std::vector<Predicate> negated_predicates;
+  Duration window = 0;
+  /// Composite type of emitted matches (ignored for DISJ, which passes
+  /// matching input events through unchanged).
+  EventTypeId output_type = kInvalidEventType;
+};
+
+/// Stateless filter enforcing a SEQ ordering over composite constituents:
+/// constituents sorted by timestamp must carry exactly `required_order`
+/// types with strictly increasing timestamps. Implements Filter_sc of the
+/// paper's OTT (Table I) and the time filters of MST's non-substring merge.
+/// Requires distinct types in `required_order`.
+struct OrderFilterSpec {
+  std::vector<EventTypeId> required_order;
+  /// When true, passing events are re-emitted with slots renumbered to the
+  /// index of each constituent's type in `required_order`, and retyped to
+  /// `output_type`.
+  bool relabel = false;
+  EventTypeId output_type = kInvalidEventType;
+};
+
+/// Stateless filter dropping composite events whose constituent span exceeds
+/// `max_span`. Implements the paper's §IV-D window mark-point filtering for
+/// sliding windows (a composite is valid for a consumer iff it fits the
+/// consumer's window).
+struct SpanFilterSpec {
+  Duration max_span = 0;
+  /// When set, passing composites are re-emitted with this type (their
+  /// constituents unchanged), so consumers can bind by the narrower node's
+  /// canonical composite type.
+  EventTypeId retype = kInvalidEventType;
+};
+
+using NodeSpec = std::variant<PatternSpec, OrderFilterSpec, SpanFilterSpec>;
+
+struct JqpNode {
+  NodeSpec spec;
+  /// Upstream node ids; channel i+1 delivers inputs[i]'s output.
+  std::vector<int32_t> inputs;
+  /// Debug label shown by plan printers.
+  std::string label;
+};
+
+/// A jumbo query plan: the shared dataflow DAG executing a whole workload
+/// (paper §III). Sinks name the user queries and the node whose output
+/// answers each.
+struct Jqp {
+  std::vector<JqpNode> nodes;
+  struct Sink {
+    std::string query_name;
+    int32_t node = -1;
+  };
+  std::vector<Sink> sinks;
+
+  int32_t AddNode(JqpNode node);
+
+  /// Structural checks: input ids in range and acyclic, filter nodes have
+  /// exactly one input, pattern operand channels valid, negation only on
+  /// terminal nodes, CONJ size cap, windows positive.
+  Status Validate() const;
+
+  /// Topological order over nodes (inputs before consumers).
+  Result<std::vector<int32_t>> TopoOrder() const;
+
+  /// Human-readable plan dump.
+  std::string ToString(const EventTypeRegistry& registry) const;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_GRAPH_H_

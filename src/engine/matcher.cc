@@ -1,0 +1,235 @@
+#include "engine/matcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace motto {
+
+PatternMatcher::PatternMatcher(const PatternSpec& spec)
+    : spec_(spec),
+      nfa_(BuildNfa(spec.op, static_cast<int32_t>(spec.operands.size()))) {
+  for (size_t k = 0; k < spec_.operands.size(); ++k) {
+    const OperandBinding& binding = spec_.operands[k];
+    for (EventTypeId type : binding.types) {
+      operands_by_key_[OperandKey{binding.channel, type}].push_back(
+          static_cast<int32_t>(k));
+    }
+  }
+  for (size_t i = 0; i < spec_.negated.size(); ++i) {
+    EventTypeId t = spec_.negated[i];
+    if (static_cast<size_t>(t) >= negated_lookup_.size()) {
+      negated_lookup_.resize(static_cast<size_t>(t) + 1, false);
+    }
+    negated_lookup_[static_cast<size_t>(t)] = true;
+    NegatedEntry entry;
+    entry.type = t;
+    if (i < spec_.negated_predicates.size()) {
+      entry.predicate = spec_.negated_predicates[i];
+    }
+    negated_entries_.push_back(std::move(entry));
+  }
+  partials_by_state_.assign(static_cast<size_t>(nfa_.num_states), {});
+}
+
+void PatternMatcher::Reset() {
+  for (auto& bucket : partials_by_state_) bucket.clear();
+  pending_.clear();
+  negated_history_.clear();
+  watermark_ = 0;
+  sweep_tick_ = 0;
+}
+
+size_t PatternMatcher::PartialCount() const {
+  size_t total = 0;
+  for (const auto& bucket : partials_by_state_) total += bucket.size();
+  return total;
+}
+
+void PatternMatcher::AppendRelabeled(const Event& event,
+                                     const OperandBinding& binding,
+                                     std::vector<Constituent>* parts) const {
+  if (event.is_primitive()) {
+    parts->push_back(Constituent{event.type(), event.begin(),
+                                 binding.slot_map[0]});
+    return;
+  }
+  for (const Constituent& c : event.constituents()) {
+    MOTTO_CHECK_LT(static_cast<size_t>(c.slot), binding.slot_map.size())
+        << "constituent slot outside operand slot map";
+    parts->push_back(
+        Constituent{c.type, c.ts, binding.slot_map[static_cast<size_t>(c.slot)]});
+  }
+}
+
+void PatternMatcher::Emit(Timestamp min_begin, Timestamp max_end,
+                          std::vector<Constituent> parts,
+                          std::vector<Event>* out) const {
+  (void)min_begin;
+  std::sort(parts.begin(), parts.end(),
+            [](const Constituent& a, const Constituent& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              if (a.ts != b.ts) return a.ts < b.ts;
+              return a.type < b.type;
+            });
+  out->push_back(Event::Composite(spec_.output_type, std::move(parts), max_end));
+}
+
+void PatternMatcher::Complete(Partial&& partial, std::vector<Event>* out) {
+  if (spec_.negated.empty()) {
+    Emit(partial.min_begin, partial.max_end, std::move(partial.parts), out);
+    return;
+  }
+  // A negated event anywhere in [min_begin, min_begin + window] kills the
+  // match. Past events are in the history buffer (its eviction horizon,
+  // watermark - window, never passes min_begin before completion); future
+  // events kill pending matches as they arrive.
+  Timestamp window_end = partial.min_begin + spec_.window;
+  for (Timestamp ts : negated_history_) {
+    if (ts >= partial.min_begin && ts <= window_end) return;
+  }
+  pending_.push_back(PendingMatch{partial.min_begin, partial.max_end,
+                                  std::move(partial.parts)});
+}
+
+void PatternMatcher::SweepExpired() {
+  Timestamp horizon = watermark_ - spec_.window;
+  for (auto& bucket : partials_by_state_) {
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [horizon](const Partial& p) {
+                                  return p.min_begin < horizon;
+                                }),
+                 bucket.end());
+  }
+}
+
+void PatternMatcher::OnWatermark(Timestamp watermark, std::vector<Event>* out) {
+  watermark_ = watermark;
+  Timestamp horizon = watermark - spec_.window;
+  while (!negated_history_.empty() && negated_history_.front() < horizon) {
+    negated_history_.pop_front();
+  }
+  if (!pending_.empty()) {
+    auto it = pending_.begin();
+    while (it != pending_.end()) {
+      if (it->min_begin + spec_.window < watermark) {
+        Emit(it->min_begin, it->max_end, std::move(it->parts), out);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if ((++sweep_tick_ & 63) == 0) SweepExpired();
+}
+
+void PatternMatcher::OnEvent(Channel channel, const Event& event,
+                             std::vector<Event>* out) {
+  if (channel == kRawChannel &&
+      static_cast<size_t>(event.type()) < negated_lookup_.size() &&
+      negated_lookup_[static_cast<size_t>(event.type())]) {
+    bool kills = false;
+    for (const NegatedEntry& entry : negated_entries_) {
+      if (entry.type == event.type() &&
+          (entry.predicate.empty() ||
+           entry.predicate.Matches(event.payload()))) {
+        kills = true;
+        break;
+      }
+    }
+    if (kills) {
+      Timestamp ts = event.begin();
+      negated_history_.push_back(ts);
+      pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                    [this, ts](const PendingMatch& p) {
+                                      return ts >= p.min_begin &&
+                                             ts <= p.min_begin + spec_.window;
+                                    }),
+                     pending_.end());
+    }
+  }
+
+  auto key_it = operands_by_key_.find(OperandKey{channel, event.type()});
+  if (key_it == operands_by_key_.end()) return;
+
+  // Operand-level payload predicates (selectors) filter before any NFA work.
+  auto operand_accepts = [&](int32_t k) {
+    const Predicate& predicate =
+        spec_.operands[static_cast<size_t>(k)].predicate;
+    if (predicate.empty()) return true;
+    return event.is_primitive() && predicate.Matches(event.payload());
+  };
+
+  if (spec_.op == PatternOp::kDisj) {
+    for (int32_t k : key_it->second) {
+      if (operand_accepts(k)) {
+        out->push_back(event);  // Pass-through; see class comment.
+        return;
+      }
+    }
+    return;
+  }
+
+  // New partials are staged so this event cannot extend a run it just
+  // created (one event instance fills at most one operand per match).
+  std::vector<std::pair<int32_t, Partial>> staged;
+  Timestamp horizon = watermark_ - spec_.window;
+  for (int32_t k : key_it->second) {
+    if (!operand_accepts(k)) continue;
+    const OperandBinding& binding = spec_.operands[static_cast<size_t>(k)];
+    std::vector<Constituent> relabeled;
+    AppendRelabeled(event, binding, &relabeled);
+    for (int32_t t_idx : nfa_.transitions_by_operand[static_cast<size_t>(k)]) {
+      const NfaTransition& t = nfa_.transitions[static_cast<size_t>(t_idx)];
+      if (t.from == nfa_.start) {
+        Partial fresh;
+        fresh.min_begin = event.begin();
+        fresh.max_end = event.end();
+        fresh.last_end = event.end();
+        fresh.parts = relabeled;
+        if (nfa_.accepting[static_cast<size_t>(t.to)]) {
+          Complete(std::move(fresh), out);
+        } else {
+          staged.emplace_back(t.to, std::move(fresh));
+        }
+        continue;
+      }
+      auto& bucket = partials_by_state_[static_cast<size_t>(t.from)];
+      size_t idx = 0;
+      while (idx < bucket.size()) {
+        Partial& p = bucket[idx];
+        if (p.min_begin < horizon) {
+          // Expired: can never complete, drop in place.
+          p = std::move(bucket.back());
+          bucket.pop_back();
+          continue;
+        }
+        Timestamp new_begin = std::min(p.min_begin, event.begin());
+        Timestamp new_end = std::max(p.max_end, event.end());
+        bool fits_window = new_end - new_begin <= spec_.window;
+        bool ordered = !t.requires_order || p.last_end < event.begin();
+        if (fits_window && ordered) {
+          Partial extended;
+          extended.min_begin = new_begin;
+          extended.max_end = new_end;
+          extended.last_end = event.end();
+          extended.parts = p.parts;
+          extended.parts.insert(extended.parts.end(), relabeled.begin(),
+                                relabeled.end());
+          if (nfa_.accepting[static_cast<size_t>(t.to)]) {
+            Complete(std::move(extended), out);
+          } else {
+            staged.emplace_back(t.to, std::move(extended));
+          }
+        }
+        ++idx;
+      }
+    }
+  }
+  for (auto& [state, partial] : staged) {
+    partials_by_state_[static_cast<size_t>(state)].push_back(
+        std::move(partial));
+  }
+}
+
+}  // namespace motto

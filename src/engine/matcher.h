@@ -1,0 +1,100 @@
+#ifndef MOTTO_ENGINE_MATCHER_H_
+#define MOTTO_ENGINE_MATCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/nfa.h"
+#include "engine/runtime.h"
+
+namespace motto {
+
+/// NFA-based pattern matcher for one SEQ/CONJ/DISJ operator with a window
+/// constraint and optional window-scoped negation.
+///
+/// Partial matches are NFA runs bucketed by state. An arriving event that
+/// fills operand k advances every run sitting at a state with a k-transition,
+/// subject to the window guard (span <= window) and, for SEQ, the
+/// complete-history order guard (previous operand end < new operand begin).
+/// Runs reaching an accepting state emit a composite event; with negation the
+/// emission is deferred until the window expires without a negated event
+/// (paper §II: NEG evaluates at window expiration, any arrival order).
+///
+/// DISJ is pass-through: each event matching an operand is re-emitted
+/// unchanged; downstream consumers see the type-filtered stream (see
+/// DESIGN.md §3 on how this realizes the paper's DISJ and Filter_cd).
+class PatternMatcher : public NodeRuntime {
+ public:
+  explicit PatternMatcher(const PatternSpec& spec);
+
+  void OnWatermark(Timestamp watermark, std::vector<Event>* out) override;
+  void OnEvent(Channel channel, const Event& event,
+               std::vector<Event>* out) override;
+  void Reset() override;
+
+  /// Live partial matches (diagnostics/tests).
+  size_t PartialCount() const;
+
+ private:
+  struct Partial {
+    Timestamp min_begin = 0;
+    Timestamp max_end = 0;
+    Timestamp last_end = 0;  // End of the most recent constituent (SEQ guard).
+    std::vector<Constituent> parts;
+  };
+
+  struct PendingMatch {
+    Timestamp min_begin = 0;
+    Timestamp max_end = 0;
+    std::vector<Constituent> parts;
+  };
+
+  /// Relabels `event`'s constituents through the operand's slot map and
+  /// appends them to `parts`.
+  void AppendRelabeled(const Event& event, const OperandBinding& binding,
+                       std::vector<Constituent>* parts) const;
+
+  void Complete(Partial&& partial, std::vector<Event>* out);
+  void Emit(Timestamp min_begin, Timestamp max_end,
+            std::vector<Constituent> parts, std::vector<Event>* out) const;
+  void SweepExpired();
+
+  PatternSpec spec_;
+  Nfa nfa_;
+  /// For each operand index, matching is dispatched via (channel, type).
+  struct OperandKey {
+    Channel channel;
+    EventTypeId type;
+    friend bool operator==(const OperandKey& a, const OperandKey& b) {
+      return a.channel == b.channel && a.type == b.type;
+    }
+  };
+  struct OperandKeyHash {
+    size_t operator()(const OperandKey& k) const {
+      return std::hash<int64_t>()((static_cast<int64_t>(k.channel) << 32) ^
+                                  static_cast<uint32_t>(k.type));
+    }
+  };
+  std::unordered_map<OperandKey, std::vector<int32_t>, OperandKeyHash>
+      operands_by_key_;
+  /// NEG'd (type, predicate) pairs; the bitmap gives a fast type-level
+  /// reject before predicates run.
+  struct NegatedEntry {
+    EventTypeId type;
+    Predicate predicate;
+  };
+  std::vector<NegatedEntry> negated_entries_;
+  std::vector<bool> negated_lookup_;  // Indexed by type id (grown on demand).
+
+  std::vector<std::vector<Partial>> partials_by_state_;
+  std::vector<PendingMatch> pending_;               // NEG-deferred matches.
+  std::deque<Timestamp> negated_history_;           // Recent negated-event ts.
+  Timestamp watermark_ = 0;
+  uint64_t sweep_tick_ = 0;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_MATCHER_H_

@@ -1,0 +1,79 @@
+#include "engine/nfa.h"
+
+#include "common/check.h"
+
+namespace motto {
+
+namespace {
+
+void IndexTransitions(Nfa* nfa, int32_t num_operands) {
+  nfa->transitions_by_operand.assign(static_cast<size_t>(num_operands), {});
+  for (size_t i = 0; i < nfa->transitions.size(); ++i) {
+    const NfaTransition& t = nfa->transitions[i];
+    nfa->transitions_by_operand[static_cast<size_t>(t.operand)].push_back(
+        static_cast<int32_t>(i));
+  }
+}
+
+Nfa BuildSeq(int32_t n) {
+  Nfa nfa;
+  nfa.num_states = n + 1;
+  nfa.start = 0;
+  nfa.accepting.assign(static_cast<size_t>(n + 1), false);
+  nfa.accepting[static_cast<size_t>(n)] = true;
+  for (int32_t i = 0; i < n; ++i) {
+    nfa.transitions.push_back(NfaTransition{i, i + 1, i, true});
+  }
+  IndexTransitions(&nfa, n);
+  return nfa;
+}
+
+Nfa BuildConj(int32_t n) {
+  MOTTO_CHECK_LE(n, kMaxConjOperands)
+      << "CONJ subset construction capped at " << kMaxConjOperands
+      << " operands";
+  Nfa nfa;
+  int32_t full = (1 << n) - 1;
+  nfa.num_states = full + 1;
+  nfa.start = 0;
+  nfa.accepting.assign(static_cast<size_t>(full + 1), false);
+  nfa.accepting[static_cast<size_t>(full)] = true;
+  for (int32_t mask = 0; mask <= full; ++mask) {
+    for (int32_t k = 0; k < n; ++k) {
+      if (mask & (1 << k)) continue;
+      nfa.transitions.push_back(NfaTransition{mask, mask | (1 << k), k, false});
+    }
+  }
+  IndexTransitions(&nfa, n);
+  return nfa;
+}
+
+Nfa BuildDisj(int32_t n) {
+  Nfa nfa;
+  nfa.num_states = 2;
+  nfa.start = 0;
+  nfa.accepting = {false, true};
+  for (int32_t k = 0; k < n; ++k) {
+    nfa.transitions.push_back(NfaTransition{0, 1, k, false});
+  }
+  IndexTransitions(&nfa, n);
+  return nfa;
+}
+
+}  // namespace
+
+Nfa BuildNfa(PatternOp op, int32_t num_operands) {
+  MOTTO_CHECK_GE(num_operands, 1);
+  switch (op) {
+    case PatternOp::kSeq:
+      return BuildSeq(num_operands);
+    case PatternOp::kConj:
+      return BuildConj(num_operands);
+    case PatternOp::kDisj:
+      return BuildDisj(num_operands);
+  }
+  MOTTO_CHECK(false) << "unreachable";
+  return Nfa{};
+}
+
+}  // namespace motto

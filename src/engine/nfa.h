@@ -1,0 +1,50 @@
+#ifndef MOTTO_ENGINE_NFA_H_
+#define MOTTO_ENGINE_NFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ccl/pattern.h"
+
+namespace motto {
+
+/// One transition of a pattern NFA: while a partial match sits in `from`,
+/// an input event filling operand `operand` moves it to `to`.
+struct NfaTransition {
+  int32_t from = 0;
+  int32_t to = 0;
+  int32_t operand = 0;
+  /// SEQ transitions require the new constituent to begin strictly after the
+  /// previous operand's end (complete-history ordering, paper §II).
+  bool requires_order = false;
+};
+
+/// The nondeterministic automaton compiled from one flat pattern operator.
+///
+/// - SEQ(n operands) compiles to a linear chain of n+1 states.
+/// - CONJ compiles to the subset lattice over operands (2^n states): a state
+///   is the bitmask of operands already matched, so arrival order is free.
+/// - DISJ compiles to a two-state automaton accepting on any operand.
+///
+/// Window constraints and negation are enforced by the matcher on top of the
+/// automaton (they are time guards, not state transitions).
+struct Nfa {
+  int32_t num_states = 0;
+  int32_t start = 0;
+  std::vector<bool> accepting;
+  std::vector<NfaTransition> transitions;
+  /// transitions_by_operand[k] lists indexes into `transitions` usable when
+  /// operand k is filled.
+  std::vector<std::vector<int32_t>> transitions_by_operand;
+};
+
+/// Maximum operand count for CONJ (subset construction is exponential).
+inline constexpr int32_t kMaxConjOperands = 12;
+
+/// Compiles the automaton for `op` over `num_operands` operands.
+/// num_operands must be >= 1 (and <= kMaxConjOperands for CONJ).
+Nfa BuildNfa(PatternOp op, int32_t num_operands);
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_NFA_H_

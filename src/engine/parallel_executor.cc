@@ -1,0 +1,201 @@
+#include "engine/parallel_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "common/check.h"
+
+namespace motto {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Timestamp kFinalWatermark =
+    std::numeric_limits<Timestamp>::max() / 4;
+
+/// One input item for a node within a batch: the event plus the watermark
+/// (driver timestamp) at which the single-threaded executor would have
+/// delivered it. channel_rank orders equal-timestamp items the same way the
+/// single-threaded executor does (raw first, then upstream channels).
+struct BatchItem {
+  Timestamp driver_ts;
+  int32_t channel_rank;
+  Channel channel;
+  const Event* event;
+};
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(Jqp jqp, int num_threads, size_t batch_size)
+    : jqp_(std::move(jqp)),
+      num_threads_(num_threads),
+      batch_size_(batch_size) {}
+
+Result<ParallelExecutor> ParallelExecutor::Create(Jqp jqp, int num_threads,
+                                                  size_t batch_size) {
+  if (num_threads < 1) {
+    return InvalidArgumentError("num_threads must be >= 1");
+  }
+  if (batch_size < 1) {
+    return InvalidArgumentError("batch_size must be >= 1");
+  }
+  MOTTO_RETURN_IF_ERROR(jqp.Validate());
+  ParallelExecutor executor(std::move(jqp), num_threads, batch_size);
+  size_t n = executor.jqp_.nodes.size();
+  executor.raw_types_.assign(n, {});
+  std::vector<int32_t> level_of(n, 0);
+  MOTTO_ASSIGN_OR_RETURN(std::vector<int32_t> topo,
+                         executor.jqp_.TopoOrder());
+  int32_t max_level = 0;
+  for (int32_t idx : topo) {
+    const JqpNode& node = executor.jqp_.nodes[static_cast<size_t>(idx)];
+    int32_t level = 0;
+    for (int32_t input : node.inputs) {
+      level = std::max(level, level_of[static_cast<size_t>(input)] + 1);
+    }
+    level_of[static_cast<size_t>(idx)] = level;
+    max_level = std::max(max_level, level);
+    executor.runtimes_.push_back(nullptr);  // Placeholder; filled below.
+    if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      for (const OperandBinding& binding : pattern->operands) {
+        if (binding.channel == kRawChannel) {
+          executor.raw_types_[static_cast<size_t>(idx)].insert(
+              binding.types.begin(), binding.types.end());
+        }
+      }
+      for (EventTypeId t : pattern->negated) {
+        executor.raw_types_[static_cast<size_t>(idx)].insert(t);
+      }
+    }
+  }
+  executor.runtimes_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    executor.runtimes_.push_back(MakeNodeRuntime(executor.jqp_.nodes[i].spec));
+  }
+  executor.levels_.assign(static_cast<size_t>(max_level) + 1, {});
+  for (size_t i = 0; i < n; ++i) {
+    executor.levels_[static_cast<size_t>(level_of[i])].push_back(
+        static_cast<int32_t>(i));
+  }
+  return executor;
+}
+
+Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
+                                        const ExecutorOptions& options) {
+  MOTTO_RETURN_IF_ERROR(ValidateStream(stream));
+  for (auto& runtime : runtimes_) runtime->Reset();
+
+  size_t n = jqp_.nodes.size();
+  RunResult result;
+  result.raw_events = stream.size();
+  result.node_stats.assign(n, NodeStats{});
+  for (const Jqp::Sink& sink : jqp_.sinks) {
+    if (!options.count_matches_only) {
+      result.sink_events.emplace(sink.query_name, std::vector<Event>{});
+    }
+    result.sink_counts.emplace(sink.query_name, 0);
+  }
+
+  std::vector<std::vector<Event>> buffers(n);
+  Clock::time_point run_start = Clock::now();
+
+  // Processes one node for the raw slice [lo, hi); `final_flush` appends a
+  // terminal watermark advance.
+  auto process_node = [&](int32_t idx, const Event* raw_lo,
+                          const Event* raw_hi, bool final_flush) {
+    size_t ui = static_cast<size_t>(idx);
+    NodeRuntime& runtime = *runtimes_[ui];
+    const JqpNode& node = jqp_.nodes[ui];
+    std::vector<Event>& out = buffers[ui];
+    out.clear();
+    Clock::time_point node_start;
+    if (options.collect_node_timing) node_start = Clock::now();
+
+    std::vector<BatchItem> items;
+    const auto& raw_set = raw_types_[ui];
+    if (!raw_set.empty()) {
+      for (const Event* e = raw_lo; e != raw_hi; ++e) {
+        if (raw_set.count(e->type()) > 0) {
+          items.push_back(BatchItem{e->begin(), 0, kRawChannel, e});
+        }
+      }
+    }
+    for (size_t c = 0; c < node.inputs.size(); ++c) {
+      const std::vector<Event>& upstream =
+          buffers[static_cast<size_t>(node.inputs[c])];
+      for (const Event& ev : upstream) {
+        items.push_back(BatchItem{ev.end(), static_cast<int32_t>(c) + 1,
+                                  static_cast<Channel>(c + 1), &ev});
+      }
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const BatchItem& a, const BatchItem& b) {
+                       if (a.driver_ts != b.driver_ts) {
+                         return a.driver_ts < b.driver_ts;
+                       }
+                       return a.channel_rank < b.channel_rank;
+                     });
+    for (const BatchItem& item : items) {
+      runtime.OnWatermark(item.driver_ts, &out);
+      runtime.OnEvent(item.channel, *item.event, &out);
+    }
+    result.node_stats[ui].events_in += items.size();
+    if (final_flush) runtime.OnWatermark(kFinalWatermark, &out);
+    if (options.collect_node_timing) {
+      result.node_stats[ui].busy_seconds +=
+          std::chrono::duration<double>(Clock::now() - node_start).count();
+    }
+    result.node_stats[ui].events_out += out.size();
+  };
+
+  size_t pos = 0;
+  while (pos < stream.size() || stream.empty()) {
+    size_t hi = std::min(stream.size(), pos + batch_size_);
+    const Event* raw_lo = stream.data() + pos;
+    const Event* raw_hi = stream.data() + hi;
+    bool last_batch = hi == stream.size();
+    for (const std::vector<int32_t>& level : levels_) {
+      if (num_threads_ == 1 || level.size() == 1) {
+        for (int32_t idx : level) {
+          process_node(idx, raw_lo, raw_hi, last_batch);
+        }
+        continue;
+      }
+      std::atomic<size_t> cursor{0};
+      auto worker = [&]() {
+        while (true) {
+          size_t i = cursor.fetch_add(1);
+          if (i >= level.size()) break;
+          process_node(level[i], raw_lo, raw_hi, last_batch);
+        }
+      };
+      int spawned = std::min<int>(num_threads_ - 1,
+                                  static_cast<int>(level.size()) - 1);
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(spawned));
+      for (int t = 0; t < spawned; ++t) threads.emplace_back(worker);
+      worker();
+      for (std::thread& t : threads) t.join();
+    }
+    for (const Jqp::Sink& sink : jqp_.sinks) {
+      const std::vector<Event>& out = buffers[static_cast<size_t>(sink.node)];
+      result.sink_counts[sink.query_name] += out.size();
+      if (!options.count_matches_only) {
+        auto& collected = result.sink_events[sink.query_name];
+        collected.insert(collected.end(), out.begin(), out.end());
+      }
+    }
+    pos = hi;
+    if (last_batch) break;
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - run_start).count();
+  return result;
+}
+
+}  // namespace motto

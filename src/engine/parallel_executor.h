@@ -1,0 +1,53 @@
+#ifndef MOTTO_ENGINE_PARALLEL_EXECUTOR_H_
+#define MOTTO_ENGINE_PARALLEL_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "engine/graph.h"
+#include "engine/runtime.h"
+#include "event/stream.h"
+
+namespace motto {
+
+/// Multi-threaded JQP executor (paper §VII-C, Fig 14b).
+///
+/// The stream is processed in batches; within a batch, nodes of the same
+/// dataflow level run in parallel across a worker pool, with a barrier
+/// between levels. Each node still consumes its inputs (raw events merged
+/// with upstream outputs) in timestamp order, so per-node behaviour — and
+/// hence the emitted match set — is identical to the single-threaded
+/// executor; only inter-node scheduling changes.
+class ParallelExecutor {
+ public:
+  static Result<ParallelExecutor> Create(Jqp jqp, int num_threads,
+                                         size_t batch_size = 512);
+
+  ParallelExecutor(ParallelExecutor&&) = default;
+  ParallelExecutor& operator=(ParallelExecutor&&) = default;
+
+  Result<RunResult> Run(const EventStream& stream,
+                        const ExecutorOptions& options = ExecutorOptions{});
+
+  const Jqp& jqp() const { return jqp_; }
+  int num_threads() const { return num_threads_; }
+
+ private:
+  ParallelExecutor(Jqp jqp, int num_threads, size_t batch_size);
+
+  Jqp jqp_;
+  int num_threads_ = 1;
+  size_t batch_size_ = 512;
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+  /// Nodes grouped by dataflow level (level = longest path from a source).
+  std::vector<std::vector<int32_t>> levels_;
+  /// Raw event types each node must see (operands + negations).
+  std::vector<std::unordered_set<EventTypeId>> raw_types_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_PARALLEL_EXECUTOR_H_

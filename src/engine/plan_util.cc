@@ -1,0 +1,54 @@
+#include "engine/plan_util.h"
+
+namespace motto {
+
+std::string CompositeDescriptor(const FlatPattern& pattern, Duration window,
+                                const EventTypeRegistry& registry) {
+  FlatPattern canon = pattern.Canonical();
+  return "{" + canon.ToString(registry) + "}@" + std::to_string(window) + "us";
+}
+
+EventTypeId RegisterOutputType(const FlatPattern& pattern, Duration window,
+                               EventTypeRegistry* registry) {
+  return registry->RegisterComposite(
+      CompositeDescriptor(pattern, window, *registry));
+}
+
+PatternSpec MakeRawPatternSpec(const FlatPattern& pattern, Duration window,
+                               EventTypeRegistry* registry) {
+  PatternSpec spec;
+  spec.op = pattern.op;
+  spec.window = window;
+  spec.negated = pattern.negated;
+  spec.operands.reserve(pattern.operands.size());
+  for (size_t i = 0; i < pattern.operands.size(); ++i) {
+    OperandBinding binding;
+    binding.types = {pattern.operands[i]};
+    binding.channel = kRawChannel;
+    binding.slot_map = {static_cast<int32_t>(i)};
+    spec.operands.push_back(std::move(binding));
+  }
+  spec.output_type = RegisterOutputType(pattern, window, registry);
+  return spec;
+}
+
+int32_t AppendIndependentQuery(Jqp* jqp, const FlatQuery& query,
+                               EventTypeRegistry* registry) {
+  JqpNode node;
+  node.spec = MakeRawPatternSpec(query.pattern, query.window, registry);
+  node.label = query.name;
+  int32_t id = jqp->AddNode(std::move(node));
+  jqp->sinks.push_back(Jqp::Sink{query.name, id});
+  return id;
+}
+
+Jqp BuildDefaultJqp(const std::vector<FlatQuery>& queries,
+                    EventTypeRegistry* registry) {
+  Jqp jqp;
+  for (const FlatQuery& query : queries) {
+    AppendIndependentQuery(&jqp, query, registry);
+  }
+  return jqp;
+}
+
+}  // namespace motto

@@ -1,0 +1,39 @@
+#ifndef MOTTO_ENGINE_PLAN_UTIL_H_
+#define MOTTO_ENGINE_PLAN_UTIL_H_
+
+#include <string>
+
+#include "ccl/pattern.h"
+#include "engine/graph.h"
+
+namespace motto {
+
+/// Canonical registry descriptor for the composite events a (pattern,
+/// window) query emits, e.g. "{SEQ(E1, E2)}@10000000us". Plans that share a
+/// sub-query agree on the descriptor and therefore on the type id.
+std::string CompositeDescriptor(const FlatPattern& pattern, Duration window,
+                                const EventTypeRegistry& registry);
+
+/// Registers (or finds) the composite output type for (pattern, window).
+EventTypeId RegisterOutputType(const FlatPattern& pattern, Duration window,
+                               EventTypeRegistry* registry);
+
+/// Builds the spec of a stand-alone pattern node: every operand reads the
+/// raw stream, slots are operand positions. This is the paper's default
+/// (unshared) execution of one flat query.
+PatternSpec MakeRawPatternSpec(const FlatPattern& pattern, Duration window,
+                               EventTypeRegistry* registry);
+
+/// Appends an independent node evaluating `query` plus a sink named after
+/// the query. Returns the node id.
+int32_t AppendIndependentQuery(Jqp* jqp, const FlatQuery& query,
+                               EventTypeRegistry* registry);
+
+/// Builds the default jumbo query plan (paper Fig. 2): every query directly
+/// connected to the source, no sharing.
+Jqp BuildDefaultJqp(const std::vector<FlatQuery>& queries,
+                    EventTypeRegistry* registry);
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_PLAN_UTIL_H_

@@ -1,0 +1,43 @@
+#ifndef MOTTO_ENGINE_RUNTIME_H_
+#define MOTTO_ENGINE_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "engine/graph.h"
+#include "event/event.h"
+
+namespace motto {
+
+/// Runtime state of one JQP node. The executor drives each node with a
+/// watermark call followed by this round's input events; the node appends
+/// emissions to `out`.
+///
+/// Delivery invariant maintained by the executors: every delivered event has
+/// end() equal to the current watermark (primitive events complete at their
+/// timestamp; upstream composites complete at the raw event that closed
+/// them). Deferred-negation emissions are exempt and therefore only allowed
+/// on terminal nodes (enforced by Jqp::Validate).
+class NodeRuntime {
+ public:
+  virtual ~NodeRuntime() = default;
+
+  /// Advances event time to `watermark`; may flush deferred emissions.
+  virtual void OnWatermark(Timestamp watermark, std::vector<Event>* out) = 0;
+
+  /// Delivers one input event on `channel` (kRawChannel or 1-based upstream
+  /// index). Must be called with nondecreasing event end() per node.
+  virtual void OnEvent(Channel channel, const Event& event,
+                       std::vector<Event>* out) = 0;
+
+  /// Resets all state so the node can replay another stream.
+  virtual void Reset() = 0;
+};
+
+/// Instantiates the runtime for `spec`.
+std::unique_ptr<NodeRuntime> MakeNodeRuntime(const NodeSpec& spec);
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_RUNTIME_H_

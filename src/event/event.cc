@@ -1,0 +1,57 @@
+#include "event/event.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace motto {
+
+Event Event::Primitive(EventTypeId type, Timestamp ts, Payload payload) {
+  Event e;
+  e.type_ = type;
+  e.begin_ = ts;
+  e.end_ = ts;
+  e.payload_ = payload;
+  return e;
+}
+
+Event Event::Composite(EventTypeId type, std::vector<Constituent> parts,
+                       Timestamp end_ts) {
+  MOTTO_CHECK(!parts.empty()) << "composite event needs constituents";
+  Event e;
+  e.type_ = type;
+  e.constituents_ = std::move(parts);
+  Timestamp lo = std::numeric_limits<Timestamp>::max();
+  for (const Constituent& c : e.constituents_) lo = std::min(lo, c.ts);
+  e.begin_ = lo;
+  e.end_ = end_ts;
+  return e;
+}
+
+const std::vector<Constituent>& Event::constituents_or(
+    std::vector<Constituent>& self_storage) const {
+  if (!constituents_.empty()) return constituents_;
+  self_storage.assign(1, Constituent{type_, begin_, 0});
+  return self_storage;
+}
+
+std::string Event::Fingerprint() const {
+  std::vector<Constituent> self;
+  const std::vector<Constituent>& parts = constituents_or(self);
+  std::vector<std::pair<EventTypeId, Timestamp>> keys;
+  keys.reserve(parts.size());
+  for (const Constituent& c : parts) keys.emplace_back(c.type, c.ts);
+  std::sort(keys.begin(), keys.end());
+  std::string out;
+  out.reserve(keys.size() * 12);
+  for (const auto& [type, ts] : keys) {
+    out += std::to_string(type);
+    out += '@';
+    out += std::to_string(ts);
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace motto

@@ -1,0 +1,97 @@
+#ifndef MOTTO_EVENT_EVENT_H_
+#define MOTTO_EVENT_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "event/event_type.h"
+
+namespace motto {
+
+/// One primitive event embedded inside a composite event, tagged with the
+/// operand slot it filled in the producing query. The full constituent list
+/// implements the paper's complete-history temporal model (§II): downstream
+/// time filters can compare any constituent's timestamp.
+struct Constituent {
+  EventTypeId type = kInvalidEventType;
+  Timestamp ts = 0;
+  /// Operand position in the query that (transitively) produced this
+  /// constituent; rewrites relabel slots so sinks always see the positions of
+  /// the original user query.
+  int32_t slot = 0;
+
+  friend bool operator==(const Constituent& a, const Constituent& b) {
+    return a.type == b.type && a.ts == b.ts && a.slot == b.slot;
+  }
+};
+
+/// Small fixed payload carried by primitive events (e.g. price/volume for
+/// stock trades, bytes/latency for data-center events).
+struct Payload {
+  double value = 0.0;
+  int64_t aux = 0;
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.value == b.value && a.aux == b.aux;
+  }
+};
+
+/// An event instance flowing through the engine: either a primitive event
+/// (empty constituent list, begin == end) or a composite event produced by a
+/// pattern operator (constituents carry the complete history).
+class Event {
+ public:
+  Event() = default;
+
+  /// Builds a primitive event.
+  static Event Primitive(EventTypeId type, Timestamp ts,
+                         Payload payload = Payload{});
+
+  /// Builds a composite event of `type` from the given constituents.
+  /// `end_ts` is the detection (completion) time; begin is derived from the
+  /// minimum constituent timestamp.
+  static Event Composite(EventTypeId type, std::vector<Constituent> parts,
+                         Timestamp end_ts);
+
+  EventTypeId type() const { return type_; }
+  /// Timestamp of the earliest constituent (== ts for primitives).
+  Timestamp begin() const { return begin_; }
+  /// Timestamp of the latest constituent / detection time.
+  Timestamp end() const { return end_; }
+  /// Window span covered by this event.
+  Duration span() const { return end_ - begin_; }
+  bool is_primitive() const { return constituents_.empty(); }
+  const Payload& payload() const { return payload_; }
+
+  /// For a primitive event, a one-element view of itself; for a composite,
+  /// its recorded constituents. `self` storage is used for the primitive
+  /// case, so the returned reference is valid only while `self` lives.
+  const std::vector<Constituent>& constituents_or(
+      std::vector<Constituent>& self_storage) const;
+
+  const std::vector<Constituent>& constituents() const { return constituents_; }
+
+  /// Canonical identity of the match this event represents: the (type, ts)
+  /// pairs of all constituents (or of the event itself when primitive),
+  /// sorted. Slot tags are ignored so plans that reorder commutative operands
+  /// still compare equal. Used by correctness tests and result dedup.
+  std::string Fingerprint() const;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.type_ == b.type_ && a.begin_ == b.begin_ && a.end_ == b.end_ &&
+           a.payload_ == b.payload_ && a.constituents_ == b.constituents_;
+  }
+
+ private:
+  EventTypeId type_ = kInvalidEventType;
+  Timestamp begin_ = 0;
+  Timestamp end_ = 0;
+  Payload payload_;
+  std::vector<Constituent> constituents_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_EVENT_EVENT_H_

@@ -1,0 +1,52 @@
+#include "event/event_type.h"
+
+#include "common/check.h"
+
+namespace motto {
+
+EventTypeId EventTypeRegistry::RegisterPrimitive(std::string_view name) {
+  int32_t before = interner_.size();
+  EventTypeId id = interner_.Intern(name);
+  if (id == before) {
+    is_primitive_.push_back(true);
+  } else {
+    MOTTO_CHECK(is_primitive_[static_cast<size_t>(id)])
+        << "type " << name << " already registered as composite";
+  }
+  return id;
+}
+
+EventTypeId EventTypeRegistry::RegisterComposite(std::string_view descriptor) {
+  int32_t before = interner_.size();
+  EventTypeId id = interner_.Intern(descriptor);
+  if (id == before) {
+    is_primitive_.push_back(false);
+  } else {
+    MOTTO_CHECK(!is_primitive_[static_cast<size_t>(id)])
+        << "type " << descriptor << " already registered as primitive";
+  }
+  return id;
+}
+
+EventTypeId EventTypeRegistry::Find(std::string_view name) const {
+  return interner_.Find(name);
+}
+
+const std::string& EventTypeRegistry::NameOf(EventTypeId id) const {
+  return interner_.NameOf(id);
+}
+
+bool EventTypeRegistry::IsPrimitive(EventTypeId id) const {
+  MOTTO_CHECK(id >= 0 && id < size()) << "bad event type id " << id;
+  return is_primitive_[static_cast<size_t>(id)];
+}
+
+std::vector<EventTypeId> EventTypeRegistry::PrimitiveTypes() const {
+  std::vector<EventTypeId> out;
+  for (int32_t id = 0; id < size(); ++id) {
+    if (is_primitive_[static_cast<size_t>(id)]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace motto

@@ -1,0 +1,56 @@
+#ifndef MOTTO_EVENT_EVENT_TYPE_H_
+#define MOTTO_EVENT_EVENT_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace motto {
+
+/// Dense id of an event type. Primitive types (user-declared, e.g.
+/// "buy_order_IBM") and composite types (outputs of pattern queries, e.g.
+/// "{E1,E3}") share one id space so composite events can feed downstream
+/// pattern operators exactly like primitive events (paper §II).
+using EventTypeId = int32_t;
+
+inline constexpr EventTypeId kInvalidEventType = -1;
+
+/// Registry of all event types known to one workload / engine instance.
+///
+/// Primitive types are registered by name; composite types are registered by
+/// a canonical descriptor string (produced by the pattern printer) so that
+/// two queries emitting the same composite shape share one type id.
+class EventTypeRegistry {
+ public:
+  EventTypeRegistry() = default;
+  EventTypeRegistry(const EventTypeRegistry&) = default;
+  EventTypeRegistry& operator=(const EventTypeRegistry&) = default;
+
+  /// Registers (or looks up) a primitive event type.
+  EventTypeId RegisterPrimitive(std::string_view name);
+
+  /// Registers (or looks up) a composite event type by canonical descriptor.
+  EventTypeId RegisterComposite(std::string_view descriptor);
+
+  /// Returns the id for `name`, or kInvalidEventType.
+  EventTypeId Find(std::string_view name) const;
+
+  const std::string& NameOf(EventTypeId id) const;
+  bool IsPrimitive(EventTypeId id) const;
+
+  int32_t size() const { return interner_.size(); }
+
+  /// Ids of all primitive types, in registration order.
+  std::vector<EventTypeId> PrimitiveTypes() const;
+
+ private:
+  StringInterner interner_;
+  std::vector<bool> is_primitive_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_EVENT_EVENT_TYPE_H_

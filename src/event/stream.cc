@@ -1,0 +1,55 @@
+#include "event/stream.h"
+
+#include <random>
+#include <string>
+
+namespace motto {
+
+Status ValidateStream(const EventStream& stream) {
+  Timestamp prev = -1;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Event& e = stream[i];
+    if (!e.is_primitive()) {
+      return InvalidArgumentError("stream event " + std::to_string(i) +
+                                  " is not primitive");
+    }
+    if (e.begin() < prev) {
+      return InvalidArgumentError("stream not sorted at index " +
+                                  std::to_string(i));
+    }
+    prev = e.begin();
+  }
+  return Status::Ok();
+}
+
+StreamStats ComputeStats(const EventStream& stream) {
+  StreamStats stats;
+  stats.num_events = static_cast<int64_t>(stream.size());
+  if (stream.empty()) return stats;
+  std::unordered_map<EventTypeId, int64_t> counts;
+  // Deterministic per-stream reservoir sampling of payloads.
+  std::mt19937_64 reservoir_rng(0x5eed);
+  for (const Event& e : stream) {
+    int64_t seen = ++counts[e.type()];
+    std::vector<Payload>& sample = stats.payload_samples[e.type()];
+    if (sample.size() < StreamStats::kPayloadSampleSize) {
+      sample.push_back(e.payload());
+    } else {
+      uint64_t j = reservoir_rng() % static_cast<uint64_t>(seen);
+      if (j < sample.size()) sample[static_cast<size_t>(j)] = e.payload();
+    }
+  }
+  stats.duration = stream.back().end() - stream.front().begin();
+  // A single-timestamp stream still gets a nonzero duration so rates stay
+  // finite; one microsecond is the resolution floor.
+  if (stats.duration <= 0) stats.duration = 1;
+  double seconds = static_cast<double>(stats.duration) /
+                   static_cast<double>(kMicrosPerSecond);
+  for (const auto& [type, count] : counts) {
+    stats.rate_per_second[type] = static_cast<double>(count) / seconds;
+  }
+  stats.total_rate = static_cast<double>(stream.size()) / seconds;
+  return stats;
+}
+
+}  // namespace motto

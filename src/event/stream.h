@@ -1,0 +1,48 @@
+#ifndef MOTTO_EVENT_STREAM_H_
+#define MOTTO_EVENT_STREAM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "event/event.h"
+
+namespace motto {
+
+/// A finite, timestamp-ordered batch of primitive events — the unit the
+/// executor and benchmarks replay. (SAP ESP consumes unbounded streams; a
+/// replayed batch exercises the identical code path.)
+using EventStream = std::vector<Event>;
+
+/// Verifies the stream is sorted by timestamp and all events are primitive.
+Status ValidateStream(const EventStream& stream);
+
+/// Per-type arrival statistics of a stream; the cost model's only input.
+struct StreamStats {
+  /// Events of each type per second of stream time.
+  std::unordered_map<EventTypeId, double> rate_per_second;
+  /// Reservoir sample of payloads per type (up to kPayloadSampleSize),
+  /// used to estimate predicate selectivities.
+  std::unordered_map<EventTypeId, std::vector<Payload>> payload_samples;
+  static constexpr size_t kPayloadSampleSize = 64;
+  /// Total events per second across all types.
+  double total_rate = 0.0;
+  /// Stream time covered, in microseconds.
+  Duration duration = 0;
+  int64_t num_events = 0;
+
+  /// Rate of one type (0 if the type never occurs).
+  double RateOf(EventTypeId type) const {
+    auto it = rate_per_second.find(type);
+    return it == rate_per_second.end() ? 0.0 : it->second;
+  }
+};
+
+/// Computes arrival statistics over `stream` (or over a prefix sample).
+StreamStats ComputeStats(const EventStream& stream);
+
+}  // namespace motto
+
+#endif  // MOTTO_EVENT_STREAM_H_

@@ -1,0 +1,90 @@
+#include "motto/catalog.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "engine/plan_util.h"
+
+namespace motto {
+
+EventTypeId CompositeCatalog::Register(const FlatPattern& pattern,
+                                       Duration window,
+                                       EventTypeRegistry* registry) {
+  Duration effective = pattern.op == PatternOp::kDisj ? 0 : window;
+  EventTypeId type = RegisterOutputType(pattern, effective, registry);
+  auto it = infos_.find(type);
+  if (it == infos_.end()) {
+    infos_.emplace(type, Info{pattern.Canonical(), effective});
+  }
+  return type;
+}
+
+const CompositeCatalog::Info* CompositeCatalog::Find(EventTypeId type) const {
+  auto it = infos_.find(type);
+  return it == infos_.end() ? nullptr : &it->second;
+}
+
+EventTypeId CompositeCatalog::RegisterSelector(EventTypeId base,
+                                               const Predicate& predicate,
+                                               EventTypeRegistry* registry) {
+  MOTTO_CHECK(registry->IsPrimitive(base))
+      << "selector base must be a primitive type";
+  MOTTO_CHECK(!predicate.empty()) << "selector needs a predicate";
+  std::string descriptor =
+      registry->NameOf(base) + "[" + predicate.CanonicalKey() + "]";
+  EventTypeId id = registry->RegisterComposite(descriptor);
+  auto it = selectors_.find(id);
+  if (it == selectors_.end()) {
+    selectors_.emplace(id, SelectorInfo{base, predicate});
+  }
+  return id;
+}
+
+const CompositeCatalog::SelectorInfo* CompositeCatalog::FindSelector(
+    EventTypeId type) const {
+  auto it = selectors_.find(type);
+  return it == selectors_.end() ? nullptr : &it->second;
+}
+
+int32_t CompositeCatalog::ArityOf(EventTypeId type,
+                                  const EventTypeRegistry& registry) const {
+  if (registry.IsPrimitive(type)) return 1;
+  if (FindSelector(type) != nullptr) return 1;
+  const Info* info = Find(type);
+  MOTTO_CHECK(info != nullptr) << "unknown composite type "
+                               << registry.NameOf(type);
+  if (info->pattern.op == PatternOp::kDisj) {
+    int32_t arity = 1;
+    for (EventTypeId operand : info->pattern.operands) {
+      arity = std::max(arity, ArityOf(operand, registry));
+    }
+    return arity;
+  }
+  int32_t arity = 0;
+  for (EventTypeId operand : info->pattern.operands) {
+    arity += ArityOf(operand, registry);
+  }
+  return arity;
+}
+
+std::vector<EventTypeId> CompositeCatalog::AcceptedTypes(
+    EventTypeId type, const EventTypeRegistry& registry) const {
+  if (registry.IsPrimitive(type)) return {type};
+  if (const SelectorInfo* selector = FindSelector(type)) {
+    return {selector->base};
+  }
+  const Info* info = Find(type);
+  MOTTO_CHECK(info != nullptr) << "unknown composite type "
+                               << registry.NameOf(type);
+  if (info->pattern.op != PatternOp::kDisj) return {type};
+  std::vector<EventTypeId> out;
+  for (EventTypeId operand : info->pattern.operands) {
+    std::vector<EventTypeId> accepted = AcceptedTypes(operand, registry);
+    out.insert(out.end(), accepted.begin(), accepted.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace motto

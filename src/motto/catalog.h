@@ -1,0 +1,68 @@
+#ifndef MOTTO_MOTTO_CATALOG_H_
+#define MOTTO_MOTTO_CATALOG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "ccl/predicate.h"
+#include "common/time.h"
+#include "event/event_type.h"
+
+namespace motto {
+
+/// Tracks which (flat pattern, window) produces each composite event type,
+/// and derived properties the rewriter and plan builder need: the slot-space
+/// size of emitted composites (arity) and the event types that actually flow
+/// on a producer's output (DISJ passes its inputs through, everything else
+/// emits its composite type).
+class CompositeCatalog {
+ public:
+  struct Info {
+    FlatPattern pattern;
+    Duration window = 0;
+  };
+
+  /// A selector: a primitive event type restricted by a payload predicate
+  /// (`AAPL[value > 100]`), interned as its own operand symbol so the
+  /// sharing machinery treats equal selections as equal operands.
+  struct SelectorInfo {
+    EventTypeId base = kInvalidEventType;
+    Predicate predicate;
+  };
+
+  /// Registers (or finds) the composite type for (pattern, window) and
+  /// records its provenance. Windows of DISJ patterns are normalized to 0 in
+  /// the descriptor (pass-through semantics make them window-free).
+  EventTypeId Register(const FlatPattern& pattern, Duration window,
+                       EventTypeRegistry* registry);
+
+  /// Provenance of a composite type, or nullptr for unknown/primitive ids.
+  const Info* Find(EventTypeId type) const;
+
+  /// Registers (or finds) the selector symbol for (base, predicate).
+  /// `predicate` must be non-empty and `base` primitive.
+  EventTypeId RegisterSelector(EventTypeId base, const Predicate& predicate,
+                               EventTypeRegistry* registry);
+
+  /// Selector info, or nullptr when `type` is not a selector.
+  const SelectorInfo* FindSelector(EventTypeId type) const;
+
+  /// Slot-space size of events carrying `type`: 1 for primitives; for
+  /// composites, the sum (max for DISJ) of operand arities.
+  int32_t ArityOf(EventTypeId type, const EventTypeRegistry& registry) const;
+
+  /// Event types observed on the output of the producer of `type`:
+  /// {type} itself for primitives and non-DISJ composites; for DISJ, the
+  /// union of its operands' accepted types (pass-through).
+  std::vector<EventTypeId> AcceptedTypes(
+      EventTypeId type, const EventTypeRegistry& registry) const;
+
+ private:
+  std::unordered_map<EventTypeId, Info> infos_;
+  std::unordered_map<EventTypeId, SelectorInfo> selectors_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_MOTTO_CATALOG_H_

@@ -1,0 +1,88 @@
+#include "motto/nested.h"
+
+namespace motto {
+
+namespace {
+
+/// Recursively divides `expr`; returns the operand type that represents it
+/// in the parent (leaf type, or composite type of an emitted inner query).
+Result<EventTypeId> Divide(const PatternExpr& expr, const Query& query,
+                           bool outermost, EventTypeRegistry* registry,
+                           CompositeCatalog* catalog,
+                           std::vector<FlatQuery>* chain, int* counter) {
+  if (expr.is_leaf()) {
+    if (expr.leaf_predicate().empty()) return expr.leaf_type();
+    // Predicated operands are interned as selector symbols so equal
+    // selections become equal operands for the sharing search.
+    return catalog->RegisterSelector(expr.leaf_type(), expr.leaf_predicate(),
+                                     registry);
+  }
+  if (!outermost && !expr.negated().empty()) {
+    return InvalidArgumentError(
+        "NEG is only supported on the outermost pattern layer (query '" +
+        query.name + "')");
+  }
+  FlatPattern flat;
+  flat.op = expr.op();
+  for (const PatternExpr& n : expr.negated()) {
+    if (n.leaf_predicate().empty()) {
+      flat.negated.push_back(n.leaf_type());
+    } else {
+      flat.negated.push_back(catalog->RegisterSelector(
+          n.leaf_type(), n.leaf_predicate(), registry));
+    }
+  }
+  for (const PatternExpr& child : expr.children()) {
+    MOTTO_ASSIGN_OR_RETURN(
+        EventTypeId operand,
+        Divide(child, query, /*outermost=*/false, registry, catalog, chain,
+               counter));
+    flat.operands.push_back(operand);
+  }
+  FlatQuery sub;
+  sub.pattern = flat;
+  sub.window = query.window;
+  if (outermost) {
+    sub.name = query.name;
+  } else {
+    sub.name = query.name + "#in" + std::to_string((*counter)++);
+  }
+  chain->push_back(sub);
+  return catalog->Register(flat, query.window, registry);
+}
+
+}  // namespace
+
+Result<std::vector<FlatQuery>> DivideNested(const Query& query,
+                                            EventTypeRegistry* registry,
+                                            CompositeCatalog* catalog) {
+  MOTTO_RETURN_IF_ERROR(ValidatePattern(query.pattern));
+  if (query.pattern.is_leaf()) {
+    return InvalidArgumentError("query '" + query.name +
+                                "' is a bare event type, not a pattern");
+  }
+  if (query.window <= 0) {
+    return InvalidArgumentError("query '" + query.name +
+                                "' needs a positive window");
+  }
+  std::vector<FlatQuery> chain;
+  int counter = 0;
+  MOTTO_RETURN_IF_ERROR(Divide(query.pattern, query, /*outermost=*/true,
+                               registry, catalog, &chain, &counter)
+                            .status());
+  return chain;
+}
+
+Result<std::vector<FlatQuery>> DivideWorkload(const std::vector<Query>& queries,
+                                              EventTypeRegistry* registry,
+                                              CompositeCatalog* catalog) {
+  std::vector<FlatQuery> all;
+  for (const Query& query : queries) {
+    MOTTO_ASSIGN_OR_RETURN(std::vector<FlatQuery> chain,
+                           DivideNested(query, registry, catalog));
+    all.insert(all.end(), chain.begin(), chain.end());
+  }
+  return all;
+}
+
+}  // namespace motto

@@ -1,0 +1,32 @@
+#ifndef MOTTO_MOTTO_NESTED_H_
+#define MOTTO_MOTTO_NESTED_H_
+
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "motto/catalog.h"
+
+namespace motto {
+
+/// Divides a (possibly nested) pattern query into a chain of flat
+/// sub-queries (paper §IV-D): every non-leaf child becomes its own inner
+/// sub-query whose composite output type replaces it in the parent's operand
+/// list, working inside-out. The returned chain lists inner sub-queries
+/// before the queries that consume them; the last entry answers `query`.
+///
+/// Inner sub-queries inherit the outer window. NEG is only permitted on the
+/// outermost layer (inner negation would require non-terminal deferred
+/// emission, which the engine rejects).
+Result<std::vector<FlatQuery>> DivideNested(const Query& query,
+                                            EventTypeRegistry* registry,
+                                            CompositeCatalog* catalog);
+
+/// Divides every query of a workload, concatenating the chains in order.
+Result<std::vector<FlatQuery>> DivideWorkload(const std::vector<Query>& queries,
+                                              EventTypeRegistry* registry,
+                                              CompositeCatalog* catalog);
+
+}  // namespace motto
+
+#endif  // MOTTO_MOTTO_NESTED_H_

@@ -1,0 +1,237 @@
+#include "motto/optimizer.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "engine/plan_util.h"
+#include "motto/nested.h"
+#include "planner/plan_builder.h"
+
+namespace motto {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+RewriterOptions RewriterOptionsFor(OptimizerMode mode) {
+  switch (mode) {
+    case OptimizerMode::kNa:
+      return RewriterOptions::None();
+    case OptimizerMode::kMst:
+      return RewriterOptions::MstOnly();
+    case OptimizerMode::kLcse:
+      return RewriterOptions::Lcse();
+    case OptimizerMode::kMotto:
+      return RewriterOptions::Motto();
+  }
+  return RewriterOptions::None();
+}
+
+/// Appends chains executing independently (no sharing, no deduplication) to
+/// `jqp` — the paper's default plan (Fig. 2), also used by the MST/LCSE
+/// baselines for nested queries, whose division-based sharing they overlook
+/// (§VII-A: "sharing opportunities in the second group are overlooked").
+Status AppendChainsUnshared(const std::vector<std::vector<FlatQuery>>& chains,
+                            const CompositeCatalog& catalog,
+                            EventTypeRegistry* registry, Jqp* jqp) {
+  for (const std::vector<FlatQuery>& chain : chains) {
+    // Composite type -> executable node within this chain only.
+    std::unordered_map<EventTypeId, int32_t> local;
+    for (const FlatQuery& query : chain) {
+      PatternSpec spec;
+      spec.op = query.pattern.op;
+      spec.window = query.window;
+      for (EventTypeId t : query.pattern.negated) {
+        if (const CompositeCatalog::SelectorInfo* selector =
+                catalog.FindSelector(t)) {
+          spec.negated.push_back(selector->base);
+          spec.negated_predicates.push_back(selector->predicate);
+        } else {
+          spec.negated.push_back(t);
+          spec.negated_predicates.emplace_back();
+        }
+      }
+      spec.output_type =
+          RegisterOutputType(query.pattern.Canonical(),
+                             query.pattern.op == PatternOp::kDisj
+                                 ? 0
+                                 : query.window,
+                             registry);
+      std::vector<int32_t> inputs;
+      int32_t slot_base = 0;
+      for (EventTypeId type : query.pattern.operands) {
+        OperandBinding binding;
+        int32_t arity = catalog.ArityOf(type, *registry);
+        if (registry->IsPrimitive(type)) {
+          binding.types = {type};
+          binding.channel = kRawChannel;
+          binding.slot_map = {slot_base};
+        } else if (const CompositeCatalog::SelectorInfo* selector =
+                       catalog.FindSelector(type)) {
+          binding.types = {selector->base};
+          binding.channel = kRawChannel;
+          binding.slot_map = {slot_base};
+          binding.predicate = selector->predicate;
+        } else {
+          auto it = local.find(type);
+          if (it == local.end()) {
+            return InternalError("NA plan: no local producer for " +
+                                 registry->NameOf(type));
+          }
+          binding.types = catalog.AcceptedTypes(type, *registry);
+          bool found = false;
+          for (size_t k = 0; k < inputs.size(); ++k) {
+            if (inputs[k] == it->second) {
+              binding.channel = static_cast<Channel>(k + 1);
+              found = true;
+            }
+          }
+          if (!found) {
+            inputs.push_back(it->second);
+            binding.channel = static_cast<Channel>(inputs.size());
+          }
+          binding.slot_map.resize(static_cast<size_t>(arity));
+          for (int32_t s = 0; s < arity; ++s) {
+            binding.slot_map[static_cast<size_t>(s)] = slot_base + s;
+          }
+        }
+        slot_base += arity;
+        spec.operands.push_back(std::move(binding));
+      }
+      EventTypeId out_type = spec.output_type;
+      JqpNode node;
+      node.spec = std::move(spec);
+      node.inputs = std::move(inputs);
+      node.label = query.name;
+      int32_t id = jqp->AddNode(std::move(node));
+      local[out_type] = id;
+      jqp->sinks.push_back(Jqp::Sink{query.name, id});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view OptimizerModeName(OptimizerMode mode) {
+  switch (mode) {
+    case OptimizerMode::kNa:
+      return "NA";
+    case OptimizerMode::kMst:
+      return "MST";
+    case OptimizerMode::kLcse:
+      return "LCSE";
+    case OptimizerMode::kMotto:
+      return "MOTTO";
+  }
+  return "?";
+}
+
+Optimizer::Optimizer(EventTypeRegistry* registry, StreamStats stats,
+                     OptimizerOptions options)
+    : registry_(registry), stats_(std::move(stats)), options_(options) {}
+
+Result<OptimizeOutcome> Optimizer::Optimize(const std::vector<Query>& queries) {
+  CompositeCatalog catalog;
+  std::vector<std::vector<FlatQuery>> chains;
+  for (const Query& query : queries) {
+    MOTTO_ASSIGN_OR_RETURN(std::vector<FlatQuery> chain,
+                           DivideNested(query, registry_, &catalog));
+    chains.push_back(std::move(chain));
+  }
+  return OptimizeDivided(chains, std::move(catalog));
+}
+
+Result<OptimizeOutcome> Optimizer::OptimizeFlat(
+    const std::vector<FlatQuery>& queries) {
+  CompositeCatalog catalog;
+  std::vector<std::vector<FlatQuery>> chains;
+  for (const FlatQuery& query : queries) {
+    if (query.window <= 0) {
+      return InvalidArgumentError("query '" + query.name +
+                                  "' needs a positive window");
+    }
+    if (query.pattern.operands.empty()) {
+      return InvalidArgumentError("query '" + query.name + "' has no operands");
+    }
+    catalog.Register(query.pattern, query.window, registry_);
+    chains.push_back({query});
+  }
+  return OptimizeDivided(chains, std::move(catalog));
+}
+
+Result<OptimizeOutcome> Optimizer::OptimizeDivided(
+    const std::vector<std::vector<FlatQuery>>& chains,
+    CompositeCatalog catalog) {
+  OptimizeOutcome outcome;
+  CostModel cost_model(stats_);
+
+  std::vector<FlatQuery> flat;
+  for (const std::vector<FlatQuery>& chain : chains) {
+    flat.insert(flat.end(), chain.begin(), chain.end());
+  }
+  outcome.num_flat_queries = flat.size();
+
+  // Cost of executing every (sub-)query independently, duplicates included.
+  for (const FlatQuery& query : flat) {
+    outcome.default_cost +=
+        EstimateFlatPattern(query.pattern.Canonical(), query.window, catalog,
+                            *registry_, &cost_model)
+            .cpu_per_second;
+  }
+
+  if (options_.mode == OptimizerMode::kNa) {
+    Jqp jqp;
+    MOTTO_RETURN_IF_ERROR(
+        AppendChainsUnshared(chains, catalog, registry_, &jqp));
+    outcome.jqp = std::move(jqp);
+    outcome.planned_cost = outcome.default_cost;
+    outcome.exact = true;
+    return outcome;
+  }
+
+  // Only MOTTO understands nested queries (§IV-D): the MST/LCSE baselines
+  // treat them as opaque and execute their chains unshared.
+  std::vector<FlatQuery> shareable;
+  std::vector<std::vector<FlatQuery>> opaque;
+  for (const std::vector<FlatQuery>& chain : chains) {
+    if (options_.mode == OptimizerMode::kMotto || chain.size() == 1) {
+      shareable.insert(shareable.end(), chain.begin(), chain.end());
+    } else {
+      opaque.push_back(chain);
+    }
+  }
+
+  Clock::time_point rewrite_start = Clock::now();
+  outcome.sharing_graph =
+      BuildSharingGraph(shareable, RewriterOptionsFor(options_.mode),
+                        registry_, &catalog, &cost_model);
+  outcome.rewrite_seconds = SecondsSince(rewrite_start);
+
+  Clock::time_point plan_start = Clock::now();
+  outcome.decision = SelectPlan(outcome.sharing_graph, options_.planner);
+  outcome.plan_seconds = SecondsSince(plan_start);
+  outcome.exact = outcome.decision.exact;
+  outcome.planned_cost = outcome.decision.cost;
+  for (const std::vector<FlatQuery>& chain : opaque) {
+    for (const FlatQuery& query : chain) {
+      outcome.planned_cost +=
+          EstimateFlatPattern(query.pattern.Canonical(), query.window,
+                              catalog, *registry_, &cost_model)
+              .cpu_per_second;
+    }
+  }
+
+  MOTTO_ASSIGN_OR_RETURN(Jqp jqp,
+                         BuildJqp(outcome.sharing_graph, outcome.decision,
+                                  catalog, registry_));
+  MOTTO_RETURN_IF_ERROR(
+      AppendChainsUnshared(opaque, catalog, registry_, &jqp));
+  outcome.jqp = std::move(jqp);
+  return outcome;
+}
+
+}  // namespace motto

@@ -1,0 +1,74 @@
+#ifndef MOTTO_MOTTO_OPTIMIZER_H_
+#define MOTTO_MOTTO_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "engine/graph.h"
+#include "motto/catalog.h"
+#include "motto/rewriter.h"
+#include "motto/sharing_graph.h"
+#include "planner/solver.h"
+
+namespace motto {
+
+/// Sharing strategy (the paper's comparison approaches, §VII-A).
+enum class OptimizerMode {
+  kNa,     // Baseline: every query independent.
+  kMst,    // Whole-query merge sharing only [10].
+  kLcse,   // Longest common sub-expression sharing [13,14,15].
+  kMotto,  // Full MOTTO: MST + DST + OTT + nested + window handling.
+};
+
+std::string_view OptimizerModeName(OptimizerMode mode);
+
+struct OptimizerOptions {
+  OptimizerMode mode = OptimizerMode::kMotto;
+  PlannerOptions planner;
+};
+
+/// Everything produced by one optimization run.
+struct OptimizeOutcome {
+  Jqp jqp;
+  SharingGraph sharing_graph;
+  PlanDecision decision;
+  /// Cost-model cost of the chosen plan vs the unshared default.
+  double planned_cost = 0.0;
+  double default_cost = 0.0;
+  /// Wall time spent in the rewriter and planner.
+  double rewrite_seconds = 0.0;
+  double plan_seconds = 0.0;
+  bool exact = false;
+  size_t num_flat_queries = 0;
+};
+
+/// MOTTO's front door: divides (possibly nested) queries, discovers sharing,
+/// solves the DSMT instance, and materializes the jumbo query plan.
+class Optimizer {
+ public:
+  /// `registry` must outlive the optimizer; `stats` describe the target
+  /// stream (the cost model input).
+  Optimizer(EventTypeRegistry* registry, StreamStats stats,
+            OptimizerOptions options = OptimizerOptions{});
+
+  Result<OptimizeOutcome> Optimize(const std::vector<Query>& queries);
+
+  /// Convenience: optimizes already-flat queries.
+  Result<OptimizeOutcome> OptimizeFlat(const std::vector<FlatQuery>& queries);
+
+ private:
+  Result<OptimizeOutcome> OptimizeDivided(
+      const std::vector<std::vector<FlatQuery>>& chains,
+      CompositeCatalog catalog);
+
+  EventTypeRegistry* registry_;
+  StreamStats stats_;
+  OptimizerOptions options_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_MOTTO_OPTIMIZER_H_

@@ -1,0 +1,530 @@
+#include "motto/rewriter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "util/suffix_tree.h"
+
+namespace motto {
+
+namespace {
+
+/// All start positions where `needle` occurs contiguously in `haystack`.
+std::vector<size_t> SubstringOccurrences(const SymbolSeq& needle,
+                                         const SymbolSeq& haystack) {
+  std::vector<size_t> out;
+  if (needle.empty() || needle.size() > haystack.size()) return out;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), haystack.begin() + static_cast<int64_t>(i))) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+/// Multiset intersection, ordered by the first sequence.
+SymbolSeq MultisetIntersection(const SymbolSeq& a, const SymbolSeq& b) {
+  std::unordered_map<int32_t, int> available;
+  for (int32_t s : b) ++available[s];
+  SymbolSeq out;
+  for (int32_t s : a) {
+    auto it = available.find(s);
+    if (it != available.end() && it->second > 0) {
+      --it->second;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+/// Greedy injection: positions in `haystack` filling each element of
+/// `needle` (multiset semantics). Empty when not a sub-multiset.
+std::vector<int32_t> InjectionPositions(const SymbolSeq& needle,
+                                        const SymbolSeq& haystack) {
+  std::vector<bool> used(haystack.size(), false);
+  std::vector<int32_t> out;
+  for (int32_t symbol : needle) {
+    bool found = false;
+    for (size_t j = 0; j < haystack.size(); ++j) {
+      if (!used[j] && haystack[j] == symbol) {
+        used[j] = true;
+        out.push_back(static_cast<int32_t>(j));
+        found = true;
+        break;
+      }
+    }
+    if (!found) return {};
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class RewriterImpl {
+ public:
+  RewriterImpl(const RewriterOptions& options, EventTypeRegistry* registry,
+               CompositeCatalog* catalog, CostModel* cost)
+      : options_(options),
+        registry_(registry),
+        catalog_(catalog),
+        cost_(cost) {}
+
+  SharingGraph Build(const std::vector<FlatQuery>& queries) {
+    for (const FlatQuery& query : queries) {
+      AddNode(query.pattern, query.window, /*terminal=*/true, query.name);
+    }
+    if (options_.enable_dst || options_.lcse_only) {
+      size_t initial = graph_.nodes.size();
+      for (size_t a = 0; a < initial; ++a) {
+        for (size_t b = a + 1; b < initial; ++b) {
+          pair_worklist_.emplace_back(static_cast<int32_t>(a),
+                                      static_cast<int32_t>(b));
+        }
+      }
+      while (!pair_worklist_.empty() &&
+             graph_.nodes.size() < options_.max_nodes) {
+        auto [a, b] = pair_worklist_.front();
+        pair_worklist_.pop_front();
+        ProcessPair(a, b);
+      }
+    }
+    GenerateEdges();
+    return std::move(graph_);
+  }
+
+ private:
+  bool SameWindowRequired() const { return !options_.enable_windows; }
+
+  double RateOfOperand(EventTypeId type) {
+    if (registry_->IsPrimitive(type)) return cost_->RateOf(type);
+    auto it = composite_rates_.find(type);
+    if (it != composite_rates_.end()) return it->second;
+    if (const CompositeCatalog::SelectorInfo* selector =
+            catalog_->FindSelector(type)) {
+      double rate =
+          cost_->RateOf(selector->base) *
+          cost_->PredicateSelectivity(selector->base, selector->predicate);
+      composite_rates_[type] = rate;
+      cost_->SetRate(type, rate);
+      return rate;
+    }
+    const CompositeCatalog::Info* info = catalog_->Find(type);
+    MOTTO_CHECK(info != nullptr)
+        << "operand references unknown composite " << registry_->NameOf(type);
+    OperatorEstimate est = EstimateFlat(info->pattern, info->window);
+    composite_rates_[type] = est.output_rate;
+    cost_->SetRate(type, est.output_rate);
+    return est.output_rate;
+  }
+
+  OperatorEstimate EstimateFlat(const FlatPattern& pattern, Duration window) {
+    std::vector<double> rates;
+    rates.reserve(pattern.operands.size());
+    for (EventTypeId t : pattern.operands) rates.push_back(RateOfOperand(t));
+    return cost_->EstimateOperator(pattern.op, rates, pattern.negated, window);
+  }
+
+  int32_t AddNode(const FlatPattern& raw_pattern, Duration window,
+                  bool terminal, const std::string& query_name) {
+    FlatPattern pattern = raw_pattern.Canonical();
+    std::string key = SharingNodeKey(pattern, window);
+    auto it = graph_.index.find(key);
+    if (it != graph_.index.end()) {
+      SharingNode& node = graph_.nodes[static_cast<size_t>(it->second)];
+      node.terminal = node.terminal || terminal;
+      if (!query_name.empty()) node.query_names.push_back(query_name);
+      return it->second;
+    }
+    SharingNode node;
+    node.pattern = pattern;
+    node.window = window;
+    node.key = key;
+    node.terminal = terminal;
+    if (!query_name.empty()) node.query_names.push_back(query_name);
+    OperatorEstimate est = EstimateFlat(pattern, window);
+    node.scratch_cost = est.cpu_per_second;
+    node.output_rate = est.output_rate;
+    node.output_type = catalog_->Register(pattern, window, registry_);
+    composite_rates_[node.output_type] = est.output_rate;
+    cost_->SetRate(node.output_type, est.output_rate);
+    int32_t id = static_cast<int32_t>(graph_.nodes.size());
+    graph_.nodes.push_back(std::move(node));
+    graph_.index.emplace(std::move(key), id);
+    return id;
+  }
+
+  /// Adds a Steiner candidate and schedules recursive pairing.
+  void AddCandidate(PatternOp op, const SymbolSeq& operands, Duration window) {
+    if (operands.size() < 2) return;
+    if (graph_.nodes.size() >= options_.max_nodes) return;
+    FlatPattern sub;
+    sub.op = op;
+    sub.operands.assign(operands.begin(), operands.end());
+    size_t before = graph_.nodes.size();
+    int32_t id = AddNode(sub, window, /*terminal=*/false, "");
+    if (graph_.nodes.size() == before) return;  // Deduped: already known.
+    // Recurse: the new sub-query may share with every same-op node.
+    for (int32_t other = 0; other < id; ++other) {
+      if (graph_.nodes[static_cast<size_t>(other)].pattern.op == op) {
+        pair_worklist_.emplace_back(other, id);
+      }
+    }
+  }
+
+  /// DST search between two nodes (paper §IV-B): identifies interesting
+  /// sub-queries via common substrings (suffix tree) and, for SEQ, merged
+  /// single-symbol chains shared as subsequences.
+  void ProcessPair(int32_t a, int32_t b) {
+    const SharingNode& na = graph_.nodes[static_cast<size_t>(a)];
+    const SharingNode& nb = graph_.nodes[static_cast<size_t>(b)];
+    if (na.pattern.op != nb.pattern.op) return;
+    if (SameWindowRequired() && na.window != nb.window) return;
+    Duration window = std::max(na.window, nb.window);
+    PatternOp op = na.pattern.op;
+
+    if (IsCommutative(op)) {
+      // Canonical operand lists are sorted; the shared sub-query is the
+      // multiset intersection (order irrelevant for CONJ/DISJ).
+      SymbolSeq common = MultisetIntersection(na.pattern.OperandSeq(),
+                                              nb.pattern.OperandSeq());
+      AddCandidate(op, common, window);
+      return;
+    }
+
+    const SymbolSeq seq_a = na.pattern.OperandSeq();
+    const SymbolSeq seq_b = nb.pattern.OperandSeq();
+    GeneralizedSuffixTree tree{SymbolSeq(seq_a), SymbolSeq(seq_b)};
+    std::vector<CommonMatch> matches = tree.MaximalCommonMatches();
+
+    if (options_.lcse_only) {
+      const CommonMatch* best = nullptr;
+      for (const CommonMatch& m : matches) {
+        if (m.length >= 2 && (best == nullptr || m.length > best->length)) {
+          best = &m;
+        }
+      }
+      if (best != nullptr) {
+        SymbolSeq run(seq_a.begin() + static_cast<int64_t>(best->pos_a),
+                      seq_a.begin() + static_cast<int64_t>(best->pos_a +
+                                                           best->length));
+        AddCandidate(op, run, window);
+      }
+      return;
+    }
+
+    // Runs of length >= 2 become sub-queries directly.
+    std::vector<CommonMatch> singles;
+    for (const CommonMatch& m : matches) {
+      if (m.length >= 2) {
+        SymbolSeq run(seq_a.begin() + static_cast<int64_t>(m.pos_a),
+                      seq_a.begin() + static_cast<int64_t>(m.pos_a + m.length));
+        AddCandidate(op, run, window);
+      } else {
+        singles.push_back(m);
+      }
+    }
+    // Merge length-1 matches into maximal order-consistent chains
+    // (paper Example 3: common singles in the same relative order form one
+    // "long string"; reverse-order singles split into separate strings).
+    std::sort(singles.begin(), singles.end(),
+              [](const CommonMatch& x, const CommonMatch& y) {
+                return x.pos_a != y.pos_a ? x.pos_a < y.pos_a
+                                          : x.pos_b < y.pos_b;
+              });
+    size_t emitted = 0;
+    std::vector<size_t> chain;
+    std::function<void(size_t)> extend = [&](size_t last) {
+      if (emitted >= options_.max_chains_per_pair) return;
+      bool extended = false;
+      for (size_t next = last + 1; next < singles.size(); ++next) {
+        if (singles[next].pos_a > singles[last].pos_a &&
+            singles[next].pos_b > singles[last].pos_b) {
+          chain.push_back(next);
+          extended = true;
+          extend(next);
+          chain.pop_back();
+        }
+      }
+      if (!extended && chain.size() >= 2 &&
+          emitted < options_.max_chains_per_pair) {
+        SymbolSeq merged;
+        for (size_t idx : chain) merged.push_back(seq_a[singles[idx].pos_a]);
+        AddCandidate(op, merged, window);
+        ++emitted;
+      }
+    };
+    for (size_t start = 0; start < singles.size(); ++start) {
+      bool is_source = true;
+      for (size_t prev = 0; prev < start; ++prev) {
+        if (singles[prev].pos_a < singles[start].pos_a &&
+            singles[prev].pos_b < singles[start].pos_b) {
+          is_source = false;
+          break;
+        }
+      }
+      if (!is_source) continue;
+      chain.assign(1, start);
+      extend(start);
+    }
+  }
+
+  bool AllPrimitiveDistinct(const FlatPattern& pattern) const {
+    std::unordered_set<EventTypeId> seen;
+    for (EventTypeId t : pattern.operands) {
+      if (!registry_->IsPrimitive(t)) return false;
+      if (!seen.insert(t).second) return false;
+    }
+    return true;
+  }
+
+  void AddEdge(int32_t u, int32_t v, RewriteRecipe recipe, double cost) {
+    // Keep only clearly profitable rewrites: marginal ones trade modeled
+    // savings for real materialization overhead and plan complexity.
+    if (options_.prune_unprofitable &&
+        cost >= kProfitMargin * graph_.nodes[static_cast<size_t>(v)].scratch_cost) {
+      return;
+    }
+    graph_.edges.push_back(SharingEdge{u, v, std::move(recipe), cost});
+  }
+
+  static constexpr double kProfitMargin = 0.9;
+
+  /// Operand rates of the beneficiary operator with the source composite in
+  /// place of the covered positions. Positional: SEQ extension cost depends
+  /// on where the composite sits (a suffix composite scans every prefix
+  /// partial), so the composite rate is inserted at its sequence position.
+  std::vector<double> MergedRates(const SharingNode& u, const SharingNode& v,
+                                  const std::vector<int32_t>& covered) {
+    std::unordered_set<int32_t> covered_set(covered.begin(), covered.end());
+    std::vector<double> rates;
+    bool composite_placed = false;
+    for (size_t i = 0; i < v.pattern.operands.size(); ++i) {
+      if (covered_set.count(static_cast<int32_t>(i)) > 0) {
+        if (!composite_placed) {
+          rates.push_back(u.output_rate);
+          composite_placed = true;
+        }
+        continue;
+      }
+      rates.push_back(RateOfOperand(v.pattern.operands[i]));
+    }
+    return rates;
+  }
+
+  void TryEdges(int32_t ui, int32_t vi) {
+    const SharingNode& u = graph_.nodes[static_cast<size_t>(ui)];
+    const SharingNode& v = graph_.nodes[static_cast<size_t>(vi)];
+    if (!u.pattern.negated.empty()) return;  // NEG outputs are not shareable.
+    bool window_ok = u.pattern.op == PatternOp::kDisj
+                         ? true
+                         : (SameWindowRequired() ? u.window == v.window
+                                                 : u.window >= v.window);
+    if (!window_ok) return;
+
+    // Same pattern, wider source window: span filter (§IV-D).
+    if (options_.enable_windows && u.pattern.op != PatternOp::kDisj &&
+        u.pattern.op == v.pattern.op && u.pattern == v.pattern &&
+        u.window > v.window && v.pattern.negated.empty()) {
+      OperatorEstimate filter = cost_->EstimateFilter(
+          u.output_rate,
+          std::pow(static_cast<double>(v.window) /
+                       static_cast<double>(u.window),
+                   std::max<double>(
+                       1.0,
+                       static_cast<double>(v.pattern.operands.size()) - 1.0)));
+      RewriteRecipe recipe;
+      recipe.kind = RewriteRecipe::Kind::kSpanFilter;
+      AddEdge(ui, vi, recipe, filter.cpu_per_second);
+      return;  // Identical patterns need no other recipe.
+    }
+
+    bool mst_dst_enabled = options_.enable_mst || options_.enable_dst ||
+                           options_.lcse_only;
+    if (u.pattern.op == v.pattern.op && mst_dst_enabled &&
+        u.pattern.operands.size() < v.pattern.operands.size()) {
+      // Terminal-to-terminal structural sharing is MST; edges sourced from
+      // Steiner sub-queries are DST/LCSE.
+      bool is_whole_query_edge = u.terminal && v.terminal;
+      bool allowed = is_whole_query_edge
+                         ? options_.enable_mst
+                         : (options_.enable_dst || options_.lcse_only);
+      if (!allowed) return;
+      const SymbolSeq needle = u.pattern.OperandSeq();
+      const SymbolSeq hay = v.pattern.OperandSeq();
+      if (u.pattern.op == PatternOp::kSeq) {
+        std::vector<size_t> occurrences = SubstringOccurrences(needle, hay);
+        if (!occurrences.empty()) {
+          size_t count = std::min(occurrences.size(),
+                                  options_.max_occurrence_edges);
+          for (size_t o = 0; o < count; ++o) {
+            RewriteRecipe recipe;
+            recipe.kind = RewriteRecipe::Kind::kCompositeOperand;
+            for (size_t k = 0; k < needle.size(); ++k) {
+              recipe.covered.push_back(
+                  static_cast<int32_t>(occurrences[o] + k));
+            }
+            double cost =
+                cost_->ProcessingCpu(PatternOp::kSeq,
+                                     MergedRates(u, v, recipe.covered),
+                                     v.window) +
+                cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
+            AddEdge(ui, vi, recipe, cost);
+          }
+        } else if (IsSubsequence(needle, hay) && options_.enable_mst &&
+                   v.pattern.negated.empty() && AllPrimitiveDistinct(v.pattern)) {
+          // Non-substring merge: CONJ(composite & rest) + order filter
+          // (paper Example 1).
+          std::vector<size_t> positions = SubsequencePositions(needle, hay);
+          RewriteRecipe recipe;
+          recipe.kind = RewriteRecipe::Kind::kMergeOrdered;
+          for (size_t p : positions) {
+            recipe.covered.push_back(static_cast<int32_t>(p));
+          }
+          std::vector<double> rates = MergedRates(u, v, recipe.covered);
+          // The unordered CONJ intermediate is estimated from first
+          // principles (it can vastly exceed the ordered final output when
+          // source matches are tight relative to the window), then the
+          // order filter discards all but the correctly-ordered ones.
+          double intermediate =
+              cost_->OutputRate(PatternOp::kConj, rates, {}, v.window);
+          double cost =
+              cost_->ProcessingCpu(PatternOp::kConj, rates, v.window) +
+              cost_->EmitCpu(intermediate, rates.size()) +
+              cost_->EstimateFilter(intermediate, 0.0).cpu_per_second +
+              cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
+          AddEdge(ui, vi, recipe, cost);
+        }
+      } else {
+        // CONJ / DISJ: multiset containment.
+        std::vector<int32_t> covered = InjectionPositions(needle, hay);
+        if (!covered.empty()) {
+          RewriteRecipe recipe;
+          recipe.covered = covered;
+          if (u.pattern.op == PatternOp::kDisj) {
+            recipe.kind = RewriteRecipe::Kind::kFromDisj;
+            double cost = EstimateFlat(v.pattern, v.window).cpu_per_second;
+            AddEdge(ui, vi, recipe, cost);
+          } else {
+            recipe.kind = RewriteRecipe::Kind::kCompositeOperand;
+            double cost =
+                cost_->ProcessingCpu(PatternOp::kConj,
+                                     MergedRates(u, v, covered), v.window) +
+                cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
+            AddEdge(ui, vi, recipe, cost);
+          }
+        }
+      }
+      return;
+    }
+
+    // OTT (§IV-C): transformable operators over the same operand multiset.
+    if (options_.enable_ott && u.pattern.op != v.pattern.op &&
+        v.pattern.negated.empty()) {
+      SymbolSeq su = u.pattern.OperandSeq();
+      SymbolSeq sv = v.pattern.OperandSeq();
+      std::sort(su.begin(), su.end());
+      std::sort(sv.begin(), sv.end());
+      if (su != sv) return;
+      if (u.pattern.op == PatternOp::kConj && v.pattern.op == PatternOp::kSeq &&
+          AllPrimitiveDistinct(v.pattern)) {
+        OperatorEstimate filter = cost_->EstimateFilter(
+            u.output_rate,
+            CostModel::OrderFilterSelectivity(v.pattern.operands.size()));
+        double cost = filter.cpu_per_second +
+                      cost_->EmitCpu(v.output_rate,
+                                     v.pattern.operands.size());
+        if (u.window > v.window) {
+          cost += cost_->EstimateFilter(filter.output_rate, 1.0).cpu_per_second;
+        }
+        RewriteRecipe recipe;
+        recipe.kind = RewriteRecipe::Kind::kOrderFilter;
+        AddEdge(ui, vi, recipe, cost);
+      } else if (u.pattern.op == PatternOp::kDisj &&
+                 (v.pattern.op == PatternOp::kConj ||
+                  v.pattern.op == PatternOp::kSeq)) {
+        RewriteRecipe recipe;
+        recipe.kind = RewriteRecipe::Kind::kFromDisj;
+        for (size_t i = 0; i < v.pattern.operands.size(); ++i) {
+          recipe.covered.push_back(static_cast<int32_t>(i));
+        }
+        double cost = EstimateFlat(v.pattern, v.window).cpu_per_second;
+        AddEdge(ui, vi, recipe, cost);
+      }
+    }
+  }
+
+  void GenerateEdges() {
+    int32_t n = static_cast<int32_t>(graph_.nodes.size());
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v = 0; v < n; ++v) {
+        if (u != v) TryEdges(u, v);
+      }
+    }
+  }
+
+  RewriterOptions options_;
+  EventTypeRegistry* registry_;
+  CompositeCatalog* catalog_;
+  CostModel* cost_;
+  SharingGraph graph_;
+  std::deque<std::pair<int32_t, int32_t>> pair_worklist_;
+  std::unordered_map<EventTypeId, double> composite_rates_;
+};
+
+}  // namespace
+
+SharingGraph BuildSharingGraph(const std::vector<FlatQuery>& queries,
+                               const RewriterOptions& options,
+                               EventTypeRegistry* registry,
+                               CompositeCatalog* catalog,
+                               CostModel* cost_model) {
+  RewriterImpl impl(options, registry, catalog, cost_model);
+  return impl.Build(queries);
+}
+
+OperatorEstimate EstimateFlatPattern(const FlatPattern& pattern,
+                                     Duration window,
+                                     const CompositeCatalog& catalog,
+                                     const EventTypeRegistry& registry,
+                                     CostModel* cost_model) {
+  std::vector<double> rates;
+  rates.reserve(pattern.operands.size());
+  for (EventTypeId type : pattern.operands) {
+    if (registry.IsPrimitive(type)) {
+      rates.push_back(cost_model->RateOf(type));
+      continue;
+    }
+    if (const CompositeCatalog::SelectorInfo* selector =
+            catalog.FindSelector(type)) {
+      double rate = cost_model->RateOf(type);
+      if (rate <= 0.0) {
+        rate = cost_model->RateOf(selector->base) *
+               cost_model->PredicateSelectivity(selector->base,
+                                                selector->predicate);
+        cost_model->SetRate(type, rate);
+      }
+      rates.push_back(rate);
+      continue;
+    }
+    const CompositeCatalog::Info* info = catalog.Find(type);
+    MOTTO_CHECK(info != nullptr)
+        << "operand references unknown composite " << registry.NameOf(type);
+    // Recurse and memoize so repeated lookups are cheap.
+    double known = cost_model->RateOf(type);
+    if (known <= 0.0) {
+      known = EstimateFlatPattern(info->pattern, info->window, catalog,
+                                  registry, cost_model)
+                  .output_rate;
+      cost_model->SetRate(type, known);
+    }
+    rates.push_back(known);
+  }
+  return cost_model->EstimateOperator(pattern.op, rates, pattern.negated,
+                                      window);
+}
+
+}  // namespace motto

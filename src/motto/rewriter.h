@@ -1,0 +1,80 @@
+#ifndef MOTTO_MOTTO_REWRITER_H_
+#define MOTTO_MOTTO_REWRITER_H_
+
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "cost/cost_model.h"
+#include "motto/catalog.h"
+#include "motto/sharing_graph.h"
+
+namespace motto {
+
+/// Which sharing techniques the rewriter may apply; the presets correspond
+/// to the paper's comparison approaches (§VII-A).
+struct RewriterOptions {
+  bool enable_mst = true;  // Whole-query merge sharing (§IV-A).
+  bool enable_dst = true;  // Decomposition sharing via sub-queries (§IV-B).
+  bool enable_ott = true;  // Operator transformation (§IV-C).
+  /// Allow sharing across different window constraints via span filters and
+  /// window extension (§IV-D). When false, only same-window pairs share.
+  bool enable_windows = true;
+  /// LCSE baseline: per query pair, only the longest common substring
+  /// becomes a shared sub-query.
+  bool lcse_only = false;
+  /// Drop sharing edges whose modeled cost is not clearly below the
+  /// beneficiary's from-scratch cost (margin in rewriter.cc). Disable to
+  /// expose every applicable rewrite, e.g. for mechanism tests.
+  bool prune_unprofitable = true;
+  /// Safety caps.
+  size_t max_nodes = 4000;
+  size_t max_chains_per_pair = 8;
+  size_t max_occurrence_edges = 2;
+
+  static RewriterOptions Motto() { return RewriterOptions{}; }
+  static RewriterOptions MstOnly() {
+    RewriterOptions o;
+    o.enable_dst = false;
+    o.enable_ott = false;
+    o.enable_windows = false;
+    return o;
+  }
+  static RewriterOptions Lcse() {
+    RewriterOptions o;
+    o.enable_mst = false;
+    o.enable_ott = false;
+    o.enable_windows = false;
+    o.lcse_only = true;
+    return o;
+  }
+  static RewriterOptions None() {
+    RewriterOptions o;
+    o.enable_mst = false;
+    o.enable_dst = false;
+    o.enable_ott = false;
+    o.enable_windows = false;
+    return o;
+  }
+};
+
+/// Builds the DSMT sharing graph for a divided (flat) workload: nodes for
+/// every user query plus every interesting sub-query discovered by
+/// MST/DST/OTT, and cost-weighted edges for every applicable rewrite.
+SharingGraph BuildSharingGraph(const std::vector<FlatQuery>& queries,
+                               const RewriterOptions& options,
+                               EventTypeRegistry* registry,
+                               CompositeCatalog* catalog,
+                               CostModel* cost_model);
+
+/// Cost/output estimate for a flat pattern whose operands may be composite
+/// types: composite operand rates are resolved recursively through the
+/// catalog and memoized into the cost model.
+OperatorEstimate EstimateFlatPattern(const FlatPattern& pattern,
+                                     Duration window,
+                                     const CompositeCatalog& catalog,
+                                     const EventTypeRegistry& registry,
+                                     CostModel* cost_model);
+
+}  // namespace motto
+
+#endif  // MOTTO_MOTTO_REWRITER_H_

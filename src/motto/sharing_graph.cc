@@ -1,0 +1,55 @@
+#include "motto/sharing_graph.h"
+
+#include "event/event_type.h"
+
+namespace motto {
+
+std::string_view RecipeKindName(RewriteRecipe::Kind kind) {
+  switch (kind) {
+    case RewriteRecipe::Kind::kSpanFilter:
+      return "span-filter";
+    case RewriteRecipe::Kind::kCompositeOperand:
+      return "composite-operand";
+    case RewriteRecipe::Kind::kMergeOrdered:
+      return "merge-ordered";
+    case RewriteRecipe::Kind::kOrderFilter:
+      return "order-filter";
+    case RewriteRecipe::Kind::kFromDisj:
+      return "from-disj";
+  }
+  return "?";
+}
+
+std::string SharingNodeKey(const FlatPattern& pattern, Duration window) {
+  std::string key = pattern.CanonicalKey();
+  key += '@';
+  if (pattern.op == PatternOp::kDisj) {
+    key += "disj";
+  } else {
+    key += std::to_string(window);
+  }
+  return key;
+}
+
+std::string SharingGraph::ToString(const EventTypeRegistry& registry) const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const SharingNode& node = nodes[i];
+    out += (node.terminal ? "T" : "S");
+    out += std::to_string(i) + ": " + node.pattern.ToString(registry) +
+           " w=" + std::to_string(node.window) +
+           " scratch=" + std::to_string(node.scratch_cost) +
+           " rate=" + std::to_string(node.output_rate);
+    for (const std::string& name : node.query_names) out += " [" + name + "]";
+    out += "\n";
+  }
+  for (const SharingEdge& edge : edges) {
+    out += "  " + std::to_string(edge.source) + " -> " +
+           std::to_string(edge.target) + " (" +
+           std::string(RecipeKindName(edge.recipe.kind)) +
+           ", cost=" + std::to_string(edge.cost) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace motto

@@ -1,0 +1,86 @@
+#ifndef MOTTO_MOTTO_SHARING_GRAPH_H_
+#define MOTTO_MOTTO_SHARING_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/time.h"
+
+namespace motto {
+
+/// How a beneficiary query is computed from a source query's output
+/// (the label of one edge of the paper's DSMT graph, §V-B).
+struct RewriteRecipe {
+  enum class Kind {
+    /// Same pattern, source window larger: SpanFilter(target window)
+    /// (paper §IV-D mark-point case 1 / extended-source case 2).
+    kSpanFilter,
+    /// Source pattern is a contiguous run (SEQ) / sub-multiset (CONJ) of the
+    /// target: target re-executed with the source's composite as one operand
+    /// (MST substring case and DST, §IV-A/B).
+    kCompositeOperand,
+    /// SEQ source is a non-contiguous subsequence of a SEQ target:
+    /// CONJ(composite & rest) followed by an order filter (MST non-substring
+    /// case, paper Example 1).
+    kMergeOrdered,
+    /// OTT SEQ-from-CONJ: Filter_sc on the source output (Table I), plus a
+    /// span filter when the source window is larger.
+    kOrderFilter,
+    /// Target operators re-executed over a DISJ source's pass-through
+    /// output: OTT CONJ/SEQ-from-DISJ and DISJ-from-DISJ subset sharing.
+    kFromDisj,
+  };
+
+  Kind kind = Kind::kCompositeOperand;
+  /// Target operand positions covered by the source's output, ascending.
+  std::vector<int32_t> covered;
+};
+
+std::string_view RecipeKindName(RewriteRecipe::Kind kind);
+
+/// One candidate (sub-)query: a node of the DSMT graph. Terminal nodes are
+/// user queries (including nested-division sub-queries, which must always
+/// execute); Steiner nodes are "interesting sub-queries" the planner may or
+/// may not materialize.
+struct SharingNode {
+  FlatPattern pattern;  // Canonical; operands may be composite types.
+  Duration window = 0;
+  std::string key;
+  bool terminal = false;
+  /// User queries answered directly by this node's output.
+  std::vector<std::string> query_names;
+  /// Cost of computing this node from the raw stream (edge from q0).
+  double scratch_cost = 0.0;
+  /// Estimated emissions per second (used for downstream edge costs).
+  double output_rate = 0.0;
+  /// Composite type id of this node's output events.
+  EventTypeId output_type = kInvalidEventType;
+};
+
+struct SharingEdge {
+  int32_t source = -1;
+  int32_t target = -1;
+  RewriteRecipe recipe;
+  /// Cost of computing the target from the source's output.
+  double cost = 0.0;
+};
+
+/// The sharing graph handed to the DSMT planner.
+struct SharingGraph {
+  std::vector<SharingNode> nodes;
+  std::vector<SharingEdge> edges;
+  std::unordered_map<std::string, int32_t> index;  // key -> node id.
+
+  std::string ToString(const EventTypeRegistry& registry) const;
+};
+
+/// Node identity: canonical pattern + window (window-free for DISJ, whose
+/// pass-through output does not depend on it).
+std::string SharingNodeKey(const FlatPattern& pattern, Duration window);
+
+}  // namespace motto
+
+#endif  // MOTTO_MOTTO_SHARING_GRAPH_H_

@@ -1,0 +1,390 @@
+#include "planner/plan_builder.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace motto {
+
+namespace {
+
+/// Slot ranges of a pattern's operands: operand i owns output slots
+/// [base[i], base[i] + arity_i).
+struct SlotLayout {
+  std::vector<int32_t> base;
+  int32_t total = 0;
+};
+
+SlotLayout LayoutOf(const FlatPattern& pattern, const CompositeCatalog& catalog,
+                    const EventTypeRegistry& registry) {
+  SlotLayout layout;
+  layout.base.reserve(pattern.operands.size());
+  for (EventTypeId type : pattern.operands) {
+    layout.base.push_back(layout.total);
+    layout.total += catalog.ArityOf(type, registry);
+  }
+  return layout;
+}
+
+/// Identity slot map for a producer with `arity` slots, offset by `base`.
+std::vector<int32_t> OffsetSlotMap(int32_t arity, int32_t base) {
+  std::vector<int32_t> map(static_cast<size_t>(arity));
+  for (int32_t s = 0; s < arity; ++s) map[static_cast<size_t>(s)] = base + s;
+  return map;
+}
+
+class Builder {
+ public:
+  Builder(const SharingGraph& graph, const PlanDecision& decision,
+          const CompositeCatalog& catalog, EventTypeRegistry* registry)
+      : graph_(graph),
+        decision_(decision),
+        catalog_(catalog),
+        registry_(registry),
+        exec_node_(graph.nodes.size(), -1) {}
+
+  Result<Jqp> Build() {
+    if (decision_.choice.size() != graph_.nodes.size()) {
+      return InvalidArgumentError("decision does not match sharing graph");
+    }
+    for (size_t v = 0; v < graph_.nodes.size(); ++v) {
+      if (decision_.choice[v] != kNodeNotSelected) {
+        MOTTO_RETURN_IF_ERROR(Realize(static_cast<int32_t>(v)));
+      }
+    }
+    for (size_t v = 0; v < graph_.nodes.size(); ++v) {
+      const SharingNode& node = graph_.nodes[v];
+      if (decision_.choice[v] == kNodeNotSelected) continue;
+      for (const std::string& name : node.query_names) {
+        jqp_.sinks.push_back(Jqp::Sink{name, exec_node_[v]});
+      }
+    }
+    return std::move(jqp_);
+  }
+
+ private:
+  /// Executable node producing the output of sharing node `v` (realizing it
+  /// and its dependencies on demand).
+  Status Realize(int32_t v) {
+    size_t uv = static_cast<size_t>(v);
+    if (exec_node_[uv] != -1) return Status::Ok();
+    if (in_progress_.count(v) > 0) {
+      return InternalError("cyclic plan dependency");
+    }
+    in_progress_.insert(v);
+    const SharingNode& node = graph_.nodes[uv];
+    int32_t c = decision_.choice[uv];
+    if (c == kNodeNotSelected) {
+      return InternalError("node " + node.key +
+                           " needed but not selected by the planner");
+    }
+    Status status =
+        c == kNodeFromGround
+            ? RealizeGround(v)
+            : RealizeEdge(v, graph_.edges[static_cast<size_t>(c)]);
+    in_progress_.erase(v);
+    return status;
+  }
+
+  /// Producer sharing-node id for a composite operand type.
+  Result<int32_t> ProducerOf(EventTypeId type) {
+    const CompositeCatalog::Info* info = catalog_.Find(type);
+    if (info == nullptr) {
+      return InternalError("no catalog entry for composite operand " +
+                           registry_->NameOf(type));
+    }
+    std::string key = SharingNodeKey(info->pattern, info->window);
+    auto it = graph_.index.find(key);
+    if (it == graph_.index.end()) {
+      return InternalError("no sharing node for composite operand " + key);
+    }
+    return it->second;
+  }
+
+  /// Builds the binding for operand `i` of `pattern` reading its canonical
+  /// producer (raw stream for primitives, producer node for composites).
+  /// Registers upstream inputs in `inputs` and returns the binding.
+  Result<OperandBinding> DirectBinding(const FlatPattern& pattern, size_t i,
+                                       const SlotLayout& layout,
+                                       std::vector<int32_t>* inputs) {
+    EventTypeId type = pattern.operands[i];
+    OperandBinding binding;
+    if (registry_->IsPrimitive(type)) {
+      binding.types = {type};
+      binding.channel = kRawChannel;
+      binding.slot_map = {layout.base[i]};
+      return binding;
+    }
+    if (const CompositeCatalog::SelectorInfo* selector =
+            catalog_.FindSelector(type)) {
+      binding.types = {selector->base};
+      binding.channel = kRawChannel;
+      binding.slot_map = {layout.base[i]};
+      binding.predicate = selector->predicate;
+      return binding;
+    }
+    MOTTO_ASSIGN_OR_RETURN(int32_t producer, ProducerOf(type));
+    MOTTO_RETURN_IF_ERROR(Realize(producer));
+    binding.types = catalog_.AcceptedTypes(type, *registry_);
+    binding.channel = ChannelFor(exec_node_[static_cast<size_t>(producer)],
+                                 inputs);
+    binding.slot_map = OffsetSlotMap(catalog_.ArityOf(type, *registry_),
+                                     layout.base[i]);
+    return binding;
+  }
+
+  /// Channel index for upstream executable node `exec` (adding it to the
+  /// node's input list if new).
+  Channel ChannelFor(int32_t exec, std::vector<int32_t>* inputs) {
+    for (size_t k = 0; k < inputs->size(); ++k) {
+      if ((*inputs)[k] == exec) return static_cast<Channel>(k + 1);
+    }
+    inputs->push_back(exec);
+    return static_cast<Channel>(inputs->size());
+  }
+
+  /// Expands the pattern's NEG list into the spec: selector symbols become
+  /// (base type, predicate) pairs the matcher evaluates.
+  void FillNegated(const FlatPattern& pattern, PatternSpec* spec) {
+    for (EventTypeId t : pattern.negated) {
+      if (const CompositeCatalog::SelectorInfo* selector =
+              catalog_.FindSelector(t)) {
+        spec->negated.push_back(selector->base);
+        spec->negated_predicates.push_back(selector->predicate);
+      } else {
+        spec->negated.push_back(t);
+        spec->negated_predicates.emplace_back();
+      }
+    }
+  }
+
+  Status RealizeGround(int32_t v) {
+    const SharingNode& node = graph_.nodes[static_cast<size_t>(v)];
+    SlotLayout layout = LayoutOf(node.pattern, catalog_, *registry_);
+    PatternSpec spec;
+    spec.op = node.pattern.op;
+    spec.window = node.pattern.op == PatternOp::kDisj && node.window <= 0
+                      ? 1
+                      : node.window;
+    FillNegated(node.pattern, &spec);
+    spec.output_type = node.output_type;
+    std::vector<int32_t> inputs;
+    for (size_t i = 0; i < node.pattern.operands.size(); ++i) {
+      MOTTO_ASSIGN_OR_RETURN(OperandBinding binding,
+                             DirectBinding(node.pattern, i, layout, &inputs));
+      spec.operands.push_back(std::move(binding));
+    }
+    JqpNode jqp_node;
+    jqp_node.spec = std::move(spec);
+    jqp_node.inputs = std::move(inputs);
+    jqp_node.label = node.key;
+    exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+    return Status::Ok();
+  }
+
+  Status RealizeEdge(int32_t v, const SharingEdge& edge) {
+    MOTTO_RETURN_IF_ERROR(Realize(edge.source));
+    const SharingNode& node = graph_.nodes[static_cast<size_t>(v)];
+    const SharingNode& src = graph_.nodes[static_cast<size_t>(edge.source)];
+    int32_t src_exec = exec_node_[static_cast<size_t>(edge.source)];
+
+    switch (edge.recipe.kind) {
+      case RewriteRecipe::Kind::kSpanFilter: {
+        SpanFilterSpec filter;
+        filter.max_span = node.window;
+        filter.retype = node.output_type;
+        JqpNode jqp_node;
+        jqp_node.spec = filter;
+        jqp_node.inputs = {src_exec};
+        jqp_node.label = node.key + " (span)";
+        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+        return Status::Ok();
+      }
+
+      case RewriteRecipe::Kind::kCompositeOperand: {
+        SlotLayout layout = LayoutOf(node.pattern, catalog_, *registry_);
+        SlotLayout src_layout = LayoutOf(src.pattern, catalog_, *registry_);
+        const std::vector<int32_t>& covered = edge.recipe.covered;
+        MOTTO_CHECK_EQ(covered.size(), src.pattern.operands.size());
+        PatternSpec spec;
+        spec.op = node.pattern.op;
+        spec.window = node.window;
+        FillNegated(node.pattern, &spec);
+        spec.output_type = node.output_type;
+        std::vector<int32_t> inputs;
+        // Composite operand first (CONJ) or in sequence position (SEQ).
+        OperandBinding composite;
+        composite.types = catalog_.AcceptedTypes(src.output_type, *registry_);
+        composite.channel = ChannelFor(src_exec, &inputs);
+        composite.slot_map.assign(static_cast<size_t>(src_layout.total), 0);
+        for (size_t j = 0; j < covered.size(); ++j) {
+          int32_t arity = catalog_.ArityOf(src.pattern.operands[j], *registry_);
+          for (int32_t s = 0; s < arity; ++s) {
+            composite.slot_map[static_cast<size_t>(src_layout.base[j] + s)] =
+                layout.base[static_cast<size_t>(covered[j])] + s;
+          }
+        }
+        std::unordered_map<int32_t, bool> covered_set;
+        for (int32_t p : covered) covered_set[p] = true;
+        // SEQ: composite must sit at its sequence position.
+        bool composite_placed = false;
+        for (size_t i = 0; i < node.pattern.operands.size(); ++i) {
+          if (covered_set.count(static_cast<int32_t>(i)) > 0) {
+            if (!composite_placed) {
+              spec.operands.push_back(composite);
+              composite_placed = true;
+            }
+            continue;
+          }
+          MOTTO_ASSIGN_OR_RETURN(
+              OperandBinding binding,
+              DirectBinding(node.pattern, i, layout, &inputs));
+          spec.operands.push_back(std::move(binding));
+        }
+        JqpNode jqp_node;
+        jqp_node.spec = std::move(spec);
+        jqp_node.inputs = std::move(inputs);
+        jqp_node.label = node.key + " (from " + src.key + ")";
+        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+        return Status::Ok();
+      }
+
+      case RewriteRecipe::Kind::kMergeOrdered: {
+        // CONJ(composite & uncovered...) with target slots, then the order
+        // filter enforcing the target's SEQ order (paper Example 1).
+        SlotLayout layout = LayoutOf(node.pattern, catalog_, *registry_);
+        SlotLayout src_layout = LayoutOf(src.pattern, catalog_, *registry_);
+        const std::vector<int32_t>& covered = edge.recipe.covered;
+        PatternSpec merge;
+        merge.op = PatternOp::kConj;
+        merge.window = node.window;
+        merge.output_type = registry_->RegisterComposite(
+            node.key + "#merge(" + src.key + ")");
+        std::vector<int32_t> inputs;
+        OperandBinding composite;
+        composite.types = catalog_.AcceptedTypes(src.output_type, *registry_);
+        composite.channel = ChannelFor(src_exec, &inputs);
+        composite.slot_map.assign(static_cast<size_t>(src_layout.total), 0);
+        for (size_t j = 0; j < covered.size(); ++j) {
+          int32_t arity = catalog_.ArityOf(src.pattern.operands[j], *registry_);
+          for (int32_t s = 0; s < arity; ++s) {
+            composite.slot_map[static_cast<size_t>(src_layout.base[j] + s)] =
+                layout.base[static_cast<size_t>(covered[j])] + s;
+          }
+        }
+        merge.operands.push_back(std::move(composite));
+        std::unordered_map<int32_t, bool> covered_set;
+        for (int32_t p : covered) covered_set[p] = true;
+        for (size_t i = 0; i < node.pattern.operands.size(); ++i) {
+          if (covered_set.count(static_cast<int32_t>(i)) > 0) continue;
+          MOTTO_ASSIGN_OR_RETURN(
+              OperandBinding binding,
+              DirectBinding(node.pattern, i, layout, &inputs));
+          merge.operands.push_back(std::move(binding));
+        }
+        JqpNode merge_node;
+        merge_node.spec = std::move(merge);
+        merge_node.inputs = std::move(inputs);
+        merge_node.label = node.key + " (merge " + src.key + ")";
+        int32_t merge_id = jqp_.AddNode(std::move(merge_node));
+
+        OrderFilterSpec filter;
+        filter.required_order = node.pattern.operands;
+        filter.relabel = true;
+        filter.output_type = node.output_type;
+        JqpNode filter_node;
+        filter_node.spec = std::move(filter);
+        filter_node.inputs = {merge_id};
+        filter_node.label = node.key + " (order)";
+        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(filter_node));
+        return Status::Ok();
+      }
+
+      case RewriteRecipe::Kind::kOrderFilter: {
+        OrderFilterSpec filter;
+        filter.required_order = node.pattern.operands;
+        filter.relabel = true;
+        filter.output_type = node.output_type;
+        JqpNode filter_node;
+        filter_node.spec = std::move(filter);
+        filter_node.inputs = {src_exec};
+        filter_node.label = node.key + " (Filter_sc)";
+        int32_t filter_id = jqp_.AddNode(std::move(filter_node));
+        if (src.window > node.window) {
+          SpanFilterSpec span;
+          span.max_span = node.window;
+          JqpNode span_node;
+          span_node.spec = span;
+          span_node.inputs = {filter_id};
+          span_node.label = node.key + " (span)";
+          filter_id = jqp_.AddNode(std::move(span_node));
+        }
+        exec_node_[static_cast<size_t>(v)] = filter_id;
+        return Status::Ok();
+      }
+
+      case RewriteRecipe::Kind::kFromDisj: {
+        SlotLayout layout = LayoutOf(node.pattern, catalog_, *registry_);
+        PatternSpec spec;
+        spec.op = node.pattern.op;
+        spec.window = node.pattern.op == PatternOp::kDisj && node.window <= 0
+                          ? 1
+                          : node.window;
+        FillNegated(node.pattern, &spec);
+        spec.output_type = node.output_type;
+        std::vector<int32_t> inputs;
+        std::unordered_map<int32_t, bool> covered_set;
+        for (int32_t p : edge.recipe.covered) covered_set[p] = true;
+        Channel src_channel = ChannelFor(src_exec, &inputs);
+        for (size_t i = 0; i < node.pattern.operands.size(); ++i) {
+          if (covered_set.count(static_cast<int32_t>(i)) > 0) {
+            EventTypeId type = node.pattern.operands[i];
+            OperandBinding binding;
+            binding.types = catalog_.AcceptedTypes(type, *registry_);
+            binding.channel = src_channel;
+            binding.slot_map = OffsetSlotMap(
+                catalog_.ArityOf(type, *registry_), layout.base[i]);
+            if (const CompositeCatalog::SelectorInfo* selector =
+                    catalog_.FindSelector(type)) {
+              binding.predicate = selector->predicate;
+            }
+            spec.operands.push_back(std::move(binding));
+          } else {
+            MOTTO_ASSIGN_OR_RETURN(
+                OperandBinding binding,
+                DirectBinding(node.pattern, i, layout, &inputs));
+            spec.operands.push_back(std::move(binding));
+          }
+        }
+        JqpNode jqp_node;
+        jqp_node.spec = std::move(spec);
+        jqp_node.inputs = std::move(inputs);
+        jqp_node.label = node.key + " (from-disj " + src.key + ")";
+        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+        return Status::Ok();
+      }
+    }
+    return InternalError("unknown recipe kind");
+  }
+
+  const SharingGraph& graph_;
+  const PlanDecision& decision_;
+  const CompositeCatalog& catalog_;
+  EventTypeRegistry* registry_;
+  Jqp jqp_;
+  std::vector<int32_t> exec_node_;
+  std::unordered_set<int32_t> in_progress_;
+};
+
+}  // namespace
+
+Result<Jqp> BuildJqp(const SharingGraph& graph, const PlanDecision& decision,
+                     const CompositeCatalog& catalog,
+                     EventTypeRegistry* registry) {
+  Builder builder(graph, decision, catalog, registry);
+  return builder.Build();
+}
+
+}  // namespace motto

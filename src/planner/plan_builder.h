@@ -1,0 +1,22 @@
+#ifndef MOTTO_PLANNER_PLAN_BUILDER_H_
+#define MOTTO_PLANNER_PLAN_BUILDER_H_
+
+#include "common/result.h"
+#include "engine/graph.h"
+#include "motto/catalog.h"
+#include "motto/sharing_graph.h"
+#include "planner/solver.h"
+
+namespace motto {
+
+/// Materializes a plan decision over a sharing graph into an executable
+/// jumbo query plan: one pattern node per ground-computed node, and the
+/// rewrite operators (composite-operand matchers, merge + order filters,
+/// span filters, DISJ rebinds) prescribed by each chosen sharing edge.
+Result<Jqp> BuildJqp(const SharingGraph& graph, const PlanDecision& decision,
+                     const CompositeCatalog& catalog,
+                     EventTypeRegistry* registry);
+
+}  // namespace motto
+
+#endif  // MOTTO_PLANNER_PLAN_BUILDER_H_

@@ -1,0 +1,325 @@
+#include "planner/solver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace motto {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ChoiceCost(const SharingGraph& graph, int32_t node, int32_t choice) {
+  if (choice == kNodeFromGround) {
+    return graph.nodes[static_cast<size_t>(node)].scratch_cost;
+  }
+  MOTTO_CHECK_GE(choice, 0);
+  return graph.edges[static_cast<size_t>(choice)].cost;
+}
+
+std::vector<std::vector<int32_t>> InEdgesByTarget(const SharingGraph& graph) {
+  std::vector<std::vector<int32_t>> in_edges(graph.nodes.size());
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    in_edges[static_cast<size_t>(graph.edges[e].target)].push_back(
+        static_cast<int32_t>(e));
+  }
+  return in_edges;
+}
+
+/// Computes the active closure of `choice` (terminals plus transitively
+/// referenced sources) and its cost; normalizes unused nodes to
+/// kNodeNotSelected. Returns the cost.
+double Normalize(const SharingGraph& graph, std::vector<int32_t>* choice) {
+  size_t n = graph.nodes.size();
+  std::vector<bool> active(n, false);
+  std::vector<int32_t> stack;
+  for (size_t v = 0; v < n; ++v) {
+    if (graph.nodes[v].terminal) {
+      active[v] = true;
+      stack.push_back(static_cast<int32_t>(v));
+    }
+  }
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    int32_t c = (*choice)[static_cast<size_t>(v)];
+    if (c >= 0) {
+      int32_t src = graph.edges[static_cast<size_t>(c)].source;
+      if (!active[static_cast<size_t>(src)]) {
+        active[static_cast<size_t>(src)] = true;
+        stack.push_back(src);
+      }
+    }
+  }
+  double cost = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    if (!active[v]) {
+      (*choice)[v] = kNodeNotSelected;
+      continue;
+    }
+    if ((*choice)[v] == kNodeNotSelected) (*choice)[v] = kNodeFromGround;
+    cost += ChoiceCost(graph, static_cast<int32_t>(v), (*choice)[v]);
+  }
+  return cost;
+}
+
+}  // namespace
+
+double DefaultPlanCost(const SharingGraph& graph) {
+  double cost = 0.0;
+  for (const SharingNode& node : graph.nodes) {
+    if (node.terminal) cost += node.scratch_cost;
+  }
+  return cost;
+}
+
+PlanDecision NaivePlan(const SharingGraph& graph) {
+  PlanDecision decision;
+  decision.choice.assign(graph.nodes.size(), kNodeNotSelected);
+  for (size_t v = 0; v < graph.nodes.size(); ++v) {
+    if (graph.nodes[v].terminal) decision.choice[v] = kNodeFromGround;
+  }
+  decision.cost = DefaultPlanCost(graph);
+  decision.exact = graph.edges.empty();
+  return decision;
+}
+
+Result<double> ValidateDecision(const SharingGraph& graph,
+                                const PlanDecision& decision) {
+  if (decision.choice.size() != graph.nodes.size()) {
+    return InvalidArgumentError("decision size mismatch");
+  }
+  double cost = 0.0;
+  for (size_t v = 0; v < graph.nodes.size(); ++v) {
+    int32_t c = decision.choice[v];
+    if (c == kNodeNotSelected) {
+      if (graph.nodes[v].terminal) {
+        return InvalidArgumentError("terminal node not selected");
+      }
+      continue;
+    }
+    if (c != kNodeFromGround) {
+      if (c < 0 || c >= static_cast<int32_t>(graph.edges.size())) {
+        return InvalidArgumentError("choice out of range");
+      }
+      const SharingEdge& edge = graph.edges[static_cast<size_t>(c)];
+      if (edge.target != static_cast<int32_t>(v)) {
+        return InvalidArgumentError("edge target mismatch");
+      }
+      if (decision.choice[static_cast<size_t>(edge.source)] ==
+          kNodeNotSelected) {
+        return InvalidArgumentError("edge source not selected");
+      }
+    }
+    cost += ChoiceCost(graph, static_cast<int32_t>(v), c);
+  }
+  return cost;
+}
+
+PlanDecision SolveBranchAndBound(const SharingGraph& graph,
+                                 double budget_seconds) {
+  Clock::time_point start = Clock::now();
+  size_t n = graph.nodes.size();
+  std::vector<std::vector<int32_t>> in_edges = InEdgesByTarget(graph);
+
+  // Admissible per-node lower bound: the cheapest way to obtain the node,
+  // ignoring source activation costs.
+  std::vector<double> min_cost(n);
+  for (size_t v = 0; v < n; ++v) {
+    double best = graph.nodes[v].scratch_cost;
+    for (int32_t e : in_edges[v]) {
+      best = std::min(best, graph.edges[static_cast<size_t>(e)].cost);
+    }
+    min_cost[v] = best;
+  }
+
+  PlanDecision best = NaivePlan(graph);
+  best.exact = false;
+
+  enum NodeState : uint8_t { kFree = 0, kPending = 1, kAssigned = 2 };
+  std::vector<uint8_t> state(n, kFree);
+  std::vector<int32_t> choice(n, kNodeNotSelected);
+  std::vector<int32_t> pending;  // Required nodes awaiting a choice.
+  for (size_t v = 0; v < n; ++v) {
+    if (graph.nodes[v].terminal) {
+      pending.push_back(static_cast<int32_t>(v));
+      state[v] = kPending;
+    }
+  }
+  // Process high-fan-in nodes last so cheap forced choices come early.
+  std::sort(pending.begin(), pending.end(), [&](int32_t a, int32_t b) {
+    return in_edges[static_cast<size_t>(a)].size() >
+           in_edges[static_cast<size_t>(b)].size();
+  });
+
+  bool deadline_hit = false;
+  uint64_t expansions = 0;
+
+  // DFS over assignments for `pending` (treated as a stack).
+  std::function<void(double, double)> dfs = [&](double current,
+                                                double bound_rest) {
+    if (deadline_hit) return;
+    if ((++expansions & 1023) == 0) {
+      double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (elapsed > budget_seconds) {
+        deadline_hit = true;
+        return;
+      }
+    }
+    if (current + bound_rest >= best.cost) return;
+    if (pending.empty()) {
+      best.choice = choice;
+      best.cost = current;
+      return;
+    }
+    int32_t v = pending.back();
+    pending.pop_back();
+    state[static_cast<size_t>(v)] = kAssigned;
+    double v_bound = min_cost[static_cast<size_t>(v)];
+
+    // Candidate options sorted by optimistic cost.
+    struct Option {
+      int32_t choice;
+      double cost;        // Immediate cost of the option.
+      double optimistic;  // cost + activation estimate for a new source.
+    };
+    std::vector<Option> options;
+    options.push_back(
+        Option{kNodeFromGround, graph.nodes[static_cast<size_t>(v)].scratch_cost,
+               graph.nodes[static_cast<size_t>(v)].scratch_cost});
+    for (int32_t e : in_edges[static_cast<size_t>(v)]) {
+      const SharingEdge& edge = graph.edges[static_cast<size_t>(e)];
+      double extra = state[static_cast<size_t>(edge.source)] == kFree
+                         ? min_cost[static_cast<size_t>(edge.source)]
+                         : 0.0;
+      options.push_back(Option{e, edge.cost, edge.cost + extra});
+    }
+    std::sort(options.begin(), options.end(),
+              [](const Option& a, const Option& b) {
+                return a.optimistic < b.optimistic;
+              });
+
+    for (const Option& option : options) {
+      if (deadline_hit) break;
+      choice[static_cast<size_t>(v)] = option.choice;
+      bool activated_source = false;
+      int32_t src = -1;
+      if (option.choice >= 0) {
+        src = graph.edges[static_cast<size_t>(option.choice)].source;
+        if (state[static_cast<size_t>(src)] == kFree) {
+          // Source becomes required: it must receive its own choice later.
+          pending.push_back(src);
+          state[static_cast<size_t>(src)] = kPending;
+          activated_source = true;
+        }
+      }
+      double extra_bound =
+          activated_source ? min_cost[static_cast<size_t>(src)] : 0.0;
+      dfs(current + option.cost, bound_rest - v_bound + extra_bound);
+      if (activated_source) {
+        pending.pop_back();
+        state[static_cast<size_t>(src)] = kFree;
+      }
+    }
+    choice[static_cast<size_t>(v)] = kNodeNotSelected;
+    state[static_cast<size_t>(v)] = kPending;
+    pending.push_back(v);
+  };
+
+  double initial_bound = 0.0;
+  for (int32_t v : pending) initial_bound += min_cost[static_cast<size_t>(v)];
+  dfs(0.0, initial_bound);
+
+  best.exact = !deadline_hit;
+  best.solve_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  // Normalize: drop unused Steiner selections (defensive; DFS assigns only
+  // required nodes).
+  best.cost = Normalize(graph, &best.choice);
+  return best;
+}
+
+PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
+                                     int iterations) {
+  Clock::time_point start = Clock::now();
+  Rng rng(seed);
+  size_t n = graph.nodes.size();
+  std::vector<std::vector<int32_t>> in_edges = InEdgesByTarget(graph);
+
+  std::vector<int32_t> current(n, kNodeNotSelected);
+  double current_cost = Normalize(graph, &current);
+  std::vector<int32_t> best_choice = current;
+  double best_cost = current_cost;
+
+  // Nodes worth mutating: those with at least one in-edge.
+  std::vector<int32_t> mutable_nodes;
+  for (size_t v = 0; v < n; ++v) {
+    if (!in_edges[v].empty()) mutable_nodes.push_back(static_cast<int32_t>(v));
+  }
+  if (mutable_nodes.empty() || iterations <= 0) {
+    PlanDecision decision;
+    decision.choice = std::move(current);
+    decision.cost = current_cost;
+    decision.exact = graph.edges.empty();
+    decision.solve_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return decision;
+  }
+
+  double t0 = std::max(1e-9, 0.1 * DefaultPlanCost(graph));
+  double t_end = t0 * 1e-4;
+  double cooling = std::pow(t_end / t0, 1.0 / iterations);
+  double temperature = t0;
+
+  for (int it = 0; it < iterations; ++it, temperature *= cooling) {
+    int32_t v = mutable_nodes[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(mutable_nodes.size()) - 1))];
+    const std::vector<int32_t>& candidates = in_edges[static_cast<size_t>(v)];
+    int64_t pick = rng.Uniform(-1, static_cast<int64_t>(candidates.size()) - 1);
+    int32_t proposal =
+        pick < 0 ? kNodeFromGround : candidates[static_cast<size_t>(pick)];
+    std::vector<int32_t> next = current;
+    next[static_cast<size_t>(v)] = proposal;
+    double next_cost = Normalize(graph, &next);
+    double delta = next_cost - current_cost;
+    if (delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature)) {
+      current = std::move(next);
+      current_cost = next_cost;
+      if (current_cost < best_cost) {
+        best_cost = current_cost;
+        best_choice = current;
+      }
+    }
+  }
+
+  PlanDecision decision;
+  decision.choice = std::move(best_choice);
+  decision.cost = best_cost;
+  decision.exact = false;
+  decision.solve_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return decision;
+}
+
+PlanDecision SelectPlan(const SharingGraph& graph,
+                        const PlannerOptions& options) {
+  if (graph.edges.empty()) return NaivePlan(graph);
+  if (options.force_approximate) {
+    return SolveSimulatedAnnealing(graph, options.seed, options.sa_iterations);
+  }
+  PlanDecision exact = SolveBranchAndBound(graph, options.exact_budget_seconds);
+  if (exact.exact) return exact;
+  PlanDecision approx =
+      SolveSimulatedAnnealing(graph, options.seed, options.sa_iterations);
+  approx.solve_seconds += exact.solve_seconds;
+  return approx.cost < exact.cost ? approx : exact;
+}
+
+}  // namespace motto

@@ -1,0 +1,69 @@
+#include "util/sequence.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace motto {
+
+int64_t FindSubstring(const SymbolSeq& needle, const SymbolSeq& haystack) {
+  if (needle.empty()) return 0;
+  if (needle.size() > haystack.size()) return -1;
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end());
+  if (it == haystack.end()) return -1;
+  return it - haystack.begin();
+}
+
+bool IsSubstring(const SymbolSeq& needle, const SymbolSeq& haystack) {
+  return FindSubstring(needle, haystack) >= 0;
+}
+
+bool IsSubsequence(const SymbolSeq& needle, const SymbolSeq& haystack) {
+  size_t i = 0;
+  for (size_t j = 0; i < needle.size() && j < haystack.size(); ++j) {
+    if (needle[i] == haystack[j]) ++i;
+  }
+  return i == needle.size();
+}
+
+std::vector<size_t> SubsequencePositions(const SymbolSeq& needle,
+                                         const SymbolSeq& haystack) {
+  std::vector<size_t> positions;
+  positions.reserve(needle.size());
+  size_t i = 0;
+  for (size_t j = 0; i < needle.size() && j < haystack.size(); ++j) {
+    if (needle[i] == haystack[j]) {
+      positions.push_back(j);
+      ++i;
+    }
+  }
+  if (i != needle.size()) return {};
+  return positions;
+}
+
+bool IsSubMultiset(const SymbolSeq& a, const SymbolSeq& b) {
+  std::unordered_map<int32_t, int> counts;
+  for (int32_t s : b) ++counts[s];
+  for (int32_t s : a) {
+    if (--counts[s] < 0) return false;
+  }
+  return true;
+}
+
+SymbolSeq MultisetDifference(const SymbolSeq& a, const SymbolSeq& b) {
+  std::unordered_map<int32_t, int> remove;
+  for (int32_t s : a) ++remove[s];
+  SymbolSeq out;
+  out.reserve(b.size() - a.size());
+  for (int32_t s : b) {
+    auto it = remove.find(s);
+    if (it != remove.end() && it->second > 0) {
+      --it->second;
+    } else {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace motto

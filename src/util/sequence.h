@@ -1,0 +1,42 @@
+#ifndef MOTTO_UTIL_SEQUENCE_H_
+#define MOTTO_UTIL_SEQUENCE_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace motto {
+
+/// Sequence of interned symbols (event type ids / operand keys) used by the
+/// sharing-opportunity search.
+using SymbolSeq = std::vector<int32_t>;
+
+/// True iff `needle` appears in `haystack` as a contiguous run.
+/// The empty sequence is a substring of everything.
+bool IsSubstring(const SymbolSeq& needle, const SymbolSeq& haystack);
+
+/// Position of the first occurrence of `needle` in `haystack`, or -1.
+/// The empty needle matches at position 0.
+int64_t FindSubstring(const SymbolSeq& needle, const SymbolSeq& haystack);
+
+/// True iff `needle` can be obtained from `haystack` by deleting elements
+/// (order preserved). The empty sequence is a subsequence of everything.
+bool IsSubsequence(const SymbolSeq& needle, const SymbolSeq& haystack);
+
+/// If `needle` is a subsequence of `haystack`, returns one witness: the
+/// haystack positions used for each needle element (greedy leftmost).
+/// Returns empty vector when not a subsequence and needle is non-empty.
+std::vector<size_t> SubsequencePositions(const SymbolSeq& needle,
+                                         const SymbolSeq& haystack);
+
+/// True iff `a` is a sub-multiset of `b` (element counts of `a` do not
+/// exceed those of `b`). Used for commutative operators (CONJ/DISJ).
+bool IsSubMultiset(const SymbolSeq& a, const SymbolSeq& b);
+
+/// Multiset difference b - a; requires IsSubMultiset(a, b). Preserves the
+/// relative order of the surviving elements of b.
+SymbolSeq MultisetDifference(const SymbolSeq& a, const SymbolSeq& b);
+
+}  // namespace motto
+
+#endif  // MOTTO_UTIL_SEQUENCE_H_

@@ -1,0 +1,309 @@
+#include "util/suffix_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace motto {
+
+namespace {
+
+constexpr int32_t kOpenEnd = std::numeric_limits<int32_t>::max();
+
+SymbolSeq ConcatWithTerminators(const SymbolSeq& a, const SymbolSeq& b) {
+  SymbolSeq text;
+  text.reserve(a.size() + b.size() + 2);
+  text.insert(text.end(), a.begin(), a.end());
+  text.push_back(-1);
+  text.insert(text.end(), b.begin(), b.end());
+  text.push_back(-2);
+  return text;
+}
+
+}  // namespace
+
+SuffixTree::SuffixTree(SymbolSeq text) {
+  original_size_ = text.size();
+  text_ = std::move(text);
+  for (int32_t sym : text_) MOTTO_CHECK_GE(sym, 0) << "symbols must be >= 0";
+  text_.push_back(-1);
+  Build();
+}
+
+SuffixTree::SuffixTree(RawTag, SymbolSeq text_with_terminators,
+                       size_t original_size) {
+  original_size_ = original_size;
+  text_ = std::move(text_with_terminators);
+  Build();
+}
+
+int32_t SuffixTree::NewNode(int32_t start, int32_t end) {
+  Node node;
+  node.start = start;
+  node.end = end;
+  node.link = 0;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+int32_t SuffixTree::EdgeLength(int32_t node, int32_t pos) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  int32_t end = n.end == kOpenEnd ? pos + 1 : n.end;
+  return end - n.start;
+}
+
+void SuffixTree::Build() {
+  nodes_.clear();
+  NewNode(-1, -1);  // Root is node 0; its edge fields are unused.
+  active_node_ = 0;
+  active_edge_ = 0;
+  active_length_ = 0;
+  remainder_ = 0;
+  leaf_end_ = -1;
+  for (int32_t i = 0; i < static_cast<int32_t>(text_.size()); ++i) Extend(i);
+  FinishAnnotations();
+}
+
+void SuffixTree::Extend(int32_t pos) {
+  leaf_end_ = pos;
+  ++remainder_;
+  int32_t last_new = -1;
+  while (remainder_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    int32_t sym = text_[static_cast<size_t>(active_edge_)];
+    auto it = nodes_[static_cast<size_t>(active_node_)].next.find(sym);
+    if (it == nodes_[static_cast<size_t>(active_node_)].next.end()) {
+      int32_t leaf = NewNode(pos, kOpenEnd);
+      nodes_[static_cast<size_t>(active_node_)].next[sym] = leaf;
+      if (last_new != -1) {
+        nodes_[static_cast<size_t>(last_new)].link = active_node_;
+        last_new = -1;
+      }
+    } else {
+      int32_t nxt = it->second;
+      int32_t elen = EdgeLength(nxt, pos);
+      if (active_length_ >= elen) {
+        // Walk down (canonicalize the active point) and retry.
+        active_edge_ += elen;
+        active_length_ -= elen;
+        active_node_ = nxt;
+        continue;
+      }
+      size_t probe =
+          static_cast<size_t>(nodes_[static_cast<size_t>(nxt)].start +
+                              active_length_);
+      if (text_[probe] == text_[static_cast<size_t>(pos)]) {
+        // Current symbol already on the edge: rule 3, stop this phase.
+        if (last_new != -1 && active_node_ != 0) {
+          nodes_[static_cast<size_t>(last_new)].link = active_node_;
+          last_new = -1;
+        }
+        ++active_length_;
+        break;
+      }
+      // Split the edge and add a new leaf (rule 2).
+      int32_t old_start = nodes_[static_cast<size_t>(nxt)].start;
+      int32_t split = NewNode(old_start, old_start + active_length_);
+      nodes_[static_cast<size_t>(active_node_)].next[sym] = split;
+      int32_t leaf = NewNode(pos, kOpenEnd);
+      nodes_[static_cast<size_t>(split)].next[text_[static_cast<size_t>(pos)]] =
+          leaf;
+      nodes_[static_cast<size_t>(nxt)].start += active_length_;
+      nodes_[static_cast<size_t>(split)]
+          .next[text_[static_cast<size_t>(
+              nodes_[static_cast<size_t>(nxt)].start)]] = nxt;
+      if (last_new != -1) nodes_[static_cast<size_t>(last_new)].link = split;
+      last_new = split;
+    }
+    --remainder_;
+    if (active_node_ == 0 && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remainder_ + 1;
+    } else if (active_node_ != 0) {
+      active_node_ = nodes_[static_cast<size_t>(active_node_)].link;
+    }
+  }
+}
+
+void SuffixTree::FinishAnnotations() {
+  int32_t n = static_cast<int32_t>(text_.size());
+  for (Node& node : nodes_) {
+    if (node.end == kOpenEnd) node.end = n;
+  }
+  leaf_of_suffix_.assign(text_.size(), -1);
+  nodes_[0].depth = 0;
+  nodes_[0].parent = -1;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    Node& node = nodes_[static_cast<size_t>(v)];
+    if (v != 0 && node.next.empty()) {
+      node.suffix = n - node.depth;
+      MOTTO_CHECK(node.suffix >= 0 && node.suffix < n);
+      leaf_of_suffix_[static_cast<size_t>(node.suffix)] = v;
+      continue;
+    }
+    for (const auto& [sym, child] : node.next) {
+      Node& c = nodes_[static_cast<size_t>(child)];
+      c.parent = v;
+      c.depth = node.depth + (c.end - c.start);
+      stack.push_back(child);
+    }
+  }
+  for (size_t i = 0; i < text_.size(); ++i) {
+    MOTTO_CHECK(leaf_of_suffix_[i] != -1) << "suffix " << i << " has no leaf";
+  }
+}
+
+int32_t SuffixTree::WalkDown(const SymbolSeq& pattern) const {
+  int32_t v = 0;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    auto it = nodes_[static_cast<size_t>(v)].next.find(pattern[i]);
+    if (it == nodes_[static_cast<size_t>(v)].next.end()) return -1;
+    int32_t c = it->second;
+    const Node& child = nodes_[static_cast<size_t>(c)];
+    int32_t len = child.end - child.start;
+    for (int32_t k = 0; k < len && i < pattern.size(); ++k, ++i) {
+      if (text_[static_cast<size_t>(child.start + k)] != pattern[i]) return -1;
+    }
+    v = c;
+  }
+  return v;
+}
+
+int64_t SuffixTree::LeafCount(int32_t node) const {
+  int64_t count = 0;
+  std::vector<int32_t> stack = {node};
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(v)];
+    if (n.next.empty()) {
+      ++count;
+      continue;
+    }
+    for (const auto& [sym, child] : n.next) stack.push_back(child);
+  }
+  return count;
+}
+
+bool SuffixTree::Contains(const SymbolSeq& pattern) const {
+  return WalkDown(pattern) != -1;
+}
+
+int64_t SuffixTree::CountOccurrences(const SymbolSeq& pattern) const {
+  MOTTO_CHECK(!pattern.empty()) << "occurrence queries need a pattern";
+  int32_t locus = WalkDown(pattern);
+  if (locus == -1) return 0;
+  return LeafCount(locus);
+}
+
+std::vector<size_t> SuffixTree::Occurrences(const SymbolSeq& pattern) const {
+  MOTTO_CHECK(!pattern.empty()) << "occurrence queries need a pattern";
+  std::vector<size_t> out;
+  int32_t locus = WalkDown(pattern);
+  if (locus == -1) return out;
+  std::vector<int32_t> stack = {locus};
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(v)];
+    if (n.next.empty()) {
+      out.push_back(static_cast<size_t>(n.suffix));
+      continue;
+    }
+    for (const auto& [sym, child] : n.next) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t SuffixTree::CountDistinctSubstrings() const {
+  // DFS counting, per edge reachable through a terminator-free path, the
+  // number of leading non-terminator symbols on the edge label. Each such
+  // prefix is one distinct substring of the original text.
+  int64_t total = 0;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(v)];
+    for (const auto& [sym, child] : n.next) {
+      if (sym < 0) continue;  // Edge starts with a terminator.
+      const Node& c = nodes_[static_cast<size_t>(child)];
+      bool clean = true;
+      for (int32_t k = c.start; k < c.end; ++k) {
+        if (text_[static_cast<size_t>(k)] < 0) {
+          clean = false;
+          break;
+        }
+        ++total;
+      }
+      if (clean) stack.push_back(child);
+    }
+  }
+  return total;
+}
+
+GeneralizedSuffixTree::GeneralizedSuffixTree(SymbolSeq a, SymbolSeq b)
+    : SuffixTree(RawTag{}, ConcatWithTerminators(a, b),
+                 a.size() + 1 + b.size()),
+      len_a_(a.size()),
+      len_b_(b.size()) {
+  for (int32_t sym : a) MOTTO_CHECK_GE(sym, 0) << "symbols must be >= 0";
+  for (int32_t sym : b) MOTTO_CHECK_GE(sym, 0) << "symbols must be >= 0";
+}
+
+size_t GeneralizedSuffixTree::LongestCommonExtension(size_t i, size_t j) const {
+  int32_t la = LeafOfSuffix(i);
+  int32_t lb = LeafOfSuffix(len_a_ + 1 + j);
+  // LCA by ancestor-set walk; these trees are tiny (operand lists).
+  std::unordered_set<int32_t> ancestors;
+  for (int32_t v = la; v != -1; v = nodes()[static_cast<size_t>(v)].parent) {
+    ancestors.insert(v);
+  }
+  int32_t v = lb;
+  while (v != -1 && ancestors.find(v) == ancestors.end()) {
+    v = nodes()[static_cast<size_t>(v)].parent;
+  }
+  MOTTO_CHECK(v != -1) << "leaves share no ancestor";
+  // The string depth of the LCA is the length of the longest common prefix
+  // of the two suffixes; terminators differ, so it never includes them.
+  return static_cast<size_t>(nodes()[static_cast<size_t>(v)].depth);
+}
+
+std::vector<CommonMatch> GeneralizedSuffixTree::MaximalCommonMatches() const {
+  std::vector<CommonMatch> out;
+  const SymbolSeq& t = text();
+  for (size_t i = 0; i < len_a_; ++i) {
+    for (size_t j = 0; j < len_b_; ++j) {
+      if (t[i] != t[len_a_ + 1 + j]) continue;
+      bool left_maximal = i == 0 || j == 0 || t[i - 1] != t[len_a_ + j];
+      if (!left_maximal) continue;
+      size_t len = LongestCommonExtension(i, j);
+      MOTTO_CHECK_GE(len, 1u);
+      out.push_back(CommonMatch{i, j, len});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CommonMatch& x, const CommonMatch& y) {
+    return x.pos_a != y.pos_a ? x.pos_a < y.pos_a : x.pos_b < y.pos_b;
+  });
+  return out;
+}
+
+SymbolSeq GeneralizedSuffixTree::LongestCommonSubstring() const {
+  SymbolSeq best;
+  for (const CommonMatch& m : MaximalCommonMatches()) {
+    if (m.length > best.size()) {
+      best.assign(text().begin() + static_cast<int64_t>(m.pos_a),
+                  text().begin() + static_cast<int64_t>(m.pos_a + m.length));
+    }
+  }
+  return best;
+}
+
+}  // namespace motto

@@ -1,0 +1,140 @@
+#ifndef MOTTO_UTIL_SUFFIX_TREE_H_
+#define MOTTO_UTIL_SUFFIX_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sequence.h"
+
+namespace motto {
+
+/// Suffix tree over a sequence of int32 symbols, built online with Ukkonen's
+/// algorithm in O(n) expected time (hash-map child edges).
+///
+/// This is the data structure behind the paper's DST sharing search (§IV-B):
+/// all common substrings of two operand lists are found by building a
+/// generalized suffix tree of both lists and reading off the nodes whose
+/// subtree contains suffixes of both. See GeneralizedSuffixTree below.
+///
+/// Symbols must be >= 0; negative symbols are reserved for internal
+/// terminators.
+class SuffixTree {
+ public:
+  /// Builds the tree for `text` followed by a unique terminator.
+  explicit SuffixTree(SymbolSeq text);
+
+  SuffixTree(const SuffixTree&) = delete;
+  SuffixTree& operator=(const SuffixTree&) = delete;
+  SuffixTree(SuffixTree&&) = default;
+  SuffixTree& operator=(SuffixTree&&) = default;
+
+  /// True iff `pattern` occurs in the text.
+  bool Contains(const SymbolSeq& pattern) const;
+
+  /// Number of occurrences of `pattern` in the text.
+  int64_t CountOccurrences(const SymbolSeq& pattern) const;
+
+  /// All start positions of `pattern` in the text, sorted ascending.
+  std::vector<size_t> Occurrences(const SymbolSeq& pattern) const;
+
+  /// Number of distinct non-empty substrings of the text (a classic suffix
+  /// tree identity: sum of edge lengths over non-terminator symbols is not
+  /// used; this counts distinct substrings of the original text exactly).
+  int64_t CountDistinctSubstrings() const;
+
+  size_t text_size() const { return original_size_; }
+  size_t node_count() const { return nodes_.size(); }
+
+ protected:
+  struct Node {
+    /// Edge label: text[start, end) on the edge entering this node.
+    int32_t start = 0;
+    int32_t end = 0;
+    int32_t link = 0;    // Suffix link (root for leaves / unset).
+    int32_t parent = -1; // Filled by FinishAnnotations.
+    int32_t depth = 0;   // Path-label length from root, incl. terminators.
+    int32_t suffix = -1; // Suffix start index for leaves, -1 for internal.
+    std::unordered_map<int32_t, int32_t> next;
+  };
+
+  /// Constructor body shared with GeneralizedSuffixTree: builds over
+  /// `text` (already including any terminators).
+  struct RawTag {};
+  SuffixTree(RawTag, SymbolSeq text_with_terminators, size_t original_size);
+
+  /// Walks from the root along `pattern`; returns the node id whose subtree
+  /// holds every occurrence (the locus), or -1 if not present.
+  /// `matched_into_edge` receives how many symbols of the locus node's edge
+  /// were consumed (0 when the walk ends exactly at a node boundary).
+  int32_t WalkDown(const SymbolSeq& pattern) const;
+
+  /// Number of leaves under `node`.
+  int64_t LeafCount(int32_t node) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const SymbolSeq& text() const { return text_; }
+
+  /// Leaf node id for the suffix starting at text index i.
+  int32_t LeafOfSuffix(size_t i) const { return leaf_of_suffix_[i]; }
+
+ private:
+  void Build();
+  void Extend(int32_t pos);
+  int32_t NewNode(int32_t start, int32_t end);
+  int32_t EdgeLength(int32_t node, int32_t pos) const;
+  void FinishAnnotations();
+
+  SymbolSeq text_;
+  size_t original_size_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> leaf_of_suffix_;
+
+  // Ukkonen build state.
+  int32_t active_node_ = 0;
+  int32_t active_edge_ = 0;
+  int32_t active_length_ = 0;
+  int32_t remainder_ = 0;
+  int32_t leaf_end_ = -1;
+};
+
+/// A maximal common substring match between sequences A and B: the run
+/// A[pos_a, pos_a+length) equals B[pos_b, pos_b+length) and cannot be
+/// extended left or right.
+struct CommonMatch {
+  size_t pos_a = 0;
+  size_t pos_b = 0;
+  size_t length = 0;
+
+  friend bool operator==(const CommonMatch& x, const CommonMatch& y) {
+    return x.pos_a == y.pos_a && x.pos_b == y.pos_b && x.length == y.length;
+  }
+};
+
+/// Generalized suffix tree over two sequences (A and B with distinct
+/// terminators), supporting the common-substring queries DST needs.
+class GeneralizedSuffixTree : public SuffixTree {
+ public:
+  GeneralizedSuffixTree(SymbolSeq a, SymbolSeq b);
+
+  /// One longest common substring of A and B (empty when they share no
+  /// symbol). Ties broken arbitrarily.
+  SymbolSeq LongestCommonSubstring() const;
+
+  /// All maximal common substring matches, sorted by (pos_a, pos_b).
+  /// This is the paper's "find all common substrings" step: every common
+  /// substring of A and B is a sub-run of some returned match.
+  std::vector<CommonMatch> MaximalCommonMatches() const;
+
+ private:
+  /// Length of the longest common prefix of A[i..] and B[j..], via the LCA
+  /// of the two corresponding suffix leaves.
+  size_t LongestCommonExtension(size_t i, size_t j) const;
+
+  size_t len_a_ = 0;
+  size_t len_b_ = 0;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_UTIL_SUFFIX_TREE_H_

@@ -1,0 +1,80 @@
+#include "workload/data_gen.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace motto {
+
+std::string_view ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kStockMarket:
+      return "stock-market";
+    case Scenario::kDataCenter:
+      return "data-center";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& ScenarioTypeNames(Scenario scenario) {
+  static const std::vector<std::string>& stock = *new std::vector<std::string>{
+      "AAPL", "MSFT", "IBM", "INTC", "FB",   "GOOG", "AMZN",
+      "ORCL", "CSCO", "NVDA", "TSLA", "NFLX", "SAP"};
+  static const std::vector<std::string>& datacenter =
+      *new std::vector<std::string>{
+          "net_pkt_small",   "net_pkt_large",    "net_start_tx",
+          "net_end_tx",      "net_delivery_ok",  "net_ack",
+          "net_retransmit",  "net_timeout",      "net_congestion",
+          "net_route_change","net_dns_slow",     "net_conn_reset",
+          "vm_cpu_high",     "vm_cpu_low",       "vm_mem_high",
+          "vm_mem_low",      "vm_disk_full",     "vm_disk_slow",
+          "vm_boot",         "vm_shutdown",      "vm_migrate",
+          "vm_snapshot",     "vm_log_error",     "vm_log_warn",
+          "svc_http_500",    "svc_http_503",     "svc_latency_high",
+          "svc_queue_full",  "svc_restart",      "svc_deploy",
+          "pwr_spike",       "pwr_brownout",     "cool_temp_high",
+          "cool_fan_fail",   "sec_login_fail",   "sec_port_scan"};
+  return scenario == Scenario::kStockMarket ? stock : datacenter;
+}
+
+EventStream GenerateStream(const StreamOptions& options,
+                           EventTypeRegistry* registry) {
+  MOTTO_CHECK_GT(options.num_events, 0);
+  const std::vector<std::string>& names = ScenarioTypeNames(options.scenario);
+  std::vector<EventTypeId> types;
+  types.reserve(names.size());
+  for (const std::string& name : names) {
+    types.push_back(registry->RegisterPrimitive(name));
+  }
+
+  double rate = options.events_per_second > 0
+                    ? options.events_per_second
+                    : (options.scenario == Scenario::kStockMarket ? 2.0 : 4.0);
+  double zipf = options.zipf_exponent >= 0
+                    ? options.zipf_exponent
+                    : (options.scenario == Scenario::kStockMarket ? 0.5 : 0.3);
+
+  Rng rng(options.seed);
+  EventStream stream;
+  stream.reserve(static_cast<size_t>(options.num_events));
+  Timestamp ts = 0;
+  double mean_gap_us =
+      static_cast<double>(kMicrosPerSecond) / rate;
+  // Payload state: per-type random-walk value (price / bytes).
+  std::vector<double> walk(types.size(), 100.0);
+  for (int64_t i = 0; i < options.num_events; ++i) {
+    // Strictly increasing timestamps keep SEQ semantics unambiguous.
+    Timestamp gap = static_cast<Timestamp>(rng.Exponential(mean_gap_us)) + 1;
+    ts += gap;
+    int32_t rank = rng.Zipf(static_cast<int32_t>(types.size()), zipf);
+    size_t type_idx = static_cast<size_t>(rank);
+    walk[type_idx] += rng.NextDouble() - 0.5;
+    Payload payload;
+    payload.value = walk[type_idx];
+    payload.aux = rng.Uniform(1, 100'000);  // Volume / packet bytes.
+    stream.push_back(Event::Primitive(types[type_idx], ts, payload));
+  }
+  return stream;
+}
+
+}  // namespace motto

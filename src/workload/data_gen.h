@@ -1,0 +1,49 @@
+#ifndef MOTTO_WORKLOAD_DATA_GEN_H_
+#define MOTTO_WORKLOAD_DATA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/stream.h"
+
+namespace motto {
+
+/// The paper's two application scenarios (§VII-A).
+enum class Scenario {
+  kStockMarket,  // 13 event types (stock symbols), longer operand lists.
+  kDataCenter,   // 36 event types (network/VM events), shorter lists.
+};
+
+std::string_view ScenarioName(Scenario scenario);
+
+/// Primitive event type names of a scenario (13 stock symbols / 36
+/// data-center event kinds).
+const std::vector<std::string>& ScenarioTypeNames(Scenario scenario);
+
+/// Synthetic substitutes for the paper's datasets (see DESIGN.md §4):
+/// the real stock trade set [16] (2M events, 13 symbols) and the SAP HANA
+/// DCI sample (4M events, 36 types) are not redistributable, so we generate
+/// streams with the same shape: Zipf-skewed type frequencies, exponential
+/// interarrivals calibrated so a 10-second window holds O(1) events of each
+/// hot type (the selective regime pattern queries target), strictly
+/// increasing timestamps, and a payload (price walk / packet size).
+struct StreamOptions {
+  Scenario scenario = Scenario::kStockMarket;
+  int64_t num_events = 2'000'000;
+  uint64_t seed = 42;
+  /// Total logical arrival rate (events per second of stream time).
+  /// Defaults: 1.2/s stock, 2.4/s data center.
+  double events_per_second = 0.0;
+  /// Zipf exponent of the type frequency distribution.
+  /// Defaults: 0.8 stock (hot symbols), 0.4 data center (flatter).
+  double zipf_exponent = -1.0;
+};
+
+/// Generates the stream and registers the scenario's types in `registry`.
+EventStream GenerateStream(const StreamOptions& options,
+                           EventTypeRegistry* registry);
+
+}  // namespace motto
+
+#endif  // MOTTO_WORKLOAD_DATA_GEN_H_

@@ -1,0 +1,72 @@
+#ifndef MOTTO_WORKLOAD_HARNESS_H_
+#define MOTTO_WORKLOAD_HARNESS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/executor.h"
+#include "motto/optimizer.h"
+
+namespace motto {
+
+/// Measurement of one optimizer mode over one workload + stream.
+struct ModeRun {
+  OptimizerMode mode = OptimizerMode::kNa;
+  /// Raw input events per second of wall time.
+  double throughput_eps = 0.0;
+  /// Throughput relative to the NA baseline of the same comparison.
+  double normalized = 1.0;
+  uint64_t total_matches = 0;
+  double optimize_seconds = 0.0;  // Rewriter + planner wall time.
+  double planned_cost = 0.0;
+  double default_cost = 0.0;
+  bool exact = false;
+  size_t jqp_nodes = 0;
+};
+
+struct ComparisonOptions {
+  std::vector<OptimizerMode> modes = {OptimizerMode::kNa, OptimizerMode::kMst,
+                                      OptimizerMode::kLcse,
+                                      OptimizerMode::kMotto};
+  PlannerOptions planner;
+  /// Cross-check that every mode produces exactly the NA match multiset
+  /// per query (slower; use on validation runs).
+  bool verify_matches = false;
+  /// Discard one warmup replay before measuring (cold caches/allocator
+  /// otherwise penalize whichever mode runs first).
+  bool warmup = false;
+  /// Measured replays per mode; the best throughput is reported.
+  int measure_runs = 1;
+};
+
+/// Optimizes and replays `queries` over `stream` once per mode, reporting
+/// throughput normalized to NA (the paper's Fig 13 measurement).
+/// The NA mode is always run (prepended if absent) to anchor normalization.
+Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
+                                          const EventStream& stream,
+                                          EventTypeRegistry* registry,
+                                          const ComparisonOptions& options);
+
+/// One point of the multi-core scaling study (Fig 14b).
+struct ScalingPoint {
+  int threads = 1;
+  /// Speedup predicted by LPT-partitioning measured per-node busy times
+  /// onto `threads` workers (this container has one vCPU; see DESIGN.md §4).
+  double modeled_speedup = 1.0;
+  double modeled_throughput_eps = 0.0;
+  /// Wall-clock throughput of the real multi-threaded executor (meaningful
+  /// only on multi-core hosts; reported for completeness).
+  double wallclock_throughput_eps = 0.0;
+};
+
+/// Runs `jqp` single-threaded with per-node timing, then models the
+/// makespan of the measured node work under 1..max_threads workers;
+/// optionally also runs the real ParallelExecutor per thread count.
+Result<std::vector<ScalingPoint>> MeasureCoreScaling(const Jqp& jqp,
+                                                     const EventStream& stream,
+                                                     int max_threads,
+                                                     bool run_wallclock);
+
+}  // namespace motto
+
+#endif  // MOTTO_WORKLOAD_HARNESS_H_

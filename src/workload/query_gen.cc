@@ -1,0 +1,293 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace motto {
+
+namespace {
+
+/// Stateful generator for one workload.
+class Generator {
+ public:
+  Generator(const WorkloadOptions& options, EventTypeRegistry* registry)
+      : options_(options), registry_(registry), rng_(options.seed) {
+    for (const std::string& name : ScenarioTypeNames(options.scenario)) {
+      universe_.push_back(registry_->RegisterPrimitive(name));
+    }
+    if (options_.scenario == Scenario::kStockMarket) {
+      min_operands_ = options_.min_operands > 0 ? options_.min_operands : 4;
+      max_operands_ = options_.max_operands > 0 ? options_.max_operands : 7;
+    } else {
+      min_operands_ = options_.min_operands > 0 ? options_.min_operands : 2;
+      max_operands_ = options_.max_operands > 0 ? options_.max_operands : 4;
+    }
+    max_operands_ =
+        std::min<int>(max_operands_, static_cast<int>(universe_.size()));
+    min_operands_ = std::min(min_operands_, max_operands_);
+    // Motif pool: short event sequences many queries embed, modelling the
+    // paper's motivation (Fig 1: analysts watching overlapping patterns).
+    // Motifs create the cross-pair sharing a multi-query optimizer exploits.
+    int num_motifs = std::max<int>(2, static_cast<int>(universe_.size()) / 6);
+    for (int m = 0; m < num_motifs; ++m) {
+      motifs_.push_back(SampleTypes(rng_.Bernoulli(0.5) ? 2 : 3));
+    }
+  }
+
+  Result<GeneratedWorkload> Generate() {
+    GeneratedWorkload out;
+    int pairs = (options_.num_queries + 1) / 2;
+    int basic_pairs = static_cast<int>(options_.basic_ratio * pairs + 0.5);
+    int basic_cycle = 0;
+    int complex_cycle = 0;
+    for (int p = 0; p < pairs; ++p) {
+      int type = options_.only_type > 0
+                     ? options_.only_type
+                     : (p < basic_pairs ? 1 + (basic_cycle++ % 4)
+                                        : 5 + (complex_cycle++ % 3));
+      bool added = false;
+      for (int attempt = 0; attempt < 64 && !added; ++attempt) {
+        added = TryAddPair(type, &out);
+      }
+      if (!added) {
+        return InternalError(
+            "workload generator could not produce a fresh pair of type " +
+            std::to_string(type) + "; universe too small");
+      }
+    }
+    while (static_cast<int>(out.queries.size()) > options_.num_queries) {
+      out.queries.pop_back();
+      out.sharing_type.pop_back();
+    }
+    return out;
+  }
+
+ private:
+  /// Samples `n` distinct types.
+  std::vector<EventTypeId> SampleTypes(int n) {
+    std::vector<EventTypeId> pool = universe_;
+    rng_.Shuffle(pool);
+    pool.resize(static_cast<size_t>(n));
+    return pool;
+  }
+
+  /// Samples `n` distinct types from the rare half of the universe
+  /// (ScenarioTypeNames orders types by Zipf rank, hottest first). The
+  /// complex group uses these: alert-style queries watch rare events, and
+  /// all-combination semantics over hot types would flood the comparison
+  /// with matches every plan must emit anyway.
+  std::vector<EventTypeId> SampleRareTypes(int n) {
+    std::vector<EventTypeId> pool(universe_.begin() +
+                                      static_cast<int64_t>(universe_.size() / 2),
+                                  universe_.end());
+    if (static_cast<int>(pool.size()) < n) pool = universe_;
+    rng_.Shuffle(pool);
+    pool.resize(static_cast<size_t>(n));
+    return pool;
+  }
+
+  /// Samples `n` distinct types, usually embedding one shared motif so
+  /// queries across pairs overlap (multi-query sharing fodder).
+  std::vector<EventTypeId> SampleOperandList(int n) {
+    if (motifs_.empty() || n < 4 || !rng_.Bernoulli(0.9)) {
+      return SampleTypes(n);
+    }
+    const std::vector<EventTypeId>& motif = motifs_[static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(motifs_.size()) - 1))];
+    // Fill the rest with distinct types outside the motif.
+    std::vector<EventTypeId> rest;
+    for (EventTypeId t : universe_) {
+      if (std::find(motif.begin(), motif.end(), t) == motif.end()) {
+        rest.push_back(t);
+      }
+    }
+    rng_.Shuffle(rest);
+    int extra = n - static_cast<int>(motif.size());
+    if (extra < 0 || extra > static_cast<int>(rest.size())) {
+      return SampleTypes(n);
+    }
+    rest.resize(static_cast<size_t>(extra));
+    // Insert the motif contiguously at a random position.
+    size_t pos = static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(rest.size())));
+    std::vector<EventTypeId> out(rest.begin(),
+                                 rest.begin() + static_cast<int64_t>(pos));
+    out.insert(out.end(), motif.begin(), motif.end());
+    out.insert(out.end(), rest.begin() + static_cast<int64_t>(pos),
+               rest.end());
+    return out;
+  }
+
+  int Span(int lo, int hi) {  // Inclusive uniform.
+    return static_cast<int>(rng_.Uniform(lo, hi));
+  }
+
+  static PatternExpr Flat(PatternOp op, const std::vector<EventTypeId>& types) {
+    std::vector<PatternExpr> children;
+    children.reserve(types.size());
+    for (EventTypeId t : types) children.push_back(PatternExpr::Leaf(t));
+    return PatternExpr::Operator(op, std::move(children));
+  }
+
+  bool Add(GeneratedWorkload* out, int type, PatternExpr pattern,
+           Duration window) {
+    std::string key =
+        Canonicalize(pattern).CanonicalKey() + "@" + std::to_string(window);
+    if (!seen_.insert(key).second) return false;
+    Query query;
+    query.name = "q" + std::to_string(out->queries.size());
+    query.pattern = std::move(pattern);
+    query.window = window;
+    out->queries.push_back(std::move(query));
+    out->sharing_type.push_back(type);
+    return true;
+  }
+
+  bool AddPair(GeneratedWorkload* out, int type, PatternExpr a, Duration wa,
+               PatternExpr b, Duration wb) {
+    size_t rollback = out->queries.size();
+    if (Add(out, type, std::move(a), wa) && Add(out, type, std::move(b), wb)) {
+      return true;
+    }
+    while (out->queries.size() > rollback) {
+      out->queries.pop_back();
+      out->sharing_type.pop_back();
+    }
+    return false;
+  }
+
+  bool TryAddPair(int type, GeneratedWorkload* out) {
+    Duration w = options_.base_window;
+    switch (type) {
+      case 1: {  // Prefix.
+        int n = Span(std::max(3, min_operands_), max_operands_);
+        std::vector<EventTypeId> full = SampleOperandList(n);
+        int k = Span(2, n - 1);
+        std::vector<EventTypeId> prefix(full.begin(), full.begin() + k);
+        return AddPair(out, type, Flat(PatternOp::kSeq, prefix), w,
+                       Flat(PatternOp::kSeq, full), w);
+      }
+      case 2: {  // Suffix.
+        int n = Span(std::max(3, min_operands_), max_operands_);
+        std::vector<EventTypeId> full = SampleOperandList(n);
+        int k = Span(2, n - 1);
+        std::vector<EventTypeId> suffix(full.end() - k, full.end());
+        return AddPair(out, type, Flat(PatternOp::kSeq, suffix), w,
+                       Flat(PatternOp::kSeq, full), w);
+      }
+      case 3: {  // Subsequence, not substring.
+        int n = Span(std::max(3, min_operands_), max_operands_);
+        std::vector<EventTypeId> full = SampleOperandList(n);
+        // Keep first and last; drop at least one interior element so the
+        // result has a gap (subsequence, never a substring).
+        std::vector<EventTypeId> sub;
+        sub.push_back(full.front());
+        bool dropped = false;
+        for (int i = 1; i < n - 1; ++i) {
+          if (rng_.Bernoulli(0.5)) {
+            dropped = true;
+            continue;
+          }
+          sub.push_back(full[static_cast<size_t>(i)]);
+        }
+        sub.push_back(full.back());
+        if (!dropped) return false;  // Retry with fresh randomness.
+        return AddPair(out, type, Flat(PatternOp::kSeq, sub), w,
+                       Flat(PatternOp::kSeq, full), w);
+      }
+      case 4: {  // Common substring only.
+        int run = Span(2, std::max(2, max_operands_ - 2));
+        int extra = 2;
+        std::vector<EventTypeId> pool = SampleTypes(run + 2 * extra);
+        std::vector<EventTypeId> shared(pool.begin(), pool.begin() + run);
+        std::vector<EventTypeId> a = {pool[static_cast<size_t>(run)]};
+        a.insert(a.end(), shared.begin(), shared.end());
+        a.push_back(pool[static_cast<size_t>(run + 1)]);
+        std::vector<EventTypeId> b = {pool[static_cast<size_t>(run + 2)]};
+        b.insert(b.end(), shared.begin(), shared.end());
+        b.push_back(pool[static_cast<size_t>(run + 3)]);
+        return AddPair(out, type, Flat(PatternOp::kSeq, a), w,
+                       Flat(PatternOp::kSeq, b), w);
+      }
+      case 5: {  // Different windows, prefix-shareable patterns.
+        int n = Span(std::max(3, min_operands_), max_operands_);
+        std::vector<EventTypeId> full = SampleOperandList(n);
+        int k = Span(2, n - 1);
+        std::vector<EventTypeId> prefix(full.begin(), full.begin() + k);
+        Duration sw = static_cast<Duration>(
+            static_cast<double>(w) * options_.window_ratio);
+        if (sw <= 0) sw = 1;
+        return AddPair(out, type, Flat(PatternOp::kSeq, prefix), sw,
+                       Flat(PatternOp::kSeq, full), w);
+      }
+      case 6: {  // Same list, different operators.
+        int n = Span(std::max(2, min_operands_),
+                     std::min(max_operands_, 5));
+        n = std::min(n, 3);
+        std::vector<EventTypeId> types = SampleRareTypes(n);
+        // Mostly SEQ/CONJ pairs (the paper's primary OTT rule, Fig 7a);
+        // DISJ pairs occasionally — pass-through DISJ matches every operand
+        // instance, so DISJ-heavy workloads drown in emissions.
+        int variant = Span(0, 3);
+        PatternOp op_a = variant == 3 ? PatternOp::kConj : PatternOp::kSeq;
+        PatternOp op_b = variant == 3 ? PatternOp::kDisj : PatternOp::kConj;
+        return AddPair(out, type, Flat(op_a, types), w, Flat(op_b, types), w);
+      }
+      case 7: {  // Nested with common innermost sub-query.
+        int level = std::max(2, options_.nested_level);
+        // Innermost shared sub-query; outer layers wrap with rare types so
+        // deep nesting does not multiply match rates combinatorially.
+        std::vector<EventTypeId> inner_types = SampleRareTypes(2);
+        PatternExpr inner = Flat(PatternOp::kConj, inner_types);
+        auto wrap = [&](PatternExpr core) {
+          PatternExpr current = std::move(core);
+          for (int l = 2; l <= level; ++l) {
+            EventTypeId fresh = SampleRareTypes(1)[0];
+            PatternOp op = l % 2 == 0 ? PatternOp::kSeq : PatternOp::kConj;
+            current = PatternExpr::Operator(
+                op, {PatternExpr::Leaf(fresh), std::move(current)});
+          }
+          return current;
+        };
+        return AddPair(out, type, wrap(inner), w, wrap(inner), w);
+      }
+      default:
+        MOTTO_CHECK(false) << "bad sharing type " << type;
+    }
+    return false;
+  }
+
+  WorkloadOptions options_;
+  EventTypeRegistry* registry_;
+  Rng rng_;
+  std::vector<EventTypeId> universe_;
+  std::vector<std::vector<EventTypeId>> motifs_;
+  std::unordered_set<std::string> seen_;
+  int min_operands_ = 2;
+  int max_operands_ = 4;
+};
+
+}  // namespace
+
+Result<GeneratedWorkload> GenerateWorkload(const WorkloadOptions& options,
+                                           EventTypeRegistry* registry) {
+  if (options.num_queries <= 0) {
+    return InvalidArgumentError("num_queries must be positive");
+  }
+  if (options.basic_ratio < 0.0 || options.basic_ratio > 1.0) {
+    return InvalidArgumentError("basic_ratio must be in [0, 1]");
+  }
+  if (options.base_window <= 0) {
+    return InvalidArgumentError("base_window must be positive");
+  }
+  if (options.only_type < 0 || options.only_type > 7) {
+    return InvalidArgumentError("only_type must be 0 (mixed) or 1..7");
+  }
+  Generator generator(options, registry);
+  return generator.Generate();
+}
+
+}  // namespace motto

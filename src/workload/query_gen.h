@@ -1,0 +1,59 @@
+#ifndef MOTTO_WORKLOAD_QUERY_GEN_H_
+#define MOTTO_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "workload/data_gen.h"
+
+namespace motto {
+
+/// Workload generator implementing Table IV of the paper: pairs of queries
+/// exhibiting one of seven sharing-opportunity types.
+///
+///   Basic group (same operator, same window):
+///     1. L is a prefix of L'
+///     2. L is a suffix of L'
+///     3. L is a subsequence but not a substring of L'
+///     4. L and L' share a substring without types 1-3 holding
+///   Complex group:
+///     5. different window constraints (prefix sharing across windows)
+///     6. same pattern list, different pattern operators
+///     7. nested queries sharing the innermost sub-query
+///
+/// `basic_ratio` is the paper's r: the fraction of queries drawn from the
+/// basic group. Queries never duplicate (canonical key + window dedup).
+struct WorkloadOptions {
+  Scenario scenario = Scenario::kStockMarket;
+  int num_queries = 100;
+  double basic_ratio = 1.0;
+  Duration base_window = Seconds(10);
+  /// Nested level for type-7 pairs (paper default 2, Fig 14d up to 8).
+  int nested_level = 2;
+  /// s_w : b_w ratio for type-5 pairs (Fig 14c: 4.0 down to 0.25).
+  double window_ratio = 2.0;
+  uint64_t seed = 7;
+  /// Operand count range for the longer query of each pair; 0 means the
+  /// scenario default (stock 4..7, data center 2..4; §VII-A: stock queries
+  /// have longer operand lists).
+  int min_operands = 0;
+  int max_operands = 0;
+  /// When in 1..7, every pair uses this Table IV type (single-type
+  /// ablations: Fig 14c uses type 5, Fig 14d type 7). 0 mixes per
+  /// basic_ratio.
+  int only_type = 0;
+};
+
+struct GeneratedWorkload {
+  std::vector<Query> queries;
+  /// Table IV sharing-opportunity type (1..7) each query came from.
+  std::vector<int> sharing_type;
+};
+
+Result<GeneratedWorkload> GenerateWorkload(const WorkloadOptions& options,
+                                           EventTypeRegistry* registry);
+
+}  // namespace motto
+
+#endif  // MOTTO_WORKLOAD_QUERY_GEN_H_

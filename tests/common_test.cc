@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace motto {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad window");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return InternalError("boom"); };
+  auto wrapper = [&]() -> Status {
+    MOTTO_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto makes = []() -> Result<int> { return 7; };
+  auto fails = []() -> Result<int> { return OutOfRangeError("x"); };
+  auto user = [&](bool ok) -> Result<int> {
+    MOTTO_ASSIGN_OR_RETURN(int v, ok ? makes() : fails());
+    return v + 1;
+  };
+  EXPECT_EQ(*user(true), 8);
+  EXPECT_EQ(user(false).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(InternerTest, AssignsDenseIdsInOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0);
+  EXPECT_EQ(interner.Intern("b"), 1);
+  EXPECT_EQ(interner.Intern("a"), 0);
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.NameOf(1), "b");
+  EXPECT_EQ(interner.Find("b"), 1);
+  EXPECT_EQ(interner.Find("zzz"), -1);
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2), 2'000'000);
+  EXPECT_EQ(Minutes(1), 60'000'000);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(99);
+  int n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(n, 1.0)];
+  EXPECT_GT(counts[0], counts[n - 1] * 2);
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 20000);
+}
+
+TEST(RngTest, ZipfZeroExponentIsRoughlyUniform) {
+  Rng rng(5);
+  int n = 4;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Zipf(n, 0.0)];
+  for (int c : counts) {
+    EXPECT_GT(c, 8000);
+    EXPECT_LT(c, 12000);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ExponentialHasRoughlyRequestedMean) {
+  Rng rng(11);
+  double sum = 0;
+  int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  double mean = sum / n;
+  EXPECT_GT(mean, 3.8);
+  EXPECT_LT(mean, 4.2);
+}
+
+}  // namespace
+}  // namespace motto

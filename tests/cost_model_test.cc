@@ -1,0 +1,145 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace motto {
+namespace {
+
+StreamStats MakeStats(std::vector<std::pair<EventTypeId, double>> rates) {
+  StreamStats stats;
+  for (const auto& [type, rate] : rates) {
+    stats.rate_per_second[type] = rate;
+    stats.total_rate += rate;
+  }
+  stats.duration = Seconds(100);
+  return stats;
+}
+
+TEST(CostModelTest, RatesComeFromStatsWithOverrides) {
+  CostModel model(MakeStats({{0, 5.0}, {1, 2.0}}));
+  EXPECT_DOUBLE_EQ(model.RateOf(0), 5.0);
+  EXPECT_DOUBLE_EQ(model.RateOf(1), 2.0);
+  EXPECT_DOUBLE_EQ(model.RateOf(7), 0.0);
+  model.SetRate(7, 3.5);
+  EXPECT_DOUBLE_EQ(model.RateOf(7), 3.5);
+  model.SetRate(0, 1.0);
+  EXPECT_DOUBLE_EQ(model.RateOf(0), 1.0);
+}
+
+TEST(CostModelTest, SeqOutputRateMatchesClosedForm) {
+  CostModel model(MakeStats({{0, 1.0}, {1, 1.0}}));
+  FlatPattern seq{PatternOp::kSeq, {0, 1}, {}};
+  OperatorEstimate est = model.EstimatePattern(seq, Seconds(1));
+  // prod(r) * w^(n-1) / (n-1)! = 1*1*1/1 = 1 match/s.
+  EXPECT_NEAR(est.output_rate, 1.0, 1e-9);
+}
+
+TEST(CostModelTest, ConjOutputRateMatchesClosedForm) {
+  CostModel model(MakeStats({{0, 1.0}, {1, 1.0}}));
+  FlatPattern conj{PatternOp::kConj, {0, 1}, {}};
+  OperatorEstimate est = model.EstimatePattern(conj, Seconds(1));
+  // n * prod(r) * w^(n-1) = 2 matches/s (either order).
+  EXPECT_NEAR(est.output_rate, 2.0, 1e-9);
+}
+
+TEST(CostModelTest, DisjOutputIsSumOfRates) {
+  CostModel model(MakeStats({{0, 3.0}, {1, 4.0}}));
+  FlatPattern disj{PatternOp::kDisj, {0, 1}, {}};
+  OperatorEstimate est = model.EstimatePattern(disj, Seconds(10));
+  EXPECT_DOUBLE_EQ(est.output_rate, 7.0);
+}
+
+TEST(CostModelTest, CostGrowsWithWindow) {
+  CostModel model(MakeStats({{0, 10.0}, {1, 10.0}, {2, 10.0}}));
+  FlatPattern seq{PatternOp::kSeq, {0, 1, 2}, {}};
+  OperatorEstimate small = model.EstimatePattern(seq, Seconds(1));
+  OperatorEstimate large = model.EstimatePattern(seq, Seconds(10));
+  EXPECT_GT(large.cpu_per_second, small.cpu_per_second);
+  EXPECT_GT(large.output_rate, small.output_rate);
+}
+
+TEST(CostModelTest, CostGrowsWithOperandCount) {
+  CostModel model(MakeStats({{0, 10.0}, {1, 10.0}, {2, 10.0}, {3, 10.0}}));
+  FlatPattern two{PatternOp::kSeq, {0, 1}, {}};
+  FlatPattern four{PatternOp::kSeq, {0, 1, 2, 3}, {}};
+  EXPECT_GT(model.EstimatePattern(four, Seconds(5)).cpu_per_second,
+            model.EstimatePattern(two, Seconds(5)).cpu_per_second);
+}
+
+TEST(CostModelTest, ConjCostsMoreThanSeqSameOperands) {
+  CostModel model(MakeStats({{0, 10.0}, {1, 10.0}, {2, 10.0}}));
+  FlatPattern seq{PatternOp::kSeq, {0, 1, 2}, {}};
+  FlatPattern conj{PatternOp::kConj, {0, 1, 2}, {}};
+  EXPECT_GT(model.EstimatePattern(conj, Seconds(5)).output_rate,
+            model.EstimatePattern(seq, Seconds(5)).output_rate);
+  EXPECT_GT(model.EstimatePattern(conj, Seconds(5)).cpu_per_second,
+            model.EstimatePattern(seq, Seconds(5)).cpu_per_second);
+}
+
+TEST(CostModelTest, NegationReducesOutput) {
+  CostModel model(MakeStats({{0, 5.0}, {1, 5.0}, {9, 2.0}}));
+  FlatPattern plain{PatternOp::kSeq, {0, 1}, {}};
+  FlatPattern negated{PatternOp::kSeq, {0, 1}, {9}};
+  EXPECT_LT(model.EstimatePattern(negated, Seconds(1)).output_rate,
+            model.EstimatePattern(plain, Seconds(1)).output_rate);
+}
+
+TEST(CostModelTest, FilterCheaperThanOperator) {
+  CostModel model(MakeStats({{0, 50.0}, {1, 50.0}}));
+  FlatPattern seq{PatternOp::kSeq, {0, 1}, {}};
+  OperatorEstimate op = model.EstimatePattern(seq, Seconds(1));
+  OperatorEstimate filter = model.EstimateFilter(op.output_rate, 0.5);
+  EXPECT_LT(filter.cpu_per_second, op.cpu_per_second);
+  EXPECT_DOUBLE_EQ(filter.output_rate, op.output_rate * 0.5);
+}
+
+TEST(CostModelTest, OrderFilterSelectivityIsFactorial) {
+  EXPECT_DOUBLE_EQ(CostModel::OrderFilterSelectivity(1), 1.0);
+  EXPECT_DOUBLE_EQ(CostModel::OrderFilterSelectivity(2), 0.5);
+  EXPECT_DOUBLE_EQ(CostModel::OrderFilterSelectivity(3), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(CostModel::OrderFilterSelectivity(4), 1.0 / 24.0);
+}
+
+TEST(CostModelTest, SharedSubQueryPlanCheaperThanScratch) {
+  // The MST example (paper §VI): computing SEQ(E1,E2,E3) from SEQ(E1,E3)
+  // via CONJ(composite & E2) + order filter must beat recomputation in the
+  // selective regime CEP targets (sub-events-per-window around one).
+  CostModel model(MakeStats({{0, 0.3}, {1, 0.3}, {2, 0.3}}));
+  FlatPattern q1{PatternOp::kSeq, {0, 1, 2}, {}};
+  FlatPattern q2{PatternOp::kSeq, {0, 2}, {}};
+  Duration w = Seconds(1);
+  OperatorEstimate scratch = model.EstimatePattern(q1, w);
+  OperatorEstimate source = model.EstimatePattern(q2, w);
+  std::vector<double> rates = {source.output_rate, model.RateOf(1)};
+  double intermediate = model.OutputRate(PatternOp::kConj, rates, {}, w);
+  double shared = model.ProcessingCpu(PatternOp::kConj, rates, w) +
+                  model.EmitCpu(intermediate, 2) +
+                  model.EstimateFilter(intermediate, 0.0).cpu_per_second +
+                  model.EmitCpu(scratch.output_rate, 3);
+  EXPECT_LT(shared, scratch.cpu_per_second);
+}
+
+TEST(CostModelTest, PrefixCompositeSharingCheaperThanScratch) {
+  // SEQ(E1,E2,E3) from prefix sub-query SEQ(E1,E2): beneficiary pays only
+  // the composite-with-E3 pairing plus (identical) emission work.
+  CostModel model(MakeStats({{0, 1.0}, {1, 1.0}, {2, 1.0}}));
+  FlatPattern full{PatternOp::kSeq, {0, 1, 2}, {}};
+  FlatPattern prefix{PatternOp::kSeq, {0, 1}, {}};
+  Duration w = Seconds(1);
+  OperatorEstimate scratch = model.EstimatePattern(full, w);
+  OperatorEstimate source = model.EstimatePattern(prefix, w);
+  double shared =
+      model.ProcessingCpu(PatternOp::kSeq, {source.output_rate, 1.0}, w) +
+      model.EmitCpu(scratch.output_rate, 3);
+  EXPECT_LT(shared, scratch.cpu_per_second);
+}
+
+TEST(CostModelTest, ZeroRateOperandsYieldZeroOutput) {
+  CostModel model(MakeStats({{0, 5.0}}));
+  FlatPattern seq{PatternOp::kSeq, {0, 99}, {}};
+  OperatorEstimate est = model.EstimatePattern(seq, Seconds(1));
+  EXPECT_DOUBLE_EQ(est.output_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,108 @@
+#include "event/event.h"
+
+#include <gtest/gtest.h>
+
+#include "event/stream.h"
+
+namespace motto {
+namespace {
+
+TEST(EventTypeRegistryTest, PrimitiveAndCompositeSpaces) {
+  EventTypeRegistry registry;
+  EventTypeId e1 = registry.RegisterPrimitive("E1");
+  EventTypeId e2 = registry.RegisterPrimitive("E2");
+  EventTypeId combo = registry.RegisterComposite("SEQ(E1,E2)");
+  EXPECT_NE(e1, e2);
+  EXPECT_TRUE(registry.IsPrimitive(e1));
+  EXPECT_FALSE(registry.IsPrimitive(combo));
+  EXPECT_EQ(registry.RegisterPrimitive("E1"), e1);
+  EXPECT_EQ(registry.RegisterComposite("SEQ(E1,E2)"), combo);
+  EXPECT_EQ(registry.Find("E2"), e2);
+  EXPECT_EQ(registry.Find("nope"), kInvalidEventType);
+  EXPECT_EQ(registry.PrimitiveTypes(), (std::vector<EventTypeId>{e1, e2}));
+}
+
+TEST(EventTest, PrimitiveBasics) {
+  Event e = Event::Primitive(3, 1000, Payload{9.5, 7});
+  EXPECT_TRUE(e.is_primitive());
+  EXPECT_EQ(e.type(), 3);
+  EXPECT_EQ(e.begin(), 1000);
+  EXPECT_EQ(e.end(), 1000);
+  EXPECT_EQ(e.span(), 0);
+  EXPECT_EQ(e.payload().value, 9.5);
+}
+
+TEST(EventTest, CompositeDerivesBeginFromConstituents) {
+  std::vector<Constituent> parts = {{1, 500, 0}, {2, 200, 1}, {3, 900, 2}};
+  Event e = Event::Composite(42, parts, 900);
+  EXPECT_FALSE(e.is_primitive());
+  EXPECT_EQ(e.begin(), 200);
+  EXPECT_EQ(e.end(), 900);
+  EXPECT_EQ(e.span(), 700);
+  EXPECT_EQ(e.constituents().size(), 3u);
+}
+
+TEST(EventTest, FingerprintIgnoresSlotsAndOrder) {
+  Event a = Event::Composite(42, {{1, 500, 0}, {2, 200, 1}}, 500);
+  Event b = Event::Composite(43, {{2, 200, 5}, {1, 500, 9}}, 500);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(EventTest, FingerprintOfPrimitiveMatchesSingletonComposite) {
+  Event p = Event::Primitive(7, 123);
+  Event c = Event::Composite(99, {{7, 123, 0}}, 123);
+  EXPECT_EQ(p.Fingerprint(), c.Fingerprint());
+}
+
+TEST(EventTest, FingerprintDistinguishesDifferentMatches) {
+  Event a = Event::Composite(1, {{1, 500, 0}}, 500);
+  Event b = Event::Composite(1, {{1, 501, 0}}, 501);
+  Event c = Event::Composite(1, {{2, 500, 0}}, 500);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(StreamTest, ValidateAcceptsSortedPrimitives) {
+  EventStream s = {Event::Primitive(0, 10), Event::Primitive(1, 10),
+                   Event::Primitive(0, 20)};
+  EXPECT_TRUE(ValidateStream(s).ok());
+}
+
+TEST(StreamTest, ValidateRejectsUnsorted) {
+  EventStream s = {Event::Primitive(0, 20), Event::Primitive(1, 10)};
+  EXPECT_FALSE(ValidateStream(s).ok());
+}
+
+TEST(StreamTest, ValidateRejectsComposite) {
+  EventStream s = {Event::Composite(5, {{1, 10, 0}}, 10)};
+  EXPECT_FALSE(ValidateStream(s).ok());
+}
+
+TEST(StreamTest, StatsComputeRates) {
+  EventStream s;
+  // 2 seconds of stream time: type 0 at 4 events, type 1 at 2 events.
+  for (int i = 0; i < 4; ++i) {
+    s.push_back(Event::Primitive(0, i * Seconds(2) / 4));
+  }
+  s.push_back(Event::Primitive(1, Seconds(1)));
+  s.push_back(Event::Primitive(1, Seconds(2)));
+  std::sort(s.begin(), s.end(), [](const Event& a, const Event& b) {
+    return a.begin() < b.begin();
+  });
+  StreamStats stats = ComputeStats(s);
+  EXPECT_EQ(stats.num_events, 6);
+  EXPECT_EQ(stats.duration, Seconds(2));
+  EXPECT_DOUBLE_EQ(stats.RateOf(0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.RateOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.RateOf(99), 0.0);
+  EXPECT_DOUBLE_EQ(stats.total_rate, 3.0);
+}
+
+TEST(StreamTest, StatsOnEmptyStream) {
+  StreamStats stats = ComputeStats({});
+  EXPECT_EQ(stats.num_events, 0);
+  EXPECT_EQ(stats.total_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace motto

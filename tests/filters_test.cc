@@ -1,0 +1,109 @@
+// Unit tests of the stateless filter runtimes (Filter_sc / span filters)
+// via the NodeRuntime factory.
+#include <gtest/gtest.h>
+
+#include "engine/runtime.h"
+
+namespace motto {
+namespace {
+
+Event Composite(EventTypeId type, std::vector<Constituent> parts) {
+  Timestamp end = parts.front().ts;
+  for (const Constituent& c : parts) end = std::max(end, c.ts);
+  return Event::Composite(type, std::move(parts), end);
+}
+
+class OrderFilterTest : public ::testing::Test {
+ protected:
+  std::vector<Event> Feed(const OrderFilterSpec& spec,
+                          const std::vector<Event>& events) {
+    std::unique_ptr<NodeRuntime> runtime = MakeNodeRuntime(NodeSpec{spec});
+    std::vector<Event> out;
+    for (const Event& e : events) {
+      runtime->OnWatermark(e.end(), &out);
+      runtime->OnEvent(1, e, &out);
+    }
+    return out;
+  }
+};
+
+TEST_F(OrderFilterTest, KeepsCorrectlyOrderedComposites) {
+  OrderFilterSpec spec;
+  spec.required_order = {1, 2, 3};
+  std::vector<Event> out = Feed(
+      spec, {Composite(9, {{1, 10, 0}, {2, 20, 1}, {3, 30, 2}}),
+             Composite(9, {{2, 10, 0}, {1, 20, 1}, {3, 30, 2}}),   // Wrong order.
+             Composite(9, {{1, 10, 0}, {2, 20, 1}}),               // Too short.
+             Composite(9, {{1, 10, 0}, {2, 10, 1}, {3, 30, 2}})}); // Tie.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type(), 9);  // Pass-through keeps the input type.
+}
+
+TEST_F(OrderFilterTest, RelabelRetypesAndRenumbersSlots) {
+  OrderFilterSpec spec;
+  spec.required_order = {2, 1};  // By timestamp: type 2 first, then type 1.
+  spec.relabel = true;
+  spec.output_type = 77;
+  std::vector<Event> out =
+      Feed(spec, {Composite(9, {{1, 50, 0}, {2, 10, 1}})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type(), 77);
+  ASSERT_EQ(out[0].constituents().size(), 2u);
+  // Constituents sorted by ts; slots renumbered to order index.
+  EXPECT_EQ(out[0].constituents()[0].type, 2);
+  EXPECT_EQ(out[0].constituents()[0].slot, 0);
+  EXPECT_EQ(out[0].constituents()[1].type, 1);
+  EXPECT_EQ(out[0].constituents()[1].slot, 1);
+}
+
+TEST_F(OrderFilterTest, PrimitiveEventsCheckSingleType) {
+  OrderFilterSpec spec;
+  spec.required_order = {5};
+  std::unique_ptr<NodeRuntime> runtime = MakeNodeRuntime(NodeSpec{spec});
+  std::vector<Event> out;
+  runtime->OnEvent(1, Event::Primitive(5, 100), &out);
+  runtime->OnEvent(1, Event::Primitive(6, 100), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SpanFilterTest, DropsWideComposites) {
+  SpanFilterSpec spec;
+  spec.max_span = 100;
+  std::unique_ptr<NodeRuntime> runtime = MakeNodeRuntime(NodeSpec{spec});
+  std::vector<Event> out;
+  runtime->OnEvent(1, Composite(9, {{1, 0, 0}, {2, 100, 1}}), &out);   // == max.
+  runtime->OnEvent(1, Composite(9, {{1, 0, 0}, {2, 101, 1}}), &out);   // Too wide.
+  runtime->OnEvent(1, Event::Primitive(3, 500), &out);                 // Span 0.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].span(), 100);
+  EXPECT_TRUE(out[1].is_primitive());
+}
+
+TEST(SpanFilterTest, RetypePreservesConstituents) {
+  SpanFilterSpec spec;
+  spec.max_span = 100;
+  spec.retype = 55;
+  std::unique_ptr<NodeRuntime> runtime = MakeNodeRuntime(NodeSpec{spec});
+  std::vector<Event> out;
+  runtime->OnEvent(1, Composite(9, {{1, 0, 0}, {2, 40, 1}}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type(), 55);
+  EXPECT_EQ(out[0].constituents().size(), 2u);
+  EXPECT_EQ(out[0].begin(), 0);
+  EXPECT_EQ(out[0].end(), 40);
+}
+
+TEST(FilterResetTest, FiltersAreStateless) {
+  OrderFilterSpec spec;
+  spec.required_order = {1, 2};
+  std::unique_ptr<NodeRuntime> runtime = MakeNodeRuntime(NodeSpec{spec});
+  std::vector<Event> out;
+  runtime->Reset();
+  runtime->OnEvent(1, Composite(9, {{1, 10, 0}, {2, 20, 1}}), &out);
+  runtime->Reset();
+  runtime->OnEvent(1, Composite(9, {{1, 30, 0}, {2, 40, 1}}), &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace motto

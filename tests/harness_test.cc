@@ -1,0 +1,130 @@
+#include "workload/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/plan_util.h"
+#include "workload/data_gen.h"
+#include "workload/query_gen.h"
+
+namespace motto {
+namespace {
+
+/// Small end-to-end integration: a Table IV workload over a generated
+/// stream, all four approaches, match sets verified identical.
+TEST(HarnessTest, AllModesAgreeOnMixedWorkload) {
+  EventTypeRegistry registry;
+  StreamOptions stream_options;
+  stream_options.num_events = 15000;
+  stream_options.seed = 5;
+  EventStream stream = GenerateStream(stream_options, &registry);
+
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 16;
+  workload_options.basic_ratio = 0.5;  // Both groups represented.
+  workload_options.seed = 9;
+  auto workload = GenerateWorkload(workload_options, &registry);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  ComparisonOptions options;
+  options.verify_matches = true;
+  auto runs = CompareModes(workload->queries, stream, &registry, options);
+  ASSERT_TRUE(runs.ok()) << runs.status();
+  ASSERT_EQ(runs->size(), 4u);
+  EXPECT_EQ((*runs)[0].mode, OptimizerMode::kNa);
+  uint64_t na_matches = (*runs)[0].total_matches;
+  for (const ModeRun& run : *runs) {
+    EXPECT_EQ(run.total_matches, na_matches)
+        << OptimizerModeName(run.mode);
+    EXPECT_GT(run.throughput_eps, 0.0);
+    EXPECT_GT(run.jqp_nodes, 0u);
+  }
+  EXPECT_DOUBLE_EQ((*runs)[0].normalized, 1.0);
+}
+
+TEST(HarnessTest, MottoPlanIsSmallerOnShareableWorkload) {
+  EventTypeRegistry registry;
+  StreamOptions stream_options;
+  stream_options.num_events = 8000;
+  EventStream stream = GenerateStream(stream_options, &registry);
+
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 24;
+  workload_options.basic_ratio = 1.0;
+  auto workload = GenerateWorkload(workload_options, &registry);
+  ASSERT_TRUE(workload.ok());
+
+  ComparisonOptions options;
+  options.modes = {OptimizerMode::kNa, OptimizerMode::kMotto};
+  options.verify_matches = true;
+  auto runs = CompareModes(workload->queries, stream, &registry, options);
+  ASSERT_TRUE(runs.ok()) << runs.status();
+  const ModeRun& na = (*runs)[0];
+  const ModeRun& motto = (*runs)[1];
+  EXPECT_LT(motto.planned_cost, na.planned_cost);
+  EXPECT_GT(motto.optimize_seconds, 0.0);
+}
+
+TEST(HarnessTest, NaAlwaysPrependedForNormalization) {
+  EventTypeRegistry registry;
+  StreamOptions stream_options;
+  stream_options.num_events = 3000;
+  EventStream stream = GenerateStream(stream_options, &registry);
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 6;
+  auto workload = GenerateWorkload(workload_options, &registry);
+  ASSERT_TRUE(workload.ok());
+  ComparisonOptions options;
+  options.modes = {OptimizerMode::kMotto};  // NA omitted on purpose.
+  auto runs = CompareModes(workload->queries, stream, &registry, options);
+  ASSERT_TRUE(runs.ok()) << runs.status();
+  ASSERT_EQ(runs->size(), 2u);
+  EXPECT_EQ((*runs)[0].mode, OptimizerMode::kNa);
+}
+
+TEST(HarnessTest, CoreScalingModelIsMonotoneAndBounded) {
+  EventTypeRegistry registry;
+  StreamOptions stream_options;
+  stream_options.num_events = 8000;
+  EventStream stream = GenerateStream(stream_options, &registry);
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 12;
+  auto workload = GenerateWorkload(workload_options, &registry);
+  ASSERT_TRUE(workload.ok());
+
+  StreamStats stats = ComputeStats(stream);
+  OptimizerOptions optimizer_options;
+  optimizer_options.mode = OptimizerMode::kMotto;
+  Optimizer optimizer(&registry, stats, optimizer_options);
+  auto outcome = optimizer.Optimize(workload->queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  auto points = MeasureCoreScaling(outcome->jqp, stream, 6,
+                                   /*run_wallclock=*/false);
+  ASSERT_TRUE(points.ok()) << points.status();
+  ASSERT_EQ(points->size(), 6u);
+  double prev = 0.0;
+  for (const ScalingPoint& point : *points) {
+    EXPECT_GE(point.modeled_speedup, prev - 1e-9);  // Monotone.
+    EXPECT_LE(point.modeled_speedup,
+              static_cast<double>(point.threads) + 1e-9);  // Bounded by k.
+    prev = point.modeled_speedup;
+  }
+  EXPECT_NEAR((*points)[0].modeled_speedup, 1.0, 1e-9);
+  // A JQP with many independent nodes should scale visibly in the model.
+  EXPECT_GT(points->back().modeled_speedup, 1.5);
+}
+
+TEST(HarnessTest, CoreScalingRejectsBadArgs) {
+  EventTypeRegistry registry;
+  FlatQuery q{"q",
+              FlatPattern{PatternOp::kSeq,
+                          {registry.RegisterPrimitive("A"),
+                           registry.RegisterPrimitive("B")},
+                          {}},
+              Seconds(1)};
+  Jqp jqp = BuildDefaultJqp({q}, &registry);
+  EXPECT_FALSE(MeasureCoreScaling(jqp, {}, 0, false).ok());
+}
+
+}  // namespace
+}  // namespace motto

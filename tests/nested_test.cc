@@ -1,0 +1,146 @@
+#include "motto/nested.h"
+
+#include <gtest/gtest.h>
+
+#include "ccl/parser.h"
+
+namespace motto {
+namespace {
+
+class NestedTest : public ::testing::Test {
+ protected:
+  Query Parse(const std::string& pattern, const std::string& name,
+              Duration window = Seconds(10)) {
+    auto expr = ccl::ParsePattern(pattern, &registry_);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    return Query{name, *expr, window};
+  }
+
+  EventTypeRegistry registry_;
+  CompositeCatalog catalog_;
+};
+
+TEST_F(NestedTest, FlatQueryProducesSingleEntry) {
+  Query q = Parse("SEQ(E1, E2, E3)", "q");
+  auto chain = DivideNested(q, &registry_, &catalog_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->size(), 1u);
+  EXPECT_EQ((*chain)[0].name, "q");
+  EXPECT_EQ((*chain)[0].pattern.op, PatternOp::kSeq);
+  EXPECT_EQ((*chain)[0].pattern.operands.size(), 3u);
+}
+
+TEST_F(NestedTest, PaperExample7DividesQ11) {
+  // q11 = SEQ(E1, DISJ(E4|E3), CONJ(E2&E3)) -> two inner queries + outer.
+  Query q11 = Parse("SEQ(E1, DISJ(E4|E3), CONJ(E2&E3))", "q11");
+  auto chain = DivideNested(q11, &registry_, &catalog_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->size(), 3u);
+  EXPECT_EQ((*chain)[0].pattern.op, PatternOp::kDisj);
+  EXPECT_EQ((*chain)[1].pattern.op, PatternOp::kConj);
+  EXPECT_EQ((*chain)[2].pattern.op, PatternOp::kSeq);
+  EXPECT_EQ((*chain)[2].name, "q11");
+  // The outer query's 2nd and 3rd operands are the inner composite types.
+  const FlatQuery& outer = (*chain)[2];
+  ASSERT_EQ(outer.pattern.operands.size(), 3u);
+  EXPECT_TRUE(registry_.IsPrimitive(outer.pattern.operands[0]));
+  EXPECT_FALSE(registry_.IsPrimitive(outer.pattern.operands[1]));
+  EXPECT_FALSE(registry_.IsPrimitive(outer.pattern.operands[2]));
+  // Catalog knows both inner composites.
+  EXPECT_NE(catalog_.Find(outer.pattern.operands[1]), nullptr);
+  EXPECT_NE(catalog_.Find(outer.pattern.operands[2]), nullptr);
+}
+
+TEST_F(NestedTest, SharedInnerPatternGetsSameCompositeType) {
+  // q11 and q12 share CONJ(E2&E3); division must assign one type id.
+  Query q11 = Parse("SEQ(E1, DISJ(E4|E3), CONJ(E2&E3))", "q11");
+  Query q12 = Parse("SEQ(E1, CONJ(E2&E3))", "q12");
+  auto c11 = DivideNested(q11, &registry_, &catalog_);
+  auto c12 = DivideNested(q12, &registry_, &catalog_);
+  ASSERT_TRUE(c11.ok());
+  ASSERT_TRUE(c12.ok());
+  EventTypeId conj_in_q11 = (*c11)[2].pattern.operands[2];
+  EventTypeId conj_in_q12 = (*c12)[1].pattern.operands[1];
+  EXPECT_EQ(conj_in_q11, conj_in_q12);
+}
+
+TEST_F(NestedTest, DeepNestingDividesLevelByLevel) {
+  Query q = Parse("SEQ(a, CONJ(b & SEQ(c, DISJ(d | e))))", "deep");
+  EXPECT_EQ(q.pattern.NestedLevel(), 4);
+  auto chain = DivideNested(q, &registry_, &catalog_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  EXPECT_EQ(chain->size(), 4u);
+  EXPECT_EQ(chain->back().name, "deep");
+  // Every non-final entry's composite type is referenced downstream.
+  for (size_t i = 0; i + 1 < chain->size(); ++i) {
+    EventTypeId type =
+        catalog_.Register((*chain)[i].pattern, (*chain)[i].window, &registry_);
+    bool referenced = false;
+    for (size_t j = i + 1; j < chain->size(); ++j) {
+      for (EventTypeId operand : (*chain)[j].pattern.operands) {
+        if (operand == type) referenced = true;
+      }
+    }
+    EXPECT_TRUE(referenced) << "chain entry " << i << " unreferenced";
+  }
+}
+
+TEST_F(NestedTest, OuterNegAllowedInnerNegRejected) {
+  Query outer_neg = Parse("SEQ(E1, E2, NEG(E9))", "ok");
+  EXPECT_TRUE(DivideNested(outer_neg, &registry_, &catalog_).ok());
+  Query inner_neg = Parse("SEQ(E1, CONJ(E2 & E3, NEG(E9)))", "bad");
+  EXPECT_FALSE(DivideNested(inner_neg, &registry_, &catalog_).ok());
+}
+
+TEST_F(NestedTest, RejectsBareLeafAndBadWindow) {
+  Query leaf{"leaf", PatternExpr::Leaf(registry_.RegisterPrimitive("E1")),
+             Seconds(1)};
+  EXPECT_FALSE(DivideNested(leaf, &registry_, &catalog_).ok());
+  Query q = Parse("SEQ(E1, E2)", "zero", 0);
+  EXPECT_FALSE(DivideNested(q, &registry_, &catalog_).ok());
+}
+
+TEST_F(NestedTest, DivideWorkloadConcatenatesChains) {
+  std::vector<Query> queries = {Parse("SEQ(E1, CONJ(E2&E3))", "a"),
+                                Parse("SEQ(E2, E4)", "b")};
+  auto flat = DivideWorkload(queries, &registry_, &catalog_);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->size(), 3u);
+  EXPECT_EQ((*flat)[1].name, "a");
+  EXPECT_EQ((*flat)[2].name, "b");
+}
+
+TEST(CatalogTest, ArityAndAcceptedTypes) {
+  EventTypeRegistry registry;
+  CompositeCatalog catalog;
+  EventTypeId a = registry.RegisterPrimitive("a");
+  EventTypeId b = registry.RegisterPrimitive("b");
+  EventTypeId c = registry.RegisterPrimitive("c");
+
+  FlatPattern conj{PatternOp::kConj, {a, b}, {}};
+  EventTypeId conj_type = catalog.Register(conj, Seconds(1), &registry);
+  EXPECT_EQ(catalog.ArityOf(conj_type, registry), 2);
+  EXPECT_EQ(catalog.AcceptedTypes(conj_type, registry),
+            (std::vector<EventTypeId>{conj_type}));
+
+  FlatPattern disj{PatternOp::kDisj, {a, c}, {}};
+  EventTypeId disj_type = catalog.Register(disj, Seconds(1), &registry);
+  EXPECT_EQ(catalog.ArityOf(disj_type, registry), 1);
+  std::vector<EventTypeId> accepted = catalog.AcceptedTypes(disj_type, registry);
+  EXPECT_EQ(accepted, (std::vector<EventTypeId>{a, c}));
+
+  // Nested: SEQ over the two composites.
+  FlatPattern outer{PatternOp::kSeq, {conj_type, disj_type}, {}};
+  EventTypeId outer_type = catalog.Register(outer, Seconds(1), &registry);
+  EXPECT_EQ(catalog.ArityOf(outer_type, registry), 3);  // 2 + max(1,1).
+  EXPECT_EQ(catalog.AcceptedTypes(outer_type, registry),
+            (std::vector<EventTypeId>{outer_type}));
+
+  // DISJ windows are normalized: same pattern at different windows is one
+  // composite type.
+  EXPECT_EQ(catalog.Register(disj, Seconds(99), &registry), disj_type);
+  EXPECT_EQ(catalog.ArityOf(a, registry), 1);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,70 @@
+#include "engine/nfa.h"
+
+#include <gtest/gtest.h>
+
+namespace motto {
+namespace {
+
+TEST(NfaTest, SeqIsLinearChain) {
+  Nfa nfa = BuildNfa(PatternOp::kSeq, 3);
+  EXPECT_EQ(nfa.num_states, 4);
+  EXPECT_EQ(nfa.start, 0);
+  ASSERT_EQ(nfa.accepting.size(), 4u);
+  EXPECT_FALSE(nfa.accepting[0]);
+  EXPECT_FALSE(nfa.accepting[2]);
+  EXPECT_TRUE(nfa.accepting[3]);
+  ASSERT_EQ(nfa.transitions.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const NfaTransition& t = nfa.transitions[static_cast<size_t>(i)];
+    EXPECT_EQ(t.from, i);
+    EXPECT_EQ(t.to, i + 1);
+    EXPECT_EQ(t.operand, i);
+    EXPECT_TRUE(t.requires_order);
+  }
+}
+
+TEST(NfaTest, SeqSingleOperand) {
+  Nfa nfa = BuildNfa(PatternOp::kSeq, 1);
+  EXPECT_EQ(nfa.num_states, 2);
+  EXPECT_TRUE(nfa.accepting[1]);
+  EXPECT_EQ(nfa.transitions.size(), 1u);
+}
+
+TEST(NfaTest, ConjIsSubsetLattice) {
+  Nfa nfa = BuildNfa(PatternOp::kConj, 3);
+  EXPECT_EQ(nfa.num_states, 8);
+  EXPECT_TRUE(nfa.accepting[7]);
+  for (int s = 0; s < 7; ++s) EXPECT_FALSE(nfa.accepting[static_cast<size_t>(s)]);
+  // n * 2^(n-1) transitions.
+  EXPECT_EQ(nfa.transitions.size(), 12u);
+  for (const NfaTransition& t : nfa.transitions) {
+    EXPECT_FALSE(t.requires_order);
+    EXPECT_EQ(t.to, t.from | (1 << t.operand));
+    EXPECT_EQ(t.from & (1 << t.operand), 0);
+  }
+}
+
+TEST(NfaTest, DisjAcceptsOnAnyOperand) {
+  Nfa nfa = BuildNfa(PatternOp::kDisj, 4);
+  EXPECT_EQ(nfa.num_states, 2);
+  EXPECT_TRUE(nfa.accepting[1]);
+  EXPECT_EQ(nfa.transitions.size(), 4u);
+  for (const NfaTransition& t : nfa.transitions) {
+    EXPECT_EQ(t.from, 0);
+    EXPECT_EQ(t.to, 1);
+  }
+}
+
+TEST(NfaTest, TransitionsIndexedByOperand) {
+  Nfa nfa = BuildNfa(PatternOp::kConj, 2);
+  ASSERT_EQ(nfa.transitions_by_operand.size(), 2u);
+  for (int k = 0; k < 2; ++k) {
+    for (int32_t idx : nfa.transitions_by_operand[static_cast<size_t>(k)]) {
+      EXPECT_EQ(nfa.transitions[static_cast<size_t>(idx)].operand, k);
+    }
+    EXPECT_EQ(nfa.transitions_by_operand[static_cast<size_t>(k)].size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,274 @@
+#include "motto/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "ccl/parser.h"
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "test_util.h"
+
+namespace motto {
+namespace {
+
+using testing::Fingerprints;
+using testing::MatchSet;
+
+/// Uniform random stream over `type_names`, strictly increasing timestamps.
+EventStream RandomStream(EventTypeRegistry* registry,
+                         const std::vector<std::string>& type_names,
+                         int num_events, Timestamp max_gap, uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  Timestamp ts = 0;
+  for (int i = 0; i < num_events; ++i) {
+    ts += rng.Uniform(1, max_gap);
+    const std::string& name = type_names[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(type_names.size()) - 1))];
+    stream.push_back(Event::Primitive(registry->RegisterPrimitive(name), ts));
+  }
+  return stream;
+}
+
+/// Runs queries under `mode` and under NA and compares per-query matches.
+/// Returns the shared-mode outcome for further checks.
+OptimizeOutcome CheckEquivalence(std::vector<Query> queries,
+                                 EventTypeRegistry* registry,
+                                 const EventStream& stream,
+                                 OptimizerMode mode) {
+  StreamStats stats = ComputeStats(stream);
+
+  OptimizerOptions na_options;
+  na_options.mode = OptimizerMode::kNa;
+  Optimizer na_optimizer(registry, stats, na_options);
+  auto na = na_optimizer.Optimize(queries);
+  EXPECT_TRUE(na.ok()) << na.status();
+
+  OptimizerOptions options;
+  options.mode = mode;
+  Optimizer optimizer(registry, stats, options);
+  auto shared = optimizer.Optimize(queries);
+  EXPECT_TRUE(shared.ok()) << shared.status();
+
+  auto na_exec = Executor::Create(na->jqp);
+  auto shared_exec = Executor::Create(shared->jqp);
+  EXPECT_TRUE(na_exec.ok()) << na_exec.status();
+  EXPECT_TRUE(shared_exec.ok())
+      << shared_exec.status() << "\n"
+      << shared->sharing_graph.ToString(*registry);
+  auto na_run = na_exec->Run(stream);
+  auto shared_run = shared_exec->Run(stream);
+  EXPECT_TRUE(na_run.ok()) << na_run.status();
+  EXPECT_TRUE(shared_run.ok()) << shared_run.status();
+
+  for (const Query& q : queries) {
+    MatchSet expected = Fingerprints(na_run->sink_events.at(q.name));
+    MatchSet actual = Fingerprints(shared_run->sink_events.at(q.name));
+    EXPECT_EQ(expected, actual)
+        << "query " << q.name << " diverges under "
+        << OptimizerModeName(mode) << "\nNA matches: " << expected.size()
+        << " shared matches: " << actual.size() << "\nplan:\n"
+        << shared->jqp.ToString(*registry);
+  }
+  return *std::move(shared);
+}
+
+Query MakeQuery(EventTypeRegistry* registry, const std::string& name,
+                const std::string& pattern, Duration window) {
+  auto expr = ccl::ParsePattern(pattern, registry);
+  EXPECT_TRUE(expr.ok()) << expr.status();
+  return Query{name, *expr, window};
+}
+
+TEST(OptimizerTest, PaperSection5WorkloadAllModes) {
+  // The running example of §V: q1..q5.
+  for (OptimizerMode mode : {OptimizerMode::kMst, OptimizerMode::kLcse,
+                             OptimizerMode::kMotto}) {
+    EventTypeRegistry registry;
+    std::vector<Query> queries = {
+        MakeQuery(&registry, "q1", "SEQ(E1, E2, E3)", Millis(50)),
+        MakeQuery(&registry, "q2", "SEQ(E1, E3)", Millis(50)),
+        MakeQuery(&registry, "q3", "SEQ(E1, E2, E4)", Millis(50)),
+        MakeQuery(&registry, "q4", "SEQ(E2, E4, E3)", Millis(50)),
+        MakeQuery(&registry, "q5", "CONJ(E1 & E3)", Millis(50)),
+    };
+    EventStream stream = RandomStream(
+        &registry, {"E1", "E2", "E3", "E4"}, 2000, Millis(40), 17);
+    OptimizeOutcome outcome =
+        CheckEquivalence(queries, &registry, stream, mode);
+    if (mode == OptimizerMode::kMotto) {
+      EXPECT_LT(outcome.planned_cost, outcome.default_cost);
+      EXPECT_TRUE(outcome.exact);
+    }
+  }
+}
+
+TEST(OptimizerTest, MottoBeatsOrMatchesBaselineCosts) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "q1", "SEQ(E1, E2, E3, E5)", Millis(40)),
+      MakeQuery(&registry, "q2", "SEQ(E1, E3, E4)", Millis(40)),
+      MakeQuery(&registry, "q3", "CONJ(E1 & E3)", Millis(40)),
+      MakeQuery(&registry, "q4", "SEQ(E1, E3)", Millis(40)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3", "E4", "E5"}, 1000, Millis(4), 5);
+  StreamStats stats = ComputeStats(stream);
+  double costs[3];
+  OptimizerMode modes[3] = {OptimizerMode::kMst, OptimizerMode::kLcse,
+                            OptimizerMode::kMotto};
+  for (int i = 0; i < 3; ++i) {
+    OptimizerOptions options;
+    options.mode = modes[i];
+    Optimizer optimizer(&registry, stats, options);
+    auto outcome = optimizer.Optimize(queries);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    costs[i] = outcome->planned_cost;
+    EXPECT_LE(outcome->planned_cost, outcome->default_cost + 1e-9);
+  }
+  EXPECT_LE(costs[2], costs[0] + 1e-9);  // MOTTO <= MST.
+  EXPECT_LE(costs[2], costs[1] + 1e-9);  // MOTTO <= LCSE.
+}
+
+TEST(OptimizerTest, NestedQueriesPaperExample7) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "q11", "SEQ(E1, DISJ(E4|E3), CONJ(E2&E3))",
+                Millis(60)),
+      MakeQuery(&registry, "q12", "SEQ(E1, CONJ(E2&E3))", Millis(60)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3", "E4"}, 1500, Millis(6), 23);
+  OptimizeOutcome outcome = CheckEquivalence(queries, &registry, stream,
+                                             OptimizerMode::kMotto);
+  // The shared plan computes CONJ(E2&E3) once for both queries.
+  EXPECT_LT(outcome.planned_cost, outcome.default_cost);
+}
+
+TEST(OptimizerTest, DifferentWindowsBothDirections) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "wide", "SEQ(E1, E2, E3)", Millis(80)),
+      MakeQuery(&registry, "narrow", "SEQ(E1, E2, E3)", Millis(20)),
+      MakeQuery(&registry, "mid", "SEQ(E1, E2)", Millis(40)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3"}, 1500, Millis(7), 31);
+  CheckEquivalence(queries, &registry, stream, OptimizerMode::kMotto);
+}
+
+TEST(OptimizerTest, NegationWorkloadDataCenterExample) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "qa", "SEQ(Es, Et, Ed, NEG(Ea))", Millis(30)),
+      MakeQuery(&registry, "qb", "SEQ(Es, Et, Ea)", Millis(30)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"Es", "Et", "Ed", "Ea"}, 1500, Millis(4), 47);
+  CheckEquivalence(queries, &registry, stream, OptimizerMode::kMotto);
+}
+
+TEST(OptimizerTest, OttWorkload) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "seq", "SEQ(E1, E2, E3)", Millis(40)),
+      MakeQuery(&registry, "conj", "CONJ(E1 & E2 & E3)", Millis(40)),
+      MakeQuery(&registry, "disj", "DISJ(E1 | E2 | E3)", Millis(40)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3"}, 1500, Millis(30), 61);
+  OptimizeOutcome outcome = CheckEquivalence(queries, &registry, stream,
+                                             OptimizerMode::kMotto);
+  // SEQ should be answered from CONJ via Filter_sc.
+  bool used_order_filter = false;
+  for (const JqpNode& node : outcome.jqp.nodes) {
+    if (std::holds_alternative<OrderFilterSpec>(node.spec)) {
+      used_order_filter = true;
+    }
+  }
+  EXPECT_TRUE(used_order_filter) << outcome.jqp.ToString(registry);
+}
+
+TEST(OptimizerTest, RandomWorkloadsPropertySweep) {
+  Rng rng(20260704);
+  const std::vector<std::string> type_names = {"A", "B", "C", "D", "E", "F"};
+  for (int round = 0; round < 6; ++round) {
+    EventTypeRegistry registry;
+    std::vector<Query> queries;
+    int num_queries = static_cast<int>(rng.Uniform(3, 7));
+    for (int qi = 0; qi < num_queries; ++qi) {
+      PatternOp op = static_cast<PatternOp>(rng.Uniform(0, 2));
+      int len = static_cast<int>(rng.Uniform(2, 4));
+      std::vector<std::string> names = type_names;
+      rng.Shuffle(names);
+      std::vector<PatternExpr> children;
+      for (int k = 0; k < len; ++k) {
+        children.push_back(PatternExpr::Leaf(
+            registry.RegisterPrimitive(names[static_cast<size_t>(k)])));
+      }
+      Duration window = Millis(rng.Uniform(2, 6) * 10);
+      queries.push_back(Query{"q" + std::to_string(qi),
+                              PatternExpr::Operator(op, children), window});
+    }
+    EventStream stream =
+        RandomStream(&registry, type_names, 1200, Millis(6),
+                     1000 + static_cast<uint64_t>(round));
+    for (OptimizerMode mode : {OptimizerMode::kMst, OptimizerMode::kLcse,
+                               OptimizerMode::kMotto}) {
+      CheckEquivalence(queries, &registry, stream, mode);
+    }
+  }
+}
+
+TEST(OptimizerTest, ForceApproximateStillCorrect) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "q1", "SEQ(E1, E2, E3)", Millis(40)),
+      MakeQuery(&registry, "q2", "SEQ(E1, E3)", Millis(40)),
+      MakeQuery(&registry, "q3", "SEQ(E2, E3)", Millis(40)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3"}, 1200, Millis(30), 71);
+  StreamStats stats = ComputeStats(stream);
+
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kMotto;
+  options.planner.force_approximate = true;
+  options.planner.sa_iterations = 5000;
+  Optimizer optimizer(&registry, stats, options);
+  auto outcome = optimizer.Optimize(queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->exact);
+
+  OptimizerOptions na_options;
+  na_options.mode = OptimizerMode::kNa;
+  Optimizer na_optimizer(&registry, stats, na_options);
+  auto na = na_optimizer.Optimize(queries);
+  ASSERT_TRUE(na.ok());
+
+  auto exec = Executor::Create(outcome->jqp);
+  auto na_exec = Executor::Create(na->jqp);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  ASSERT_TRUE(na_exec.ok());
+  auto run = exec->Run(stream);
+  auto na_run = na_exec->Run(stream);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(na_run.ok());
+  for (const Query& q : queries) {
+    EXPECT_EQ(Fingerprints(na_run->sink_events.at(q.name)),
+              Fingerprints(run->sink_events.at(q.name)));
+  }
+}
+
+TEST(OptimizerTest, RejectsInvalidQueries) {
+  EventTypeRegistry registry;
+  StreamStats stats;
+  Optimizer optimizer(&registry, stats, OptimizerOptions{});
+  Query bad{"bad", PatternExpr::Leaf(registry.RegisterPrimitive("x")),
+            Seconds(1)};
+  EXPECT_FALSE(optimizer.Optimize({bad}).ok());
+  FlatQuery zero_window{"zw", FlatPattern{PatternOp::kSeq, {0}, {}}, 0};
+  EXPECT_FALSE(optimizer.OptimizeFlat({zero_window}).ok());
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,167 @@
+#include "ccl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ccl/lexer.h"
+
+namespace motto {
+namespace {
+
+using ccl::ParseDuration;
+using ccl::ParsePattern;
+using ccl::ParseQuery;
+
+TEST(LexerTest, TokenizesAllKinds) {
+  auto tokens = ccl::Tokenize("SELECT * FROM s MATCHING [10 sec: a, !b & c|d]");
+  ASSERT_TRUE(tokens.ok());
+  // SELECT * FROM s MATCHING [ 10 sec : a , ! b & c | d ] EOF
+  EXPECT_EQ(tokens->size(), 19u);
+  EXPECT_EQ(tokens->back().kind, ccl::TokenKind::kEof);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(ccl::Tokenize("a + b").ok());
+  EXPECT_FALSE(ccl::Tokenize("a$").ok());
+}
+
+TEST(DurationTest, ParsesUnits) {
+  EXPECT_EQ(*ParseDuration("10 seconds"), Seconds(10));
+  EXPECT_EQ(*ParseDuration("10 s"), Seconds(10));
+  EXPECT_EQ(*ParseDuration("5 min"), Minutes(5));
+  EXPECT_EQ(*ParseDuration("250 ms"), Millis(250));
+  EXPECT_EQ(*ParseDuration("7 us"), 7);
+  EXPECT_FALSE(ParseDuration("10 fortnights").ok());
+  EXPECT_FALSE(ParseDuration("ten seconds").ok());
+}
+
+TEST(ParsePatternTest, FunctionalSeq) {
+  EventTypeRegistry registry;
+  auto p = ParsePattern("SEQ(E1, E2, E3)", &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->op(), PatternOp::kSeq);
+  EXPECT_EQ(p->children().size(), 3u);
+  EXPECT_EQ(p->ToString(registry), "SEQ(E1, E2, E3)");
+}
+
+TEST(ParsePatternTest, FunctionalConjAndDisj) {
+  EventTypeRegistry registry;
+  auto conj = ParsePattern("CONJ(E1 & E2)", &registry);
+  ASSERT_TRUE(conj.ok());
+  EXPECT_EQ(conj->op(), PatternOp::kConj);
+  auto disj = ParsePattern("DISJ(E1 | E2)", &registry);
+  ASSERT_TRUE(disj.ok());
+  EXPECT_EQ(disj->op(), PatternOp::kDisj);
+}
+
+TEST(ParsePatternTest, InfixPrecedence) {
+  EventTypeRegistry registry;
+  // ',' binds tighter than '&', which binds tighter than '|'.
+  auto p = ParsePattern("E1, E2 & E3 | E4", &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->op(), PatternOp::kDisj);
+  ASSERT_EQ(p->children().size(), 2u);
+  const PatternExpr& conj = p->children()[0];
+  EXPECT_EQ(conj.op(), PatternOp::kConj);
+  EXPECT_EQ(conj.children()[0].op(), PatternOp::kSeq);
+}
+
+TEST(ParsePatternTest, NestedFunctional) {
+  EventTypeRegistry registry;
+  auto p = ParsePattern("SEQ(E1, DISJ(E4|E3), CONJ(E2&E3))", &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->NestedLevel(), 2);
+  EXPECT_EQ(p->children().size(), 3u);
+  EXPECT_EQ(p->children()[1].op(), PatternOp::kDisj);
+  EXPECT_EQ(p->children()[2].op(), PatternOp::kConj);
+}
+
+TEST(ParsePatternTest, NegationForms) {
+  EventTypeRegistry registry;
+  auto p = ParsePattern("SEQ(E1, E3, NEG(E2))", &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->children().size(), 2u);
+  ASSERT_EQ(p->negated().size(), 1u);
+  EXPECT_EQ(registry.NameOf(p->negated()[0].leaf_type()), "E2");
+
+  auto bang = ParsePattern("E1, E3, !E2", &registry);
+  ASSERT_TRUE(bang.ok());
+  EXPECT_TRUE(bang->negated()[0] == p->negated()[0]);
+}
+
+TEST(ParsePatternTest, NegationErrors) {
+  EventTypeRegistry registry;
+  EXPECT_FALSE(ParsePattern("!E1", &registry).ok());
+  EXPECT_FALSE(ParsePattern("DISJ(E1 | NEG(E2))", &registry).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(E1, !!E2)", &registry).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(E1, NEG(SEQ(E2, E3)))", &registry).ok());
+  EXPECT_FALSE(ParsePattern("SEQ(NEG(E1))", &registry).ok());
+}
+
+TEST(ParsePatternTest, SeparatorMixingRequiresParens) {
+  EventTypeRegistry registry;
+  EXPECT_FALSE(ParsePattern("SEQ(E1 & E2, E3)", &registry).ok());
+  auto ok = ParsePattern("SEQ((E1 & E2), E3)", &registry);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->children()[0].op(), PatternOp::kConj);
+}
+
+TEST(ParsePatternTest, SingleOperandCollapses) {
+  EventTypeRegistry registry;
+  auto p = ParsePattern("(E1)", &registry);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->is_leaf());
+}
+
+TEST(ParsePatternTest, UnknownTypePolicy) {
+  EventTypeRegistry registry;
+  registry.RegisterPrimitive("known");
+  ccl::ParseOptions strict;
+  strict.register_unknown_types = false;
+  EXPECT_FALSE(ParsePattern("SEQ(known, novel)", &registry, strict).ok());
+  EXPECT_TRUE(ParsePattern("SEQ(known, known)", &registry, strict).ok());
+  // Default policy registers new types.
+  auto p = ParsePattern("SEQ(known, novel)", &registry);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NE(registry.Find("novel"), kInvalidEventType);
+}
+
+TEST(ParseQueryTest, FullQuery) {
+  EventTypeRegistry registry;
+  auto q = ParseQuery(
+      "SELECT * FROM market MATCHING [10 min : SEQ(sell_MSFT, buy_AAPL, "
+      "buy_IBM, RSI_low_IBM)]",
+      &registry, "Q1");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->name, "Q1");
+  EXPECT_EQ(q->window, Minutes(10));
+  EXPECT_EQ(q->pattern.children().size(), 4u);
+}
+
+TEST(ParseQueryTest, Errors) {
+  EventTypeRegistry registry;
+  EXPECT_FALSE(ParseQuery("MATCHING [1 s : E1, E2]", &registry).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT * FROM s MATCHING [1 s : E1, E2] junk", &registry)
+          .ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM s MATCHING 1 s : E1", &registry).ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM s MATCHING [s : E1]", &registry).ok());
+}
+
+TEST(ParseQueryTest, CompositeTypeNameRejectedAsOperand) {
+  EventTypeRegistry registry;
+  registry.RegisterComposite("combo");
+  EXPECT_FALSE(ParsePattern("SEQ(combo, x)", &registry).ok());
+}
+
+TEST(ParsePatternTest, RoundTripThroughPrinter) {
+  EventTypeRegistry registry;
+  auto p = ParsePattern("SEQ(a, CONJ(b & c), NEG(d))", &registry);
+  ASSERT_TRUE(p.ok());
+  std::string printed = p->ToString(registry);
+  auto reparsed = ParsePattern(printed, &registry);
+  ASSERT_TRUE(reparsed.ok()) << printed << " -> " << reparsed.status();
+  EXPECT_TRUE(*p == *reparsed);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,144 @@
+#include "ccl/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace motto {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest() {
+    for (const char* name : {"E1", "E2", "E3", "E4"}) {
+      ids_.push_back(registry_.RegisterPrimitive(name));
+    }
+  }
+  EventTypeRegistry registry_;
+  std::vector<EventTypeId> ids_;
+};
+
+TEST_F(PatternTest, LeafBasics) {
+  PatternExpr leaf = PatternExpr::Leaf(ids_[0]);
+  EXPECT_TRUE(leaf.is_leaf());
+  EXPECT_EQ(leaf.leaf_type(), ids_[0]);
+  EXPECT_EQ(leaf.NestedLevel(), 0);
+  EXPECT_EQ(leaf.ToString(registry_), "E1");
+}
+
+TEST_F(PatternTest, FlatOperator) {
+  PatternExpr seq = PatternExpr::Operator(
+      PatternOp::kSeq, {PatternExpr::Leaf(ids_[0]), PatternExpr::Leaf(ids_[1])});
+  EXPECT_FALSE(seq.is_leaf());
+  EXPECT_TRUE(seq.IsFlat());
+  EXPECT_EQ(seq.NestedLevel(), 1);
+  EXPECT_EQ(seq.ToString(registry_), "SEQ(E1, E2)");
+}
+
+TEST_F(PatternTest, NestedLevelCountsLayers) {
+  PatternExpr inner = PatternExpr::Operator(
+      PatternOp::kConj,
+      {PatternExpr::Leaf(ids_[1]), PatternExpr::Leaf(ids_[2])});
+  PatternExpr outer = PatternExpr::Operator(
+      PatternOp::kSeq, {PatternExpr::Leaf(ids_[0]), inner});
+  EXPECT_FALSE(outer.IsFlat());
+  EXPECT_EQ(outer.NestedLevel(), 2);
+  EXPECT_EQ(outer.ToString(registry_), "SEQ(E1, CONJ(E2 & E3))");
+}
+
+TEST_F(PatternTest, CanonicalizeSortsCommutativeOperands) {
+  PatternExpr conj = PatternExpr::Operator(
+      PatternOp::kConj,
+      {PatternExpr::Leaf(ids_[2]), PatternExpr::Leaf(ids_[0])});
+  PatternExpr canon = Canonicalize(conj);
+  EXPECT_EQ(canon.children()[0].leaf_type(), ids_[0]);
+  EXPECT_EQ(canon.children()[1].leaf_type(), ids_[2]);
+
+  PatternExpr conj2 = PatternExpr::Operator(
+      PatternOp::kConj,
+      {PatternExpr::Leaf(ids_[0]), PatternExpr::Leaf(ids_[2])});
+  EXPECT_EQ(Canonicalize(conj).CanonicalKey(),
+            Canonicalize(conj2).CanonicalKey());
+}
+
+TEST_F(PatternTest, CanonicalizePreservesSeqOrder) {
+  PatternExpr seq = PatternExpr::Operator(
+      PatternOp::kSeq,
+      {PatternExpr::Leaf(ids_[2]), PatternExpr::Leaf(ids_[0])});
+  PatternExpr canon = Canonicalize(seq);
+  EXPECT_EQ(canon.children()[0].leaf_type(), ids_[2]);
+  EXPECT_EQ(canon.children()[1].leaf_type(), ids_[0]);
+}
+
+TEST_F(PatternTest, ValidateRejectsDisjWithNeg) {
+  PatternExpr bad = PatternExpr::Operator(
+      PatternOp::kDisj,
+      {PatternExpr::Leaf(ids_[0]), PatternExpr::Leaf(ids_[1])},
+      {PatternExpr::Leaf(ids_[2])});
+  EXPECT_EQ(ValidatePattern(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PatternTest, ValidateRejectsEmptyOperator) {
+  PatternExpr bad = PatternExpr::Operator(PatternOp::kSeq, {});
+  EXPECT_FALSE(ValidatePattern(bad).ok());
+}
+
+TEST_F(PatternTest, ValidateRejectsDuplicateNeg) {
+  PatternExpr bad = PatternExpr::Operator(
+      PatternOp::kSeq, {PatternExpr::Leaf(ids_[0])},
+      {PatternExpr::Leaf(ids_[2]), PatternExpr::Leaf(ids_[2])});
+  EXPECT_FALSE(ValidatePattern(bad).ok());
+}
+
+TEST_F(PatternTest, ValidateAcceptsSeqWithNeg) {
+  PatternExpr good = PatternExpr::Operator(
+      PatternOp::kSeq,
+      {PatternExpr::Leaf(ids_[0]), PatternExpr::Leaf(ids_[1])},
+      {PatternExpr::Leaf(ids_[3])});
+  EXPECT_TRUE(ValidatePattern(good).ok());
+  EXPECT_EQ(good.ToString(registry_), "SEQ(E1, E2, NEG(E4))");
+}
+
+TEST_F(PatternTest, FlatPatternRoundTrip) {
+  FlatPattern flat;
+  flat.op = PatternOp::kSeq;
+  flat.operands = {ids_[0], ids_[1], ids_[2]};
+  flat.negated = {ids_[3]};
+  PatternExpr expr = ToExpr(flat);
+  EXPECT_TRUE(expr.IsFlat());
+  FlatPattern back = ToFlatPattern(expr);
+  EXPECT_EQ(back, flat);
+}
+
+TEST_F(PatternTest, FlatCanonicalSortsConjOperands) {
+  FlatPattern flat;
+  flat.op = PatternOp::kConj;
+  flat.operands = {ids_[2], ids_[0], ids_[1]};
+  FlatPattern canon = flat.Canonical();
+  EXPECT_EQ(canon.operands, (std::vector<EventTypeId>{ids_[0], ids_[1], ids_[2]}));
+  FlatPattern flat2;
+  flat2.op = PatternOp::kConj;
+  flat2.operands = {ids_[1], ids_[2], ids_[0]};
+  EXPECT_EQ(flat.CanonicalKey(), flat2.CanonicalKey());
+}
+
+TEST_F(PatternTest, FlatCanonicalKeyDistinguishesOps) {
+  FlatPattern seq{PatternOp::kSeq, {ids_[0], ids_[1]}, {}};
+  FlatPattern conj{PatternOp::kConj, {ids_[0], ids_[1]}, {}};
+  EXPECT_NE(seq.CanonicalKey(), conj.CanonicalKey());
+}
+
+TEST_F(PatternTest, EqualityIsStructural) {
+  PatternExpr a = PatternExpr::Operator(
+      PatternOp::kSeq,
+      {PatternExpr::Leaf(ids_[0]), PatternExpr::Leaf(ids_[1])});
+  PatternExpr b = PatternExpr::Operator(
+      PatternOp::kSeq,
+      {PatternExpr::Leaf(ids_[0]), PatternExpr::Leaf(ids_[1])});
+  PatternExpr c = PatternExpr::Operator(
+      PatternOp::kSeq,
+      {PatternExpr::Leaf(ids_[1]), PatternExpr::Leaf(ids_[0])});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,236 @@
+#include "ccl/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "ccl/parser.h"
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "motto/optimizer.h"
+#include "test_util.h"
+
+namespace motto {
+namespace {
+
+using testing::Fingerprints;
+
+TEST(PredicateTest, ComparisonsMatchPayloads) {
+  Payload payload{10.5, 200};
+  EXPECT_TRUE((Comparison{PredicateField::kValue, PredicateCmp::kGt, 10.0}
+                   .Matches(payload)));
+  EXPECT_FALSE((Comparison{PredicateField::kValue, PredicateCmp::kGt, 10.5}
+                    .Matches(payload)));
+  EXPECT_TRUE((Comparison{PredicateField::kValue, PredicateCmp::kGe, 10.5}
+                   .Matches(payload)));
+  EXPECT_TRUE((Comparison{PredicateField::kAux, PredicateCmp::kLe, 200}
+                   .Matches(payload)));
+  EXPECT_TRUE((Comparison{PredicateField::kAux, PredicateCmp::kEq, 200}
+                   .Matches(payload)));
+  EXPECT_TRUE((Comparison{PredicateField::kAux, PredicateCmp::kNe, 300}
+                   .Matches(payload)));
+  EXPECT_FALSE((Comparison{PredicateField::kAux, PredicateCmp::kLt, 200}
+                    .Matches(payload)));
+}
+
+TEST(PredicateTest, ConjunctionAndEmpty) {
+  Predicate empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.Matches(Payload{0, 0}));
+
+  Predicate p({{PredicateField::kValue, PredicateCmp::kGt, 5.0},
+               {PredicateField::kAux, PredicateCmp::kLt, 10}});
+  EXPECT_TRUE(p.Matches(Payload{6.0, 5}));
+  EXPECT_FALSE(p.Matches(Payload{4.0, 5}));
+  EXPECT_FALSE(p.Matches(Payload{6.0, 15}));
+}
+
+TEST(PredicateTest, CanonicalKeyIsOrderInsensitive) {
+  Predicate a({{PredicateField::kValue, PredicateCmp::kGt, 5.0},
+               {PredicateField::kAux, PredicateCmp::kLt, 10}});
+  Predicate b({{PredicateField::kAux, PredicateCmp::kLt, 10},
+               {PredicateField::kValue, PredicateCmp::kGt, 5.0}});
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  EXPECT_TRUE(a == b);
+  Predicate c({{PredicateField::kValue, PredicateCmp::kGt, 6.0}});
+  EXPECT_NE(a.CanonicalKey(), c.CanonicalKey());
+}
+
+TEST(PredicateParseTest, OperandPredicates) {
+  EventTypeRegistry registry;
+  auto p = ccl::ParsePattern("SEQ(AAPL[value > 100], IBM[aux <= 5000])",
+                             &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  const PatternExpr& first = p->children()[0];
+  ASSERT_FALSE(first.leaf_predicate().empty());
+  EXPECT_EQ(first.leaf_predicate().comparisons()[0].cmp, PredicateCmp::kGt);
+  EXPECT_EQ(first.leaf_predicate().comparisons()[0].constant, 100.0);
+  // Round-trip through the printer.
+  auto reparsed = ccl::ParsePattern(p->ToString(registry), &registry);
+  ASSERT_TRUE(reparsed.ok()) << p->ToString(registry);
+  EXPECT_TRUE(*p == *reparsed);
+}
+
+TEST(PredicateParseTest, AliasesDecimalsAndNegatives) {
+  EventTypeRegistry registry;
+  auto p = ccl::ParsePattern(
+      "SEQ(a[price >= 99.5 & volume != 3], b[value < -2.25])", &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  const Predicate& pa = p->children()[0].leaf_predicate();
+  ASSERT_EQ(pa.comparisons().size(), 2u);
+  const Predicate& pb = p->children()[1].leaf_predicate();
+  EXPECT_EQ(pb.comparisons()[0].constant, -2.25);
+}
+
+TEST(PredicateParseTest, Errors) {
+  EventTypeRegistry registry;
+  EXPECT_FALSE(ccl::ParsePattern("SEQ(a[bogus > 1], b)", &registry).ok());
+  EXPECT_FALSE(ccl::ParsePattern("SEQ(a[value 1], b)", &registry).ok());
+  EXPECT_FALSE(ccl::ParsePattern("SEQ(a[value >], b)", &registry).ok());
+  EXPECT_FALSE(ccl::ParsePattern("SEQ(a[value > 1, b)", &registry).ok());
+}
+
+TEST(PredicateParseTest, NegWithPredicate) {
+  EventTypeRegistry registry;
+  auto p = ccl::ParsePattern("SEQ(a, b, NEG(c[value > 9]))", &registry);
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->negated().size(), 1u);
+  EXPECT_FALSE(p->negated()[0].leaf_predicate().empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: predicated queries execute correctly and share when equal.
+// ---------------------------------------------------------------------------
+
+class PredicateExecutionTest : public ::testing::Test {
+ protected:
+  /// Stream of alternating a/b/c with controlled payload values.
+  EventStream MakeStream() {
+    EventStream stream;
+    Rng rng(99);
+    Timestamp ts = 0;
+    const char* names[3] = {"a", "b", "c"};
+    for (int i = 0; i < 3000; ++i) {
+      ts += rng.Uniform(1, Millis(8));
+      Payload payload;
+      payload.value = static_cast<double>(rng.Uniform(0, 200));
+      payload.aux = rng.Uniform(0, 100);
+      stream.push_back(Event::Primitive(
+          registry_.RegisterPrimitive(names[rng.Uniform(0, 2)]), ts, payload));
+    }
+    return stream;
+  }
+
+  Query Parse(const std::string& name, const std::string& pattern,
+              Duration window = Millis(40)) {
+    auto expr = ccl::ParsePattern(pattern, &registry_);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    return Query{name, *expr, window};
+  }
+
+  RunResult Run(const std::vector<Query>& queries, const EventStream& stream,
+                OptimizerMode mode, Jqp* jqp_out = nullptr) {
+    StreamStats stats = ComputeStats(stream);
+    OptimizerOptions options;
+    options.mode = mode;
+    Optimizer optimizer(&registry_, stats, options);
+    auto outcome = optimizer.Optimize(queries);
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+    if (jqp_out != nullptr) *jqp_out = outcome->jqp;
+    auto executor = Executor::Create(std::move(outcome->jqp));
+    EXPECT_TRUE(executor.ok()) << executor.status();
+    auto run = executor->Run(stream);
+    EXPECT_TRUE(run.ok()) << run.status();
+    return *std::move(run);
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(PredicateExecutionTest, PredicateFiltersMatches) {
+  EventStream stream = MakeStream();
+  std::vector<Query> queries = {
+      Parse("all", "SEQ(a, b)"),
+      Parse("hot", "SEQ(a[value > 150], b)"),
+  };
+  RunResult run = Run(queries, stream, OptimizerMode::kNa);
+  size_t all = run.sink_events.at("all").size();
+  size_t hot = run.sink_events.at("hot").size();
+  EXPECT_GT(all, 0u);
+  EXPECT_GT(hot, 0u);
+  EXPECT_LT(hot, all / 2);  // ~25% of values exceed 150.
+  // Every "hot" match's first constituent passed the predicate: it must be
+  // among the "all" matches too.
+  auto all_prints = Fingerprints(run.sink_events.at("all"));
+  for (const Event& e : run.sink_events.at("hot")) {
+    EXPECT_TRUE(all_prints.count(e.Fingerprint()) > 0);
+  }
+}
+
+TEST_F(PredicateExecutionTest, OptimizedEqualsUnoptimized) {
+  EventStream stream = MakeStream();
+  std::vector<Query> queries = {
+      Parse("q1", "SEQ(a[value > 120], b, c)"),
+      Parse("q2", "SEQ(a[value > 120], b)"),
+      Parse("q3", "SEQ(a[value > 50], b)"),
+      Parse("q4", "CONJ(b & c[aux < 40])", Millis(30)),
+  };
+  RunResult na = Run(queries, stream, OptimizerMode::kNa);
+  RunResult shared = Run(queries, stream, OptimizerMode::kMotto);
+  for (const Query& q : queries) {
+    EXPECT_EQ(Fingerprints(na.sink_events.at(q.name)),
+              Fingerprints(shared.sink_events.at(q.name)))
+        << q.name;
+  }
+}
+
+TEST_F(PredicateExecutionTest, EqualSelectorsShareUnequalDoNot) {
+  EventStream stream = MakeStream();
+  // q1/q2 share the selector a[value > 120]; q3's differs.
+  std::vector<Query> queries = {
+      Parse("q1", "SEQ(a[value > 120], b, c)"),
+      Parse("q2", "SEQ(a[value > 120], b)"),
+      Parse("q3", "SEQ(a[value > 50], b)"),
+  };
+  Jqp jqp;
+  Run(queries, stream, OptimizerMode::kMotto, &jqp);
+  // q2's node (or a sub-query) feeds q1: fewer pattern nodes than NA's 3 is
+  // the observable effect of selector-aware sharing.
+  Jqp na_jqp;
+  Run(queries, stream, OptimizerMode::kNa, &na_jqp);
+  EXPECT_LE(jqp.nodes.size(), na_jqp.nodes.size());
+  bool q1_shares = false;
+  for (const JqpNode& node : jqp.nodes) {
+    if (!node.inputs.empty()) q1_shares = true;
+  }
+  EXPECT_TRUE(q1_shares) << jqp.ToString(registry_);
+}
+
+TEST_F(PredicateExecutionTest, NegationWithPredicate) {
+  EventStream stream = MakeStream();
+  std::vector<Query> queries = {
+      Parse("guarded", "SEQ(a, b, NEG(c[value > 190]))", Millis(20)),
+      Parse("plain", "SEQ(a, b)", Millis(20)),
+  };
+  RunResult run = Run(queries, stream, OptimizerMode::kNa);
+  size_t guarded = run.sink_events.at("guarded").size();
+  size_t plain = run.sink_events.at("plain").size();
+  EXPECT_GT(guarded, 0u);
+  EXPECT_LT(guarded, plain);  // Some matches are killed by hot c events.
+  // And the optimizer keeps it correct.
+  RunResult shared = Run(queries, stream, OptimizerMode::kMotto);
+  EXPECT_EQ(Fingerprints(run.sink_events.at("guarded")),
+            Fingerprints(shared.sink_events.at("guarded")));
+}
+
+TEST_F(PredicateExecutionTest, DisjWithPredicatesPassesOnlyMatching) {
+  EventStream stream = MakeStream();
+  std::vector<Query> queries = {
+      Parse("picky", "DISJ(a[value > 180] | b[aux < 10])", Millis(20)),
+  };
+  RunResult run = Run(queries, stream, OptimizerMode::kNa);
+  size_t matched = run.sink_events.at("picky").size();
+  EXPECT_GT(matched, 0u);
+  EXPECT_LT(matched, stream.size() / 3);  // Far fewer than all a/b events.
+}
+
+}  // namespace
+}  // namespace motto

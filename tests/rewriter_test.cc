@@ -1,0 +1,291 @@
+#include "motto/rewriter.h"
+
+#include <gtest/gtest.h>
+
+namespace motto {
+namespace {
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  RewriterTest() : cost_(MakeStats()) {}
+
+  StreamStats MakeStats() {
+    StreamStats stats;
+    // Selective types: ~0.6 expected events per 2-second window, the regime
+    // CEP patterns target (rare per-type events, paper §VII data sets).
+    for (EventTypeId t = 0; t < 12; ++t) stats.rate_per_second[t] = 0.3;
+    stats.total_rate = 3.6;
+    stats.duration = Seconds(100);
+    return stats;
+  }
+
+  FlatQuery Query(const std::string& name, PatternOp op,
+                  std::vector<std::string> operands,
+                  Duration window = Seconds(2),
+                  std::vector<std::string> negated = {}) {
+    FlatQuery q;
+    q.name = name;
+    q.window = window;
+    q.pattern.op = op;
+    for (const std::string& n : operands) {
+      q.pattern.operands.push_back(registry_.RegisterPrimitive(n));
+    }
+    for (const std::string& n : negated) {
+      q.pattern.negated.push_back(registry_.RegisterPrimitive(n));
+    }
+    return q;
+  }
+
+  SharingGraph Build(const std::vector<FlatQuery>& queries,
+                     RewriterOptions options = RewriterOptions::Motto()) {
+    return BuildSharingGraph(queries, options, &registry_, &catalog_, &cost_);
+  }
+
+  int32_t NodeOf(const SharingGraph& graph, const FlatPattern& pattern,
+                 Duration window) {
+    auto it = graph.index.find(SharingNodeKey(pattern.Canonical(), window));
+    return it == graph.index.end() ? -1 : it->second;
+  }
+
+  bool HasEdge(const SharingGraph& graph, int32_t from, int32_t to,
+               RewriteRecipe::Kind kind) {
+    for (const SharingEdge& e : graph.edges) {
+      if (e.source == from && e.target == to && e.recipe.kind == kind) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  EventTypeRegistry registry_;
+  CompositeCatalog catalog_;
+  CostModel cost_;
+};
+
+TEST_F(RewriterTest, IdenticalQueriesShareOneNode) {
+  FlatQuery a = Query("a", PatternOp::kSeq, {"E1", "E2"});
+  FlatQuery b = Query("b", PatternOp::kSeq, {"E1", "E2"});
+  SharingGraph graph = Build({a, b});
+  ASSERT_EQ(graph.nodes.size(), 1u);
+  EXPECT_EQ(graph.nodes[0].query_names.size(), 2u);
+  EXPECT_TRUE(graph.nodes[0].terminal);
+}
+
+TEST_F(RewriterTest, CommutativeEquivalenceSharesOneNode) {
+  FlatQuery a = Query("a", PatternOp::kConj, {"E1", "E2"});
+  FlatQuery b = Query("b", PatternOp::kConj, {"E2", "E1"});
+  SharingGraph graph = Build({a, b});
+  EXPECT_EQ(graph.nodes.size(), 1u);
+}
+
+TEST_F(RewriterTest, MstSubstringEdge) {
+  // Paper MST substring case: SEQ(E1,E2) is a prefix of SEQ(E1,E2,E3).
+  FlatQuery small = Query("small", PatternOp::kSeq, {"E1", "E2"});
+  FlatQuery big = Query("big", PatternOp::kSeq, {"E1", "E2", "E3"});
+  SharingGraph graph = Build({small, big}, RewriterOptions::MstOnly());
+  int32_t s = NodeOf(graph, small.pattern, small.window);
+  int32_t b = NodeOf(graph, big.pattern, big.window);
+  ASSERT_GE(s, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_TRUE(HasEdge(graph, s, b, RewriteRecipe::Kind::kCompositeOperand));
+}
+
+TEST_F(RewriterTest, MstSubsequenceEdgeUsesMergeOrdered) {
+  // Paper Example 1: q2=SEQ(E1,E3) shared into q1=SEQ(E1,E2,E3).
+  FlatQuery q2 = Query("q2", PatternOp::kSeq, {"E1", "E3"});
+  FlatQuery q1 = Query("q1", PatternOp::kSeq, {"E1", "E2", "E3"});
+  SharingGraph graph = Build({q1, q2}, RewriterOptions::MstOnly());
+  int32_t s = NodeOf(graph, q2.pattern, q2.window);
+  int32_t b = NodeOf(graph, q1.pattern, q1.window);
+  EXPECT_TRUE(HasEdge(graph, s, b, RewriteRecipe::Kind::kMergeOrdered));
+}
+
+TEST_F(RewriterTest, DstCreatesCommonSubQuery) {
+  // Paper Example 2: q3=SEQ(E1,E2,E4), q4=SEQ(E2,E4,E3) share SEQ(E2,E4).
+  FlatQuery q3 = Query("q3", PatternOp::kSeq, {"E1", "E2", "E4"});
+  FlatQuery q4 = Query("q4", PatternOp::kSeq, {"E2", "E4", "E3"});
+  SharingGraph graph = Build({q3, q4});
+  FlatPattern sub{PatternOp::kSeq,
+                  {registry_.Find("E2"), registry_.Find("E4")},
+                  {}};
+  int32_t sub_node = NodeOf(graph, sub, Seconds(2));
+  ASSERT_GE(sub_node, 0) << graph.ToString(registry_);
+  EXPECT_FALSE(graph.nodes[static_cast<size_t>(sub_node)].terminal);
+  EXPECT_TRUE(HasEdge(graph, sub_node, NodeOf(graph, q3.pattern, q3.window),
+                      RewriteRecipe::Kind::kCompositeOperand));
+  EXPECT_TRUE(HasEdge(graph, sub_node, NodeOf(graph, q4.pattern, q4.window),
+                      RewriteRecipe::Kind::kCompositeOperand));
+}
+
+TEST_F(RewriterTest, PaperExample4RequiresDstPlusMst) {
+  // q8=SEQ(E1,E2,E3,E5), q9=SEQ(E1,E3,E4): sub-query SEQ(E1,E3) is a
+  // subsequence of both; sharing needs decomposition + merge.
+  FlatQuery q8 = Query("q8", PatternOp::kSeq, {"E1", "E2", "E3", "E5"});
+  FlatQuery q9 = Query("q9", PatternOp::kSeq, {"E1", "E3", "E4"});
+  SharingGraph graph = Build({q8, q9});
+  FlatPattern sub{PatternOp::kSeq,
+                  {registry_.Find("E1"), registry_.Find("E3")},
+                  {}};
+  int32_t sub_node = NodeOf(graph, sub, Seconds(2));
+  ASSERT_GE(sub_node, 0) << graph.ToString(registry_);
+  // SEQ(E1,E3) is a non-contiguous subsequence of q8 (merge + order filter)
+  // but a contiguous prefix of q9 (direct composite operand).
+  EXPECT_TRUE(HasEdge(graph, sub_node, NodeOf(graph, q8.pattern, q8.window),
+                      RewriteRecipe::Kind::kMergeOrdered));
+  EXPECT_TRUE(HasEdge(graph, sub_node, NodeOf(graph, q9.pattern, q9.window),
+                      RewriteRecipe::Kind::kCompositeOperand));
+  // MST alone must find nothing here (no substring/subsequence relation
+  // between the whole queries).
+  EventTypeRegistry fresh_registry = registry_;
+  SharingGraph mst = Build({q8, q9}, RewriterOptions::MstOnly());
+  EXPECT_TRUE(mst.edges.empty());
+}
+
+TEST_F(RewriterTest, OttConjToSeqEdge) {
+  // Paper Example 5: q2=SEQ(E1,E3) from q5=CONJ(E1&E3) via Filter_sc.
+  FlatQuery seq = Query("seq", PatternOp::kSeq, {"E1", "E3"});
+  FlatQuery conj = Query("conj", PatternOp::kConj, {"E1", "E3"});
+  SharingGraph graph = Build({seq, conj});
+  int32_t s = NodeOf(graph, conj.pattern, conj.window);
+  int32_t b = NodeOf(graph, seq.pattern, seq.window);
+  EXPECT_TRUE(HasEdge(graph, s, b, RewriteRecipe::Kind::kOrderFilter));
+  // The reverse direction is impossible.
+  EXPECT_FALSE(HasEdge(graph, b, s, RewriteRecipe::Kind::kOrderFilter));
+}
+
+TEST_F(RewriterTest, WindowDifferenceCreatesSpanFilterEdge) {
+  FlatQuery wide = Query("wide", PatternOp::kSeq, {"E1", "E2"}, Seconds(8));
+  FlatQuery narrow = Query("narrow", PatternOp::kSeq, {"E1", "E2"}, Seconds(2));
+  SharingGraph graph = Build({wide, narrow});
+  int32_t w = NodeOf(graph, wide.pattern, Seconds(8));
+  int32_t n = NodeOf(graph, narrow.pattern, Seconds(2));
+  ASSERT_GE(w, 0);
+  ASSERT_GE(n, 0);
+  EXPECT_TRUE(HasEdge(graph, w, n, RewriteRecipe::Kind::kSpanFilter));
+  EXPECT_FALSE(HasEdge(graph, n, w, RewriteRecipe::Kind::kSpanFilter));
+  // MST-only mode treats different windows as unshareable.
+  EventTypeRegistry fresh = registry_;
+  SharingGraph strict = Build({wide, narrow}, RewriterOptions::MstOnly());
+  EXPECT_TRUE(strict.edges.empty());
+}
+
+TEST_F(RewriterTest, WindowExtensionSubQueryForSmallerSourceWindow) {
+  // Source window < beneficiary window: the sub-query node is created at
+  // the max window so both can consume it (paper §IV-D case 2).
+  FlatQuery small = Query("small", PatternOp::kSeq, {"E1", "E2", "E3"},
+                          Seconds(2));
+  FlatQuery big = Query("big", PatternOp::kSeq, {"E2", "E3", "E4"},
+                        Seconds(8));
+  SharingGraph graph = Build({small, big});
+  FlatPattern sub{PatternOp::kSeq,
+                  {registry_.Find("E2"), registry_.Find("E3")},
+                  {}};
+  // Extended sub-query at the max of both windows.
+  EXPECT_GE(NodeOf(graph, sub, Seconds(8)), 0) << graph.ToString(registry_);
+}
+
+TEST_F(RewriterTest, NegatedQueriesShareTheirPositivePart) {
+  // Paper's data-center queries: q_a = SEQ(Es,Et,Ed,NEG(Ea)),
+  // q_b = SEQ(Es,Et,Ea): common positive prefix SEQ(Es,Et).
+  FlatQuery qa = Query("qa", PatternOp::kSeq, {"Es", "Et", "Ed"}, Seconds(2),
+                       {"Ea"});
+  FlatQuery qb = Query("qb", PatternOp::kSeq, {"Es", "Et", "Ea"});
+  SharingGraph graph = Build({qa, qb});
+  FlatPattern sub{PatternOp::kSeq,
+                  {registry_.Find("Es"), registry_.Find("Et")},
+                  {}};
+  int32_t sub_node = NodeOf(graph, sub, Seconds(2));
+  ASSERT_GE(sub_node, 0) << graph.ToString(registry_);
+  int32_t a = NodeOf(graph, qa.pattern, qa.window);
+  EXPECT_TRUE(HasEdge(graph, sub_node, a,
+                      RewriteRecipe::Kind::kCompositeOperand));
+  // A NEG query never serves as a source.
+  for (const SharingEdge& e : graph.edges) {
+    EXPECT_NE(e.source, a);
+  }
+}
+
+TEST_F(RewriterTest, ConjSubMultisetSharing) {
+  FlatQuery small = Query("small", PatternOp::kConj, {"E1", "E2"});
+  FlatQuery big = Query("big", PatternOp::kConj, {"E3", "E1", "E2"});
+  SharingGraph graph = Build({small, big});
+  int32_t s = NodeOf(graph, small.pattern, small.window);
+  int32_t b = NodeOf(graph, big.pattern, big.window);
+  EXPECT_TRUE(HasEdge(graph, s, b, RewriteRecipe::Kind::kCompositeOperand));
+}
+
+TEST_F(RewriterTest, LcseOnlySharesLongestCommonSubstring) {
+  FlatQuery q6 = Query("q6", PatternOp::kSeq,
+                       {"E1", "E2", "E3", "E5", "E6", "E7", "E8"});
+  FlatQuery q7 = Query("q7", PatternOp::kSeq,
+                       {"E1", "E3", "E6", "E5", "E7", "E8"});
+  SharingGraph graph = Build({q6, q7}, RewriterOptions::Lcse());
+  // LCS is "E7,E8" (paper Example 3's S5).
+  FlatPattern lcs{PatternOp::kSeq,
+                  {registry_.Find("E7"), registry_.Find("E8")},
+                  {}};
+  EXPECT_GE(NodeOf(graph, lcs, Seconds(2)), 0) << graph.ToString(registry_);
+  // The subsequence chains (MS1="E1,E3,E5") exist only under full MOTTO.
+  FlatPattern ms1{PatternOp::kSeq,
+                  {registry_.Find("E1"), registry_.Find("E3"),
+                   registry_.Find("E5")},
+                  {}};
+  EXPECT_EQ(NodeOf(graph, ms1, Seconds(2)), -1);
+  EventTypeRegistry fresh = registry_;
+  SharingGraph full = Build({q6, q7});
+  EXPECT_GE(NodeOf(full, ms1, Seconds(2)), 0) << full.ToString(registry_);
+}
+
+TEST_F(RewriterTest, NaModeProducesNoEdges) {
+  FlatQuery a = Query("a", PatternOp::kSeq, {"E1", "E2"});
+  FlatQuery b = Query("b", PatternOp::kSeq, {"E1", "E2", "E3"});
+  SharingGraph graph = Build({a, b}, RewriterOptions::None());
+  EXPECT_TRUE(graph.edges.empty());
+  EXPECT_EQ(graph.nodes.size(), 2u);
+}
+
+TEST_F(RewriterTest, EdgesAlwaysCheaperThanScratch) {
+  FlatQuery a = Query("a", PatternOp::kSeq, {"E1", "E2", "E3", "E4"});
+  FlatQuery b = Query("b", PatternOp::kSeq, {"E2", "E3", "E4", "E5"});
+  FlatQuery c = Query("c", PatternOp::kConj, {"E1", "E2", "E3"});
+  SharingGraph graph = Build({a, b, c});
+  for (const SharingEdge& e : graph.edges) {
+    EXPECT_LT(e.cost,
+              graph.nodes[static_cast<size_t>(e.target)].scratch_cost);
+  }
+}
+
+TEST_F(RewriterTest, GraphIsAcyclicDag) {
+  std::vector<FlatQuery> queries = {
+      Query("a", PatternOp::kSeq, {"E1", "E2", "E3"}),
+      Query("b", PatternOp::kSeq, {"E1", "E3"}),
+      Query("c", PatternOp::kConj, {"E1", "E3"}),
+      Query("d", PatternOp::kSeq, {"E2", "E3", "E4"}, Seconds(6)),
+  };
+  SharingGraph graph = Build(queries);
+  // Kahn over sharing edges must consume every node.
+  size_t n = graph.nodes.size();
+  std::vector<int> in_degree(n, 0);
+  for (const SharingEdge& e : graph.edges) {
+    ++in_degree[static_cast<size_t>(e.target)];
+  }
+  std::vector<int32_t> ready;
+  for (size_t v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push_back(static_cast<int32_t>(v));
+  }
+  size_t seen = 0;
+  while (!ready.empty()) {
+    int32_t v = ready.back();
+    ready.pop_back();
+    ++seen;
+    for (const SharingEdge& e : graph.edges) {
+      if (e.source == v && --in_degree[static_cast<size_t>(e.target)] == 0) {
+        ready.push_back(e.target);
+      }
+    }
+  }
+  EXPECT_EQ(seen, n);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,65 @@
+#include "util/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace motto {
+namespace {
+
+TEST(SubstringTest, FindsContiguousRuns) {
+  SymbolSeq hay = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(IsSubstring({2, 3}, hay));
+  EXPECT_TRUE(IsSubstring({1}, hay));
+  EXPECT_TRUE(IsSubstring({1, 2, 3, 4, 5}, hay));
+  EXPECT_FALSE(IsSubstring({2, 4}, hay));
+  EXPECT_FALSE(IsSubstring({5, 1}, hay));
+}
+
+TEST(SubstringTest, EmptyNeedleMatchesEverywhere) {
+  EXPECT_TRUE(IsSubstring({}, {1, 2}));
+  EXPECT_TRUE(IsSubstring({}, {}));
+  EXPECT_EQ(FindSubstring({}, {1, 2}), 0);
+}
+
+TEST(SubstringTest, FindReturnsFirstPosition) {
+  SymbolSeq hay = {7, 1, 2, 1, 2};
+  EXPECT_EQ(FindSubstring({1, 2}, hay), 1);
+  EXPECT_EQ(FindSubstring({9}, hay), -1);
+  EXPECT_EQ(FindSubstring({1, 2, 1, 2, 3}, hay), -1);
+}
+
+TEST(SubsequenceTest, RespectsOrder) {
+  SymbolSeq hay = {1, 2, 3, 4};
+  EXPECT_TRUE(IsSubsequence({1, 3}, hay));
+  EXPECT_TRUE(IsSubsequence({2, 4}, hay));
+  EXPECT_TRUE(IsSubsequence({}, hay));
+  EXPECT_FALSE(IsSubsequence({3, 1}, hay));
+  EXPECT_FALSE(IsSubsequence({1, 5}, hay));
+  EXPECT_FALSE(IsSubsequence({1, 1}, hay));
+}
+
+TEST(SubsequenceTest, PositionsAreGreedyLeftmost) {
+  SymbolSeq hay = {1, 2, 1, 3};
+  std::vector<size_t> pos = SubsequencePositions({1, 3}, hay);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], 0u);
+  EXPECT_EQ(pos[1], 3u);
+  EXPECT_TRUE(SubsequencePositions({3, 2}, hay).empty());
+}
+
+TEST(MultisetTest, SubMultisetCountsElements) {
+  EXPECT_TRUE(IsSubMultiset({1, 2}, {2, 1, 3}));
+  EXPECT_TRUE(IsSubMultiset({}, {1}));
+  EXPECT_TRUE(IsSubMultiset({1, 1}, {1, 2, 1}));
+  EXPECT_FALSE(IsSubMultiset({1, 1}, {1, 2}));
+  EXPECT_FALSE(IsSubMultiset({4}, {1, 2}));
+}
+
+TEST(MultisetTest, DifferencePreservesOrderOfSurvivors) {
+  SymbolSeq diff = MultisetDifference({2, 1}, {3, 1, 2, 1});
+  EXPECT_EQ(diff, (SymbolSeq{3, 1}));
+  EXPECT_EQ(MultisetDifference({}, {5, 6}), (SymbolSeq{5, 6}));
+  EXPECT_TRUE(MultisetDifference({5, 6}, {5, 6}).empty());
+}
+
+}  // namespace
+}  // namespace motto

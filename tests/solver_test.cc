@@ -1,0 +1,215 @@
+#include "planner/solver.h"
+
+#include <functional>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace motto {
+namespace {
+
+/// Builds a synthetic sharing graph: node patterns are irrelevant for the
+/// solver, only costs/edges/terminal flags matter.
+SharingGraph MakeGraph(std::vector<double> scratch,
+                       std::vector<bool> terminal,
+                       std::vector<std::tuple<int, int, double>> edges) {
+  SharingGraph graph;
+  for (size_t i = 0; i < scratch.size(); ++i) {
+    SharingNode node;
+    node.scratch_cost = scratch[i];
+    node.terminal = terminal[i];
+    node.key = "n" + std::to_string(i);
+    graph.nodes.push_back(node);
+    graph.index.emplace(graph.nodes.back().key, static_cast<int32_t>(i));
+  }
+  for (const auto& [from, to, cost] : edges) {
+    graph.edges.push_back(SharingEdge{from, to, RewriteRecipe{}, cost});
+  }
+  return graph;
+}
+
+/// Exhaustive optimum by enumerating all per-node choices.
+double BruteForceOptimum(const SharingGraph& graph) {
+  size_t n = graph.nodes.size();
+  std::vector<std::vector<int32_t>> options(n);
+  for (size_t v = 0; v < n; ++v) {
+    options[v] = {kNodeNotSelected, kNodeFromGround};
+    for (size_t e = 0; e < graph.edges.size(); ++e) {
+      if (graph.edges[e].target == static_cast<int32_t>(v)) {
+        options[v].push_back(static_cast<int32_t>(e));
+      }
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int32_t> choice(n, kNodeNotSelected);
+  std::function<void(size_t)> recurse = [&](size_t v) {
+    if (v == n) {
+      PlanDecision decision;
+      decision.choice = choice;
+      auto cost = ValidateDecision(graph, decision);
+      if (cost.ok()) best = std::min(best, *cost);
+      return;
+    }
+    for (int32_t opt : options[v]) {
+      choice[v] = opt;
+      recurse(v + 1);
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+TEST(SolverTest, NaivePlanSelectsTerminalsFromGround) {
+  SharingGraph graph = MakeGraph({10, 20, 5}, {true, true, false}, {});
+  PlanDecision naive = NaivePlan(graph);
+  EXPECT_DOUBLE_EQ(naive.cost, 30.0);
+  EXPECT_EQ(naive.choice[0], kNodeFromGround);
+  EXPECT_EQ(naive.choice[2], kNodeNotSelected);
+  EXPECT_TRUE(ValidateDecision(graph, naive).ok());
+}
+
+TEST(SolverTest, BnbPicksDirectSharingEdge) {
+  // Terminal 1 can be computed from terminal 0 for 2 instead of 20.
+  SharingGraph graph =
+      MakeGraph({10, 20}, {true, true}, {{0, 1, 2.0}});
+  PlanDecision decision = SolveBranchAndBound(graph, 5.0);
+  EXPECT_TRUE(decision.exact);
+  EXPECT_DOUBLE_EQ(decision.cost, 12.0);
+  EXPECT_EQ(decision.choice[1], 0);
+}
+
+TEST(SolverTest, BnbActivatesSteinerNodeWhenWorthIt) {
+  // Steiner node 2 costs 5 and feeds both terminals for 1 each:
+  // 5 + 1 + 1 = 7 < 10 + 10.
+  SharingGraph graph = MakeGraph({10, 10, 5}, {true, true, false},
+                                 {{2, 0, 1.0}, {2, 1, 1.0}});
+  PlanDecision decision = SolveBranchAndBound(graph, 5.0);
+  EXPECT_TRUE(decision.exact);
+  EXPECT_DOUBLE_EQ(decision.cost, 7.0);
+  EXPECT_EQ(decision.choice[2], kNodeFromGround);
+}
+
+TEST(SolverTest, BnbSkipsSteinerNodeWhenNotWorthIt) {
+  // Activating the Steiner node costs more than it saves.
+  SharingGraph graph = MakeGraph({10, 10, 50}, {true, true, false},
+                                 {{2, 0, 1.0}, {2, 1, 1.0}});
+  PlanDecision decision = SolveBranchAndBound(graph, 5.0);
+  EXPECT_TRUE(decision.exact);
+  EXPECT_DOUBLE_EQ(decision.cost, 20.0);
+  EXPECT_EQ(decision.choice[2], kNodeNotSelected);
+}
+
+TEST(SolverTest, BnbHandlesChainedSteinerNodes) {
+  // Chain: steiner 3 -> steiner 2 -> terminals.
+  SharingGraph graph =
+      MakeGraph({100, 100, 60, 10}, {true, true, false, false},
+                {{2, 0, 1.0}, {2, 1, 1.0}, {3, 2, 5.0}});
+  PlanDecision decision = SolveBranchAndBound(graph, 5.0);
+  EXPECT_TRUE(decision.exact);
+  // 10 (n3) + 5 (n2 from n3) + 1 + 1 = 17.
+  EXPECT_DOUBLE_EQ(decision.cost, 17.0);
+  EXPECT_TRUE(ValidateDecision(graph, decision).ok());
+}
+
+TEST(SolverTest, BnbMatchesBruteForceOnRandomGraphs) {
+  Rng rng(31337);
+  for (int round = 0; round < 30; ++round) {
+    int n = static_cast<int>(rng.Uniform(2, 7));
+    std::vector<double> scratch;
+    std::vector<bool> terminal;
+    for (int v = 0; v < n; ++v) {
+      scratch.push_back(static_cast<double>(rng.Uniform(1, 100)));
+      terminal.push_back(rng.Bernoulli(0.6));
+    }
+    terminal[0] = true;  // At least one terminal.
+    std::vector<std::tuple<int, int, double>> edges;
+    // DAG edges u < v only, mirroring the rewriter's acyclic structure.
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.5)) {
+          edges.emplace_back(u, v, static_cast<double>(rng.Uniform(1, 60)));
+        }
+      }
+    }
+    SharingGraph graph = MakeGraph(scratch, terminal, edges);
+    PlanDecision decision = SolveBranchAndBound(graph, 5.0);
+    ASSERT_TRUE(decision.exact) << "round " << round;
+    double expected = BruteForceOptimum(graph);
+    EXPECT_NEAR(decision.cost, expected, 1e-9) << "round " << round;
+    auto check = ValidateDecision(graph, decision);
+    ASSERT_TRUE(check.ok()) << check.status();
+    EXPECT_NEAR(*check, decision.cost, 1e-9);
+  }
+}
+
+TEST(SolverTest, SimulatedAnnealingFindsFeasibleGoodPlans) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    int n = static_cast<int>(rng.Uniform(3, 10));
+    std::vector<double> scratch;
+    std::vector<bool> terminal;
+    for (int v = 0; v < n; ++v) {
+      scratch.push_back(static_cast<double>(rng.Uniform(1, 100)));
+      terminal.push_back(rng.Bernoulli(0.7));
+    }
+    terminal[0] = true;
+    std::vector<std::tuple<int, int, double>> edges;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.6)) {
+          edges.emplace_back(u, v, static_cast<double>(rng.Uniform(1, 40)));
+        }
+      }
+    }
+    SharingGraph graph = MakeGraph(scratch, terminal, edges);
+    PlanDecision sa = SolveSimulatedAnnealing(graph, 7, 5000);
+    auto check = ValidateDecision(graph, sa);
+    ASSERT_TRUE(check.ok()) << check.status();
+    EXPECT_NEAR(*check, sa.cost, 1e-9);
+    // Never worse than no sharing; never better than the optimum.
+    EXPECT_LE(sa.cost, DefaultPlanCost(graph) + 1e-9);
+    PlanDecision exact = SolveBranchAndBound(graph, 5.0);
+    ASSERT_TRUE(exact.exact);
+    EXPECT_GE(sa.cost, exact.cost - 1e-9);
+  }
+}
+
+TEST(SolverTest, SelectPlanUsesExactWithinBudget) {
+  SharingGraph graph =
+      MakeGraph({10, 20}, {true, true}, {{0, 1, 2.0}});
+  PlannerOptions options;
+  PlanDecision decision = SelectPlan(graph, options);
+  EXPECT_TRUE(decision.exact);
+  EXPECT_DOUBLE_EQ(decision.cost, 12.0);
+}
+
+TEST(SolverTest, SelectPlanForceApproximate) {
+  SharingGraph graph =
+      MakeGraph({10, 20}, {true, true}, {{0, 1, 2.0}});
+  PlannerOptions options;
+  options.force_approximate = true;
+  options.sa_iterations = 4000;
+  PlanDecision decision = SelectPlan(graph, options);
+  EXPECT_FALSE(decision.exact);
+  EXPECT_LE(decision.cost, 30.0);
+  EXPECT_TRUE(ValidateDecision(graph, decision).ok());
+}
+
+TEST(SolverTest, ValidateDecisionCatchesInconsistencies) {
+  SharingGraph graph =
+      MakeGraph({10, 20, 5}, {true, true, false}, {{2, 1, 2.0}});
+  PlanDecision decision;
+  decision.choice = {kNodeFromGround, 0, kNodeNotSelected};
+  // Edge 0's source (node 2) is not selected.
+  EXPECT_FALSE(ValidateDecision(graph, decision).ok());
+  decision.choice = {kNodeNotSelected, kNodeFromGround, kNodeNotSelected};
+  // Terminal 0 unselected.
+  EXPECT_FALSE(ValidateDecision(graph, decision).ok());
+  decision.choice = {kNodeFromGround, kNodeFromGround};
+  EXPECT_FALSE(ValidateDecision(graph, decision).ok());  // Size mismatch.
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,193 @@
+#include "util/suffix_tree.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace motto {
+namespace {
+
+SymbolSeq Seq(const std::string& letters) {
+  SymbolSeq out;
+  for (char c : letters) out.push_back(c - 'a');
+  return out;
+}
+
+// Naive reference: all start positions of needle in haystack.
+std::vector<size_t> NaiveOccurrences(const SymbolSeq& needle,
+                                     const SymbolSeq& hay) {
+  std::vector<size_t> out;
+  if (needle.empty() || needle.size() > hay.size()) return out;
+  for (size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), hay.begin() + i)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+int64_t NaiveDistinctSubstrings(const SymbolSeq& s) {
+  std::set<SymbolSeq> subs;
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = i + 1; j <= s.size(); ++j) {
+      subs.insert(SymbolSeq(s.begin() + i, s.begin() + j));
+    }
+  }
+  return static_cast<int64_t>(subs.size());
+}
+
+TEST(SuffixTreeTest, ContainsSubstringsOfBanana) {
+  SuffixTree tree(Seq("banana"));
+  EXPECT_TRUE(tree.Contains(Seq("banana")));
+  EXPECT_TRUE(tree.Contains(Seq("ana")));
+  EXPECT_TRUE(tree.Contains(Seq("nan")));
+  EXPECT_TRUE(tree.Contains(Seq("b")));
+  EXPECT_TRUE(tree.Contains({}));
+  EXPECT_FALSE(tree.Contains(Seq("bb")));
+  EXPECT_FALSE(tree.Contains(Seq("nab")));
+  EXPECT_FALSE(tree.Contains(Seq("bananaa")));
+}
+
+TEST(SuffixTreeTest, CountsOccurrences) {
+  SuffixTree tree(Seq("banana"));
+  EXPECT_EQ(tree.CountOccurrences(Seq("ana")), 2);
+  EXPECT_EQ(tree.CountOccurrences(Seq("a")), 3);
+  EXPECT_EQ(tree.CountOccurrences(Seq("na")), 2);
+  EXPECT_EQ(tree.CountOccurrences(Seq("banana")), 1);
+  EXPECT_EQ(tree.CountOccurrences(Seq("x")), 0);
+}
+
+TEST(SuffixTreeTest, OccurrencePositions) {
+  SuffixTree tree(Seq("abcabcab"));
+  EXPECT_EQ(tree.Occurrences(Seq("abc")), (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(tree.Occurrences(Seq("ab")), (std::vector<size_t>{0, 3, 6}));
+  EXPECT_TRUE(tree.Occurrences(Seq("ca")).size() == 2);
+}
+
+TEST(SuffixTreeTest, DistinctSubstringCounts) {
+  EXPECT_EQ(SuffixTree(Seq("a")).CountDistinctSubstrings(), 1);
+  EXPECT_EQ(SuffixTree(Seq("aa")).CountDistinctSubstrings(), 2);
+  EXPECT_EQ(SuffixTree(Seq("ab")).CountDistinctSubstrings(), 3);
+  EXPECT_EQ(SuffixTree(Seq("banana")).CountDistinctSubstrings(),
+            NaiveDistinctSubstrings(Seq("banana")));
+}
+
+TEST(SuffixTreeTest, EmptyText) {
+  SuffixTree tree((SymbolSeq{}));
+  EXPECT_TRUE(tree.Contains({}));
+  EXPECT_FALSE(tree.Contains(Seq("a")));
+  EXPECT_EQ(tree.CountDistinctSubstrings(), 0);
+}
+
+TEST(SuffixTreeFuzzTest, MatchesNaiveOnRandomTexts) {
+  Rng rng(1234);
+  for (int round = 0; round < 60; ++round) {
+    int n = static_cast<int>(rng.Uniform(1, 60));
+    int alphabet = static_cast<int>(rng.Uniform(1, 4));
+    SymbolSeq text;
+    for (int i = 0; i < n; ++i) {
+      text.push_back(static_cast<int32_t>(rng.Uniform(0, alphabet)));
+    }
+    SuffixTree tree{SymbolSeq(text)};
+    EXPECT_EQ(tree.CountDistinctSubstrings(), NaiveDistinctSubstrings(text))
+        << "round " << round;
+    for (int probe = 0; probe < 20; ++probe) {
+      int len = static_cast<int>(rng.Uniform(1, 6));
+      SymbolSeq needle;
+      for (int i = 0; i < len; ++i) {
+        needle.push_back(static_cast<int32_t>(rng.Uniform(0, alphabet)));
+      }
+      EXPECT_EQ(tree.Occurrences(needle), NaiveOccurrences(needle, text))
+          << "round " << round;
+    }
+  }
+}
+
+TEST(GeneralizedSuffixTreeTest, LongestCommonSubstring) {
+  GeneralizedSuffixTree tree(Seq("xabcdy"), Seq("zabcdw"));
+  EXPECT_EQ(tree.LongestCommonSubstring(), Seq("abcd"));
+}
+
+TEST(GeneralizedSuffixTreeTest, NoCommonSymbols) {
+  GeneralizedSuffixTree tree(Seq("abc"), Seq("xyz"));
+  EXPECT_TRUE(tree.LongestCommonSubstring().empty());
+  EXPECT_TRUE(tree.MaximalCommonMatches().empty());
+}
+
+TEST(GeneralizedSuffixTreeTest, IdenticalStrings) {
+  GeneralizedSuffixTree tree(Seq("abab"), Seq("abab"));
+  EXPECT_EQ(tree.LongestCommonSubstring(), Seq("abab"));
+}
+
+TEST(GeneralizedSuffixTreeTest, PaperExample3Matches) {
+  // q6 = E1 E2 E3 E5 E6 E7 E8, q7 = E1 E3 E6 E5 E7 E8 (paper Example 3).
+  SymbolSeq a = {1, 2, 3, 5, 6, 7, 8};
+  SymbolSeq b = {1, 3, 6, 5, 7, 8};
+  GeneralizedSuffixTree tree(a, b);
+  std::vector<CommonMatch> matches = tree.MaximalCommonMatches();
+  // Every maximal match must be a genuine equal run.
+  for (const CommonMatch& m : matches) {
+    for (size_t k = 0; k < m.length; ++k) {
+      EXPECT_EQ(a[m.pos_a + k], b[m.pos_b + k]);
+    }
+  }
+  // The paper's S5 = "E7,E8" must be among the maximal matches.
+  bool found_s5 = false;
+  for (const CommonMatch& m : matches) {
+    if (m.pos_a == 5 && m.pos_b == 4 && m.length == 2) found_s5 = true;
+  }
+  EXPECT_TRUE(found_s5);
+  // E1, E3, E5, E6 appear as length-1 maximal matches.
+  auto has = [&](size_t pa, size_t pb, size_t len) {
+    return std::find(matches.begin(), matches.end(),
+                     CommonMatch{pa, pb, len}) != matches.end();
+  };
+  EXPECT_TRUE(has(0, 0, 1));  // E1
+  EXPECT_TRUE(has(2, 1, 1));  // E3
+  EXPECT_TRUE(has(3, 3, 1));  // E5
+  EXPECT_TRUE(has(4, 2, 1));  // E6
+}
+
+TEST(GeneralizedSuffixTreeFuzzTest, MaximalMatchesAgreeWithNaive) {
+  Rng rng(777);
+  for (int round = 0; round < 40; ++round) {
+    auto random_seq = [&](int max_len) {
+      int n = static_cast<int>(rng.Uniform(1, max_len));
+      SymbolSeq s;
+      for (int i = 0; i < n; ++i) {
+        s.push_back(static_cast<int32_t>(rng.Uniform(0, 3)));
+      }
+      return s;
+    };
+    SymbolSeq a = random_seq(25), b = random_seq(25);
+    GeneralizedSuffixTree tree{SymbolSeq(a), SymbolSeq(b)};
+
+    // Naive maximal matches.
+    std::vector<CommonMatch> expected;
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t j = 0; j < b.size(); ++j) {
+        if (a[i] != b[j]) continue;
+        if (i > 0 && j > 0 && a[i - 1] == b[j - 1]) continue;
+        size_t len = 0;
+        while (i + len < a.size() && j + len < b.size() &&
+               a[i + len] == b[j + len]) {
+          ++len;
+        }
+        expected.push_back(CommonMatch{i, j, len});
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const CommonMatch& x, const CommonMatch& y) {
+                return x.pos_a != y.pos_a ? x.pos_a < y.pos_a
+                                          : x.pos_b < y.pos_b;
+              });
+    EXPECT_EQ(tree.MaximalCommonMatches(), expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace motto

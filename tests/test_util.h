@@ -1,0 +1,120 @@
+#ifndef MOTTO_TESTS_TEST_UTIL_H_
+#define MOTTO_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "event/event.h"
+#include "event/stream.h"
+
+namespace motto::testing {
+
+/// Builds a sorted primitive stream from (type name, timestamp) pairs,
+/// registering names as primitive types.
+inline EventStream MakeStream(
+    EventTypeRegistry* registry,
+    std::vector<std::pair<std::string, Timestamp>> events) {
+  EventStream stream;
+  stream.reserve(events.size());
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second < b.second;
+                   });
+  for (const auto& [name, ts] : events) {
+    stream.push_back(Event::Primitive(registry->RegisterPrimitive(name), ts));
+  }
+  return stream;
+}
+
+/// Multiset of match identities, the canonical comparison unit for
+/// plan-equivalence tests.
+using MatchSet = std::multiset<std::string>;
+
+inline MatchSet Fingerprints(const std::vector<Event>& events) {
+  MatchSet out;
+  for (const Event& e : events) out.insert(e.Fingerprint());
+  return out;
+}
+
+/// Brute-force reference semantics for one flat pattern over a stream:
+/// enumerates operand assignments (distinct events, one per operand
+/// position), applying the SEQ order guard, the window span guard and
+/// window-scoped negation. DISJ emits each event of an operand type.
+/// Exponential; use only on small streams.
+inline MatchSet ReferenceMatches(const FlatPattern& flat, Duration window,
+                                 const EventStream& stream) {
+  MatchSet out;
+  if (flat.op == PatternOp::kDisj) {
+    std::set<EventTypeId> types(flat.operands.begin(), flat.operands.end());
+    for (const Event& e : stream) {
+      if (types.count(e.type()) > 0) out.insert(e.Fingerprint());
+    }
+    return out;
+  }
+  size_t n = flat.operands.size();
+  std::vector<size_t> chosen;
+  std::vector<bool> used(stream.size(), false);
+
+  auto survives_negation = [&](Timestamp min_ts) {
+    for (const Event& e : stream) {
+      for (EventTypeId neg : flat.negated) {
+        if (e.type() == neg && e.begin() >= min_ts &&
+            e.begin() <= min_ts + window) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  std::function<void(size_t)> recurse = [&](size_t pos) {
+    if (pos == n) {
+      Timestamp lo = stream[chosen[0]].begin(), hi = lo;
+      for (size_t idx : chosen) {
+        lo = std::min(lo, stream[idx].begin());
+        hi = std::max(hi, stream[idx].begin());
+      }
+      if (hi - lo > window) return;
+      if (!survives_negation(lo)) return;
+      std::vector<Constituent> parts;
+      for (size_t k = 0; k < n; ++k) {
+        parts.push_back(Constituent{stream[chosen[k]].type(),
+                                    stream[chosen[k]].begin(),
+                                    static_cast<int32_t>(k)});
+      }
+      out.insert(Event::Composite(0, parts, hi).Fingerprint());
+      return;
+    }
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (used[i] || stream[i].type() != flat.operands[pos]) continue;
+      if (flat.op == PatternOp::kSeq && pos > 0 &&
+          stream[chosen.back()].begin() >= stream[i].begin()) {
+        continue;
+      }
+      // Prune on span incrementally.
+      Timestamp lo = stream[i].begin(), hi = lo;
+      for (size_t idx : chosen) {
+        lo = std::min(lo, stream[idx].begin());
+        hi = std::max(hi, stream[idx].begin());
+      }
+      if (hi - lo > window) continue;
+      used[i] = true;
+      chosen.push_back(i);
+      recurse(pos + 1);
+      chosen.pop_back();
+      used[i] = false;
+    }
+  };
+  if (n > 0 && !stream.empty()) recurse(0);
+  return out;
+}
+
+}  // namespace motto::testing
+
+#endif  // MOTTO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,246 @@
+#include "workload/query_gen.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/sequence.h"
+#include "workload/data_gen.h"
+
+namespace motto {
+namespace {
+
+TEST(DataGenTest, StreamIsSortedPrimitiveAndSized) {
+  EventTypeRegistry registry;
+  StreamOptions options;
+  options.num_events = 20000;
+  EventStream stream = GenerateStream(options, &registry);
+  EXPECT_EQ(stream.size(), 20000u);
+  EXPECT_TRUE(ValidateStream(stream).ok());
+  // Strictly increasing timestamps.
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LT(stream[i - 1].begin(), stream[i].begin());
+  }
+}
+
+TEST(DataGenTest, StockScenarioUsesThirteenTypes) {
+  EventTypeRegistry registry;
+  StreamOptions options;
+  options.scenario = Scenario::kStockMarket;
+  options.num_events = 50000;
+  EventStream stream = GenerateStream(options, &registry);
+  std::unordered_set<EventTypeId> seen;
+  for (const Event& e : stream) seen.insert(e.type());
+  EXPECT_EQ(ScenarioTypeNames(Scenario::kStockMarket).size(), 13u);
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(DataGenTest, DataCenterScenarioUsesThirtySixTypes) {
+  EventTypeRegistry registry;
+  StreamOptions options;
+  options.scenario = Scenario::kDataCenter;
+  options.num_events = 200000;
+  EventStream stream = GenerateStream(options, &registry);
+  std::unordered_set<EventTypeId> seen;
+  for (const Event& e : stream) seen.insert(e.type());
+  EXPECT_EQ(ScenarioTypeNames(Scenario::kDataCenter).size(), 36u);
+  EXPECT_GE(seen.size(), 34u);  // Rarest types may miss in a finite sample.
+}
+
+TEST(DataGenTest, ZipfSkewMakesHotTypesHotter) {
+  EventTypeRegistry registry;
+  StreamOptions options;
+  options.num_events = 100000;
+  EventStream stream = GenerateStream(options, &registry);
+  std::unordered_map<EventTypeId, int> counts;
+  for (const Event& e : stream) ++counts[e.type()];
+  int hottest = 0, coldest = 1 << 30;
+  for (const auto& [t, c] : counts) {
+    hottest = std::max(hottest, c);
+    coldest = std::min(coldest, c);
+  }
+  EXPECT_GT(hottest, coldest * 2);
+}
+
+TEST(DataGenTest, SelectiveRegimeCalibration) {
+  // Per-type window population N = rate * 10s should be O(1), the regime
+  // the paper's pattern queries target.
+  EventTypeRegistry registry;
+  StreamOptions options;
+  options.num_events = 100000;
+  EventStream stream = GenerateStream(options, &registry);
+  StreamStats stats = ComputeStats(stream);
+  for (const auto& [type, rate] : stats.rate_per_second) {
+    double population = rate * 10.0;
+    EXPECT_LT(population, 8.0) << registry.NameOf(type);
+  }
+  EXPECT_GT(stats.total_rate * 10.0, 5.0);
+}
+
+TEST(DataGenTest, DeterministicPerSeed) {
+  EventTypeRegistry r1, r2;
+  StreamOptions options;
+  options.num_events = 5000;
+  EventStream a = GenerateStream(options, &r1);
+  EventStream b = GenerateStream(options, &r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  options.seed = 43;
+  EventStream c = GenerateStream(options, &r1);
+  bool differs = false;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (!(a[i] == c[i])) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  GeneratedWorkload Generate(WorkloadOptions options) {
+    auto workload = GenerateWorkload(options, &registry_);
+    EXPECT_TRUE(workload.ok()) << workload.status();
+    return *std::move(workload);
+  }
+  EventTypeRegistry registry_;
+};
+
+TEST_F(QueryGenTest, ProducesRequestedCountWithoutDuplicates) {
+  WorkloadOptions options;
+  options.num_queries = 60;
+  options.basic_ratio = 0.5;
+  GeneratedWorkload workload = Generate(options);
+  EXPECT_EQ(workload.queries.size(), 60u);
+  EXPECT_EQ(workload.sharing_type.size(), 60u);
+  std::set<std::string> keys;
+  for (const Query& q : workload.queries) {
+    keys.insert(Canonicalize(q.pattern).CanonicalKey() + "@" +
+                std::to_string(q.window));
+    EXPECT_TRUE(ValidatePattern(q.pattern).ok());
+    EXPECT_GT(q.window, 0);
+  }
+  EXPECT_EQ(keys.size(), 60u);
+}
+
+TEST_F(QueryGenTest, BasicRatioControlsGroups) {
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.basic_ratio = 1.0;
+  GeneratedWorkload all_basic = Generate(options);
+  for (int type : all_basic.sharing_type) {
+    EXPECT_GE(type, 1);
+    EXPECT_LE(type, 4);
+  }
+  options.seed = 11;
+  options.basic_ratio = 0.0;
+  GeneratedWorkload all_complex = Generate(options);
+  for (int type : all_complex.sharing_type) {
+    EXPECT_GE(type, 5);
+    EXPECT_LE(type, 7);
+  }
+}
+
+TEST_F(QueryGenTest, PairsExhibitTheirSharingType) {
+  WorkloadOptions options;
+  options.num_queries = 80;
+  options.basic_ratio = 0.5;
+  options.seed = 3;
+  GeneratedWorkload workload = Generate(options);
+  for (size_t i = 0; i + 1 < workload.queries.size(); i += 2) {
+    if (workload.sharing_type[i] != workload.sharing_type[i + 1]) continue;
+    const Query& a = workload.queries[i];
+    const Query& b = workload.queries[i + 1];
+    int type = workload.sharing_type[i];
+    if (type >= 1 && type <= 3) {
+      // a's operand list is a subsequence of b's.
+      SymbolSeq sa = ToFlatPattern(a.pattern).OperandSeq();
+      SymbolSeq sb = ToFlatPattern(b.pattern).OperandSeq();
+      EXPECT_TRUE(IsSubsequence(sa, sb)) << "pair " << i << " type " << type;
+      if (type == 1) {
+        EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin()));
+      }
+      if (type == 2) {
+        EXPECT_TRUE(std::equal(sa.rbegin(), sa.rend(), sb.rbegin()));
+      }
+      if (type == 3) EXPECT_FALSE(IsSubstring(sa, sb));
+      EXPECT_EQ(a.window, b.window);
+    } else if (type == 5) {
+      EXPECT_NE(a.window, b.window);
+    } else if (type == 6) {
+      EXPECT_NE(a.pattern.op(), b.pattern.op());
+    } else if (type == 7) {
+      EXPECT_GE(a.pattern.NestedLevel(), 2);
+      EXPECT_GE(b.pattern.NestedLevel(), 2);
+    }
+  }
+}
+
+TEST_F(QueryGenTest, NestedLevelRespected) {
+  for (int level : {2, 4, 8}) {
+    EventTypeRegistry registry;
+    WorkloadOptions options;
+    options.num_queries = 12;
+    options.basic_ratio = 0.0;
+    options.nested_level = level;
+    options.seed = static_cast<uint64_t>(level);
+    auto workload = GenerateWorkload(options, &registry);
+    ASSERT_TRUE(workload.ok());
+    bool saw_nested = false;
+    for (size_t i = 0; i < workload->queries.size(); ++i) {
+      if (workload->sharing_type[i] == 7) {
+        saw_nested = true;
+        EXPECT_EQ(workload->queries[i].pattern.NestedLevel(), level);
+      }
+    }
+    EXPECT_TRUE(saw_nested);
+  }
+}
+
+TEST_F(QueryGenTest, ScenarioControlsOperandLengths) {
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.scenario = Scenario::kStockMarket;
+  GeneratedWorkload stock = Generate(options);
+  size_t stock_max = 0;
+  for (const Query& q : stock.queries) {
+    stock_max = std::max(stock_max, q.pattern.children().size());
+  }
+  EventTypeRegistry registry2;
+  options.scenario = Scenario::kDataCenter;
+  auto dc = GenerateWorkload(options, &registry2);
+  ASSERT_TRUE(dc.ok());
+  size_t dc_max = 0;
+  for (const Query& q : dc->queries) {
+    dc_max = std::max(dc_max, q.pattern.children().size());
+  }
+  EXPECT_GT(stock_max, dc_max);  // §VII-A: stock lists are longer.
+}
+
+TEST_F(QueryGenTest, RejectsBadOptions) {
+  WorkloadOptions options;
+  options.num_queries = 0;
+  EXPECT_FALSE(GenerateWorkload(options, &registry_).ok());
+  options.num_queries = 10;
+  options.basic_ratio = 1.5;
+  EXPECT_FALSE(GenerateWorkload(options, &registry_).ok());
+  options.basic_ratio = 0.5;
+  options.base_window = 0;
+  EXPECT_FALSE(GenerateWorkload(options, &registry_).ok());
+}
+
+TEST_F(QueryGenTest, DeterministicPerSeed) {
+  WorkloadOptions options;
+  options.num_queries = 20;
+  GeneratedWorkload a = Generate(options);
+  EventTypeRegistry registry2;
+  auto b = GenerateWorkload(options, &registry2);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.queries.size(), b->queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(Canonicalize(a.queries[i].pattern).CanonicalKey(),
+              Canonicalize(b->queries[i].pattern).CanonicalKey());
+  }
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,246 @@
+// motto — command-line front end for the MOTTO CEP multi-query optimizer.
+//
+//   motto gen-stream  --scenario=stock|dc --events=N --seed=S --out=FILE.csv
+//   motto gen-workload --scenario=stock|dc --queries=N --ratio=R --seed=S
+//                      --out=FILE.ccl
+//   motto explain     --workload=FILE.ccl [--stream=FILE.csv] [--mode=...]
+//   motto run         --workload=FILE.ccl --stream=FILE.csv
+//                     [--mode=na|mst|lcse|motto] [--threads=N]
+//   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
+//
+// Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
+//   lost: SELECT * FROM dc MATCHING [30 sec : SEQ(a, b, NEG(c))]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "engine/executor.h"
+#include "engine/parallel_executor.h"
+#include "motto/optimizer.h"
+#include "planner/solver.h"
+#include "workload/data_gen.h"
+#include "workload/harness.h"
+#include "workload/io.h"
+#include "workload/query_gen.h"
+
+namespace motto::cli {
+namespace {
+
+/// --key=value parser (same convention as the benches).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    std::string prefix = "--" + name + "=";
+    for (const std::string& arg : args_) {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    }
+    return fallback;
+  }
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    std::string v = Get(name, "");
+    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    std::string v = Get(name, "");
+    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+Scenario ScenarioFrom(const std::string& name) {
+  return name == "dc" || name == "datacenter" ? Scenario::kDataCenter
+                                              : Scenario::kStockMarket;
+}
+
+Result<OptimizerMode> ModeFrom(const std::string& name) {
+  if (name == "na") return OptimizerMode::kNa;
+  if (name == "mst") return OptimizerMode::kMst;
+  if (name == "lcse") return OptimizerMode::kLcse;
+  if (name == "motto" || name.empty()) return OptimizerMode::kMotto;
+  return InvalidArgumentError("unknown mode '" + name +
+                              "' (na|mst|lcse|motto)");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int GenStream(const Args& args) {
+  EventTypeRegistry registry;
+  StreamOptions options;
+  options.scenario = ScenarioFrom(args.Get("scenario", "stock"));
+  options.num_events = args.GetInt("events", 100000);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  EventStream stream = GenerateStream(options, &registry);
+  std::string out = args.Get("out", "stream.csv");
+  Status status = SaveStreamCsv(out, stream, registry);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu events (%s scenario) to %s\n", stream.size(),
+              std::string(ScenarioName(options.scenario)).c_str(),
+              out.c_str());
+  return 0;
+}
+
+int GenWorkload(const Args& args) {
+  EventTypeRegistry registry;
+  WorkloadOptions options;
+  options.scenario = ScenarioFrom(args.Get("scenario", "stock"));
+  options.num_queries = static_cast<int>(args.GetInt("queries", 100));
+  options.basic_ratio = args.GetDouble("ratio", 100.0) / 100.0;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  options.nested_level = static_cast<int>(args.GetInt("nested_level", 2));
+  auto workload = GenerateWorkload(options, &registry);
+  if (!workload.ok()) return Fail(workload.status());
+  std::string out = args.Get("out", "workload.ccl");
+  Status status = SaveWorkloadFile(out, workload->queries, registry);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu queries to %s\n", workload->queries.size(),
+              out.c_str());
+  return 0;
+}
+
+Result<StreamStats> StatsFor(const Args& args, EventTypeRegistry* registry,
+                             EventStream* stream_out) {
+  std::string stream_path = args.Get("stream", "");
+  if (stream_path.empty()) {
+    // No stream given: synthesize one for statistics only.
+    StreamOptions options;
+    options.scenario = ScenarioFrom(args.Get("scenario", "stock"));
+    options.num_events = 30000;
+    EventStream stream = GenerateStream(options, registry);
+    StreamStats stats = ComputeStats(stream);
+    if (stream_out != nullptr) *stream_out = std::move(stream);
+    return stats;
+  }
+  MOTTO_ASSIGN_OR_RETURN(EventStream stream,
+                         LoadStreamCsv(stream_path, registry));
+  StreamStats stats = ComputeStats(stream);
+  if (stream_out != nullptr) *stream_out = std::move(stream);
+  return stats;
+}
+
+int Explain(const Args& args) {
+  EventTypeRegistry registry;
+  auto queries = LoadWorkloadFile(args.Get("workload", "workload.ccl"),
+                                  &registry);
+  if (!queries.ok()) return Fail(queries.status());
+  auto stats = StatsFor(args, &registry, nullptr);
+  if (!stats.ok()) return Fail(stats.status());
+  auto mode = ModeFrom(args.Get("mode", "motto"));
+  if (!mode.ok()) return Fail(mode.status());
+
+  OptimizerOptions options;
+  options.mode = *mode;
+  Optimizer optimizer(&registry, *stats, options);
+  auto outcome = optimizer.Optimize(*queries);
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  std::printf("-- sharing graph --\n%s",
+              outcome->sharing_graph.ToString(registry).c_str());
+  std::printf("\n-- plan (%s, cost %.2f vs %.2f unshared) --\n%s",
+              outcome->exact ? "exact" : "approximate",
+              outcome->planned_cost, outcome->default_cost,
+              outcome->jqp.ToString(registry).c_str());
+  return 0;
+}
+
+int RunWorkload(const Args& args) {
+  EventTypeRegistry registry;
+  auto queries = LoadWorkloadFile(args.Get("workload", "workload.ccl"),
+                                  &registry);
+  if (!queries.ok()) return Fail(queries.status());
+  EventStream stream;
+  auto stats = StatsFor(args, &registry, &stream);
+  if (!stats.ok()) return Fail(stats.status());
+  auto mode = ModeFrom(args.Get("mode", "motto"));
+  if (!mode.ok()) return Fail(mode.status());
+
+  OptimizerOptions options;
+  options.mode = *mode;
+  Optimizer optimizer(&registry, *stats, options);
+  auto outcome = optimizer.Optimize(*queries);
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  int threads = static_cast<int>(args.GetInt("threads", 1));
+  RunResult run;
+  if (threads > 1) {
+    auto executor = ParallelExecutor::Create(outcome->jqp, threads);
+    if (!executor.ok()) return Fail(executor.status());
+    auto result = executor->Run(stream);
+    if (!result.ok()) return Fail(result.status());
+    run = *std::move(result);
+  } else {
+    auto executor = Executor::Create(outcome->jqp);
+    if (!executor.ok()) return Fail(executor.status());
+    auto result = executor->Run(stream);
+    if (!result.ok()) return Fail(result.status());
+    run = *std::move(result);
+  }
+  std::printf("%llu events in %.3fs (%.0f events/s), plan %zu nodes (%s)\n",
+              static_cast<unsigned long long>(run.raw_events),
+              run.elapsed_seconds, run.ThroughputEps(),
+              outcome->jqp.nodes.size(),
+              std::string(OptimizerModeName(*mode)).c_str());
+  for (const Query& query : *queries) {
+    auto it = run.sink_counts.find(query.name);
+    std::printf("  %-16s %llu matches\n", query.name.c_str(),
+                static_cast<unsigned long long>(
+                    it == run.sink_counts.end() ? 0 : it->second));
+  }
+  return 0;
+}
+
+int Compare(const Args& args) {
+  EventTypeRegistry registry;
+  auto queries = LoadWorkloadFile(args.Get("workload", "workload.ccl"),
+                                  &registry);
+  if (!queries.ok()) return Fail(queries.status());
+  EventStream stream;
+  auto stats = StatsFor(args, &registry, &stream);
+  if (!stats.ok()) return Fail(stats.status());
+
+  ComparisonOptions options;
+  options.warmup = true;
+  options.measure_runs = static_cast<int>(args.GetInt("runs", 3));
+  auto runs = CompareModes(*queries, stream, &registry, options);
+  if (!runs.ok()) return Fail(runs.status());
+  std::printf(" mode  | events/s  | x NA  | opt s  | plan nodes | matches\n");
+  for (const ModeRun& run : *runs) {
+    std::printf(" %-5s | %9.0f | %5.2f | %6.3f | %10zu | %llu\n",
+                std::string(OptimizerModeName(run.mode)).c_str(),
+                run.throughput_eps, run.normalized, run.optimize_seconds,
+                run.jqp_nodes,
+                static_cast<unsigned long long>(run.total_matches));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: motto <gen-stream|gen-workload|explain|run|compare> "
+                 "[--key=value ...]\n");
+    return 2;
+  }
+  Args args(argc, argv);
+  std::string command = argv[1];
+  if (command == "gen-stream") return GenStream(args);
+  if (command == "gen-workload") return GenWorkload(args);
+  if (command == "explain") return Explain(args);
+  if (command == "run") return RunWorkload(args);
+  if (command == "compare") return Compare(args);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace motto::cli
+
+int main(int argc, char** argv) { return motto::cli::Main(argc, argv); }
