@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_stock_overall.dir/fig13a_stock_overall.cc.o"
+  "CMakeFiles/fig13a_stock_overall.dir/fig13a_stock_overall.cc.o.d"
+  "fig13a_stock_overall"
+  "fig13a_stock_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_stock_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13a_stock_overall.
+# This may be replaced when dependencies are built.

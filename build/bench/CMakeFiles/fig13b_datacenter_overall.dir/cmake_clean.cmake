@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_datacenter_overall.dir/fig13b_datacenter_overall.cc.o"
+  "CMakeFiles/fig13b_datacenter_overall.dir/fig13b_datacenter_overall.cc.o.d"
+  "fig13b_datacenter_overall"
+  "fig13b_datacenter_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_datacenter_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

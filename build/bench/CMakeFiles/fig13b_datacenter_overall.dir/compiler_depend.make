@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13b_datacenter_overall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14a_num_queries.dir/fig14a_num_queries.cc.o"
+  "CMakeFiles/fig14a_num_queries.dir/fig14a_num_queries.cc.o.d"
+  "fig14a_num_queries"
+  "fig14a_num_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_num_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14a_num_queries.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_cores.dir/fig14b_cores.cc.o"
+  "CMakeFiles/fig14b_cores.dir/fig14b_cores.cc.o.d"
+  "fig14b_cores"
+  "fig14b_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14c_windows.dir/fig14c_windows.cc.o"
+  "CMakeFiles/fig14c_windows.dir/fig14c_windows.cc.o.d"
+  "fig14c_windows"
+  "fig14c_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14c_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14c_windows.
+# This may be replaced when dependencies are built.

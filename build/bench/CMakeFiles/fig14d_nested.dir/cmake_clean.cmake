@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14d_nested.dir/fig14d_nested.cc.o"
+  "CMakeFiles/fig14d_nested.dir/fig14d_nested.cc.o.d"
+  "fig14d_nested"
+  "fig14d_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14d_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_planner.dir/micro_planner.cc.o"
+  "CMakeFiles/micro_planner.dir/micro_planner.cc.o.d"
+  "micro_planner"
+  "micro_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

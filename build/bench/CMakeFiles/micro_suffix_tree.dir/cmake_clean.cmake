@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_suffix_tree.dir/micro_suffix_tree.cc.o"
+  "CMakeFiles/micro_suffix_tree.dir/micro_suffix_tree.cc.o.d"
+  "micro_suffix_tree"
+  "micro_suffix_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_suffix_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_and_windows.dir/nested_and_windows.cpp.o"
+  "CMakeFiles/nested_and_windows.dir/nested_and_windows.cpp.o.d"
+  "nested_and_windows"
+  "nested_and_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_and_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

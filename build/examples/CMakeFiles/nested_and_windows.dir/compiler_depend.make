@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nested_and_windows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_monitoring.dir/stock_monitoring.cpp.o"
+  "CMakeFiles/stock_monitoring.dir/stock_monitoring.cpp.o.d"
+  "stock_monitoring"
+  "stock_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccl/lexer.cc" "src/ccl/CMakeFiles/motto_ccl.dir/lexer.cc.o" "gcc" "src/ccl/CMakeFiles/motto_ccl.dir/lexer.cc.o.d"
+  "/root/repo/src/ccl/parser.cc" "src/ccl/CMakeFiles/motto_ccl.dir/parser.cc.o" "gcc" "src/ccl/CMakeFiles/motto_ccl.dir/parser.cc.o.d"
+  "/root/repo/src/ccl/pattern.cc" "src/ccl/CMakeFiles/motto_ccl.dir/pattern.cc.o" "gcc" "src/ccl/CMakeFiles/motto_ccl.dir/pattern.cc.o.d"
+  "/root/repo/src/ccl/predicate.cc" "src/ccl/CMakeFiles/motto_ccl.dir/predicate.cc.o" "gcc" "src/ccl/CMakeFiles/motto_ccl.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/motto_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

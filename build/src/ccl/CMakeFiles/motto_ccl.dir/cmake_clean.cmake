@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_ccl.dir/lexer.cc.o"
+  "CMakeFiles/motto_ccl.dir/lexer.cc.o.d"
+  "CMakeFiles/motto_ccl.dir/parser.cc.o"
+  "CMakeFiles/motto_ccl.dir/parser.cc.o.d"
+  "CMakeFiles/motto_ccl.dir/pattern.cc.o"
+  "CMakeFiles/motto_ccl.dir/pattern.cc.o.d"
+  "CMakeFiles/motto_ccl.dir/predicate.cc.o"
+  "CMakeFiles/motto_ccl.dir/predicate.cc.o.d"
+  "libmotto_ccl.a"
+  "libmotto_ccl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_ccl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

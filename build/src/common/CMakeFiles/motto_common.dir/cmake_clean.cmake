@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_common.dir/check.cc.o"
+  "CMakeFiles/motto_common.dir/check.cc.o.d"
+  "CMakeFiles/motto_common.dir/interner.cc.o"
+  "CMakeFiles/motto_common.dir/interner.cc.o.d"
+  "CMakeFiles/motto_common.dir/rng.cc.o"
+  "CMakeFiles/motto_common.dir/rng.cc.o.d"
+  "CMakeFiles/motto_common.dir/status.cc.o"
+  "CMakeFiles/motto_common.dir/status.cc.o.d"
+  "libmotto_common.a"
+  "libmotto_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

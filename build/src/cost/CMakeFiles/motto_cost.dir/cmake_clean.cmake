@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_cost.dir/cost_model.cc.o"
+  "CMakeFiles/motto_cost.dir/cost_model.cc.o.d"
+  "libmotto_cost.a"
+  "libmotto_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/motto_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/filters.cc" "src/engine/CMakeFiles/motto_engine.dir/filters.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/filters.cc.o.d"
+  "/root/repo/src/engine/graph.cc" "src/engine/CMakeFiles/motto_engine.dir/graph.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/graph.cc.o.d"
+  "/root/repo/src/engine/matcher.cc" "src/engine/CMakeFiles/motto_engine.dir/matcher.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/matcher.cc.o.d"
+  "/root/repo/src/engine/nfa.cc" "src/engine/CMakeFiles/motto_engine.dir/nfa.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/nfa.cc.o.d"
+  "/root/repo/src/engine/parallel_executor.cc" "src/engine/CMakeFiles/motto_engine.dir/parallel_executor.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/parallel_executor.cc.o.d"
+  "/root/repo/src/engine/plan_util.cc" "src/engine/CMakeFiles/motto_engine.dir/plan_util.cc.o" "gcc" "src/engine/CMakeFiles/motto_engine.dir/plan_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/motto_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccl/CMakeFiles/motto_ccl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

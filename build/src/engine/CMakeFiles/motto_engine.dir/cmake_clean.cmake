@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_engine.dir/executor.cc.o"
+  "CMakeFiles/motto_engine.dir/executor.cc.o.d"
+  "CMakeFiles/motto_engine.dir/filters.cc.o"
+  "CMakeFiles/motto_engine.dir/filters.cc.o.d"
+  "CMakeFiles/motto_engine.dir/graph.cc.o"
+  "CMakeFiles/motto_engine.dir/graph.cc.o.d"
+  "CMakeFiles/motto_engine.dir/matcher.cc.o"
+  "CMakeFiles/motto_engine.dir/matcher.cc.o.d"
+  "CMakeFiles/motto_engine.dir/nfa.cc.o"
+  "CMakeFiles/motto_engine.dir/nfa.cc.o.d"
+  "CMakeFiles/motto_engine.dir/parallel_executor.cc.o"
+  "CMakeFiles/motto_engine.dir/parallel_executor.cc.o.d"
+  "CMakeFiles/motto_engine.dir/plan_util.cc.o"
+  "CMakeFiles/motto_engine.dir/plan_util.cc.o.d"
+  "libmotto_engine.a"
+  "libmotto_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/event.cc" "src/event/CMakeFiles/motto_event.dir/event.cc.o" "gcc" "src/event/CMakeFiles/motto_event.dir/event.cc.o.d"
+  "/root/repo/src/event/event_type.cc" "src/event/CMakeFiles/motto_event.dir/event_type.cc.o" "gcc" "src/event/CMakeFiles/motto_event.dir/event_type.cc.o.d"
+  "/root/repo/src/event/stream.cc" "src/event/CMakeFiles/motto_event.dir/stream.cc.o" "gcc" "src/event/CMakeFiles/motto_event.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_event.dir/event.cc.o"
+  "CMakeFiles/motto_event.dir/event.cc.o.d"
+  "CMakeFiles/motto_event.dir/event_type.cc.o"
+  "CMakeFiles/motto_event.dir/event_type.cc.o.d"
+  "CMakeFiles/motto_event.dir/stream.cc.o"
+  "CMakeFiles/motto_event.dir/stream.cc.o.d"
+  "libmotto_event.a"
+  "libmotto_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/plan_builder.cc" "src/motto/CMakeFiles/motto_optimizer.dir/__/planner/plan_builder.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/__/planner/plan_builder.cc.o.d"
+  "/root/repo/src/planner/solver.cc" "src/motto/CMakeFiles/motto_optimizer.dir/__/planner/solver.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/__/planner/solver.cc.o.d"
+  "/root/repo/src/motto/catalog.cc" "src/motto/CMakeFiles/motto_optimizer.dir/catalog.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/catalog.cc.o.d"
+  "/root/repo/src/motto/nested.cc" "src/motto/CMakeFiles/motto_optimizer.dir/nested.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/nested.cc.o.d"
+  "/root/repo/src/motto/optimizer.cc" "src/motto/CMakeFiles/motto_optimizer.dir/optimizer.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/motto/rewriter.cc" "src/motto/CMakeFiles/motto_optimizer.dir/rewriter.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/rewriter.cc.o.d"
+  "/root/repo/src/motto/sharing_graph.cc" "src/motto/CMakeFiles/motto_optimizer.dir/sharing_graph.cc.o" "gcc" "src/motto/CMakeFiles/motto_optimizer.dir/sharing_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/motto_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccl/CMakeFiles/motto_ccl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/motto_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/motto_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

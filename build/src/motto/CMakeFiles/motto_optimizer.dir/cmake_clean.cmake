@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_optimizer.dir/__/planner/plan_builder.cc.o"
+  "CMakeFiles/motto_optimizer.dir/__/planner/plan_builder.cc.o.d"
+  "CMakeFiles/motto_optimizer.dir/__/planner/solver.cc.o"
+  "CMakeFiles/motto_optimizer.dir/__/planner/solver.cc.o.d"
+  "CMakeFiles/motto_optimizer.dir/catalog.cc.o"
+  "CMakeFiles/motto_optimizer.dir/catalog.cc.o.d"
+  "CMakeFiles/motto_optimizer.dir/nested.cc.o"
+  "CMakeFiles/motto_optimizer.dir/nested.cc.o.d"
+  "CMakeFiles/motto_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/motto_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/motto_optimizer.dir/rewriter.cc.o"
+  "CMakeFiles/motto_optimizer.dir/rewriter.cc.o.d"
+  "CMakeFiles/motto_optimizer.dir/sharing_graph.cc.o"
+  "CMakeFiles/motto_optimizer.dir/sharing_graph.cc.o.d"
+  "libmotto_optimizer.a"
+  "libmotto_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmotto_optimizer.a"
+)

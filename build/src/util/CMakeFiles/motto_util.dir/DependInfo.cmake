@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/sequence.cc" "src/util/CMakeFiles/motto_util.dir/sequence.cc.o" "gcc" "src/util/CMakeFiles/motto_util.dir/sequence.cc.o.d"
+  "/root/repo/src/util/suffix_tree.cc" "src/util/CMakeFiles/motto_util.dir/suffix_tree.cc.o" "gcc" "src/util/CMakeFiles/motto_util.dir/suffix_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

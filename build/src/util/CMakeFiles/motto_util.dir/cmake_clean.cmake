@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_util.dir/sequence.cc.o"
+  "CMakeFiles/motto_util.dir/sequence.cc.o.d"
+  "CMakeFiles/motto_util.dir/suffix_tree.cc.o"
+  "CMakeFiles/motto_util.dir/suffix_tree.cc.o.d"
+  "libmotto_util.a"
+  "libmotto_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

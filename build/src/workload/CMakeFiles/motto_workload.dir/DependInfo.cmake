@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/data_gen.cc" "src/workload/CMakeFiles/motto_workload.dir/data_gen.cc.o" "gcc" "src/workload/CMakeFiles/motto_workload.dir/data_gen.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "src/workload/CMakeFiles/motto_workload.dir/harness.cc.o" "gcc" "src/workload/CMakeFiles/motto_workload.dir/harness.cc.o.d"
+  "/root/repo/src/workload/io.cc" "src/workload/CMakeFiles/motto_workload.dir/io.cc.o" "gcc" "src/workload/CMakeFiles/motto_workload.dir/io.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/motto_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/motto_workload.dir/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/motto_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccl/CMakeFiles/motto_ccl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/motto_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/motto_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/motto/CMakeFiles/motto_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

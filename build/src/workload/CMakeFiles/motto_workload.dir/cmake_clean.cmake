@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_workload.dir/data_gen.cc.o"
+  "CMakeFiles/motto_workload.dir/data_gen.cc.o.d"
+  "CMakeFiles/motto_workload.dir/harness.cc.o"
+  "CMakeFiles/motto_workload.dir/harness.cc.o.d"
+  "CMakeFiles/motto_workload.dir/io.cc.o"
+  "CMakeFiles/motto_workload.dir/io.cc.o.d"
+  "CMakeFiles/motto_workload.dir/query_gen.cc.o"
+  "CMakeFiles/motto_workload.dir/query_gen.cc.o.d"
+  "libmotto_workload.a"
+  "libmotto_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfa_test.dir/nfa_test.cc.o"
+  "CMakeFiles/nfa_test.dir/nfa_test.cc.o.d"
+  "nfa_test"
+  "nfa_test.pdb"
+  "nfa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriter_test.dir/rewriter_test.cc.o"
+  "CMakeFiles/rewriter_test.dir/rewriter_test.cc.o.d"
+  "rewriter_test"
+  "rewriter_test.pdb"
+  "rewriter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/motto_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/motto/CMakeFiles/motto_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/motto_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/motto_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccl/CMakeFiles/motto_ccl.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/motto_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/motto_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

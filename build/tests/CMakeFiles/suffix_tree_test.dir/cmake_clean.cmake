@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suffix_tree_test.dir/suffix_tree_test.cc.o"
+  "CMakeFiles/suffix_tree_test.dir/suffix_tree_test.cc.o.d"
+  "suffix_tree_test"
+  "suffix_tree_test.pdb"
+  "suffix_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suffix_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motto_cli.dir/motto_cli.cc.o"
+  "CMakeFiles/motto_cli.dir/motto_cli.cc.o.d"
+  "motto"
+  "motto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motto_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
