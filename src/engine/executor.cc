@@ -33,10 +33,16 @@ Result<Executor> Executor::Create(Jqp jqp) {
   MOTTO_RETURN_IF_ERROR(jqp.Validate());
   Executor executor(std::move(jqp));
   MOTTO_ASSIGN_OR_RETURN(executor.topo_order_, executor.jqp_.TopoOrder());
-  executor.reads_raw_.assign(executor.jqp_.nodes.size(), false);
-  for (size_t i = 0; i < executor.jqp_.nodes.size(); ++i) {
+  size_t n = executor.jqp_.nodes.size();
+  executor.reads_raw_.assign(n, false);
+  executor.consumers_.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
     const JqpNode& node = executor.jqp_.nodes[i];
     executor.runtimes_.push_back(MakeNodeRuntime(node.spec));
+    for (int32_t input : node.inputs) {
+      executor.consumers_[static_cast<size_t>(input)].push_back(
+          static_cast<int32_t>(i));
+    }
     if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
       std::unordered_set<EventTypeId> types;
       for (const OperandBinding& binding : pattern->operands) {
@@ -46,10 +52,23 @@ Result<Executor> Executor::Create(Jqp jqp) {
       }
       for (EventTypeId t : pattern->negated) types.insert(t);
       for (EventTypeId t : types) {
-        executor.raw_interest_[t].push_back(static_cast<int32_t>(i));
+        if (static_cast<size_t>(t) >= executor.raw_interest_.size()) {
+          executor.raw_interest_.resize(static_cast<size_t>(t) + 1);
+        }
+        executor.raw_interest_[static_cast<size_t>(t)].push_back(
+            static_cast<int32_t>(i));
         executor.reads_raw_[i] = true;
       }
     }
+  }
+  std::vector<int> sink_refs(n, 0);
+  for (const Jqp::Sink& sink : executor.jqp_.sinks) {
+    ++sink_refs[static_cast<size_t>(sink.node)];
+  }
+  executor.movable_sink_.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    executor.movable_sink_[i] =
+        sink_refs[i] == 1 && executor.consumers_[i].empty();
   }
   return executor;
 }
@@ -70,16 +89,13 @@ Result<RunResult> Executor::Run(const EventStream& stream,
     result.sink_counts.emplace(sink.query_name, 0);
   }
 
-  std::vector<std::vector<Event>> buffers(n);
-  std::vector<uint64_t> raw_stamp(n, 0);
-  std::vector<uint64_t> active_stamp(n, 0);
-  // Consumers of each node, for activation propagation.
-  std::vector<std::vector<int32_t>> consumers(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (int32_t input : jqp_.nodes[i].inputs) {
-      consumers[static_cast<size_t>(input)].push_back(static_cast<int32_t>(i));
-    }
-  }
+  // Round-local state lives in member scratch: buffers keep their capacity
+  // across rounds and across Run() calls, so the steady state reuses
+  // storage instead of reallocating per round.
+  buffers_.resize(n);
+  for (auto& buffer : buffers_) buffer.clear();
+  raw_stamp_.assign(n, 0);
+  active_stamp_.assign(n, 0);
   uint64_t seq = 0;
 
   Clock::time_point run_start = Clock::now();
@@ -92,27 +108,27 @@ Result<RunResult> Executor::Run(const EventStream& stream,
   auto process_round = [&](const Event* raw, Timestamp watermark,
                            bool activate_all) {
     if (activate_all) {
-      for (size_t i = 0; i < n; ++i) active_stamp[i] = seq;
+      for (size_t i = 0; i < n; ++i) active_stamp_[i] = seq;
     }
     bool any_sink_output = false;
     for (int32_t idx : topo_order_) {
       size_t ui = static_cast<size_t>(idx);
-      if (active_stamp[ui] != seq) continue;
+      if (active_stamp_[ui] != seq) continue;
       NodeRuntime& runtime = *runtimes_[ui];
       const JqpNode& node = jqp_.nodes[ui];
-      std::vector<Event>& out = buffers[ui];
+      std::vector<Event>& out = buffers_[ui];
       out.clear();
       Clock::time_point node_start;
       if (options.collect_node_timing) node_start = Clock::now();
       runtime.OnWatermark(watermark, &out);
-      if (raw != nullptr && raw_stamp[ui] == seq) {
+      if (raw != nullptr && raw_stamp_[ui] == seq) {
         runtime.OnEvent(kRawChannel, *raw, &out);
         ++result.node_stats[ui].events_in;
       }
       for (size_t c = 0; c < node.inputs.size(); ++c) {
         size_t input = static_cast<size_t>(node.inputs[c]);
-        if (active_stamp[input] != seq) continue;
-        const std::vector<Event>& upstream = buffers[input];
+        if (active_stamp_[input] != seq) continue;
+        const std::vector<Event>& upstream = buffers_[input];
         Channel channel = static_cast<Channel>(c + 1);
         for (const Event& ev : upstream) {
           runtime.OnEvent(channel, ev, &out);
@@ -125,31 +141,38 @@ Result<RunResult> Executor::Run(const EventStream& stream,
       if (!out.empty()) {
         result.node_stats[ui].events_out += out.size();
         any_sink_output = true;
-        for (int32_t consumer : consumers[ui]) {
-          active_stamp[static_cast<size_t>(consumer)] = seq;
+        for (int32_t consumer : consumers_[ui]) {
+          active_stamp_[static_cast<size_t>(consumer)] = seq;
         }
       }
     }
     if (!any_sink_output) return;
     for (const Jqp::Sink& sink : jqp_.sinks) {
       size_t node = static_cast<size_t>(sink.node);
-      if (active_stamp[node] != seq || buffers[node].empty()) continue;
-      const std::vector<Event>& out = buffers[node];
+      if (active_stamp_[node] != seq || buffers_[node].empty()) continue;
+      std::vector<Event>& out = buffers_[node];
       result.sink_counts[sink.query_name] += out.size();
       if (!options.count_matches_only) {
         auto& collected = result.sink_events[sink.query_name];
-        collected.insert(collected.end(), out.begin(), out.end());
+        if (movable_sink_[node]) {
+          // Terminal single-sink node: nothing else reads this buffer, so
+          // matches move instead of deep-copying their constituent vectors.
+          collected.insert(collected.end(),
+                           std::make_move_iterator(out.begin()),
+                           std::make_move_iterator(out.end()));
+        } else {
+          collected.insert(collected.end(), out.begin(), out.end());
+        }
       }
     }
   };
 
   for (const Event& raw : stream) {
     ++seq;
-    auto interest = raw_interest_.find(raw.type());
-    if (interest != raw_interest_.end()) {
-      for (int32_t idx : interest->second) {
-        raw_stamp[static_cast<size_t>(idx)] = seq;
-        active_stamp[static_cast<size_t>(idx)] = seq;
+    if (static_cast<size_t>(raw.type()) < raw_interest_.size()) {
+      for (int32_t idx : raw_interest_[static_cast<size_t>(raw.type())]) {
+        raw_stamp_[static_cast<size_t>(idx)] = seq;
+        active_stamp_[static_cast<size_t>(idx)] = seq;
       }
     }
     process_round(&raw, raw.begin(), /*activate_all=*/false);
@@ -159,6 +182,9 @@ Result<RunResult> Executor::Run(const EventStream& stream,
   process_round(nullptr, kFinalWatermark, /*activate_all=*/true);
 
   result.elapsed_seconds = SecondsSince(run_start);
+  for (size_t i = 0; i < n; ++i) {
+    runtimes_[i]->CollectStats(&result.node_stats[i]);
+  }
   return result;
 }
 

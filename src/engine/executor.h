@@ -13,16 +13,8 @@
 
 namespace motto {
 
-/// Per-node counters collected by a run.
-struct NodeStats {
-  uint64_t events_in = 0;
-  uint64_t events_out = 0;
-  /// Wall time spent inside this node; only filled when
-  /// ExecutorOptions::collect_node_timing is set.
-  double busy_seconds = 0.0;
-};
-
-/// Outcome of replaying one stream through a JQP.
+/// Outcome of replaying one stream through a JQP. (NodeStats lives in
+/// runtime.h so node runtimes can fill their own counters.)
 struct RunResult {
   /// Matches per user query (sink), in emission order. Empty when the run
   /// used ExecutorOptions::count_matches_only.
@@ -78,10 +70,24 @@ class Executor {
   Jqp jqp_;
   std::vector<int32_t> topo_order_;
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
-  /// raw_interest_[type] lists nodes that must see raw events of that type.
-  std::unordered_map<EventTypeId, std::vector<int32_t>> raw_interest_;
+  /// raw_interest_[type] lists nodes that must see raw events of that type;
+  /// dense by type id so per-event routing is an indexed load, not a hash
+  /// probe. Types beyond the table are of interest to no node.
+  std::vector<std::vector<int32_t>> raw_interest_;
   /// Transposed interest: per node, whether it reads the raw channel at all.
   std::vector<bool> reads_raw_;
+  /// consumers_[i] lists nodes reading node i's output (plan-static).
+  std::vector<std::vector<int32_t>> consumers_;
+  /// movable_sink_[i] is true when node i's output buffer feeds exactly one
+  /// sink and no downstream node, so collected matches can be moved out of
+  /// the buffer instead of copied.
+  std::vector<bool> movable_sink_;
+
+  // Per-run scratch, reused across Run() calls (Run is not re-entrant; node
+  // runtimes are stateful anyway).
+  std::vector<std::vector<Event>> buffers_;
+  std::vector<uint64_t> raw_stamp_;
+  std::vector<uint64_t> active_stamp_;
 };
 
 }  // namespace motto

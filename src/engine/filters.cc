@@ -21,32 +21,36 @@ class OrderFilterRuntime : public NodeRuntime {
                std::vector<Event>* out) override {
     MOTTO_DCHECK(channel != kRawChannel);
     (void)channel;
-    std::vector<Constituent> self;
-    std::vector<Constituent> parts = event.constituents_or(self);
-    if (parts.size() != spec_.required_order.size()) return;
-    std::sort(parts.begin(), parts.end(),
+    const std::vector<Constituent>& view = event.constituents_or(self_scratch_);
+    if (view.size() != spec_.required_order.size()) return;
+    parts_scratch_.assign(view.begin(), view.end());
+    std::sort(parts_scratch_.begin(), parts_scratch_.end(),
               [](const Constituent& a, const Constituent& b) {
                 return a.ts < b.ts;
               });
-    for (size_t i = 0; i < parts.size(); ++i) {
-      if (parts[i].type != spec_.required_order[i]) return;
-      if (i > 0 && parts[i - 1].ts >= parts[i].ts) return;
+    for (size_t i = 0; i < parts_scratch_.size(); ++i) {
+      if (parts_scratch_[i].type != spec_.required_order[i]) return;
+      if (i > 0 && parts_scratch_[i - 1].ts >= parts_scratch_[i].ts) return;
     }
     if (!spec_.relabel) {
       out->push_back(event);
       return;
     }
-    for (size_t i = 0; i < parts.size(); ++i) {
-      parts[i].slot = static_cast<int32_t>(i);
+    for (size_t i = 0; i < parts_scratch_.size(); ++i) {
+      parts_scratch_[i].slot = static_cast<int32_t>(i);
     }
-    out->push_back(
-        Event::Composite(spec_.output_type, std::move(parts), event.end()));
+    out->push_back(Event::Composite(spec_.output_type, parts_scratch_,
+                                    event.end(), event.begin()));
   }
 
   void Reset() override {}
 
  private:
   OrderFilterSpec spec_;
+  // Reused across OnEvent calls; events passing the filter copy out of the
+  // scratch exactly once, in Event::Composite.
+  std::vector<Constituent> self_scratch_;
+  std::vector<Constituent> parts_scratch_;
 };
 
 /// Window mark-point filter: keeps composites that fit the consumer window.
@@ -66,7 +70,7 @@ class SpanFilterRuntime : public NodeRuntime {
       return;
     }
     out->push_back(Event::Composite(spec_.retype, event.constituents(),
-                                    event.end()));
+                                    event.end(), event.begin()));
   }
 
   void Reset() override {}

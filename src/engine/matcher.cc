@@ -1,6 +1,7 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/check.h"
 
@@ -9,12 +10,29 @@ namespace motto {
 PatternMatcher::PatternMatcher(const PatternSpec& spec)
     : spec_(spec),
       nfa_(BuildNfa(spec.op, static_cast<int32_t>(spec.operands.size()))) {
+  // Flatten operand dispatch into a dense (channel, type) table.
+  std::map<std::pair<Channel, EventTypeId>, std::vector<int32_t>> by_key;
   for (size_t k = 0; k < spec_.operands.size(); ++k) {
     const OperandBinding& binding = spec_.operands[k];
+    channel_limit_ = std::max(channel_limit_, binding.channel + 1);
     for (EventTypeId type : binding.types) {
-      operands_by_key_[OperandKey{binding.channel, type}].push_back(
-          static_cast<int32_t>(k));
+      type_limit_ = std::max(type_limit_, static_cast<int32_t>(type) + 1);
+      by_key[{binding.channel, type}].push_back(static_cast<int32_t>(k));
     }
+  }
+  dispatch_.assign(
+      static_cast<size_t>(channel_limit_) * static_cast<size_t>(type_limit_),
+      DispatchEntry{});
+  for (const auto& [key, operand_indexes] : by_key) {
+    DispatchEntry& entry =
+        dispatch_[static_cast<size_t>(key.first) *
+                      static_cast<size_t>(type_limit_) +
+                  static_cast<size_t>(key.second)];
+    entry.offset = static_cast<uint32_t>(operand_index_pool_.size());
+    entry.count = static_cast<uint32_t>(operand_indexes.size());
+    operand_index_pool_.insert(operand_index_pool_.end(),
+                               operand_indexes.begin(),
+                               operand_indexes.end());
   }
   for (size_t i = 0; i < spec_.negated.size(); ++i) {
     EventTypeId t = spec_.negated[i];
@@ -36,8 +54,19 @@ void PatternMatcher::Reset() {
   for (auto& bucket : partials_by_state_) bucket.clear();
   pending_.clear();
   negated_history_.clear();
+  arena_.Reset();
   watermark_ = 0;
   sweep_tick_ = 0;
+}
+
+void PatternMatcher::CollectStats(NodeStats* stats) const {
+  const PartialArena::Stats& arena = arena_.stats();
+  stats->arena_chunk_allocs += arena.chunk_allocs;
+  stats->arena_chunk_reuses += arena.chunk_reuses;
+  stats->arena_live_high_water =
+      std::max(stats->arena_live_high_water, arena.live_high_water);
+  stats->arena_slab_high_water =
+      std::max(stats->arena_slab_high_water, arena.slab_high_water);
 }
 
 size_t PatternMatcher::PartialCount() const {
@@ -46,60 +75,73 @@ size_t PatternMatcher::PartialCount() const {
   return total;
 }
 
-void PatternMatcher::AppendRelabeled(const Event& event,
-                                     const OperandBinding& binding,
-                                     std::vector<Constituent>* parts) const {
+void PatternMatcher::RelabelInto(const Event& event,
+                                 const OperandBinding& binding) {
+  relabeled_scratch_.clear();
   if (event.is_primitive()) {
-    parts->push_back(Constituent{event.type(), event.begin(),
-                                 binding.slot_map[0]});
+    relabeled_scratch_.push_back(
+        Constituent{event.type(), event.begin(), binding.slot_map[0]});
     return;
   }
   for (const Constituent& c : event.constituents()) {
     MOTTO_CHECK_LT(static_cast<size_t>(c.slot), binding.slot_map.size())
         << "constituent slot outside operand slot map";
-    parts->push_back(
-        Constituent{c.type, c.ts, binding.slot_map[static_cast<size_t>(c.slot)]});
+    relabeled_scratch_.push_back(Constituent{
+        c.type, c.ts, binding.slot_map[static_cast<size_t>(c.slot)]});
   }
 }
 
 void PatternMatcher::Emit(Timestamp min_begin, Timestamp max_end,
-                          std::vector<Constituent> parts,
-                          std::vector<Event>* out) const {
-  (void)min_begin;
-  std::sort(parts.begin(), parts.end(),
+                          PartialArena::NodeRef tail,
+                          std::vector<Event>* out) {
+  emit_scratch_.clear();
+  arena_.Materialize(tail, &emit_scratch_);
+  std::sort(emit_scratch_.begin(), emit_scratch_.end(),
             [](const Constituent& a, const Constituent& b) {
               if (a.slot != b.slot) return a.slot < b.slot;
               if (a.ts != b.ts) return a.ts < b.ts;
               return a.type < b.type;
             });
-  out->push_back(Event::Composite(spec_.output_type, std::move(parts), max_end));
+  out->push_back(Event::Composite(spec_.output_type, emit_scratch_, max_end,
+                                  min_begin));
 }
 
 void PatternMatcher::Complete(Partial&& partial, std::vector<Event>* out) {
   if (spec_.negated.empty()) {
-    Emit(partial.min_begin, partial.max_end, std::move(partial.parts), out);
+    Emit(partial.min_begin, partial.max_end, partial.tail, out);
+    arena_.Release(partial.tail);
     return;
   }
   // A negated event anywhere in [min_begin, min_begin + window] kills the
   // match. Past events are in the history buffer (its eviction horizon,
   // watermark - window, never passes min_begin before completion); future
-  // events kill pending matches as they arrive.
+  // events kill pending matches as they arrive. The buffer is sorted (events
+  // arrive in timestamp order), so one binary search finds the earliest
+  // candidate.
   Timestamp window_end = partial.min_begin + spec_.window;
-  for (Timestamp ts : negated_history_) {
-    if (ts >= partial.min_begin && ts <= window_end) return;
+  auto it = std::lower_bound(negated_history_.begin(), negated_history_.end(),
+                             partial.min_begin);
+  if (it != negated_history_.end() && *it <= window_end) {
+    arena_.Release(partial.tail);
+    return;
   }
-  pending_.push_back(PendingMatch{partial.min_begin, partial.max_end,
-                                  std::move(partial.parts)});
+  pending_.push_back(
+      PendingMatch{partial.min_begin, partial.max_end, partial.tail});
 }
 
 void PatternMatcher::SweepExpired() {
   Timestamp horizon = watermark_ - spec_.window;
   for (auto& bucket : partials_by_state_) {
-    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
-                                [horizon](const Partial& p) {
-                                  return p.min_begin < horizon;
-                                }),
-                 bucket.end());
+    size_t idx = 0;
+    while (idx < bucket.size()) {
+      if (bucket[idx].min_begin < horizon) {
+        arena_.Release(bucket[idx].tail);
+        bucket[idx] = bucket.back();
+        bucket.pop_back();
+      } else {
+        ++idx;
+      }
+    }
   }
 }
 
@@ -110,15 +152,17 @@ void PatternMatcher::OnWatermark(Timestamp watermark, std::vector<Event>* out) {
     negated_history_.pop_front();
   }
   if (!pending_.empty()) {
-    auto it = pending_.begin();
-    while (it != pending_.end()) {
-      if (it->min_begin + spec_.window < watermark) {
-        Emit(it->min_begin, it->max_end, std::move(it->parts), out);
-        it = pending_.erase(it);
+    size_t keep = 0;
+    for (size_t idx = 0; idx < pending_.size(); ++idx) {
+      PendingMatch& p = pending_[idx];
+      if (p.min_begin + spec_.window < watermark) {
+        Emit(p.min_begin, p.max_end, p.tail, out);
+        arena_.Release(p.tail);
       } else {
-        ++it;
+        pending_[keep++] = p;
       }
     }
+    pending_.resize(keep);
   }
   if ((++sweep_tick_ & 63) == 0) SweepExpired();
 }
@@ -140,17 +184,27 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
     if (kills) {
       Timestamp ts = event.begin();
       negated_history_.push_back(ts);
-      pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
-                                    [this, ts](const PendingMatch& p) {
-                                      return ts >= p.min_begin &&
-                                             ts <= p.min_begin + spec_.window;
-                                    }),
-                     pending_.end());
+      size_t keep = 0;
+      for (size_t idx = 0; idx < pending_.size(); ++idx) {
+        PendingMatch& p = pending_[idx];
+        if (ts >= p.min_begin && ts <= p.min_begin + spec_.window) {
+          arena_.Release(p.tail);
+        } else {
+          pending_[keep++] = p;
+        }
+      }
+      pending_.resize(keep);
     }
   }
 
-  auto key_it = operands_by_key_.find(OperandKey{channel, event.type()});
-  if (key_it == operands_by_key_.end()) return;
+  if (channel >= channel_limit_ ||
+      static_cast<int32_t>(event.type()) >= type_limit_ || event.type() < 0) {
+    return;
+  }
+  const DispatchEntry entry =
+      dispatch_[static_cast<size_t>(channel) * static_cast<size_t>(type_limit_) +
+                static_cast<size_t>(event.type())];
+  if (entry.count == 0) return;
 
   // Operand-level payload predicates (selectors) filter before any NFA work.
   auto operand_accepts = [&](int32_t k) {
@@ -161,8 +215,8 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
   };
 
   if (spec_.op == PatternOp::kDisj) {
-    for (int32_t k : key_it->second) {
-      if (operand_accepts(k)) {
+    for (uint32_t i = 0; i < entry.count; ++i) {
+      if (operand_accepts(operand_index_pool_[entry.offset + i])) {
         out->push_back(event);  // Pass-through; see class comment.
         return;
       }
@@ -172,13 +226,13 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
 
   // New partials are staged so this event cannot extend a run it just
   // created (one event instance fills at most one operand per match).
-  std::vector<std::pair<int32_t, Partial>> staged;
+  staged_scratch_.clear();
   Timestamp horizon = watermark_ - spec_.window;
-  for (int32_t k : key_it->second) {
+  for (uint32_t i = 0; i < entry.count; ++i) {
+    int32_t k = operand_index_pool_[entry.offset + i];
     if (!operand_accepts(k)) continue;
     const OperandBinding& binding = spec_.operands[static_cast<size_t>(k)];
-    std::vector<Constituent> relabeled;
-    AppendRelabeled(event, binding, &relabeled);
+    RelabelInto(event, binding);
     for (int32_t t_idx : nfa_.transitions_by_operand[static_cast<size_t>(k)]) {
       const NfaTransition& t = nfa_.transitions[static_cast<size_t>(t_idx)];
       if (t.from == nfa_.start) {
@@ -186,11 +240,13 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
         fresh.min_begin = event.begin();
         fresh.max_end = event.end();
         fresh.last_end = event.end();
-        fresh.parts = relabeled;
+        fresh.tail = arena_.Extend(PartialArena::kNullRef,
+                                   relabeled_scratch_.data(),
+                                   relabeled_scratch_.size());
         if (nfa_.accepting[static_cast<size_t>(t.to)]) {
           Complete(std::move(fresh), out);
         } else {
-          staged.emplace_back(t.to, std::move(fresh));
+          staged_scratch_.emplace_back(t.to, fresh);
         }
         continue;
       }
@@ -200,7 +256,8 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
         Partial& p = bucket[idx];
         if (p.min_begin < horizon) {
           // Expired: can never complete, drop in place.
-          p = std::move(bucket.back());
+          arena_.Release(p.tail);
+          p = bucket.back();
           bucket.pop_back();
           continue;
         }
@@ -213,22 +270,20 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
           extended.min_begin = new_begin;
           extended.max_end = new_end;
           extended.last_end = event.end();
-          extended.parts = p.parts;
-          extended.parts.insert(extended.parts.end(), relabeled.begin(),
-                                relabeled.end());
+          extended.tail = arena_.Extend(p.tail, relabeled_scratch_.data(),
+                                        relabeled_scratch_.size());
           if (nfa_.accepting[static_cast<size_t>(t.to)]) {
             Complete(std::move(extended), out);
           } else {
-            staged.emplace_back(t.to, std::move(extended));
+            staged_scratch_.emplace_back(t.to, extended);
           }
         }
         ++idx;
       }
     }
   }
-  for (auto& [state, partial] : staged) {
-    partials_by_state_[static_cast<size_t>(state)].push_back(
-        std::move(partial));
+  for (auto& [state, partial] : staged_scratch_) {
+    partials_by_state_[static_cast<size_t>(state)].push_back(partial);
   }
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/nfa.h"
+#include "engine/partial_arena.h"
 #include "engine/runtime.h"
 
 namespace motto {
@@ -25,6 +26,13 @@ namespace motto {
 /// DISJ is pass-through: each event matching an operand is re-emitted
 /// unchanged; downstream consumers see the type-filtered stream (see
 /// DESIGN.md §3 on how this realizes the paper's DISJ and Filter_cd).
+///
+/// Hot-path memory discipline (DESIGN.md §8): constituent history lives in a
+/// PartialArena as parent-linked refcounted chunks, so extending a run copies
+/// only the new constituents and materializes the full history exactly once,
+/// in Emit. Operand dispatch is a dense (channel, type) table instead of a
+/// hash probe, and all per-event working sets (relabeled constituents, staged
+/// runs, emission buffer) are member scratch reused across calls.
 class PatternMatcher : public NodeRuntime {
  public:
   explicit PatternMatcher(const PatternSpec& spec);
@@ -33,52 +41,59 @@ class PatternMatcher : public NodeRuntime {
   void OnEvent(Channel channel, const Event& event,
                std::vector<Event>* out) override;
   void Reset() override;
+  void CollectStats(NodeStats* stats) const override;
 
   /// Live partial matches (diagnostics/tests).
   size_t PartialCount() const;
+
+  /// Backing arena (diagnostics/tests).
+  const PartialArena& arena() const { return arena_; }
 
  private:
   struct Partial {
     Timestamp min_begin = 0;
     Timestamp max_end = 0;
     Timestamp last_end = 0;  // End of the most recent constituent (SEQ guard).
-    std::vector<Constituent> parts;
+    /// Tail chunk of the constituent history; the partial owns one arena
+    /// reference on it.
+    PartialArena::NodeRef tail = PartialArena::kNullRef;
   };
 
   struct PendingMatch {
     Timestamp min_begin = 0;
     Timestamp max_end = 0;
-    std::vector<Constituent> parts;
+    PartialArena::NodeRef tail = PartialArena::kNullRef;
   };
 
-  /// Relabels `event`'s constituents through the operand's slot map and
-  /// appends them to `parts`.
-  void AppendRelabeled(const Event& event, const OperandBinding& binding,
-                       std::vector<Constituent>* parts) const;
+  /// Relabels `event`'s constituents through the operand's slot map into
+  /// `relabeled_scratch_` (cleared first).
+  void RelabelInto(const Event& event, const OperandBinding& binding);
 
+  /// Consumes `partial` (and its arena reference): emits immediately, defers
+  /// to `pending_` (negation), or drops it (negated-history hit).
   void Complete(Partial&& partial, std::vector<Event>* out);
-  void Emit(Timestamp min_begin, Timestamp max_end,
-            std::vector<Constituent> parts, std::vector<Event>* out) const;
+  /// Materializes `tail` into the emission scratch and appends the composite
+  /// event; does not release the reference.
+  void Emit(Timestamp min_begin, Timestamp max_end, PartialArena::NodeRef tail,
+            std::vector<Event>* out);
   void SweepExpired();
 
   PatternSpec spec_;
   Nfa nfa_;
-  /// For each operand index, matching is dispatched via (channel, type).
-  struct OperandKey {
-    Channel channel;
-    EventTypeId type;
-    friend bool operator==(const OperandKey& a, const OperandKey& b) {
-      return a.channel == b.channel && a.type == b.type;
-    }
+
+  /// Dense operand dispatch: dispatch_[channel * type_limit_ + type] names a
+  /// slice of operand_index_pool_ listing the operand positions an event of
+  /// that (channel, type) can fill. Out-of-range (channel, type) pairs —
+  /// the common case on a busy raw stream — reject on two comparisons.
+  struct DispatchEntry {
+    uint32_t offset = 0;
+    uint32_t count = 0;
   };
-  struct OperandKeyHash {
-    size_t operator()(const OperandKey& k) const {
-      return std::hash<int64_t>()((static_cast<int64_t>(k.channel) << 32) ^
-                                  static_cast<uint32_t>(k.type));
-    }
-  };
-  std::unordered_map<OperandKey, std::vector<int32_t>, OperandKeyHash>
-      operands_by_key_;
+  std::vector<DispatchEntry> dispatch_;
+  std::vector<int32_t> operand_index_pool_;
+  int32_t channel_limit_ = 0;
+  int32_t type_limit_ = 0;
+
   /// NEG'd (type, predicate) pairs; the bitmap gives a fast type-level
   /// reject before predicates run.
   struct NegatedEntry {
@@ -88,11 +103,17 @@ class PatternMatcher : public NodeRuntime {
   std::vector<NegatedEntry> negated_entries_;
   std::vector<bool> negated_lookup_;  // Indexed by type id (grown on demand).
 
+  PartialArena arena_;
   std::vector<std::vector<Partial>> partials_by_state_;
   std::vector<PendingMatch> pending_;               // NEG-deferred matches.
-  std::deque<Timestamp> negated_history_;           // Recent negated-event ts.
+  std::deque<Timestamp> negated_history_;           // Sorted negated-event ts.
   Timestamp watermark_ = 0;
   uint64_t sweep_tick_ = 0;
+
+  // Per-call scratch, reused across OnEvent/Emit invocations.
+  std::vector<Constituent> relabeled_scratch_;
+  std::vector<std::pair<int32_t, Partial>> staged_scratch_;
+  std::vector<Constituent> emit_scratch_;
 };
 
 }  // namespace motto

@@ -61,15 +61,19 @@ Result<ParallelExecutor> ParallelExecutor::Create(Jqp jqp, int num_threads,
     max_level = std::max(max_level, level);
     executor.runtimes_.push_back(nullptr);  // Placeholder; filled below.
     if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      auto mark = [&](EventTypeId t) {
+        std::vector<bool>& types = executor.raw_types_[static_cast<size_t>(idx)];
+        if (static_cast<size_t>(t) >= types.size()) {
+          types.resize(static_cast<size_t>(t) + 1, false);
+        }
+        types[static_cast<size_t>(t)] = true;
+      };
       for (const OperandBinding& binding : pattern->operands) {
         if (binding.channel == kRawChannel) {
-          executor.raw_types_[static_cast<size_t>(idx)].insert(
-              binding.types.begin(), binding.types.end());
+          for (EventTypeId t : binding.types) mark(t);
         }
       }
-      for (EventTypeId t : pattern->negated) {
-        executor.raw_types_[static_cast<size_t>(idx)].insert(t);
-      }
+      for (EventTypeId t : pattern->negated) mark(t);
     }
   }
   executor.runtimes_.clear();
@@ -101,6 +105,10 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
   }
 
   std::vector<std::vector<Event>> buffers(n);
+  // Per-node input-merge scratch: each node is processed by exactly one
+  // worker per level, so the scratch needs no synchronization, and reusing
+  // it across batches keeps the merge allocation-free after warm-up.
+  std::vector<std::vector<BatchItem>> item_scratch(n);
   Clock::time_point run_start = Clock::now();
 
   // Processes one node for the raw slice [lo, hi); `final_flush` appends a
@@ -115,11 +123,13 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
     Clock::time_point node_start;
     if (options.collect_node_timing) node_start = Clock::now();
 
-    std::vector<BatchItem> items;
-    const auto& raw_set = raw_types_[ui];
+    std::vector<BatchItem>& items = item_scratch[ui];
+    items.clear();
+    const std::vector<bool>& raw_set = raw_types_[ui];
     if (!raw_set.empty()) {
       for (const Event* e = raw_lo; e != raw_hi; ++e) {
-        if (raw_set.count(e->type()) > 0) {
+        size_t type = static_cast<size_t>(e->type());
+        if (type < raw_set.size() && raw_set[type]) {
           items.push_back(BatchItem{e->begin(), 0, kRawChannel, e});
         }
       }
@@ -195,6 +205,9 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
 
   result.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - run_start).count();
+  for (size_t i = 0; i < n; ++i) {
+    runtimes_[i]->CollectStats(&result.node_stats[i]);
+  }
   return result;
 }
 

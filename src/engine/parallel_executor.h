@@ -2,7 +2,6 @@
 #define MOTTO_ENGINE_PARALLEL_EXECUTOR_H_
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -44,8 +43,9 @@ class ParallelExecutor {
   std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
   /// Nodes grouped by dataflow level (level = longest path from a source).
   std::vector<std::vector<int32_t>> levels_;
-  /// Raw event types each node must see (operands + negations).
-  std::vector<std::unordered_set<EventTypeId>> raw_types_;
+  /// Raw event types each node must see (operands + negations), as a dense
+  /// per-node bitmap indexed by type id; empty bitmap = reads no raw events.
+  std::vector<std::vector<bool>> raw_types_;
 };
 
 }  // namespace motto

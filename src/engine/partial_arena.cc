@@ -1,0 +1,97 @@
+#include "engine/partial_arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace motto {
+
+PartialArena::NodeRef PartialArena::Extend(NodeRef parent,
+                                           const Constituent* parts,
+                                           size_t count) {
+  MOTTO_DCHECK(count > 0) << "empty chunk";
+  NodeRef ref;
+  if (count < free_by_capacity_.size() && !free_by_capacity_[count].empty()) {
+    ref = free_by_capacity_[count].back();
+    free_by_capacity_[count].pop_back();
+    Node& node = nodes_[static_cast<size_t>(ref)];
+    node.count = static_cast<uint32_t>(count);
+    std::copy(parts, parts + count,
+              slab_.begin() + static_cast<ptrdiff_t>(node.first));
+    ++stats_.chunk_reuses;
+  } else {
+    ref = static_cast<NodeRef>(nodes_.size());
+    Node node;
+    node.first = static_cast<uint32_t>(slab_.size());
+    node.count = node.capacity = static_cast<uint32_t>(count);
+    slab_.insert(slab_.end(), parts, parts + count);
+    nodes_.push_back(node);
+    ++stats_.chunk_allocs;
+    stats_.slab_high_water =
+        std::max<uint64_t>(stats_.slab_high_water, slab_.size());
+  }
+  Node& node = nodes_[static_cast<size_t>(ref)];
+  node.parent = parent;
+  node.refcount = 1;
+  node.total = static_cast<uint32_t>(count) + (parent == kNullRef
+                   ? 0u
+                   : nodes_[static_cast<size_t>(parent)].total);
+  if (parent != kNullRef) ++nodes_[static_cast<size_t>(parent)].refcount;
+  ++live_chunks_;
+  stats_.live_high_water =
+      std::max<uint64_t>(stats_.live_high_water, live_chunks_);
+  return ref;
+}
+
+void PartialArena::AddRef(NodeRef ref) {
+  if (ref == kNullRef) return;
+  ++nodes_[static_cast<size_t>(ref)].refcount;
+}
+
+void PartialArena::Release(NodeRef ref) {
+  while (ref != kNullRef) {
+    Node& node = nodes_[static_cast<size_t>(ref)];
+    MOTTO_DCHECK(node.refcount > 0) << "release of freed chunk";
+    if (--node.refcount > 0) return;
+    if (node.capacity >= free_by_capacity_.size()) {
+      free_by_capacity_.resize(static_cast<size_t>(node.capacity) + 1);
+    }
+    free_by_capacity_[node.capacity].push_back(ref);
+    --live_chunks_;
+    ref = node.parent;
+  }
+}
+
+void PartialArena::Materialize(NodeRef ref,
+                               std::vector<Constituent>* out) const {
+  if (ref == kNullRef) return;
+  size_t write_end =
+      out->size() + nodes_[static_cast<size_t>(ref)].total;
+  out->resize(write_end);
+  while (ref != kNullRef) {
+    const Node& node = nodes_[static_cast<size_t>(ref)];
+    write_end -= node.count;
+    std::copy(slab_.begin() + static_cast<ptrdiff_t>(node.first),
+              slab_.begin() + static_cast<ptrdiff_t>(node.first + node.count),
+              out->begin() + static_cast<ptrdiff_t>(write_end));
+    ref = node.parent;
+  }
+}
+
+void PartialArena::Reset() {
+  // Recycle every still-referenced chunk (refcount 0 means it already sits
+  // in a free list); slab ranges stay bound to their chunks, so a replay of
+  // the same workload is served without fresh slab carving.
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    if (node.refcount == 0) continue;
+    node.refcount = 0;
+    if (node.capacity >= free_by_capacity_.size()) {
+      free_by_capacity_.resize(static_cast<size_t>(node.capacity) + 1);
+    }
+    free_by_capacity_[node.capacity].push_back(static_cast<NodeRef>(i));
+  }
+  live_chunks_ = 0;
+}
+
+}  // namespace motto

@@ -1,0 +1,98 @@
+#ifndef MOTTO_ENGINE_PARTIAL_ARENA_H_
+#define MOTTO_ENGINE_PARTIAL_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "event/event.h"
+
+namespace motto {
+
+/// Pooled storage for the constituent history of NFA partial matches.
+///
+/// A partial match's history is an immutable parent-linked chain of chunks:
+/// extending a partial appends one chunk holding only the new constituents
+/// and links it to the previous tail, so extension is O(new constituents)
+/// regardless of match length, and NFA nondeterminism (many extensions of
+/// one partial) shares the common prefix instead of copying it.
+///
+/// Chunks are refcounted: `Extend` takes one reference on the parent, each
+/// live partial owns one reference on its tail, and `Release` walks the
+/// parent chain freeing chunks whose count reaches zero. Freed chunks keep
+/// their slab range and are recycled through exact-capacity free lists — a
+/// matcher sees a tiny set of distinct chunk sizes (one per operand
+/// binding), so after warm-up the steady state performs no allocations.
+///
+/// `Materialize` is the only copy: it writes the full history (root chunk
+/// first, i.e. arrival order) into a caller buffer, used exactly once per
+/// emitted match.
+///
+/// Not thread-safe; each matcher owns one arena.
+class PartialArena {
+ public:
+  /// Index of a chunk; the tail of a partial match's history chain.
+  using NodeRef = int32_t;
+  static constexpr NodeRef kNullRef = -1;
+
+  /// Cumulative allocation behaviour, surfaced through NodeStats so the
+  /// zero-allocation claim is observable per run.
+  struct Stats {
+    uint64_t chunk_allocs = 0;      ///< Chunks carved from fresh slab space.
+    uint64_t chunk_reuses = 0;      ///< Chunks recycled from a free list.
+    uint64_t live_high_water = 0;   ///< Max simultaneously-live chunks.
+    uint64_t slab_high_water = 0;   ///< Max constituent slab cells in use.
+  };
+
+  /// Creates a chunk of `count` constituents copied from `parts`, linked
+  /// under `parent` (kNullRef for a fresh match). The new chunk starts with
+  /// one reference (the caller's); one reference is taken on `parent`.
+  /// `parts` must not alias this arena's storage and `count` must be > 0.
+  NodeRef Extend(NodeRef parent, const Constituent* parts, size_t count);
+
+  void AddRef(NodeRef ref);
+
+  /// Drops one reference from `ref`, recycling it — and transitively any
+  /// exclusively-held ancestors — when the count reaches zero.
+  void Release(NodeRef ref);
+
+  /// Appends the full history of `ref` to `out`, root chunk first (the
+  /// order constituents were appended by successive Extend calls).
+  void Materialize(NodeRef ref, std::vector<Constituent>* out) const;
+
+  /// Total constituents in the history chain ending at `ref`.
+  size_t HistoryLength(NodeRef ref) const {
+    return ref == kNullRef ? 0 : nodes_[static_cast<size_t>(ref)].total;
+  }
+
+  /// Currently-live (referenced) chunks.
+  size_t live_chunks() const { return live_chunks_; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Drops every chunk (regardless of refcounts) but keeps slab capacity,
+  /// so a matcher Reset replays allocation-free. Stats stay cumulative
+  /// except the live count.
+  void Reset();
+
+ private:
+  struct Node {
+    NodeRef parent = kNullRef;
+    int32_t refcount = 0;
+    uint32_t first = 0;     ///< Offset of this chunk's range in slab_.
+    uint32_t count = 0;     ///< Live constituents in the range.
+    uint32_t capacity = 0;  ///< Range size; free-list bucket key.
+    uint32_t total = 0;     ///< count + parent chain total (memoized).
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Constituent> slab_;
+  /// free_by_capacity_[c] lists freed chunks whose slab range holds exactly
+  /// c constituents; reuse is exact-fit so ranges never fragment.
+  std::vector<std::vector<NodeRef>> free_by_capacity_;
+  size_t live_chunks_ = 0;
+  Stats stats_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_PARTIAL_ARENA_H_

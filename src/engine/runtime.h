@@ -10,6 +10,27 @@
 
 namespace motto {
 
+/// Per-node counters collected by a run. Arena fields are filled by pattern
+/// matchers (zero for stateless filters): they expose the hot-path memory
+/// behaviour — chunks carved from fresh slab space vs. recycled from the
+/// arena free lists, and the high-water mark of live partial-match chunks —
+/// so "the steady state allocates nothing" is checkable per run.
+struct NodeStats {
+  uint64_t events_in = 0;
+  uint64_t events_out = 0;
+  /// Wall time spent inside this node; only filled when
+  /// ExecutorOptions::collect_node_timing is set.
+  double busy_seconds = 0.0;
+  /// Partial-match chunks allocated from fresh arena slab space.
+  uint64_t arena_chunk_allocs = 0;
+  /// Partial-match chunks recycled from the arena free lists.
+  uint64_t arena_chunk_reuses = 0;
+  /// Peak simultaneously-live partial-match chunks.
+  uint64_t arena_live_high_water = 0;
+  /// Peak constituent slab cells in use.
+  uint64_t arena_slab_high_water = 0;
+};
+
 /// Runtime state of one JQP node. The executor drives each node with a
 /// watermark call followed by this round's input events; the node appends
 /// emissions to `out`.
@@ -33,6 +54,10 @@ class NodeRuntime {
 
   /// Resets all state so the node can replay another stream.
   virtual void Reset() = 0;
+
+  /// Adds this node's memory/allocation counters to `stats`; the executors
+  /// call it once at the end of a run. Default: nothing to report.
+  virtual void CollectStats(NodeStats* stats) const { (void)stats; }
 };
 
 /// Instantiates the runtime for `spec`.

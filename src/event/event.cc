@@ -19,12 +19,18 @@ Event Event::Primitive(EventTypeId type, Timestamp ts, Payload payload) {
 Event Event::Composite(EventTypeId type, std::vector<Constituent> parts,
                        Timestamp end_ts) {
   MOTTO_CHECK(!parts.empty()) << "composite event needs constituents";
+  Timestamp lo = std::numeric_limits<Timestamp>::max();
+  for (const Constituent& c : parts) lo = std::min(lo, c.ts);
+  return Composite(type, std::move(parts), end_ts, lo);
+}
+
+Event Event::Composite(EventTypeId type, std::vector<Constituent> parts,
+                       Timestamp end_ts, Timestamp begin_ts) {
+  MOTTO_CHECK(!parts.empty()) << "composite event needs constituents";
   Event e;
   e.type_ = type;
   e.constituents_ = std::move(parts);
-  Timestamp lo = std::numeric_limits<Timestamp>::max();
-  for (const Constituent& c : e.constituents_) lo = std::min(lo, c.ts);
-  e.begin_ = lo;
+  e.begin_ = begin_ts;
   e.end_ = end_ts;
   return e;
 }

@@ -55,6 +55,12 @@ class Event {
   static Event Composite(EventTypeId type, std::vector<Constituent> parts,
                          Timestamp end_ts);
 
+  /// Same, but with the begin timestamp supplied by a caller that already
+  /// tracks the minimum constituent timestamp (e.g. the matcher's partial
+  /// state), skipping the derivation pass.
+  static Event Composite(EventTypeId type, std::vector<Constituent> parts,
+                         Timestamp end_ts, Timestamp begin_ts);
+
   EventTypeId type() const { return type_; }
   /// Timestamp of the earliest constituent (== ts for primitives).
   Timestamp begin() const { return begin_; }

@@ -1,0 +1,191 @@
+// Randomized equivalence stress for the arena-backed matcher hot path: for
+// random flat patterns (all operators, optional negation and payload
+// predicates) over random streams, the brute-force reference semantics, the
+// directly-driven PatternMatcher, the single-threaded Executor and the
+// ParallelExecutor must produce identical sink-fingerprint multisets.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "engine/matcher.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_util.h"
+#include "test_util.h"
+
+namespace motto {
+namespace {
+
+using testing::Fingerprints;
+using testing::MatchSet;
+using testing::ReferenceMatches;
+
+constexpr Timestamp kFlushWatermark = std::numeric_limits<Timestamp>::max() / 4;
+
+struct Scenario {
+  EventTypeRegistry registry;
+  FlatPattern flat;
+  std::vector<Predicate> operand_predicates;
+  std::vector<Predicate> negated_predicates;
+  Duration window = 0;
+  EventStream stream;
+};
+
+Predicate RandomPredicate(Rng* rng) {
+  Comparison cmp;
+  cmp.field = rng->Bernoulli(0.5) ? PredicateField::kValue
+                                  : PredicateField::kAux;
+  cmp.cmp = rng->Bernoulli(0.5) ? PredicateCmp::kGt : PredicateCmp::kLe;
+  cmp.constant = static_cast<double>(rng->Uniform(20, 80));
+  return Predicate({cmp});
+}
+
+Scenario MakeScenario(uint64_t seed, PatternOp op) {
+  Scenario s;
+  Rng rng(seed);
+  int num_types = static_cast<int>(rng.Uniform(3, 5));
+  std::vector<EventTypeId> types;
+  for (int i = 0; i < num_types; ++i) {
+    types.push_back(s.registry.RegisterPrimitive("T" + std::to_string(i)));
+  }
+
+  s.flat.op = op;
+  int num_operands = static_cast<int>(rng.Uniform(2, op == PatternOp::kConj
+                                                         ? 3
+                                                         : 4));
+  for (int k = 0; k < num_operands; ++k) {
+    s.flat.operands.push_back(types[static_cast<size_t>(
+        rng.Uniform(0, num_types - 1))]);
+    s.operand_predicates.push_back(
+        rng.Bernoulli(0.3) ? RandomPredicate(&rng) : Predicate{});
+  }
+  if (op != PatternOp::kDisj && rng.Bernoulli(0.4)) {
+    // Negate a type not used by an operand, when one exists.
+    for (EventTypeId t : types) {
+      bool used = false;
+      for (EventTypeId operand : s.flat.operands) used |= operand == t;
+      if (!used) {
+        s.flat.negated.push_back(t);
+        s.negated_predicates.push_back(
+            rng.Bernoulli(0.5) ? RandomPredicate(&rng) : Predicate{});
+        break;
+      }
+    }
+  }
+  s.window = Millis(static_cast<int64_t>(rng.Uniform(20, 120)));
+
+  int num_events = static_cast<int>(rng.Uniform(40, 90));
+  Timestamp ts = 0;
+  for (int i = 0; i < num_events; ++i) {
+    ts += rng.Uniform(1, Millis(15));
+    Payload payload;
+    payload.value = static_cast<double>(rng.Uniform(0, 100));
+    payload.aux = rng.Uniform(0, 100);
+    s.stream.push_back(Event::Primitive(
+        types[static_cast<size_t>(rng.Uniform(0, num_types - 1))], ts,
+        payload));
+  }
+  return s;
+}
+
+PatternSpec MakeSpec(Scenario* s) {
+  PatternSpec spec = MakeRawPatternSpec(s->flat, s->window, &s->registry);
+  for (size_t k = 0; k < s->operand_predicates.size(); ++k) {
+    spec.operands[k].predicate = s->operand_predicates[k];
+  }
+  spec.negated_predicates = s->negated_predicates;
+  return spec;
+}
+
+/// Drives a PatternMatcher directly, the way the single-threaded executor
+/// would: watermark then event, plus a terminal flush for deferred-negation
+/// emissions.
+MatchSet DirectMatcherRun(const PatternSpec& spec, const EventStream& stream) {
+  PatternMatcher matcher(spec);
+  std::vector<Event> out;
+  std::vector<Event> collected;
+  for (const Event& e : stream) {
+    out.clear();
+    matcher.OnWatermark(e.begin(), &out);
+    matcher.OnEvent(kRawChannel, e, &out);
+    collected.insert(collected.end(), out.begin(), out.end());
+  }
+  out.clear();
+  matcher.OnWatermark(kFlushWatermark, &out);
+  collected.insert(collected.end(), out.begin(), out.end());
+  // Chunk accounting sanity: every live partial owns a distinct tail chunk,
+  // and Reset returns the arena to empty.
+  EXPECT_GE(matcher.arena().live_chunks(), matcher.PartialCount());
+  matcher.Reset();
+  EXPECT_EQ(matcher.arena().live_chunks(), 0u);
+  return Fingerprints(collected);
+}
+
+Jqp MakeSingleNodePlan(const PatternSpec& spec) {
+  Jqp jqp;
+  JqpNode node;
+  node.spec = spec;
+  node.label = "stress";
+  int32_t id = jqp.AddNode(std::move(node));
+  jqp.sinks.push_back(Jqp::Sink{"q", id});
+  return jqp;
+}
+
+MatchSet ExecutorRun(const PatternSpec& spec, const EventStream& stream) {
+  auto executor = Executor::Create(MakeSingleNodePlan(spec));
+  EXPECT_TRUE(executor.ok()) << executor.status().ToString();
+  auto run = executor->Run(stream);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return Fingerprints(run->sink_events.at("q"));
+}
+
+MatchSet ParallelRun(const PatternSpec& spec, const EventStream& stream,
+                     int threads, size_t batch) {
+  auto executor =
+      ParallelExecutor::Create(MakeSingleNodePlan(spec), threads, batch);
+  EXPECT_TRUE(executor.ok()) << executor.status().ToString();
+  auto run = executor->Run(stream);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return Fingerprints(run->sink_events.at("q"));
+}
+
+class MatcherStressTest : public ::testing::TestWithParam<PatternOp> {};
+
+TEST_P(MatcherStressTest, AllPathsAgreeWithReferenceSemantics) {
+  int with_matches = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Scenario s = MakeScenario(seed * 977, GetParam());
+    PatternSpec spec = MakeSpec(&s);
+    MatchSet reference =
+        ReferenceMatches(s.flat, s.window, s.stream, s.operand_predicates,
+                         s.negated_predicates);
+    MatchSet direct = DirectMatcherRun(spec, s.stream);
+    ASSERT_EQ(direct, reference)
+        << "matcher vs reference, seed " << seed << ", pattern "
+        << s.flat.ToString(s.registry);
+    MatchSet sequential = ExecutorRun(spec, s.stream);
+    ASSERT_EQ(sequential, reference)
+        << "executor vs reference, seed " << seed << ", pattern "
+        << s.flat.ToString(s.registry);
+    MatchSet parallel = ParallelRun(spec, s.stream, 3, 16);
+    ASSERT_EQ(parallel, reference)
+        << "parallel executor vs reference, seed " << seed << ", pattern "
+        << s.flat.ToString(s.registry);
+    if (!reference.empty()) ++with_matches;
+  }
+  // The generator must actually exercise emission, not just empty agreement.
+  EXPECT_GT(with_matches, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, MatcherStressTest,
+                         ::testing::Values(PatternOp::kSeq, PatternOp::kConj,
+                                           PatternOp::kDisj),
+                         [](const auto& info) {
+                           return std::string(PatternOpName(info.param));
+                         });
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,223 @@
+// Unit tests for the matcher's arena-backed partial-match storage: chunk
+// refcounting/reuse, materialization order, and the matcher-level behaviours
+// that depend on it (PartialCount, sweep-under-expiry, Reset replay).
+#include <gtest/gtest.h>
+
+#include "engine/matcher.h"
+#include "engine/partial_arena.h"
+#include "engine/plan_util.h"
+#include "event/event_type.h"
+
+namespace motto {
+namespace {
+
+Constituent C(EventTypeId type, Timestamp ts, int32_t slot) {
+  return Constituent{type, ts, slot};
+}
+
+TEST(PartialArenaTest, MaterializeIsRootFirstAcrossChunks) {
+  PartialArena arena;
+  Constituent a = C(1, 10, 0);
+  Constituent bc[] = {C(2, 20, 1), C(3, 30, 2)};
+  Constituent d = C(4, 40, 3);
+  PartialArena::NodeRef root = arena.Extend(PartialArena::kNullRef, &a, 1);
+  PartialArena::NodeRef mid = arena.Extend(root, bc, 2);
+  PartialArena::NodeRef tail = arena.Extend(mid, &d, 1);
+
+  EXPECT_EQ(arena.HistoryLength(root), 1u);
+  EXPECT_EQ(arena.HistoryLength(mid), 3u);
+  EXPECT_EQ(arena.HistoryLength(tail), 4u);
+
+  std::vector<Constituent> parts;
+  arena.Materialize(tail, &parts);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], a);
+  EXPECT_EQ(parts[1], bc[0]);
+  EXPECT_EQ(parts[2], bc[1]);
+  EXPECT_EQ(parts[3], d);
+
+  // Materialize appends without disturbing existing content.
+  arena.Materialize(root, &parts);
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[4], a);
+}
+
+TEST(PartialArenaTest, SharedPrefixSurvivesUntilLastReferenceDrops) {
+  PartialArena arena;
+  Constituent a = C(1, 10, 0);
+  Constituent b = C(2, 20, 1);
+  Constituent c = C(3, 30, 1);
+  PartialArena::NodeRef root = arena.Extend(PartialArena::kNullRef, &a, 1);
+  // Two extensions sharing the root (NFA nondeterminism).
+  PartialArena::NodeRef left = arena.Extend(root, &b, 1);
+  PartialArena::NodeRef right = arena.Extend(root, &c, 1);
+  EXPECT_EQ(arena.live_chunks(), 3u);
+
+  // The root stays live through the surviving branch after its own owner
+  // and one branch release it.
+  arena.Release(root);
+  arena.Release(left);
+  EXPECT_EQ(arena.live_chunks(), 2u);
+  std::vector<Constituent> parts;
+  arena.Materialize(right, &parts);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], a);
+  EXPECT_EQ(parts[1], c);
+
+  arena.Release(right);
+  EXPECT_EQ(arena.live_chunks(), 0u);
+}
+
+TEST(PartialArenaTest, ReleasedChunksAreRecycledWithoutFreshAllocations) {
+  PartialArena arena;
+  Constituent one = C(1, 10, 0);
+  Constituent pair[] = {C(2, 20, 1), C(3, 30, 2)};
+  PartialArena::NodeRef r1 = arena.Extend(PartialArena::kNullRef, &one, 1);
+  PartialArena::NodeRef r2 = arena.Extend(r1, pair, 2);
+  arena.Release(r1);  // Drops the owner ref; r1 lives on as r2's parent.
+  arena.Release(r2);  // Frees r2, then transitively r1.
+  ASSERT_EQ(arena.live_chunks(), 0u);
+  uint64_t allocs = arena.stats().chunk_allocs;
+  EXPECT_EQ(allocs, 2u);
+
+  // Same sizes again: served entirely from the free lists.
+  PartialArena::NodeRef r3 = arena.Extend(PartialArena::kNullRef, pair, 2);
+  PartialArena::NodeRef r4 = arena.Extend(r3, &one, 1);
+  EXPECT_EQ(arena.stats().chunk_allocs, allocs);
+  EXPECT_EQ(arena.stats().chunk_reuses, 2u);
+
+  std::vector<Constituent> parts;
+  arena.Materialize(r4, &parts);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], pair[0]);
+  EXPECT_EQ(parts[1], pair[1]);
+  EXPECT_EQ(parts[2], one);
+
+  // A different size still needs a fresh chunk.
+  Constituent triple[] = {C(4, 1, 0), C(5, 2, 1), C(6, 3, 2)};
+  arena.Extend(PartialArena::kNullRef, triple, 3);
+  EXPECT_EQ(arena.stats().chunk_allocs, allocs + 1);
+}
+
+TEST(PartialArenaTest, HighWaterMarksTrackPeakUsage) {
+  PartialArena arena;
+  Constituent a = C(1, 10, 0);
+  std::vector<PartialArena::NodeRef> refs;
+  for (int i = 0; i < 5; ++i) {
+    refs.push_back(arena.Extend(PartialArena::kNullRef, &a, 1));
+  }
+  for (PartialArena::NodeRef ref : refs) arena.Release(ref);
+  EXPECT_EQ(arena.live_chunks(), 0u);
+  EXPECT_EQ(arena.stats().live_high_water, 5u);
+  EXPECT_EQ(arena.stats().slab_high_water, 5u);
+}
+
+TEST(PartialArenaTest, ResetDropsEverythingAndReplaysAllocationFree) {
+  PartialArena arena;
+  Constituent a = C(1, 10, 0);
+  PartialArena::NodeRef root = arena.Extend(PartialArena::kNullRef, &a, 1);
+  arena.Extend(root, &a, 1);  // Still referenced at Reset time.
+  arena.Reset();
+  EXPECT_EQ(arena.live_chunks(), 0u);
+  // Replay is served from recycled chunks: no fresh slab carving.
+  uint64_t allocs = arena.stats().chunk_allocs;
+  uint64_t reuses = arena.stats().chunk_reuses;
+  PartialArena::NodeRef again = arena.Extend(PartialArena::kNullRef, &a, 1);
+  std::vector<Constituent> parts;
+  arena.Materialize(again, &parts);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], a);
+  EXPECT_EQ(arena.stats().chunk_allocs, allocs);
+  EXPECT_EQ(arena.stats().chunk_reuses, reuses + 1);
+}
+
+class MatcherArenaTest : public ::testing::Test {
+ protected:
+  PatternSpec SeqSpec(int operands, Duration window) {
+    FlatPattern flat;
+    flat.op = PatternOp::kSeq;
+    for (int i = 0; i < operands; ++i) {
+      flat.operands.push_back(
+          registry_.RegisterPrimitive("T" + std::to_string(i)));
+    }
+    return MakeRawPatternSpec(flat, window, &registry_);
+  }
+
+  EventTypeRegistry registry_;
+  std::vector<Event> out_;
+};
+
+TEST_F(MatcherArenaTest, PartialCountTracksLiveRunsAndMatchesArena) {
+  PatternMatcher matcher(SeqSpec(3, Seconds(10)));
+  EXPECT_EQ(matcher.PartialCount(), 0u);
+  matcher.OnEvent(kRawChannel, Event::Primitive(0, 1000), &out_);
+  EXPECT_EQ(matcher.PartialCount(), 1u);
+  matcher.OnEvent(kRawChannel, Event::Primitive(1, 2000), &out_);
+  // The T0 run stays (it can pair with a later T1) and the extended run
+  // joins it.
+  EXPECT_EQ(matcher.PartialCount(), 2u);
+  EXPECT_EQ(matcher.arena().live_chunks(), matcher.PartialCount());
+  matcher.OnEvent(kRawChannel, Event::Primitive(2, 3000), &out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].constituents().size(), 3u);
+}
+
+TEST_F(MatcherArenaTest, SweepUnderExpiryReleasesPartialsAndChunks) {
+  PatternMatcher matcher(SeqSpec(2, Seconds(1)));
+  for (int i = 0; i < 10; ++i) {
+    matcher.OnEvent(kRawChannel,
+                    Event::Primitive(0, 1000 + static_cast<Timestamp>(i)),
+                    &out_);
+  }
+  EXPECT_EQ(matcher.PartialCount(), 10u);
+  // Advance event time far past the window; the periodic sweep (every 64
+  // watermark ticks) must reclaim both the partials and their arena chunks.
+  for (int tick = 0; tick < 65; ++tick) {
+    matcher.OnWatermark(Seconds(100) + tick, &out_);
+  }
+  EXPECT_EQ(matcher.PartialCount(), 0u);
+  EXPECT_EQ(matcher.arena().live_chunks(), 0u);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(MatcherArenaTest, ExpiredRunsAreDroppedInPlaceOnExtension) {
+  PatternMatcher matcher(SeqSpec(2, Seconds(1)));
+  matcher.OnEvent(kRawChannel, Event::Primitive(0, 1000), &out_);
+  EXPECT_EQ(matcher.PartialCount(), 1u);
+  // Way-later T0 arrival scans the start bucket: the expired run dies in
+  // place even though no sweep tick has fired.
+  matcher.OnWatermark(Seconds(100), &out_);
+  matcher.OnEvent(kRawChannel, Event::Primitive(1, Seconds(100)), &out_);
+  EXPECT_EQ(matcher.PartialCount(), 0u);
+  EXPECT_EQ(matcher.arena().live_chunks(), 0u);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(MatcherArenaTest, ResetReplayIsAllocationFreeAndIdentical) {
+  PatternMatcher matcher(SeqSpec(3, Seconds(10)));
+  std::vector<Event> first;
+  std::vector<Event> second;
+  auto run = [&](std::vector<Event>* out) {
+    matcher.Reset();
+    for (int i = 0; i < 6; ++i) {
+      Timestamp ts = 1000 * (i + 1);
+      matcher.OnWatermark(ts, out);
+      matcher.OnEvent(kRawChannel,
+                      Event::Primitive(static_cast<EventTypeId>(i % 3), ts),
+                      out);
+    }
+  };
+  run(&first);
+  uint64_t allocs_after_warmup = matcher.arena().stats().chunk_allocs;
+  run(&second);
+  // Second replay is served entirely from recycled chunks.
+  EXPECT_EQ(matcher.arena().stats().chunk_allocs, allocs_after_warmup);
+  EXPECT_GT(matcher.arena().stats().chunk_reuses, 0u);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]);
+  }
+}
+
+}  // namespace
+}  // namespace motto

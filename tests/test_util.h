@@ -44,16 +44,30 @@ inline MatchSet Fingerprints(const std::vector<Event>& events) {
 
 /// Brute-force reference semantics for one flat pattern over a stream:
 /// enumerates operand assignments (distinct events, one per operand
-/// position), applying the SEQ order guard, the window span guard and
-/// window-scoped negation. DISJ emits each event of an operand type.
-/// Exponential; use only on small streams.
-inline MatchSet ReferenceMatches(const FlatPattern& flat, Duration window,
-                                 const EventStream& stream) {
+/// position), applying the SEQ order guard, the window span guard,
+/// per-operand payload predicates and window-scoped negation (with optional
+/// per-negation predicates). DISJ emits each event accepted by an operand.
+/// Either predicate vector may be empty (no restrictions) or parallel its
+/// operand list. Exponential; use only on small streams.
+inline MatchSet ReferenceMatches(
+    const FlatPattern& flat, Duration window, const EventStream& stream,
+    const std::vector<Predicate>& operand_predicates,
+    const std::vector<Predicate>& negated_predicates) {
   MatchSet out;
+  auto operand_accepts = [&](size_t pos, const Event& e) {
+    if (e.type() != flat.operands[pos]) return false;
+    if (pos >= operand_predicates.size()) return true;
+    const Predicate& predicate = operand_predicates[pos];
+    return predicate.empty() || predicate.Matches(e.payload());
+  };
   if (flat.op == PatternOp::kDisj) {
-    std::set<EventTypeId> types(flat.operands.begin(), flat.operands.end());
     for (const Event& e : stream) {
-      if (types.count(e.type()) > 0) out.insert(e.Fingerprint());
+      for (size_t pos = 0; pos < flat.operands.size(); ++pos) {
+        if (operand_accepts(pos, e)) {
+          out.insert(e.Fingerprint());
+          break;
+        }
+      }
     }
     return out;
   }
@@ -63,11 +77,14 @@ inline MatchSet ReferenceMatches(const FlatPattern& flat, Duration window,
 
   auto survives_negation = [&](Timestamp min_ts) {
     for (const Event& e : stream) {
-      for (EventTypeId neg : flat.negated) {
-        if (e.type() == neg && e.begin() >= min_ts &&
-            e.begin() <= min_ts + window) {
-          return false;
+      for (size_t neg = 0; neg < flat.negated.size(); ++neg) {
+        if (e.type() != flat.negated[neg]) continue;
+        if (neg < negated_predicates.size() &&
+            !negated_predicates[neg].empty() &&
+            !negated_predicates[neg].Matches(e.payload())) {
+          continue;
         }
+        if (e.begin() >= min_ts && e.begin() <= min_ts + window) return false;
       }
     }
     return true;
@@ -92,7 +109,7 @@ inline MatchSet ReferenceMatches(const FlatPattern& flat, Duration window,
       return;
     }
     for (size_t i = 0; i < stream.size(); ++i) {
-      if (used[i] || stream[i].type() != flat.operands[pos]) continue;
+      if (used[i] || !operand_accepts(pos, stream[i])) continue;
       if (flat.op == PatternOp::kSeq && pos > 0 &&
           stream[chosen.back()].begin() >= stream[i].begin()) {
         continue;
@@ -113,6 +130,11 @@ inline MatchSet ReferenceMatches(const FlatPattern& flat, Duration window,
   };
   if (n > 0 && !stream.empty()) recurse(0);
   return out;
+}
+
+inline MatchSet ReferenceMatches(const FlatPattern& flat, Duration window,
+                                 const EventStream& stream) {
+  return ReferenceMatches(flat, window, stream, {}, {});
 }
 
 }  // namespace motto::testing

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Runs the engine/planner micro-benchmarks and records BENCH_engine.json.
+
+The JSON file tracks the perf trajectory across PRs: each entry maps a
+google-benchmark name to items/second (and the matcher benches' match
+counters, which double as a cheap semantic fingerprint). Run after a Release
+build:
+
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+    python3 tools/run_bench.py                 # writes BENCH_engine.json
+    python3 tools/run_bench.py --compare BENCH_engine.json   # diff vs saved
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_TARGETS = ["micro_engine", "micro_planner"]
+
+
+def run_benchmark(binary, min_time, filter_regex):
+    cmd = [
+        binary,
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    if filter_regex:
+        cmd.append(f"--benchmark_filter={filter_regex}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        # google-benchmark exits 0 with a plain-text complaint on stdout when
+        # --benchmark_filter matches nothing; treat that as an empty report.
+        print(f"warning: {binary}: {proc.stdout.strip()}", file=sys.stderr)
+        return {}
+
+
+def collect(build_dir, targets, min_time, filter_regex):
+    benchmarks = {}
+    context = None
+    for target in targets:
+        binary = os.path.join(build_dir, "bench", target)
+        if not os.path.exists(binary):
+            print(f"warning: {binary} not built, skipping", file=sys.stderr)
+            continue
+        report = run_benchmark(binary, min_time, filter_regex)
+        context = context or report.get("context", {})
+        for bench in report.get("benchmarks", []):
+            entry = {"items_per_second": bench.get("items_per_second")}
+            if "matches" in bench:
+                entry["matches"] = bench["matches"]
+            benchmarks[f"{target}/{bench['name']}"] = entry
+    return benchmarks, context or {}
+
+
+def compare(benchmarks, baseline_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)["benchmarks"]
+    width = max((len(n) for n in benchmarks), default=0)
+    for name, entry in sorted(benchmarks.items()):
+        now = entry.get("items_per_second")
+        old = baseline.get(name, {}).get("items_per_second")
+        if now is None:
+            continue
+        if old:
+            print(f"{name:{width}s} {now / 1e6:9.2f}M items/s   x{now / old:.2f}")
+        else:
+            print(f"{name:{width}s} {now / 1e6:9.2f}M items/s   (new)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--min-time", default="0.5")
+    parser.add_argument("--filter", default="", help="benchmark name regex")
+    parser.add_argument("--targets", nargs="*", default=DEFAULT_TARGETS)
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="print speedups vs a previously saved BENCH_engine.json "
+        "instead of overwriting it",
+    )
+    args = parser.parse_args()
+
+    benchmarks, context = collect(
+        args.build_dir, args.targets, args.min_time, args.filter
+    )
+    if not benchmarks:
+        print("error: no benchmarks ran; build the bench targets first",
+              file=sys.stderr)
+        return 1
+
+    if args.compare:
+        compare(benchmarks, args.compare)
+        return 0
+
+    payload = {
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(benchmarks)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
