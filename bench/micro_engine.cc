@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "engine/executor.h"
 #include "engine/matcher.h"
+#include "engine/parallel_executor.h"
 #include "engine/plan_util.h"
 #include "event/stream.h"
 
@@ -133,6 +134,76 @@ void BM_ExecutorDispatch(benchmark::State& state) {
                           static_cast<int64_t>(stream.size()));
 }
 BENCHMARK(BM_ExecutorDispatch)->Arg(10)->Arg(50)->Arg(100);
+
+// Multi-threaded executor over a many-query plan with a chained second
+// layer, sweeping threads x batch size. The `matches` counter doubles as a
+// semantic fingerprint: it must equal the single-threaded executor's count
+// for the same workload regardless of threads/batching.
+void BM_ParallelExecutor(benchmark::State& state) {
+  int num_threads = static_cast<int>(state.range(0));
+  size_t batch = static_cast<size_t>(state.range(1));
+  int num_queries = 48;
+  EventTypeRegistry registry;
+  std::vector<FlatQuery> queries;
+  for (int q = 0; q < num_queries; ++q) {
+    FlatQuery query;
+    query.name = "q" + std::to_string(q);
+    query.window = Seconds(10);
+    query.pattern.op = PatternOp::kSeq;
+    query.pattern.operands = {
+        registry.RegisterPrimitive("T" + std::to_string(q % 8)),
+        registry.RegisterPrimitive("T" + std::to_string((q + 1) % 8))};
+    queries.push_back(query);
+  }
+  Jqp jqp = BuildDefaultJqp(queries, &registry);
+  // Chain a consumer onto every fourth query so the plan has a second
+  // dataflow level: SEQ(q_i's composite, one more primitive).
+  size_t base_nodes = jqp.nodes.size();
+  for (size_t q = 0; q < base_nodes; q += 4) {
+    EventTypeId sub_type =
+        std::get<PatternSpec>(jqp.nodes[q].spec).output_type;
+    FlatPattern full{PatternOp::kSeq,
+                     {queries[q].pattern.operands[0],
+                      queries[q].pattern.operands[1],
+                      registry.Find("T" + std::to_string((q + 5) % 8))},
+                     {}};
+    PatternSpec down;
+    down.op = PatternOp::kSeq;
+    down.window = Seconds(10);
+    down.operands = {
+        OperandBinding{{sub_type}, 1, {0, 1}, {}},
+        OperandBinding{{full.operands[2]}, kRawChannel, {2}, {}}};
+    down.output_type = RegisterOutputType(full, Seconds(10), &registry);
+    JqpNode down_node;
+    down_node.spec = down;
+    down_node.inputs = {static_cast<int32_t>(q)};
+    int32_t down_id = jqp.AddNode(std::move(down_node));
+    jqp.sinks.push_back(Jqp::Sink{"chained" + std::to_string(q), down_id});
+  }
+  EventStream stream = MakeStream(20000, 8, 1.0, Seconds(10), 13);
+  auto executor = ParallelExecutor::Create(jqp, num_threads, batch);
+  ExecutorOptions options;
+  options.count_matches_only = true;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    auto run = executor->Run(stream, options);
+    matches = run->TotalMatches();
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_ParallelExecutor)
+    ->ArgNames({"threads", "batch"})
+    ->Args({1, 512})
+    ->Args({2, 64})
+    ->Args({2, 512})
+    ->Args({4, 64})
+    ->Args({4, 512})
+    ->Args({4, 2048})
+    ->Args({8, 512})
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace motto

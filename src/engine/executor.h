@@ -13,6 +13,35 @@
 
 namespace motto {
 
+/// Scheduler counters from the pipelined multi-threaded executor; all zero
+/// for single-threaded runs. They expose how the pipeline behaved — how
+/// often workers ran dry (parks), how work migrated between workers
+/// (handoffs), and how deep the ready queue / per-node output rings got —
+/// so "threads were actually busy" is checkable per run.
+struct ParallelRunStats {
+  int threads = 0;
+  /// Raw-stream batches the run was split into (>= 1 even when empty).
+  uint64_t batches = 0;
+  /// Node activations executed (= nodes x batches).
+  uint64_t node_activations = 0;
+  /// Times a worker parked on the scheduler condition variable because no
+  /// node was ready.
+  uint64_t worker_parks = 0;
+  /// Activations picked up by a different worker than the one that ran the
+  /// node's previous activation.
+  uint64_t handoffs = 0;
+  /// High-water mark of the scheduler ready queue.
+  uint64_t max_ready_depth = 0;
+  /// High-water mark of any node's output-ring occupancy, in batches
+  /// produced but not yet fully consumed downstream (bounded by the
+  /// executor's pipe depth).
+  uint64_t max_pipe_depth = 0;
+  /// Worker-pool epochs dispatched by this executor so far (one per Run;
+  /// a growing counter over a pool created once — no threads are spawned
+  /// inside Run).
+  uint64_t pool_epochs = 0;
+};
+
 /// Outcome of replaying one stream through a JQP. (NodeStats lives in
 /// runtime.h so node runtimes can fill their own counters.)
 struct RunResult {
@@ -24,6 +53,8 @@ struct RunResult {
   uint64_t raw_events = 0;
   double elapsed_seconds = 0.0;
   std::vector<NodeStats> node_stats;
+  /// Filled by ParallelExecutor runs; default-zero otherwise.
+  ParallelRunStats parallel;
 
   /// Raw input events per second of wall time.
   double ThroughputEps() const {

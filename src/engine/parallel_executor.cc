@@ -1,10 +1,12 @@
 #include "engine/parallel_executor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <limits>
-#include <thread>
+#include <mutex>
+#include <utility>
 
 #include "common/check.h"
 
@@ -17,12 +19,22 @@ using Clock = std::chrono::steady_clock;
 constexpr Timestamp kFinalWatermark =
     std::numeric_limits<Timestamp>::max() / 4;
 
-/// One input item for a node within a batch: the event plus the watermark
-/// (driver timestamp) at which the single-threaded executor would have
-/// delivered it. channel_rank orders equal-timestamp items the same way the
+/// Round index of the final-flush pseudo-round (sorts after every real
+/// round). Real rounds are stream positions, exactly as in the
+/// single-threaded executor's per-event loop.
+constexpr int64_t kFinalRound = std::numeric_limits<int64_t>::max();
+
+/// One input item for a node within a batch: the event plus the *round*
+/// (stream position of the driving raw event) in which the single-threaded
+/// executor would have delivered it. Grouping by round — not by timestamp —
+/// matters twice over: streams may carry tied timestamps (each raw event
+/// still gets its own round), and node runtimes see exactly one
+/// OnWatermark call per active round, which stateful runtimes observe
+/// (e.g. the matcher's periodic expiry sweep counts watermark calls).
+/// channel_rank orders items within a round the same way the
 /// single-threaded executor does (raw first, then upstream channels).
 struct BatchItem {
-  Timestamp driver_ts;
+  int64_t round;
   int32_t channel_rank;
   Channel channel;
   const Event* event;
@@ -30,39 +42,95 @@ struct BatchItem {
 
 }  // namespace
 
-ParallelExecutor::ParallelExecutor(Jqp jqp, int num_threads, size_t batch_size)
+/// All mutable per-run state of the pipelined scheduler. Fields split into
+/// two planes:
+///   * scheduler plane — guarded by `mu` (ready queue, per-node batch
+///     cursors, slot refcount decrements, counters);
+///   * data plane — touched only by the single worker owning a node's
+///     current activation (rings' contents, scratch, per-worker stats).
+/// The completion lock acquisition orders every data-plane write before any
+/// other worker can observe the node's advanced batch cursor.
+struct ParallelExecutor::Pipeline {
+  struct NodeState {
+    // Scheduler plane.
+    int64_t next_batch = 0;  ///< Next batch this node will process.
+    int64_t released = 0;    ///< Output batches fully consumed downstream.
+    bool queued = false;     ///< In the ready queue or currently running.
+    int last_worker = -1;
+    // Data plane.
+    /// Output ring: slot b % pipe_depth holds the node's emissions for
+    /// batch b while any consumer still needs them.
+    std::vector<std::vector<Event>> ring;
+    /// Round boundaries per ring slot: (round, end offset) pairs so
+    /// consumers can attribute each emitted event to the round that
+    /// produced it. Events [prev end, end) belong to `round`.
+    std::vector<std::vector<std::pair<int64_t, size_t>>> ring_rounds;
+    /// Per slot: consumer reads outstanding before the slot frees.
+    std::vector<int> slot_refs;
+    std::vector<Event> out;        ///< Activation output scratch.
+    std::vector<std::pair<int64_t, size_t>> out_rounds;  ///< Scratch.
+    std::vector<BatchItem> items;  ///< Input-merge scratch.
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int32_t> ready;
+  std::vector<NodeState> nodes;
+  /// worker_stats[worker][node]: per-worker accumulation merged at run end,
+  /// so activations never contend on shared counters.
+  std::vector<std::vector<NodeStats>> worker_stats;
+  int64_t num_batches = 0;
+  int64_t remaining = 0;  ///< Node activations left in this run.
+  int in_flight = 0;      ///< Activations currently executing.
+  int waiting = 0;        ///< Workers parked on `cv` right now; completion
+                          ///< paths skip the notify syscall when zero.
+  uint64_t parks = 0;
+  uint64_t handoffs = 0;
+  uint64_t activations = 0;
+  uint64_t max_ready_depth = 0;
+  uint64_t max_pipe_depth = 0;
+};
+
+ParallelExecutor::ParallelExecutor(Jqp jqp, int num_threads, size_t batch_size,
+                                   size_t pipe_depth)
     : jqp_(std::move(jqp)),
       num_threads_(num_threads),
-      batch_size_(batch_size) {}
+      batch_size_(batch_size),
+      pipe_depth_(pipe_depth) {}
+
+ParallelExecutor::ParallelExecutor(ParallelExecutor&&) = default;
+ParallelExecutor& ParallelExecutor::operator=(ParallelExecutor&&) = default;
+ParallelExecutor::~ParallelExecutor() = default;
 
 Result<ParallelExecutor> ParallelExecutor::Create(Jqp jqp, int num_threads,
-                                                  size_t batch_size) {
+                                                  size_t batch_size,
+                                                  size_t pipe_depth) {
   if (num_threads < 1) {
     return InvalidArgumentError("num_threads must be >= 1");
   }
   if (batch_size < 1) {
     return InvalidArgumentError("batch_size must be >= 1");
   }
+  if (pipe_depth < 1) {
+    return InvalidArgumentError("pipe_depth must be >= 1");
+  }
   MOTTO_RETURN_IF_ERROR(jqp.Validate());
-  ParallelExecutor executor(std::move(jqp), num_threads, batch_size);
+  ParallelExecutor executor(std::move(jqp), num_threads, batch_size,
+                            pipe_depth);
   size_t n = executor.jqp_.nodes.size();
   executor.raw_types_.assign(n, {});
-  std::vector<int32_t> level_of(n, 0);
-  MOTTO_ASSIGN_OR_RETURN(std::vector<int32_t> topo,
-                         executor.jqp_.TopoOrder());
-  int32_t max_level = 0;
-  for (int32_t idx : topo) {
-    const JqpNode& node = executor.jqp_.nodes[static_cast<size_t>(idx)];
-    int32_t level = 0;
+  executor.consumers_.assign(n, {});
+  executor.node_sinks_.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    const JqpNode& node = executor.jqp_.nodes[i];
+    executor.runtimes_.push_back(MakeNodeRuntime(node.spec));
     for (int32_t input : node.inputs) {
-      level = std::max(level, level_of[static_cast<size_t>(input)] + 1);
+      executor.consumers_[static_cast<size_t>(input)].push_back(
+          static_cast<int32_t>(i));
     }
-    level_of[static_cast<size_t>(idx)] = level;
-    max_level = std::max(max_level, level);
-    executor.runtimes_.push_back(nullptr);  // Placeholder; filled below.
     if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
       auto mark = [&](EventTypeId t) {
-        std::vector<bool>& types = executor.raw_types_[static_cast<size_t>(idx)];
+        std::vector<bool>& types = executor.raw_types_[i];
         if (static_cast<size_t>(t) >= types.size()) {
           types.resize(static_cast<size_t>(t) + 1, false);
         }
@@ -76,16 +144,243 @@ Result<ParallelExecutor> ParallelExecutor::Create(Jqp jqp, int num_threads,
       for (EventTypeId t : pattern->negated) mark(t);
     }
   }
-  executor.runtimes_.clear();
-  for (size_t i = 0; i < n; ++i) {
-    executor.runtimes_.push_back(MakeNodeRuntime(executor.jqp_.nodes[i].spec));
+  std::vector<int> sink_refs(n, 0);
+  for (size_t s = 0; s < executor.jqp_.sinks.size(); ++s) {
+    size_t node = static_cast<size_t>(executor.jqp_.sinks[s].node);
+    executor.node_sinks_[node].push_back(s);
+    ++sink_refs[node];
   }
-  executor.levels_.assign(static_cast<size_t>(max_level) + 1, {});
+  executor.movable_sink_.assign(n, false);
   for (size_t i = 0; i < n; ++i) {
-    executor.levels_[static_cast<size_t>(level_of[i])].push_back(
-        static_cast<int32_t>(i));
+    executor.movable_sink_[i] =
+        sink_refs[i] == 1 && executor.consumers_[i].empty();
   }
+  if (num_threads > 1) {
+    executor.pool_ = std::make_unique<WorkerPool>(num_threads - 1);
+  }
+  executor.pipeline_ = std::make_unique<Pipeline>();
   return executor;
+}
+
+bool ParallelExecutor::NodeReady(const Pipeline& p, int32_t idx) const {
+  size_t ui = static_cast<size_t>(idx);
+  const Pipeline::NodeState& s = p.nodes[ui];
+  if (s.queued || s.next_batch >= p.num_batches) return false;
+  // Backpressure: a producer may run at most pipe_depth batches ahead of
+  // its slowest consumer (terminal nodes buffer nothing).
+  if (!consumers_[ui].empty() &&
+      s.next_batch - s.released >= static_cast<int64_t>(pipe_depth_)) {
+    return false;
+  }
+  for (int32_t input : jqp_.nodes[ui].inputs) {
+    if (p.nodes[static_cast<size_t>(input)].next_batch <= s.next_batch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ParallelExecutor::ProcessActivation(Pipeline& p,
+                                         const EventStream& stream,
+                                         const ExecutorOptions& options,
+                                         RunResult* result, int32_t idx,
+                                         int64_t batch, int worker_id) {
+  size_t ui = static_cast<size_t>(idx);
+  Pipeline::NodeState& s = p.nodes[ui];
+  NodeRuntime& runtime = *runtimes_[ui];
+  const JqpNode& node = jqp_.nodes[ui];
+  NodeStats& stats = p.worker_stats[static_cast<size_t>(worker_id)][ui];
+  bool final_flush = batch == p.num_batches - 1;
+  size_t lo = std::min(stream.size(),
+                       static_cast<size_t>(batch) * batch_size_);
+  size_t hi = std::min(stream.size(), lo + batch_size_);
+
+  std::vector<Event>& out = s.out;
+  out.clear();
+  std::vector<std::pair<int64_t, size_t>>& out_rounds = s.out_rounds;
+  out_rounds.clear();
+  bool track_rounds = !consumers_[ui].empty();
+  Clock::time_point node_start;
+  if (options.collect_node_timing) node_start = Clock::now();
+
+  std::vector<BatchItem>& items = s.items;
+  items.clear();
+  int sources = 0;  // Distinct contributing channels; one channel's items
+                    // are already in round order, so merging is only needed
+                    // when two or more interleave.
+  const std::vector<bool>& raw_set = raw_types_[ui];
+  if (!raw_set.empty()) {
+    for (const Event* e = stream.data() + lo; e != stream.data() + hi; ++e) {
+      size_t type = static_cast<size_t>(e->type());
+      if (type < raw_set.size() && raw_set[type]) {
+        items.push_back(BatchItem{e - stream.data(), 0, kRawChannel, e});
+      }
+    }
+    if (!items.empty()) ++sources;
+  }
+  for (size_t c = 0; c < node.inputs.size(); ++c) {
+    const Pipeline::NodeState& upstream =
+        p.nodes[static_cast<size_t>(node.inputs[c])];
+    size_t slot = static_cast<size_t>(batch) % pipe_depth_;
+    const std::vector<Event>& produced = upstream.ring[slot];
+    size_t begin = 0;
+    for (const auto& [round, end] : upstream.ring_rounds[slot]) {
+      for (size_t i = begin; i < end; ++i) {
+        items.push_back(BatchItem{round, static_cast<int32_t>(c) + 1,
+                                  static_cast<Channel>(c + 1), &produced[i]});
+      }
+      begin = end;
+    }
+    if (begin > 0) ++sources;
+  }
+  if (sources > 1) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const BatchItem& a, const BatchItem& b) {
+                       if (a.round != b.round) return a.round < b.round;
+                       return a.channel_rank < b.channel_rank;
+                     });
+  }
+  // Replay the single-threaded executor's round structure: one OnWatermark
+  // per round this node is active in, then that round's events (raw first,
+  // then upstream channels in input order).
+  int64_t current_round = -1;
+  auto close_round = [&] {
+    if (track_rounds && current_round >= 0 &&
+        out.size() > (out_rounds.empty() ? 0 : out_rounds.back().second)) {
+      out_rounds.emplace_back(current_round, out.size());
+    }
+  };
+  for (const BatchItem& item : items) {
+    if (item.round != current_round) {
+      close_round();
+      current_round = item.round;
+      runtime.OnWatermark(
+          item.round == kFinalRound
+              ? kFinalWatermark
+              : stream[static_cast<size_t>(item.round)].begin(),
+          &out);
+    }
+    runtime.OnEvent(item.channel, *item.event, &out);
+  }
+  stats.events_in += items.size();
+  if (final_flush && current_round != kFinalRound) {
+    close_round();
+    current_round = kFinalRound;
+    runtime.OnWatermark(kFinalWatermark, &out);
+  }
+  close_round();
+  if (options.collect_node_timing) {
+    stats.busy_seconds +=
+        std::chrono::duration<double>(Clock::now() - node_start).count();
+  }
+  stats.events_out += out.size();
+
+  // Sink accumulation: this node's activations run in batch order, one
+  // worker at a time, so per-sink appends need no lock and the emission
+  // order matches the single-threaded executor. The sink maps were fully
+  // populated before workers started (no rehash can occur).
+  if (!out.empty()) {
+    for (size_t sink_idx : node_sinks_[ui]) {
+      const Jqp::Sink& sink = jqp_.sinks[sink_idx];
+      result->sink_counts.at(sink.query_name) += out.size();
+      if (!options.count_matches_only) {
+        auto& collected = result->sink_events.at(sink.query_name);
+        if (movable_sink_[ui]) {
+          collected.insert(collected.end(),
+                           std::make_move_iterator(out.begin()),
+                           std::make_move_iterator(out.end()));
+        } else {
+          collected.insert(collected.end(), out.begin(), out.end());
+        }
+      }
+    }
+  }
+
+  // Publish to consumers: swap into the ring slot (the displaced vector's
+  // stale events die at the next activation's out.clear()).
+  if (track_rounds) {
+    size_t slot = static_cast<size_t>(batch) % pipe_depth_;
+    std::vector<Event>& slot_events = s.ring[slot];
+    slot_events.clear();
+    std::swap(slot_events, out);
+    s.ring_rounds[slot].clear();
+    std::swap(s.ring_rounds[slot], out_rounds);
+    s.slot_refs[slot] = static_cast<int>(consumers_[ui].size());
+  }
+}
+
+void ParallelExecutor::WorkerLoop(Pipeline& p, const EventStream& stream,
+                                  const ExecutorOptions& options,
+                                  RunResult* result, int worker_id) {
+  std::unique_lock<std::mutex> lock(p.mu);
+  while (true) {
+    while (p.ready.empty() && p.remaining > 0) {
+      // A DAG with pipe_depth >= 1 cannot stall: some unfinished node is
+      // always runnable or running (induction from the sinks, which are
+      // never backpressured). Check instead of hanging if that breaks.
+      MOTTO_CHECK(p.in_flight > 0)
+          << "pipeline stalled with " << p.remaining << " activations left";
+      ++p.parks;
+      ++p.waiting;
+      p.cv.wait(lock);
+      --p.waiting;
+    }
+    if (p.remaining == 0) break;
+    int32_t idx = p.ready.front();
+    p.ready.pop_front();
+    Pipeline::NodeState& s = p.nodes[static_cast<size_t>(idx)];
+    int64_t batch = s.next_batch;
+    if (s.last_worker >= 0 && s.last_worker != worker_id) ++p.handoffs;
+    s.last_worker = worker_id;
+    ++p.in_flight;
+    lock.unlock();
+
+    ProcessActivation(p, stream, options, result, idx, batch, worker_id);
+
+    lock.lock();
+    ++p.activations;
+    --p.in_flight;
+    s.next_batch = batch + 1;
+    s.queued = false;
+    if (--p.remaining == 0) {
+      // Wake parked workers so they observe completion.
+      if (p.waiting > 0) p.cv.notify_all();
+      break;
+    }
+    int wakeups = 0;
+    auto try_enqueue = [&](int32_t candidate) {
+      if (!NodeReady(p, candidate)) return;
+      p.nodes[static_cast<size_t>(candidate)].queued = true;
+      p.ready.push_back(candidate);
+      p.max_ready_depth = std::max<uint64_t>(p.max_ready_depth,
+                                             p.ready.size());
+      ++wakeups;
+    };
+    size_t ui = static_cast<size_t>(idx);
+    if (!consumers_[ui].empty()) {
+      p.max_pipe_depth = std::max<uint64_t>(
+          p.max_pipe_depth,
+          static_cast<uint64_t>(s.next_batch - s.released));
+      for (int32_t consumer : consumers_[ui]) try_enqueue(consumer);
+    }
+    // Release the input slots this activation consumed; producers blocked
+    // on a full ring may become runnable again.
+    for (int32_t input : jqp_.nodes[ui].inputs) {
+      Pipeline::NodeState& us = p.nodes[static_cast<size_t>(input)];
+      size_t slot = static_cast<size_t>(batch) % pipe_depth_;
+      if (--us.slot_refs[slot] == 0) {
+        us.released = batch + 1;
+        try_enqueue(input);
+      }
+    }
+    try_enqueue(idx);  // This node may immediately be ready for batch+1.
+    // The current worker takes one item itself without parking; extra ready
+    // nodes need sleeping workers — but only as many notifies as there are
+    // actual waiters (each notify is a futex syscall on the hot path).
+    for (int n = std::min(wakeups - 1, p.waiting); n > 0; --n) {
+      p.cv.notify_one();
+    }
+  }
 }
 
 Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
@@ -104,110 +399,75 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
     result.sink_counts.emplace(sink.query_name, 0);
   }
 
-  std::vector<std::vector<Event>> buffers(n);
-  // Per-node input-merge scratch: each node is processed by exactly one
-  // worker per level, so the scratch needs no synchronization, and reusing
-  // it across batches keeps the merge allocation-free after warm-up.
-  std::vector<std::vector<BatchItem>> item_scratch(n);
-  Clock::time_point run_start = Clock::now();
-
-  // Processes one node for the raw slice [lo, hi); `final_flush` appends a
-  // terminal watermark advance.
-  auto process_node = [&](int32_t idx, const Event* raw_lo,
-                          const Event* raw_hi, bool final_flush) {
-    size_t ui = static_cast<size_t>(idx);
-    NodeRuntime& runtime = *runtimes_[ui];
-    const JqpNode& node = jqp_.nodes[ui];
-    std::vector<Event>& out = buffers[ui];
-    out.clear();
-    Clock::time_point node_start;
-    if (options.collect_node_timing) node_start = Clock::now();
-
-    std::vector<BatchItem>& items = item_scratch[ui];
-    items.clear();
-    const std::vector<bool>& raw_set = raw_types_[ui];
-    if (!raw_set.empty()) {
-      for (const Event* e = raw_lo; e != raw_hi; ++e) {
-        size_t type = static_cast<size_t>(e->type());
-        if (type < raw_set.size() && raw_set[type]) {
-          items.push_back(BatchItem{e->begin(), 0, kRawChannel, e});
-        }
-      }
-    }
-    for (size_t c = 0; c < node.inputs.size(); ++c) {
-      const std::vector<Event>& upstream =
-          buffers[static_cast<size_t>(node.inputs[c])];
-      for (const Event& ev : upstream) {
-        items.push_back(BatchItem{ev.end(), static_cast<int32_t>(c) + 1,
-                                  static_cast<Channel>(c + 1), &ev});
-      }
-    }
-    std::stable_sort(items.begin(), items.end(),
-                     [](const BatchItem& a, const BatchItem& b) {
-                       if (a.driver_ts != b.driver_ts) {
-                         return a.driver_ts < b.driver_ts;
-                       }
-                       return a.channel_rank < b.channel_rank;
-                     });
-    for (const BatchItem& item : items) {
-      runtime.OnWatermark(item.driver_ts, &out);
-      runtime.OnEvent(item.channel, *item.event, &out);
-    }
-    result.node_stats[ui].events_in += items.size();
-    if (final_flush) runtime.OnWatermark(kFinalWatermark, &out);
-    if (options.collect_node_timing) {
-      result.node_stats[ui].busy_seconds +=
-          std::chrono::duration<double>(Clock::now() - node_start).count();
-    }
-    result.node_stats[ui].events_out += out.size();
-  };
-
-  size_t pos = 0;
-  while (pos < stream.size() || stream.empty()) {
-    size_t hi = std::min(stream.size(), pos + batch_size_);
-    const Event* raw_lo = stream.data() + pos;
-    const Event* raw_hi = stream.data() + hi;
-    bool last_batch = hi == stream.size();
-    for (const std::vector<int32_t>& level : levels_) {
-      if (num_threads_ == 1 || level.size() == 1) {
-        for (int32_t idx : level) {
-          process_node(idx, raw_lo, raw_hi, last_batch);
-        }
-        continue;
-      }
-      std::atomic<size_t> cursor{0};
-      auto worker = [&]() {
-        while (true) {
-          size_t i = cursor.fetch_add(1);
-          if (i >= level.size()) break;
-          process_node(level[i], raw_lo, raw_hi, last_batch);
-        }
-      };
-      int spawned = std::min<int>(num_threads_ - 1,
-                                  static_cast<int>(level.size()) - 1);
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<size_t>(spawned));
-      for (int t = 0; t < spawned; ++t) threads.emplace_back(worker);
-      worker();
-      for (std::thread& t : threads) t.join();
-    }
-    for (const Jqp::Sink& sink : jqp_.sinks) {
-      const std::vector<Event>& out = buffers[static_cast<size_t>(sink.node)];
-      result.sink_counts[sink.query_name] += out.size();
-      if (!options.count_matches_only) {
-        auto& collected = result.sink_events[sink.query_name];
-        collected.insert(collected.end(), out.begin(), out.end());
-      }
-    }
-    pos = hi;
-    if (last_batch) break;
+  // Reset the pipeline; rings and scratch keep their capacity across runs.
+  Pipeline& p = *pipeline_;
+  p.num_batches =
+      stream.empty()
+          ? 1  // One empty batch still runs the final watermark flush.
+          : static_cast<int64_t>((stream.size() + batch_size_ - 1) /
+                                 batch_size_);
+  p.remaining = static_cast<int64_t>(n) * p.num_batches;
+  p.in_flight = 0;
+  p.parks = p.handoffs = p.activations = 0;
+  p.max_ready_depth = p.max_pipe_depth = 0;
+  p.ready.clear();
+  p.nodes.resize(n);
+  for (Pipeline::NodeState& s : p.nodes) {
+    s.next_batch = 0;
+    s.released = 0;
+    s.queued = false;
+    s.last_worker = -1;
+    s.ring.resize(pipe_depth_);
+    for (std::vector<Event>& slot : s.ring) slot.clear();
+    s.ring_rounds.resize(pipe_depth_);
+    for (auto& slot : s.ring_rounds) slot.clear();
+    s.slot_refs.assign(pipe_depth_, 0);
   }
+  p.worker_stats.resize(static_cast<size_t>(num_threads_));
+  for (std::vector<NodeStats>& per_worker : p.worker_stats) {
+    per_worker.assign(n, NodeStats{});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    int32_t idx = static_cast<int32_t>(i);
+    if (NodeReady(p, idx)) {
+      p.nodes[i].queued = true;
+      p.ready.push_back(idx);
+    }
+  }
+  p.max_ready_depth = p.ready.size();
 
+  Clock::time_point run_start = Clock::now();
+  if (pool_ != nullptr && p.remaining > 0) {
+    auto job = [&](int worker_id) {
+      WorkerLoop(p, stream, options, &result, worker_id);
+    };
+    pool_->Begin(job);
+    job(num_threads_ - 1);  // The caller works too, as the last worker id.
+    pool_->Wait();
+  } else if (p.remaining > 0) {
+    WorkerLoop(p, stream, options, &result, 0);
+  }
   result.elapsed_seconds =
       std::chrono::duration<double>(Clock::now() - run_start).count();
+
+  for (const std::vector<NodeStats>& per_worker : p.worker_stats) {
+    for (size_t i = 0; i < n; ++i) {
+      result.node_stats[i].events_in += per_worker[i].events_in;
+      result.node_stats[i].events_out += per_worker[i].events_out;
+      result.node_stats[i].busy_seconds += per_worker[i].busy_seconds;
+    }
+  }
   for (size_t i = 0; i < n; ++i) {
     runtimes_[i]->CollectStats(&result.node_stats[i]);
   }
+  result.parallel.threads = num_threads_;
+  result.parallel.batches = static_cast<uint64_t>(p.num_batches);
+  result.parallel.node_activations = p.activations;
+  result.parallel.worker_parks = p.parks;
+  result.parallel.handoffs = p.handoffs;
+  result.parallel.max_ready_depth = p.max_ready_depth;
+  result.parallel.max_pipe_depth = p.max_pipe_depth;
+  result.parallel.pool_epochs = pool_ != nullptr ? pool_->epochs() : 0;
   return result;
 }
 

@@ -1,0 +1,72 @@
+#include "engine/worker_pool.h"
+
+#include "common/check.h"
+
+namespace motto {
+
+WorkerPool::WorkerPool(int num_workers) {
+  MOTTO_CHECK(num_workers >= 0) << "negative worker count";
+  threads_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOTTO_CHECK(running_ == 0) << "WorkerPool destroyed with epoch in flight";
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Begin(std::function<void(int)> job) {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MOTTO_CHECK(running_ == 0) << "WorkerPool::Begin with epoch in flight";
+    job_ = std::move(job);
+    running_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+}
+
+void WorkerPool::Wait() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  job_ = nullptr;  // Release the epoch's closure (and anything it captured).
+}
+
+void WorkerPool::Run(std::function<void(int)> job) {
+  Begin(std::move(job));
+  Wait();
+}
+
+uint64_t WorkerPool::epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void WorkerPool::WorkerMain(int id) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    // job_ is stable for the whole epoch: Begin only mutates it while
+    // running_ == 0, and running_ cannot reach 0 before this call returns.
+    const std::function<void(int)>* job = &job_;
+    lock.unlock();
+    (*job)(id);
+    lock.lock();
+    if (--running_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace motto

@@ -1,0 +1,75 @@
+#ifndef MOTTO_ENGINE_WORKER_POOL_H_
+#define MOTTO_ENGINE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace motto {
+
+/// A fixed set of persistent worker threads parked on a condition variable.
+///
+/// Threads are spawned once in the constructor and live until destruction;
+/// dispatching an epoch never creates a thread. Each epoch publishes one job
+/// and bumps a generation counter; every worker runs `job(worker_id)` exactly
+/// once per epoch and parks again. The caller can overlap its own share of
+/// the work between Begin and Wait:
+///
+///     pool.Begin(job);        // wake workers on job(0..num_workers-1)
+///     job(pool.num_workers());  // caller participates as the last worker
+///     pool.Wait();            // block until every worker's call returned
+///
+/// Run(job) is the non-participating convenience form. The job must be
+/// re-entrant across worker ids; the pool guarantees the epoch's job
+/// publication happens-before any worker invokes it, and all worker returns
+/// happen-before Wait() returns.
+class WorkerPool {
+ public:
+  /// Spawns `num_workers` (>= 0) parked threads.
+  explicit WorkerPool(int num_workers);
+
+  /// Joins all workers. Must not be called with an epoch in flight.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Starts an epoch: every worker will run `job(worker_id)` once. The pool
+  /// keeps its own copy of the job until the next Begin, so temporaries
+  /// (e.g. a lambda converted at the call site) are safe. No-op with zero
+  /// workers.
+  void Begin(std::function<void(int)> job);
+
+  /// Blocks until every worker finished the current epoch's job.
+  void Wait();
+
+  /// Begin + Wait, for callers that do not participate in the work.
+  void Run(std::function<void(int)> job);
+
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Total epochs dispatched since construction.
+  uint64_t epochs() const;
+
+ private:
+  void WorkerMain(int id);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers park here between epochs.
+  std::condition_variable done_cv_;  // Begin/Wait callers park here.
+  /// The current epoch's job, owned by the pool. Written only in Begin
+  /// (provably no worker is executing then); workers read it lock-free
+  /// during the epoch.
+  std::function<void(int)> job_;
+  uint64_t generation_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_WORKER_POOL_H_

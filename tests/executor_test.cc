@@ -382,6 +382,103 @@ INSTANTIATE_TEST_SUITE_P(
                       ParallelCase{4, 128}, ParallelCase{4, 4096},
                       ParallelCase{8, 256}));
 
+// Regression: the old batch loop's `while (pos < size || stream.empty())`
+// condition only terminated for empty streams by accident; the pipelined
+// executor must run exactly one (empty) batch plus the final flush and
+// return for any thread/batch combination.
+TEST(ParallelExecutorEdgeTest, EmptyStreamTerminates) {
+  EventTypeRegistry registry;
+  FlatQuery q{"q",
+              FlatPattern{PatternOp::kSeq,
+                          {registry.RegisterPrimitive("A"),
+                           registry.RegisterPrimitive("B")},
+                          {}},
+              100};
+  Jqp jqp = BuildDefaultJqp({q}, &registry);
+  for (int threads : {1, 2, 4}) {
+    for (size_t batch : {size_t{1}, size_t{512}}) {
+      auto parallel = ParallelExecutor::Create(jqp, threads, batch);
+      ASSERT_TRUE(parallel.ok());
+      auto run = parallel->Run({});
+      ASSERT_TRUE(run.ok()) << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(run->TotalMatches(), 0u);
+      EXPECT_EQ(run->parallel.batches, 1u);
+      EXPECT_EQ(run->parallel.node_activations, jqp.nodes.size());
+    }
+  }
+}
+
+// A single-event stream exercises the final-flush path: a deferred-negation
+// match is only emitted by the terminal watermark advance.
+TEST(ParallelExecutorEdgeTest, SingleEventStreamFlushesDeferredNegation) {
+  EventTypeRegistry registry;
+  FlatQuery q{"q",
+              FlatPattern{PatternOp::kSeq,
+                          {registry.RegisterPrimitive("A")},
+                          {registry.RegisterPrimitive("N")}},
+              100};
+  Jqp jqp = BuildDefaultJqp({q}, &registry);
+  EventStream stream = {Event::Primitive(registry.Find("A"), 10)};
+
+  auto single = Executor::Create(jqp);
+  ASSERT_TRUE(single.ok());
+  auto expected = single->Run(stream);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->TotalMatches(), 1u);
+
+  for (int threads : {1, 2, 4}) {
+    for (size_t batch : {size_t{1}, size_t{4096}}) {
+      auto parallel = ParallelExecutor::Create(jqp, threads, batch);
+      ASSERT_TRUE(parallel.ok());
+      auto run = parallel->Run(stream);
+      ASSERT_TRUE(run.ok());
+      EXPECT_EQ(run->TotalMatches(), 1u)
+          << "threads=" << threads << " batch=" << batch;
+      EXPECT_EQ(Fingerprints(run->sink_events.at("q")),
+                Fingerprints(expected->sink_events.at("q")));
+    }
+  }
+}
+
+// The pool is created once in Create: repeated Run() calls reuse it (the
+// epoch counter advances) and scheduler counters stay coherent.
+TEST(ParallelExecutorEdgeTest, RunReusesPoolAcrossCalls) {
+  EventTypeRegistry registry;
+  FlatQuery q{"q",
+              FlatPattern{PatternOp::kSeq,
+                          {registry.RegisterPrimitive("A"),
+                           registry.RegisterPrimitive("B")},
+                          {}},
+              100};
+  Jqp jqp = BuildDefaultJqp({q}, &registry);
+  Rng rng(5);
+  EventStream stream;
+  Timestamp ts = 0;
+  for (int i = 0; i < 500; ++i) {
+    ts += rng.Uniform(1, 40);
+    stream.push_back(Event::Primitive(
+        rng.Bernoulli(0.5) ? registry.Find("A") : registry.Find("B"), ts));
+  }
+  auto parallel = ParallelExecutor::Create(jqp, 4, 64);
+  ASSERT_TRUE(parallel.ok());
+  uint64_t first_epochs = 0;
+  for (int round = 1; round <= 3; ++round) {
+    auto run = parallel->Run(stream);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->parallel.threads, 4);
+    EXPECT_EQ(run->parallel.batches, (stream.size() + 63) / 64);
+    EXPECT_EQ(run->parallel.node_activations,
+              jqp.nodes.size() * run->parallel.batches);
+    if (round == 1) {
+      first_epochs = run->parallel.pool_epochs;
+      EXPECT_EQ(first_epochs, 1u);
+    } else {
+      EXPECT_EQ(run->parallel.pool_epochs,
+                first_epochs + static_cast<uint64_t>(round) - 1);
+    }
+  }
+}
+
 TEST(ParallelExecutorCreateTest, RejectsBadParameters) {
   EventTypeRegistry registry;
   FlatQuery q{"q",
@@ -393,6 +490,7 @@ TEST(ParallelExecutorCreateTest, RejectsBadParameters) {
   Jqp jqp = BuildDefaultJqp({q}, &registry);
   EXPECT_FALSE(ParallelExecutor::Create(jqp, 0).ok());
   EXPECT_FALSE(ParallelExecutor::Create(jqp, 2, 0).ok());
+  EXPECT_FALSE(ParallelExecutor::Create(jqp, 2, 512, 0).ok());
   EXPECT_TRUE(ParallelExecutor::Create(jqp, 2).ok());
 }
 

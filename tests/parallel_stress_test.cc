@@ -1,0 +1,229 @@
+// Randomized equivalence stress for the pipelined multi-threaded executor:
+// for random multi-level JQPs over random streams, the ParallelExecutor must
+// produce sink event sequences and counts identical to the single-threaded
+// Executor for every thread count (1/2/4/8), batch size (including 1 and
+// larger than the stream) and pipe depth (including 1, the lock-step
+// degenerate case). Order matters: the determinism contract is byte-identical
+// output, not just equal multisets.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_util.h"
+#include "test_util.h"
+
+namespace motto {
+namespace {
+
+struct Scenario {
+  EventTypeRegistry registry;
+  Jqp jqp;
+  EventStream stream;
+};
+
+/// Chains a SEQ(upstream composite, fresh primitive) consumer onto `node`,
+/// registering the widened composite type; returns the new node id.
+int32_t ChainConsumer(Jqp* jqp, int32_t node, const FlatPattern& upstream_flat,
+                      Duration window, EventTypeRegistry* registry,
+                      FlatPattern* chained_flat, Rng* rng) {
+  const auto& upstream_spec = std::get<PatternSpec>(
+      jqp->nodes[static_cast<size_t>(node)].spec);
+  EventTypeId extra = registry->RegisterPrimitive(
+      "X" + std::to_string(rng->Uniform(0, 3)));
+  *chained_flat = upstream_flat;
+  chained_flat->op = PatternOp::kSeq;
+  chained_flat->negated.clear();
+  chained_flat->operands.push_back(extra);
+
+  PatternSpec down;
+  down.op = PatternOp::kSeq;
+  down.window = window;
+  std::vector<int32_t> slot_map;
+  for (size_t s = 0; s < upstream_flat.operands.size(); ++s) {
+    slot_map.push_back(static_cast<int32_t>(s));
+  }
+  down.operands = {
+      OperandBinding{{upstream_spec.output_type}, 1, slot_map, {}},
+      OperandBinding{{extra},
+                     kRawChannel,
+                     {static_cast<int32_t>(upstream_flat.operands.size())},
+                     {}}};
+  down.output_type = RegisterOutputType(*chained_flat, window, registry);
+  JqpNode down_node;
+  down_node.spec = down;
+  down_node.inputs = {node};
+  return jqp->AddNode(std::move(down_node));
+}
+
+Scenario MakeScenario(uint64_t seed) {
+  Scenario s;
+  Rng rng(seed);
+
+  int num_types = static_cast<int>(rng.Uniform(4, 6));
+  std::vector<EventTypeId> types;
+  for (int i = 0; i < num_types; ++i) {
+    types.push_back(s.registry.RegisterPrimitive("T" + std::to_string(i)));
+  }
+
+  int num_queries = static_cast<int>(rng.Uniform(2, 5));
+  std::vector<FlatQuery> queries;
+  for (int q = 0; q < num_queries; ++q) {
+    FlatQuery query;
+    query.name = "q" + std::to_string(q);
+    query.window = Millis(static_cast<int64_t>(rng.Uniform(30, 150)));
+    double roll = rng.Uniform(0, 99);
+    query.pattern.op = roll < 60   ? PatternOp::kSeq
+                       : roll < 85 ? PatternOp::kConj
+                                   : PatternOp::kDisj;
+    // Query 0 gets chained consumers below: DISJ passes events through with
+    // no composite output type, so keep it a real composite producer.
+    if (q == 0 && query.pattern.op == PatternOp::kDisj) {
+      query.pattern.op = PatternOp::kSeq;
+    }
+    int num_operands = static_cast<int>(rng.Uniform(2, 3));
+    for (int k = 0; k < num_operands; ++k) {
+      query.pattern.operands.push_back(
+          types[static_cast<size_t>(rng.Uniform(0, num_types - 1))]);
+    }
+    // Negation forces deferred emission through the final flush; only legal
+    // on terminal nodes, so chained queries (q == 0) stay negation-free.
+    if (q != 0 && query.pattern.op != PatternOp::kDisj &&
+        rng.Bernoulli(0.3)) {
+      query.pattern.negated.push_back(
+          types[static_cast<size_t>(rng.Uniform(0, num_types - 1))]);
+    }
+    queries.push_back(query);
+  }
+  s.jqp = BuildDefaultJqp(queries, &s.registry);
+
+  // Chain one or two extra dataflow levels onto query 0 so the pipeline has
+  // cross-level edges, not just independent sources.
+  FlatPattern level2;
+  int32_t chained = ChainConsumer(&s.jqp, s.jqp.sinks[0].node,
+                                  queries[0].pattern, queries[0].window * 2,
+                                  &s.registry, &level2, &rng);
+  s.jqp.sinks.push_back(Jqp::Sink{"chained2", chained});
+  if (rng.Bernoulli(0.5)) {
+    FlatPattern level3;
+    int32_t deep = ChainConsumer(&s.jqp, chained, level2,
+                                 queries[0].window * 3, &s.registry, &level3,
+                                 &rng);
+    s.jqp.sinks.push_back(Jqp::Sink{"chained3", deep});
+  }
+
+  int num_events = static_cast<int>(rng.Uniform(120, 400));
+  Timestamp ts = 0;
+  // Draw from primitives including the chained X types.
+  std::vector<EventTypeId> all_types = types;
+  for (int i = 0; i < 4; ++i) {
+    EventTypeId x = s.registry.Find("X" + std::to_string(i));
+    if (x != kInvalidEventType) all_types.push_back(x);
+  }
+  for (int i = 0; i < num_events; ++i) {
+    ts += rng.Uniform(1, Millis(12));
+    s.stream.push_back(Event::Primitive(
+        all_types[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(all_types.size()) - 1))],
+        ts));
+  }
+  return s;
+}
+
+/// Ordered per-sink fingerprint sequences: equality means identical events
+/// in identical emission order.
+std::map<std::string, std::vector<std::string>> OrderedSinks(
+    const RunResult& run) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const auto& [name, events] : run.sink_events) {
+    std::vector<std::string>& seq = out[name];
+    for (const Event& e : events) seq.push_back(e.Fingerprint());
+  }
+  return out;
+}
+
+/// Empty when equal; otherwise pinpoints the first divergence per sink
+/// (gtest's container printer truncates at 32 elements, which hides diffs
+/// deep in long match lists).
+std::string DiffSinks(
+    const std::map<std::string, std::vector<std::string>>& got,
+    const std::map<std::string, std::vector<std::string>>& want) {
+  std::string diff;
+  for (const auto& [name, want_seq] : want) {
+    auto it = got.find(name);
+    const std::vector<std::string> empty;
+    const std::vector<std::string>& got_seq =
+        it == got.end() ? empty : it->second;
+    size_t n = std::max(got_seq.size(), want_seq.size());
+    for (size_t i = 0; i < n; ++i) {
+      const char* g = i < got_seq.size() ? got_seq[i].c_str() : "<end>";
+      const char* w = i < want_seq.size() ? want_seq[i].c_str() : "<end>";
+      if (std::string(g) != w) {
+        diff += "sink " + name + " [" + std::to_string(i) + "/" +
+                std::to_string(want_seq.size()) + "]: got " + g + " want " +
+                w + "\n";
+        for (size_t j = i; j < std::min(i + 6, n); ++j) {
+          diff += "    [" + std::to_string(j) + "] got " +
+                  (j < got_seq.size() ? got_seq[j] : "<end>") + " want " +
+                  (j < want_seq.size() ? want_seq[j] : "<end>") + "\n";
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [name, got_seq] : got) {
+    if (!want.count(name)) {
+      diff += "unexpected sink " + name + " (" +
+              std::to_string(got_seq.size()) + " events)\n";
+    }
+  }
+  return diff;
+}
+
+TEST(ParallelStressTest, MatchesSingleThreadedAcrossThreadsBatchesDepths) {
+  uint64_t with_matches = 0;
+  for (uint64_t seed = 1; seed <= 18; ++seed) {
+    Scenario s = MakeScenario(seed * 1297);
+    auto single = Executor::Create(s.jqp);
+    ASSERT_TRUE(single.ok()) << single.status();
+    auto expected = single->Run(s.stream);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    auto expected_sinks = OrderedSinks(*expected);
+    with_matches += expected->TotalMatches();
+
+    const size_t batches[] = {1, 7, 64, s.stream.size() + 1};
+    const size_t depths[] = {1, 2, 4};
+    int config = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      size_t batch = batches[(seed + static_cast<uint64_t>(config)) % 4];
+      size_t depth = depths[(seed + static_cast<uint64_t>(config)) % 3];
+      ++config;
+      auto parallel =
+          ParallelExecutor::Create(s.jqp, threads, batch, depth);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      auto run = parallel->Run(s.stream);
+      ASSERT_TRUE(run.ok()) << run.status();
+      EXPECT_EQ(DiffSinks(OrderedSinks(*run), expected_sinks), "")
+          << "seed " << seed << " threads " << threads << " batch " << batch
+          << " pipe_depth " << depth;
+      EXPECT_EQ(run->sink_counts, expected->sink_counts)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(run->parallel.node_activations,
+                s.jqp.nodes.size() * run->parallel.batches);
+      // Repeat on the same executor: state must fully reset between runs.
+      auto rerun = parallel->Run(s.stream);
+      ASSERT_TRUE(rerun.ok());
+      EXPECT_EQ(DiffSinks(OrderedSinks(*rerun), expected_sinks), "")
+          << "rerun diverged, seed " << seed << " threads " << threads;
+    }
+  }
+  // The generator must exercise real emission, not just empty agreement.
+  EXPECT_GT(with_matches, 50u);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,65 @@
+// WorkerPool: persistent parked threads, epoch dispatch, caller overlap.
+#include "engine/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace motto {
+namespace {
+
+TEST(WorkerPoolTest, RunsJobOncePerWorkerPerEpoch) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::atomic<int> calls{0};
+  std::mutex mu;
+  std::set<int> ids;
+  auto job = [&](int id) {
+    calls.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(id);
+  };
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    calls.store(0);
+    pool.Run(job);
+    EXPECT_EQ(calls.load(), 4) << "epoch " << epoch;
+    EXPECT_EQ(pool.epochs(), static_cast<uint64_t>(epoch));
+  }
+  EXPECT_EQ(ids, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPoolTest, CallerOverlapsBetweenBeginAndWait) {
+  WorkerPool pool(2);
+  std::atomic<int> sum{0};
+  auto job = [&](int id) { sum.fetch_add(id + 1); };
+  pool.Begin(job);
+  job(pool.num_workers());  // Caller participates as the extra worker.
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 1 + 2 + 3);
+}
+
+TEST(WorkerPoolTest, ZeroWorkersIsInert) {
+  WorkerPool pool(0);
+  bool called = false;
+  pool.Run([&](int) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(pool.epochs(), 0u);
+}
+
+TEST(WorkerPoolTest, ManyEpochsReuseThreads) {
+  // A pool must survive rapid epoch cycling without respawning; 500 epochs
+  // with a trivial job finish quickly only if dispatch is park/wake, not
+  // thread creation.
+  WorkerPool pool(3);
+  std::atomic<uint64_t> total{0};
+  auto job = [&](int) { total.fetch_add(1); };
+  for (int i = 0; i < 500; ++i) pool.Run(job);
+  EXPECT_EQ(total.load(), 1500u);
+  EXPECT_EQ(pool.epochs(), 500u);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds and tests the three supported configurations so they cannot bit-rot
+# independently:
+#   build        Release, full ctest suite
+#   build-asan   AddressSanitizer, full ctest suite
+#   build-tsan   ThreadSanitizer, executor / parallel / worker-pool tests
+#                (the threaded code paths; the full suite under tsan's 5-15x
+#                slowdown adds runtime without adding thread coverage)
+#
+# Usage: tools/check_build.sh [--jobs N]
+# Exits non-zero on the first configuration that fails to build or test.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+if [[ "${1:-}" == "--jobs" ]]; then
+  JOBS="$2"
+fi
+
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress'
+
+run_config() {
+  local dir="$1" sanitize="$2" test_filter="$3"
+  echo "=== ${dir} (MOTTO_SANITIZE='${sanitize}') ==="
+  # Sanitized configs keep optimization (RelWithDebInfo) so the instrumented
+  # suites stay fast enough to run routinely; empty build type falls back to
+  # the top-level Release default.
+  cmake -B "${dir}" -S . -DMOTTO_SANITIZE="${sanitize}" \
+    -DCMAKE_BUILD_TYPE=${sanitize:+RelWithDebInfo} >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  if [[ -n "${test_filter}" ]]; then
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" -R "${test_filter}")
+  else
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  fi
+}
+
+run_config build "" ""
+run_config build-asan address ""
+run_config build-tsan thread "${TSAN_FILTER}"
+
+echo "All configurations passed."

@@ -57,19 +57,30 @@ def collect(build_dir, targets, min_time, filter_regex):
     return benchmarks, context or {}
 
 
-def compare(benchmarks, baseline_path):
+def compare(benchmarks, baseline_path, regress_threshold):
+    """Prints per-benchmark speedups vs the baseline file and returns the
+    benchmarks that regressed by more than `regress_threshold` (a fraction,
+    e.g. 0.10 = slower than 90% of the baseline)."""
     with open(baseline_path) as f:
         baseline = json.load(f)["benchmarks"]
     width = max((len(n) for n in benchmarks), default=0)
+    regressions = []
     for name, entry in sorted(benchmarks.items()):
         now = entry.get("items_per_second")
         old = baseline.get(name, {}).get("items_per_second")
         if now is None:
             continue
         if old:
-            print(f"{name:{width}s} {now / 1e6:9.2f}M items/s   x{now / old:.2f}")
+            ratio = now / old
+            flag = ""
+            if ratio < 1.0 - regress_threshold:
+                regressions.append((name, ratio))
+                flag = "   REGRESSION"
+            print(f"{name:{width}s} {now / 1e6:9.2f}M items/s   "
+                  f"x{ratio:.2f}{flag}")
         else:
             print(f"{name:{width}s} {now / 1e6:9.2f}M items/s   (new)")
+    return regressions
 
 
 def main():
@@ -83,7 +94,16 @@ def main():
         "--compare",
         metavar="BASELINE",
         help="print speedups vs a previously saved BENCH_engine.json "
-        "instead of overwriting it",
+        "instead of overwriting it; exits non-zero on regressions beyond "
+        "--regress-threshold",
+    )
+    parser.add_argument(
+        "--regress-threshold",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="with --compare, fail when a benchmark drops below "
+        "(1 - FRACTION) of its baseline items/second (default 0.10)",
     )
     args = parser.parse_args()
 
@@ -96,7 +116,17 @@ def main():
         return 1
 
     if args.compare:
-        compare(benchmarks, args.compare)
+        regressions = compare(benchmarks, args.compare,
+                              args.regress_threshold)
+        if regressions:
+            print(
+                f"error: {len(regressions)} benchmark(s) regressed more "
+                f"than {args.regress_threshold:.0%}:",
+                file=sys.stderr,
+            )
+            for name, ratio in regressions:
+                print(f"  {name}  x{ratio:.2f}", file=sys.stderr)
+            return 1
         return 0
 
     payload = {
