@@ -8,6 +8,7 @@
 #include "engine/parallel_executor.h"
 #include "engine/plan_util.h"
 #include "event/stream.h"
+#include "obs/metrics.h"
 
 namespace motto {
 namespace {
@@ -41,13 +42,15 @@ PatternSpec MakeSpec(PatternOp op, int num_operands, Duration window,
   return MakeRawPatternSpec(flat, window, registry);
 }
 
-void RunMatcherBench(benchmark::State& state, PatternOp op) {
+void RunMatcherBench(benchmark::State& state, PatternOp op,
+                     obs::MetricsRegistry* metrics = nullptr) {
   int num_operands = static_cast<int>(state.range(0));
   Duration window = Seconds(state.range(1));
   EventTypeRegistry registry;
   PatternSpec spec = MakeSpec(op, num_operands, window, &registry);
   EventStream stream = MakeStream(20000, num_operands + 2, 1.0, window, 7);
   PatternMatcher matcher(spec);
+  matcher.AttachProbe(metrics, "node.0");
   std::vector<Event> out;
   uint64_t matches = 0;
   for (auto _ : state) {
@@ -68,6 +71,14 @@ void RunMatcherBench(benchmark::State& state, PatternOp op) {
 void BM_SeqMatcher(benchmark::State& state) {
   RunMatcherBench(state, PatternOp::kSeq);
 }
+// Same loop with matcher probes attached to a live registry: quantifies the
+// *enabled* instrumentation cost. BM_SeqMatcher above (probes detached) is
+// the disabled-path guard — run_bench.py --compare holds it against the
+// committed BENCH_engine.json baseline, which predates the probes.
+void BM_SeqMatcherMetricsOn(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  RunMatcherBench(state, PatternOp::kSeq, &metrics);
+}
 void BM_ConjMatcher(benchmark::State& state) {
   RunMatcherBench(state, PatternOp::kConj);
 }
@@ -80,6 +91,7 @@ BENCHMARK(BM_SeqMatcher)
     ->Args({4, 10})
     ->Args({6, 10})
     ->Args({4, 30});
+BENCHMARK(BM_SeqMatcherMetricsOn)->Args({4, 10});
 BENCHMARK(BM_ConjMatcher)->Args({2, 10})->Args({4, 10})->Args({4, 30});
 BENCHMARK(BM_DisjMatcher)->Args({4, 10});
 

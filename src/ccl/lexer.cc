@@ -1,7 +1,8 @@
 #include "ccl/lexer.h"
 
 #include <cctype>
-#include <cstdlib>
+
+#include "common/parse.h"
 
 namespace motto::ccl {
 
@@ -76,10 +77,8 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       i = j;
     } else if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t j = i;
-      int64_t value = 0;
       while (j < text.size() &&
              std::isdigit(static_cast<unsigned char>(text[j]))) {
-        value = value * 10 + (text[j] - '0');
         ++j;
       }
       bool is_decimal = j + 1 < text.size() && text[j] == '.' &&
@@ -92,12 +91,22 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
         }
         tok.kind = TokenKind::kNumber;
         tok.text = std::string(text.substr(i, j - i));
-        tok.number_value = std::strtod(tok.text.c_str(), nullptr);
+        auto value = ParseDouble(tok.text);
+        if (!value.ok()) {
+          return InvalidArgumentError(value.status().message() +
+                                      " at offset " + std::to_string(i));
+        }
+        tok.number_value = *value;
       } else {
         tok.kind = TokenKind::kInt;
         tok.text = std::string(text.substr(i, j - i));
-        tok.int_value = value;
-        tok.number_value = static_cast<double>(value);
+        auto value = ParseInt64(tok.text);
+        if (!value.ok()) {
+          return InvalidArgumentError(value.status().message() +
+                                      " at offset " + std::to_string(i));
+        }
+        tok.int_value = *value;
+        tok.number_value = static_cast<double>(*value);
       }
       i = j;
     } else {

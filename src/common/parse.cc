@@ -1,0 +1,64 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace motto {
+
+namespace {
+
+std::string_view StripSpace(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+Status BadNumber(std::string_view what, std::string_view text) {
+  return InvalidArgumentError(std::string(what) + " '" + std::string(text) +
+                              "'");
+}
+
+}  // namespace
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string_view trimmed = StripSpace(text);
+  if (trimmed.empty()) return BadNumber("empty number", text);
+  // strtod needs a NUL terminator; string_views into larger buffers (CSV
+  // fields, lexer slices) do not have one.
+  std::string buffer(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) {
+    return BadNumber("malformed number", text);
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    return BadNumber("number out of range", text);
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string_view trimmed = StripSpace(text);
+  if (trimmed.empty()) return BadNumber("empty integer", text);
+  std::string buffer(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  int64_t value = std::strtoll(buffer.c_str(), &end, 10);
+  if (end != buffer.c_str() + buffer.size()) {
+    return BadNumber("malformed integer", text);
+  }
+  if (errno == ERANGE) return BadNumber("integer out of range", text);
+  return value;
+}
+
+}  // namespace motto

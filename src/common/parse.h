@@ -1,0 +1,26 @@
+#ifndef MOTTO_COMMON_PARSE_H_
+#define MOTTO_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace motto {
+
+/// Checked replacements for bare std::strtod / std::strtoll, which silently
+/// return 0 on garbage and HUGE_VAL/saturation on overflow when called with a
+/// null endptr and no errno check. Both helpers require the whole string
+/// (minus surrounding ASCII whitespace) to be consumed, reject empty input,
+/// and reject out-of-range values, so "12x3", "", "1e999999" and a 30-digit
+/// integer all surface as errors instead of wrong numbers.
+
+/// Parses a finite double (strtod grammar: decimal/exponent/hex forms).
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a base-10 signed 64-bit integer.
+Result<int64_t> ParseInt64(std::string_view text);
+
+}  // namespace motto
+
+#endif  // MOTTO_COMMON_PARSE_H_

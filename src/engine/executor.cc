@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <limits>
+#include <string>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace motto {
 
@@ -25,6 +28,51 @@ uint64_t RunResult::TotalMatches() const {
   uint64_t total = 0;
   for (const auto& [name, count] : sink_counts) total += count;
   return total;
+}
+
+void ExportRunMetrics(const RunResult& result,
+                      obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  for (size_t i = 0; i < result.node_stats.size(); ++i) {
+    const NodeStats& stats = result.node_stats[i];
+    std::string prefix = "node." + std::to_string(i);
+    registry->GetCounter(prefix + ".events_in")->Add(stats.events_in);
+    registry->GetCounter(prefix + ".events_out")->Add(stats.events_out);
+    registry->GetGauge(prefix + ".busy_seconds")->Set(stats.busy_seconds);
+    if (stats.arena_chunk_allocs + stats.arena_chunk_reuses +
+            stats.arena_live_high_water >
+        0) {
+      registry->GetCounter(prefix + ".arena_chunk_allocs")
+          ->Add(stats.arena_chunk_allocs);
+      registry->GetCounter(prefix + ".arena_chunk_reuses")
+          ->Add(stats.arena_chunk_reuses);
+      registry->GetGauge(prefix + ".arena_live_high_water")
+          ->Set(static_cast<double>(stats.arena_live_high_water));
+      registry->GetGauge(prefix + ".arena_slab_high_water")
+          ->Set(static_cast<double>(stats.arena_slab_high_water));
+    }
+  }
+  registry->GetCounter("run.raw_events")->Add(result.raw_events);
+  registry->GetCounter("run.matches")->Add(result.TotalMatches());
+  registry->GetGauge("run.elapsed_seconds")->Set(result.elapsed_seconds);
+  const ParallelRunStats& parallel = result.parallel;
+  if (parallel.threads > 0) {
+    registry->GetGauge("sched.threads")
+        ->Set(static_cast<double>(parallel.threads));
+    registry->GetCounter("sched.batches")->Add(parallel.batches);
+    registry->GetCounter("sched.node_activations")
+        ->Add(parallel.node_activations);
+    registry->GetCounter("sched.worker_parks")->Add(parallel.worker_parks);
+    registry->GetCounter("sched.handoffs")->Add(parallel.handoffs);
+    registry->GetCounter("sched.backpressure_stalls")
+        ->Add(parallel.backpressure_stalls);
+    registry->GetGauge("sched.max_ready_depth")
+        ->Set(static_cast<double>(parallel.max_ready_depth));
+    registry->GetGauge("sched.max_pipe_depth")
+        ->Set(static_cast<double>(parallel.max_pipe_depth));
+    registry->GetGauge("sched.pool_epochs")
+        ->Set(static_cast<double>(parallel.pool_epochs));
+  }
 }
 
 Executor::Executor(Jqp jqp) : jqp_(std::move(jqp)) {}
@@ -79,6 +127,22 @@ Result<RunResult> Executor::Run(const EventStream& stream,
   for (auto& runtime : runtimes_) runtime->Reset();
 
   size_t n = jqp_.nodes.size();
+  // (Re-)attach node probes every run: with a registry when metrics are on,
+  // with nullptr otherwise so no runtime holds instruments of a past run's
+  // registry.
+  for (size_t i = 0; i < n; ++i) {
+    runtimes_[i]->AttachProbe(options.metrics, "node." + std::to_string(i));
+  }
+  obs::TraceSink* trace = options.trace;
+  const int64_t stream_tid = static_cast<int64_t>(n);  // Watermark row.
+  if (trace != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      trace->NameThread(static_cast<int64_t>(i),
+                        jqp_.NodeLabel(static_cast<int32_t>(i)));
+    }
+    trace->NameThread(stream_tid, "stream");
+  }
+
   RunResult result;
   result.raw_events = stream.size();
   result.node_stats.assign(n, NodeStats{});
@@ -118,8 +182,15 @@ Result<RunResult> Executor::Run(const EventStream& stream,
       const JqpNode& node = jqp_.nodes[ui];
       std::vector<Event>& out = buffers_[ui];
       out.clear();
+      // When tracing, the span's begin/end double as the busy-time clock
+      // reads so the traced and untraced timing paths cost the same.
+      double span_start = 0.0;
       Clock::time_point node_start;
-      if (options.collect_node_timing) node_start = Clock::now();
+      if (trace != nullptr) {
+        span_start = trace->NowMicros();
+      } else if (options.collect_node_timing) {
+        node_start = Clock::now();
+      }
       runtime.OnWatermark(watermark, &out);
       if (raw != nullptr && raw_stamp_[ui] == seq) {
         runtime.OnEvent(kRawChannel, *raw, &out);
@@ -135,7 +206,12 @@ Result<RunResult> Executor::Run(const EventStream& stream,
         }
         result.node_stats[ui].events_in += upstream.size();
       }
-      if (options.collect_node_timing) {
+      if (trace != nullptr) {
+        double span_end = trace->NowMicros();
+        trace->Span("round", "node", static_cast<int64_t>(ui), span_start,
+                    span_end - span_start);
+        result.node_stats[ui].busy_seconds += (span_end - span_start) * 1e-6;
+      } else if (options.collect_node_timing) {
         result.node_stats[ui].busy_seconds += SecondsSince(node_start);
       }
       if (!out.empty()) {
@@ -169,6 +245,12 @@ Result<RunResult> Executor::Run(const EventStream& stream,
 
   for (const Event& raw : stream) {
     ++seq;
+    if (trace != nullptr && (seq & 511) == 1) {
+      // Sampled watermark ticks anchor stream time to wall time on the
+      // trace's "stream" row without drowning the view in instants.
+      trace->Instant("watermark", stream_tid, trace->NowMicros(),
+                     "{\"ts_us\":" + std::to_string(raw.begin()) + "}");
+    }
     if (static_cast<size_t>(raw.type()) < raw_interest_.size()) {
       for (int32_t idx : raw_interest_[static_cast<size_t>(raw.type())]) {
         raw_stamp_[static_cast<size_t>(idx)] = seq;
@@ -179,12 +261,16 @@ Result<RunResult> Executor::Run(const EventStream& stream,
   }
   // Final flush so window-expiry (NEG) emissions at the stream tail appear.
   ++seq;
+  if (trace != nullptr) {
+    trace->Instant("final_flush", stream_tid, trace->NowMicros());
+  }
   process_round(nullptr, kFinalWatermark, /*activate_all=*/true);
 
   result.elapsed_seconds = SecondsSince(run_start);
   for (size_t i = 0; i < n; ++i) {
     runtimes_[i]->CollectStats(&result.node_stats[i]);
   }
+  ExportRunMetrics(result, options.metrics);
   return result;
 }
 

@@ -13,6 +13,11 @@
 
 namespace motto {
 
+namespace obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace obs
+
 /// Scheduler counters from the pipelined multi-threaded executor; all zero
 /// for single-threaded runs. They expose how the pipeline behaved — how
 /// often workers ran dry (parks), how work migrated between workers
@@ -40,6 +45,10 @@ struct ParallelRunStats {
   /// a growing counter over a pool created once — no threads are spawned
   /// inside Run).
   uint64_t pool_epochs = 0;
+  /// Times a node was held back from the ready queue solely because its
+  /// output ring was full (only counted when metrics or tracing are on;
+  /// zero otherwise).
+  uint64_t backpressure_stalls = 0;
 };
 
 /// Outcome of replaying one stream through a JQP. (NodeStats lives in
@@ -75,7 +84,22 @@ struct ExecutorOptions {
   /// benches use this so result accumulation (identical across plans) does
   /// not dilute the measured differences.
   bool count_matches_only = false;
+  /// Run-scoped metrics registry (DESIGN.md §9); null disables metrics
+  /// entirely — the executors then skip every instrumentation site behind a
+  /// pointer test and node runtimes are detached from any prior registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Chrome trace-event sink; null disables tracing. When set, each node
+  /// gets its own timeline row (tid = node id) carrying one span per
+  /// activation, plus instant/counter events for watermarks, pool epochs,
+  /// ready-queue depth and backpressure stalls.
+  obs::TraceSink* trace = nullptr;
 };
+
+/// Dumps a finished run's NodeStats / ParallelRunStats into `registry`
+/// ("node.<i>.*", "run.*", "sched.*"); no-op when `registry` is null. The
+/// executors call this at the end of an instrumented run; harnesses can call
+/// it again on their own registries to archive a run.
+void ExportRunMetrics(const RunResult& result, obs::MetricsRegistry* registry);
 
 /// Single-threaded JQP executor. Replays a timestamp-ordered primitive
 /// stream through the plan's nodes in topological order, advancing the

@@ -140,6 +140,22 @@ Result<std::vector<int32_t>> Jqp::TopoOrder() const {
   return order;
 }
 
+std::string Jqp::NodeLabel(int32_t idx) const {
+  size_t ui = static_cast<size_t>(idx);
+  if (ui >= nodes.size()) return "node" + std::to_string(idx);
+  const JqpNode& node = nodes[ui];
+  if (!node.label.empty()) return node.label;
+  std::string kind;
+  if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+    kind = std::string(PatternOpName(pattern->op));
+  } else if (std::get_if<OrderFilterSpec>(&node.spec) != nullptr) {
+    kind = "order-filter";
+  } else {
+    kind = "span-filter";
+  }
+  return "node" + std::to_string(idx) + ":" + kind;
+}
+
 std::string Jqp::ToString(const EventTypeRegistry& registry) const {
   std::string out;
   for (size_t i = 0; i < nodes.size(); ++i) {

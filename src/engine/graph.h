@@ -111,6 +111,11 @@ struct Jqp {
   /// Topological order over nodes (inputs before consumers).
   Result<std::vector<int32_t>> TopoOrder() const;
 
+  /// Display name of node `idx`: its label, or "node<idx>" plus the
+  /// operator kind when the builder left the label empty. Used by trace
+  /// timeline rows and run reports.
+  std::string NodeLabel(int32_t idx) const;
+
   /// Human-readable plan dump.
   std::string ToString(const EventTypeRegistry& registry) const;
 };

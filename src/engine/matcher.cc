@@ -1,6 +1,7 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "common/check.h"
@@ -67,6 +68,25 @@ void PatternMatcher::CollectStats(NodeStats* stats) const {
       std::max(stats->arena_live_high_water, arena.live_high_water);
   stats->arena_slab_high_water =
       std::max(stats->arena_slab_high_water, arena.slab_high_water);
+}
+
+void PatternMatcher::AttachProbe(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) {
+  if (registry == nullptr) {
+    sweep_seconds_hist_ = nullptr;
+    live_partials_hist_ = nullptr;
+    negation_depth_hist_ = nullptr;
+    sweep_counter_ = nullptr;
+    return;
+  }
+  sweep_seconds_hist_ =
+      registry->GetHistogram(prefix + ".sweep_seconds",
+                             obs::LatencySecondsBounds());
+  live_partials_hist_ =
+      registry->GetHistogram(prefix + ".live_partials", obs::SizeBounds());
+  negation_depth_hist_ =
+      registry->GetHistogram(prefix + ".negation_depth", obs::SizeBounds());
+  sweep_counter_ = registry->GetCounter(prefix + ".sweeps");
 }
 
 size_t PatternMatcher::PartialCount() const {
@@ -164,7 +184,24 @@ void PatternMatcher::OnWatermark(Timestamp watermark, std::vector<Event>* out) {
     }
     pending_.resize(keep);
   }
-  if ((++sweep_tick_ & 63) == 0) SweepExpired();
+  if ((++sweep_tick_ & 63) == 0) {
+    if (sweep_seconds_hist_ != nullptr) {
+      // Probed sweep: also sample the state-size signals the optimizer's
+      // cost model should track (live partials, negation-buffer depth).
+      auto sweep_start = std::chrono::steady_clock::now();
+      SweepExpired();
+      sweep_seconds_hist_->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sweep_start)
+              .count());
+      live_partials_hist_->Record(static_cast<double>(PartialCount()));
+      negation_depth_hist_->Record(
+          static_cast<double>(negated_history_.size()));
+      sweep_counter_->Add();
+    } else {
+      SweepExpired();
+    }
+  }
 }
 
 void PatternMatcher::OnEvent(Channel channel, const Event& event,

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/nfa.h"
 #include "engine/partial_arena.h"
 #include "engine/runtime.h"
+#include "obs/metrics.h"
 
 namespace motto {
 
@@ -42,6 +44,13 @@ class PatternMatcher : public NodeRuntime {
                std::vector<Event>* out) override;
   void Reset() override;
   void CollectStats(NodeStats* stats) const override;
+  /// Registers the matcher's instruments (expiry-sweep duration histogram,
+  /// live-partial and negation-buffer depth histograms, sweep counter)
+  /// under `prefix`; nullptr detaches. Off by default: the hot path then
+  /// pays a single pointer test at sweep cadence (every 64 watermarks) and
+  /// nothing per event.
+  void AttachProbe(obs::MetricsRegistry* registry,
+                   const std::string& prefix) override;
 
   /// Live partial matches (diagnostics/tests).
   size_t PartialCount() const;
@@ -109,6 +118,13 @@ class PatternMatcher : public NodeRuntime {
   std::deque<Timestamp> negated_history_;           // Sorted negated-event ts.
   Timestamp watermark_ = 0;
   uint64_t sweep_tick_ = 0;
+
+  /// Optional per-run instruments (AttachProbe); all-null when metrics are
+  /// off. Sampled at sweep cadence so the per-event path stays untouched.
+  obs::Histogram* sweep_seconds_hist_ = nullptr;
+  obs::Histogram* live_partials_hist_ = nullptr;
+  obs::Histogram* negation_depth_hist_ = nullptr;
+  obs::Counter* sweep_counter_ = nullptr;
 
   // Per-call scratch, reused across OnEvent/Emit invocations.
   std::vector<Constituent> relabeled_scratch_;

@@ -5,10 +5,14 @@
 #include <condition_variable>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace motto {
 
@@ -89,6 +93,14 @@ struct ParallelExecutor::Pipeline {
   uint64_t activations = 0;
   uint64_t max_ready_depth = 0;
   uint64_t max_pipe_depth = 0;
+  uint64_t backpressure_stalls = 0;
+  /// Highest batch any worker has started; gates one batch-start trace
+  /// instant per batch (scheduler plane, guarded by mu).
+  int64_t max_started_batch = -1;
+  /// Per-worker metric shards (only allocated when the run's options carry
+  /// a registry); merged into the caller's registry at run end so workers
+  /// never contend on shared instruments.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> worker_shards;
 };
 
 ParallelExecutor::ParallelExecutor(Jqp jqp, int num_threads, size_t batch_size,
@@ -180,6 +192,22 @@ bool ParallelExecutor::NodeReady(const Pipeline& p, int32_t idx) const {
   return true;
 }
 
+bool ParallelExecutor::BackpressureOnly(const Pipeline& p, int32_t idx) const {
+  size_t ui = static_cast<size_t>(idx);
+  const Pipeline::NodeState& s = p.nodes[ui];
+  if (s.queued || s.next_batch >= p.num_batches) return false;
+  if (consumers_[ui].empty() ||
+      s.next_batch - s.released < static_cast<int64_t>(pipe_depth_)) {
+    return false;
+  }
+  for (int32_t input : jqp_.nodes[ui].inputs) {
+    if (p.nodes[static_cast<size_t>(input)].next_batch <= s.next_batch) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void ParallelExecutor::ProcessActivation(Pipeline& p,
                                          const EventStream& stream,
                                          const ExecutorOptions& options,
@@ -200,8 +228,16 @@ void ParallelExecutor::ProcessActivation(Pipeline& p,
   std::vector<std::pair<int64_t, size_t>>& out_rounds = s.out_rounds;
   out_rounds.clear();
   bool track_rounds = !consumers_[ui].empty();
+  // When tracing, the span's begin/end double as the busy-time clock reads
+  // so the traced and untraced timing paths cost the same.
+  obs::TraceSink* trace = options.trace;
+  double span_start = 0.0;
   Clock::time_point node_start;
-  if (options.collect_node_timing) node_start = Clock::now();
+  if (trace != nullptr) {
+    span_start = trace->NowMicros();
+  } else if (options.collect_node_timing) {
+    node_start = Clock::now();
+  }
 
   std::vector<BatchItem>& items = s.items;
   items.clear();
@@ -269,11 +305,29 @@ void ParallelExecutor::ProcessActivation(Pipeline& p,
     runtime.OnWatermark(kFinalWatermark, &out);
   }
   close_round();
-  if (options.collect_node_timing) {
+  if (trace != nullptr) {
+    double span_end = trace->NowMicros();
+    trace->Span("batch", "node", static_cast<int64_t>(ui), span_start,
+                span_end - span_start,
+                "{\"batch\":" + std::to_string(batch) +
+                    ",\"events_in\":" + std::to_string(items.size()) +
+                    ",\"events_out\":" + std::to_string(out.size()) + "}");
+    stats.busy_seconds += (span_end - span_start) * 1e-6;
+  } else if (options.collect_node_timing) {
     stats.busy_seconds +=
         std::chrono::duration<double>(Clock::now() - node_start).count();
   }
   stats.events_out += out.size();
+  if (!p.worker_shards.empty()) {
+    // Each worker records into its own shard (merged at run end), so no
+    // instrument is ever written from two threads.
+    obs::MetricsRegistry& shard =
+        *p.worker_shards[static_cast<size_t>(worker_id)];
+    shard.GetHistogram("sched.activation_events", obs::SizeBounds())
+        ->Record(static_cast<double>(items.size()));
+    shard.GetCounter("worker." + std::to_string(worker_id) + ".activations")
+        ->Add();
+  }
 
   // Sink accumulation: this node's activations run in batch order, one
   // worker at a time, so per-sink appends need no lock and the emission
@@ -312,6 +366,11 @@ void ParallelExecutor::ProcessActivation(Pipeline& p,
 void ParallelExecutor::WorkerLoop(Pipeline& p, const EventStream& stream,
                                   const ExecutorOptions& options,
                                   RunResult* result, int worker_id) {
+  obs::TraceSink* trace = options.trace;
+  // Stall attribution runs extra ready-checks per completion; only pay for
+  // it when someone is looking.
+  const bool observe = trace != nullptr || options.metrics != nullptr;
+  const int64_t sched_tid = static_cast<int64_t>(jqp_.nodes.size());
   std::unique_lock<std::mutex> lock(p.mu);
   while (true) {
     while (p.ready.empty() && p.remaining > 0) {
@@ -333,6 +392,11 @@ void ParallelExecutor::WorkerLoop(Pipeline& p, const EventStream& stream,
     if (s.last_worker >= 0 && s.last_worker != worker_id) ++p.handoffs;
     s.last_worker = worker_id;
     ++p.in_flight;
+    if (trace != nullptr && batch > p.max_started_batch) {
+      p.max_started_batch = batch;
+      trace->Instant("batch_start", sched_tid, trace->NowMicros(),
+                     "{\"batch\":" + std::to_string(batch) + "}");
+    }
     lock.unlock();
 
     ProcessActivation(p, stream, options, result, idx, batch, worker_id);
@@ -349,7 +413,16 @@ void ParallelExecutor::WorkerLoop(Pipeline& p, const EventStream& stream,
     }
     int wakeups = 0;
     auto try_enqueue = [&](int32_t candidate) {
-      if (!NodeReady(p, candidate)) return;
+      if (!NodeReady(p, candidate)) {
+        if (observe && BackpressureOnly(p, candidate)) {
+          ++p.backpressure_stalls;
+          if (trace != nullptr) {
+            trace->Instant("backpressure", static_cast<int64_t>(candidate),
+                           trace->NowMicros());
+          }
+        }
+        return;
+      }
       p.nodes[static_cast<size_t>(candidate)].queued = true;
       p.ready.push_back(candidate);
       p.max_ready_depth = std::max<uint64_t>(p.max_ready_depth,
@@ -374,6 +447,10 @@ void ParallelExecutor::WorkerLoop(Pipeline& p, const EventStream& stream,
       }
     }
     try_enqueue(idx);  // This node may immediately be ready for batch+1.
+    if (trace != nullptr) {
+      trace->CounterValue("ready_depth", trace->NowMicros(),
+                          static_cast<double>(p.ready.size()));
+    }
     // The current worker takes one item itself without parking; extra ready
     // nodes need sleeping workers — but only as many notifies as there are
     // actual waiters (each notify is a futex syscall on the hot path).
@@ -389,6 +466,24 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
   for (auto& runtime : runtimes_) runtime->Reset();
 
   size_t n = jqp_.nodes.size();
+  // (Re-)attach node probes every run: with a registry when metrics are on,
+  // with nullptr otherwise so no runtime holds instruments of a past run's
+  // registry. Probe writes happen under activation ownership (one worker
+  // per node at a time), so the shared registry's instruments are
+  // single-writer; the instrument map itself is only mutated here, before
+  // workers start.
+  for (size_t i = 0; i < n; ++i) {
+    runtimes_[i]->AttachProbe(options.metrics, "node." + std::to_string(i));
+  }
+  obs::TraceSink* trace = options.trace;
+  if (trace != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      trace->NameThread(static_cast<int64_t>(i),
+                        jqp_.NodeLabel(static_cast<int32_t>(i)));
+    }
+    trace->NameThread(static_cast<int64_t>(n), "scheduler");
+  }
+
   RunResult result;
   result.raw_events = stream.size();
   result.node_stats.assign(n, NodeStats{});
@@ -410,6 +505,15 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
   p.in_flight = 0;
   p.parks = p.handoffs = p.activations = 0;
   p.max_ready_depth = p.max_pipe_depth = 0;
+  p.backpressure_stalls = 0;
+  p.max_started_batch = -1;
+  p.worker_shards.clear();
+  if (options.metrics != nullptr) {
+    p.worker_shards.resize(static_cast<size_t>(num_threads_));
+    for (auto& shard : p.worker_shards) {
+      shard = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
   p.ready.clear();
   p.nodes.resize(n);
   for (Pipeline::NodeState& s : p.nodes) {
@@ -437,6 +541,11 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
   p.max_ready_depth = p.ready.size();
 
   Clock::time_point run_start = Clock::now();
+  if (trace != nullptr) {
+    trace->Instant("pool_epoch", static_cast<int64_t>(n), trace->NowMicros(),
+                   "{\"threads\":" + std::to_string(num_threads_) +
+                       ",\"batches\":" + std::to_string(p.num_batches) + "}");
+  }
   if (pool_ != nullptr && p.remaining > 0) {
     auto job = [&](int worker_id) {
       WorkerLoop(p, stream, options, &result, worker_id);
@@ -468,6 +577,13 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
   result.parallel.max_ready_depth = p.max_ready_depth;
   result.parallel.max_pipe_depth = p.max_pipe_depth;
   result.parallel.pool_epochs = pool_ != nullptr ? pool_->epochs() : 0;
+  result.parallel.backpressure_stalls = p.backpressure_stalls;
+  if (options.metrics != nullptr) {
+    for (const auto& shard : p.worker_shards) {
+      options.metrics->MergeFrom(*shard);
+    }
+  }
+  ExportRunMetrics(result, options.metrics);
   return result;
 }
 

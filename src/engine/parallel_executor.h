@@ -67,6 +67,12 @@ class ParallelExecutor {
   /// its output ring has a free slot. Caller holds the scheduler lock.
   bool NodeReady(const Pipeline& p, int32_t idx) const;
 
+  /// True when `idx` is held back from the ready queue *solely* by a full
+  /// output ring (its inputs are available and batches remain). Only called
+  /// on instrumented runs to attribute stalls; caller holds the scheduler
+  /// lock.
+  bool BackpressureOnly(const Pipeline& p, int32_t idx) const;
+
   /// Runs node `idx` over `batch` (merge inputs, drive the runtime, append
   /// sink output, publish to the output ring). Lock-free data plane: only
   /// one worker owns a node's activation at a time.

@@ -2,6 +2,7 @@
 #define MOTTO_ENGINE_RUNTIME_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
@@ -9,6 +10,10 @@
 #include "event/event.h"
 
 namespace motto {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Per-node counters collected by a run. Arena fields are filled by pattern
 /// matchers (zero for stateless filters): they expose the hot-path memory
@@ -58,6 +63,19 @@ class NodeRuntime {
   /// Adds this node's memory/allocation counters to `stats`; the executors
   /// call it once at the end of a run. Default: nothing to report.
   virtual void CollectStats(NodeStats* stats) const { (void)stats; }
+
+  /// Hands the node its per-run metric instruments, named under `prefix`
+  /// (e.g. "node.3"). The executors call this at the start of every run —
+  /// with the run's registry when metrics are requested, with nullptr
+  /// otherwise, so a runtime never keeps instruments of a dead registry.
+  /// Stateless nodes ignore it; stateful ones (the matcher) hoist raw
+  /// instrument pointers and pay one null test per instrumented site when
+  /// metrics are off.
+  virtual void AttachProbe(obs::MetricsRegistry* registry,
+                           const std::string& prefix) {
+    (void)registry;
+    (void)prefix;
+  }
 };
 
 /// Instantiates the runtime for `spec`.

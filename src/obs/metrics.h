@@ -1,0 +1,109 @@
+#ifndef MOTTO_OBS_METRICS_H_
+#define MOTTO_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace motto::obs {
+
+/// Lightweight run-scoped metrics (DESIGN.md §9). Everything here is a plain
+/// struct mutated through a raw pointer: no atomics, no locks, no
+/// allocation after instrument creation. That is safe because the engine's
+/// threading discipline already guarantees single-writer access — the
+/// single-threaded executor owns everything, and in the parallel executor
+/// each node's instruments are only touched by the one worker that owns the
+/// node's current activation, while cross-worker instruments live in
+/// per-worker shard registries merged at run end (MergeFrom).
+///
+/// Disabled means a null MetricsRegistry* in ExecutorOptions: the hot path
+/// pays one pointer test per instrumentation site and nothing else.
+
+/// Monotonic event count.
+struct Counter {
+  uint64_t value = 0;
+  void Add(uint64_t n = 1) { value += n; }
+};
+
+/// Last-written level plus its high-water mark.
+struct Gauge {
+  double value = 0.0;
+  double max = 0.0;
+  bool seen = false;
+  void Set(double v) {
+    value = v;
+    max = seen ? (v > max ? v : max) : v;
+    seen = true;
+  }
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are fixed at creation so
+/// Record never allocates and shards with identical bounds merge bucketwise.
+struct Histogram {
+  std::vector<double> bounds;   ///< Ascending upper bounds.
+  std::vector<uint64_t> counts; ///< bounds.size() + 1 entries (overflow last).
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void Record(double v);
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+
+  /// `count` geometric buckets: first, first*factor, ... Suits latencies
+  /// (seconds) and sizes (counts) alike.
+  static std::vector<double> ExponentialBounds(double first, double factor,
+                                               int count);
+};
+
+/// Name -> instrument map with stable instrument addresses (std::map nodes
+/// never move), so callers hoist the pointer once and write through it on
+/// the hot path. Get* returns the existing instrument when the name is
+/// already registered; histogram bounds must then match.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Sums/merges every instrument of `shard` into this registry, creating
+  /// missing ones. Gauges keep the max of the high-water marks and the
+  /// shard's last value (shards race on "last" by construction; the
+  /// high-water mark is the meaningful aggregate).
+  void MergeFrom(const MetricsRegistry& shard);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Canonical bucket layouts shared by the engine's instruments, so shard
+/// merges never face mismatched bounds.
+std::vector<double> LatencySecondsBounds();  ///< 1us .. ~8s, x2 steps.
+std::vector<double> SizeBounds();            ///< 1 .. ~1M, x4 steps.
+
+}  // namespace motto::obs
+
+#endif  // MOTTO_OBS_METRICS_H_

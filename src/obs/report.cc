@@ -1,0 +1,207 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <variant>
+
+#include "common/time.h"
+#include "cost/cost_model.h"
+
+namespace motto::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+/// Cost-model estimate of every node in an arbitrary JQP, walked in
+/// topological order so upstream output rates feed downstream operand
+/// rates — the same arithmetic the planner uses for candidate plans, but
+/// applied to the plan that actually ran.
+void PredictNodeCosts(const Jqp& jqp, const StreamStats& stats,
+                      RunReport* report) {
+  auto topo = jqp.TopoOrder();
+  if (!topo.ok()) {
+    report->warnings.push_back("cost prediction skipped: " +
+                               topo.status().ToString());
+    return;
+  }
+  CostModel model(stats);
+  std::vector<double> output_rate(jqp.nodes.size(), 0.0);
+  for (int32_t idx : *topo) {
+    size_t ui = static_cast<size_t>(idx);
+    const JqpNode& node = jqp.nodes[ui];
+    NodeReport& entry = report->nodes[ui];
+    if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      std::vector<double> rates;
+      for (const OperandBinding& binding : pattern->operands) {
+        double rate = 0.0;
+        if (binding.channel == kRawChannel) {
+          for (EventTypeId type : binding.types) rate += model.RateOf(type);
+        } else {
+          size_t input = static_cast<size_t>(
+              node.inputs[static_cast<size_t>(binding.channel) - 1]);
+          rate = output_rate[input];
+        }
+        if (!binding.predicate.empty() && !binding.types.empty()) {
+          rate *= model.PredicateSelectivity(binding.types.front(),
+                                             binding.predicate);
+        }
+        rates.push_back(rate);
+      }
+      OperatorEstimate estimate = model.EstimateOperator(
+          pattern->op, rates, pattern->negated, pattern->window);
+      entry.predicted_cpu_units = estimate.cpu_per_second;
+      entry.predicted_output_rate = estimate.output_rate;
+      output_rate[ui] = estimate.output_rate;
+    } else if (const auto* order = std::get_if<OrderFilterSpec>(&node.spec)) {
+      double input = output_rate[static_cast<size_t>(node.inputs.at(0))];
+      double selectivity =
+          CostModel::OrderFilterSelectivity(order->required_order.size());
+      OperatorEstimate estimate = model.EstimateFilter(input, selectivity);
+      entry.predicted_cpu_units = estimate.cpu_per_second;
+      entry.predicted_output_rate = estimate.output_rate;
+      output_rate[ui] = estimate.output_rate;
+    } else if (std::get_if<SpanFilterSpec>(&node.spec) != nullptr) {
+      // Span pass fraction depends on the producer's span distribution,
+      // which the model does not track; 1.0 is the documented upper bound.
+      double input = output_rate[static_cast<size_t>(node.inputs.at(0))];
+      OperatorEstimate estimate = model.EstimateFilter(input, 1.0);
+      entry.predicted_cpu_units = estimate.cpu_per_second;
+      entry.predicted_output_rate = estimate.output_rate;
+      output_rate[ui] = estimate.output_rate;
+    }
+  }
+}
+
+}  // namespace
+
+RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
+                         const RunResult& run) {
+  RunReport report;
+  report.elapsed_seconds = run.elapsed_seconds;
+  report.raw_events = run.raw_events;
+  report.total_matches = run.TotalMatches();
+  report.nodes.resize(jqp.nodes.size());
+  double stream_seconds =
+      static_cast<double>(stats.duration) / kMicrosPerSecond;
+  for (size_t i = 0; i < jqp.nodes.size(); ++i) {
+    NodeReport& entry = report.nodes[i];
+    entry.node = static_cast<int32_t>(i);
+    entry.label = jqp.nodes[i].label.empty()
+                      ? "node" + std::to_string(i)
+                      : jqp.nodes[i].label;
+    if (i < run.node_stats.size()) {
+      const NodeStats& node_stats = run.node_stats[i];
+      entry.measured_busy_seconds = node_stats.busy_seconds;
+      entry.events_in = node_stats.events_in;
+      entry.events_out = node_stats.events_out;
+      entry.measured_output_rate =
+          stream_seconds > 0
+              ? static_cast<double>(node_stats.events_out) / stream_seconds
+              : 0.0;
+      report.total_busy_seconds += node_stats.busy_seconds;
+    }
+  }
+  PredictNodeCosts(jqp, stats, &report);
+  double predicted_total = 0.0;
+  for (const NodeReport& entry : report.nodes) {
+    predicted_total += entry.predicted_cpu_units;
+  }
+  for (NodeReport& entry : report.nodes) {
+    entry.predicted_share = predicted_total > 0
+                                ? entry.predicted_cpu_units / predicted_total
+                                : 0.0;
+    entry.measured_share =
+        report.total_busy_seconds > 0
+            ? entry.measured_busy_seconds / report.total_busy_seconds
+            : 0.0;
+  }
+  if (report.total_busy_seconds == 0.0 && !report.nodes.empty()) {
+    report.warnings.push_back(
+        "no per-node timing in this run; measured shares are zero (run with "
+        "collect_node_timing)");
+  }
+  return report;
+}
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"elapsed_seconds\":" + Num(elapsed_seconds) +
+                    ",\"total_busy_seconds\":" + Num(total_busy_seconds) +
+                    ",\"raw_events\":" + std::to_string(raw_events) +
+                    ",\"total_matches\":" + std::to_string(total_matches) +
+                    ",\"warnings\":[";
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\"" + JsonEscape(warnings[i]) + "\"";
+  }
+  out += "],\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeReport& n = nodes[i];
+    if (i > 0) out += ',';
+    out += "{\"node\":" + std::to_string(n.node) + ",\"label\":\"" +
+           JsonEscape(n.label) +
+           "\",\"predicted_cpu_units\":" + Num(n.predicted_cpu_units) +
+           ",\"predicted_share\":" + Num(n.predicted_share) +
+           ",\"measured_busy_seconds\":" + Num(n.measured_busy_seconds) +
+           ",\"measured_share\":" + Num(n.measured_share) +
+           ",\"predicted_output_rate\":" + Num(n.predicted_output_rate) +
+           ",\"measured_output_rate\":" + Num(n.measured_output_rate) +
+           ",\"events_in\":" + std::to_string(n.events_in) +
+           ",\"events_out\":" + std::to_string(n.events_out) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string RunReport::ToTable() const {
+  std::string out =
+      " node | pred%  | meas%  | busy s   | in       | out      | label\n";
+  char line[256];
+  for (const NodeReport& n : nodes) {
+    std::snprintf(line, sizeof(line),
+                  " %4d | %5.1f%% | %5.1f%% | %8.4f | %8llu | %8llu | %s\n",
+                  n.node, n.predicted_share * 100.0, n.measured_share * 100.0,
+                  n.measured_busy_seconds,
+                  static_cast<unsigned long long>(n.events_in),
+                  static_cast<unsigned long long>(n.events_out),
+                  n.label.c_str());
+    out += line;
+  }
+  for (const std::string& warning : warnings) {
+    out += " warning: " + warning + "\n";
+  }
+  return out;
+}
+
+}  // namespace motto::obs

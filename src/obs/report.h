@@ -1,0 +1,64 @@
+#ifndef MOTTO_OBS_REPORT_H_
+#define MOTTO_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/graph.h"
+#include "event/stream.h"
+
+namespace motto::obs {
+
+/// Per-node comparison of what the cost model predicted against what a
+/// measured run observed. `predicted_share` vs `measured_share` is the
+/// actionable pair: the model's units are abstract, so only relative
+/// magnitudes are comparable, and a node whose measured share is far from
+/// its predicted share is a cost-model mis-estimate the planner acted on.
+struct NodeReport {
+  int32_t node = -1;
+  std::string label;
+  /// Cost-model CPU estimate, abstract units per second of stream time.
+  double predicted_cpu_units = 0.0;
+  /// predicted_cpu_units / sum over all nodes.
+  double predicted_share = 0.0;
+  /// Wall time measured inside the node (ExecutorOptions::collect_node_timing).
+  double measured_busy_seconds = 0.0;
+  /// measured_busy_seconds / sum over all nodes.
+  double measured_share = 0.0;
+  /// Cost-model emission-rate estimate, events per second of stream time.
+  double predicted_output_rate = 0.0;
+  /// events_out / stream duration.
+  double measured_output_rate = 0.0;
+  uint64_t events_in = 0;
+  uint64_t events_out = 0;
+};
+
+/// Structured outcome of one measured run: per-node predicted-vs-measured
+/// CPU plus run-level totals and any warnings raised while measuring (e.g.
+/// a zero-throughput baseline). Attached to harness ModeRuns and printed by
+/// `motto run --stats[=json]`.
+struct RunReport {
+  std::vector<NodeReport> nodes;
+  double elapsed_seconds = 0.0;
+  double total_busy_seconds = 0.0;
+  uint64_t raw_events = 0;
+  uint64_t total_matches = 0;
+  std::vector<std::string> warnings;
+
+  std::string ToJson() const;
+  /// Fixed-width table for terminal output.
+  std::string ToTable() const;
+};
+
+/// Builds the report for one (plan, stream, run) triple. `stats` must
+/// describe the stream the run replayed (it anchors the cost model);
+/// `run` should come from a collect_node_timing execution or the measured
+/// shares will be flagged as missing.
+RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
+                         const RunResult& run);
+
+}  // namespace motto::obs
+
+#endif  // MOTTO_OBS_REPORT_H_

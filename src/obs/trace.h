@@ -1,0 +1,87 @@
+#ifndef MOTTO_OBS_TRACE_H_
+#define MOTTO_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace motto::obs {
+
+/// Collects Chrome trace-event JSON (the `chrome://tracing` / Perfetto /
+/// https://ui.perfetto.dev "JSON Array Format"): complete events ("X") for
+/// spans, instant events ("i"), counter tracks ("C") and thread-name
+/// metadata ("M"). The executors map each JQP node to its own tid, so every
+/// node gets one timeline row and spans on a row never overlap.
+///
+/// Recording is thread-safe (one mutex around an append); timestamps come
+/// from the sink's own steady clock so spans recorded by different workers
+/// share a timebase. Callers capture `NowMicros()` around the work and hand
+/// both values in, keeping the lock outside the measured region.
+///
+/// The event buffer is capped (default ~1M events); past the cap events are
+/// counted but dropped, and the count is surfaced in the emitted JSON's
+/// `otherData.dropped_events` so truncation is never silent.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t max_events = 1u << 20);
+
+  /// Microseconds since sink construction.
+  double NowMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+        .count();
+  }
+
+  /// Complete event: a [ts, ts+dur] span on row `tid`. `args_json` is either
+  /// empty or a JSON object literal ("{\"k\":1}") appended verbatim.
+  void Span(std::string_view name, std::string_view category, int64_t tid,
+            double ts_micros, double dur_micros, std::string args_json = "");
+
+  /// Instant event (scope "t": thread-local tick mark).
+  void Instant(std::string_view name, int64_t tid, double ts_micros,
+               std::string args_json = "");
+
+  /// Counter sample; renders as a stacked track named `name`.
+  void CounterValue(std::string_view name, double ts_micros, double value);
+
+  /// Names the timeline row `tid` (thread_name metadata event).
+  void NameThread(int64_t tid, std::string_view name);
+
+  size_t event_count() const;
+  uint64_t dropped_events() const;
+
+  /// Renders the whole trace: {"traceEvents":[...],"otherData":{...}}.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct TraceEvent {
+    std::string name;
+    std::string category;
+    char phase;  // 'X', 'i', 'C', 'M'
+    int64_t tid = 0;
+    double ts = 0.0;
+    double dur = 0.0;
+    std::string args_json;
+  };
+
+  void Append(TraceEvent event);
+
+  Clock::time_point epoch_;
+  size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace motto::obs
+
+#endif  // MOTTO_OBS_TRACE_H_

@@ -96,8 +96,16 @@ Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
   double na_throughput = runs[0].throughput_eps;
   std::map<std::string, MatchSet> na_fingerprints;
   for (size_t m = 0; m < modes.size(); ++m) {
+    // A zero NA baseline (empty stream or sub-clock-resolution replay)
+    // cannot anchor normalization; report 1.0 but flag it so nobody plots
+    // the forced value as a real speedup.
     runs[m].normalized =
         na_throughput > 0 ? runs[m].throughput_eps / na_throughput : 1.0;
+    if (na_throughput <= 0) {
+      runs[m].report.warnings.push_back(
+          "NA baseline throughput is zero; normalized throughput forced to "
+          "1.0 and not meaningful");
+    }
     if (m > 0 && runs[m].total_matches != na_matches) {
       return InternalError(
           std::string(OptimizerModeName(modes[m])) + " produced " +
@@ -118,6 +126,24 @@ Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
           }
         }
       }
+    }
+  }
+
+  // Phase 4: optional per-mode reports. Reports need per-node timing, which
+  // the throughput rounds deliberately avoid, so this is an extra replay.
+  if (options.collect_reports) {
+    ExecutorOptions report_options;
+    report_options.collect_node_timing = true;
+    report_options.count_matches_only = true;
+    for (size_t m = 0; m < modes.size(); ++m) {
+      MOTTO_ASSIGN_OR_RETURN(RunResult run,
+                             executors[m].Run(stream, report_options));
+      obs::RunReport report =
+          obs::BuildRunReport(executors[m].jqp(), stats, run);
+      report.warnings.insert(report.warnings.begin(),
+                             runs[m].report.warnings.begin(),
+                             runs[m].report.warnings.end());
+      runs[m].report = std::move(report);
     }
   }
   return runs;

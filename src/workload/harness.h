@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "engine/executor.h"
 #include "motto/optimizer.h"
+#include "obs/report.h"
 
 namespace motto {
 
@@ -22,6 +23,11 @@ struct ModeRun {
   double default_cost = 0.0;
   bool exact = false;
   size_t jqp_nodes = 0;
+  /// Per-node predicted-vs-measured report (DESIGN.md §9). Nodes are only
+  /// filled when ComparisonOptions::collect_reports is set (it needs an
+  /// extra timed replay per mode); warnings raised while measuring — e.g. a
+  /// zero-throughput NA baseline — are appended regardless.
+  obs::RunReport report;
 };
 
 struct ComparisonOptions {
@@ -37,6 +43,10 @@ struct ComparisonOptions {
   bool warmup = false;
   /// Measured replays per mode; the best throughput is reported.
   int measure_runs = 1;
+  /// Attach a full RunReport (predicted-vs-measured per node) to every
+  /// ModeRun. Costs one extra timed replay per mode, so keep it off on
+  /// pure-throughput comparisons.
+  bool collect_reports = false;
 };
 
 /// Optimizes and replays `queries` over `stream` once per mode, reporting

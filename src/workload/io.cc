@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ccl/parser.h"
+#include "common/parse.h"
 
 namespace motto {
 
@@ -142,15 +143,29 @@ Result<EventStream> ParseStreamCsv(const std::string& text,
     }
     std::getline(fields, value_str, ',');
     std::getline(fields, aux_str, ',');
-    char* end = nullptr;
-    Timestamp ts = std::strtoll(ts_str.c_str(), &end, 10);
-    if (end == ts_str.c_str()) {
+    // Checked parses: a malformed or out-of-range field is a data error the
+    // caller must see, not a silent 0.0 / saturated value in the stream.
+    auto field_error = [&](const char* field, const Status& status) {
       return InvalidArgumentError("stream csv line " +
-                                  std::to_string(line_no) + ": bad timestamp");
+                                  std::to_string(line_no) + ": bad " + field +
+                                  ": " + status.message());
+    };
+    auto ts_parsed = ParseInt64(ts_str);
+    if (!ts_parsed.ok()) {
+      return field_error("timestamp", ts_parsed.status());
     }
+    Timestamp ts = *ts_parsed;
     Payload payload;
-    if (!value_str.empty()) payload.value = std::strtod(value_str.c_str(), nullptr);
-    if (!aux_str.empty()) payload.aux = std::strtoll(aux_str.c_str(), nullptr, 10);
+    if (!value_str.empty()) {
+      auto value = ParseDouble(value_str);
+      if (!value.ok()) return field_error("value", value.status());
+      payload.value = *value;
+    }
+    if (!aux_str.empty()) {
+      auto aux = ParseInt64(aux_str);
+      if (!aux.ok()) return field_error("aux", aux.status());
+      payload.aux = *aux;
+    }
     stream.push_back(Event::Primitive(
         registry->RegisterPrimitive(Strip(type_name)), ts, payload));
   }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the motto CLI: generates a stream and workload, then
+# exercises explain/run/compare including the observability flags
+# (--stats[=json], --trace, --metrics-out), validating exit codes and that
+# the emitted trace/metrics/report JSON is well-formed.
+set -u
+
+MOTTO="${1:?usage: cli_smoke_test.sh <path-to-motto-binary>}"
+MOTTO="$(cd "$(dirname "${MOTTO}")" && pwd)/$(basename "${MOTTO}")"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+cd "${workdir}"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Bad invocations must fail with the documented usage exit code.
+"${MOTTO}" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "no-arg invocation should exit 2"
+"${MOTTO}" frobnicate >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown command should exit 2"
+"${MOTTO}" run --workload=missing.ccl --stream=missing.csv >/dev/null 2>&1 \
+  && fail "missing inputs should fail"
+
+"${MOTTO}" gen-stream --events=5000 --seed=3 --out=s.csv >/dev/null \
+  || fail "gen-stream"
+"${MOTTO}" gen-workload --queries=8 --seed=5 --out=w.ccl >/dev/null \
+  || fail "gen-workload"
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv > explain.out \
+  || fail "explain"
+grep -q "sharing graph" explain.out || fail "explain output missing plan"
+
+# Single-threaded run with the full observability surface.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --stats \
+  --trace=trace.json --metrics-out=metrics.json > run.out || fail "run"
+grep -q "events/s" run.out || fail "run banner missing"
+grep -q "pred%" run.out || fail "--stats table missing"
+
+python3 - <<'EOF' || fail "trace/metrics JSON invalid"
+import json
+t = json.load(open("trace.json"))
+events = t["traceEvents"]
+assert isinstance(events, list) and events, "no trace events"
+for e in events:
+    assert {"name", "ph", "pid", "tid", "ts"} <= set(e), e
+phases = {e["ph"] for e in events}
+assert "X" in phases, phases   # node spans
+assert "M" in phases, phases   # thread names
+assert t["otherData"]["dropped_events"] == 0
+m = json.load(open("metrics.json"))
+assert m["counters"]["run.raw_events"] == 5000, m["counters"]
+assert any(k.startswith("node.") for k in m["counters"]), m["counters"]
+assert m["histograms"], "matcher probe histograms missing"
+EOF
+
+# --stats=json must report predicted vs measured CPU for every plan node.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --stats=json > stats.out \
+  || fail "run --stats=json"
+python3 - <<'EOF' || fail "--stats=json report invalid"
+import json, re
+lines = open("stats.out").read().splitlines()
+n = int(re.search(r"plan (\d+) nodes", lines[0]).group(1))
+rep = json.loads(next(l for l in lines if l.startswith("{")))
+assert len(rep["nodes"]) == n, (len(rep["nodes"]), n)
+for node in rep["nodes"]:
+    for key in ("predicted_cpu_units", "predicted_share",
+                "measured_busy_seconds", "measured_share", "label"):
+        assert key in node, (key, node)
+EOF
+
+# Multi-threaded run produces a trace too (scheduler instants + batch spans).
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --threads=2 \
+  --trace=ptrace.json > /dev/null || fail "run --threads=2"
+python3 - <<'EOF' || fail "parallel trace invalid"
+import json
+t = json.load(open("ptrace.json"))
+names = {e["name"] for e in t["traceEvents"]}
+assert "pool_epoch" in names, names
+assert "batch" in names, names
+EOF
+
+"${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --reports \
+  > compare.out || fail "compare --reports"
+grep -q "x NA" compare.out || fail "compare table missing"
+grep -q -- "-- MOTTO report --" compare.out || fail "mode report missing"
+
+echo "PASS"

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/interner.h"
+#include "common/parse.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -127,6 +131,42 @@ TEST(RngTest, ShuffleIsPermutation) {
   rng.Shuffle(v);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, original);
+}
+
+TEST(ParseTest, ParseDoubleAcceptsPlainNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  42.25  "), 42.25);  // Trimmed.
+}
+
+TEST(ParseTest, ParseDoubleRejectsMalformedInput) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("   ").ok());
+  EXPECT_FALSE(ParseDouble("12x3").ok());   // Trailing junk, the strtod trap.
+  EXPECT_FALSE(ParseDouble("1.5 2").ok());  // Embedded space.
+  EXPECT_FALSE(ParseDouble("nanabc").ok());
+  auto bad = ParseDouble("abc");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("abc"), std::string::npos);
+}
+
+TEST(ParseTest, ParseDoubleRejectsOverflowAndNonFinite) {
+  EXPECT_FALSE(ParseDouble("1e999999").ok());
+  EXPECT_FALSE(ParseDouble("inf").ok());
+  EXPECT_FALSE(ParseDouble("nan").ok());
+}
+
+TEST(ParseTest, ParseInt64AcceptsAndRejects) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-77"), -77);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());  // Not an integer.
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());   // Overflow.
+  EXPECT_FALSE(ParseInt64("123456789012345678901234567890").ok());
 }
 
 TEST(RngTest, ExponentialHasRoughlyRequestedMean) {

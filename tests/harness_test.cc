@@ -81,6 +81,52 @@ TEST(HarnessTest, NaAlwaysPrependedForNormalization) {
   EXPECT_EQ((*runs)[0].mode, OptimizerMode::kNa);
 }
 
+TEST(HarnessTest, ZeroThroughputBaselineIsFlaggedNotDividedBy) {
+  // An empty stream replays in ~0 wall time, so the NA baseline throughput
+  // is zero. Normalization must not divide by it: every mode reports a
+  // forced 1.0 plus an explicit RunReport warning.
+  EventTypeRegistry registry;
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 4;
+  auto workload = GenerateWorkload(workload_options, &registry);
+  ASSERT_TRUE(workload.ok());
+  ComparisonOptions options;
+  auto runs = CompareModes(workload->queries, EventStream{}, &registry,
+                           options);
+  ASSERT_TRUE(runs.ok()) << runs.status();
+  for (const ModeRun& run : *runs) {
+    EXPECT_DOUBLE_EQ(run.normalized, 1.0) << OptimizerModeName(run.mode);
+    EXPECT_EQ(run.total_matches, 0u);
+    ASSERT_FALSE(run.report.warnings.empty()) << OptimizerModeName(run.mode);
+    EXPECT_NE(run.report.warnings[0].find("zero"), std::string::npos);
+  }
+}
+
+TEST(HarnessTest, CollectReportsAttachesPerNodeBreakdown) {
+  EventTypeRegistry registry;
+  StreamOptions stream_options;
+  stream_options.num_events = 4000;
+  EventStream stream = GenerateStream(stream_options, &registry);
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 6;
+  auto workload = GenerateWorkload(workload_options, &registry);
+  ASSERT_TRUE(workload.ok());
+  ComparisonOptions options;
+  options.collect_reports = true;
+  auto runs = CompareModes(workload->queries, stream, &registry, options);
+  ASSERT_TRUE(runs.ok()) << runs.status();
+  for (const ModeRun& run : *runs) {
+    ASSERT_EQ(run.report.nodes.size(), run.jqp_nodes)
+        << OptimizerModeName(run.mode);
+    double predicted = 0.0;
+    for (const obs::NodeReport& node : run.report.nodes) {
+      predicted += node.predicted_share;
+    }
+    EXPECT_NEAR(predicted, 1.0, 1e-9) << OptimizerModeName(run.mode);
+    EXPECT_GT(run.report.elapsed_seconds, 0.0);
+  }
+}
+
 TEST(HarnessTest, CoreScalingModelIsMonotoneAndBounded) {
   EventTypeRegistry registry;
   StreamOptions stream_options;

@@ -92,6 +92,32 @@ TEST(StreamIoTest, RejectsMalformedCsv) {
   EXPECT_FALSE(ParseStreamCsv("a,200\nb,100\n", &registry).ok());
 }
 
+TEST(StreamIoTest, RejectsMalformedNumbersWithContext) {
+  EventTypeRegistry registry;
+  // Trailing junk after a valid prefix: the classic unchecked-strtod trap
+  // ("12x3" silently parsed as 12 before ParseDouble/ParseInt64).
+  auto bad_ts = ParseStreamCsv("a,12x3\n", &registry);
+  ASSERT_FALSE(bad_ts.ok());
+  EXPECT_NE(bad_ts.status().message().find("line 1"), std::string::npos)
+      << bad_ts.status();
+  EXPECT_NE(bad_ts.status().message().find("12x3"), std::string::npos)
+      << bad_ts.status();
+  auto bad_value = ParseStreamCsv("a,100,1.5oops\n", &registry);
+  ASSERT_FALSE(bad_value.ok());
+  EXPECT_NE(bad_value.status().message().find("value"), std::string::npos)
+      << bad_value.status();
+  EXPECT_FALSE(ParseStreamCsv("a,100,1e999999\n", &registry).ok());
+  auto bad_aux = ParseStreamCsv("a,100,1.5,7seven\n", &registry);
+  ASSERT_FALSE(bad_aux.ok());
+  EXPECT_NE(bad_aux.status().message().find("aux"), std::string::npos)
+      << bad_aux.status();
+  // Well-formed optional fields still parse.
+  auto good = ParseStreamCsv("a,100,1.5,7\n", &registry);
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_DOUBLE_EQ((*good)[0].payload().value, 1.5);
+  EXPECT_EQ((*good)[0].payload().aux, 7);
+}
+
 TEST(FileIoTest, SaveAndLoadFiles) {
   EventTypeRegistry registry;
   StreamOptions options;

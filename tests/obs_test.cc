@@ -1,0 +1,295 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "engine/executor.h"
+#include "engine/parallel_executor.h"
+#include "engine/plan_util.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "test_util.h"
+#include "workload/data_gen.h"
+
+namespace motto {
+namespace {
+
+using testing::MakeStream;
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("hits");
+  c->Add();
+  c->Add(4);
+  EXPECT_EQ(registry.GetCounter("hits")->value, 5u);
+  EXPECT_EQ(registry.GetCounter("hits"), c);  // Stable address.
+
+  obs::Gauge* g = registry.GetGauge("depth");
+  g->Set(3.0);
+  g->Set(7.0);
+  g->Set(2.0);
+  EXPECT_DOUBLE_EQ(g->value, 2.0);
+  EXPECT_DOUBLE_EQ(g->max, 7.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.counts.size(), 4u);  // 3 bounds + overflow.
+  h.Record(0.5);    // <= 1 -> bucket 0.
+  h.Record(1.0);    // == bound -> bucket 0 (inclusive upper bound).
+  h.Record(5.0);    // bucket 1.
+  h.Record(1000.0); // overflow.
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 0u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), (0.5 + 1.0 + 5.0 + 1000.0) / 4.0);
+}
+
+TEST(MetricsTest, ExponentialBoundsShape) {
+  std::vector<double> bounds = obs::Histogram::ExponentialBounds(1.0, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 16.0);
+}
+
+TEST(MetricsTest, MergeFromSumsCountersAndHistograms) {
+  obs::MetricsRegistry total;
+  total.GetCounter("n")->Add(2);
+  total.GetHistogram("h", {1.0, 2.0})->Record(0.5);
+  total.GetGauge("g")->Set(3.0);
+
+  obs::MetricsRegistry shard;
+  shard.GetCounter("n")->Add(5);
+  shard.GetCounter("shard_only")->Add(1);
+  shard.GetHistogram("h", {1.0, 2.0})->Record(1.5);
+  shard.GetGauge("g")->Set(9.0);
+
+  total.MergeFrom(shard);
+  EXPECT_EQ(total.GetCounter("n")->value, 7u);
+  EXPECT_EQ(total.GetCounter("shard_only")->value, 1u);
+  obs::Histogram* h = total.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[1], 1u);
+  EXPECT_DOUBLE_EQ(total.GetGauge("g")->max, 9.0);
+}
+
+TEST(MetricsTest, ToJsonContainsAllSections) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(3);
+  registry.GetGauge("b.level")->Set(1.5);
+  registry.GetHistogram("c.lat", {1.0})->Record(0.5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+}
+
+TEST(TraceTest, EventsRenderAsChromeTraceJson) {
+  obs::TraceSink sink;
+  sink.NameThread(0, "matcher");
+  double t0 = sink.NowMicros();
+  sink.Span("round", "node", 0, t0, 12.5, "{\"batch\":1}");
+  sink.Instant("watermark", 1, sink.NowMicros());
+  sink.CounterValue("ready_depth", sink.NowMicros(), 3.0);
+  EXPECT_EQ(sink.event_count(), 4u);
+  std::string json = sink.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"batch\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+}
+
+TEST(TraceTest, CapDropsAreCountedNotSilent) {
+  obs::TraceSink sink(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) sink.Instant("tick", 0, sink.NowMicros());
+  EXPECT_EQ(sink.event_count(), 2u);
+  EXPECT_EQ(sink.dropped_events(), 3u);
+  EXPECT_NE(sink.ToJson().find("\"dropped_events\":3"), std::string::npos);
+}
+
+TEST(TraceTest, WriteJsonRoundTrips) {
+  obs::TraceSink sink;
+  sink.Span("work", "node", 0, sink.NowMicros(), 1.0);
+  std::string path =
+      ::testing::TempDir() + "/motto_trace_test.json";
+  ASSERT_TRUE(sink.WriteJson(path).ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {};
+  ASSERT_GT(std::fread(buffer, 1, sizeof(buffer) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_NE(std::string(buffer).find("{\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+class ObsEngineTest : public ::testing::Test {
+ protected:
+  Jqp TwoQueryPlan() {
+    FlatQuery q1;
+    q1.name = "q1";
+    q1.window = Seconds(10);
+    q1.pattern.op = PatternOp::kSeq;
+    q1.pattern.operands = {registry_.RegisterPrimitive("E1"),
+                           registry_.RegisterPrimitive("E2")};
+    FlatQuery q2 = q1;
+    q2.name = "q2";
+    q2.pattern.op = PatternOp::kConj;
+    return BuildDefaultJqp({q1, q2}, &registry_);
+  }
+
+  EventStream BigStream() {
+    std::vector<std::pair<std::string, Timestamp>> events;
+    for (int i = 0; i < 400; ++i) {
+      events.emplace_back(i % 2 == 0 ? "E1" : "E2", i + 1);
+    }
+    return MakeStream(&registry_, events);
+  }
+
+  EventTypeRegistry registry_;
+};
+
+TEST_F(ObsEngineTest, ExecutorExportsMetricsAndTrace) {
+  auto executor = Executor::Create(TwoQueryPlan());
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  EventStream stream = BigStream();
+
+  obs::MetricsRegistry metrics;
+  obs::TraceSink trace;
+  ExecutorOptions options;
+  options.metrics = &metrics;
+  options.trace = &trace;
+  auto run = executor->Run(stream, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_EQ(metrics.GetCounter("run.raw_events")->value, stream.size());
+  EXPECT_EQ(metrics.GetCounter("run.matches")->value, run->TotalMatches());
+  EXPECT_EQ(metrics.GetCounter("node.0.events_in")->value,
+            run->node_stats[0].events_in);
+  // Matcher probes fire at sweep cadence (every 64 watermarks); a 400-event
+  // stream crosses that several times.
+  EXPECT_GT(metrics.GetCounter("node.0.sweeps")->value, 0u);
+  EXPECT_GT(
+      metrics.GetHistogram("node.0.sweep_seconds", obs::LatencySecondsBounds())
+          ->count,
+      0u);
+  // Tracing implies per-node spans, so busy time is filled even without
+  // collect_node_timing.
+  EXPECT_GT(run->node_stats[0].busy_seconds, 0.0);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"round\""), std::string::npos);
+  EXPECT_NE(json.find("\"watermark\""), std::string::npos);
+  EXPECT_NE(json.find("\"final_flush\""), std::string::npos);
+}
+
+TEST_F(ObsEngineTest, DisabledObservabilityLeavesNoResidue) {
+  auto executor = Executor::Create(TwoQueryPlan());
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  EventStream stream = BigStream();
+
+  obs::MetricsRegistry metrics;
+  ExecutorOptions on;
+  on.metrics = &metrics;
+  ASSERT_TRUE(executor->Run(stream, on).ok());
+  uint64_t first_sweeps = metrics.GetCounter("node.0.sweeps")->value;
+
+  // A later run without a registry must not keep writing into the old one.
+  ASSERT_TRUE(executor->Run(stream, ExecutorOptions{}).ok());
+  EXPECT_EQ(metrics.GetCounter("node.0.sweeps")->value, first_sweeps);
+}
+
+TEST_F(ObsEngineTest, ParallelExecutorMergesShardsAndTraces) {
+  auto executor =
+      ParallelExecutor::Create(TwoQueryPlan(), /*num_threads=*/2,
+                               /*batch_size=*/32);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  EventStream stream = BigStream();
+
+  obs::MetricsRegistry metrics;
+  obs::TraceSink trace;
+  ExecutorOptions options;
+  options.metrics = &metrics;
+  options.trace = &trace;
+  auto run = executor->Run(stream, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_EQ(metrics.GetCounter("sched.node_activations")->value,
+            run->parallel.node_activations);
+  EXPECT_EQ(metrics.GetCounter("sched.batches")->value,
+            run->parallel.batches);
+  // Worker shard counters merged in: per-worker activations sum to the total.
+  uint64_t by_worker = 0;
+  for (const auto& [name, counter] : metrics.counters()) {
+    if (name.rfind("worker.", 0) == 0) by_worker += counter.value;
+  }
+  EXPECT_EQ(by_worker, run->parallel.node_activations);
+  EXPECT_GT(
+      metrics.GetHistogram("sched.activation_events", obs::SizeBounds())
+          ->count,
+      0u);
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"pool_epoch\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_start\""), std::string::npos);
+  EXPECT_NE(json.find("\"ready_depth\""), std::string::npos);
+  // Match semantics are untouched by instrumentation.
+  auto plain = executor->Run(stream, ExecutorOptions{});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->TotalMatches(), run->TotalMatches());
+}
+
+TEST_F(ObsEngineTest, RunReportComparesPredictedAndMeasured) {
+  Jqp jqp = TwoQueryPlan();
+  auto executor = Executor::Create(jqp);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  EventStream stream = BigStream();
+  StreamStats stats = ComputeStats(stream);
+
+  ExecutorOptions timing;
+  timing.collect_node_timing = true;
+  auto run = executor->Run(stream, timing);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  obs::RunReport report = obs::BuildRunReport(jqp, stats, *run);
+  ASSERT_EQ(report.nodes.size(), jqp.nodes.size());
+  EXPECT_TRUE(report.warnings.empty()) << report.warnings[0];
+  double predicted = 0.0, measured = 0.0;
+  for (const obs::NodeReport& node : report.nodes) {
+    EXPECT_FALSE(node.label.empty());
+    EXPECT_GT(node.predicted_cpu_units, 0.0);
+    predicted += node.predicted_share;
+    measured += node.measured_share;
+  }
+  EXPECT_NEAR(predicted, 1.0, 1e-9);
+  EXPECT_NEAR(measured, 1.0, 1e-9);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"predicted_share\""), std::string::npos);
+  EXPECT_NE(json.find("\"measured_share\""), std::string::npos);
+  EXPECT_NE(report.ToTable().find("pred%"), std::string::npos);
+}
+
+TEST_F(ObsEngineTest, RunReportFlagsMissingTiming) {
+  Jqp jqp = TwoQueryPlan();
+  auto executor = Executor::Create(jqp);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  EventStream stream = BigStream();
+  auto run = executor->Run(stream);  // No collect_node_timing.
+  ASSERT_TRUE(run.ok());
+  obs::RunReport report =
+      obs::BuildRunReport(jqp, ComputeStats(stream), *run);
+  ASSERT_FALSE(report.warnings.empty());
+  EXPECT_NE(report.warnings[0].find("timing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace motto

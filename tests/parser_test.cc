@@ -24,6 +24,20 @@ TEST(LexerTest, RejectsUnknownCharacters) {
   EXPECT_FALSE(ccl::Tokenize("a$").ok());
 }
 
+TEST(LexerTest, RejectsNumberOverflowInsteadOfWrapping) {
+  // Pre-ParseInt64 the digit loop accumulated value*10+digit and overflowed
+  // (signed UB) on literals past int64 range; now it is a parse error that
+  // points at the offending offset.
+  auto tokens = ccl::Tokenize("123456789012345678901234567890 sec");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("offset"), std::string::npos)
+      << tokens.status();
+  // Max int64 still tokenizes.
+  EXPECT_TRUE(ccl::Tokenize("9223372036854775807 sec").ok());
+  // Decimal literals take the double path: large but finite values lex fine.
+  EXPECT_TRUE(ccl::Tokenize("1234567890123456789012345.5 sec").ok());
+}
+
 TEST(DurationTest, ParsesUnits) {
   EXPECT_EQ(*ParseDuration("10 seconds"), Seconds(10));
   EXPECT_EQ(*ParseDuration("10 s"), Seconds(10));

@@ -13,12 +13,24 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Build trees must never be committed: this script creates three of them, and
+# a tracked binary under build*/ silently bloats every clone. Fails before
+# building so the offending paths are the first thing printed.
+if tracked="$(git ls-files | grep -E '^build')"; then
+  echo "error: build artifacts are tracked in git:" >&2
+  echo "${tracked}" >&2
+  echo "fix: git rm -r --cached <paths above>" >&2
+  exit 1
+fi
+
 JOBS="$(nproc 2>/dev/null || echo 2)"
 if [[ "${1:-}" == "--jobs" ]]; then
   JOBS="$2"
 fi
 
-TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress'
+# ObsEngineTest covers the instrumented executors (metrics shards + trace
+# sink under the worker pool), so it belongs in the threaded tsan slice.
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest'
 
 run_config() {
   local dir="$1" sanitize="$2" test_filter="$3"

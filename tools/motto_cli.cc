@@ -6,18 +6,25 @@
 //   motto explain     --workload=FILE.ccl [--stream=FILE.csv] [--mode=...]
 //   motto run         --workload=FILE.ccl --stream=FILE.csv
 //                     [--mode=na|mst|lcse|motto] [--threads=N]
+//                     [--stats[=json]] [--trace=FILE.json]
+//                     [--metrics-out=FILE.json]
 //   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
+//                     [--reports]
 //
 // Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
 //   lost: SELECT * FROM dc MATCHING [30 sec : SEQ(a, b, NEG(c))]
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/check.h"
 #include "engine/executor.h"
 #include "engine/parallel_executor.h"
 #include "motto/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "planner/solver.h"
 #include "workload/data_gen.h"
 #include "workload/harness.h"
@@ -39,6 +46,16 @@ class Args {
       if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
     }
     return fallback;
+  }
+  /// True when the flag appears at all, bare (`--stats`) or with a value
+  /// (`--stats=json`).
+  bool Has(const std::string& name) const {
+    std::string bare = "--" + name;
+    std::string prefix = bare + "=";
+    for (const std::string& arg : args_) {
+      if (arg == bare || arg.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
   }
   int64_t GetInt(const std::string& name, int64_t fallback) const {
     std::string v = Get(name, "");
@@ -169,17 +186,29 @@ int RunWorkload(const Args& args) {
   if (!outcome.ok()) return Fail(outcome.status());
 
   int threads = static_cast<int>(args.GetInt("threads", 1));
+  bool want_stats = args.Has("stats");
+  std::string stats_format = args.Get("stats", "");
+  std::string trace_path = args.Get("trace", "");
+  std::string metrics_path = args.Get("metrics-out", "");
+
+  obs::MetricsRegistry metrics;
+  obs::TraceSink trace_sink;
+  ExecutorOptions exec_options;
+  exec_options.collect_node_timing = want_stats;
+  if (want_stats || !metrics_path.empty()) exec_options.metrics = &metrics;
+  if (!trace_path.empty()) exec_options.trace = &trace_sink;
+
   RunResult run;
   if (threads > 1) {
     auto executor = ParallelExecutor::Create(outcome->jqp, threads);
     if (!executor.ok()) return Fail(executor.status());
-    auto result = executor->Run(stream);
+    auto result = executor->Run(stream, exec_options);
     if (!result.ok()) return Fail(result.status());
     run = *std::move(result);
   } else {
     auto executor = Executor::Create(outcome->jqp);
     if (!executor.ok()) return Fail(executor.status());
-    auto result = executor->Run(stream);
+    auto result = executor->Run(stream, exec_options);
     if (!result.ok()) return Fail(result.status());
     run = *std::move(result);
   }
@@ -193,6 +222,31 @@ int RunWorkload(const Args& args) {
     std::printf("  %-16s %llu matches\n", query.name.c_str(),
                 static_cast<unsigned long long>(
                     it == run.sink_counts.end() ? 0 : it->second));
+  }
+  if (want_stats) {
+    obs::RunReport report = obs::BuildRunReport(outcome->jqp, *stats, run);
+    if (stats_format == "json") {
+      std::printf("%s\n", report.ToJson().c_str());
+    } else {
+      std::printf("%s", report.ToTable().c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    Status status = trace_sink.WriteJson(trace_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %zu trace events to %s\n", trace_sink.event_count(),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      return Fail(InternalError("cannot open " + metrics_path));
+    }
+    out << metrics.ToJson() << "\n";
+    if (!out.flush()) {
+      return Fail(InternalError("write failed for " + metrics_path));
+    }
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
   }
   return 0;
 }
@@ -209,6 +263,7 @@ int Compare(const Args& args) {
   ComparisonOptions options;
   options.warmup = true;
   options.measure_runs = static_cast<int>(args.GetInt("runs", 3));
+  options.collect_reports = args.Has("reports");
   auto runs = CompareModes(*queries, stream, &registry, options);
   if (!runs.ok()) return Fail(runs.status());
   std::printf(" mode  | events/s  | x NA  | opt s  | plan nodes | matches\n");
@@ -218,6 +273,16 @@ int Compare(const Args& args) {
                 run.throughput_eps, run.normalized, run.optimize_seconds,
                 run.jqp_nodes,
                 static_cast<unsigned long long>(run.total_matches));
+    for (const std::string& warning : run.report.warnings) {
+      std::printf("   warning: %s\n", warning.c_str());
+    }
+  }
+  if (options.collect_reports) {
+    for (const ModeRun& run : *runs) {
+      std::printf("\n-- %s report --\n%s",
+                  std::string(OptimizerModeName(run.mode)).c_str(),
+                  run.report.ToTable().c_str());
+    }
   }
   return 0;
 }

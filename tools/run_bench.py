@@ -9,6 +9,11 @@ build:
     cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
     python3 tools/run_bench.py                 # writes BENCH_engine.json
     python3 tools/run_bench.py --compare BENCH_engine.json   # diff vs saved
+
+With --engine-metrics FILE it additionally replays a canonical generated
+workload through `motto run --metrics-out` and archives the engine's
+metrics-registry JSON (counters/gauges/histograms; see DESIGN.md §9) next to
+the throughput numbers, so a perf investigation can line both up.
 """
 
 import argparse
@@ -17,6 +22,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 
 DEFAULT_TARGETS = ["micro_engine", "micro_planner"]
 
@@ -83,6 +89,32 @@ def compare(benchmarks, baseline_path, regress_threshold):
     return regressions
 
 
+def archive_engine_metrics(build_dir, out_path):
+    """Replays a deterministic generated workload through the CLI with the
+    metrics registry enabled and writes the emitted metrics JSON to
+    `out_path`. Returns True on success."""
+    motto = os.path.join(build_dir, "tools", "motto")
+    if not os.path.exists(motto):
+        print(f"error: {motto} not built", file=sys.stderr)
+        return False
+    with tempfile.TemporaryDirectory() as tmp:
+        stream = os.path.join(tmp, "stream.csv")
+        workload = os.path.join(tmp, "workload.ccl")
+        for cmd in (
+            [motto, "gen-stream", "--events=100000", "--seed=42",
+             f"--out={stream}"],
+            [motto, "gen-workload", "--queries=50", "--seed=7",
+             f"--out={workload}"],
+            [motto, "run", f"--workload={workload}", f"--stream={stream}",
+             "--stats", f"--metrics-out={out_path}"],
+        ):
+            subprocess.run(cmd, capture_output=True, check=True)
+    with open(out_path) as f:
+        metrics = json.load(f)  # Fail loudly on malformed output.
+    print(f"wrote {out_path} ({len(metrics.get('counters', {}))} counters)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
@@ -105,7 +137,17 @@ def main():
         help="with --compare, fail when a benchmark drops below "
         "(1 - FRACTION) of its baseline items/second (default 0.10)",
     )
+    parser.add_argument(
+        "--engine-metrics",
+        metavar="FILE",
+        help="also archive the engine's metrics-registry JSON from a "
+        "canonical `motto run --metrics-out` replay",
+    )
     args = parser.parse_args()
+
+    if args.engine_metrics:
+        if not archive_engine_metrics(args.build_dir, args.engine_metrics):
+            return 1
 
     benchmarks, context = collect(
         args.build_dir, args.targets, args.min_time, args.filter
