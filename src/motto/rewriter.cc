@@ -408,7 +408,14 @@ class RewriterImpl {
             recipe.kind = RewriteRecipe::Kind::kFromDisj;
             double cost = EstimateFlat(v.pattern, v.window).cpu_per_second;
             AddEdge(ui, vi, recipe, cost);
-          } else {
+          } else if (AllPrimitiveDistinct(v.pattern)) {
+            // The composite replaces the covered CONJ slots but arrives on
+            // its own channel, so an event inside it could also fill an
+            // uncovered slot of the same type — which the unshared plan
+            // forbids (duplicate-type operands share one raw channel and
+            // stage each arrival into at most one slot). Distinct operand
+            // types make covered and remaining channels disjoint, which is
+            // the only case where the rewrite preserves the match set.
             recipe.kind = RewriteRecipe::Kind::kCompositeOperand;
             double cost =
                 cost_->ProcessingCpu(PatternOp::kConj,

@@ -1,0 +1,287 @@
+#include "verify/differ.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "engine/executor.h"
+#include "engine/parallel_executor.h"
+#include "event/event.h"
+#include "motto/optimizer.h"
+#include "workload/io.h"
+
+namespace motto::verify {
+namespace {
+
+using PathMatches = std::map<std::string, MatchSet>;
+
+/// Reduces one executor run to per-user-query fingerprint multisets. NA
+/// plans also register sinks for inner "name#inN" sub-queries; only the
+/// user-facing names are compared.
+PathMatches SinkMatches(const RunResult& run,
+                        const std::vector<Query>& queries) {
+  PathMatches out;
+  for (const Query& query : queries) {
+    MatchSet& set = out[query.name];
+    auto it = run.sink_events.find(query.name);
+    if (it == run.sink_events.end()) continue;
+    for (const Event& e : it->second) set.insert(e.Fingerprint());
+  }
+  return out;
+}
+
+Result<RunResult> RunJqp(const Jqp& jqp, const EventStream& stream) {
+  MOTTO_ASSIGN_OR_RETURN(Executor executor, Executor::Create(jqp));
+  return executor.Run(stream);
+}
+
+Result<OptimizeOutcome> OptimizePlan(const std::vector<Query>& queries,
+                                     EventTypeRegistry* registry,
+                                     const StreamStats& stats,
+                                     OptimizerMode mode,
+                                     const DifferOptions& options,
+                                     bool approximate) {
+  OptimizerOptions opt;
+  opt.mode = mode;
+  opt.planner.seed = options.seed;
+  opt.planner.exact_budget_seconds = options.exact_budget_seconds;
+  opt.planner.sa_iterations = options.sa_iterations;
+  opt.planner.force_approximate = approximate;
+  Optimizer optimizer(registry, stats, opt);
+  return optimizer.Optimize(queries);
+}
+
+void Diff(const std::string& path, const std::string& query,
+          const MatchSet& oracle, const MatchSet& got,
+          std::vector<Mismatch>* out) {
+  if (oracle == got) return;
+  Mismatch m;
+  m.query = query;
+  m.path = path;
+  m.oracle_count = oracle.size();
+  m.path_count = got.size();
+  constexpr size_t kSampleCap = 4;
+  std::set_difference(oracle.begin(), oracle.end(), got.begin(), got.end(),
+                      std::back_inserter(m.missing));
+  std::set_difference(got.begin(), got.end(), oracle.begin(), oracle.end(),
+                      std::back_inserter(m.extra));
+  if (m.missing.size() > kSampleCap) m.missing.resize(kSampleCap);
+  if (m.extra.size() > kSampleCap) m.extra.resize(kSampleCap);
+  out->push_back(std::move(m));
+}
+
+}  // namespace
+
+std::string CaseReport::ToString() const {
+  if (mismatches.empty()) return "all paths agree\n";
+  std::string out;
+  for (const Mismatch& m : mismatches) {
+    out += "query " + m.query + " path " + m.path + ": oracle " +
+           std::to_string(m.oracle_count) + " matches, path " +
+           std::to_string(m.path_count) + "\n";
+    for (const std::string& fp : m.missing) out += "  missing " + fp + "\n";
+    for (const std::string& fp : m.extra) out += "  extra   " + fp + "\n";
+  }
+  return out;
+}
+
+Result<CaseReport> CheckCase(const std::vector<Query>& queries,
+                             const EventStream& stream,
+                             EventTypeRegistry* registry,
+                             const DifferOptions& options) {
+  PathMatches oracle;
+  for (const Query& query : queries) {
+    MOTTO_ASSIGN_OR_RETURN(oracle[query.name],
+                           OracleMatches(query, stream, options.oracle));
+  }
+  StreamStats stats = ComputeStats(stream);
+
+  std::vector<std::pair<std::string, PathMatches>> paths;
+
+  // Path "matcher": each query compiled alone (NA, one chain), the closest
+  // the executor gets to a bare NFA run per query.
+  {
+    PathMatches matches;
+    for (const Query& query : queries) {
+      MOTTO_ASSIGN_OR_RETURN(
+          OptimizeOutcome outcome,
+          OptimizePlan({query}, registry, stats, OptimizerMode::kNa, options,
+                       /*approximate=*/false));
+      MOTTO_ASSIGN_OR_RETURN(RunResult run, RunJqp(outcome.jqp, stream));
+      PathMatches one = SinkMatches(run, {query});
+      matches[query.name] = std::move(one[query.name]);
+    }
+    paths.emplace_back("matcher", std::move(matches));
+  }
+
+  // Path "unshared": the whole workload as independent chains.
+  {
+    MOTTO_ASSIGN_OR_RETURN(
+        OptimizeOutcome outcome,
+        OptimizePlan(queries, registry, stats, OptimizerMode::kNa, options,
+                     /*approximate=*/false));
+    MOTTO_ASSIGN_OR_RETURN(RunResult run, RunJqp(outcome.jqp, stream));
+    paths.emplace_back("unshared", SinkMatches(run, queries));
+  }
+
+  // Paths "motto-bnb" / "motto-par": the fully optimized JQP from the exact
+  // branch-and-bound solve, single-threaded and through the pipelined
+  // parallel executor (tiny batches so fuzz streams cross many batch
+  // boundaries).
+  {
+    MOTTO_ASSIGN_OR_RETURN(
+        OptimizeOutcome outcome,
+        OptimizePlan(queries, registry, stats, OptimizerMode::kMotto, options,
+                     /*approximate=*/false));
+    MOTTO_ASSIGN_OR_RETURN(RunResult run, RunJqp(outcome.jqp, stream));
+    paths.emplace_back("motto-bnb", SinkMatches(run, queries));
+
+    MOTTO_ASSIGN_OR_RETURN(
+        ParallelExecutor parallel,
+        ParallelExecutor::Create(outcome.jqp, options.threads,
+                                 options.batch_size, /*pipe_depth=*/2));
+    MOTTO_ASSIGN_OR_RETURN(RunResult parallel_run, parallel.Run(stream));
+    paths.emplace_back("motto-par", SinkMatches(parallel_run, queries));
+  }
+
+  // Path "motto-sa": the plan the simulated-annealing solver picks. Its
+  // sharing choices may differ from B&B's; its results must not.
+  {
+    MOTTO_ASSIGN_OR_RETURN(
+        OptimizeOutcome outcome,
+        OptimizePlan(queries, registry, stats, OptimizerMode::kMotto, options,
+                     /*approximate=*/true));
+    MOTTO_ASSIGN_OR_RETURN(RunResult run, RunJqp(outcome.jqp, stream));
+    paths.emplace_back("motto-sa", SinkMatches(run, queries));
+  }
+
+  CaseReport report;
+  for (const Query& query : queries) {
+    for (const auto& [name, matches] : paths) {
+      auto it = matches.find(query.name);
+      static const MatchSet kEmpty;
+      Diff(name, query.name, oracle[query.name],
+           it == matches.end() ? kEmpty : it->second, &report.mismatches);
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// True when the case still fails (mismatch). Check errors — including
+/// oracle budget exhaustion — conservatively count as "no longer failing"
+/// so shrinking never walks into unevaluatable territory.
+bool StillFails(const std::vector<Query>& queries, const EventStream& stream,
+                EventTypeRegistry* registry, const DifferOptions& options,
+                int* checks_left) {
+  if (*checks_left <= 0) return false;
+  --*checks_left;
+  auto report = CheckCase(queries, stream, registry, options);
+  return report.ok() && !report->ok();
+}
+
+}  // namespace
+
+int ShrinkCase(std::vector<Query>* queries, EventStream* stream,
+               EventTypeRegistry* registry, const DifferOptions& options) {
+  int checks_left = options.max_shrink_checks;
+  const int total = checks_left;
+
+  // Drop whole queries first: fewer queries shrink every later re-check.
+  for (size_t i = 0; i < queries->size() && queries->size() > 1;) {
+    std::vector<Query> candidate = *queries;
+    candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+    if (StillFails(candidate, *stream, registry, options, &checks_left)) {
+      *queries = std::move(candidate);
+    } else {
+      ++i;
+    }
+  }
+
+  // ddmin on the stream: remove contiguous chunks, halving the chunk size
+  // when a pass removes nothing (removal keeps the stream sorted, so
+  // candidates stay valid).
+  size_t chunk = std::max<size_t>(1, stream->size() / 2);
+  while (checks_left > 0) {
+    bool removed = false;
+    for (size_t start = 0; start < stream->size() && checks_left > 0;) {
+      EventStream candidate;
+      candidate.reserve(stream->size());
+      size_t stop = std::min(stream->size(), start + chunk);
+      candidate.insert(candidate.end(), stream->begin(),
+                       stream->begin() + static_cast<ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       stream->begin() + static_cast<ptrdiff_t>(stop),
+                       stream->end());
+      if (!candidate.empty() &&
+          StillFails(*queries, candidate, registry, options, &checks_left)) {
+        *stream = std::move(candidate);
+        removed = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed) {
+      if (chunk == 1) break;
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  return total - checks_left;
+}
+
+Result<DiffOutcome> RunDiffer(const DifferOptions& options) {
+  DiffOutcome outcome;
+  for (int i = 0; i < options.iterations; ++i) {
+    uint64_t case_seed = options.seed + static_cast<uint64_t>(i);
+    EventTypeRegistry registry;
+    QueryFuzzer fuzzer(&registry, options.fuzz, case_seed);
+    FuzzCase fuzz_case = fuzzer.Next();
+    ++outcome.iterations;
+
+    auto report = CheckCase(fuzz_case.queries, fuzz_case.stream, &registry,
+                            options);
+    if (!report.ok()) {
+      if (report.status().code() == StatusCode::kOutOfRange) {
+        ++outcome.skipped;
+        continue;
+      }
+      return Status(report.status().code(),
+                    "case seed " + std::to_string(case_seed) + ": " +
+                        report.status().message());
+    }
+    if (report->ok()) continue;
+
+    if (options.shrink) {
+      ShrinkCase(&fuzz_case.queries, &fuzz_case.stream, &registry, options);
+      // Re-derive the report for the minimized case (shrinking preserves
+      // "some mismatch", not the specific one).
+      auto minimized = CheckCase(fuzz_case.queries, fuzz_case.stream,
+                                 &registry, options);
+      if (minimized.ok() && !minimized->ok()) report = std::move(minimized);
+    }
+
+    Failure failure;
+    failure.case_seed = case_seed;
+    failure.workload_text = WorkloadToText(fuzz_case.queries, registry);
+    failure.stream_csv = StreamToCsv(fuzz_case.stream, registry);
+    failure.report = report->ToString();
+    std::string stem = "case_" + std::to_string(case_seed);
+    failure.repro = "motto verify --seed=" + std::to_string(case_seed) +
+                    " --iters=1\nmotto verify --workload=" + stem +
+                    ".ccl --stream=" + stem + ".csv\n";
+    if (!options.dump_dir.empty()) {
+      std::string base = options.dump_dir + "/" + stem;
+      MOTTO_RETURN_IF_ERROR(
+          SaveWorkloadFile(base + ".ccl", fuzz_case.queries, registry));
+      MOTTO_RETURN_IF_ERROR(
+          SaveStreamCsv(base + ".csv", fuzz_case.stream, registry));
+    }
+    outcome.failures.push_back(std::move(failure));
+  }
+  return outcome;
+}
+
+}  // namespace motto::verify

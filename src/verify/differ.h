@@ -1,0 +1,99 @@
+#ifndef MOTTO_VERIFY_DIFFER_H_
+#define MOTTO_VERIFY_DIFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "event/stream.h"
+#include "verify/fuzzer.h"
+#include "verify/oracle.h"
+
+namespace motto::verify {
+
+struct DifferOptions {
+  /// Root seed. Iteration i of a run fuzzes with case seed `seed + i`, so
+  /// `--seed=<seed+i> --iters=1` replays exactly that case.
+  uint64_t seed = 1;
+  int iterations = 100;
+  FuzzOptions fuzz;
+  /// Worker count and raw-batch size for the ParallelExecutor path; the
+  /// batch size is deliberately tiny so fuzz streams span many pipeline
+  /// batches.
+  int threads = 3;
+  size_t batch_size = 7;
+  /// Shrink failing cases (query removal + ddmin on the stream) before
+  /// reporting, bounded by this many re-checks per failure.
+  bool shrink = true;
+  int max_shrink_checks = 400;
+  /// When non-empty, failures dump `<dir>/case_<seed>.ccl/.csv` repro files.
+  std::string dump_dir;
+  OracleOptions oracle;
+  /// Planner settings for the two solver-backed paths.
+  double exact_budget_seconds = 2.0;
+  int sa_iterations = 600;
+};
+
+/// One query whose match multiset differs from the oracle on one path.
+struct Mismatch {
+  std::string query;
+  std::string path;  // "matcher", "unshared", "motto-bnb", "motto-sa", ...
+  size_t oracle_count = 0;
+  size_t path_count = 0;
+  /// Sample fingerprints present on only one side (capped).
+  std::vector<std::string> missing;  // oracle has, path lacks
+  std::vector<std::string> extra;    // path has, oracle lacks
+};
+
+struct CaseReport {
+  std::vector<Mismatch> mismatches;
+  bool ok() const { return mismatches.empty(); }
+  std::string ToString() const;
+};
+
+/// Runs every execution path — oracle, per-query NFA matcher plans,
+/// whole-workload unshared plan, MOTTO JQP from the exact solver, MOTTO JQP
+/// from simulated annealing, and the parallel executor over the exact JQP —
+/// on one (workload, stream) pair and diffs all per-query match multisets
+/// against the oracle. kOutOfRange means the oracle budget was exceeded
+/// (callers treat the case as skipped).
+Result<CaseReport> CheckCase(const std::vector<Query>& queries,
+                             const EventStream& stream,
+                             EventTypeRegistry* registry,
+                             const DifferOptions& options);
+
+/// Minimizes a failing case in place: greedily drops whole queries, then
+/// ddmin-shrinks the stream chunk by chunk, keeping every candidate that
+/// still fails CheckCase. Returns the number of checks spent.
+int ShrinkCase(std::vector<Query>* queries, EventStream* stream,
+               EventTypeRegistry* registry, const DifferOptions& options);
+
+/// A failing case, minimized and rendered self-contained (no registry
+/// needed to consume it).
+struct Failure {
+  uint64_t case_seed = 0;
+  std::string workload_text;
+  std::string stream_csv;
+  std::string report;
+  /// Shell commands that replay the failure.
+  std::string repro;
+};
+
+struct DiffOutcome {
+  int iterations = 0;
+  /// Cases skipped because the oracle exceeded its enumeration budget.
+  int skipped = 0;
+  std::vector<Failure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// The differential fuzz loop: `iterations` fuzzed cases from the root
+/// seed, each checked across all paths, failures shrunk and reported (and
+/// dumped to `dump_dir` when set).
+Result<DiffOutcome> RunDiffer(const DifferOptions& options);
+
+}  // namespace motto::verify
+
+#endif  // MOTTO_VERIFY_DIFFER_H_

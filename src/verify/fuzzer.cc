@@ -1,0 +1,124 @@
+#include "verify/fuzzer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace motto::verify {
+
+QueryFuzzer::QueryFuzzer(EventTypeRegistry* registry, FuzzOptions options,
+                         uint64_t seed)
+    : registry_(registry), options_(std::move(options)), rng_(seed) {
+  MOTTO_CHECK_GT(options_.num_event_types, 0) << "empty fuzz alphabet";
+  for (int i = 0; i < options_.num_event_types; ++i) {
+    types_.push_back(registry_->RegisterPrimitive("E" + std::to_string(i)));
+  }
+}
+
+PatternExpr QueryFuzzer::RandomLeaf(bool allow_predicate) {
+  EventTypeId type = types_[static_cast<size_t>(
+      rng_.Uniform(0, static_cast<int64_t>(types_.size()) - 1))];
+  if (allow_predicate && rng_.Bernoulli(options_.predicate_prob)) {
+    Comparison comparison;
+    comparison.field = rng_.Bernoulli(0.5) ? PredicateField::kValue
+                                           : PredicateField::kAux;
+    comparison.cmp = static_cast<PredicateCmp>(rng_.Uniform(0, 5));
+    // Integer constants inside the generated payload ranges, so every
+    // comparison operator (including ==) has satisfiable draws and the
+    // "%.10g" printer round-trips the constant exactly.
+    comparison.constant = static_cast<double>(
+        comparison.field == PredicateField::kValue ? rng_.Uniform(0, 100)
+                                                   : rng_.Uniform(0, 1000));
+    return PatternExpr::Leaf(type, Predicate({comparison}));
+  }
+  return PatternExpr::Leaf(type);
+}
+
+PatternExpr QueryFuzzer::RandomOperator(int depth, bool outermost) {
+  PatternOp op = static_cast<PatternOp>(rng_.Uniform(0, 2));
+  // Parser normal form: >= 2 children (a single-child operator with no NEG
+  // collapses to its child when re-parsed).
+  int num_children = static_cast<int>(rng_.Uniform(2, 3));
+  std::vector<PatternExpr> children;
+  for (int i = 0; i < num_children; ++i) {
+    bool nest = depth < options_.max_depth &&
+                rng_.Bernoulli(options_.nested_prob);
+    children.push_back(nest ? RandomOperator(depth + 1, /*outermost=*/false)
+                            : RandomLeaf(/*allow_predicate=*/true));
+  }
+  std::vector<PatternExpr> negated;
+  bool may_negate = op != PatternOp::kDisj &&
+                    (outermost || options_.allow_inner_negation);
+  if (may_negate && rng_.Bernoulli(options_.negation_prob)) {
+    // Distinct types per NEG list (ValidatePattern rejects duplicates).
+    std::set<EventTypeId> seen;
+    int num_negated = rng_.Bernoulli(0.25) ? 2 : 1;
+    for (int i = 0; i < num_negated; ++i) {
+      PatternExpr leaf = RandomLeaf(/*allow_predicate=*/true);
+      if (seen.insert(leaf.leaf_type()).second) {
+        negated.push_back(std::move(leaf));
+      }
+    }
+  }
+  return PatternExpr::Operator(op, std::move(children), std::move(negated));
+}
+
+PatternExpr QueryFuzzer::NextPattern() {
+  return RandomOperator(0, /*outermost=*/true);
+}
+
+Query QueryFuzzer::NextQuery(const std::string& name) {
+  Query query;
+  query.name = name;
+  query.pattern = NextPattern();
+  // Window classes from a single microsecond to far beyond the stream's
+  // whole span; the expected span is num_events * max_gap / 2.
+  Duration span = std::max<Duration>(
+      2, static_cast<Duration>(options_.num_events) * options_.max_gap / 2);
+  switch (rng_.Uniform(0, 3)) {
+    case 0:
+      query.window = rng_.Uniform(1, 4);
+      break;
+    case 1:
+      query.window = rng_.Uniform(1, std::max<Duration>(2, span / 4));
+      break;
+    case 2:
+      query.window = rng_.Uniform(span / 4 + 1, span);
+      break;
+    default:
+      query.window = rng_.Uniform(span, span * 2);
+      break;
+  }
+  return query;
+}
+
+EventStream QueryFuzzer::NextStream() {
+  EventStream stream;
+  stream.reserve(static_cast<size_t>(options_.num_events));
+  Timestamp ts = rng_.Uniform(0, 3);
+  for (int i = 0; i < options_.num_events; ++i) {
+    if (i > 0 && !rng_.Bernoulli(options_.ts_collision_prob)) {
+      ts += rng_.Uniform(1, options_.max_gap);
+    }
+    Payload payload;
+    payload.value = static_cast<double>(rng_.Uniform(0, 100));
+    payload.aux = rng_.Uniform(0, 1000);
+    EventTypeId type = types_[static_cast<size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(types_.size()) - 1))];
+    stream.push_back(Event::Primitive(type, ts, payload));
+  }
+  return stream;
+}
+
+FuzzCase QueryFuzzer::Next() {
+  FuzzCase c;
+  for (int i = 0; i < options_.num_queries; ++i) {
+    c.queries.push_back(NextQuery("q" + std::to_string(i + 1)));
+  }
+  c.stream = NextStream();
+  return c;
+}
+
+}  // namespace motto::verify

@@ -1,0 +1,87 @@
+#ifndef MOTTO_VERIFY_FUZZER_H_
+#define MOTTO_VERIFY_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/rng.h"
+#include "event/stream.h"
+
+namespace motto::verify {
+
+struct FuzzOptions {
+  /// Queries per generated workload.
+  int num_queries = 3;
+  /// Primitive alphabet size (types are named "E0".."E{n-1}"). Kept small
+  /// on purpose so duplicate types inside one pattern are common.
+  int num_event_types = 4;
+  /// Stream length. The oracle is exponential; keep this modest.
+  int num_events = 36;
+  /// Maximum nesting depth below the root operator (0 = flat patterns).
+  int max_depth = 2;
+  /// Probability that an eligible operator child is itself an operator.
+  double nested_prob = 0.4;
+  /// Probability a leaf carries a payload predicate.
+  double predicate_prob = 0.25;
+  /// Probability a SEQ/CONJ root carries a NEG operand.
+  double negation_prob = 0.35;
+  /// Probability one event shares the previous event's timestamp
+  /// (simultaneity is a first-class edge case for SEQ's strict order).
+  double ts_collision_prob = 0.2;
+  /// Maximum inter-event gap in microseconds.
+  Duration max_gap = 9;
+  /// Permit NEG on inner operators too. The engine rejects inner negation,
+  /// so this is only for front-end (parse/print) fuzzing, never for
+  /// differential runs.
+  bool allow_inner_negation = false;
+};
+
+/// One generated differential test case.
+struct FuzzCase {
+  std::vector<Query> queries;
+  EventStream stream;
+};
+
+/// Seeded random workload + stream generator for the differential harness.
+/// Every draw flows through one Rng, so a (seed, options) pair pins the
+/// case exactly — the repro commands the differ prints rely on this.
+///
+/// Generated patterns are in parser normal form (operators have >= 2
+/// children, or >= 1 child plus a NEG), so printing a query with
+/// WorkloadToText and re-parsing it reproduces the identical tree; that is
+/// both what the round-trip fuzz test asserts and what makes dumped repro
+/// files faithful.
+class QueryFuzzer {
+ public:
+  /// `registry` must outlive the fuzzer; the primitive alphabet is
+  /// registered up front.
+  QueryFuzzer(EventTypeRegistry* registry, FuzzOptions options,
+              uint64_t seed);
+
+  /// Fresh workload + stream.
+  FuzzCase Next();
+
+  /// One random query (window spans 1 us .. beyond the whole stream).
+  Query NextQuery(const std::string& name);
+
+  /// One random pattern in parser normal form.
+  PatternExpr NextPattern();
+
+  /// One random sorted primitive stream with timestamp collisions.
+  EventStream NextStream();
+
+ private:
+  PatternExpr RandomLeaf(bool allow_predicate);
+  PatternExpr RandomOperator(int depth, bool outermost);
+
+  EventTypeRegistry* registry_;
+  FuzzOptions options_;
+  Rng rng_;
+  std::vector<EventTypeId> types_;
+};
+
+}  // namespace motto::verify
+
+#endif  // MOTTO_VERIFY_FUZZER_H_

@@ -1,0 +1,348 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "event/event.h"
+
+namespace motto::verify {
+namespace {
+
+/// One consumable arrival on a logical input channel: a raw primitive event
+/// or a completed sub-match of an operator child. `parts` carries the
+/// (type, ts) constituents that end up in the final fingerprint.
+struct Arrival {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  std::vector<Constituent> parts;
+  /// Payload access for raw arrivals (leaf predicates); null for sub-matches
+  /// (the engine never applies payload predicates to composite events).
+  const Event* raw = nullptr;
+};
+
+/// Everything one logical channel can deliver over the whole stream. Two
+/// operands drawing from the same Source must consume *distinct* arrivals
+/// of it (the engine stages each arrival so it fills at most one operand
+/// per match); operands on different sources may consume arrivals that
+/// represent the same physical event (e.g. a raw A and a DISJ(A,B)
+/// pass-through of that same A are two distinct arrivals).
+struct Source {
+  std::vector<Arrival> arrivals;
+};
+
+class Oracle {
+ public:
+  Oracle(const EventStream& stream, Duration window,
+         const OracleOptions& options)
+      : stream_(stream), window_(window), budget_(options.max_steps),
+        match_budget_(options.max_matches) {}
+
+  Result<MatchSet> Run(const PatternExpr& root) {
+    MOTTO_RETURN_IF_ERROR(ValidatePattern(root));
+    if (root.is_leaf()) {
+      return InvalidArgumentError("oracle: bare event type is not a pattern");
+    }
+    if (window_ <= 0) {
+      return InvalidArgumentError("oracle: window must be positive");
+    }
+    for (const PatternExpr& child : root.children()) {
+      MOTTO_RETURN_IF_ERROR(RejectInnerNegation(child));
+    }
+    for (const PatternExpr& neg : root.negated()) {
+      if (!neg.is_leaf()) {
+        return InvalidArgumentError("oracle: NEG operands must be leaves");
+      }
+    }
+
+    MOTTO_ASSIGN_OR_RETURN(std::vector<Operand> operands,
+                           BindOperands(root));
+    MatchSet out;
+    if (root.op() == PatternOp::kDisj) {
+      // DISJ is pass-through: one emission per arrival accepted by at least
+      // one operand of that arrival's own channel. No window or NEG
+      // handling (ValidatePattern forbids NEG on DISJ; the engine ignores
+      // windows on pass-through nodes).
+      MOTTO_RETURN_IF_ERROR(CollectDisj(operands, [&](const Arrival& a) {
+        out.insert(FingerprintOf(a.parts, a.end));
+        return CountEmission();
+      }));
+      return out;
+    }
+
+    // Window-scoped negation kills a match when any matching negated raw
+    // event has its timestamp in [min_begin, min_begin + window], both ends
+    // inclusive (engine: PatternMatcher::Complete / the pending-kill scan).
+    std::vector<Timestamp> kill_ts;
+    for (const PatternExpr& neg : root.negated()) {
+      for (const Event& e : stream_) {
+        if (e.type() != neg.leaf_type()) continue;
+        if (!neg.leaf_predicate().empty() &&
+            !neg.leaf_predicate().Matches(e.payload())) {
+          continue;
+        }
+        kill_ts.push_back(e.begin());
+      }
+    }
+    std::sort(kill_ts.begin(), kill_ts.end());
+
+    MOTTO_RETURN_IF_ERROR(Enumerate(
+        root.op(), operands,
+        [&](const std::vector<const Arrival*>& chosen, Timestamp begin,
+            Timestamp end) {
+          auto it = std::lower_bound(kill_ts.begin(), kill_ts.end(), begin);
+          if (it != kill_ts.end() && *it <= begin + window_) {
+            return Status::Ok();
+          }
+          std::vector<Constituent> parts;
+          for (const Arrival* a : chosen) {
+            parts.insert(parts.end(), a->parts.begin(), a->parts.end());
+          }
+          out.insert(FingerprintOf(parts, end));
+          return CountEmission();
+        }));
+    return out;
+  }
+
+ private:
+  /// An operator's operand: its arrival channel plus the leaf selection
+  /// predicate (empty for operator children — composites are unfiltered).
+  struct Operand {
+    const Source* source = nullptr;
+    Predicate predicate;
+  };
+
+  Status RejectInnerNegation(const PatternExpr& expr) {
+    if (expr.is_leaf()) return Status::Ok();
+    if (!expr.negated().empty()) {
+      return InvalidArgumentError(
+          "oracle: NEG is only supported on the outermost pattern layer");
+    }
+    for (const PatternExpr& child : expr.children()) {
+      MOTTO_RETURN_IF_ERROR(RejectInnerNegation(child));
+    }
+    return Status::Ok();
+  }
+
+  Status Step() {
+    if (steps_++ >= budget_) {
+      return OutOfRangeError("oracle: enumeration budget exceeded");
+    }
+    return Status::Ok();
+  }
+
+  Status CountEmission() {
+    if (emitted_++ >= match_budget_) {
+      return OutOfRangeError("oracle: match budget exceeded");
+    }
+    return Status::Ok();
+  }
+
+  std::string FingerprintOf(const std::vector<Constituent>& parts,
+                            Timestamp end) {
+    return Event::Composite(0, parts, end).Fingerprint();
+  }
+
+  /// Canonical identity of a subtree, the analogue of the engine's catalog
+  /// key: children of a node that share an identity share one producer
+  /// node, hence one channel. Commutative operand lists are sorted so
+  /// CONJ(a, b) and CONJ(b, a) children coincide, exactly as
+  /// FlatPattern::Canonical() makes them coincide in the catalog.
+  static std::string Identity(const PatternExpr& expr) {
+    if (expr.is_leaf()) {
+      std::string out = "t" + std::to_string(expr.leaf_type());
+      if (!expr.leaf_predicate().empty()) {
+        out += '[' + expr.leaf_predicate().CanonicalKey() + ']';
+      }
+      return out;
+    }
+    std::vector<std::string> keys;
+    keys.reserve(expr.children().size());
+    for (const PatternExpr& child : expr.children()) {
+      keys.push_back(Identity(child));
+    }
+    if (IsCommutative(expr.op())) std::sort(keys.begin(), keys.end());
+    std::string out(PatternOpName(expr.op()));
+    out += '(';
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i > 0) out += ',';
+      out += keys[i];
+    }
+    out += ')';
+    return out;
+  }
+
+  /// Channel identity of an operand. Leaves deliberately drop their
+  /// predicate: every selector over type T reads the one raw-T channel, so
+  /// distinctness binds across differently-predicated operands of the same
+  /// type (the engine dispatches on (channel, type), never on predicate).
+  static std::string SourceKeyFor(const PatternExpr& operand) {
+    if (operand.is_leaf()) {
+      return "raw:" + std::to_string(operand.leaf_type());
+    }
+    return "sub:" + Identity(operand);
+  }
+
+  Result<const Source*> EvalSource(const PatternExpr& operand) {
+    std::string key = SourceKeyFor(operand);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second.get();
+    auto source = std::make_unique<Source>();
+    if (operand.is_leaf()) {
+      for (const Event& e : stream_) {
+        if (e.type() != operand.leaf_type()) continue;
+        Arrival a;
+        a.begin = e.begin();
+        a.end = e.end();
+        a.parts.push_back(Constituent{e.type(), e.begin(), 0});
+        a.raw = &e;
+        source->arrivals.push_back(std::move(a));
+      }
+    } else {
+      MOTTO_ASSIGN_OR_RETURN(*source, EvalOperator(operand));
+    }
+    const Source* raw = source.get();
+    memo_.emplace(std::move(key), std::move(source));
+    return raw;
+  }
+
+  Result<std::vector<Operand>> BindOperands(const PatternExpr& expr) {
+    std::vector<Operand> operands;
+    operands.reserve(expr.children().size());
+    for (const PatternExpr& child : expr.children()) {
+      Operand op;
+      MOTTO_ASSIGN_OR_RETURN(op.source, EvalSource(child));
+      if (child.is_leaf()) op.predicate = child.leaf_predicate();
+      operands.push_back(std::move(op));
+    }
+    return operands;
+  }
+
+  static bool Accepts(const Operand& op, const Arrival& a) {
+    if (op.predicate.empty()) return true;
+    return a.raw != nullptr && op.predicate.Matches(a.raw->payload());
+  }
+
+  /// Pass-through collection for DISJ: iterate each distinct source once,
+  /// emitting an arrival once when any operand of that source accepts it
+  /// (the engine returns after the first accepting operand).
+  Status CollectDisj(const std::vector<Operand>& operands,
+                     const std::function<Status(const Arrival&)>& yield) {
+    std::vector<const Source*> seen;
+    for (const Operand& op : operands) {
+      if (std::find(seen.begin(), seen.end(), op.source) != seen.end()) {
+        continue;
+      }
+      seen.push_back(op.source);
+      for (const Arrival& a : op.source->arrivals) {
+        MOTTO_RETURN_IF_ERROR(Step());
+        for (const Operand& other : operands) {
+          if (other.source == op.source && Accepts(other, a)) {
+            MOTTO_RETURN_IF_ERROR(yield(a));
+            break;
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// SEQ/CONJ: enumerate every assignment of arrivals to operand slots that
+  /// is injective per source, satisfies each leaf predicate, keeps the SEQ
+  /// order guard end(prev) < begin(next) between consecutive slots, and
+  /// spans at most the window (max end - min begin, inclusive). One yield
+  /// per assignment — multiplicity is part of the semantics.
+  Status Enumerate(
+      PatternOp op, const std::vector<Operand>& operands,
+      const std::function<Status(const std::vector<const Arrival*>&, Timestamp,
+                                 Timestamp)>& yield) {
+    size_t n = operands.size();
+    std::vector<const Arrival*> chosen(n, nullptr);
+    std::map<const Source*, std::vector<char>> used;
+    for (const Operand& o : operands) {
+      used.emplace(o.source, std::vector<char>(o.source->arrivals.size(), 0));
+    }
+    std::function<Status(size_t, Timestamp, Timestamp, Timestamp)> recurse =
+        [&](size_t pos, Timestamp min_begin, Timestamp max_end,
+            Timestamp last_end) -> Status {
+      if (pos == n) return yield(chosen, min_begin, max_end);
+      const Operand& operand = operands[pos];
+      std::vector<char>& taken = used[operand.source];
+      const std::vector<Arrival>& arrivals = operand.source->arrivals;
+      for (size_t j = 0; j < arrivals.size(); ++j) {
+        MOTTO_RETURN_IF_ERROR(Step());
+        if (taken[j]) continue;
+        const Arrival& a = arrivals[j];
+        if (!Accepts(operand, a)) continue;
+        if (op == PatternOp::kSeq && pos > 0 && !(last_end < a.begin)) {
+          continue;
+        }
+        Timestamp nb = pos == 0 ? a.begin : std::min(min_begin, a.begin);
+        Timestamp ne = pos == 0 ? a.end : std::max(max_end, a.end);
+        if (ne - nb > window_) continue;
+        taken[j] = 1;
+        chosen[pos] = &a;
+        MOTTO_RETURN_IF_ERROR(recurse(pos + 1, nb, ne, a.end));
+        taken[j] = 0;
+      }
+      return Status::Ok();
+    };
+    return recurse(0, 0, 0, 0);
+  }
+
+  /// Evaluates an inner operator node into the arrivals its parent sees.
+  /// Inner nodes inherit the root window (DivideNested gives every inner
+  /// sub-query the outer query's window).
+  Result<Source> EvalOperator(const PatternExpr& expr) {
+    MOTTO_ASSIGN_OR_RETURN(std::vector<Operand> operands,
+                           BindOperands(expr));
+    Source out;
+    if (expr.op() == PatternOp::kDisj) {
+      MOTTO_RETURN_IF_ERROR(CollectDisj(operands, [&](const Arrival& a) {
+        out.arrivals.push_back(a);
+        return CountEmission();
+      }));
+      return out;
+    }
+    MOTTO_RETURN_IF_ERROR(Enumerate(
+        expr.op(), operands,
+        [&](const std::vector<const Arrival*>& chosen, Timestamp begin,
+            Timestamp end) {
+          Arrival a;
+          a.begin = begin;
+          a.end = end;
+          for (const Arrival* part : chosen) {
+            a.parts.insert(a.parts.end(), part->parts.begin(),
+                           part->parts.end());
+          }
+          out.arrivals.push_back(std::move(a));
+          return CountEmission();
+        }));
+    return out;
+  }
+
+  const EventStream& stream_;
+  Duration window_ = 0;
+  uint64_t budget_ = 0;
+  uint64_t match_budget_ = 0;
+  uint64_t steps_ = 0;
+  uint64_t emitted_ = 0;
+  /// Sub-match arrivals memoized by source key: children sharing a key
+  /// share one Source object, which is what makes per-source injectivity
+  /// line up with the engine's shared channels.
+  std::map<std::string, std::unique_ptr<Source>> memo_;
+};
+
+}  // namespace
+
+Result<MatchSet> OracleMatches(const Query& query, const EventStream& stream,
+                               const OracleOptions& options) {
+  MOTTO_RETURN_IF_ERROR(ValidateStream(stream));
+  Oracle oracle(stream, query.window, options);
+  return oracle.Run(query.pattern);
+}
+
+}  // namespace motto::verify

@@ -1,0 +1,48 @@
+#ifndef MOTTO_VERIFY_ORACLE_H_
+#define MOTTO_VERIFY_ORACLE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "event/stream.h"
+
+namespace motto::verify {
+
+/// Multiset of match fingerprints (`Event::Fingerprint()` format), the unit
+/// every execution path is reduced to before comparison. A multiset — not a
+/// set — because match multiplicity is part of the semantics (CONJ over
+/// duplicate operand types emits one match per operand assignment).
+using MatchSet = std::multiset<std::string>;
+
+struct OracleOptions {
+  /// Abort with kOutOfRange once this many enumeration steps have been
+  /// taken. The oracle is exponential by design; the budget turns an
+  /// accidental blow-up (huge window over a dense stream) into a skippable
+  /// error instead of a hung test.
+  uint64_t max_steps = 3'000'000;
+  /// Abort with kOutOfRange once this many matches (final emissions plus
+  /// inner sub-match arrivals) have been produced. Every execution path
+  /// materializes the same match set the oracle computes, so an uncapped
+  /// million-match case blows up all five engine paths too — the differ
+  /// probes the oracle first and skips such cases before any engine runs.
+  uint64_t max_matches = 50'000;
+};
+
+/// Brute-force reference semantics for one (possibly nested) CCL query over
+/// a primitive stream, by direct enumeration of operand assignments — no
+/// NFA, arena, catalog, or executor code, only the AST and the event model.
+/// DESIGN.md §10 states the evaluation rules and why they coincide with the
+/// engine's operational semantics.
+///
+/// Requirements mirror DivideNested: the pattern must be a validated
+/// operator (not a bare leaf), the window positive, and NEG present only on
+/// the outermost operator.
+Result<MatchSet> OracleMatches(const Query& query, const EventStream& stream,
+                               const OracleOptions& options = OracleOptions{});
+
+}  // namespace motto::verify
+
+#endif  // MOTTO_VERIFY_ORACLE_H_

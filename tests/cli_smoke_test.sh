@@ -83,4 +83,14 @@ EOF
 grep -q "x NA" compare.out || fail "compare table missing"
 grep -q -- "-- MOTTO report --" compare.out || fail "mode report missing"
 
+# Differential verification: a short fuzz sweep (oracle vs every execution
+# path) and the curated repro corpus replayed one pair at a time.
+"${MOTTO}" verify --seed=7 --iters=25 > verify.out || fail "verify fuzz"
+grep -q " 0 failures" verify.out || fail "verify fuzz found discrepancies"
+corpus="$(cd "$(dirname "$0")/.." && pwd)/examples/verify"
+for ccl in "${corpus}"/*.ccl; do
+  "${MOTTO}" verify --workload="${ccl}" --stream="${ccl%.ccl}.csv" \
+    >/dev/null || fail "verify corpus $(basename "${ccl}")"
+done
+
 echo "PASS"

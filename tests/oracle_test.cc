@@ -1,0 +1,295 @@
+// Table-driven edge semantics for the brute-force oracle, pinned two ways:
+// against hand-computed match multisets, and against the engine (per-query
+// NA plan through the executor) on the same cases. Covers the boundary
+// behaviours DESIGN.md §10 spells out: minimal windows, inclusive window
+// and NEG interval endpoints, NEG at stream head/tail, simultaneous
+// timestamps, empty streams, and duplicate-type multiplicity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ccl/parser.h"
+#include "engine/executor.h"
+#include "event/stream.h"
+#include "motto/optimizer.h"
+#include "test_util.h"
+#include "verify/oracle.h"
+
+namespace motto {
+namespace {
+
+using testing::MakeStream;
+using verify::MatchSet;
+using verify::OracleMatches;
+
+/// One pinned case: a CCL pattern text, a window, a stream given as
+/// (type name, ts) pairs, and the expected fingerprints spelled out as
+/// "name@ts" parts (translated to type ids at run time).
+struct OracleCase {
+  const char* label;
+  const char* pattern;
+  Duration window;
+  std::vector<std::pair<std::string, Timestamp>> events;
+  /// Each match as its constituent list; multiset semantics.
+  std::vector<std::vector<std::pair<std::string, Timestamp>>> expect;
+};
+
+MatchSet ExpectedSet(const OracleCase& c, const EventTypeRegistry& registry) {
+  MatchSet out;
+  for (const auto& match : c.expect) {
+    std::vector<Constituent> parts;
+    Timestamp end = 0;
+    for (const auto& [name, ts] : match) {
+      EventTypeId type = registry.Find(name);
+      EXPECT_NE(type, kInvalidEventType) << name;
+      parts.push_back(Constituent{type, ts, 0});
+      end = std::max(end, ts);
+    }
+    out.insert(Event::Composite(0, parts, end).Fingerprint());
+  }
+  return out;
+}
+
+/// The same query through the real engine: NA plan, single query, executor.
+MatchSet EngineSet(const Query& query, const EventStream& stream,
+                   EventTypeRegistry* registry) {
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kNa;
+  Optimizer optimizer(registry, ComputeStats(stream), options);
+  auto outcome = optimizer.Optimize({query});
+  EXPECT_TRUE(outcome.ok()) << outcome.status();
+  auto executor = Executor::Create(outcome->jqp);
+  EXPECT_TRUE(executor.ok()) << executor.status();
+  auto run = executor->Run(stream);
+  EXPECT_TRUE(run.ok()) << run.status();
+  MatchSet out;
+  auto it = run->sink_events.find(query.name);
+  if (it != run->sink_events.end()) {
+    for (const Event& e : it->second) out.insert(e.Fingerprint());
+  }
+  return out;
+}
+
+void RunCase(const OracleCase& c) {
+  SCOPED_TRACE(c.label);
+  EventTypeRegistry registry;
+  EventStream stream = MakeStream(&registry, c.events);
+  auto pattern = ccl::ParsePattern(c.pattern, &registry);
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  Query query{"q", *pattern, c.window};
+
+  auto oracle = OracleMatches(query, stream);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  EXPECT_EQ(*oracle, ExpectedSet(c, registry)) << "oracle vs hand-computed";
+  EXPECT_EQ(*oracle, EngineSet(query, stream, &registry))
+      << "oracle vs engine";
+}
+
+TEST(OracleTest, WindowEdges) {
+  // Window guard is max_end - min_begin <= window, inclusive.
+  RunCase({"span-equals-window", "SEQ(a, b)", 5,
+           {{"a", 10}, {"b", 15}},
+           {{{"a", 10}, {"b", 15}}}});
+  RunCase({"span-exceeds-window", "SEQ(a, b)", 4,
+           {{"a", 10}, {"b", 15}},
+           {}});
+  RunCase({"minimal-window", "SEQ(a, b)", 1,
+           {{"a", 10}, {"b", 11}, {"b", 12}},
+           {{{"a", 10}, {"b", 11}}}});
+  RunCase({"window-beyond-stream", "SEQ(a, b)", 1000000,
+           {{"a", 1}, {"b", 999}},
+           {{{"a", 1}, {"b", 999}}}});
+}
+
+TEST(OracleTest, SimultaneousTimestamps) {
+  // SEQ's order guard is strict (end < begin): equal timestamps never
+  // satisfy it; CONJ accepts any order including simultaneity.
+  RunCase({"seq-equal-ts", "SEQ(a, b)", 10, {{"a", 5}, {"b", 5}}, {}});
+  RunCase({"conj-equal-ts", "CONJ(a & b)", 10,
+           {{"a", 5}, {"b", 5}},
+           {{{"a", 5}, {"b", 5}}}});
+  RunCase({"seq-same-type-equal-ts", "SEQ(a, a)", 10,
+           {{"a", 5}, {"a", 5}},
+           {}});
+}
+
+TEST(OracleTest, DuplicateTypeMultiplicity) {
+  // CONJ over duplicate operand types: one match per ordered assignment of
+  // distinct events, so two a's yield two (fingerprint-identical) matches.
+  RunCase({"conj-a-a", "CONJ(a & a)", 10,
+           {{"a", 1}, {"a", 3}},
+           {{{"a", 1}, {"a", 3}}, {{"a", 1}, {"a", 3}}}});
+  // A single event can never fill both operands.
+  RunCase({"conj-a-a-single", "CONJ(a & a)", 10, {{"a", 1}}, {}});
+  // SEQ over the same type needs strict timestamp order, once per pair.
+  RunCase({"seq-a-a", "SEQ(a, a)", 10,
+           {{"a", 1}, {"a", 3}},
+           {{{"a", 1}, {"a", 3}}}});
+}
+
+TEST(OracleTest, NegationInterval) {
+  // NEG kills when a negated event lies in [min_begin, min_begin + window],
+  // both ends inclusive — including negated events *before* the last
+  // operand (head) and *after* it (tail, the deferred-emission case).
+  RunCase({"neg-kills-inside", "SEQ(a, b, NEG(c))", 10,
+           {{"a", 10}, {"c", 14}, {"b", 15}},
+           {}});
+  RunCase({"neg-at-min-begin", "SEQ(a, b, NEG(c))", 10,
+           {{"c", 10}, {"a", 10}, {"b", 15}},
+           {}});
+  RunCase({"neg-at-window-end", "SEQ(a, b, NEG(c))", 10,
+           {{"a", 10}, {"b", 15}, {"c", 20}},
+           {}});
+  RunCase({"neg-just-past-window", "SEQ(a, b, NEG(c))", 10,
+           {{"a", 10}, {"b", 15}, {"c", 21}},
+           {{{"a", 10}, {"b", 15}}}});
+  // NEG before the match's window opens does not kill (stream head).
+  RunCase({"neg-before-window", "SEQ(a, b, NEG(c))", 10,
+           {{"c", 9}, {"a", 10}, {"b", 15}},
+           {{{"a", 10}, {"b", 15}}}});
+  // The negated interval is anchored at min_begin, not at completion: a
+  // negated event between completion and window end still kills.
+  RunCase({"neg-after-completion", "CONJ(a & b & NEG(c))", 10,
+           {{"a", 10}, {"b", 12}, {"c", 19}},
+           {}});
+}
+
+TEST(OracleTest, NegationOwnConstituent) {
+  // A negated type that is also an operand type kills every match that
+  // starts with it (its own timestamp is inside the interval).
+  RunCase({"neg-self", "SEQ(a, b, NEG(a))", 10,
+           {{"a", 1}, {"b", 2}},
+           {}});
+}
+
+TEST(OracleTest, EmptyAndDegenerateStreams) {
+  RunCase({"empty-stream", "SEQ(a, b)", 10, {}, {}});
+  RunCase({"only-negated-events", "SEQ(a, b, NEG(c))", 10,
+           {{"c", 1}, {"c", 5}},
+           {}});
+  RunCase({"disj-empty", "DISJ(a | b)", 10, {}, {}});
+}
+
+TEST(OracleTest, DisjPassThrough) {
+  RunCase({"disj-each-event", "DISJ(a | b)", 10,
+           {{"a", 1}, {"b", 2}, {"a", 3}},
+           {{{"a", 1}}, {{"b", 2}}, {{"a", 3}}}});
+  // Duplicate operand types emit once per event, not once per operand.
+  RunCase({"disj-a-a", "DISJ(a | a)", 10,
+           {{"a", 1}},
+           {{{"a", 1}}}});
+}
+
+TEST(OracleTest, NestedSharedEvent) {
+  // CONJ(a, DISJ(a | b)): the raw channel and the DISJ pass-through are
+  // distinct arrivals, so one physical 'a' legitimately fills both
+  // operands (plus the two-distinct-events assignments, once per ordered
+  // pair via the two different channels).
+  RunCase({"conj-of-disj-self-pair", "CONJ(a & DISJ(a | b))", 10,
+           {{"a", 1}},
+           {{{"a", 1}, {"a", 1}}}});
+  RunCase({"conj-of-disj-two-events", "CONJ(a & DISJ(a | b))", 10,
+           {{"a", 1}, {"a", 2}},
+           {{{"a", 1}, {"a", 1}},
+            {{"a", 2}, {"a", 2}},
+            {{"a", 1}, {"a", 2}},
+            {{"a", 2}, {"a", 1}}}});
+  // Identical operator children share one producer channel, so distinct
+  // arrivals are required: a single 'a' cannot fill both DISJ operands.
+  RunCase({"conj-of-identical-disj", "CONJ(DISJ(a | b) & DISJ(a | b))", 10,
+           {{"a", 1}},
+           {}});
+}
+
+TEST(OracleTest, Predicates) {
+  EventTypeRegistry registry;
+  EventStream stream;
+  EventTypeId a = registry.RegisterPrimitive("a");
+  EventTypeId b = registry.RegisterPrimitive("b");
+  stream.push_back(Event::Primitive(a, 1, Payload{50.0, 10}));
+  stream.push_back(Event::Primitive(a, 2, Payload{80.0, 10}));
+  stream.push_back(Event::Primitive(b, 3, Payload{10.0, 999}));
+
+  auto pattern = ccl::ParsePattern("SEQ(a[value > 60], b)", &registry);
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  Query query{"q", *pattern, 100};
+  auto oracle = OracleMatches(query, stream);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  MatchSet expect;
+  expect.insert(
+      Event::Composite(0, {{a, 2, 0}, {b, 3, 1}}, 3).Fingerprint());
+  EXPECT_EQ(*oracle, expect);
+  EXPECT_EQ(*oracle, EngineSet(query, stream, &registry));
+
+  // Differently-predicated operands of one type share the raw channel, so
+  // an event satisfying both predicates still fills only one operand.
+  auto both = ccl::ParsePattern("CONJ(a[value > 10] & a[aux <= 100])",
+                                &registry);
+  ASSERT_TRUE(both.ok()) << both.status();
+  Query query2{"q2", *both, 100};
+  auto oracle2 = OracleMatches(query2, stream);
+  ASSERT_TRUE(oracle2.ok()) << oracle2.status();
+  // a@1 and a@2 each satisfy both predicates: two ordered assignments.
+  MatchSet expect2;
+  std::string pair =
+      Event::Composite(0, {{a, 1, 0}, {a, 2, 1}}, 2).Fingerprint();
+  expect2.insert(pair);
+  expect2.insert(pair);
+  EXPECT_EQ(*oracle2, expect2);
+  EXPECT_EQ(*oracle2, EngineSet(query2, stream, &registry));
+
+  // Negated predicate: only matching payloads kill.
+  auto neg = ccl::ParsePattern("SEQ(a, b, NEG(a[value > 60]))", &registry);
+  ASSERT_TRUE(neg.ok()) << neg.status();
+  Query query3{"q3", *neg, 100};
+  auto oracle3 = OracleMatches(query3, stream);
+  ASSERT_TRUE(oracle3.ok()) << oracle3.status();
+  // a@2 (value 80) kills everything in [1, 101] and [2, 102].
+  EXPECT_TRUE(oracle3->empty());
+  EXPECT_EQ(*oracle3, EngineSet(query3, stream, &registry));
+}
+
+TEST(OracleTest, RejectsSameCasesAsDivision) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("a");
+  EventStream stream;
+
+  // Bare leaf.
+  Query leaf{"q", PatternExpr::Leaf(a), 10};
+  EXPECT_FALSE(OracleMatches(leaf, stream).ok());
+
+  // Non-positive window.
+  Query zero{"q", PatternExpr::Operator(PatternOp::kSeq,
+                                        {PatternExpr::Leaf(a),
+                                         PatternExpr::Leaf(a)}),
+             0};
+  EXPECT_FALSE(OracleMatches(zero, stream).ok());
+
+  // Inner negation.
+  PatternExpr inner = PatternExpr::Operator(
+      PatternOp::kSeq, {PatternExpr::Leaf(a), PatternExpr::Leaf(a)},
+      {PatternExpr::Leaf(a)});
+  Query nested{"q", PatternExpr::Operator(PatternOp::kConj,
+                                          {inner, PatternExpr::Leaf(a)}),
+               10};
+  EXPECT_FALSE(OracleMatches(nested, stream).ok());
+}
+
+TEST(OracleTest, BudgetExhaustionIsOutOfRange) {
+  EventTypeRegistry registry;
+  std::vector<std::pair<std::string, Timestamp>> events;
+  for (int i = 0; i < 64; ++i) events.emplace_back("a", i);
+  EventStream stream = MakeStream(&registry, events);
+  auto pattern = ccl::ParsePattern("CONJ(a & a & a & a)", &registry);
+  ASSERT_TRUE(pattern.ok()) << pattern.status();
+  Query query{"q", *pattern, 1000};
+  verify::OracleOptions options;
+  options.max_steps = 1000;
+  auto result = OracleMatches(query, stream, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace motto

@@ -2,10 +2,15 @@
 
 #include <functional>
 #include <limits>
+#include <map>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "engine/executor.h"
+#include "motto/optimizer.h"
+#include "verify/fuzzer.h"
+#include "verify/oracle.h"
 
 namespace motto {
 namespace {
@@ -195,6 +200,74 @@ TEST(SolverTest, SelectPlanForceApproximate) {
   EXPECT_FALSE(decision.exact);
   EXPECT_LE(decision.cost, 30.0);
   EXPECT_TRUE(ValidateDecision(graph, decision).ok());
+}
+
+/// Per-user-query fingerprint multisets from one JQP run.
+std::map<std::string, verify::MatchSet> PlanMatches(
+    const Jqp& jqp, const std::vector<Query>& queries,
+    const EventStream& stream) {
+  std::map<std::string, verify::MatchSet> out;
+  auto executor = Executor::Create(jqp);
+  EXPECT_TRUE(executor.ok()) << executor.status();
+  auto run = executor->Run(stream);
+  EXPECT_TRUE(run.ok()) << run.status();
+  for (const Query& query : queries) {
+    verify::MatchSet& set = out[query.name];
+    auto it = run->sink_events.find(query.name);
+    if (it == run->sink_events.end()) continue;
+    for (const Event& e : it->second) set.insert(e.Fingerprint());
+  }
+  return out;
+}
+
+TEST(SolverTest, SaNeverBeatsExactOnFuzzedWorkloadsAndPlansAgree) {
+  // End-to-end cross-check on real (fuzzed) workloads small enough for the
+  // exact solver: SA's plan cost must be >= B&B's optimum, both decisions
+  // must validate against their sharing graph, and — cost aside — both
+  // JQPs must produce identical per-query match multisets.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EventTypeRegistry registry;
+    verify::FuzzOptions fuzz;
+    fuzz.num_queries = 4;
+    fuzz.num_events = 30;
+    verify::QueryFuzzer fuzzer(&registry, fuzz, seed);
+    verify::FuzzCase fuzz_case = fuzzer.Next();
+    StreamStats stats = ComputeStats(fuzz_case.stream);
+
+    OptimizerOptions exact_options;
+    exact_options.mode = OptimizerMode::kMotto;
+    exact_options.planner.exact_budget_seconds = 5.0;
+    Optimizer exact_optimizer(&registry, stats, exact_options);
+    auto exact = exact_optimizer.Optimize(fuzz_case.queries);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+
+    OptimizerOptions sa_options = exact_options;
+    sa_options.planner.force_approximate = true;
+    sa_options.planner.sa_iterations = 2000;
+    sa_options.planner.seed = seed;
+    Optimizer sa_optimizer(&registry, stats, sa_options);
+    auto sa = sa_optimizer.Optimize(fuzz_case.queries);
+    ASSERT_TRUE(sa.ok()) << sa.status();
+
+    auto exact_check = ValidateDecision(exact->sharing_graph,
+                                        exact->decision);
+    ASSERT_TRUE(exact_check.ok()) << exact_check.status();
+    EXPECT_NEAR(*exact_check, exact->decision.cost, 1e-9);
+    auto sa_check = ValidateDecision(sa->sharing_graph, sa->decision);
+    ASSERT_TRUE(sa_check.ok()) << sa_check.status();
+    EXPECT_NEAR(*sa_check, sa->decision.cost, 1e-9);
+
+    if (exact->exact) {
+      EXPECT_GE(sa->decision.cost, exact->decision.cost - 1e-9);
+      EXPECT_LE(exact->decision.cost,
+                DefaultPlanCost(exact->sharing_graph) + 1e-9);
+    }
+
+    EXPECT_EQ(PlanMatches(exact->jqp, fuzz_case.queries, fuzz_case.stream),
+              PlanMatches(sa->jqp, fuzz_case.queries, fuzz_case.stream))
+        << "exact and SA plans disagree on results";
+  }
 }
 
 TEST(SolverTest, ValidateDecisionCatchesInconsistencies) {

@@ -9,6 +9,14 @@
 #
 # Usage: tools/check_build.sh [--jobs N]
 # Exits non-zero on the first configuration that fails to build or test.
+#
+# MOTTO_FUZZ_ITERS scales the differential-verification suites (ctest label
+# `verify`: oracle vs matcher vs shared/parallel/SA plans, plus the CCL
+# round-trip fuzz). It is exported through to the test binaries, so e.g.
+#   MOTTO_FUZZ_ITERS=2000 tools/check_build.sh
+# turns the default quick pass into a nightly-depth sweep in all three
+# configurations. Unset, the suites use their built-in defaults
+# (40 differential cases per seed, 10k round-trip queries).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,7 +38,9 @@ fi
 
 # ObsEngineTest covers the instrumented executors (metrics shards + trace
 # sink under the worker pool), so it belongs in the threaded tsan slice.
-TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest'
+# DifferentialTest drives every fuzzed case through ParallelExecutor with
+# tiny batches, which is the densest cross-thread traffic in the suite.
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest'
 
 run_config() {
   local dir="$1" sanitize="$2" test_filter="$3"

@@ -10,6 +10,9 @@
 //                     [--metrics-out=FILE.json]
 //   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
 //                     [--reports]
+//   motto verify      --seed=S --iters=N [--queries=Q] [--events=E]
+//                     [--threads=T] [--dump=DIR]          (fuzz mode)
+//   motto verify      --workload=FILE.ccl --stream=FILE.csv  (repro mode)
 //
 // Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
 //   lost: SELECT * FROM dc MATCHING [30 sec : SEQ(a, b, NEG(c))]
@@ -26,6 +29,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "planner/solver.h"
+#include "verify/differ.h"
 #include "workload/data_gen.h"
 #include "workload/harness.h"
 #include "workload/io.h"
@@ -287,10 +291,55 @@ int Compare(const Args& args) {
   return 0;
 }
 
+/// Differential verification (DESIGN.md §10). Fuzz mode checks N seeded
+/// cases across every execution path; repro mode replays one dumped case.
+int Verify(const Args& args) {
+  verify::DifferOptions options;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  options.iterations = static_cast<int>(args.GetInt("iters", 100));
+  options.threads = static_cast<int>(args.GetInt("threads", 3));
+  options.fuzz.num_queries = static_cast<int>(args.GetInt("queries", 3));
+  options.fuzz.num_events = static_cast<int>(args.GetInt("events", 36));
+  options.dump_dir = args.Get("dump", "");
+
+  std::string workload_path = args.Get("workload", "");
+  if (!workload_path.empty()) {
+    // Repro mode: re-check one concrete (workload, stream) pair.
+    EventTypeRegistry registry;
+    auto queries = LoadWorkloadFile(workload_path, &registry);
+    if (!queries.ok()) return Fail(queries.status());
+    auto stream = LoadStreamCsv(args.Get("stream", "stream.csv"), &registry);
+    if (!stream.ok()) return Fail(stream.status());
+    auto report = verify::CheckCase(*queries, *stream, &registry, options);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s", report->ToString().c_str());
+    return report->ok() ? 0 : 1;
+  }
+
+  auto outcome = verify::RunDiffer(options);
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::printf("verify: %d cases (seed %llu..%llu), %d skipped, %zu failures\n",
+              outcome->iterations,
+              static_cast<unsigned long long>(options.seed),
+              static_cast<unsigned long long>(
+                  options.seed +
+                  static_cast<uint64_t>(options.iterations) - 1),
+              outcome->skipped, outcome->failures.size());
+  for (const verify::Failure& failure : outcome->failures) {
+    std::printf("\n-- failing case (seed %llu) --\n%s-- workload --\n%s"
+                "-- repro --\n%s",
+                static_cast<unsigned long long>(failure.case_seed),
+                failure.report.c_str(), failure.workload_text.c_str(),
+                failure.repro.c_str());
+  }
+  return outcome->ok() ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: motto <gen-stream|gen-workload|explain|run|compare> "
+                 "usage: motto "
+                 "<gen-stream|gen-workload|explain|run|compare|verify> "
                  "[--key=value ...]\n");
     return 2;
   }
@@ -301,6 +350,7 @@ int Main(int argc, char** argv) {
   if (command == "explain") return Explain(args);
   if (command == "run") return RunWorkload(args);
   if (command == "compare") return Compare(args);
+  if (command == "verify") return Verify(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }
