@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "motto/nested.h"
 #include "motto/rewriter.h"
+#include "obs/opt_trace.h"
 #include "planner/solver.h"
 #include "workload/data_gen.h"
 #include "workload/query_gen.h"
@@ -50,8 +51,44 @@ void BM_Rewriter(benchmark::State& state) {
                           &prepared->registry, &catalog, &cost);
     benchmark::DoNotOptimize(graph.edges.size());
   }
+  // Candidate-trace counters from one probed rebuild, outside the timing
+  // loop: the timed iterations above stay the probe-disabled baseline.
+  obs::OptimizerProbe probe;
+  RewriterOptions probed = RewriterOptions::Motto();
+  probed.probe = &probe;
+  CompositeCatalog catalog = prepared->catalog;
+  CostModel cost(prepared->stats);
+  BuildSharingGraph(prepared->flat, probed, &prepared->registry, &catalog,
+                    &cost);
+  state.counters["candidates"] =
+      static_cast<double>(probe.rewriter.candidates.size());
+  state.counters["pairs"] =
+      static_cast<double>(probe.rewriter.pairs_considered);
 }
 BENCHMARK(BM_Rewriter)->Arg(20)->Arg(60)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// Probe-attached twin of BM_Rewriter: its delta against BM_Rewriter is the
+// full cost of candidate recording (the null-probe parity claim is checked
+// by comparing the two in tools/run_bench.py output).
+void BM_RewriterProbed(benchmark::State& state) {
+  auto prepared = Prepare(static_cast<int>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    CompositeCatalog catalog = prepared->catalog;
+    CostModel cost(prepared->stats);
+    obs::OptimizerProbe probe;
+    RewriterOptions options = RewriterOptions::Motto();
+    options.probe = &probe;
+    SharingGraph graph = BuildSharingGraph(
+        prepared->flat, options, &prepared->registry, &catalog, &cost);
+    benchmark::DoNotOptimize(probe.rewriter.candidates.size());
+    benchmark::DoNotOptimize(graph.edges.size());
+  }
+}
+BENCHMARK(BM_RewriterProbed)
+    ->Arg(20)
+    ->Arg(60)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
 
 SharingGraph BuildGraphFor(PreparedWorkload* prepared) {
   CostModel cost(prepared->stats);
@@ -68,8 +105,32 @@ void BM_BranchAndBound(benchmark::State& state) {
   }
   state.counters["nodes"] = static_cast<double>(graph.nodes.size());
   state.counters["edges"] = static_cast<double>(graph.edges.size());
+  // Search-shape counters from one probed solve outside the timing loop
+  // (deterministic: same graph => same counts as the timed solves).
+  obs::OptimizerProbe probe;
+  SolveBranchAndBound(graph, 5.0, &probe);
+  state.counters["expansions"] = static_cast<double>(probe.bnb.expansions);
+  state.counters["pruned"] = static_cast<double>(probe.bnb.pruned_by_bound);
+  state.counters["incumbents"] =
+      static_cast<double>(probe.bnb.incumbents.size());
 }
 BENCHMARK(BM_BranchAndBound)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BranchAndBoundProbed(benchmark::State& state) {
+  auto prepared = Prepare(static_cast<int>(state.range(0)), 0.5);
+  SharingGraph graph = BuildGraphFor(prepared.get());
+  for (auto _ : state) {
+    obs::OptimizerProbe probe;
+    PlanDecision decision = SolveBranchAndBound(graph, 5.0, &probe);
+    benchmark::DoNotOptimize(decision.cost);
+    benchmark::DoNotOptimize(probe.bnb.expansions);
+  }
+}
+BENCHMARK(BM_BranchAndBoundProbed)
     ->Arg(20)
     ->Arg(40)
     ->Arg(60)
@@ -82,8 +143,28 @@ void BM_SimulatedAnnealing(benchmark::State& state) {
     PlanDecision decision = SolveSimulatedAnnealing(graph, 17, 20000);
     benchmark::DoNotOptimize(decision.cost);
   }
+  obs::OptimizerProbe probe;
+  SolveSimulatedAnnealing(graph, 17, 20000, &probe);
+  state.counters["sa_epochs"] = static_cast<double>(probe.sa.epochs.size());
+  state.counters["sa_accepted"] = static_cast<double>(probe.sa.accepted);
 }
 BENCHMARK(BM_SimulatedAnnealing)
+    ->Arg(20)
+    ->Arg(60)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedAnnealingProbed(benchmark::State& state) {
+  auto prepared = Prepare(static_cast<int>(state.range(0)), 0.5);
+  SharingGraph graph = BuildGraphFor(prepared.get());
+  for (auto _ : state) {
+    obs::OptimizerProbe probe;
+    PlanDecision decision = SolveSimulatedAnnealing(graph, 17, 20000, &probe);
+    benchmark::DoNotOptimize(decision.cost);
+    benchmark::DoNotOptimize(probe.sa.accepted);
+  }
+}
+BENCHMARK(BM_SimulatedAnnealingProbed)
     ->Arg(20)
     ->Arg(60)
     ->Arg(100)

@@ -187,6 +187,7 @@ Result<OptimizeOutcome> Optimizer::OptimizeDivided(
     Jqp jqp;
     MOTTO_RETURN_IF_ERROR(
         AppendChainsUnshared(chains, catalog, registry_, &jqp));
+    outcome.provenance.nodes.resize(jqp.nodes.size());
     outcome.jqp = std::move(jqp);
     outcome.planned_cost = outcome.default_cost;
     outcome.exact = true;
@@ -206,13 +207,16 @@ Result<OptimizeOutcome> Optimizer::OptimizeDivided(
   }
 
   Clock::time_point rewrite_start = Clock::now();
-  outcome.sharing_graph =
-      BuildSharingGraph(shareable, RewriterOptionsFor(options_.mode),
-                        registry_, &catalog, &cost_model);
+  RewriterOptions rewriter_options = RewriterOptionsFor(options_.mode);
+  rewriter_options.probe = options_.probe;
+  outcome.sharing_graph = BuildSharingGraph(shareable, rewriter_options,
+                                            registry_, &catalog, &cost_model);
   outcome.rewrite_seconds = SecondsSince(rewrite_start);
 
   Clock::time_point plan_start = Clock::now();
-  outcome.decision = SelectPlan(outcome.sharing_graph, options_.planner);
+  PlannerOptions planner_options = options_.planner;
+  planner_options.probe = options_.probe;
+  outcome.decision = SelectPlan(outcome.sharing_graph, planner_options);
   outcome.plan_seconds = SecondsSince(plan_start);
   outcome.exact = outcome.decision.exact;
   outcome.planned_cost = outcome.decision.cost;
@@ -227,9 +231,11 @@ Result<OptimizeOutcome> Optimizer::OptimizeDivided(
 
   MOTTO_ASSIGN_OR_RETURN(Jqp jqp,
                          BuildJqp(outcome.sharing_graph, outcome.decision,
-                                  catalog, registry_));
+                                  catalog, registry_, &outcome.provenance));
   MOTTO_RETURN_IF_ERROR(
       AppendChainsUnshared(opaque, catalog, registry_, &jqp));
+  // Opaque chain nodes executed unshared get the default (no-sharing) origin.
+  outcome.provenance.nodes.resize(jqp.nodes.size());
   outcome.jqp = std::move(jqp);
   return outcome;
 }

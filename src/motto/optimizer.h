@@ -11,6 +11,7 @@
 #include "motto/catalog.h"
 #include "motto/rewriter.h"
 #include "motto/sharing_graph.h"
+#include "planner/plan_builder.h"
 #include "planner/solver.h"
 
 namespace motto {
@@ -28,6 +29,9 @@ std::string_view OptimizerModeName(OptimizerMode mode);
 struct OptimizerOptions {
   OptimizerMode mode = OptimizerMode::kMotto;
   PlannerOptions planner;
+  /// Optional observability sink (obs/opt_trace.h), threaded into both the
+  /// rewriter and the planner. Null: no recording, no overhead.
+  obs::OptimizerProbe* probe = nullptr;
 };
 
 /// Everything produced by one optimization run.
@@ -43,6 +47,10 @@ struct OptimizeOutcome {
   double plan_seconds = 0.0;
   bool exact = false;
   size_t num_flat_queries = 0;
+  /// Per-jqp-node sharing provenance, parallel to jqp.nodes. Nodes appended
+  /// outside the sharing plan (NA baseline, opaque nested chains) carry the
+  /// default origin (sharing_node = -1).
+  PlanProvenance provenance;
 };
 
 /// MOTTO's front door: divides (possibly nested) queries, discovers sharing,

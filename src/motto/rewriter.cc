@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/opt_trace.h"
 #include "util/suffix_tree.h"
 
 namespace motto {
@@ -93,6 +94,12 @@ class RewriterImpl {
       }
     }
     GenerateEdges();
+    if (options_.probe != nullptr) {
+      obs::RewriterTelemetry& t = options_.probe->rewriter;
+      t.graph_nodes = graph_.nodes.size();
+      t.graph_edges = graph_.edges.size();
+      t.recorded = true;
+    }
     return std::move(graph_);
   }
 
@@ -281,13 +288,39 @@ class RewriterImpl {
     return true;
   }
 
+  /// Records one candidate rewrite into the probe; the rewriter's behavior
+  /// never depends on it. `cost` is 0 for candidates rejected structurally
+  /// before costing.
+  void RecordCandidate(int32_t u, int32_t v, RewriteRecipe::Kind kind,
+                       obs::EdgeDecision decision, double cost) {
+    if (options_.probe == nullptr) return;
+    const SharingNode& nu = graph_.nodes[static_cast<size_t>(u)];
+    const SharingNode& nv = graph_.nodes[static_cast<size_t>(v)];
+    obs::EdgeCandidate candidate;
+    candidate.source = u;
+    candidate.target = v;
+    candidate.source_key = nu.key;
+    candidate.target_key = nv.key;
+    candidate.family =
+        std::string(RewriteFamilyName(ClassifyRewrite(graph_, u, v, kind)));
+    candidate.recipe = std::string(RecipeKindName(kind));
+    candidate.decision = decision;
+    candidate.cost = cost;
+    candidate.scratch_cost = nv.scratch_cost;
+    options_.probe->rewriter.candidates.push_back(std::move(candidate));
+  }
+
   void AddEdge(int32_t u, int32_t v, RewriteRecipe recipe, double cost) {
     // Keep only clearly profitable rewrites: marginal ones trade modeled
     // savings for real materialization overhead and plan complexity.
-    if (options_.prune_unprofitable &&
-        cost >= kProfitMargin * graph_.nodes[static_cast<size_t>(v)].scratch_cost) {
-      return;
-    }
+    const bool profitable =
+        !options_.prune_unprofitable ||
+        cost < kProfitMargin * graph_.nodes[static_cast<size_t>(v)].scratch_cost;
+    RecordCandidate(u, v, recipe.kind,
+                    profitable ? obs::EdgeDecision::kAccepted
+                               : obs::EdgeDecision::kRejectedUnprofitable,
+                    cost);
+    if (!profitable) return;
     graph_.edges.push_back(SharingEdge{u, v, std::move(recipe), cost});
   }
 
@@ -318,12 +351,20 @@ class RewriterImpl {
   void TryEdges(int32_t ui, int32_t vi) {
     const SharingNode& u = graph_.nodes[static_cast<size_t>(ui)];
     const SharingNode& v = graph_.nodes[static_cast<size_t>(vi)];
-    if (!u.pattern.negated.empty()) return;  // NEG outputs are not shareable.
+    obs::OptimizerProbe* probe = options_.probe;
+    if (probe != nullptr) ++probe->rewriter.pairs_considered;
+    if (!u.pattern.negated.empty()) {  // NEG outputs are not shareable.
+      if (probe != nullptr) ++probe->rewriter.negated_source_skips;
+      return;
+    }
     bool window_ok = u.pattern.op == PatternOp::kDisj
                          ? true
                          : (SameWindowRequired() ? u.window == v.window
                                                  : u.window >= v.window);
-    if (!window_ok) return;
+    if (!window_ok) {
+      if (probe != nullptr) ++probe->rewriter.window_mismatch_skips;
+      return;
+    }
 
     // Same pattern, wider source window: span filter (§IV-D).
     if (options_.enable_windows && u.pattern.op != PatternOp::kDisj &&
@@ -374,29 +415,42 @@ class RewriterImpl {
                 cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
             AddEdge(ui, vi, recipe, cost);
           }
-        } else if (IsSubsequence(needle, hay) && options_.enable_mst &&
-                   v.pattern.negated.empty() && AllPrimitiveDistinct(v.pattern)) {
-          // Non-substring merge: CONJ(composite & rest) + order filter
-          // (paper Example 1).
-          std::vector<size_t> positions = SubsequencePositions(needle, hay);
-          RewriteRecipe recipe;
-          recipe.kind = RewriteRecipe::Kind::kMergeOrdered;
-          for (size_t p : positions) {
-            recipe.covered.push_back(static_cast<int32_t>(p));
+          for (size_t o = count; o < occurrences.size(); ++o) {
+            RecordCandidate(ui, vi, RewriteRecipe::Kind::kCompositeOperand,
+                            obs::EdgeDecision::kRejectedOccurrenceCap, 0.0);
           }
-          std::vector<double> rates = MergedRates(u, v, recipe.covered);
-          // The unordered CONJ intermediate is estimated from first
-          // principles (it can vastly exceed the ordered final output when
-          // source matches are tight relative to the window), then the
-          // order filter discards all but the correctly-ordered ones.
-          double intermediate =
-              cost_->OutputRate(PatternOp::kConj, rates, {}, v.window);
-          double cost =
-              cost_->ProcessingCpu(PatternOp::kConj, rates, v.window) +
-              cost_->EmitCpu(intermediate, rates.size()) +
-              cost_->EstimateFilter(intermediate, 0.0).cpu_per_second +
-              cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
-          AddEdge(ui, vi, recipe, cost);
+        } else if (IsSubsequence(needle, hay) && options_.enable_mst) {
+          if (!v.pattern.negated.empty()) {
+            RecordCandidate(ui, vi, RewriteRecipe::Kind::kMergeOrdered,
+                            obs::EdgeDecision::kRejectedNegatedTarget, 0.0);
+          } else if (!AllPrimitiveDistinct(v.pattern)) {
+            // Merging through an unordered CONJ intermediate needs the
+            // duplicate-type soundness guard too.
+            RecordCandidate(ui, vi, RewriteRecipe::Kind::kMergeOrdered,
+                            obs::EdgeDecision::kRejectedDuplicateTypes, 0.0);
+          } else {
+            // Non-substring merge: CONJ(composite & rest) + order filter
+            // (paper Example 1).
+            std::vector<size_t> positions = SubsequencePositions(needle, hay);
+            RewriteRecipe recipe;
+            recipe.kind = RewriteRecipe::Kind::kMergeOrdered;
+            for (size_t p : positions) {
+              recipe.covered.push_back(static_cast<int32_t>(p));
+            }
+            std::vector<double> rates = MergedRates(u, v, recipe.covered);
+            // The unordered CONJ intermediate is estimated from first
+            // principles (it can vastly exceed the ordered final output when
+            // source matches are tight relative to the window), then the
+            // order filter discards all but the correctly-ordered ones.
+            double intermediate =
+                cost_->OutputRate(PatternOp::kConj, rates, {}, v.window);
+            double cost =
+                cost_->ProcessingCpu(PatternOp::kConj, rates, v.window) +
+                cost_->EmitCpu(intermediate, rates.size()) +
+                cost_->EstimateFilter(intermediate, 0.0).cpu_per_second +
+                cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
+            AddEdge(ui, vi, recipe, cost);
+          }
         }
       } else {
         // CONJ / DISJ: multiset containment.
@@ -422,6 +476,9 @@ class RewriterImpl {
                                      MergedRates(u, v, covered), v.window) +
                 cost_->EmitCpu(v.output_rate, v.pattern.operands.size());
             AddEdge(ui, vi, recipe, cost);
+          } else {
+            RecordCandidate(ui, vi, RewriteRecipe::Kind::kCompositeOperand,
+                            obs::EdgeDecision::kRejectedDuplicateTypes, 0.0);
           }
         }
       }
@@ -429,15 +486,33 @@ class RewriterImpl {
     }
 
     // OTT (§IV-C): transformable operators over the same operand multiset.
-    if (options_.enable_ott && u.pattern.op != v.pattern.op &&
-        v.pattern.negated.empty()) {
+    if (options_.enable_ott && u.pattern.op != v.pattern.op) {
       SymbolSeq su = u.pattern.OperandSeq();
       SymbolSeq sv = v.pattern.OperandSeq();
       std::sort(su.begin(), su.end());
       std::sort(sv.begin(), sv.end());
       if (su != sv) return;
-      if (u.pattern.op == PatternOp::kConj && v.pattern.op == PatternOp::kSeq &&
-          AllPrimitiveDistinct(v.pattern)) {
+      const bool conj_to_seq = u.pattern.op == PatternOp::kConj &&
+                               v.pattern.op == PatternOp::kSeq;
+      const bool from_disj = u.pattern.op == PatternOp::kDisj &&
+                             (v.pattern.op == PatternOp::kConj ||
+                              v.pattern.op == PatternOp::kSeq);
+      if (!conj_to_seq && !from_disj) return;
+      RewriteRecipe::Kind kind = conj_to_seq
+                                     ? RewriteRecipe::Kind::kOrderFilter
+                                     : RewriteRecipe::Kind::kFromDisj;
+      if (!v.pattern.negated.empty()) {
+        RecordCandidate(ui, vi, kind,
+                        obs::EdgeDecision::kRejectedNegatedTarget, 0.0);
+        return;
+      }
+      if (conj_to_seq) {
+        if (!AllPrimitiveDistinct(v.pattern)) {
+          // One physical event could satisfy two order-filter slots.
+          RecordCandidate(ui, vi, kind,
+                          obs::EdgeDecision::kRejectedDuplicateTypes, 0.0);
+          return;
+        }
         OperatorEstimate filter = cost_->EstimateFilter(
             u.output_rate,
             CostModel::OrderFilterSelectivity(v.pattern.operands.size()));
@@ -448,13 +523,11 @@ class RewriterImpl {
           cost += cost_->EstimateFilter(filter.output_rate, 1.0).cpu_per_second;
         }
         RewriteRecipe recipe;
-        recipe.kind = RewriteRecipe::Kind::kOrderFilter;
+        recipe.kind = kind;
         AddEdge(ui, vi, recipe, cost);
-      } else if (u.pattern.op == PatternOp::kDisj &&
-                 (v.pattern.op == PatternOp::kConj ||
-                  v.pattern.op == PatternOp::kSeq)) {
+      } else {
         RewriteRecipe recipe;
-        recipe.kind = RewriteRecipe::Kind::kFromDisj;
+        recipe.kind = kind;
         for (size_t i = 0; i < v.pattern.operands.size(); ++i) {
           recipe.covered.push_back(static_cast<int32_t>(i));
         }

@@ -8,6 +8,10 @@
 #include "motto/catalog.h"
 #include "motto/sharing_graph.h"
 
+namespace motto::obs {
+struct OptimizerProbe;
+}  // namespace motto::obs
+
 namespace motto {
 
 /// Which sharing techniques the rewriter may apply; the presets correspond
@@ -30,6 +34,10 @@ struct RewriterOptions {
   size_t max_nodes = 4000;
   size_t max_chains_per_pair = 8;
   size_t max_occurrence_edges = 2;
+  /// Optional observability sink (obs/opt_trace.h): when set, the rewriter
+  /// records every candidate edge with its accept/reject reason plus the
+  /// coarse per-pair skip counters. Null costs one pointer test per site.
+  obs::OptimizerProbe* probe = nullptr;
 
   static RewriterOptions Motto() { return RewriterOptions{}; }
   static RewriterOptions MstOnly() {

@@ -20,6 +20,39 @@ std::string_view RecipeKindName(RewriteRecipe::Kind kind) {
   return "?";
 }
 
+std::string_view RewriteFamilyName(RewriteFamily family) {
+  switch (family) {
+    case RewriteFamily::kMst:
+      return "MST";
+    case RewriteFamily::kDst:
+      return "DST";
+    case RewriteFamily::kOtt:
+      return "OTT";
+    case RewriteFamily::kWindow:
+      return "WIN";
+  }
+  return "?";
+}
+
+RewriteFamily ClassifyRewrite(const SharingGraph& graph, int32_t source,
+                              int32_t target, RewriteRecipe::Kind kind) {
+  switch (kind) {
+    case RewriteRecipe::Kind::kSpanFilter:
+      return RewriteFamily::kWindow;
+    case RewriteRecipe::Kind::kOrderFilter:
+    case RewriteRecipe::Kind::kFromDisj:
+      return RewriteFamily::kOtt;
+    case RewriteRecipe::Kind::kCompositeOperand:
+    case RewriteRecipe::Kind::kMergeOrdered:
+      break;
+  }
+  const bool both_terminal =
+      source >= 0 && static_cast<size_t>(source) < graph.nodes.size() &&
+      target >= 0 && static_cast<size_t>(target) < graph.nodes.size() &&
+      graph.nodes[source].terminal && graph.nodes[target].terminal;
+  return both_terminal ? RewriteFamily::kMst : RewriteFamily::kDst;
+}
+
 std::string SharingNodeKey(const FlatPattern& pattern, Duration window) {
   std::string key = pattern.CanonicalKey();
   key += '@';

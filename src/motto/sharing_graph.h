@@ -41,6 +41,14 @@ struct RewriteRecipe {
 
 std::string_view RecipeKindName(RewriteRecipe::Kind kind);
 
+/// Which of the paper's sharing techniques produced a rewrite: merging whole
+/// queries (MST, §IV-A), decomposing into common sub-queries (DST, §IV-B),
+/// transforming across operators (OTT, §IV-C), or window-only span filtering
+/// (§IV-D). Used to label explain output and calibration rows.
+enum class RewriteFamily : uint8_t { kMst, kDst, kOtt, kWindow };
+
+std::string_view RewriteFamilyName(RewriteFamily family);
+
 /// One candidate (sub-)query: a node of the DSMT graph. Terminal nodes are
 /// user queries (including nested-division sub-queries, which must always
 /// execute); Steiner nodes are "interesting sub-queries" the planner may or
@@ -80,6 +88,19 @@ struct SharingGraph {
 /// Node identity: canonical pattern + window (window-free for DISJ, whose
 /// pass-through output does not depend on it).
 std::string SharingNodeKey(const FlatPattern& pattern, Duration window);
+
+/// Classifies a (would-be) edge source->target of `kind` into its rewrite
+/// family: span filters are window sharing; order-filter / from-disj recipes
+/// only arise from operator transformation; composite-operand and
+/// merge-ordered are MST when both endpoints are user queries and DST when
+/// the source is a Steiner (decomposition) node.
+RewriteFamily ClassifyRewrite(const SharingGraph& graph, int32_t source,
+                              int32_t target, RewriteRecipe::Kind kind);
+
+inline RewriteFamily ClassifyEdge(const SharingGraph& graph,
+                                  const SharingEdge& edge) {
+  return ClassifyRewrite(graph, edge.source, edge.target, edge.recipe.kind);
+}
 
 }  // namespace motto
 

@@ -1,0 +1,326 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <variant>
+
+#include "ccl/pattern.h"
+#include "motto/sharing_graph.h"
+#include "obs/json_util.h"
+#include "planner/plan_builder.h"
+
+namespace motto::obs {
+
+namespace {
+
+/// Graphviz double-quoted string escaping.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string_view KindOf(const NodeSpec& spec) {
+  if (std::holds_alternative<PatternSpec>(spec)) return "pattern";
+  if (std::holds_alternative<OrderFilterSpec>(spec)) return "order-filter";
+  return "span-filter";
+}
+
+}  // namespace
+
+PlanExplain BuildPlanExplain(const motto::OptimizeOutcome& outcome,
+                             const StreamStats& stats, std::string_view mode) {
+  PlanExplain explain;
+  explain.mode = std::string(mode);
+  explain.planned_cost = outcome.planned_cost;
+  explain.default_cost = outcome.default_cost;
+  explain.exact = outcome.exact;
+
+  const Jqp& jqp = outcome.jqp;
+  std::vector<NodePrediction> predictions =
+      PredictJqpCosts(jqp, stats, &explain.warnings);
+
+  // Which user queries transitively depend on each node: walk upstream from
+  // every sink. A node serving two queries is a shared node.
+  std::vector<std::set<std::string>> dependents(jqp.nodes.size());
+  for (const Jqp::Sink& sink : jqp.sinks) {
+    explain.sinks.push_back(PlanExplain::Sink{sink.query_name, sink.node});
+    std::vector<int32_t> stack = {sink.node};
+    while (!stack.empty()) {
+      int32_t v = stack.back();
+      stack.pop_back();
+      if (v < 0 || static_cast<size_t>(v) >= jqp.nodes.size()) continue;
+      if (!dependents[static_cast<size_t>(v)].insert(sink.query_name).second) {
+        continue;  // Already visited for this query.
+      }
+      for (int32_t input : jqp.nodes[static_cast<size_t>(v)].inputs) {
+        stack.push_back(input);
+      }
+    }
+  }
+
+  const SharingGraph& graph = outcome.sharing_graph;
+  explain.nodes.reserve(jqp.nodes.size());
+  for (size_t i = 0; i < jqp.nodes.size(); ++i) {
+    const JqpNode& node = jqp.nodes[i];
+    PlanNodeInfo info;
+    info.id = static_cast<int32_t>(i);
+    info.label = node.label.empty() ? "node" + std::to_string(i) : node.label;
+    info.kind = std::string(KindOf(node.spec));
+    if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      info.op = std::string(PatternOpName(pattern->op));
+      info.window = pattern->window;
+    } else if (const auto* span = std::get_if<SpanFilterSpec>(&node.spec)) {
+      info.window = span->max_span;
+    }
+    if (i < predictions.size()) {
+      info.predicted_cpu_units = predictions[i].cpu_units;
+      info.predicted_output_rate = predictions[i].output_rate;
+    }
+    info.inputs = node.inputs;
+    info.queries.assign(dependents[i].begin(), dependents[i].end());
+    info.shared = info.queries.size() >= 2;
+
+    if (i < outcome.provenance.nodes.size()) {
+      const PlanNodeOrigin& origin = outcome.provenance.nodes[i];
+      info.sharing_node = origin.sharing_node;
+      info.role = std::string(PlanNodeRoleName(origin.role));
+      if (origin.sharing_node >= 0 &&
+          static_cast<size_t>(origin.sharing_node) < graph.nodes.size()) {
+        const SharingNode& sharing =
+            graph.nodes[static_cast<size_t>(origin.sharing_node)];
+        info.sharing_key = sharing.key;
+        info.terminal = sharing.terminal;
+      }
+      info.edge = origin.edge;
+      if (origin.edge >= 0 &&
+          static_cast<size_t>(origin.edge) < graph.edges.size()) {
+        const SharingEdge& edge = graph.edges[static_cast<size_t>(origin.edge)];
+        info.family = std::string(RewriteFamilyName(ClassifyEdge(graph, edge)));
+        info.recipe = std::string(RecipeKindName(edge.recipe.kind));
+        if (edge.source >= 0 &&
+            static_cast<size_t>(edge.source) < graph.nodes.size()) {
+          info.source_key = graph.nodes[static_cast<size_t>(edge.source)].key;
+        }
+        info.edge_cost = edge.cost;
+      }
+    }
+    explain.nodes.push_back(std::move(info));
+  }
+  return explain;
+}
+
+std::string PlanExplain::ToJson(const OptimizerProbe* probe) const {
+  std::string out = "{";
+  out += "\"mode\":\"" + JsonEscape(mode) + "\"";
+  out += ",\"planned_cost\":" + JsonNum(planned_cost);
+  out += ",\"default_cost\":" + JsonNum(default_cost);
+  out += ",\"exact\":";
+  out += exact ? "true" : "false";
+  out += ",\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNodeInfo& n = nodes[i];
+    if (i) out += ",";
+    out += "{\"id\":" + std::to_string(n.id);
+    out += ",\"label\":\"" + JsonEscape(n.label) + "\"";
+    out += ",\"kind\":\"" + JsonEscape(n.kind) + "\"";
+    out += ",\"op\":\"" + JsonEscape(n.op) + "\"";
+    out += ",\"window\":" + std::to_string(n.window);
+    out += ",\"predicted_cpu_units\":" + JsonNum(n.predicted_cpu_units);
+    out += ",\"predicted_output_rate\":" + JsonNum(n.predicted_output_rate);
+    out += ",\"inputs\":[";
+    for (size_t k = 0; k < n.inputs.size(); ++k) {
+      if (k) out += ",";
+      out += std::to_string(n.inputs[k]);
+    }
+    out += "],\"sharing_node\":" + std::to_string(n.sharing_node);
+    out += ",\"sharing_key\":\"" + JsonEscape(n.sharing_key) + "\"";
+    out += ",\"role\":\"" + JsonEscape(n.role) + "\"";
+    out += ",\"terminal\":";
+    out += n.terminal ? "true" : "false";
+    out += ",\"queries\":[";
+    for (size_t k = 0; k < n.queries.size(); ++k) {
+      if (k) out += ",";
+      out += "\"" + JsonEscape(n.queries[k]) + "\"";
+    }
+    out += "],\"edge\":" + std::to_string(n.edge);
+    out += ",\"family\":\"" + JsonEscape(n.family) + "\"";
+    out += ",\"recipe\":\"" + JsonEscape(n.recipe) + "\"";
+    out += ",\"source_key\":\"" + JsonEscape(n.source_key) + "\"";
+    out += ",\"edge_cost\":" + JsonNum(n.edge_cost);
+    out += ",\"shared\":";
+    out += n.shared ? "true" : "false";
+    out += "}";
+  }
+  out += "],\"sinks\":[";
+  for (size_t i = 0; i < sinks.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"query\":\"" + JsonEscape(sinks[i].query) + "\"";
+    out += ",\"node\":" + std::to_string(sinks[i].node) + "}";
+  }
+  out += "],\"warnings\":[";
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + JsonEscape(warnings[i]) + "\"";
+  }
+  out += "]";
+  if (probe != nullptr) out += ",\"optimizer\":" + probe->ToJson();
+  out += "}";
+  return out;
+}
+
+std::string PlanExplain::ToDot() const {
+  std::string out = "digraph jqp {\n  rankdir=LR;\n";
+  char buffer[64];
+  for (const PlanNodeInfo& n : nodes) {
+    // Escape each text piece, then join with literal \n line breaks (which
+    // must survive un-escaped for Graphviz to render them).
+    std::string label = DotEscape(n.label);
+    if (!n.family.empty()) {
+      label += "\\n" + DotEscape(n.family + "/" + n.recipe);
+    }
+    std::snprintf(buffer, sizeof(buffer), "\\ncpu=%.3g",
+                  n.predicted_cpu_units);
+    label += buffer;
+    if (n.shared) {
+      label += "\\nshared by";
+      for (const std::string& q : n.queries) label += " " + DotEscape(q);
+    }
+    std::string shape = n.kind == "pattern" ? "box" : "ellipse";
+    out += "  n" + std::to_string(n.id) + " [shape=" + shape;
+    if (n.shared) out += ",style=filled,fillcolor=\"#cfe8ff\"";
+    out += ",label=\"" + label + "\"];\n";
+  }
+  for (const PlanNodeInfo& n : nodes) {
+    for (int32_t input : n.inputs) {
+      out += "  n" + std::to_string(input) + " -> n" + std::to_string(n.id) +
+             ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+CalibrationReport BuildCalibration(const PlanExplain& explain,
+                                   const RunReport& report) {
+  CalibrationReport calibration;
+  calibration.warnings = report.warnings;
+  if (explain.nodes.size() != report.nodes.size()) {
+    calibration.warnings.push_back(
+        "calibration skipped: plan has " + std::to_string(explain.nodes.size()) +
+        " nodes but the run report has " + std::to_string(report.nodes.size()));
+    return calibration;
+  }
+
+  struct Accumulator {
+    size_t nodes = 0;
+    double predicted = 0.0;
+    double measured = 0.0;
+  };
+  std::map<std::string, Accumulator> groups;
+  double predicted_total = 0.0;
+  double measured_total = 0.0;
+  for (size_t i = 0; i < explain.nodes.size(); ++i) {
+    const PlanNodeInfo& n = explain.nodes[i];
+    std::string family = n.sharing_node < 0 ? "unshared"
+                         : n.edge < 0       ? "scratch"
+                                            : n.family;
+    Accumulator& acc = groups[family];
+    ++acc.nodes;
+    acc.predicted += n.predicted_cpu_units;
+    acc.measured += report.nodes[i].measured_busy_seconds;
+    predicted_total += n.predicted_cpu_units;
+    measured_total += report.nodes[i].measured_busy_seconds;
+  }
+
+  // Stable presentation order: from-scratch work first, then the rewrite
+  // families, then anything executed outside the shared plan.
+  const char* order[] = {"scratch", "MST", "DST", "OTT", "WIN", "unshared"};
+  for (const char* family : order) {
+    auto it = groups.find(family);
+    if (it == groups.end()) continue;
+    CalibrationRow row;
+    row.family = family;
+    row.nodes = it->second.nodes;
+    row.predicted_cpu_units = it->second.predicted;
+    row.predicted_share =
+        predicted_total > 0 ? it->second.predicted / predicted_total : 0.0;
+    row.measured_busy_seconds = it->second.measured;
+    row.measured_share =
+        measured_total > 0 ? it->second.measured / measured_total : 0.0;
+    row.miss_ratio = row.predicted_share > 0
+                         ? row.measured_share / row.predicted_share
+                         : 0.0;
+    calibration.rows.push_back(std::move(row));
+    groups.erase(it);
+  }
+  for (auto& [family, acc] : groups) {  // Defensive: unknown family labels.
+    CalibrationRow row;
+    row.family = family;
+    row.nodes = acc.nodes;
+    row.predicted_cpu_units = acc.predicted;
+    row.predicted_share =
+        predicted_total > 0 ? acc.predicted / predicted_total : 0.0;
+    row.measured_busy_seconds = acc.measured;
+    row.measured_share =
+        measured_total > 0 ? acc.measured / measured_total : 0.0;
+    row.miss_ratio = row.predicted_share > 0
+                         ? row.measured_share / row.predicted_share
+                         : 0.0;
+    calibration.rows.push_back(std::move(row));
+  }
+  if (measured_total == 0.0 && !explain.nodes.empty()) {
+    calibration.warnings.push_back(
+        "no per-node timing; measured shares are zero (run with "
+        "collect_node_timing)");
+  }
+  return calibration;
+}
+
+std::string CalibrationReport::ToTable() const {
+  std::string out =
+      " family   | nodes | pred units | pred%  | busy s   | meas%  | miss\n";
+  char line[160];
+  for (const CalibrationRow& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  " %-8s | %5zu | %10.4g | %5.1f%% | %8.4f | %5.1f%% | %.2fx\n",
+                  row.family.c_str(), row.nodes, row.predicted_cpu_units,
+                  row.predicted_share * 100.0, row.measured_busy_seconds,
+                  row.measured_share * 100.0, row.miss_ratio);
+    out += line;
+  }
+  for (const std::string& warning : warnings) {
+    out += " warning: " + warning + "\n";
+  }
+  return out;
+}
+
+std::string CalibrationReport::ToJson() const {
+  std::string out = "{\"rows\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CalibrationRow& row = rows[i];
+    if (i) out += ",";
+    out += "{\"family\":\"" + JsonEscape(row.family) + "\"";
+    out += ",\"nodes\":" + std::to_string(row.nodes);
+    out += ",\"predicted_cpu_units\":" + JsonNum(row.predicted_cpu_units);
+    out += ",\"predicted_share\":" + JsonNum(row.predicted_share);
+    out += ",\"measured_busy_seconds\":" + JsonNum(row.measured_busy_seconds);
+    out += ",\"measured_share\":" + JsonNum(row.measured_share);
+    out += ",\"miss_ratio\":" + JsonNum(row.miss_ratio) + "}";
+  }
+  out += "],\"warnings\":[";
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + JsonEscape(warnings[i]) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace motto::obs

@@ -1,0 +1,113 @@
+#ifndef MOTTO_OBS_EXPLAIN_H_
+#define MOTTO_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "event/stream.h"
+#include "motto/optimizer.h"
+#include "obs/opt_trace.h"
+#include "obs/report.h"
+
+namespace motto::obs {
+
+/// One executable node of a final jumbo query plan, annotated with the cost
+/// model's prediction and its sharing provenance — which rewrite created it
+/// and which user queries depend on its output (DESIGN.md §11).
+struct PlanNodeInfo {
+  int32_t id = -1;
+  std::string label;
+  /// Executable kind: "pattern" | "order-filter" | "span-filter".
+  std::string kind;
+  /// Pattern operator (SEQ/CONJ/DISJ) for pattern nodes, "" otherwise.
+  std::string op;
+  int64_t window = 0;
+  double predicted_cpu_units = 0.0;
+  double predicted_output_rate = 0.0;
+  std::vector<int32_t> inputs;
+
+  /// Sharing node whose output this node computes (or helps compute);
+  /// -1 for nodes appended outside the shared plan (NA baseline, opaque
+  /// nested chains).
+  int32_t sharing_node = -1;
+  std::string sharing_key;
+  /// Role in the rewrite's materialization (plan_builder.h):
+  /// "pattern" | "merge" | "order-filter" | "span-filter".
+  std::string role;
+  bool terminal = false;
+  /// User queries that transitively depend on this node's output.
+  std::vector<std::string> queries;
+  /// Sharing edge that prescribed this node (-1: realized from ground).
+  int32_t edge = -1;
+  /// Rewrite family / recipe of that edge ("" for ground realizations).
+  std::string family;
+  std::string recipe;
+  /// The edge's source sharing-node key.
+  std::string source_key;
+  double edge_cost = 0.0;
+  /// More than one user query depends on this node's output.
+  bool shared = false;
+};
+
+/// Inspector view of one optimization outcome: the final plan with per-node
+/// predictions and provenance, exportable as JSON or annotated DOT.
+struct PlanExplain {
+  std::vector<PlanNodeInfo> nodes;
+  struct Sink {
+    std::string query;
+    int32_t node = -1;
+  };
+  std::vector<Sink> sinks;
+  double planned_cost = 0.0;
+  double default_cost = 0.0;
+  bool exact = false;
+  std::string mode;
+  std::vector<std::string> warnings;
+
+  /// Full inspector document; a non-null probe embeds its rewriter/solver
+  /// telemetry under an "optimizer" key.
+  std::string ToJson(const OptimizerProbe* probe = nullptr) const;
+  /// Graphviz digraph: one `nN [...]` line per plan node (shared nodes
+  /// filled, labels carry predicted cost + provenance) and one `a -> b`
+  /// line per dataflow input.
+  std::string ToDot() const;
+};
+
+/// Annotates `outcome`'s plan. `stats` must describe the target stream (it
+/// anchors the per-node predictions); `mode` names the optimizer mode for
+/// the header.
+PlanExplain BuildPlanExplain(const motto::OptimizeOutcome& outcome,
+                             const StreamStats& stats, std::string_view mode);
+
+/// Predicted-vs-measured cost aggregated per rewrite family: the rows of the
+/// calibration loop. `miss_ratio` is measured_share / predicted_share — the
+/// factor by which the cost model under- (>1) or over- (<1) weighted the
+/// family relative to the whole plan.
+struct CalibrationRow {
+  std::string family;  // "scratch", "MST", "DST", "OTT", "WIN", "unshared".
+  size_t nodes = 0;
+  double predicted_cpu_units = 0.0;
+  double predicted_share = 0.0;
+  double measured_busy_seconds = 0.0;
+  double measured_share = 0.0;
+  double miss_ratio = 0.0;
+};
+
+struct CalibrationReport {
+  std::vector<CalibrationRow> rows;
+  std::vector<std::string> warnings;
+
+  std::string ToTable() const;
+  std::string ToJson() const;
+};
+
+/// Joins the inspector's predicted per-node costs with a measured RunReport
+/// (same plan, collect_node_timing run) into per-family mis-estimate rows.
+CalibrationReport BuildCalibration(const PlanExplain& explain,
+                                   const RunReport& report);
+
+}  // namespace motto::obs
+
+#endif  // MOTTO_OBS_EXPLAIN_H_

@@ -6,62 +6,28 @@
 
 #include "common/time.h"
 #include "cost/cost_model.h"
+#include "obs/json_util.h"
 
 namespace motto::obs {
 
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string Num(double v) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
-  return buffer;
-}
-
-/// Cost-model estimate of every node in an arbitrary JQP, walked in
-/// topological order so upstream output rates feed downstream operand
-/// rates — the same arithmetic the planner uses for candidate plans, but
-/// applied to the plan that actually ran.
-void PredictNodeCosts(const Jqp& jqp, const StreamStats& stats,
-                      RunReport* report) {
+std::vector<NodePrediction> PredictJqpCosts(
+    const Jqp& jqp, const StreamStats& stats,
+    std::vector<std::string>* warnings) {
+  std::vector<NodePrediction> predictions(jqp.nodes.size());
   auto topo = jqp.TopoOrder();
   if (!topo.ok()) {
-    report->warnings.push_back("cost prediction skipped: " +
-                               topo.status().ToString());
-    return;
+    if (warnings != nullptr) {
+      warnings->push_back("cost prediction skipped: " +
+                          topo.status().ToString());
+    }
+    return predictions;
   }
   CostModel model(stats);
   std::vector<double> output_rate(jqp.nodes.size(), 0.0);
   for (int32_t idx : *topo) {
     size_t ui = static_cast<size_t>(idx);
     const JqpNode& node = jqp.nodes[ui];
-    NodeReport& entry = report->nodes[ui];
+    NodePrediction& entry = predictions[ui];
     if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
       std::vector<double> rates;
       for (const OperandBinding& binding : pattern->operands) {
@@ -81,30 +47,29 @@ void PredictNodeCosts(const Jqp& jqp, const StreamStats& stats,
       }
       OperatorEstimate estimate = model.EstimateOperator(
           pattern->op, rates, pattern->negated, pattern->window);
-      entry.predicted_cpu_units = estimate.cpu_per_second;
-      entry.predicted_output_rate = estimate.output_rate;
+      entry.cpu_units = estimate.cpu_per_second;
+      entry.output_rate = estimate.output_rate;
       output_rate[ui] = estimate.output_rate;
     } else if (const auto* order = std::get_if<OrderFilterSpec>(&node.spec)) {
       double input = output_rate[static_cast<size_t>(node.inputs.at(0))];
       double selectivity =
           CostModel::OrderFilterSelectivity(order->required_order.size());
       OperatorEstimate estimate = model.EstimateFilter(input, selectivity);
-      entry.predicted_cpu_units = estimate.cpu_per_second;
-      entry.predicted_output_rate = estimate.output_rate;
+      entry.cpu_units = estimate.cpu_per_second;
+      entry.output_rate = estimate.output_rate;
       output_rate[ui] = estimate.output_rate;
     } else if (std::get_if<SpanFilterSpec>(&node.spec) != nullptr) {
       // Span pass fraction depends on the producer's span distribution,
       // which the model does not track; 1.0 is the documented upper bound.
       double input = output_rate[static_cast<size_t>(node.inputs.at(0))];
       OperatorEstimate estimate = model.EstimateFilter(input, 1.0);
-      entry.predicted_cpu_units = estimate.cpu_per_second;
-      entry.predicted_output_rate = estimate.output_rate;
+      entry.cpu_units = estimate.cpu_per_second;
+      entry.output_rate = estimate.output_rate;
       output_rate[ui] = estimate.output_rate;
     }
   }
+  return predictions;
 }
-
-}  // namespace
 
 RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
                          const RunResult& run) {
@@ -133,7 +98,12 @@ RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
       report.total_busy_seconds += node_stats.busy_seconds;
     }
   }
-  PredictNodeCosts(jqp, stats, &report);
+  std::vector<NodePrediction> predictions =
+      PredictJqpCosts(jqp, stats, &report.warnings);
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    report.nodes[i].predicted_cpu_units = predictions[i].cpu_units;
+    report.nodes[i].predicted_output_rate = predictions[i].output_rate;
+  }
   double predicted_total = 0.0;
   for (const NodeReport& entry : report.nodes) {
     predicted_total += entry.predicted_cpu_units;
@@ -156,8 +126,8 @@ RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
 }
 
 std::string RunReport::ToJson() const {
-  std::string out = "{\"elapsed_seconds\":" + Num(elapsed_seconds) +
-                    ",\"total_busy_seconds\":" + Num(total_busy_seconds) +
+  std::string out = "{\"elapsed_seconds\":" + JsonNum(elapsed_seconds) +
+                    ",\"total_busy_seconds\":" + JsonNum(total_busy_seconds) +
                     ",\"raw_events\":" + std::to_string(raw_events) +
                     ",\"total_matches\":" + std::to_string(total_matches) +
                     ",\"warnings\":[";
@@ -171,12 +141,12 @@ std::string RunReport::ToJson() const {
     if (i > 0) out += ',';
     out += "{\"node\":" + std::to_string(n.node) + ",\"label\":\"" +
            JsonEscape(n.label) +
-           "\",\"predicted_cpu_units\":" + Num(n.predicted_cpu_units) +
-           ",\"predicted_share\":" + Num(n.predicted_share) +
-           ",\"measured_busy_seconds\":" + Num(n.measured_busy_seconds) +
-           ",\"measured_share\":" + Num(n.measured_share) +
-           ",\"predicted_output_rate\":" + Num(n.predicted_output_rate) +
-           ",\"measured_output_rate\":" + Num(n.measured_output_rate) +
+           "\",\"predicted_cpu_units\":" + JsonNum(n.predicted_cpu_units) +
+           ",\"predicted_share\":" + JsonNum(n.predicted_share) +
+           ",\"measured_busy_seconds\":" + JsonNum(n.measured_busy_seconds) +
+           ",\"measured_share\":" + JsonNum(n.measured_share) +
+           ",\"predicted_output_rate\":" + JsonNum(n.predicted_output_rate) +
+           ",\"measured_output_rate\":" + JsonNum(n.measured_output_rate) +
            ",\"events_in\":" + std::to_string(n.events_in) +
            ",\"events_out\":" + std::to_string(n.events_out) + "}";
   }

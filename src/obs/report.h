@@ -59,6 +59,22 @@ struct RunReport {
 RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
                          const RunResult& run);
 
+/// Cost-model estimate for one executable node of an arbitrary JQP.
+struct NodePrediction {
+  double cpu_units = 0.0;
+  double output_rate = 0.0;
+};
+
+/// Predicts every node of `jqp` in topological order so upstream output
+/// rates feed downstream operand rates — the same arithmetic the planner
+/// uses for candidate plans, applied to the plan that actually ran. Returns
+/// one entry per node (all-zero, plus a message appended to `warnings`,
+/// when the plan has no topological order). Shared by BuildRunReport and
+/// the explain plan inspector.
+std::vector<NodePrediction> PredictJqpCosts(const Jqp& jqp,
+                                            const StreamStats& stats,
+                                            std::vector<std::string>* warnings);
+
 }  // namespace motto::obs
 
 #endif  // MOTTO_OBS_REPORT_H_

@@ -38,11 +38,13 @@ std::vector<int32_t> OffsetSlotMap(int32_t arity, int32_t base) {
 class Builder {
  public:
   Builder(const SharingGraph& graph, const PlanDecision& decision,
-          const CompositeCatalog& catalog, EventTypeRegistry* registry)
+          const CompositeCatalog& catalog, EventTypeRegistry* registry,
+          PlanProvenance* provenance)
       : graph_(graph),
         decision_(decision),
         catalog_(catalog),
         registry_(registry),
+        provenance_(provenance),
         exec_node_(graph.nodes.size(), -1) {}
 
   Result<Jqp> Build() {
@@ -135,6 +137,21 @@ class Builder {
     return binding;
   }
 
+  /// Adds an executable node, recording which sharing node / edge it
+  /// materializes (the edge is `v`'s plan choice when that is an edge).
+  int32_t Emit(JqpNode node, int32_t v, PlanNodeOrigin::Role role) {
+    int32_t id = jqp_.AddNode(std::move(node));
+    if (provenance_ != nullptr) {
+      PlanNodeOrigin origin;
+      origin.sharing_node = v;
+      int32_t c = decision_.choice[static_cast<size_t>(v)];
+      origin.edge = c >= 0 ? c : -1;
+      origin.role = role;
+      provenance_->nodes.push_back(origin);
+    }
+    return id;
+  }
+
   /// Channel index for upstream executable node `exec` (adding it to the
   /// node's input list if new).
   Channel ChannelFor(int32_t exec, std::vector<int32_t>* inputs) {
@@ -180,7 +197,8 @@ class Builder {
     jqp_node.spec = std::move(spec);
     jqp_node.inputs = std::move(inputs);
     jqp_node.label = node.key;
-    exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+    exec_node_[static_cast<size_t>(v)] =
+        Emit(std::move(jqp_node), v, PlanNodeOrigin::Role::kPattern);
     return Status::Ok();
   }
 
@@ -199,7 +217,8 @@ class Builder {
         jqp_node.spec = filter;
         jqp_node.inputs = {src_exec};
         jqp_node.label = node.key + " (span)";
-        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+        exec_node_[static_cast<size_t>(v)] =
+            Emit(std::move(jqp_node), v, PlanNodeOrigin::Role::kSpanFilter);
         return Status::Ok();
       }
 
@@ -247,7 +266,8 @@ class Builder {
         jqp_node.spec = std::move(spec);
         jqp_node.inputs = std::move(inputs);
         jqp_node.label = node.key + " (from " + src.key + ")";
-        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+        exec_node_[static_cast<size_t>(v)] =
+            Emit(std::move(jqp_node), v, PlanNodeOrigin::Role::kPattern);
         return Status::Ok();
       }
 
@@ -288,7 +308,8 @@ class Builder {
         merge_node.spec = std::move(merge);
         merge_node.inputs = std::move(inputs);
         merge_node.label = node.key + " (merge " + src.key + ")";
-        int32_t merge_id = jqp_.AddNode(std::move(merge_node));
+        int32_t merge_id =
+            Emit(std::move(merge_node), v, PlanNodeOrigin::Role::kMerge);
 
         OrderFilterSpec filter;
         filter.required_order = node.pattern.operands;
@@ -298,7 +319,8 @@ class Builder {
         filter_node.spec = std::move(filter);
         filter_node.inputs = {merge_id};
         filter_node.label = node.key + " (order)";
-        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(filter_node));
+        exec_node_[static_cast<size_t>(v)] =
+            Emit(std::move(filter_node), v, PlanNodeOrigin::Role::kOrderFilter);
         return Status::Ok();
       }
 
@@ -311,7 +333,8 @@ class Builder {
         filter_node.spec = std::move(filter);
         filter_node.inputs = {src_exec};
         filter_node.label = node.key + " (Filter_sc)";
-        int32_t filter_id = jqp_.AddNode(std::move(filter_node));
+        int32_t filter_id =
+            Emit(std::move(filter_node), v, PlanNodeOrigin::Role::kOrderFilter);
         if (src.window > node.window) {
           SpanFilterSpec span;
           span.max_span = node.window;
@@ -319,7 +342,8 @@ class Builder {
           span_node.spec = span;
           span_node.inputs = {filter_id};
           span_node.label = node.key + " (span)";
-          filter_id = jqp_.AddNode(std::move(span_node));
+          filter_id =
+              Emit(std::move(span_node), v, PlanNodeOrigin::Role::kSpanFilter);
         }
         exec_node_[static_cast<size_t>(v)] = filter_id;
         return Status::Ok();
@@ -362,7 +386,8 @@ class Builder {
         jqp_node.spec = std::move(spec);
         jqp_node.inputs = std::move(inputs);
         jqp_node.label = node.key + " (from-disj " + src.key + ")";
-        exec_node_[static_cast<size_t>(v)] = jqp_.AddNode(std::move(jqp_node));
+        exec_node_[static_cast<size_t>(v)] =
+            Emit(std::move(jqp_node), v, PlanNodeOrigin::Role::kPattern);
         return Status::Ok();
       }
     }
@@ -373,6 +398,7 @@ class Builder {
   const PlanDecision& decision_;
   const CompositeCatalog& catalog_;
   EventTypeRegistry* registry_;
+  PlanProvenance* provenance_;
   Jqp jqp_;
   std::vector<int32_t> exec_node_;
   std::unordered_set<int32_t> in_progress_;
@@ -380,10 +406,25 @@ class Builder {
 
 }  // namespace
 
+std::string_view PlanNodeRoleName(PlanNodeOrigin::Role role) {
+  switch (role) {
+    case PlanNodeOrigin::Role::kPattern:
+      return "pattern";
+    case PlanNodeOrigin::Role::kMerge:
+      return "merge";
+    case PlanNodeOrigin::Role::kOrderFilter:
+      return "order-filter";
+    case PlanNodeOrigin::Role::kSpanFilter:
+      return "span-filter";
+  }
+  return "?";
+}
+
 Result<Jqp> BuildJqp(const SharingGraph& graph, const PlanDecision& decision,
                      const CompositeCatalog& catalog,
-                     EventTypeRegistry* registry) {
-  Builder builder(graph, decision, catalog, registry);
+                     EventTypeRegistry* registry,
+                     PlanProvenance* provenance) {
+  Builder builder(graph, decision, catalog, registry, provenance);
   return builder.Build();
 }
 

@@ -1,6 +1,10 @@
 #ifndef MOTTO_PLANNER_PLAN_BUILDER_H_
 #define MOTTO_PLANNER_PLAN_BUILDER_H_
 
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
 #include "common/result.h"
 #include "engine/graph.h"
 #include "motto/catalog.h"
@@ -9,13 +13,34 @@
 
 namespace motto {
 
+/// Where one executable node came from: the sharing node whose output it
+/// computes (or helps compute), the sharing edge that prescribed it (-1 for
+/// from-ground realizations), and its role in the rewrite's materialization
+/// (a merge-ordered edge, e.g., emits a kMerge CONJ plus a kOrderFilter).
+struct PlanNodeOrigin {
+  enum class Role : uint8_t { kPattern, kMerge, kOrderFilter, kSpanFilter };
+  int32_t sharing_node = -1;
+  int32_t edge = -1;
+  Role role = Role::kPattern;
+};
+
+std::string_view PlanNodeRoleName(PlanNodeOrigin::Role role);
+
+/// Sharing provenance of a built plan, parallel to Jqp::nodes:
+/// provenance.nodes[i] describes jqp.nodes[i].
+struct PlanProvenance {
+  std::vector<PlanNodeOrigin> nodes;
+};
+
 /// Materializes a plan decision over a sharing graph into an executable
 /// jumbo query plan: one pattern node per ground-computed node, and the
 /// rewrite operators (composite-operand matchers, merge + order filters,
 /// span filters, DISJ rebinds) prescribed by each chosen sharing edge.
+/// A non-null `provenance` receives one origin record per emitted node.
 Result<Jqp> BuildJqp(const SharingGraph& graph, const PlanDecision& decision,
                      const CompositeCatalog& catalog,
-                     EventTypeRegistry* registry);
+                     EventTypeRegistry* registry,
+                     PlanProvenance* provenance = nullptr);
 
 }  // namespace motto
 

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/opt_trace.h"
 
 namespace motto {
 
@@ -123,7 +124,8 @@ Result<double> ValidateDecision(const SharingGraph& graph,
 }
 
 PlanDecision SolveBranchAndBound(const SharingGraph& graph,
-                                 double budget_seconds) {
+                                 double budget_seconds,
+                                 obs::OptimizerProbe* probe) {
   Clock::time_point start = Clock::now();
   size_t n = graph.nodes.size();
   std::vector<std::vector<int32_t>> in_edges = InEdgesByTarget(graph);
@@ -160,6 +162,12 @@ PlanDecision SolveBranchAndBound(const SharingGraph& graph,
 
   bool deadline_hit = false;
   uint64_t expansions = 0;
+  uint64_t pruned_by_bound = 0;
+  uint64_t options_considered = 0;
+  if (probe != nullptr) {
+    // The naive plan seeds the incumbent before any search happens.
+    probe->bnb.incumbents.push_back(obs::BnbIncumbent{best.cost, 0, 0.0});
+  }
 
   // DFS over assignments for `pending` (treated as a stack).
   std::function<void(double, double)> dfs = [&](double current,
@@ -173,10 +181,22 @@ PlanDecision SolveBranchAndBound(const SharingGraph& graph,
         return;
       }
     }
-    if (current + bound_rest >= best.cost) return;
+    if (current + bound_rest >= best.cost) {
+      ++pruned_by_bound;
+      return;
+    }
     if (pending.empty()) {
       best.choice = choice;
       best.cost = current;
+      if (probe != nullptr) {
+        double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (probe->bnb.first_incumbent_seconds < 0) {
+          probe->bnb.first_incumbent_seconds = elapsed;
+        }
+        probe->bnb.incumbents.push_back(
+            obs::BnbIncumbent{best.cost, expansions, elapsed});
+      }
       return;
     }
     int32_t v = pending.back();
@@ -205,6 +225,7 @@ PlanDecision SolveBranchAndBound(const SharingGraph& graph,
               [](const Option& a, const Option& b) {
                 return a.optimistic < b.optimistic;
               });
+    options_considered += options.size();
 
     for (const Option& option : options) {
       if (deadline_hit) break;
@@ -243,11 +264,21 @@ PlanDecision SolveBranchAndBound(const SharingGraph& graph,
   // Normalize: drop unused Steiner selections (defensive; DFS assigns only
   // required nodes).
   best.cost = Normalize(graph, &best.choice);
+  if (probe != nullptr) {
+    obs::BnbTelemetry& t = probe->bnb;
+    t.expansions = expansions;
+    t.pruned_by_bound = pruned_by_bound;
+    t.options_considered = options_considered;
+    t.deadline_hit = deadline_hit;
+    t.solve_seconds = best.solve_seconds;
+    t.recorded = true;
+  }
   return best;
 }
 
 PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
-                                     int iterations) {
+                                     int iterations,
+                                     obs::OptimizerProbe* probe) {
   Clock::time_point start = Clock::now();
   Rng rng(seed);
   size_t n = graph.nodes.size();
@@ -257,6 +288,11 @@ PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
   double current_cost = Normalize(graph, &current);
   std::vector<int32_t> best_choice = current;
   double best_cost = current_cost;
+
+  if (probe != nullptr) {
+    probe->sa.seed = seed;
+    probe->sa.iterations = iterations;
+  }
 
   // Nodes worth mutating: those with at least one in-edge.
   std::vector<int32_t> mutable_nodes;
@@ -270,6 +306,7 @@ PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
     decision.exact = graph.edges.empty();
     decision.solve_seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
+    if (probe != nullptr) probe->sa.recorded = true;  // Nothing to anneal.
     return decision;
   }
 
@@ -277,6 +314,19 @@ PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
   double t_end = t0 * 1e-4;
   double cooling = std::pow(t_end / t0, 1.0 / iterations);
   double temperature = t0;
+
+  // Acceptance telemetry is bucketed into ~kSaEpochTarget epochs.
+  const int epoch_size =
+      std::max(1, iterations / obs::kSaEpochTarget);
+  obs::SaEpoch epoch;
+  if (probe != nullptr) {
+    obs::SaTelemetry& t = probe->sa;
+    t.epoch_size = epoch_size;
+    t.t0 = t0;
+    t.t_end = t_end;
+    t.cooling = cooling;
+    epoch.temperature = temperature;
+  }
 
   for (int it = 0; it < iterations; ++it, temperature *= cooling) {
     int32_t v = mutable_nodes[static_cast<size_t>(
@@ -289,12 +339,27 @@ PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
     next[static_cast<size_t>(v)] = proposal;
     double next_cost = Normalize(graph, &next);
     double delta = next_cost - current_cost;
-    if (delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature)) {
+    bool take = delta <= 0 || rng.NextDouble() < std::exp(-delta / temperature);
+    if (take) {
       current = std::move(next);
       current_cost = next_cost;
       if (current_cost < best_cost) {
         best_cost = current_cost;
         best_choice = current;
+        if (probe != nullptr) ++epoch.improved_best;
+      }
+    }
+    if (probe != nullptr) {
+      ++epoch.proposed;
+      if (take) ++epoch.accepted;
+      if ((it + 1) % epoch_size == 0 || it + 1 == iterations) {
+        epoch.current_cost = current_cost;
+        epoch.best_cost = best_cost;
+        probe->sa.proposed += epoch.proposed;
+        probe->sa.accepted += epoch.accepted;
+        probe->sa.epochs.push_back(epoch);
+        epoch = obs::SaEpoch{};
+        epoch.temperature = temperature * cooling;  // Next iteration's.
       }
     }
   }
@@ -305,21 +370,36 @@ PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
   decision.exact = false;
   decision.solve_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (probe != nullptr) probe->sa.recorded = true;
   return decision;
 }
 
 PlanDecision SelectPlan(const SharingGraph& graph,
                         const PlannerOptions& options) {
-  if (graph.edges.empty()) return NaivePlan(graph);
-  if (options.force_approximate) {
-    return SolveSimulatedAnnealing(graph, options.seed, options.sa_iterations);
+  obs::OptimizerProbe* probe = options.probe;
+  if (graph.edges.empty()) {
+    if (probe != nullptr) probe->selected_solver = "naive";
+    return NaivePlan(graph);
   }
-  PlanDecision exact = SolveBranchAndBound(graph, options.exact_budget_seconds);
-  if (exact.exact) return exact;
-  PlanDecision approx =
-      SolveSimulatedAnnealing(graph, options.seed, options.sa_iterations);
+  if (options.force_approximate) {
+    if (probe != nullptr) probe->selected_solver = "sa";
+    return SolveSimulatedAnnealing(graph, options.seed, options.sa_iterations,
+                                   probe);
+  }
+  PlanDecision exact =
+      SolveBranchAndBound(graph, options.exact_budget_seconds, probe);
+  if (exact.exact) {
+    if (probe != nullptr) probe->selected_solver = "bnb";
+    return exact;
+  }
+  PlanDecision approx = SolveSimulatedAnnealing(graph, options.seed,
+                                                options.sa_iterations, probe);
   approx.solve_seconds += exact.solve_seconds;
-  return approx.cost < exact.cost ? approx : exact;
+  const bool sa_wins = approx.cost < exact.cost;
+  if (probe != nullptr) {
+    probe->selected_solver = sa_wins ? "sa" : "bnb-incumbent";
+  }
+  return sa_wins ? approx : exact;
 }
 
 }  // namespace motto

@@ -7,6 +7,10 @@
 #include "common/result.h"
 #include "motto/sharing_graph.h"
 
+namespace motto::obs {
+struct OptimizerProbe;
+}  // namespace motto::obs
+
 namespace motto {
 
 /// Per-node decision in a plan: not executed, computed from the raw stream
@@ -41,15 +45,21 @@ Result<double> ValidateDecision(const SharingGraph& graph,
 /// Exact branch-and-bound DSMT solver. Explores per-node source choices in
 /// best-first order with an admissible lower bound. Returns the optimal
 /// decision, or — when `budget_seconds` elapses first — the best incumbent
-/// with exact=false.
+/// with exact=false. A non-null `probe` receives search telemetry
+/// (expansions, bound prunes, incumbent timeline) into probe->bnb.
 PlanDecision SolveBranchAndBound(const SharingGraph& graph,
-                                 double budget_seconds);
+                                 double budget_seconds,
+                                 obs::OptimizerProbe* probe = nullptr);
 
 /// Simulated-annealing approximation (paper §V-B for large workloads):
 /// states are per-node source choices; activation closure and cost are
-/// recomputed per move; geometric cooling.
+/// recomputed per move; geometric cooling. A non-null `probe` receives the
+/// temperature schedule and per-epoch acceptance trace into probe->sa;
+/// the trace carries no wall-clock data, so it is byte-identical for the
+/// same (graph, seed, iterations).
 PlanDecision SolveSimulatedAnnealing(const SharingGraph& graph, uint64_t seed,
-                                     int iterations);
+                                     int iterations,
+                                     obs::OptimizerProbe* probe = nullptr);
 
 struct PlannerOptions {
   double exact_budget_seconds = 5.0;
@@ -57,6 +67,9 @@ struct PlannerOptions {
   uint64_t seed = 1;
   /// Skip the exact solver entirely (paper: large workloads).
   bool force_approximate = false;
+  /// Optional observability sink (obs/opt_trace.h) filled by whichever
+  /// solvers SelectPlan runs; also records which decision won.
+  obs::OptimizerProbe* probe = nullptr;
 };
 
 /// The paper's policy: exact within the budget, otherwise the approximate

@@ -28,6 +28,43 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
 "${MOTTO}" explain --workload=w.ccl --stream=s.csv > explain.out \
   || fail "explain"
 grep -q "sharing graph" explain.out || fail "explain output missing plan"
+grep -q "rewriter:" explain.out || fail "explain optimizer trace missing"
+
+# Plan inspector exports: annotated DOT + JSON with sharing provenance.
+# --solver selects the DSMT path; anything but bnb|sa is an error.
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv --solver=bogus \
+  >/dev/null 2>&1 && fail "bogus --solver should fail"
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv --solver=sa \
+  > explain_sa.out || fail "explain --solver=sa"
+grep -q "sa: seed" explain_sa.out || fail "SA telemetry summary missing"
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv --json=e.json --dot=e.dot \
+  >/dev/null || fail "explain --json --dot"
+python3 - <<'EOF' || fail "explain JSON/DOT invalid"
+import json
+d = json.load(open("e.json"))
+nodes = d["nodes"]
+assert nodes, "no plan nodes"
+for n in nodes:
+    for key in ("id", "label", "kind", "predicted_cpu_units", "inputs",
+                "sharing_node", "queries", "edge", "family", "shared"):
+        assert key in n, (key, n)
+for n in (n for n in nodes if n["shared"]):
+    # Sharing provenance on every shared node: graph origin + dependents.
+    assert n["sharing_node"] >= 0, n
+    assert n["sharing_key"], n
+    assert len(n["queries"]) >= 2, n
+assert d["sinks"], "no sinks"
+assert d["optimizer"]["rewriter"]["candidates"], "no candidate trace"
+assert d["optimizer"]["solver"]["selected"], d["optimizer"]["solver"]
+# The DOT export mirrors the JSON plan's shape exactly.
+dot = open("e.dot").read().splitlines()
+assert dot[0].startswith("digraph"), dot[0]
+node_lines = [l for l in dot if "[shape=" in l]
+edge_lines = [l for l in dot if " -> " in l]
+assert len(node_lines) == len(nodes), (len(node_lines), len(nodes))
+assert len(edge_lines) == sum(len(n["inputs"]) for n in nodes)
+assert any("fillcolor" in l for l in node_lines), "shared nodes not filled"
+EOF
 
 # Single-threaded run with the full observability surface.
 "${MOTTO}" run --workload=w.ccl --stream=s.csv --stats \
@@ -65,6 +102,28 @@ for node in rep["nodes"]:
     for key in ("predicted_cpu_units", "predicted_share",
                 "measured_busy_seconds", "measured_share", "label"):
         assert key in node, (key, node)
+EOF
+
+# Calibration joins predicted per-node costs with measured busy time into
+# per-rewrite-family mis-estimate rows.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --calibrate > cal.out \
+  || fail "run --calibrate"
+grep -q "calibration" cal.out || fail "calibration table missing"
+grep -q "miss" cal.out || fail "miss-ratio column missing"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --calibrate=json \
+  > cal_json.out || fail "run --calibrate=json"
+python3 - <<'EOF' || fail "calibration JSON invalid"
+import json
+lines = open("cal_json.out").read().splitlines()
+cal = json.loads(next(l for l in lines if l.startswith("{")))
+assert cal["rows"], "no calibration rows"
+total = 0.0
+for row in cal["rows"]:
+    for key in ("family", "nodes", "predicted_share", "measured_share",
+                "miss_ratio"):
+        assert key in row, (key, row)
+    total += row["predicted_share"]
+assert abs(total - 1.0) < 1e-6, total
 EOF
 
 # Multi-threaded run produces a trace too (scheduler instants + batch spans).

@@ -1,0 +1,212 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ccl/parser.h"
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "motto/optimizer.h"
+#include "obs/opt_trace.h"
+
+namespace motto {
+namespace {
+
+Query MakeQuery(EventTypeRegistry* registry, const std::string& name,
+                const std::string& pattern, Duration window) {
+  auto expr = ccl::ParsePattern(pattern, registry);
+  EXPECT_TRUE(expr.ok()) << expr.status();
+  return Query{name, *expr, window};
+}
+
+EventStream RandomStream(EventTypeRegistry* registry,
+                         const std::vector<std::string>& type_names,
+                         int num_events, Timestamp max_gap, uint64_t seed) {
+  Rng rng(seed);
+  EventStream stream;
+  Timestamp ts = 0;
+  for (int i = 0; i < num_events; ++i) {
+    ts += rng.Uniform(1, max_gap);
+    const std::string& name = type_names[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(type_names.size()) - 1))];
+    stream.push_back(Event::Primitive(registry->RegisterPrimitive(name), ts));
+  }
+  return stream;
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  /// Paper §V workload: q2 shares into q1, q3/q4 share SEQ(E2,E4), q5 is
+  /// q2's CONJ sibling — every rewrite family has skin in the game.
+  OptimizeOutcome Optimize() {
+    queries_ = {
+        MakeQuery(&registry_, "q1", "SEQ(E1, E2, E3)", Millis(50)),
+        MakeQuery(&registry_, "q2", "SEQ(E1, E3)", Millis(50)),
+        MakeQuery(&registry_, "q3", "SEQ(E1, E2, E4)", Millis(50)),
+        MakeQuery(&registry_, "q4", "SEQ(E2, E4, E3)", Millis(50)),
+        MakeQuery(&registry_, "q5", "CONJ(E1 & E3)", Millis(50)),
+    };
+    stream_ = RandomStream(&registry_, {"E1", "E2", "E3", "E4"}, 3000,
+                           Millis(40), 17);
+    stats_ = ComputeStats(stream_);
+    OptimizerOptions options;
+    options.mode = OptimizerMode::kMotto;
+    options.probe = &probe_;
+    Optimizer optimizer(&registry_, stats_, options);
+    auto outcome = optimizer.Optimize(queries_);
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+    return *std::move(outcome);
+  }
+
+  EventTypeRegistry registry_;
+  std::vector<Query> queries_;
+  EventStream stream_;
+  StreamStats stats_;
+  obs::OptimizerProbe probe_;
+};
+
+TEST_F(ExplainTest, EveryPlanNodeAnnotatedAndSinksResolve) {
+  OptimizeOutcome outcome = Optimize();
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(outcome, stats_, "MOTTO");
+  ASSERT_EQ(explain.nodes.size(), outcome.jqp.nodes.size());
+  EXPECT_EQ(explain.sinks.size(), queries_.size());
+  EXPECT_DOUBLE_EQ(explain.planned_cost, outcome.planned_cost);
+  for (const obs::PlanNodeInfo& n : explain.nodes) {
+    EXPECT_FALSE(n.label.empty());
+    EXPECT_FALSE(n.kind.empty());
+    EXPECT_GT(n.predicted_cpu_units, 0.0) << n.label;
+    // Every node in this plan feeds at least one query.
+    EXPECT_FALSE(n.queries.empty()) << n.label;
+  }
+  for (const obs::PlanExplain::Sink& sink : explain.sinks) {
+    ASSERT_GE(sink.node, 0);
+    ASSERT_LT(static_cast<size_t>(sink.node), explain.nodes.size());
+    // The sink's query is among the node's transitive dependents.
+    const obs::PlanNodeInfo& node =
+        explain.nodes[static_cast<size_t>(sink.node)];
+    EXPECT_NE(std::find(node.queries.begin(), node.queries.end(), sink.query),
+              node.queries.end());
+  }
+}
+
+TEST_F(ExplainTest, SharedNodesCarrySharingProvenance) {
+  OptimizeOutcome outcome = Optimize();
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(outcome, stats_, "MOTTO");
+  size_t shared_nodes = 0;
+  for (const obs::PlanNodeInfo& n : explain.nodes) {
+    if (!n.shared) continue;
+    ++shared_nodes;
+    // The inspector's contract: every shared node names its sharing-graph
+    // origin and the queries it serves.
+    EXPECT_GE(n.sharing_node, 0) << n.label;
+    EXPECT_FALSE(n.sharing_key.empty()) << n.label;
+    EXPECT_GE(n.queries.size(), 2u) << n.label;
+    EXPECT_FALSE(n.role.empty()) << n.label;
+  }
+  EXPECT_GT(shared_nodes, 0u);  // §V workload always shares.
+  // Edge-realized nodes carry the rewrite family and its cost.
+  size_t edge_realized = 0;
+  for (const obs::PlanNodeInfo& n : explain.nodes) {
+    if (n.edge < 0) continue;
+    ++edge_realized;
+    EXPECT_FALSE(n.family.empty()) << n.label;
+    EXPECT_FALSE(n.recipe.empty()) << n.label;
+    EXPECT_FALSE(n.source_key.empty()) << n.label;
+    EXPECT_GT(n.edge_cost, 0.0) << n.label;
+  }
+  EXPECT_GT(edge_realized, 0u);
+}
+
+TEST_F(ExplainTest, DotOutputMatchesPlanShape) {
+  OptimizeOutcome outcome = Optimize();
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(outcome, stats_, "MOTTO");
+  std::string dot = explain.ToDot();
+  EXPECT_EQ(dot.rfind("digraph jqp {", 0), 0u);
+  size_t node_lines = 0;
+  size_t edge_lines = 0;
+  for (size_t pos = 0; (pos = dot.find('\n', pos)) != std::string::npos;
+       ++pos) {
+    size_t line_start = dot.rfind('\n', pos - 1);
+    std::string line = dot.substr(line_start + 1, pos - line_start - 1);
+    if (line.find(" -> ") != std::string::npos) {
+      ++edge_lines;
+    } else if (line.find("[shape=") != std::string::npos) {
+      ++node_lines;
+    }
+  }
+  size_t plan_edges = 0;
+  for (const obs::PlanNodeInfo& n : explain.nodes) {
+    plan_edges += n.inputs.size();
+  }
+  EXPECT_EQ(node_lines, explain.nodes.size());
+  EXPECT_EQ(edge_lines, plan_edges);
+  // Shared nodes are visually distinguished.
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  // Double-escaped line breaks would render literal backslashes.
+  EXPECT_EQ(dot.find("\\\\n"), std::string::npos);
+}
+
+TEST_F(ExplainTest, JsonEmbedsProbeTelemetry) {
+  OptimizeOutcome outcome = Optimize();
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(outcome, stats_, "MOTTO");
+  std::string json = explain.ToJson(&probe_);
+  EXPECT_NE(json.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"sinks\":["), std::string::npos);
+  EXPECT_NE(json.find("\"optimizer\":"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\":["), std::string::npos);
+  EXPECT_NE(json.find("\"selected\":"), std::string::npos);
+  // Without a probe the optimizer key is absent.
+  std::string bare = explain.ToJson();
+  EXPECT_EQ(bare.find("\"optimizer\":"), std::string::npos);
+}
+
+TEST_F(ExplainTest, CalibrationRowsGroupByFamilyAndSharesSum) {
+  OptimizeOutcome outcome = Optimize();
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(outcome, stats_, "MOTTO");
+  auto executor = Executor::Create(outcome.jqp);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  ExecutorOptions timing;
+  timing.collect_node_timing = true;
+  auto run = executor->Run(stream_, timing);
+  ASSERT_TRUE(run.ok()) << run.status();
+  obs::RunReport report = obs::BuildRunReport(outcome.jqp, stats_, *run);
+
+  obs::CalibrationReport calibration = obs::BuildCalibration(explain, report);
+  ASSERT_FALSE(calibration.rows.empty());
+  const std::set<std::string> known = {"scratch", "MST", "DST",
+                                       "OTT",     "WIN", "unshared"};
+  double predicted_share = 0.0;
+  size_t nodes = 0;
+  for (const obs::CalibrationRow& row : calibration.rows) {
+    EXPECT_TRUE(known.count(row.family) > 0) << row.family;
+    EXPECT_GT(row.nodes, 0u);
+    nodes += row.nodes;
+    predicted_share += row.predicted_share;
+  }
+  EXPECT_EQ(nodes, explain.nodes.size());
+  EXPECT_NEAR(predicted_share, 1.0, 1e-9);
+  EXPECT_NE(calibration.ToTable().find("miss"), std::string::npos);
+  EXPECT_NE(calibration.ToJson().find("\"miss_ratio\""), std::string::npos);
+}
+
+TEST_F(ExplainTest, CalibrationRejectsMismatchedReport) {
+  OptimizeOutcome outcome = Optimize();
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(outcome, stats_, "MOTTO");
+  obs::RunReport wrong;  // Empty: node count cannot match the plan.
+  obs::CalibrationReport calibration = obs::BuildCalibration(explain, wrong);
+  EXPECT_TRUE(calibration.rows.empty());
+  ASSERT_FALSE(calibration.warnings.empty());
+}
+
+}  // namespace
+}  // namespace motto

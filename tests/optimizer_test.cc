@@ -5,6 +5,7 @@
 #include "ccl/parser.h"
 #include "common/rng.h"
 #include "engine/executor.h"
+#include "obs/opt_trace.h"
 #include "test_util.h"
 
 namespace motto {
@@ -256,6 +257,83 @@ TEST(OptimizerTest, ForceApproximateStillCorrect) {
   for (const Query& q : queries) {
     EXPECT_EQ(Fingerprints(na_run->sink_events.at(q.name)),
               Fingerprints(run->sink_events.at(q.name)));
+  }
+}
+
+TEST(OptimizerTest, ProbeThreadedThroughOptimizeWithProvenance) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "q1", "SEQ(E1, E2, E3)", Millis(50)),
+      MakeQuery(&registry, "q2", "SEQ(E1, E3)", Millis(50)),
+      MakeQuery(&registry, "q3", "SEQ(E1, E2, E4)", Millis(50)),
+      MakeQuery(&registry, "q4", "SEQ(E2, E4, E3)", Millis(50)),
+      MakeQuery(&registry, "q5", "CONJ(E1 & E3)", Millis(50)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3", "E4"}, 2000, Millis(40), 17);
+  StreamStats stats = ComputeStats(stream);
+
+  obs::OptimizerProbe probe;
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kMotto;
+  options.probe = &probe;
+  Optimizer optimizer(&registry, stats, options);
+  auto outcome = optimizer.Optimize(queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  // One Optimize call fills rewriter trace, solver telemetry, and the
+  // solver-selection verdict.
+  EXPECT_TRUE(probe.rewriter.recorded);
+  EXPECT_EQ(probe.rewriter.graph_edges, outcome->sharing_graph.edges.size());
+  EXPECT_EQ(probe.rewriter.CountDecision(obs::EdgeDecision::kAccepted),
+            outcome->sharing_graph.edges.size());
+  EXPECT_FALSE(probe.selected_solver.empty());
+  EXPECT_TRUE(probe.bnb.recorded);
+
+  // Provenance covers every plan node, and terminal sharing nodes selected
+  // by the plan map back to plan nodes.
+  EXPECT_EQ(outcome->provenance.nodes.size(), outcome->jqp.nodes.size());
+  for (const PlanNodeOrigin& origin : outcome->provenance.nodes) {
+    if (origin.sharing_node >= 0) {
+      EXPECT_LT(static_cast<size_t>(origin.sharing_node),
+                outcome->sharing_graph.nodes.size());
+    }
+    if (origin.edge >= 0) {
+      EXPECT_LT(static_cast<size_t>(origin.edge),
+                outcome->sharing_graph.edges.size());
+    }
+  }
+  bool any_edge_realized = false;
+  for (const PlanNodeOrigin& origin : outcome->provenance.nodes) {
+    if (origin.edge >= 0) any_edge_realized = true;
+  }
+  EXPECT_TRUE(any_edge_realized);  // §V workload shares aggressively.
+
+  // The probe JSON round-trips through the solver selection verdict.
+  std::string json = probe.ToJson();
+  EXPECT_NE(json.find("\"rewriter\""), std::string::npos);
+  EXPECT_NE(json.find("\"selected\":\"" + probe.selected_solver + "\""),
+            std::string::npos);
+}
+
+TEST(OptimizerTest, NaModeProvenanceIsAllUnshared) {
+  EventTypeRegistry registry;
+  std::vector<Query> queries = {
+      MakeQuery(&registry, "q1", "SEQ(E1, E2)", Millis(50)),
+      MakeQuery(&registry, "q2", "SEQ(E1, E2, E3)", Millis(50)),
+  };
+  EventStream stream = RandomStream(
+      &registry, {"E1", "E2", "E3"}, 500, Millis(10), 3);
+  StreamStats stats = ComputeStats(stream);
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kNa;
+  Optimizer optimizer(&registry, stats, options);
+  auto outcome = optimizer.Optimize(queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->provenance.nodes.size(), outcome->jqp.nodes.size());
+  for (const PlanNodeOrigin& origin : outcome->provenance.nodes) {
+    EXPECT_EQ(origin.sharing_node, -1);
+    EXPECT_EQ(origin.edge, -1);
   }
 }
 

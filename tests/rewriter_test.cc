@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/opt_trace.h"
+
 namespace motto {
 namespace {
 
@@ -285,6 +287,167 @@ TEST_F(RewriterTest, GraphIsAcyclicDag) {
     }
   }
   EXPECT_EQ(seen, n);
+}
+
+// --- Optimizer-probe candidate traces (DESIGN.md §11) ---
+
+TEST_F(RewriterTest, ProbeAcceptedCandidatesMatchGraphEdges) {
+  std::vector<FlatQuery> queries = {
+      Query("a", PatternOp::kSeq, {"E1", "E2", "E3"}),
+      Query("b", PatternOp::kSeq, {"E1", "E3"}),
+      Query("c", PatternOp::kConj, {"E1", "E3"}),
+      Query("d", PatternOp::kSeq, {"E2", "E3", "E4"}, Seconds(6)),
+  };
+  obs::OptimizerProbe probe;
+  RewriterOptions options = RewriterOptions::Motto();
+  options.probe = &probe;
+  SharingGraph graph = Build(queries, options);
+  ASSERT_TRUE(probe.rewriter.recorded);
+  // Every edge in the graph is an accepted candidate and vice versa:
+  // AddEdge is the sole edge-push site and always records.
+  EXPECT_EQ(probe.rewriter.CountDecision(obs::EdgeDecision::kAccepted),
+            graph.edges.size());
+  EXPECT_EQ(probe.rewriter.graph_nodes, graph.nodes.size());
+  EXPECT_EQ(probe.rewriter.graph_edges, graph.edges.size());
+  EXPECT_GT(probe.rewriter.pairs_considered, 0u);
+  for (const obs::EdgeCandidate& c : probe.rewriter.candidates) {
+    EXPECT_FALSE(c.family.empty());
+    EXPECT_FALSE(c.recipe.empty());
+    if (c.decision == obs::EdgeDecision::kAccepted) {
+      EXPECT_LT(c.cost, c.scratch_cost);
+    }
+  }
+}
+
+TEST_F(RewriterTest, ProbeRecordsDuplicateTypeConjContainmentRejection) {
+  // CONJ(E1,E2) is a sub-multiset of CONJ(E1,E2,E2), but the beneficiary's
+  // duplicate E2 slots break the composite-operand soundness guard (one
+  // physical event could fill two slots). The trace must carry that reason.
+  FlatQuery small = Query("small", PatternOp::kConj, {"E1", "E2"});
+  FlatQuery big = Query("big", PatternOp::kConj, {"E1", "E2", "E2"});
+  obs::OptimizerProbe probe;
+  RewriterOptions options = RewriterOptions::Motto();
+  options.probe = &probe;
+  SharingGraph graph = Build({small, big}, options);
+  int32_t s = NodeOf(graph, small.pattern, small.window);
+  int32_t b = NodeOf(graph, big.pattern, big.window);
+  ASSERT_GE(s, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_FALSE(HasEdge(graph, s, b, RewriteRecipe::Kind::kCompositeOperand));
+  bool found = false;
+  for (const obs::EdgeCandidate& c : probe.rewriter.candidates) {
+    if (c.source == s && c.target == b &&
+        c.decision == obs::EdgeDecision::kRejectedDuplicateTypes) {
+      found = true;
+      EXPECT_EQ(c.recipe, "composite-operand");
+      EXPECT_EQ(c.family, "MST");  // Terminal-to-terminal containment.
+      EXPECT_EQ(c.cost, 0.0);  // Rejected structurally, before costing.
+    }
+  }
+  EXPECT_TRUE(found) << probe.rewriter.ToJson();
+}
+
+TEST_F(RewriterTest, ProbeRecordsNegatedTargetSubsequenceRejection) {
+  // SEQ(E1,E3) is a subsequence of SEQ(E1,E2,E3) but the target carries
+  // NEG(E4), which merge-ordered cannot re-apply.
+  FlatQuery src = Query("src", PatternOp::kSeq, {"E1", "E3"});
+  FlatQuery tgt = Query("tgt", PatternOp::kSeq, {"E1", "E2", "E3"},
+                        Seconds(2), {"E4"});
+  obs::OptimizerProbe probe;
+  RewriterOptions options = RewriterOptions::MstOnly();
+  options.probe = &probe;
+  SharingGraph graph = Build({src, tgt}, options);
+  int32_t s = NodeOf(graph, src.pattern, src.window);
+  int32_t t = NodeOf(graph, tgt.pattern, tgt.window);
+  EXPECT_FALSE(HasEdge(graph, s, t, RewriteRecipe::Kind::kMergeOrdered));
+  bool found = false;
+  for (const obs::EdgeCandidate& c : probe.rewriter.candidates) {
+    if (c.source == s && c.target == t &&
+        c.decision == obs::EdgeDecision::kRejectedNegatedTarget) {
+      found = true;
+      EXPECT_EQ(c.recipe, "merge-ordered");
+    }
+  }
+  EXPECT_TRUE(found) << probe.rewriter.ToJson();
+}
+
+TEST_F(RewriterTest, ProbeCountsCoarsePairSkips) {
+  // A NEG query as potential source is skipped before any candidate is
+  // identified — it lands in the aggregate counter, not the candidate list.
+  FlatQuery qa = Query("qa", PatternOp::kSeq, {"Es", "Et", "Ed"}, Seconds(2),
+                       {"Ea"});
+  FlatQuery qb = Query("qb", PatternOp::kSeq, {"Es", "Et", "Ea"});
+  obs::OptimizerProbe probe;
+  RewriterOptions options = RewriterOptions::Motto();
+  options.probe = &probe;
+  Build({qa, qb}, options);
+  EXPECT_GT(probe.rewriter.negated_source_skips, 0u);
+
+  // MST-only mode requires equal windows; a mismatched pair is counted.
+  FlatQuery wide = Query("wide", PatternOp::kSeq, {"E1", "E2"}, Seconds(8));
+  FlatQuery narrow = Query("narrow", PatternOp::kSeq, {"E1", "E2"},
+                           Seconds(2));
+  obs::OptimizerProbe strict_probe;
+  RewriterOptions strict = RewriterOptions::MstOnly();
+  strict.probe = &strict_probe;
+  Build({wide, narrow}, strict);
+  EXPECT_GT(strict_probe.rewriter.window_mismatch_skips, 0u);
+  EXPECT_TRUE(strict_probe.rewriter.candidates.empty());
+}
+
+TEST_F(RewriterTest, ProbeRecordsUnprofitableCandidates) {
+  // With pruning enabled the unprofitable candidates are rejected but still
+  // traced; with pruning disabled the same candidates become edges. Either
+  // way the candidate set covers them.
+  std::vector<FlatQuery> queries = {
+      Query("a", PatternOp::kSeq, {"E1", "E2", "E3", "E4"}),
+      Query("b", PatternOp::kSeq, {"E2", "E3", "E4", "E5"}),
+      Query("c", PatternOp::kConj, {"E1", "E2", "E3"}),
+  };
+  obs::OptimizerProbe pruned_probe;
+  RewriterOptions pruned = RewriterOptions::Motto();
+  pruned.probe = &pruned_probe;
+  SharingGraph pruned_graph = Build(queries, pruned);
+
+  obs::OptimizerProbe full_probe;
+  RewriterOptions full = RewriterOptions::Motto();
+  full.prune_unprofitable = false;
+  full.probe = &full_probe;
+  SharingGraph full_graph = Build(queries, full);
+
+  size_t pruned_accepted =
+      pruned_probe.rewriter.CountDecision(obs::EdgeDecision::kAccepted);
+  size_t pruned_unprofitable = pruned_probe.rewriter.CountDecision(
+      obs::EdgeDecision::kRejectedUnprofitable);
+  EXPECT_EQ(pruned_accepted, pruned_graph.edges.size());
+  // Without pruning, every costed candidate is accepted.
+  EXPECT_EQ(full_probe.rewriter.CountDecision(obs::EdgeDecision::kAccepted),
+            full_graph.edges.size());
+  EXPECT_EQ(full_probe.rewriter.CountDecision(
+                obs::EdgeDecision::kRejectedUnprofitable),
+            0u);
+  EXPECT_EQ(pruned_accepted + pruned_unprofitable, full_graph.edges.size());
+  for (const obs::EdgeCandidate& c : pruned_probe.rewriter.candidates) {
+    if (c.decision == obs::EdgeDecision::kRejectedUnprofitable) {
+      EXPECT_GT(c.cost, 0.0);
+      EXPECT_GE(c.cost, 0.9 * c.scratch_cost);  // kProfitMargin.
+    }
+  }
+}
+
+TEST_F(RewriterTest, NullProbeLeavesGraphIdentical) {
+  std::vector<FlatQuery> queries = {
+      Query("a", PatternOp::kSeq, {"E1", "E2", "E3"}),
+      Query("b", PatternOp::kSeq, {"E1", "E3"}),
+      Query("c", PatternOp::kConj, {"E1", "E3"}),
+      Query("d", PatternOp::kSeq, {"E2", "E3", "E4"}, Seconds(6)),
+  };
+  SharingGraph plain = Build(queries);
+  obs::OptimizerProbe probe;
+  RewriterOptions options = RewriterOptions::Motto();
+  options.probe = &probe;
+  SharingGraph probed = Build(queries, options);
+  EXPECT_EQ(plain.ToString(registry_), probed.ToString(registry_));
 }
 
 }  // namespace

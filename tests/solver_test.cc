@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "engine/executor.h"
 #include "motto/optimizer.h"
+#include "obs/opt_trace.h"
 #include "verify/fuzzer.h"
 #include "verify/oracle.h"
 
@@ -268,6 +269,138 @@ TEST(SolverTest, SaNeverBeatsExactOnFuzzedWorkloadsAndPlansAgree) {
               PlanMatches(sa->jqp, fuzz_case.queries, fuzz_case.stream))
         << "exact and SA plans disagree on results";
   }
+}
+
+// --- Solver telemetry (DESIGN.md §11) ---
+
+SharingGraph TelemetryGraph() {
+  // Rich enough for real search: two Steiner nodes feeding four terminals.
+  return MakeGraph({40, 50, 60, 35, 12, 18},
+                   {true, true, true, true, false, false},
+                   {{4, 0, 3.0}, {4, 1, 4.0}, {5, 2, 6.0}, {5, 3, 2.0},
+                    {0, 1, 20.0}, {4, 5, 9.0}});
+}
+
+TEST(SolverTest, BnbTelemetryCountsAndIncumbents) {
+  SharingGraph graph = TelemetryGraph();
+  obs::OptimizerProbe probe;
+  PlanDecision decision = SolveBranchAndBound(graph, 5.0, &probe);
+  ASSERT_TRUE(probe.bnb.recorded);
+  EXPECT_GT(probe.bnb.expansions, 0u);
+  EXPECT_GT(probe.bnb.options_considered, 0u);
+  EXPECT_FALSE(probe.bnb.deadline_hit);
+  // The naive seed is always incumbent #0, at zero expansions.
+  ASSERT_FALSE(probe.bnb.incumbents.empty());
+  EXPECT_EQ(probe.bnb.incumbents.front().expansions, 0u);
+  EXPECT_DOUBLE_EQ(probe.bnb.incumbents.front().cost,
+                   NaivePlan(graph).cost);
+  // Incumbent costs are strictly decreasing and end at the optimum.
+  for (size_t i = 1; i < probe.bnb.incumbents.size(); ++i) {
+    EXPECT_LT(probe.bnb.incumbents[i].cost,
+              probe.bnb.incumbents[i - 1].cost);
+    EXPECT_GE(probe.bnb.incumbents[i].expansions,
+              probe.bnb.incumbents[i - 1].expansions);
+  }
+  EXPECT_DOUBLE_EQ(probe.bnb.incumbents.back().cost, decision.cost);
+  // An improvement beyond the seed stamps time-to-first-incumbent.
+  if (probe.bnb.incumbents.size() > 1) {
+    EXPECT_GE(probe.bnb.first_incumbent_seconds, 0.0);
+  }
+}
+
+TEST(SolverTest, BnbTelemetryDeterministicCounts) {
+  SharingGraph graph = TelemetryGraph();
+  obs::OptimizerProbe a;
+  obs::OptimizerProbe b;
+  PlanDecision da = SolveBranchAndBound(graph, 5.0, &a);
+  PlanDecision db = SolveBranchAndBound(graph, 5.0, &b);
+  EXPECT_EQ(da.choice, db.choice);
+  // Search counters are wall-clock-free and must agree exactly.
+  EXPECT_EQ(a.bnb.expansions, b.bnb.expansions);
+  EXPECT_EQ(a.bnb.pruned_by_bound, b.bnb.pruned_by_bound);
+  EXPECT_EQ(a.bnb.options_considered, b.bnb.options_considered);
+  EXPECT_EQ(a.bnb.incumbents.size(), b.bnb.incumbents.size());
+}
+
+TEST(SolverTest, SaTelemetryIsByteIdenticalForSameSeed) {
+  SharingGraph graph = TelemetryGraph();
+  obs::OptimizerProbe a;
+  obs::OptimizerProbe b;
+  PlanDecision da = SolveSimulatedAnnealing(graph, 1234, 5000, &a);
+  PlanDecision db = SolveSimulatedAnnealing(graph, 1234, 5000, &b);
+  EXPECT_EQ(da.choice, db.choice);
+  ASSERT_TRUE(a.sa.recorded);
+  EXPECT_EQ(a.sa.epochs.size(), b.sa.epochs.size());
+  EXPECT_EQ(a.sa.epochs, b.sa.epochs);
+  // The acceptance trace serializes byte-identically (no wall clock in it).
+  EXPECT_EQ(a.sa.ToJson(), b.sa.ToJson());
+  // Sanity on the schedule itself.
+  EXPECT_EQ(a.sa.seed, 1234u);
+  EXPECT_EQ(a.sa.iterations, 5000);
+  uint64_t proposed = 0;
+  for (const obs::SaEpoch& epoch : a.sa.epochs) {
+    proposed += epoch.proposed;
+    EXPECT_LE(epoch.accepted, epoch.proposed);
+    EXPECT_LE(epoch.best_cost, epoch.current_cost + 1e-9);
+  }
+  EXPECT_EQ(proposed, a.sa.proposed);
+  EXPECT_EQ(static_cast<int>(a.sa.proposed), a.sa.iterations);
+  // Temperatures follow the geometric cooling schedule downward.
+  for (size_t i = 1; i < a.sa.epochs.size(); ++i) {
+    EXPECT_LT(a.sa.epochs[i].temperature, a.sa.epochs[i - 1].temperature);
+  }
+}
+
+TEST(SolverTest, SaDifferentSeedsDiverge) {
+  SharingGraph graph = TelemetryGraph();
+  obs::OptimizerProbe a;
+  obs::OptimizerProbe b;
+  SolveSimulatedAnnealing(graph, 1, 5000, &a);
+  SolveSimulatedAnnealing(graph, 2, 5000, &b);
+  // Same schedule shape, different acceptance history.
+  EXPECT_EQ(a.sa.epochs.size(), b.sa.epochs.size());
+  EXPECT_NE(a.sa.ToJson(), b.sa.ToJson());
+}
+
+TEST(SolverTest, ProbeDoesNotChangeSolverDecisions) {
+  SharingGraph graph = TelemetryGraph();
+  obs::OptimizerProbe probe;
+  PlanDecision plain_bnb = SolveBranchAndBound(graph, 5.0);
+  PlanDecision probed_bnb = SolveBranchAndBound(graph, 5.0, &probe);
+  EXPECT_EQ(plain_bnb.choice, probed_bnb.choice);
+  EXPECT_DOUBLE_EQ(plain_bnb.cost, probed_bnb.cost);
+  PlanDecision plain_sa = SolveSimulatedAnnealing(graph, 77, 4000);
+  PlanDecision probed_sa = SolveSimulatedAnnealing(graph, 77, 4000, &probe);
+  EXPECT_EQ(plain_sa.choice, probed_sa.choice);
+  EXPECT_DOUBLE_EQ(plain_sa.cost, probed_sa.cost);
+}
+
+TEST(SolverTest, SelectPlanRecordsSelectedSolver) {
+  SharingGraph graph = TelemetryGraph();
+  PlannerOptions options;
+  obs::OptimizerProbe probe;
+  options.probe = &probe;
+  PlanDecision decision = SelectPlan(graph, options);
+  EXPECT_TRUE(decision.exact);
+  EXPECT_EQ(probe.selected_solver, "bnb");
+  EXPECT_TRUE(probe.bnb.recorded);
+
+  obs::OptimizerProbe sa_probe;
+  PlannerOptions sa_options;
+  sa_options.force_approximate = true;
+  sa_options.sa_iterations = 2000;
+  sa_options.probe = &sa_probe;
+  SelectPlan(graph, sa_options);
+  EXPECT_EQ(sa_probe.selected_solver, "sa");
+  EXPECT_TRUE(sa_probe.sa.recorded);
+  EXPECT_FALSE(sa_probe.bnb.recorded);
+
+  obs::OptimizerProbe naive_probe;
+  PlannerOptions naive_options;
+  naive_options.probe = &naive_probe;
+  SharingGraph edgeless = MakeGraph({10, 20}, {true, true}, {});
+  SelectPlan(edgeless, naive_options);
+  EXPECT_EQ(naive_probe.selected_solver, "naive");
 }
 
 TEST(SolverTest, ValidateDecisionCatchesInconsistencies) {

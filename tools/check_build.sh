@@ -17,6 +17,11 @@
 # turns the default quick pass into a nightly-depth sweep in all three
 # configurations. Unset, the suites use their built-in defaults
 # (40 differential cases per seed, 10k round-trip queries).
+#
+# Other useful ctest labels (both part of the full suite this script runs):
+#   ctest -L explain   optimizer-observability suite alone (plan inspector,
+#                      probe traces, calibration; DESIGN.md §11)
+#   ctest -L verify    differential verification alone (DESIGN.md §10)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

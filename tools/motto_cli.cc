@@ -4,10 +4,11 @@
 //   motto gen-workload --scenario=stock|dc --queries=N --ratio=R --seed=S
 //                      --out=FILE.ccl
 //   motto explain     --workload=FILE.ccl [--stream=FILE.csv] [--mode=...]
+//                     [--solver=bnb|sa] [--json[=FILE]] [--dot[=FILE]]
 //   motto run         --workload=FILE.ccl --stream=FILE.csv
 //                     [--mode=na|mst|lcse|motto] [--threads=N]
-//                     [--stats[=json]] [--trace=FILE.json]
-//                     [--metrics-out=FILE.json]
+//                     [--stats[=json]] [--calibrate[=json]]
+//                     [--trace=FILE.json] [--metrics-out=FILE.json]
 //   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
 //                     [--reports]
 //   motto verify      --seed=S --iters=N [--queries=Q] [--events=E]
@@ -25,7 +26,9 @@
 #include "engine/executor.h"
 #include "engine/parallel_executor.h"
 #include "motto/optimizer.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
+#include "obs/opt_trace.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "planner/solver.h"
@@ -147,6 +150,22 @@ Result<StreamStats> StatsFor(const Args& args, EventTypeRegistry* registry,
   return stats;
 }
 
+/// Writes `doc` to `path`, or to stdout when `path` is empty (the bare
+/// `--json` / `--dot` form).
+int EmitDocument(const std::string& path, const std::string& doc,
+                 const char* what) {
+  if (path.empty()) {
+    std::printf("%s", doc.c_str());
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) return Fail(InternalError("cannot open " + path));
+  out << doc;
+  if (!out.flush()) return Fail(InternalError("write failed for " + path));
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return 0;
+}
+
 int Explain(const Args& args) {
   EventTypeRegistry registry;
   auto queries = LoadWorkloadFile(args.Get("workload", "workload.ccl"),
@@ -159,12 +178,38 @@ int Explain(const Args& args) {
 
   OptimizerOptions options;
   options.mode = *mode;
+  std::string solver = args.Get("solver", "bnb");
+  if (solver == "sa") {
+    options.planner.force_approximate = true;
+  } else if (solver != "bnb") {
+    return Fail(InvalidArgumentError("unknown solver '" + solver +
+                                     "' (bnb|sa)"));
+  }
+  obs::OptimizerProbe probe;
+  options.probe = &probe;
   Optimizer optimizer(&registry, *stats, options);
   auto outcome = optimizer.Optimize(*queries);
   if (!outcome.ok()) return Fail(outcome.status());
 
+  obs::PlanExplain explain =
+      obs::BuildPlanExplain(*outcome, *stats, OptimizerModeName(*mode));
+  bool structured = false;
+  if (args.Has("json")) {
+    structured = true;
+    int rc = EmitDocument(args.Get("json", ""), explain.ToJson(&probe) + "\n",
+                          "explain json");
+    if (rc != 0) return rc;
+  }
+  if (args.Has("dot")) {
+    structured = true;
+    int rc = EmitDocument(args.Get("dot", ""), explain.ToDot(), "explain dot");
+    if (rc != 0) return rc;
+  }
+  if (structured) return 0;
+
   std::printf("-- sharing graph --\n%s",
               outcome->sharing_graph.ToString(registry).c_str());
+  std::printf("\n-- optimizer --\n%s", probe.Summary().c_str());
   std::printf("\n-- plan (%s, cost %.2f vs %.2f unshared) --\n%s",
               outcome->exact ? "exact" : "approximate",
               outcome->planned_cost, outcome->default_cost,
@@ -191,14 +236,17 @@ int RunWorkload(const Args& args) {
 
   int threads = static_cast<int>(args.GetInt("threads", 1));
   bool want_stats = args.Has("stats");
+  bool want_calibrate = args.Has("calibrate");
   std::string stats_format = args.Get("stats", "");
+  std::string calibrate_format = args.Get("calibrate", "");
   std::string trace_path = args.Get("trace", "");
   std::string metrics_path = args.Get("metrics-out", "");
 
   obs::MetricsRegistry metrics;
   obs::TraceSink trace_sink;
   ExecutorOptions exec_options;
-  exec_options.collect_node_timing = want_stats;
+  // Calibration joins predicted costs against measured per-node timing.
+  exec_options.collect_node_timing = want_stats || want_calibrate;
   if (want_stats || !metrics_path.empty()) exec_options.metrics = &metrics;
   if (!trace_path.empty()) exec_options.trace = &trace_sink;
 
@@ -233,6 +281,19 @@ int RunWorkload(const Args& args) {
       std::printf("%s\n", report.ToJson().c_str());
     } else {
       std::printf("%s", report.ToTable().c_str());
+    }
+  }
+  if (want_calibrate) {
+    obs::RunReport report = obs::BuildRunReport(outcome->jqp, *stats, run);
+    obs::PlanExplain explain =
+        obs::BuildPlanExplain(*outcome, *stats, OptimizerModeName(*mode));
+    obs::CalibrationReport calibration = obs::BuildCalibration(explain, report);
+    if (calibrate_format == "json") {
+      std::printf("%s\n", calibration.ToJson().c_str());
+    } else {
+      std::printf("-- calibration (predicted vs measured by rewrite family) "
+                  "--\n%s",
+                  calibration.ToTable().c_str());
     }
   }
   if (!trace_path.empty()) {

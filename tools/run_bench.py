@@ -59,6 +59,14 @@ def collect(build_dir, targets, min_time, filter_regex):
             entry = {"items_per_second": bench.get("items_per_second")}
             if "matches" in bench:
                 entry["matches"] = bench["matches"]
+            # Solver/rewriter telemetry counters (micro_planner): search
+            # shape and candidate volume, a semantic fingerprint for the
+            # optimizer benches like `matches` is for the matcher ones.
+            for key in ("expansions", "pruned", "incumbents", "sa_epochs",
+                        "sa_accepted", "candidates", "pairs",
+                        "nodes", "edges"):
+                if key in bench:
+                    entry[key] = bench[key]
             benchmarks[f"{target}/{bench['name']}"] = entry
     return benchmarks, context or {}
 
