@@ -2,11 +2,14 @@
 // per-operator matcher throughput, filter throughput, executor dispatch.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "engine/executor.h"
 #include "engine/matcher.h"
 #include "engine/parallel_executor.h"
 #include "engine/plan_util.h"
+#include "engine/sharded_executor.h"
 #include "event/stream.h"
 #include "obs/metrics.h"
 
@@ -147,15 +150,11 @@ void BM_ExecutorDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutorDispatch)->Arg(10)->Arg(50)->Arg(100);
 
-// Multi-threaded executor over a many-query plan with a chained second
-// layer, sweeping threads x batch size. The `matches` counter doubles as a
-// semantic fingerprint: it must equal the single-threaded executor's count
-// for the same workload regardless of threads/batching.
-void BM_ParallelExecutor(benchmark::State& state) {
-  int num_threads = static_cast<int>(state.range(0));
-  size_t batch = static_cast<size_t>(state.range(1));
+// The shared executor-scaling workload: 48 two-step SEQ queries over 8
+// types plus a chained consumer on every fourth query, so the plan has a
+// second dataflow level and many independent components.
+Jqp MakeChainedWorkloadJqp(EventTypeRegistry* registry) {
   int num_queries = 48;
-  EventTypeRegistry registry;
   std::vector<FlatQuery> queries;
   for (int q = 0; q < num_queries; ++q) {
     FlatQuery query;
@@ -163,11 +162,11 @@ void BM_ParallelExecutor(benchmark::State& state) {
     query.window = Seconds(10);
     query.pattern.op = PatternOp::kSeq;
     query.pattern.operands = {
-        registry.RegisterPrimitive("T" + std::to_string(q % 8)),
-        registry.RegisterPrimitive("T" + std::to_string((q + 1) % 8))};
+        registry->RegisterPrimitive("T" + std::to_string(q % 8)),
+        registry->RegisterPrimitive("T" + std::to_string((q + 1) % 8))};
     queries.push_back(query);
   }
-  Jqp jqp = BuildDefaultJqp(queries, &registry);
+  Jqp jqp = BuildDefaultJqp(queries, registry);
   // Chain a consumer onto every fourth query so the plan has a second
   // dataflow level: SEQ(q_i's composite, one more primitive).
   size_t base_nodes = jqp.nodes.size();
@@ -177,7 +176,7 @@ void BM_ParallelExecutor(benchmark::State& state) {
     FlatPattern full{PatternOp::kSeq,
                      {queries[q].pattern.operands[0],
                       queries[q].pattern.operands[1],
-                      registry.Find("T" + std::to_string((q + 5) % 8))},
+                      registry->Find("T" + std::to_string((q + 5) % 8))},
                      {}};
     PatternSpec down;
     down.op = PatternOp::kSeq;
@@ -185,13 +184,25 @@ void BM_ParallelExecutor(benchmark::State& state) {
     down.operands = {
         OperandBinding{{sub_type}, 1, {0, 1}, {}},
         OperandBinding{{full.operands[2]}, kRawChannel, {2}, {}}};
-    down.output_type = RegisterOutputType(full, Seconds(10), &registry);
+    down.output_type = RegisterOutputType(full, Seconds(10), registry);
     JqpNode down_node;
     down_node.spec = down;
     down_node.inputs = {static_cast<int32_t>(q)};
     int32_t down_id = jqp.AddNode(std::move(down_node));
     jqp.sinks.push_back(Jqp::Sink{"chained" + std::to_string(q), down_id});
   }
+  return jqp;
+}
+
+// Multi-threaded executor over a many-query plan with a chained second
+// layer, sweeping threads x batch size. The `matches` counter doubles as a
+// semantic fingerprint: it must equal the single-threaded executor's count
+// for the same workload regardless of threads/batching.
+void BM_ParallelExecutor(benchmark::State& state) {
+  int num_threads = static_cast<int>(state.range(0));
+  size_t batch = static_cast<size_t>(state.range(1));
+  EventTypeRegistry registry;
+  Jqp jqp = MakeChainedWorkloadJqp(&registry);
   EventStream stream = MakeStream(20000, 8, 1.0, Seconds(10), 13);
   auto executor = ParallelExecutor::Create(jqp, num_threads, batch);
   ExecutorOptions options;
@@ -215,6 +226,56 @@ BENCHMARK(BM_ParallelExecutor)
     ->Args({4, 512})
     ->Args({4, 2048})
     ->Args({8, 512})
+    ->UseRealTime();
+
+// Sharded data-parallel executor over the same workload, sweeping
+// threads x shards. Wall throughput saturates at the host's core count
+// (this container has one vCPU; see DESIGN.md §4), so the scaling claim
+// rides on `modeled_speedup` — the LPT bound sum(shard busy)/max(shard
+// busy) from the measured per-shard busy times, i.e. the speedup the same
+// partition delivers when every shard has its own core. `matches` is the
+// semantic fingerprint again: identical to BM_ParallelExecutor's.
+void BM_ShardedExecutor(benchmark::State& state) {
+  int num_threads = static_cast<int>(state.range(0));
+  int num_shards = static_cast<int>(state.range(1));
+  EventTypeRegistry registry;
+  Jqp jqp = MakeChainedWorkloadJqp(&registry);
+  EventStream stream = MakeStream(20000, 8, 1.0, Seconds(10), 13);
+  auto executor = ShardedExecutor::Create(jqp, num_shards, num_threads);
+  ExecutorOptions options;
+  options.count_matches_only = true;
+  uint64_t matches = 0;
+  double total_busy = 0.0;
+  double max_busy = 0.0;
+  for (auto _ : state) {
+    auto run = executor->Run(stream, options);
+    matches = run->TotalMatches();
+    total_busy = 0.0;
+    max_busy = 0.0;
+    for (const ShardRunStats& shard : run->sharded.per_shard) {
+      total_busy += shard.busy_seconds;
+      max_busy = std::max(max_busy, shard.busy_seconds);
+    }
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["modeled_speedup"] =
+      max_busy > 0 ? total_busy / max_busy : 1.0;
+}
+// The threads:1 rows sweep shard count with sequential (uncontended) shard
+// replays, so their busy times — and the modeled speedup built from them —
+// are clean; the threads>1 rows exercise the worker-pool dispatch path.
+BENCHMARK(BM_ShardedExecutor)
+    ->ArgNames({"threads", "shards"})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->Args({8, 8})
     ->UseRealTime();
 
 }  // namespace

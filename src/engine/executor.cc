@@ -55,6 +55,28 @@ void ExportRunMetrics(const RunResult& result,
   registry->GetCounter("run.raw_events")->Add(result.raw_events);
   registry->GetCounter("run.matches")->Add(result.TotalMatches());
   registry->GetGauge("run.elapsed_seconds")->Set(result.elapsed_seconds);
+  const ShardedRunStats& sharded = result.sharded;
+  if (sharded.shards > 0) {
+    registry->GetGauge("shard.count")
+        ->Set(static_cast<double>(sharded.shards));
+    registry->GetGauge("shard.threads")
+        ->Set(static_cast<double>(sharded.threads));
+    registry->GetGauge("shard.groups")
+        ->Set(static_cast<double>(sharded.groups));
+    registry->GetGauge("shard.skew")->Set(sharded.skew);
+    registry->GetGauge("shard.max_busy_seconds")
+        ->Set(sharded.max_busy_seconds);
+    registry->GetGauge("shard.mean_busy_seconds")
+        ->Set(sharded.mean_busy_seconds);
+    for (const ShardRunStats& shard : sharded.per_shard) {
+      std::string prefix = "shard." + std::to_string(shard.shard);
+      registry->GetCounter(prefix + ".owned_events")->Add(shard.owned_events);
+      registry->GetCounter(prefix + ".context_events")
+          ->Add(shard.context_events);
+      registry->GetCounter(prefix + ".matches")->Add(shard.matches);
+      registry->GetGauge(prefix + ".busy_seconds")->Set(shard.busy_seconds);
+    }
+  }
   const ParallelRunStats& parallel = result.parallel;
   if (parallel.threads > 0) {
     registry->GetGauge("sched.threads")
@@ -124,6 +146,11 @@ Result<Executor> Executor::Create(Jqp jqp) {
 Result<RunResult> Executor::Run(const EventStream& stream,
                                 const ExecutorOptions& options) {
   MOTTO_RETURN_IF_ERROR(ValidateStream(stream));
+  return RunSpan(stream.data(), stream.size(), options);
+}
+
+RunResult Executor::RunSpan(const Event* events, size_t count,
+                            const ExecutorOptions& options) {
   for (auto& runtime : runtimes_) runtime->Reset();
 
   size_t n = jqp_.nodes.size();
@@ -144,7 +171,7 @@ Result<RunResult> Executor::Run(const EventStream& stream,
   }
 
   RunResult result;
-  result.raw_events = stream.size();
+  result.raw_events = count;
   result.node_stats.assign(n, NodeStats{});
   for (const Jqp::Sink& sink : jqp_.sinks) {
     if (!options.count_matches_only) {
@@ -223,10 +250,37 @@ Result<RunResult> Executor::Run(const EventStream& stream,
       }
     }
     if (!any_sink_output) return;
-    for (const Jqp::Sink& sink : jqp_.sinks) {
+    for (size_t s = 0; s < jqp_.sinks.size(); ++s) {
+      const Jqp::Sink& sink = jqp_.sinks[s];
       size_t node = static_cast<size_t>(sink.node);
       if (active_stamp_[node] != seq || buffers_[node].empty()) continue;
       std::vector<Event>& out = buffers_[node];
+      if (options.sink_ranges != nullptr) {
+        // Time-sliced shard: keep only matches whose attribution key this
+        // shard owns; everything else is context warm-up another shard (or
+        // no shard) is responsible for.
+        const SinkEmitRange& range = (*options.sink_ranges)[s];
+        uint64_t kept = 0;
+        for (Event& ev : out) {
+          Timestamp key = range.deferred_window >= 0
+                              ? ev.begin() + range.deferred_window
+                              : ev.end();
+          if (key <= range.min_exclusive || key > range.max_inclusive) {
+            continue;
+          }
+          ++kept;
+          if (!options.count_matches_only) {
+            auto& collected = result.sink_events[sink.query_name];
+            if (movable_sink_[node]) {
+              collected.push_back(std::move(ev));
+            } else {
+              collected.push_back(ev);
+            }
+          }
+        }
+        result.sink_counts[sink.query_name] += kept;
+        continue;
+      }
       result.sink_counts[sink.query_name] += out.size();
       if (!options.count_matches_only) {
         auto& collected = result.sink_events[sink.query_name];
@@ -243,7 +297,8 @@ Result<RunResult> Executor::Run(const EventStream& stream,
     }
   };
 
-  for (const Event& raw : stream) {
+  for (size_t pos = 0; pos < count; ++pos) {
+    const Event& raw = events[pos];
     ++seq;
     if (trace != nullptr && (seq & 511) == 1) {
       // Sampled watermark ticks anchor stream time to wall time on the
@@ -251,12 +306,19 @@ Result<RunResult> Executor::Run(const EventStream& stream,
       trace->Instant("watermark", stream_tid, trace->NowMicros(),
                      "{\"ts_us\":" + std::to_string(raw.begin()) + "}");
     }
+    bool routed = false;
     if (static_cast<size_t>(raw.type()) < raw_interest_.size()) {
       for (int32_t idx : raw_interest_[static_cast<size_t>(raw.type())]) {
         raw_stamp_[static_cast<size_t>(idx)] = seq;
         active_stamp_[static_cast<size_t>(idx)] = seq;
+        routed = true;
       }
     }
+    // No node reads this type: the round would activate nothing (deferred
+    // negation flushes are driven by negated-type arrivals, which route),
+    // so skip the topo scan entirely. Sub-plan shards see mostly foreign
+    // types, which makes this the sharded path's fast lane.
+    if (!routed) continue;
     process_round(&raw, raw.begin(), /*activate_all=*/false);
   }
   // Final flush so window-expiry (NEG) emissions at the stream tail appear.

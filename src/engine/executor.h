@@ -1,6 +1,7 @@
 #ifndef MOTTO_ENGINE_EXECUTOR_H_
 #define MOTTO_ENGINE_EXECUTOR_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,34 @@ struct ParallelRunStats {
   uint64_t backpressure_stalls = 0;
 };
 
+/// Per-shard counters from a ShardedExecutor run (DESIGN.md §12).
+struct ShardRunStats {
+  int shard = 0;
+  int group = 0;
+  int time_slices = 1;
+  int slice_index = 0;
+  /// Stream events whose timestamp interval this shard owns.
+  uint64_t owned_events = 0;
+  /// Warm-up prefix events replayed only to rebuild partial-match context
+  /// (zero for whole-stream shards).
+  uint64_t context_events = 0;
+  uint64_t matches = 0;
+  /// Wall time of this shard's replica run.
+  double busy_seconds = 0.0;
+};
+
+/// Aggregate sharding counters; `shards == 0` for non-sharded runs.
+struct ShardedRunStats {
+  int shards = 0;
+  int threads = 0;
+  int groups = 0;
+  double max_busy_seconds = 0.0;
+  double mean_busy_seconds = 0.0;
+  /// max/mean shard busy time: 1 = perfectly balanced, 0 = nothing ran.
+  double skew = 0.0;
+  std::vector<ShardRunStats> per_shard;
+};
+
 /// Outcome of replaying one stream through a JQP. (NodeStats lives in
 /// runtime.h so node runtimes can fill their own counters.)
 struct RunResult {
@@ -64,6 +93,8 @@ struct RunResult {
   std::vector<NodeStats> node_stats;
   /// Filled by ParallelExecutor runs; default-zero otherwise.
   ParallelRunStats parallel;
+  /// Filled by ShardedExecutor runs; `sharded.shards == 0` otherwise.
+  ShardedRunStats sharded;
 
   /// Raw input events per second of wall time.
   double ThroughputEps() const {
@@ -74,6 +105,21 @@ struct RunResult {
 
   /// Total matches across all sinks.
   uint64_t TotalMatches() const;
+};
+
+/// Ownership filter for one sink of a time-sliced shard run: only matches
+/// whose attribution key falls in (min_exclusive, max_inclusive] are
+/// emitted. The key is the timestamp at which the match's fate is sealed:
+/// `end()` for immediately-emitted matches, `begin() + deferred_window` for
+/// negation-deferred sinks (the last instant a negated event could still
+/// kill the pending match). Slicing the timeline into such intervals makes
+/// each match the responsibility of exactly one shard (DESIGN.md §12).
+struct SinkEmitRange {
+  Timestamp min_exclusive = std::numeric_limits<Timestamp>::min();
+  Timestamp max_inclusive = std::numeric_limits<Timestamp>::max();
+  /// >= 0: the sink node defers emission behind its negation window and the
+  /// key is begin() + deferred_window; < 0: the key is end().
+  Duration deferred_window = -1;
 };
 
 struct ExecutorOptions {
@@ -93,6 +139,11 @@ struct ExecutorOptions {
   /// activation, plus instant/counter events for watermarks, pool epochs,
   /// ready-queue depth and backpressure stalls.
   obs::TraceSink* trace = nullptr;
+  /// Per-sink emission ownership filters, parallel to Jqp::sinks; null (the
+  /// default) keeps every match. Set by ShardedExecutor on time-sliced
+  /// replicas so context warm-up and out-of-interval matches are counted
+  /// out at the sink, before they reach the merged result.
+  const std::vector<SinkEmitRange>* sink_ranges = nullptr;
 };
 
 /// Dumps a finished run's NodeStats / ParallelRunStats into `registry`
@@ -116,6 +167,12 @@ class Executor {
   /// Can be called repeatedly; node state is reset per run.
   Result<RunResult> Run(const EventStream& stream,
                         const ExecutorOptions& options = ExecutorOptions{});
+
+  /// Replays a contiguous span of an already-validated stream (sorted, all
+  /// primitive). ShardedExecutor feeds each replica its slice-plus-context
+  /// window through this without copying or re-validating the events.
+  RunResult RunSpan(const Event* events, size_t count,
+                    const ExecutorOptions& options = ExecutorOptions{});
 
   const Jqp& jqp() const { return jqp_; }
 

@@ -1,0 +1,219 @@
+#include "engine/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace motto {
+
+namespace {
+
+/// Structural cost proxy: pattern nodes cost 1 + one unit per operand
+/// (operand fan-in drives partial-match work); filters cost 1.
+double DefaultNodeWeight(const JqpNode& node) {
+  if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+    return 1.0 + static_cast<double>(pattern->operands.size());
+  }
+  return 1.0;
+}
+
+int Find(std::vector<int>* parent, int x) {
+  while ((*parent)[static_cast<size_t>(x)] != x) {
+    (*parent)[static_cast<size_t>(x)] =
+        (*parent)[(*parent)[static_cast<size_t>(x)]];
+    x = (*parent)[static_cast<size_t>(x)];
+  }
+  return x;
+}
+
+void Union(std::vector<int>* parent, int a, int b) {
+  a = Find(parent, a);
+  b = Find(parent, b);
+  if (a != b) (*parent)[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+}
+
+std::string JsonIntList(const std::vector<int32_t>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+PartitionPlan PartitionPlan::Build(const Jqp& jqp, int num_shards,
+                                   const std::vector<double>* node_weights) {
+  PartitionPlan plan;
+  int n = static_cast<int>(jqp.nodes.size());
+  int shard_budget = std::max(1, num_shards);
+  if (n == 0) return plan;
+
+  std::vector<int> parent(static_cast<size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int32_t input : jqp.nodes[static_cast<size_t>(i)].inputs) {
+      Union(&parent, i, input);
+    }
+  }
+
+  // Components keyed by root, ordered by their smallest node id (the union
+  // rule keeps the smallest member as root) so the layout is deterministic.
+  std::vector<int32_t> component_of(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    int root = Find(&parent, i);
+    if (component_of[static_cast<size_t>(root)] < 0) {
+      component_of[static_cast<size_t>(root)] =
+          static_cast<int32_t>(plan.components.size());
+      plan.components.emplace_back();
+    }
+    int32_t c = component_of[static_cast<size_t>(root)];
+    component_of[static_cast<size_t>(i)] = c;
+    PartitionComponent& comp = plan.components[static_cast<size_t>(c)];
+    const JqpNode& node = jqp.nodes[static_cast<size_t>(i)];
+    comp.nodes.push_back(i);
+    comp.weight += node_weights != nullptr &&
+                           static_cast<size_t>(i) < node_weights->size()
+                       ? std::max((*node_weights)[static_cast<size_t>(i)],
+                                  1e-9)
+                       : DefaultNodeWeight(node);
+    if (const auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      comp.horizon = std::max(comp.horizon, pattern->window);
+    }
+  }
+  for (size_t s = 0; s < jqp.sinks.size(); ++s) {
+    int32_t c = component_of[static_cast<size_t>(jqp.sinks[s].node)];
+    plan.components[static_cast<size_t>(c)].sinks.push_back(
+        static_cast<int32_t>(s));
+  }
+
+  int num_components = static_cast<int>(plan.components.size());
+  if (num_components >= shard_budget) {
+    // LPT: heaviest component first into the lightest group. Each group is
+    // one shard evaluating the whole stream.
+    std::vector<int32_t> order(static_cast<size_t>(num_components));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+      return plan.components[static_cast<size_t>(a)].weight >
+             plan.components[static_cast<size_t>(b)].weight;
+    });
+    plan.groups = shard_budget;
+    plan.shards.assign(static_cast<size_t>(shard_budget), ShardSpec{});
+    for (int g = 0; g < shard_budget; ++g) plan.shards[static_cast<size_t>(g)].group = g;
+    for (int32_t c : order) {
+      ShardSpec* lightest = &plan.shards[0];
+      for (ShardSpec& shard : plan.shards) {
+        if (shard.weight < lightest->weight) lightest = &shard;
+      }
+      const PartitionComponent& comp = plan.components[static_cast<size_t>(c)];
+      lightest->components.push_back(c);
+      lightest->weight += comp.weight;
+      lightest->horizon = std::max(lightest->horizon, comp.horizon);
+    }
+    for (ShardSpec& shard : plan.shards) {
+      std::sort(shard.components.begin(), shard.components.end());
+    }
+    return plan;
+  }
+
+  // Fewer components than shards: every component is its own group; the
+  // leftover budget replicates the heaviest groups (by per-slice weight)
+  // over time slices.
+  plan.groups = num_components;
+  std::vector<int> slices(static_cast<size_t>(num_components), 1);
+  for (int extra = shard_budget - num_components; extra > 0; --extra) {
+    int best = 0;
+    double best_load = -1.0;
+    for (int g = 0; g < num_components; ++g) {
+      double load = plan.components[static_cast<size_t>(g)].weight /
+                    static_cast<double>(slices[static_cast<size_t>(g)]);
+      if (load > best_load) {
+        best_load = load;
+        best = g;
+      }
+    }
+    ++slices[static_cast<size_t>(best)];
+  }
+  for (int g = 0; g < num_components; ++g) {
+    const PartitionComponent& comp = plan.components[static_cast<size_t>(g)];
+    for (int k = 0; k < slices[static_cast<size_t>(g)]; ++k) {
+      ShardSpec shard;
+      shard.components = {g};
+      shard.group = g;
+      shard.time_slices = slices[static_cast<size_t>(g)];
+      shard.slice_index = k;
+      shard.weight = comp.weight / slices[static_cast<size_t>(g)];
+      shard.horizon = comp.horizon;
+      plan.shards.push_back(std::move(shard));
+    }
+  }
+  return plan;
+}
+
+bool PartitionPlan::PureComponentPartition() const {
+  for (const ShardSpec& shard : shards) {
+    if (shard.time_slices > 1) return false;
+  }
+  return true;
+}
+
+std::string PartitionPlan::ToString(const Jqp& jqp) const {
+  std::string out = "partition: " + std::to_string(components.size()) +
+                    " components -> " + std::to_string(shards.size()) +
+                    " shards (" + std::to_string(groups) + " groups)\n";
+  for (size_t c = 0; c < components.size(); ++c) {
+    const PartitionComponent& comp = components[c];
+    out += "  component " + std::to_string(c) + ": " +
+           std::to_string(comp.nodes.size()) + " nodes, weight " +
+           std::to_string(comp.weight) + ", horizon " +
+           std::to_string(comp.horizon) + "us, sinks [";
+    for (size_t i = 0; i < comp.sinks.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += jqp.sinks[static_cast<size_t>(comp.sinks[i])].query_name;
+    }
+    out += "]\n";
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardSpec& shard = shards[s];
+    out += "  shard " + std::to_string(s) + ": group " +
+           std::to_string(shard.group);
+    if (shard.time_slices > 1) {
+      out += " slice " + std::to_string(shard.slice_index) + "/" +
+             std::to_string(shard.time_slices);
+    }
+    out += ", components " + JsonIntList(shard.components) + ", weight " +
+           std::to_string(shard.weight) + "\n";
+  }
+  return out;
+}
+
+std::string PartitionPlan::ToJson() const {
+  std::string out = "{\"shards\":" + std::to_string(shards.size()) +
+                    ",\"groups\":" + std::to_string(groups) +
+                    ",\"pure_component\":" +
+                    (PureComponentPartition() ? "true" : "false") +
+                    ",\"components\":[";
+  for (size_t c = 0; c < components.size(); ++c) {
+    if (c > 0) out += ",";
+    const PartitionComponent& comp = components[c];
+    out += "{\"id\":" + std::to_string(c) +
+           ",\"nodes\":" + JsonIntList(comp.nodes) +
+           ",\"sinks\":" + JsonIntList(comp.sinks) +
+           ",\"weight\":" + std::to_string(comp.weight) +
+           ",\"horizon_us\":" + std::to_string(comp.horizon) + "}";
+  }
+  out += "],\"assignments\":[";
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (s > 0) out += ",";
+    const ShardSpec& shard = shards[s];
+    out += "{\"id\":" + std::to_string(s) +
+           ",\"group\":" + std::to_string(shard.group) +
+           ",\"time_slices\":" + std::to_string(shard.time_slices) +
+           ",\"slice\":" + std::to_string(shard.slice_index) +
+           ",\"components\":" + JsonIntList(shard.components) +
+           ",\"weight\":" + std::to_string(shard.weight) + "}";
+  }
+  return out + "]}";
+}
+
+}  // namespace motto

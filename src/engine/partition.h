@@ -1,0 +1,76 @@
+#ifndef MOTTO_ENGINE_PARTITION_H_
+#define MOTTO_ENGINE_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/graph.h"
+
+namespace motto {
+
+/// One connected component of a JQP, over node input edges. Queries in
+/// different components share no state, so components are the coarse unit of
+/// data-parallel sharding (DESIGN.md §12).
+struct PartitionComponent {
+  /// Global node ids, ascending.
+  std::vector<int32_t> nodes;
+  /// Indices into Jqp::sinks whose node lives in this component.
+  std::vector<int32_t> sinks;
+  /// Max pattern window in the component. Any match a component node emits
+  /// spans at most this (the matcher's window guard covers the full
+  /// constituent history), so a time slice only needs `horizon` of left
+  /// context to reproduce its owned matches.
+  Duration horizon = 0;
+  /// Cost proxy used for packing (sum of per-node weights).
+  double weight = 0.0;
+};
+
+/// One shard of a PartitionPlan: a set of whole components, or — when the
+/// plan replicates a heavy group over the time axis — one time slice of a
+/// replicated group.
+struct ShardSpec {
+  /// Indices into PartitionPlan::components, ascending.
+  std::vector<int32_t> components;
+  /// Replica group this shard belongs to. Shards of one group evaluate the
+  /// same sub-plan over different stream slices; groups own disjoint sinks.
+  int group = 0;
+  /// Number of time slices the group is split into (1 = whole stream).
+  int time_slices = 1;
+  /// This shard's slice within the group, in stream order.
+  int slice_index = 0;
+  double weight = 0.0;
+  Duration horizon = 0;
+};
+
+/// Data-parallel partition of a JQP into `shards.size()` independent
+/// replicas. Built once per plan; slicing of a concrete stream happens at
+/// run time (ShardedExecutor).
+struct PartitionPlan {
+  std::vector<PartitionComponent> components;
+  /// Ordered by (group, slice_index); shards of one group are contiguous.
+  std::vector<ShardSpec> shards;
+  int groups = 0;
+
+  /// Partitions `jqp` into at most `num_shards` shards. With at least as
+  /// many components as shards, components are LPT-packed by weight into
+  /// `num_shards` groups of one shard each. With fewer components, every
+  /// component becomes its own group and the remaining shard budget is
+  /// spent replicating the heaviest groups over time slices. `node_weights`
+  /// (parallel to jqp.nodes, e.g. predicted CPU units) overrides the
+  /// structural default of 1 + #operands per pattern node.
+  static PartitionPlan Build(const Jqp& jqp, int num_shards,
+                             const std::vector<double>* node_weights = nullptr);
+
+  /// True when no shard slices the time axis; the sharded run is then a
+  /// pure component partition and per-sink output order matches the
+  /// single-threaded Executor byte for byte.
+  bool PureComponentPartition() const;
+
+  std::string ToString(const Jqp& jqp) const;
+  std::string ToJson() const;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_ENGINE_PARTITION_H_

@@ -116,7 +116,8 @@ PlanExplain BuildPlanExplain(const motto::OptimizeOutcome& outcome,
   return explain;
 }
 
-std::string PlanExplain::ToJson(const OptimizerProbe* probe) const {
+std::string PlanExplain::ToJson(const OptimizerProbe* probe,
+                                const std::string& partition_json) const {
   std::string out = "{";
   out += "\"mode\":\"" + JsonEscape(mode) + "\"";
   out += ",\"planned_cost\":" + JsonNum(planned_cost);
@@ -171,6 +172,7 @@ std::string PlanExplain::ToJson(const OptimizerProbe* probe) const {
   }
   out += "]";
   if (probe != nullptr) out += ",\"optimizer\":" + probe->ToJson();
+  if (!partition_json.empty()) out += ",\"partition\":" + partition_json;
   out += "}";
   return out;
 }

@@ -67,8 +67,10 @@ struct PlanExplain {
   std::vector<std::string> warnings;
 
   /// Full inspector document; a non-null probe embeds its rewriter/solver
-  /// telemetry under an "optimizer" key.
-  std::string ToJson(const OptimizerProbe* probe = nullptr) const;
+  /// telemetry under an "optimizer" key, and a non-empty `partition_json`
+  /// (a PartitionPlan::ToJson document) lands under a "partition" key.
+  std::string ToJson(const OptimizerProbe* probe = nullptr,
+                     const std::string& partition_json = "") const;
   /// Graphviz digraph: one `nN [...]` line per plan node (shared nodes
   /// filled, labels carry predicted cost + provenance) and one `a -> b`
   /// line per dataflow input.

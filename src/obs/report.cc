@@ -122,6 +122,19 @@ RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
         "no per-node timing in this run; measured shares are zero (run with "
         "collect_node_timing)");
   }
+  // A sharded run whose slowest shard dwarfs the mean leaves cores idle:
+  // the partition (or the stream's time distribution) is skewed.
+  constexpr double kShardSkewThreshold = 1.5;
+  const ShardedRunStats& sharded = run.sharded;
+  if (sharded.shards > 1 && sharded.skew > kShardSkewThreshold) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "shard load skew %.2fx (max %.3fs vs mean %.3fs over %d "
+                  "shards); rebalance with different --shards or weights",
+                  sharded.skew, sharded.max_busy_seconds,
+                  sharded.mean_busy_seconds, sharded.shards);
+    report.warnings.push_back(buf);
+  }
   return report;
 }
 

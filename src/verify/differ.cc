@@ -8,6 +8,7 @@
 
 #include "engine/executor.h"
 #include "engine/parallel_executor.h"
+#include "engine/sharded_executor.h"
 #include "event/event.h"
 #include "motto/optimizer.h"
 #include "workload/io.h"
@@ -144,6 +145,17 @@ Result<CaseReport> CheckCase(const std::vector<Query>& queries,
                                  options.batch_size, /*pipe_depth=*/2));
     MOTTO_ASSIGN_OR_RETURN(RunResult parallel_run, parallel.Run(stream));
     paths.emplace_back("motto-par", SinkMatches(parallel_run, queries));
+
+    // Path "motto-shard": the same exact JQP through the sharded
+    // data-parallel executor. More shards than the plan has components
+    // forces time-sliced replicas, so attribution keys, warm-up context and
+    // the tie-safe slicer are all on the hook here.
+    MOTTO_ASSIGN_OR_RETURN(
+        ShardedExecutor sharded,
+        ShardedExecutor::Create(outcome.jqp, options.shards,
+                                /*num_threads=*/2));
+    MOTTO_ASSIGN_OR_RETURN(RunResult sharded_run, sharded.Run(stream));
+    paths.emplace_back("motto-shard", SinkMatches(sharded_run, queries));
   }
 
   // Path "motto-sa": the plan the simulated-annealing solver picks. Its

@@ -24,6 +24,10 @@ struct DifferOptions {
   /// batches.
   int threads = 3;
   size_t batch_size = 7;
+  /// Shard count for the ShardedExecutor path. Fuzz workloads often reduce
+  /// to a handful of components, so a count above that forces time-sliced
+  /// replicas and drives match attribution across slice boundaries.
+  int shards = 5;
   /// Shrink failing cases (query removal + ddmin on the stream) before
   /// reporting, bounded by this many re-checks per failure.
   bool shrink = true;
@@ -55,10 +59,10 @@ struct CaseReport {
 
 /// Runs every execution path — oracle, per-query NFA matcher plans,
 /// whole-workload unshared plan, MOTTO JQP from the exact solver, MOTTO JQP
-/// from simulated annealing, and the parallel executor over the exact JQP —
-/// on one (workload, stream) pair and diffs all per-query match multisets
-/// against the oracle. kOutOfRange means the oracle budget was exceeded
-/// (callers treat the case as skipped).
+/// from simulated annealing, and the parallel and sharded executors over
+/// the exact JQP — on one (workload, stream) pair and diffs all per-query
+/// match multisets against the oracle. kOutOfRange means the oracle budget
+/// was exceeded (callers treat the case as skipped).
 Result<CaseReport> CheckCase(const std::vector<Query>& queries,
                              const EventStream& stream,
                              EventTypeRegistry* registry,

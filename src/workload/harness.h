@@ -47,6 +47,14 @@ struct ComparisonOptions {
   /// ModeRun. Costs one extra timed replay per mode, so keep it off on
   /// pure-throughput comparisons.
   bool collect_reports = false;
+  /// Execution engine for the measured replays: shards > 1 selects the
+  /// sharded data-parallel executor (DESIGN.md §12); otherwise threads > 1
+  /// selects the pipelined executor with batch_size/pipe_depth; the default
+  /// is the single-threaded Executor.
+  int shards = 1;
+  int threads = 1;
+  size_t batch_size = 512;
+  size_t pipe_depth = 4;
 };
 
 /// Optimizes and replays `queries` over `stream` once per mode, reporting

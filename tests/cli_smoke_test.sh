@@ -137,10 +137,89 @@ assert "pool_epoch" in names, names
 assert "batch" in names, names
 EOF
 
+# Executor sizing knobs reject non-positive values with the error exit code.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --shards=0 >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--shards=0 should exit 1"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --threads=2 --batch-size=0 \
+  >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--batch-size=0 should exit 1"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --threads=2 --pipe-depth=0 \
+  >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--pipe-depth=0 should exit 1"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --threads=-1 >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--threads=-1 should exit 1"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --threads=2 --batch-size=64 \
+  --pipe-depth=2 >/dev/null || fail "run with explicit batch/pipe sizing"
+
+# Sharded run: banner line, per-shard metrics, per-shard trace rows.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --shards=4 \
+  --trace=strace.json --metrics-out=smetrics.json > shard_run.out \
+  || fail "run --shards=4"
+grep -q "sharded: 4 shards" shard_run.out || fail "sharded banner missing"
+python3 - <<'EOF' || fail "sharded metrics/trace invalid"
+import json
+m = json.load(open("smetrics.json"))
+gauges = m["gauges"]
+assert gauges["shard.count"]["value"] == 4, gauges
+assert "shard.skew" in gauges, gauges
+assert gauges["shard.groups"]["value"] >= 1, gauges
+counters = m["counters"]
+shard_rows = [k for k in counters if k.startswith("shard.")]
+assert any(k.endswith(".owned_events") for k in shard_rows), counters
+assert any(k.endswith(".matches") for k in shard_rows), counters
+# Each group's slices partition the stream (unsliced shards own it whole),
+# so owned events total the raw stream once per replica group.
+owned = sum(v for k, v in counters.items()
+            if k.startswith("shard.") and k.endswith(".owned_events"))
+expect = counters["run.raw_events"] * int(gauges["shard.groups"]["value"])
+assert owned == expect, (owned, expect)
+t = json.load(open("strace.json"))
+names = {e["name"] for e in t["traceEvents"]}
+assert "shard" in names, names
+EOF
+
+# Sharded and single-threaded runs agree on every query's match count.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv > single_run.out \
+  || fail "run single for shard diff"
+grep "matches" shard_run.out > shard_matches.out
+grep "matches" single_run.out > single_matches.out
+diff -q shard_matches.out single_matches.out >/dev/null \
+  || fail "sharded match counts diverge from single-threaded"
+
 "${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --reports \
   > compare.out || fail "compare --reports"
 grep -q "x NA" compare.out || fail "compare table missing"
 grep -q -- "-- MOTTO report --" compare.out || fail "mode report missing"
+
+# compare accepts the engine-selection knobs (sharded + pipelined sizing).
+"${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --shards=2 \
+  >/dev/null || fail "compare --shards=2"
+"${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --threads=2 \
+  --batch-size=128 --pipe-depth=2 >/dev/null || fail "compare pipelined"
+"${MOTTO}" compare --workload=w.ccl --stream=s.csv --shards=0 >/dev/null 2>&1
+[ $? -eq 1 ] || fail "compare --shards=0 should exit 1"
+
+# explain --shards annotates the plan with the data-parallel partition.
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv --shards=4 \
+  > explain_shards.out || fail "explain --shards=4"
+grep -q -- "-- partition --" explain_shards.out \
+  || fail "explain partition section missing"
+grep -q "components" explain_shards.out || fail "partition summary missing"
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv --shards=4 --json=ep.json \
+  >/dev/null || fail "explain --shards --json"
+python3 - <<'EOF' || fail "explain partition JSON invalid"
+import json
+d = json.load(open("ep.json"))
+p = d["partition"]
+assert p["shards"] == 4, p
+assert p["components"], p
+assert len(p["assignments"]) == 4, p
+for a in p["assignments"]:
+    for key in ("id", "group", "time_slices", "slice", "components"):
+        assert key in a, (key, a)
+EOF
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv --shards=0 >/dev/null 2>&1
+[ $? -eq 1 ] || fail "explain --shards=0 should exit 1"
 
 # Differential verification: a short fuzz sweep (oracle vs every execution
 # path) and the curated repro corpus replayed one pair at a time.

@@ -1,0 +1,181 @@
+// PartitionPlan structure tests: connected components over JQP input edges,
+// LPT packing when components outnumber shards, time-slice replication when
+// shards outnumber components, and the horizon / weight bookkeeping the
+// sharded executor's correctness rests on (DESIGN.md §12).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/partition.h"
+#include "engine/plan_util.h"
+
+namespace motto {
+namespace {
+
+FlatQuery MakeQuery(const std::string& name, PatternOp op,
+                    std::vector<EventTypeId> operands, Duration window) {
+  FlatQuery query;
+  query.name = name;
+  query.window = window;
+  query.pattern.op = op;
+  query.pattern.operands = std::move(operands);
+  return query;
+}
+
+/// Four independent two-operand SEQ queries over disjoint types.
+Jqp MakeIndependentJqp(EventTypeRegistry* registry, int queries = 4) {
+  std::vector<FlatQuery> workload;
+  for (int q = 0; q < queries; ++q) {
+    EventTypeId a =
+        registry->RegisterPrimitive("A" + std::to_string(q));
+    EventTypeId b =
+        registry->RegisterPrimitive("B" + std::to_string(q));
+    workload.push_back(MakeQuery("q" + std::to_string(q), PatternOp::kSeq,
+                                 {a, b}, Millis(10 * (q + 1))));
+  }
+  return BuildDefaultJqp(workload, registry);
+}
+
+TEST(PartitionTest, IndependentQueriesBecomeSeparateComponents) {
+  EventTypeRegistry registry;
+  Jqp jqp = MakeIndependentJqp(&registry);
+  PartitionPlan plan = PartitionPlan::Build(jqp, 4);
+
+  ASSERT_EQ(plan.components.size(), 4u);
+  ASSERT_EQ(plan.shards.size(), 4u);
+  EXPECT_EQ(plan.groups, 4);
+  EXPECT_TRUE(plan.PureComponentPartition());
+  for (const PartitionComponent& comp : plan.components) {
+    EXPECT_EQ(comp.nodes.size(), 1u);
+    EXPECT_EQ(comp.sinks.size(), 1u);
+  }
+  // Horizon is the component's max pattern window.
+  EXPECT_EQ(plan.components[0].horizon, Millis(10));
+  EXPECT_EQ(plan.components[3].horizon, Millis(40));
+  // Every component lands on exactly one shard.
+  std::vector<int> seen(plan.components.size(), 0);
+  for (const ShardSpec& shard : plan.shards) {
+    EXPECT_EQ(shard.time_slices, 1);
+    for (int32_t c : shard.components) ++seen[static_cast<size_t>(c)];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(PartitionTest, InputEdgesMergeComponents) {
+  EventTypeRegistry registry;
+  std::vector<FlatQuery> workload;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  EventTypeId c = registry.RegisterPrimitive("C");
+  workload.push_back(MakeQuery("q0", PatternOp::kSeq, {a, b}, Millis(50)));
+  workload.push_back(MakeQuery("q1", PatternOp::kSeq, {b, c}, Millis(20)));
+  Jqp jqp = BuildDefaultJqp(workload, &registry);
+
+  // Chain a consumer of q0's composite: its node joins q0's component even
+  // though q0 and q1 read overlapping raw types (type overlap alone does
+  // not connect components — replicas each see the whole raw stream).
+  const auto& up = std::get<PatternSpec>(jqp.nodes[0].spec);
+  PatternSpec down;
+  down.op = PatternOp::kSeq;
+  down.window = Millis(80);
+  down.operands = {OperandBinding{{up.output_type}, 1, {0, 1}, {}},
+                   OperandBinding{{c}, kRawChannel, {2}, {}}};
+  down.output_type = registry.RegisterComposite("chained");
+  JqpNode down_node;
+  down_node.spec = down;
+  down_node.inputs = {0};
+  int32_t chained = jqp.AddNode(std::move(down_node));
+  jqp.sinks.push_back(Jqp::Sink{"chained", chained});
+
+  PartitionPlan plan = PartitionPlan::Build(jqp, 2);
+  ASSERT_EQ(plan.components.size(), 2u);
+  EXPECT_EQ(plan.components[0].nodes,
+            (std::vector<int32_t>{0, chained}));
+  EXPECT_EQ(plan.components[0].sinks.size(), 2u);
+  // Chained node's wider window dominates the component horizon; windows do
+  // not accumulate along the chain (the matcher's guard covers the full
+  // constituent history).
+  EXPECT_EQ(plan.components[0].horizon, Millis(80));
+  EXPECT_EQ(plan.components[1].horizon, Millis(20));
+}
+
+TEST(PartitionTest, LptPackingBalancesWeights) {
+  EventTypeRegistry registry;
+  Jqp jqp = MakeIndependentJqp(&registry, 5);
+  // Bias component 0 to outweigh the rest combined: it must sit alone.
+  std::vector<double> weights(jqp.nodes.size(), 1.0);
+  weights[0] = 100.0;
+  PartitionPlan plan = PartitionPlan::Build(jqp, 2, &weights);
+
+  ASSERT_EQ(plan.shards.size(), 2u);
+  EXPECT_TRUE(plan.PureComponentPartition());
+  const ShardSpec* heavy = nullptr;
+  const ShardSpec* light = nullptr;
+  for (const ShardSpec& shard : plan.shards) {
+    bool has_zero = false;
+    for (int32_t c : shard.components) has_zero |= c == 0;
+    (has_zero ? heavy : light) = &shard;
+  }
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  EXPECT_EQ(heavy->components.size(), 1u);
+  EXPECT_EQ(light->components.size(), 4u);
+}
+
+TEST(PartitionTest, SingleComponentSplitsIntoTimeSlices) {
+  EventTypeRegistry registry;
+  Jqp jqp = MakeIndependentJqp(&registry, 1);
+  PartitionPlan plan = PartitionPlan::Build(jqp, 4);
+
+  EXPECT_EQ(plan.groups, 1);
+  ASSERT_EQ(plan.shards.size(), 4u);
+  EXPECT_FALSE(plan.PureComponentPartition());
+  for (int k = 0; k < 4; ++k) {
+    const ShardSpec& shard = plan.shards[static_cast<size_t>(k)];
+    EXPECT_EQ(shard.group, 0);
+    EXPECT_EQ(shard.time_slices, 4);
+    EXPECT_EQ(shard.slice_index, k);
+    EXPECT_EQ(shard.horizon, Millis(10));
+  }
+}
+
+TEST(PartitionTest, ExtraSlicesGoToHeaviestGroups) {
+  EventTypeRegistry registry;
+  Jqp jqp = MakeIndependentJqp(&registry, 2);
+  std::vector<double> weights(jqp.nodes.size(), 1.0);
+  weights[0] = 30.0;  // Component 0 is ~30x heavier.
+  PartitionPlan plan = PartitionPlan::Build(jqp, 6, &weights);
+
+  EXPECT_EQ(plan.groups, 2);
+  ASSERT_EQ(plan.shards.size(), 6u);
+  int slices_heavy = 0;
+  int slices_light = 0;
+  for (const ShardSpec& shard : plan.shards) {
+    (shard.group == 0 ? slices_heavy : slices_light) += 1;
+  }
+  EXPECT_EQ(slices_heavy, 5);
+  EXPECT_EQ(slices_light, 1);
+}
+
+TEST(PartitionTest, BuildIsDeterministicAndJsonWellFormed) {
+  EventTypeRegistry registry;
+  Jqp jqp = MakeIndependentJqp(&registry, 3);
+  PartitionPlan a = PartitionPlan::Build(jqp, 8);
+  PartitionPlan b = PartitionPlan::Build(jqp, 8);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_EQ(a.shards.size(), 8u);
+  EXPECT_NE(a.ToJson().find("\"assignments\""), std::string::npos);
+  EXPECT_NE(a.ToString(jqp).find("partition: 3 components"),
+            std::string::npos);
+}
+
+TEST(PartitionTest, EmptyPlanHasNoShards) {
+  Jqp jqp;
+  PartitionPlan plan = PartitionPlan::Build(jqp, 4);
+  EXPECT_TRUE(plan.components.empty());
+  EXPECT_TRUE(plan.shards.empty());
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,288 @@
+// ShardedExecutor correctness: byte-identical output for pure component
+// partitions, multiset-identical output (the determinism contract) for
+// time-sliced partitions across shard counts, boundary handling of tied
+// timestamps and deferred negation, and the per-shard stats surfaced to the
+// observability layer (DESIGN.md §12).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/plan_util.h"
+#include "engine/sharded_executor.h"
+#include "obs/report.h"
+#include "test_util.h"
+
+namespace motto {
+namespace {
+
+using testing::Fingerprints;
+using testing::MakeStream;
+using testing::MatchSet;
+
+FlatQuery MakeQuery(const std::string& name, PatternOp op,
+                    std::vector<EventTypeId> operands, Duration window) {
+  FlatQuery query;
+  query.name = name;
+  query.window = window;
+  query.pattern.op = op;
+  query.pattern.operands = std::move(operands);
+  return query;
+}
+
+std::map<std::string, std::vector<std::string>> OrderedSinks(
+    const RunResult& run) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const auto& [name, events] : run.sink_events) {
+    std::vector<std::string>& seq = out[name];
+    for (const Event& e : events) seq.push_back(e.Fingerprint());
+  }
+  return out;
+}
+
+std::map<std::string, MatchSet> SinkSets(const RunResult& run) {
+  std::map<std::string, MatchSet> out;
+  for (const auto& [name, events] : run.sink_events) {
+    out[name] = Fingerprints(events);
+  }
+  return out;
+}
+
+TEST(ShardedExecutorTest, RejectsNonPositiveShardCount) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  Jqp jqp = BuildDefaultJqp({MakeQuery("q", PatternOp::kSeq, {a, b},
+                                       Millis(50))},
+                            &registry);
+  EXPECT_FALSE(ShardedExecutor::Create(jqp, 0).ok());
+  EXPECT_FALSE(ShardedExecutor::Create(jqp, -3).ok());
+}
+
+TEST(ShardedExecutorTest, ComponentPartitionIsByteIdentical) {
+  EventTypeRegistry registry;
+  std::vector<FlatQuery> queries;
+  for (int q = 0; q < 3; ++q) {
+    EventTypeId a = registry.RegisterPrimitive("A" + std::to_string(q));
+    EventTypeId b = registry.RegisterPrimitive("B" + std::to_string(q));
+    queries.push_back(MakeQuery("q" + std::to_string(q), PatternOp::kSeq,
+                                {a, b}, Millis(40)));
+  }
+  Jqp jqp = BuildDefaultJqp(queries, &registry);
+
+  std::vector<std::pair<std::string, Timestamp>> raw;
+  for (int i = 0; i < 90; ++i) {
+    std::string type = (i % 2 == 0 ? "A" : "B") + std::to_string(i % 3);
+    raw.emplace_back(type, Millis(i * 7 % 200 + i));
+  }
+  EventStream stream = MakeStream(&registry, std::move(raw));
+
+  auto single = Executor::Create(jqp);
+  ASSERT_TRUE(single.ok()) << single.status();
+  auto expected = single->Run(stream);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  ASSERT_GT(expected->TotalMatches(), 0u);
+
+  for (int shards : {1, 2, 3}) {
+    auto sharded = ShardedExecutor::Create(jqp, shards, /*num_threads=*/2);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    EXPECT_TRUE(sharded->plan().PureComponentPartition());
+    auto run = sharded->Run(stream);
+    ASSERT_TRUE(run.ok()) << run.status();
+    // Pure component partitions preserve the single-threaded executor's
+    // per-sink emission order exactly, not just the multiset.
+    EXPECT_EQ(OrderedSinks(*run), OrderedSinks(*expected))
+        << "shards " << shards;
+    EXPECT_EQ(run->sink_counts, expected->sink_counts);
+    EXPECT_EQ(run->raw_events, stream.size());
+    EXPECT_EQ(run->sharded.shards, shards);
+    EXPECT_EQ(static_cast<int>(run->sharded.per_shard.size()), shards);
+  }
+}
+
+TEST(ShardedExecutorTest, TimeSlicedSeqMatchesSingleAcrossShardCounts) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  EventTypeId c = registry.RegisterPrimitive("C");
+  Jqp jqp = BuildDefaultJqp(
+      {MakeQuery("pairs", PatternOp::kSeq, {a, b}, Millis(25)),
+       MakeQuery("triples", PatternOp::kConj, {a, b, c}, Millis(25))},
+      &registry);
+  // Sharing raw types does not connect components (each replica reads the
+  // whole raw stream), so these are two components; shard counts above 2
+  // replicate them over time slices with cross-boundary windows.
+  ASSERT_EQ(PartitionPlan::Build(jqp, 2).groups, 2);
+  ASSERT_FALSE(PartitionPlan::Build(jqp, 8).PureComponentPartition());
+
+  std::vector<std::pair<std::string, Timestamp>> raw;
+  const char* names[] = {"A", "B", "C"};
+  for (int i = 0; i < 240; ++i) {
+    raw.emplace_back(names[(i * 7) % 3], Millis(1 + (i * 13) % 560));
+  }
+  EventStream stream = MakeStream(&registry, std::move(raw));
+
+  auto single = Executor::Create(jqp);
+  ASSERT_TRUE(single.ok()) << single.status();
+  auto expected = single->Run(stream);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->TotalMatches(), 0u);
+  auto expected_sets = SinkSets(*expected);
+
+  for (int shards = 1; shards <= 8; ++shards) {
+    auto sharded = ShardedExecutor::Create(jqp, shards);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    auto run = sharded->Run(stream);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(SinkSets(*run), expected_sets) << "shards " << shards;
+    EXPECT_EQ(run->TotalMatches(), expected->TotalMatches());
+    // Re-running the same executor must reproduce the identical byte order:
+    // fixed shard count => fixed slice boundaries => fixed merge.
+    auto rerun = sharded->Run(stream);
+    ASSERT_TRUE(rerun.ok());
+    EXPECT_EQ(OrderedSinks(*rerun), OrderedSinks(*run))
+        << "rerun diverged at shards " << shards;
+  }
+}
+
+TEST(ShardedExecutorTest, DeferredNegationAcrossSliceBoundaries) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  EventTypeId k = registry.RegisterPrimitive("K");
+  FlatQuery query = MakeQuery("guarded", PatternOp::kSeq, {a, b}, Millis(30));
+  query.pattern.negated.push_back(k);
+  Jqp jqp = BuildDefaultJqp({query}, &registry);
+
+  // Kills arrive after the completing B, often in a later slice's owned
+  // range than the match's constituents — the attribution key
+  // (begin + window) must hand such matches to the shard that sees the
+  // killer, and the final flush must cover keys past the last event.
+  std::vector<std::pair<std::string, Timestamp>> raw;
+  for (int i = 0; i < 60; ++i) {
+    Timestamp base = Millis(10 * i);
+    raw.emplace_back("A", base);
+    raw.emplace_back("B", base + Millis(4));
+    if (i % 3 == 0) raw.emplace_back("K", base + Millis(18));
+  }
+  EventStream stream = MakeStream(&registry, std::move(raw));
+
+  auto single = Executor::Create(jqp);
+  ASSERT_TRUE(single.ok());
+  auto expected = single->Run(stream);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->TotalMatches(), 0u);
+  // The scenario must really exercise kills: fewer matches than A-B pairs.
+  ASSERT_LT(expected->TotalMatches(), 60u * 2);
+
+  for (int shards = 2; shards <= 7; ++shards) {
+    auto sharded = ShardedExecutor::Create(jqp, shards);
+    ASSERT_TRUE(sharded.ok());
+    auto run = sharded->Run(stream);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(SinkSets(*run), SinkSets(*expected)) << "shards " << shards;
+  }
+}
+
+TEST(ShardedExecutorTest, TiedTimestampsNeverStraddleABoundary) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  Jqp jqp = BuildDefaultJqp({MakeQuery("q", PatternOp::kSeq, {a, b},
+                                       Millis(10))},
+                            &registry);
+
+  // Long runs of identical timestamps: naive equal-count cuts would split
+  // them; the slicer must push every cut past the tie.
+  std::vector<std::pair<std::string, Timestamp>> raw;
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 25; ++i) {
+      raw.emplace_back(i % 2 == 0 ? "A" : "B", Millis(5 * g));
+    }
+  }
+  EventStream stream = MakeStream(&registry, std::move(raw));
+
+  auto single = Executor::Create(jqp);
+  ASSERT_TRUE(single.ok());
+  auto expected = single->Run(stream);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GT(expected->TotalMatches(), 0u);
+
+  for (int shards : {2, 3, 5, 8}) {
+    auto sharded = ShardedExecutor::Create(jqp, shards);
+    ASSERT_TRUE(sharded.ok());
+    auto run = sharded->Run(stream);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(SinkSets(*run), SinkSets(*expected)) << "shards " << shards;
+    uint64_t owned = 0;
+    for (const ShardRunStats& row : run->sharded.per_shard) {
+      owned += row.owned_events;
+    }
+    EXPECT_EQ(owned, stream.size()) << "shards " << shards;
+  }
+}
+
+TEST(ShardedExecutorTest, EmptyStreamAndCountsOnly) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  Jqp jqp = BuildDefaultJqp({MakeQuery("q", PatternOp::kSeq, {a, b},
+                                       Millis(10))},
+                            &registry);
+  auto sharded = ShardedExecutor::Create(jqp, 4);
+  ASSERT_TRUE(sharded.ok());
+
+  auto empty = sharded->Run(EventStream{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->TotalMatches(), 0u);
+  EXPECT_EQ(empty->raw_events, 0u);
+
+  std::vector<std::pair<std::string, Timestamp>> raw;
+  for (int i = 0; i < 80; ++i) {
+    raw.emplace_back(i % 2 == 0 ? "A" : "B", Millis(i * 3));
+  }
+  EventStream stream = MakeStream(&registry, std::move(raw));
+  auto full = sharded->Run(stream);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->TotalMatches(), 0u);
+
+  ExecutorOptions counts_only;
+  counts_only.count_matches_only = true;
+  auto counted = sharded->Run(stream, counts_only);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_TRUE(counted->sink_events.empty());
+  EXPECT_EQ(counted->sink_counts, full->sink_counts);
+}
+
+TEST(ShardedExecutorTest, SkewedShardLoadRaisesRunReportWarning) {
+  EventTypeRegistry registry;
+  EventTypeId a = registry.RegisterPrimitive("A");
+  EventTypeId b = registry.RegisterPrimitive("B");
+  Jqp jqp = BuildDefaultJqp({MakeQuery("q", PatternOp::kSeq, {a, b},
+                                       Millis(10))},
+                            &registry);
+  RunResult run;
+  run.node_stats.assign(jqp.nodes.size(), NodeStats{});
+  run.sharded.shards = 4;
+  run.sharded.threads = 4;
+  run.sharded.max_busy_seconds = 0.9;
+  run.sharded.mean_busy_seconds = 0.3;
+  run.sharded.skew = 3.0;
+  obs::RunReport report = obs::BuildRunReport(jqp, StreamStats{}, run);
+  bool found = false;
+  for (const std::string& warning : report.warnings) {
+    found |= warning.find("shard load skew") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+
+  run.sharded.skew = 1.1;
+  obs::RunReport balanced = obs::BuildRunReport(jqp, StreamStats{}, run);
+  for (const std::string& warning : balanced.warnings) {
+    EXPECT_EQ(warning.find("shard load skew"), std::string::npos) << warning;
+  }
+}
+
+}  // namespace
+}  // namespace motto

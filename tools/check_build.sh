@@ -18,10 +18,13 @@
 # configurations. Unset, the suites use their built-in defaults
 # (40 differential cases per seed, 10k round-trip queries).
 #
-# Other useful ctest labels (both part of the full suite this script runs):
+# Other useful ctest labels (all part of the full suite this script runs):
 #   ctest -L explain   optimizer-observability suite alone (plan inspector,
 #                      probe traces, calibration; DESIGN.md §11)
 #   ctest -L verify    differential verification alone (DESIGN.md §10)
+#   ctest -L shard     sharded data-parallel runtime alone (partition plans,
+#                      replica equivalence, randomized sharded-vs-single
+#                      stress; DESIGN.md §12)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,7 +48,10 @@ fi
 # sink under the worker pool), so it belongs in the threaded tsan slice.
 # DifferentialTest drives every fuzzed case through ParallelExecutor with
 # tiny batches, which is the densest cross-thread traffic in the suite.
-TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest'
+# ShardedExecutor/ShardedStress run JQP replicas concurrently on the worker
+# pool (one mutable Executor per shard, merge on the caller thread) — the
+# data-parallel counterpart of the pipelined traffic above.
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress'
 
 run_config() {
   local dir="$1" sanitize="$2" test_filter="$3"

@@ -4,15 +4,18 @@
 //   motto gen-workload --scenario=stock|dc --queries=N --ratio=R --seed=S
 //                      --out=FILE.ccl
 //   motto explain     --workload=FILE.ccl [--stream=FILE.csv] [--mode=...]
-//                     [--solver=bnb|sa] [--json[=FILE]] [--dot[=FILE]]
+//                     [--solver=bnb|sa] [--shards=N]
+//                     [--json[=FILE]] [--dot[=FILE]]
 //   motto run         --workload=FILE.ccl --stream=FILE.csv
-//                     [--mode=na|mst|lcse|motto] [--threads=N]
+//                     [--mode=na|mst|lcse|motto] [--shards=N] [--threads=N]
+//                     [--batch-size=B] [--pipe-depth=D]
 //                     [--stats[=json]] [--calibrate[=json]]
 //                     [--trace=FILE.json] [--metrics-out=FILE.json]
 //   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
-//                     [--reports]
+//                     [--shards=N] [--threads=N] [--batch-size=B]
+//                     [--pipe-depth=D] [--reports]
 //   motto verify      --seed=S --iters=N [--queries=Q] [--events=E]
-//                     [--threads=T] [--dump=DIR]          (fuzz mode)
+//                     [--threads=T] [--shards=N] [--dump=DIR]  (fuzz mode)
 //   motto verify      --workload=FILE.ccl --stream=FILE.csv  (repro mode)
 //
 // Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
@@ -25,6 +28,8 @@
 #include "common/check.h"
 #include "engine/executor.h"
 #include "engine/parallel_executor.h"
+#include "engine/partition.h"
+#include "engine/sharded_executor.h"
 #include "motto/optimizer.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
@@ -94,6 +99,17 @@ Result<OptimizerMode> ModeFrom(const std::string& name) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Reads an integer flag that must be >= 1 (executor sizing knobs); a bare
+/// or non-positive value is a usage error rather than a silent fallback.
+Result<int64_t> GetPositive(const Args& args, const std::string& name,
+                            int64_t fallback) {
+  int64_t value = args.GetInt(name, fallback);
+  if (value < 1) {
+    return InvalidArgumentError("--" + name + " must be a positive integer");
+  }
+  return value;
 }
 
 int GenStream(const Args& args) {
@@ -193,10 +209,23 @@ int Explain(const Args& args) {
 
   obs::PlanExplain explain =
       obs::BuildPlanExplain(*outcome, *stats, OptimizerModeName(*mode));
+  // --shards=N annotates the explain output with the data-parallel
+  // partition the sharded executor would run this plan under.
+  std::string partition_json;
+  std::string partition_text;
+  if (args.Has("shards")) {
+    auto shards = GetPositive(args, "shards", 4);
+    if (!shards.ok()) return Fail(shards.status());
+    PartitionPlan plan =
+        PartitionPlan::Build(outcome->jqp, static_cast<int>(*shards));
+    partition_json = plan.ToJson();
+    partition_text = plan.ToString(outcome->jqp);
+  }
   bool structured = false;
   if (args.Has("json")) {
     structured = true;
-    int rc = EmitDocument(args.Get("json", ""), explain.ToJson(&probe) + "\n",
+    int rc = EmitDocument(args.Get("json", ""),
+                          explain.ToJson(&probe, partition_json) + "\n",
                           "explain json");
     if (rc != 0) return rc;
   }
@@ -214,6 +243,9 @@ int Explain(const Args& args) {
               outcome->exact ? "exact" : "approximate",
               outcome->planned_cost, outcome->default_cost,
               outcome->jqp.ToString(registry).c_str());
+  if (!partition_text.empty()) {
+    std::printf("\n-- partition --\n%s", partition_text.c_str());
+  }
   return 0;
 }
 
@@ -234,7 +266,16 @@ int RunWorkload(const Args& args) {
   auto outcome = optimizer.Optimize(*queries);
   if (!outcome.ok()) return Fail(outcome.status());
 
-  int threads = static_cast<int>(args.GetInt("threads", 1));
+  auto threads_arg = GetPositive(args, "threads", 1);
+  if (!threads_arg.ok()) return Fail(threads_arg.status());
+  int threads = static_cast<int>(*threads_arg);
+  auto batch_arg = GetPositive(args, "batch-size", 512);
+  if (!batch_arg.ok()) return Fail(batch_arg.status());
+  auto depth_arg = GetPositive(args, "pipe-depth", 4);
+  if (!depth_arg.ok()) return Fail(depth_arg.status());
+  auto shards_arg = GetPositive(args, "shards", 1);
+  if (!shards_arg.ok()) return Fail(shards_arg.status());
+  int shards = static_cast<int>(*shards_arg);
   bool want_stats = args.Has("stats");
   bool want_calibrate = args.Has("calibrate");
   std::string stats_format = args.Get("stats", "");
@@ -251,8 +292,16 @@ int RunWorkload(const Args& args) {
   if (!trace_path.empty()) exec_options.trace = &trace_sink;
 
   RunResult run;
-  if (threads > 1) {
-    auto executor = ParallelExecutor::Create(outcome->jqp, threads);
+  if (shards > 1) {
+    auto executor = ShardedExecutor::Create(outcome->jqp, shards, threads);
+    if (!executor.ok()) return Fail(executor.status());
+    auto result = executor->Run(stream, exec_options);
+    if (!result.ok()) return Fail(result.status());
+    run = *std::move(result);
+  } else if (threads > 1) {
+    auto executor = ParallelExecutor::Create(
+        outcome->jqp, threads, static_cast<size_t>(*batch_arg),
+        static_cast<size_t>(*depth_arg));
     if (!executor.ok()) return Fail(executor.status());
     auto result = executor->Run(stream, exec_options);
     if (!result.ok()) return Fail(result.status());
@@ -269,6 +318,13 @@ int RunWorkload(const Args& args) {
               run.elapsed_seconds, run.ThroughputEps(),
               outcome->jqp.nodes.size(),
               std::string(OptimizerModeName(*mode)).c_str());
+  if (run.sharded.shards > 0) {
+    std::printf("  sharded: %d shards over %d threads, %d groups, "
+                "skew %.2fx (max %.3fs vs mean %.3fs busy)\n",
+                run.sharded.shards, run.sharded.threads, run.sharded.groups,
+                run.sharded.skew, run.sharded.max_busy_seconds,
+                run.sharded.mean_busy_seconds);
+  }
   for (const Query& query : *queries) {
     auto it = run.sink_counts.find(query.name);
     std::printf("  %-16s %llu matches\n", query.name.c_str(),
@@ -329,6 +385,18 @@ int Compare(const Args& args) {
   options.warmup = true;
   options.measure_runs = static_cast<int>(args.GetInt("runs", 3));
   options.collect_reports = args.Has("reports");
+  auto shards = GetPositive(args, "shards", 1);
+  if (!shards.ok()) return Fail(shards.status());
+  options.shards = static_cast<int>(*shards);
+  auto threads = GetPositive(args, "threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  options.threads = static_cast<int>(*threads);
+  auto batch = GetPositive(args, "batch-size", 512);
+  if (!batch.ok()) return Fail(batch.status());
+  options.batch_size = static_cast<size_t>(*batch);
+  auto depth = GetPositive(args, "pipe-depth", 4);
+  if (!depth.ok()) return Fail(depth.status());
+  options.pipe_depth = static_cast<size_t>(*depth);
   auto runs = CompareModes(*queries, stream, &registry, options);
   if (!runs.ok()) return Fail(runs.status());
   std::printf(" mode  | events/s  | x NA  | opt s  | plan nodes | matches\n");
@@ -359,6 +427,9 @@ int Verify(const Args& args) {
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
   options.iterations = static_cast<int>(args.GetInt("iters", 100));
   options.threads = static_cast<int>(args.GetInt("threads", 3));
+  auto shards = GetPositive(args, "shards", 5);
+  if (!shards.ok()) return Fail(shards.status());
+  options.shards = static_cast<int>(*shards);
   options.fuzz.num_queries = static_cast<int>(args.GetInt("queries", 3));
   options.fuzz.num_events = static_cast<int>(args.GetInt("events", 36));
   options.dump_dir = args.Get("dump", "");

@@ -62,9 +62,12 @@ def collect(build_dir, targets, min_time, filter_regex):
             # Solver/rewriter telemetry counters (micro_planner): search
             # shape and candidate volume, a semantic fingerprint for the
             # optimizer benches like `matches` is for the matcher ones.
+            # `modeled_speedup` is the sharded executor's LPT scaling bound
+            # (sum/max of per-shard busy time) — the scaling record on
+            # single-vCPU hosts where wall throughput cannot move.
             for key in ("expansions", "pruned", "incumbents", "sa_epochs",
                         "sa_accepted", "candidates", "pairs",
-                        "nodes", "edges"):
+                        "nodes", "edges", "modeled_speedup"):
                 if key in bench:
                     entry[key] = bench[key]
             benchmarks[f"{target}/{bench['name']}"] = entry
