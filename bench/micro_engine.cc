@@ -98,6 +98,100 @@ BENCHMARK(BM_SeqMatcherMetricsOn)->Args({4, 10});
 BENCHMARK(BM_ConjMatcher)->Args({2, 10})->Args({4, 10})->Args({4, 30});
 BENCHMARK(BM_DisjMatcher)->Args({4, 10});
 
+// Skewed-rate stream: types 0..num_types-2 each carry ~frequent_window_pop
+// events per window; the last type (the rare anchor) arrives rare_ratio
+// times less often. This is the regime selectivity-ordered evaluation is
+// built for: eager chains materialize partials from the frequent prefix,
+// lazy chains anchor on the rare type and keep almost none (DESIGN.md §13).
+EventStream MakeSkewedStream(int num_events, int num_types, int rare_ratio,
+                             double frequent_window_pop, Duration window,
+                             uint64_t seed) {
+  Rng rng(seed);
+  double window_seconds = static_cast<double>(window) / kMicrosPerSecond;
+  double frequent_rate = frequent_window_pop / window_seconds;
+  double total_rate =
+      frequent_rate * (num_types - 1) + frequent_rate / rare_ratio;
+  double mean_gap = kMicrosPerSecond / total_rate;
+  double rare_share = (frequent_rate / rare_ratio) / total_rate;
+  EventStream stream;
+  Timestamp ts = 0;
+  for (int i = 0; i < num_events; ++i) {
+    ts += static_cast<Timestamp>(rng.Exponential(mean_gap)) + 1;
+    EventTypeId type =
+        rng.Bernoulli(rare_share)
+            ? static_cast<EventTypeId>(num_types - 1)
+            : static_cast<EventTypeId>(rng.Uniform(0, num_types - 2));
+    stream.push_back(Event::Primitive(type, ts));
+  }
+  return stream;
+}
+
+// Skewed matcher workloads: the last operand is the rare anchor at
+// 1:rare_ratio. The *Lazy twins run the identical spec in selectivity order
+// (rarest first, the order the planner picks for these rates); their
+// `matches` counter must equal the arrival twin's — same semantics, fewer
+// live partials.
+void RunSkewedMatcherBench(benchmark::State& state, PatternOp op,
+                           EvalOrderMode mode) {
+  int num_operands = static_cast<int>(state.range(0));
+  int rare_ratio = static_cast<int>(state.range(1));
+  Duration window = Seconds(10);
+  EventTypeRegistry registry;
+  PatternSpec spec = MakeSpec(op, num_operands, window, &registry);
+  spec.eval_order.push_back(num_operands - 1);
+  for (int i = 0; i + 1 < num_operands; ++i) spec.eval_order.push_back(i);
+  EventStream stream =
+      MakeSkewedStream(20000, num_operands, rare_ratio, 4.0, window, 17);
+  PatternMatcher matcher(spec);
+  matcher.SetEvalMode(mode);
+  std::vector<Event> out;
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    matcher.Reset();
+    matches = 0;
+    for (const Event& e : stream) {
+      out.clear();
+      matcher.OnWatermark(e.begin(), &out);
+      matcher.OnEvent(kRawChannel, e, &out);
+      matches += out.size();
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+}
+
+void BM_SeqMatcherSkewed(benchmark::State& state) {
+  RunSkewedMatcherBench(state, PatternOp::kSeq, EvalOrderMode::kArrival);
+}
+void BM_SeqMatcherSkewedLazy(benchmark::State& state) {
+  RunSkewedMatcherBench(state, PatternOp::kSeq, EvalOrderMode::kSelectivity);
+}
+void BM_ConjMatcherSkewed(benchmark::State& state) {
+  RunSkewedMatcherBench(state, PatternOp::kConj, EvalOrderMode::kArrival);
+}
+void BM_ConjMatcherSkewedLazy(benchmark::State& state) {
+  RunSkewedMatcherBench(state, PatternOp::kConj, EvalOrderMode::kSelectivity);
+}
+
+BENCHMARK(BM_SeqMatcherSkewed)
+    ->ArgNames({"operands", "ratio"})
+    ->Args({4, 100})
+    ->Args({4, 1000});
+BENCHMARK(BM_SeqMatcherSkewedLazy)
+    ->ArgNames({"operands", "ratio"})
+    ->Args({4, 100})
+    ->Args({4, 1000});
+BENCHMARK(BM_ConjMatcherSkewed)
+    ->ArgNames({"operands", "ratio"})
+    ->Args({4, 100})
+    ->Args({4, 1000});
+BENCHMARK(BM_ConjMatcherSkewedLazy)
+    ->ArgNames({"operands", "ratio"})
+    ->Args({4, 100})
+    ->Args({4, 1000});
+
 void BM_NegatedSeqMatcher(benchmark::State& state) {
   EventTypeRegistry registry;
   FlatPattern flat;

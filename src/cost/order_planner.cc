@@ -1,0 +1,118 @@
+#include "cost/order_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace motto {
+
+namespace {
+
+/// Expected live partials of a prefix chain over `populations` visited in
+/// `order`: sum over prefix lengths k = 1..n-1 of the expected number of
+/// runs holding exactly the first k operands of the order. SEQ prefixes are
+/// thinned by 1/(k-1)! — only one relative ordering of the k constituents
+/// survives the sequence guard (the anchor's position is fixed by
+/// conditioning on its arrival).
+double ChainPartials(const std::vector<double>& populations,
+                     const std::vector<int32_t>& order, bool ordered) {
+  double total = 0.0;
+  double prefix = 1.0;
+  double factorial = 1.0;
+  for (size_t k = 1; k < order.size(); ++k) {
+    prefix *= populations[static_cast<size_t>(order[k - 1])];
+    if (ordered && k >= 2) factorial *= static_cast<double>(k - 1);
+    total += prefix / factorial;
+  }
+  return total;
+}
+
+/// Chain extension CPU: arrivals of the operand at position k scan the
+/// partials at prefix length k.
+double ChainExtensionCpu(const std::vector<double>& rates,
+                         const std::vector<double>& populations,
+                         const std::vector<int32_t>& order, bool ordered) {
+  double cpu = 0.0;
+  double prefix = 1.0;
+  double factorial = 1.0;
+  for (size_t k = 1; k < order.size(); ++k) {
+    prefix *= populations[static_cast<size_t>(order[k - 1])];
+    if (ordered && k >= 2) factorial *= static_cast<double>(k - 1);
+    cpu += rates[static_cast<size_t>(order[k])] * (prefix / factorial);
+  }
+  return cpu;
+}
+
+}  // namespace
+
+OrderPlan PlanEvalOrder(PatternOp op, const std::vector<double>& operand_rates,
+                        Duration window,
+                        const CostModel::Constants& constants,
+                        double cost_multiplier) {
+  OrderPlan plan;
+  size_t n = operand_rates.size();
+  double sum_rate = 0.0;
+  for (double r : operand_rates) sum_rate += r;
+  plan.arrival_cost = constants.per_event * sum_rate;
+  plan.lazy_cost = plan.arrival_cost;
+  if (op == PatternOp::kDisj || n < 2) return plan;
+
+  plan.order.resize(n);
+  for (size_t i = 0; i < n; ++i) plan.order[i] = static_cast<int32_t>(i);
+  std::stable_sort(plan.order.begin(), plan.order.end(),
+                   [&](int32_t a, int32_t b) {
+                     double ra = operand_rates[static_cast<size_t>(a)];
+                     double rb = operand_rates[static_cast<size_t>(b)];
+                     if (ra != rb) return ra < rb;
+                     return a < b;
+                   });
+
+  double w = static_cast<double>(window) / kMicrosPerSecond;
+  std::vector<double> populations;
+  populations.reserve(n);
+  for (double r : operand_rates) populations.push_back(r * w);
+
+  std::vector<int32_t> identity(n);
+  for (size_t i = 0; i < n; ++i) identity[i] = static_cast<int32_t>(i);
+
+  bool ordered = op == PatternOp::kSeq;
+  if (ordered) {
+    // Eager SEQ already runs a chain, in operand (= arrival-plausible)
+    // order; lazy re-runs the same chain in the planned order.
+    plan.arrival_partials = ChainPartials(populations, identity, true);
+    plan.arrival_cost +=
+        cost_multiplier * constants.per_partial *
+        ChainExtensionCpu(operand_rates, populations, identity, true);
+  } else {
+    // Eager CONJ materializes the subset lattice: every non-empty proper
+    // subset of operands is a live partial. prod(1 + N_i) counts all
+    // subsets, minus the empty set and the completed full set.
+    double all = 1.0;
+    double full = 1.0;
+    for (double pop : populations) {
+      all *= 1.0 + pop;
+      full *= pop;
+    }
+    plan.arrival_partials = all - 1.0 - full;
+    double extension = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      double scan = 1.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j != k) scan *= populations[j];
+      }
+      extension += operand_rates[k] * scan;
+    }
+    plan.arrival_cost += cost_multiplier * constants.per_partial * extension;
+  }
+
+  plan.lazy_partials = ChainPartials(populations, plan.order, ordered);
+  plan.lazy_cost +=
+      constants.per_event * (sum_rate -
+                             operand_rates[static_cast<size_t>(plan.order[0])]);
+  plan.lazy_cost +=
+      cost_multiplier * constants.per_partial *
+      ChainExtensionCpu(operand_rates, populations, plan.order, ordered);
+  plan.lazy_beneficial = plan.lazy_cost < plan.arrival_cost;
+  return plan;
+}
+
+}  // namespace motto

@@ -1,0 +1,73 @@
+#ifndef MOTTO_COST_ORDER_PLANNER_H_
+#define MOTTO_COST_ORDER_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "cost/cost_model.h"
+#include "event/stream.h"
+
+namespace motto {
+
+/// Outcome of evaluation-order planning for one SEQ/CONJ operator
+/// (DESIGN.md §13). `order` is the selectivity order (rarest effective rate
+/// first, position -> operand index) destined for PatternSpec::eval_order;
+/// it is empty when reordering does not apply (DISJ, fewer than two
+/// operands). Partial counts are expected live partial matches per window
+/// under each mode; costs are modeled CPU per second of stream time in the
+/// same units as CostModel::ProcessingCpu, so they are comparable with the
+/// plan-level cost estimates.
+struct OrderPlan {
+  std::vector<int32_t> order;
+  double arrival_partials = 0.0;
+  double lazy_partials = 0.0;
+  double arrival_cost = 0.0;
+  double lazy_cost = 0.0;
+  /// True when the modeled lazy cost (extension savings minus buffering
+  /// overhead) beats arrival order. The executors honor the order either
+  /// way; this drives reporting and the default mode recommendation.
+  bool lazy_beneficial = false;
+
+  /// Predicted partial-count reduction factor (arrival / lazy, >= 0).
+  double Reduction() const {
+    return lazy_partials > 1e-12 ? arrival_partials / lazy_partials
+           : arrival_partials > 0.0 ? arrival_partials / 1e-12
+                                    : 1.0;
+  }
+};
+
+/// Plans the operand evaluation order for one operator from effective
+/// operand rates (arrival rate x predicate selectivity, events/s).
+///
+/// Order rule: ascending effective rate, ties broken by operand index so
+/// planning is deterministic. The rarest operand becomes the lazy anchor —
+/// only its arrivals create runs; the rest are buffered and joined.
+///
+/// Cost accounting (per second of stream time, CostModel units):
+///   arrival: per_event * sum(r) + per_partial * extension work of the
+///            eager NFA (SEQ prefix chain in index order; CONJ 2^n lattice,
+///            modeled as each arrival probing the product of the other
+///            operand populations).
+///   lazy:    per_event * sum(r) dispatch, plus per_event * (sum(r) -
+///            r_anchor) buffer appends, plus per_partial * chain extension
+///            work in the planned order (arrivals of the operand at
+///            position k scan the partials whose matched prefix has length
+///            k; SEQ prefixes additionally carry the 1/(k-1)! ordering
+///            thinning).
+///
+/// `cost_multiplier` is a measured/predicted calibration ratio for this
+/// node's plan family (EXPERIMENTS.md "cost model calibration"); it scales
+/// only the per_partial extension terms — the model's uncertain part — on
+/// both sides. A family the model overestimates (multiplier < 1, e.g. DST
+/// at 0.73x) therefore shrinks the extension savings relative to the fixed
+/// buffering overhead and makes the planner correctly more reluctant to
+/// call lazy beneficial.
+OrderPlan PlanEvalOrder(PatternOp op, const std::vector<double>& operand_rates,
+                        Duration window,
+                        const CostModel::Constants& constants,
+                        double cost_multiplier = 1.0);
+
+}  // namespace motto
+
+#endif  // MOTTO_COST_ORDER_PLANNER_H_

@@ -159,6 +159,7 @@ RunResult Executor::RunSpan(const Event* events, size_t count,
   // registry.
   for (size_t i = 0; i < n; ++i) {
     runtimes_[i]->AttachProbe(options.metrics, "node." + std::to_string(i));
+    runtimes_[i]->SetEvalMode(options.eval_order);
   }
   obs::TraceSink* trace = options.trace;
   const int64_t stream_tid = static_cast<int64_t>(n);  // Watermark row.

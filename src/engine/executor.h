@@ -144,6 +144,13 @@ struct ExecutorOptions {
   /// replicas so context warm-up and out-of-interval matches are counted
   /// out at the sink, before they reach the merged result.
   const std::vector<SinkEmitRange>* sink_ranges = nullptr;
+  /// Operand evaluation strategy for pattern nodes: arrival (eager, the
+  /// reference semantics) or selectivity-ordered lazy matching along each
+  /// node's PatternSpec::eval_order (DESIGN.md §13). Match multisets are
+  /// identical either way; only per-event work changes. Forwarded to every
+  /// node runtime (and, for ShardedExecutor, every shard replica) at the
+  /// start of each run.
+  EvalOrderMode eval_order = EvalOrderMode::kArrival;
 };
 
 /// Dumps a finished run's NodeStats / ParallelRunStats into `registry`

@@ -67,6 +67,22 @@ Status Jqp::Validate() const {
           pattern->output_type == kInvalidEventType) {
         return InvalidArgumentError("pattern node without output type");
       }
+      if (!pattern->eval_order.empty()) {
+        if (pattern->eval_order.size() != pattern->operands.size()) {
+          return InvalidArgumentError(
+              "eval_order must cover every operand or be empty");
+        }
+        std::vector<bool> seen_operand(pattern->operands.size(), false);
+        for (int32_t k : pattern->eval_order) {
+          if (k < 0 ||
+              k >= static_cast<int32_t>(pattern->operands.size()) ||
+              seen_operand[static_cast<size_t>(k)]) {
+            return InvalidArgumentError(
+                "eval_order is not a permutation of the operand indexes");
+          }
+          seen_operand[static_cast<size_t>(k)] = true;
+        }
+      }
     } else if (const auto* order = std::get_if<OrderFilterSpec>(&node.spec)) {
       if (node.inputs.size() != 1) {
         return InvalidArgumentError("order filter needs exactly one input");
@@ -187,6 +203,13 @@ std::string Jqp::ToString(const EventTypeRegistry& registry) const {
         out += ")";
       }
       out += ") window=" + std::to_string(pattern->window) + "us";
+      if (!pattern->eval_order.empty()) {
+        out += " eval-order=";
+        for (size_t k = 0; k < pattern->eval_order.size(); ++k) {
+          if (k > 0) out += ",";
+          out += std::to_string(pattern->eval_order[k]);
+        }
+      }
     } else if (const auto* order = std::get_if<OrderFilterSpec>(&node.spec)) {
       out += "OrderFilter(";
       for (size_t k = 0; k < order->required_order.size(); ++k) {

@@ -52,6 +52,14 @@ struct PatternSpec {
   /// Composite type of emitted matches (ignored for DISJ, which passes
   /// matching input events through unchanged).
   EventTypeId output_type = kInvalidEventType;
+  /// Operand evaluation order for selectivity-ordered ("lazy") matching,
+  /// chosen at plan time by the order planner (cost/order_planner.h):
+  /// eval_order[0] is the anchor — the rarest / most selective operand,
+  /// evaluated first. Must be a permutation of the operand indexes when
+  /// non-empty (Jqp::Validate). Empty = no plan-time choice; a lazy run
+  /// then falls back to operand index order. Ignored entirely when the run
+  /// executes in arrival mode (the default) and for DISJ.
+  std::vector<int32_t> eval_order;
 };
 
 /// Stateless filter enforcing a SEQ ordering over composite constituents:

@@ -25,6 +25,7 @@ PatternMatcher::PatternMatcher(const PatternSpec& spec)
       static_cast<size_t>(channel_limit_) * static_cast<size_t>(type_limit_),
       DispatchEntry{});
   for (const auto& [key, operand_indexes] : by_key) {
+    if (operand_indexes.size() > 1) buffers_overlap_ = true;
     DispatchEntry& entry =
         dispatch_[static_cast<size_t>(key.first) *
                       static_cast<size_t>(type_limit_) +
@@ -49,15 +50,74 @@ PatternMatcher::PatternMatcher(const PatternSpec& spec)
     negated_entries_.push_back(std::move(entry));
   }
   partials_by_state_.assign(static_cast<size_t>(nfa_.num_states), {});
+
+  // Lazy-mode (selectivity-ordered) structures; cheap to set up even when
+  // the matcher only ever runs eagerly.
+  const int32_t n = static_cast<int32_t>(spec_.operands.size());
+  lazy_eligible_ =
+      spec_.op != PatternOp::kDisj && n >= 2 && n <= kMaxLazyOperands;
+  eval_order_ = spec_.eval_order;
+  // Tolerate unannotated or malformed orders by falling back to operand
+  // index order — raw specs built by tests/benches skip the planner, and a
+  // lazy run must still be well-defined for them (Jqp::Validate rejects
+  // malformed orders on real plans).
+  bool valid_order = static_cast<int32_t>(eval_order_.size()) == n;
+  if (valid_order) {
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (int32_t k : eval_order_) {
+      if (k < 0 || k >= n || seen[static_cast<size_t>(k)]) {
+        valid_order = false;
+        break;
+      }
+      seen[static_cast<size_t>(k)] = true;
+    }
+  }
+  if (!valid_order) {
+    eval_order_.resize(static_cast<size_t>(n));
+    for (int32_t k = 0; k < n; ++k) eval_order_[static_cast<size_t>(k)] = k;
+  }
+  lazy_pos_.assign(static_cast<size_t>(n), 0);
+  for (int32_t i = 0; i < n; ++i) {
+    lazy_pos_[static_cast<size_t>(eval_order_[static_cast<size_t>(i)])] = i;
+  }
+  // Nearest already-matched SEQ neighbors per evaluation position: the
+  // matched set at position i is always the prefix eval_order_[0..i-1], so
+  // the neighbors are plan-static.
+  left_op_.assign(static_cast<size_t>(n), -1);
+  right_op_.assign(static_cast<size_t>(n), -1);
+  for (int32_t i = 0; i < n; ++i) {
+    int32_t k = eval_order_[static_cast<size_t>(i)];
+    for (int32_t j = 0; j < i; ++j) {
+      int32_t m = eval_order_[static_cast<size_t>(j)];
+      if (m < k && (left_op_[static_cast<size_t>(i)] < 0 ||
+                    m > left_op_[static_cast<size_t>(i)])) {
+        left_op_[static_cast<size_t>(i)] = m;
+      }
+      if (m > k && (right_op_[static_cast<size_t>(i)] < 0 ||
+                    m < right_op_[static_cast<size_t>(i)])) {
+        right_op_[static_cast<size_t>(i)] = m;
+      }
+    }
+  }
+  buffers_.assign(static_cast<size_t>(n), {});
+  lazy_by_state_.assign(static_cast<size_t>(n), {});
+}
+
+void PatternMatcher::SetEvalMode(EvalOrderMode mode) {
+  eval_mode_ = mode;
+  lazy_active_ = lazy_eligible_ && mode == EvalOrderMode::kSelectivity;
 }
 
 void PatternMatcher::Reset() {
   for (auto& bucket : partials_by_state_) bucket.clear();
+  for (auto& bucket : lazy_by_state_) bucket.clear();
+  for (auto& buffer : buffers_) buffer.clear();
   pending_.clear();
   negated_history_.clear();
   arena_.Reset();
   watermark_ = 0;
   sweep_tick_ = 0;
+  arrival_seq_ = 0;
 }
 
 void PatternMatcher::CollectStats(NodeStats* stats) const {
@@ -92,6 +152,13 @@ void PatternMatcher::AttachProbe(obs::MetricsRegistry* registry,
 size_t PatternMatcher::PartialCount() const {
   size_t total = 0;
   for (const auto& bucket : partials_by_state_) total += bucket.size();
+  for (const auto& bucket : lazy_by_state_) total += bucket.size();
+  return total;
+}
+
+size_t PatternMatcher::BufferedCount() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer.size();
   return total;
 }
 
@@ -161,6 +228,27 @@ void PatternMatcher::SweepExpired() {
       } else {
         ++idx;
       }
+    }
+  }
+  for (auto& bucket : lazy_by_state_) {
+    size_t idx = 0;
+    while (idx < bucket.size()) {
+      if (bucket[idx].min_begin < horizon) {
+        arena_.Release(bucket[idx].tail);
+        bucket[idx] = bucket.back();
+        bucket.pop_back();
+      } else {
+        ++idx;
+      }
+    }
+  }
+  // Operand buffers are in arrival (= end timestamp) order; begins of
+  // composite inputs can interleave, so front eviction is best-effort — a
+  // straggler behind a newer begin is dead weight until the horizon passes
+  // it, never a correctness issue (every join re-checks the window).
+  for (auto& buffer : buffers_) {
+    while (!buffer.empty() && buffer.front().begin < horizon) {
+      buffer.pop_front();
     }
   }
 }
@@ -261,6 +349,11 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
     return;
   }
 
+  if (lazy_active_) {
+    OnEventLazy(entry, event, out);
+    return;
+  }
+
   // New partials are staged so this event cannot extend a run it just
   // created (one event instance fills at most one operand per match).
   staged_scratch_.clear();
@@ -321,6 +414,152 @@ void PatternMatcher::OnEvent(Channel channel, const Event& event,
   }
   for (auto& [state, partial] : staged_scratch_) {
     partials_by_state_[static_cast<size_t>(state)].push_back(partial);
+  }
+}
+
+bool PatternMatcher::TryExtendLazy(const LazyPartial& p, int32_t pos,
+                                   Timestamp e_begin, Timestamp e_end,
+                                   uint64_t arrival,
+                                   LazyPartial* extended) const {
+  Timestamp new_begin = std::min(p.min_begin, e_begin);
+  Timestamp new_end = std::max(p.max_end, e_end);
+  if (new_end - new_begin > spec_.window) return false;
+  if (spec_.op == PatternOp::kSeq) {
+    // Adjacency against the nearest already-matched sequence neighbors.
+    // Over a full match this checks exactly every adjacent operand pair
+    // (the later-bound of each pair sees the earlier-bound as its nearest
+    // neighbor), matching the eager chain's complete-history order guard;
+    // non-adjacent checks in between are implied by transitivity
+    // (end_i < begin_{i+1} <= end_{i+1}) and only prune runs that could
+    // never complete.
+    int32_t left = left_op_[static_cast<size_t>(pos)];
+    if (left >= 0 && p.op_end[static_cast<size_t>(left)] >= e_begin) {
+      return false;
+    }
+    int32_t right = right_op_[static_cast<size_t>(pos)];
+    if (right >= 0 && e_end >= p.op_begin[static_cast<size_t>(right)]) {
+      return false;
+    }
+  }
+  if (buffers_overlap_) {
+    // One physical event may sit in several operand buffers (duplicate
+    // operand types); it must still fill at most one operand per match —
+    // the lazy counterpart of the eager path's staging rule.
+    for (int32_t j = 0; j < pos; ++j) {
+      int32_t m = eval_order_[static_cast<size_t>(j)];
+      if (p.op_arrival[static_cast<size_t>(m)] == arrival) return false;
+    }
+  }
+  int32_t k = eval_order_[static_cast<size_t>(pos)];
+  *extended = p;  // Caller overwrites the copied tail with its own chunk.
+  extended->min_begin = new_begin;
+  extended->max_end = new_end;
+  extended->op_begin[static_cast<size_t>(k)] = e_begin;
+  extended->op_end[static_cast<size_t>(k)] = e_end;
+  extended->op_arrival[static_cast<size_t>(k)] = arrival;
+  return true;
+}
+
+void PatternMatcher::CascadeLazy(LazyPartial&& partial, int32_t state,
+                                 std::vector<Event>* out) {
+  const int32_t n = static_cast<int32_t>(spec_.operands.size());
+  if (state == n) {
+    Complete(Partial{partial.min_begin, partial.max_end, partial.max_end,
+                     partial.tail},
+             out);
+    return;
+  }
+  // Join against the already-buffered events of the next operand in
+  // evaluation order. Every successful join branches into a deeper run; the
+  // run itself survives in its bucket for future arrivals. Recursion depth
+  // is bounded by the operand count (<= kMaxLazyOperands).
+  const int32_t k = eval_order_[static_cast<size_t>(state)];
+  const OperandBinding& binding = spec_.operands[static_cast<size_t>(k)];
+  std::deque<BufferedEvent>& buffer = buffers_[static_cast<size_t>(k)];
+  for (const BufferedEvent& buffered : buffer) {
+    LazyPartial extended;
+    if (!TryExtendLazy(partial, state, buffered.begin, buffered.end,
+                       buffered.arrival, &extended)) {
+      continue;
+    }
+    // Relabel per join: deeper cascades share relabeled_scratch_, and the
+    // arena copies the constituents out before the recursive call.
+    RelabelInto(buffered.event, binding);
+    extended.tail = arena_.Extend(partial.tail, relabeled_scratch_.data(),
+                                  relabeled_scratch_.size());
+    CascadeLazy(std::move(extended), state + 1, out);
+  }
+  lazy_staged_.emplace_back(state, std::move(partial));
+}
+
+void PatternMatcher::OnEventLazy(const DispatchEntry& entry,
+                                 const Event& event,
+                                 std::vector<Event>* out) {
+  const uint64_t arrival = ++arrival_seq_;
+  const Timestamp horizon = watermark_ - spec_.window;
+  // New and advanced runs are staged (merged into their buckets at the end
+  // of the call), and the event is appended to its operand buffers only
+  // after all processing: both mirror the eager path's staging rule — one
+  // physical event fills at most one operand per match, and never joins a
+  // run it advanced within its own arrival.
+  lazy_staged_.clear();
+  bool buffer_operand[kMaxLazyOperands] = {};
+  for (uint32_t i = 0; i < entry.count; ++i) {
+    int32_t k = operand_index_pool_[entry.offset + i];
+    const OperandBinding& binding = spec_.operands[static_cast<size_t>(k)];
+    if (!binding.predicate.empty() &&
+        !(event.is_primitive() && binding.predicate.Matches(event.payload()))) {
+      continue;
+    }
+    int32_t pos = lazy_pos_[static_cast<size_t>(k)];
+    if (pos == 0) {
+      // Anchor: the only operand that opens a run. Never buffered — every
+      // run binds its anchor at creation.
+      RelabelInto(event, binding);
+      LazyPartial fresh;
+      fresh.min_begin = event.begin();
+      fresh.max_end = event.end();
+      fresh.op_begin[static_cast<size_t>(k)] = event.begin();
+      fresh.op_end[static_cast<size_t>(k)] = event.end();
+      fresh.op_arrival[static_cast<size_t>(k)] = arrival;
+      fresh.tail = arena_.Extend(PartialArena::kNullRef,
+                                 relabeled_scratch_.data(),
+                                 relabeled_scratch_.size());
+      CascadeLazy(std::move(fresh), 1, out);
+      continue;
+    }
+    // Arrival-driven: advance runs already waiting at this position, with
+    // in-place expiry like the eager bucket scans.
+    auto& bucket = lazy_by_state_[static_cast<size_t>(pos)];
+    size_t idx = 0;
+    while (idx < bucket.size()) {
+      LazyPartial& p = bucket[idx];
+      if (p.min_begin < horizon) {
+        arena_.Release(p.tail);
+        p = bucket.back();
+        bucket.pop_back();
+        continue;
+      }
+      LazyPartial extended;
+      if (TryExtendLazy(p, pos, event.begin(), event.end(), arrival,
+                        &extended)) {
+        RelabelInto(event, binding);  // Cascades clobber the scratch.
+        extended.tail = arena_.Extend(p.tail, relabeled_scratch_.data(),
+                                      relabeled_scratch_.size());
+        CascadeLazy(std::move(extended), pos + 1, out);
+      }
+      ++idx;
+    }
+    buffer_operand[static_cast<size_t>(k)] = true;
+  }
+  for (int32_t k = 0; k < static_cast<int32_t>(spec_.operands.size()); ++k) {
+    if (buffer_operand[static_cast<size_t>(k)]) {
+      buffers_[static_cast<size_t>(k)].push_back(
+          BufferedEvent{event.begin(), event.end(), arrival, event});
+    }
+  }
+  for (auto& [state, partial] : lazy_staged_) {
+    lazy_by_state_[static_cast<size_t>(state)].push_back(std::move(partial));
   }
 }
 

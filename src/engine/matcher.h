@@ -14,6 +14,12 @@
 
 namespace motto {
 
+/// Operand cap for selectivity-ordered (lazy) matching: a lazy partial
+/// carries fixed per-operand timestamp/arrival arrays so extension stays
+/// allocation-free. Wider patterns silently fall back to arrival order
+/// (CONJ is capped harder by kMaxConjOperands anyway).
+inline constexpr int32_t kMaxLazyOperands = 16;
+
 /// NFA-based pattern matcher for one SEQ/CONJ/DISJ operator with a window
 /// constraint and optional window-scoped negation.
 ///
@@ -35,6 +41,18 @@ namespace motto {
 /// in Emit. Operand dispatch is a dense (channel, type) table instead of a
 /// hash probe, and all per-event working sets (relabeled constituents, staged
 /// runs, emission buffer) are member scratch reused across calls.
+///
+/// Selectivity-ordered ("lazy") mode (DESIGN.md §13): SetEvalMode(
+/// kSelectivity) switches SEQ/CONJ to evaluate operands in the plan-chosen
+/// order (PatternSpec::eval_order, rarest first). Partial matches then live
+/// on a single chain over that order instead of the NFA's state space —
+/// notably replacing CONJ's 2^n subset lattice — and a frequent event costs
+/// one buffer append instead of a partial fan-out: non-anchor events are
+/// parked in per-operand timestamp buffers and joined only when a partial
+/// reaches their position. Emission, negation, window and SEQ-order
+/// semantics are identical to arrival mode (the emitted composite sorts its
+/// constituents by slot either way), so the two modes are differentially
+/// interchangeable.
 class PatternMatcher : public NodeRuntime {
  public:
   explicit PatternMatcher(const PatternSpec& spec);
@@ -51,9 +69,17 @@ class PatternMatcher : public NodeRuntime {
   /// nothing per event.
   void AttachProbe(obs::MetricsRegistry* registry,
                    const std::string& prefix) override;
+  /// Switches between arrival-order (eager) and selectivity-ordered (lazy)
+  /// evaluation. Must be called while the matcher holds no state (fresh, or
+  /// right after Reset); the executors do so at the start of every run.
+  /// kSelectivity is honored for SEQ/CONJ with 2..kMaxLazyOperands
+  /// operands; DISJ and wider patterns keep the arrival path.
+  void SetEvalMode(EvalOrderMode mode) override;
 
-  /// Live partial matches (diagnostics/tests).
+  /// Live partial matches (diagnostics/tests), both modes.
   size_t PartialCount() const;
+  /// Events parked in lazy-mode operand buffers (diagnostics/tests).
+  size_t BufferedCount() const;
 
   /// Backing arena (diagnostics/tests).
   const PartialArena& arena() const { return arena_; }
@@ -72,6 +98,33 @@ class PatternMatcher : public NodeRuntime {
     Timestamp min_begin = 0;
     Timestamp max_end = 0;
     PartialArena::NodeRef tail = PartialArena::kNullRef;
+  };
+
+  /// One lazy-mode run. A run in lazy bucket i has matched exactly the
+  /// operands eval_order_[0..i-1]. Unlike the eager Partial, it keeps the
+  /// bound (begin, end) per operand: the SEQ adjacency guards consult
+  /// arbitrary already-matched sequence neighbors, not just the most recent
+  /// constituent. op_arrival records which physical arrival filled each
+  /// operand, blocking one event from filling two operands of one match
+  /// when operand buffers overlap (duplicate types). Arrays are indexed by
+  /// operand index; only matched entries are meaningful.
+  struct LazyPartial {
+    Timestamp min_begin = 0;
+    Timestamp max_end = 0;
+    PartialArena::NodeRef tail = PartialArena::kNullRef;
+    Timestamp op_begin[kMaxLazyOperands] = {};
+    Timestamp op_end[kMaxLazyOperands] = {};
+    uint64_t op_arrival[kMaxLazyOperands] = {};
+  };
+
+  /// A frequent event parked in a lazy-mode operand buffer, awaiting a
+  /// partial that reaches its evaluation position. Kept in arrival (= end
+  /// timestamp) order; evicted once begin falls behind the window horizon.
+  struct BufferedEvent {
+    Timestamp begin = 0;
+    Timestamp end = 0;
+    uint64_t arrival = 0;
+    Event event;
   };
 
   /// Relabels `event`'s constituents through the operand's slot map into
@@ -103,6 +156,22 @@ class PatternMatcher : public NodeRuntime {
   int32_t channel_limit_ = 0;
   int32_t type_limit_ = 0;
 
+  /// Lazy-mode event processing (dispatch entry already resolved).
+  void OnEventLazy(const DispatchEntry& entry, const Event& event,
+                   std::vector<Event>* out);
+  /// Guards for binding an event with the given interval to the operand at
+  /// lazy position `pos` of `p` (window, SEQ adjacency, arrival reuse);
+  /// fills `*extended` — except its tail, which the caller must set — on
+  /// success.
+  bool TryExtendLazy(const LazyPartial& p, int32_t pos, Timestamp e_begin,
+                     Timestamp e_end, uint64_t arrival,
+                     LazyPartial* extended) const;
+  /// Takes ownership of `partial` (a run whose matched prefix has length
+  /// `state`): completes it, or joins it against the buffered events of the
+  /// next operands in evaluation order (each join branches) and stages it.
+  void CascadeLazy(LazyPartial&& partial, int32_t state,
+                   std::vector<Event>* out);
+
   /// NEG'd (type, predicate) pairs; the bitmap gives a fast type-level
   /// reject before predicates run.
   struct NegatedEntry {
@@ -119,6 +188,26 @@ class PatternMatcher : public NodeRuntime {
   Timestamp watermark_ = 0;
   uint64_t sweep_tick_ = 0;
 
+  /// Lazy-mode state (all empty in arrival mode). eval_order_ is the
+  /// validated per-spec order (lazy position -> operand index; identity
+  /// when the plan left PatternSpec::eval_order empty), lazy_pos_ its
+  /// inverse. left_op_/right_op_ are the per-position nearest already-
+  /// matched SEQ neighbors (operand index, -1 = none), static because the
+  /// matched set at position i is always the prefix eval_order_[0..i-1].
+  EvalOrderMode eval_mode_ = EvalOrderMode::kArrival;
+  bool lazy_eligible_ = false;
+  bool lazy_active_ = false;
+  bool buffers_overlap_ = false;  // Two operands share a (channel, type).
+  std::vector<int32_t> eval_order_;
+  std::vector<int32_t> lazy_pos_;
+  std::vector<int32_t> left_op_;
+  std::vector<int32_t> right_op_;
+  std::vector<std::deque<BufferedEvent>> buffers_;  // Per operand index.
+  /// lazy_by_state_[i] holds runs with matched prefix length i (1..n-1;
+  /// index 0 unused — the empty prefix is not materialized).
+  std::vector<std::vector<LazyPartial>> lazy_by_state_;
+  uint64_t arrival_seq_ = 0;
+
   /// Optional per-run instruments (AttachProbe); all-null when metrics are
   /// off. Sampled at sweep cadence so the per-event path stays untouched.
   obs::Histogram* sweep_seconds_hist_ = nullptr;
@@ -130,6 +219,7 @@ class PatternMatcher : public NodeRuntime {
   std::vector<Constituent> relabeled_scratch_;
   std::vector<std::pair<int32_t, Partial>> staged_scratch_;
   std::vector<Constituent> emit_scratch_;
+  std::vector<std::pair<int32_t, LazyPartial>> lazy_staged_;
 };
 
 }  // namespace motto

@@ -474,6 +474,7 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
   // workers start.
   for (size_t i = 0; i < n; ++i) {
     runtimes_[i]->AttachProbe(options.metrics, "node." + std::to_string(i));
+    runtimes_[i]->SetEvalMode(options.eval_order);
   }
   obs::TraceSink* trace = options.trace;
   if (trace != nullptr) {

@@ -15,6 +15,20 @@ namespace obs {
 class MetricsRegistry;
 }  // namespace obs
 
+/// How a pattern node consumes its operands within one run (DESIGN.md §13).
+enum class EvalOrderMode {
+  /// Eager: arriving events extend partial matches immediately, in arrival
+  /// order. The reference semantics every other mode is differentially
+  /// checked against.
+  kArrival,
+  /// Lazy: operands are evaluated in the plan-chosen selectivity order
+  /// (PatternSpec::eval_order, rarest first); frequent non-anchor events
+  /// are buffered and joined only when a rarer operand arrives. Match
+  /// multisets are identical to kArrival — only the evaluation strategy
+  /// (and therefore the partial-match population) changes.
+  kSelectivity,
+};
+
 /// Per-node counters collected by a run. Arena fields are filled by pattern
 /// matchers (zero for stateless filters): they expose the hot-path memory
 /// behaviour — chunks carved from fresh slab space vs. recycled from the
@@ -76,6 +90,13 @@ class NodeRuntime {
     (void)registry;
     (void)prefix;
   }
+
+  /// Selects the operand evaluation strategy for the next run. The
+  /// executors call this right after Reset() at the start of every run
+  /// (ExecutorOptions::eval_order), so a runtime never carries a stale mode
+  /// across runs; it must not be switched while the node holds state.
+  /// Stateless nodes ignore it.
+  virtual void SetEvalMode(EvalOrderMode mode) { (void)mode; }
 };
 
 /// Instantiates the runtime for `spec`.

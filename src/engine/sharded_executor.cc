@@ -135,6 +135,7 @@ void ShardedExecutor::RunShard(Shard* shard, const ExecutorOptions& options) {
   ExecutorOptions inner;
   inner.collect_node_timing = options.collect_node_timing;
   inner.count_matches_only = options.count_matches_only;
+  inner.eval_order = options.eval_order;
   // Metrics and trace stay off inside the replica: its node ids are local
   // to the sub-plan and would collide across shards. The merged result is
   // exported once, with global ids, by Run().

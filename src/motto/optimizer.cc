@@ -114,6 +114,38 @@ Status AppendChainsUnshared(const std::vector<std::vector<FlatQuery>>& chains,
   return Status::Ok();
 }
 
+/// Per-node calibration multipliers for evaluation-order planning: each
+/// node maps to its provenance family (same classification as the
+/// calibration report in obs/explain.cc) and picks up that family's
+/// measured/predicted miss ratio from the user-supplied spec. Nodes of
+/// families not in the spec keep 1.0.
+std::vector<double> CalibrationMultipliers(
+    const Jqp& jqp, const PlanProvenance& provenance,
+    const SharingGraph& graph,
+    const std::vector<std::pair<std::string, double>>& calibration) {
+  std::vector<double> multipliers(jqp.nodes.size(), 1.0);
+  if (calibration.empty()) return multipliers;
+  for (size_t i = 0; i < jqp.nodes.size(); ++i) {
+    std::string_view family = "unshared";
+    if (i < provenance.nodes.size()) {
+      const PlanNodeOrigin& origin = provenance.nodes[i];
+      if (origin.sharing_node >= 0) {
+        if (origin.edge >= 0 &&
+            static_cast<size_t>(origin.edge) < graph.edges.size()) {
+          family = RewriteFamilyName(ClassifyEdge(
+              graph, graph.edges[static_cast<size_t>(origin.edge)]));
+        } else {
+          family = "scratch";
+        }
+      }
+    }
+    for (const auto& [name, multiplier] : calibration) {
+      if (name == family) multipliers[i] = multiplier;
+    }
+  }
+  return multipliers;
+}
+
 }  // namespace
 
 std::string_view OptimizerModeName(OptimizerMode mode) {
@@ -188,6 +220,10 @@ Result<OptimizeOutcome> Optimizer::OptimizeDivided(
     MOTTO_RETURN_IF_ERROR(
         AppendChainsUnshared(chains, catalog, registry_, &jqp));
     outcome.provenance.nodes.resize(jqp.nodes.size());
+    outcome.eval_orders = AnnotateEvalOrders(
+        &jqp, stats_,
+        CalibrationMultipliers(jqp, outcome.provenance, outcome.sharing_graph,
+                               options_.calibration));
     outcome.jqp = std::move(jqp);
     outcome.planned_cost = outcome.default_cost;
     outcome.exact = true;
@@ -236,6 +272,10 @@ Result<OptimizeOutcome> Optimizer::OptimizeDivided(
       AppendChainsUnshared(opaque, catalog, registry_, &jqp));
   // Opaque chain nodes executed unshared get the default (no-sharing) origin.
   outcome.provenance.nodes.resize(jqp.nodes.size());
+  outcome.eval_orders = AnnotateEvalOrders(
+      &jqp, stats_,
+      CalibrationMultipliers(jqp, outcome.provenance, outcome.sharing_graph,
+                             options_.calibration));
   outcome.jqp = std::move(jqp);
   return outcome;
 }

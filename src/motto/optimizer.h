@@ -2,6 +2,7 @@
 #define MOTTO_MOTTO_OPTIMIZER_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ccl/pattern.h"
@@ -32,6 +33,12 @@ struct OptimizerOptions {
   /// Optional observability sink (obs/opt_trace.h), threaded into both the
   /// rewriter and the planner. Null: no recording, no overhead.
   obs::OptimizerProbe* probe = nullptr;
+  /// Per-family cost calibration: measured/predicted miss ratios from a
+  /// prior `motto calibrate` run (families as in obs::CalibrationRow, e.g.
+  /// {"DST", 0.73}). Fed into evaluation-order planning, where each node
+  /// gets the multiplier of its provenance family; unknown families are
+  /// ignored, absent families default to 1.0.
+  std::vector<std::pair<std::string, double>> calibration;
 };
 
 /// Everything produced by one optimization run.
@@ -51,6 +58,11 @@ struct OptimizeOutcome {
   /// outside the sharing plan (NA baseline, opaque nested chains) carry the
   /// default origin (sharing_node = -1).
   PlanProvenance provenance;
+  /// Per-jqp-node evaluation-order plans (AnnotateEvalOrders), parallel to
+  /// jqp.nodes; the chosen orders are already installed in each pattern
+  /// node's PatternSpec::eval_order and take effect when a run uses
+  /// ExecutorOptions::eval_order = kSelectivity.
+  std::vector<OrderPlan> eval_orders;
 };
 
 /// MOTTO's front door: divides (possibly nested) queries, discovers sharing,

@@ -111,6 +111,14 @@ PlanExplain BuildPlanExplain(const motto::OptimizeOutcome& outcome,
         info.edge_cost = edge.cost;
       }
     }
+    if (i < outcome.eval_orders.size()) {
+      const OrderPlan& order_plan = outcome.eval_orders[i];
+      info.eval_order = order_plan.order;
+      info.order_arrival_partials = order_plan.arrival_partials;
+      info.order_lazy_partials = order_plan.lazy_partials;
+      info.order_reduction = order_plan.Reduction();
+      info.lazy_beneficial = order_plan.lazy_beneficial;
+    }
     explain.nodes.push_back(std::move(info));
   }
   return explain;
@@ -157,6 +165,16 @@ std::string PlanExplain::ToJson(const OptimizerProbe* probe,
     out += ",\"edge_cost\":" + JsonNum(n.edge_cost);
     out += ",\"shared\":";
     out += n.shared ? "true" : "false";
+    out += ",\"eval_order\":[";
+    for (size_t k = 0; k < n.eval_order.size(); ++k) {
+      if (k) out += ",";
+      out += std::to_string(n.eval_order[k]);
+    }
+    out += "],\"order_arrival_partials\":" + JsonNum(n.order_arrival_partials);
+    out += ",\"order_lazy_partials\":" + JsonNum(n.order_lazy_partials);
+    out += ",\"order_reduction\":" + JsonNum(n.order_reduction);
+    out += ",\"lazy_beneficial\":";
+    out += n.lazy_beneficial ? "true" : "false";
     out += "}";
   }
   out += "],\"sinks\":[";
@@ -190,6 +208,15 @@ std::string PlanExplain::ToDot() const {
     std::snprintf(buffer, sizeof(buffer), "\\ncpu=%.3g",
                   n.predicted_cpu_units);
     label += buffer;
+    if (!n.eval_order.empty()) {
+      label += "\\norder=";
+      for (size_t k = 0; k < n.eval_order.size(); ++k) {
+        if (k) label += ",";
+        label += std::to_string(n.eval_order[k]);
+      }
+      std::snprintf(buffer, sizeof(buffer), " (%.3gx)", n.order_reduction);
+      label += buffer;
+    }
     if (n.shared) {
       label += "\\nshared by";
       for (const std::string& q : n.queries) label += " " + DotEscape(q);

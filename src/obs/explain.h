@@ -49,6 +49,17 @@ struct PlanNodeInfo {
   double edge_cost = 0.0;
   /// More than one user query depends on this node's output.
   bool shared = false;
+
+  /// Planned selectivity evaluation order (position -> operand index;
+  /// empty for filters, DISJ and single-operand nodes) and the order
+  /// planner's predictions: expected live partials under arrival vs lazy
+  /// evaluation, their ratio, and whether the model expects lazy mode to
+  /// pay off on this node (DESIGN.md §13).
+  std::vector<int32_t> eval_order;
+  double order_arrival_partials = 0.0;
+  double order_lazy_partials = 0.0;
+  double order_reduction = 0.0;
+  bool lazy_beneficial = false;
 };
 
 /// Inspector view of one optimization outcome: the final plan with per-node

@@ -3,8 +3,10 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <variant>
 
 #include "common/check.h"
+#include "engine/matcher.h"
 
 namespace motto {
 
@@ -426,6 +428,58 @@ Result<Jqp> BuildJqp(const SharingGraph& graph, const PlanDecision& decision,
                      PlanProvenance* provenance) {
   Builder builder(graph, decision, catalog, registry, provenance);
   return builder.Build();
+}
+
+std::vector<OrderPlan> AnnotateEvalOrders(
+    Jqp* jqp, const StreamStats& stats,
+    const std::vector<double>& node_multipliers) {
+  std::vector<OrderPlan> plans(jqp->nodes.size());
+  auto topo = jqp->TopoOrder();
+  if (!topo.ok()) return plans;  // Invalid plans fail later, in Validate.
+  CostModel model(stats);
+  std::vector<double> output_rate(jqp->nodes.size(), 0.0);
+  for (int32_t idx : *topo) {
+    size_t ui = static_cast<size_t>(idx);
+    JqpNode& node = jqp->nodes[ui];
+    if (auto* pattern = std::get_if<PatternSpec>(&node.spec)) {
+      std::vector<double> rates;
+      rates.reserve(pattern->operands.size());
+      for (const OperandBinding& binding : pattern->operands) {
+        double rate = 0.0;
+        if (binding.channel == kRawChannel) {
+          for (EventTypeId type : binding.types) rate += model.RateOf(type);
+        } else {
+          size_t input = static_cast<size_t>(
+              node.inputs[static_cast<size_t>(binding.channel) - 1]);
+          rate = output_rate[input];
+        }
+        if (!binding.predicate.empty() && !binding.types.empty()) {
+          rate *= model.PredicateSelectivity(binding.types.front(),
+                                             binding.predicate);
+        }
+        rates.push_back(rate);
+      }
+      output_rate[ui] = model.OutputRate(pattern->op, rates, pattern->negated,
+                                         pattern->window);
+      if (pattern->op != PatternOp::kDisj && rates.size() >= 2 &&
+          rates.size() <= static_cast<size_t>(kMaxLazyOperands)) {
+        double multiplier = ui < node_multipliers.size() &&
+                                    node_multipliers[ui] > 0.0
+                                ? node_multipliers[ui]
+                                : 1.0;
+        plans[ui] = PlanEvalOrder(pattern->op, rates, pattern->window,
+                                  model.constants(), multiplier);
+        pattern->eval_order = plans[ui].order;
+      }
+    } else if (const auto* order = std::get_if<OrderFilterSpec>(&node.spec)) {
+      output_rate[ui] =
+          output_rate[static_cast<size_t>(node.inputs.at(0))] *
+          CostModel::OrderFilterSelectivity(order->required_order.size());
+    } else {  // Span filter: pass-through upper bound, as in PredictJqpCosts.
+      output_rate[ui] = output_rate[static_cast<size_t>(node.inputs.at(0))];
+    }
+  }
+  return plans;
 }
 
 }  // namespace motto

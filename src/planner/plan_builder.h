@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "cost/order_planner.h"
 #include "engine/graph.h"
+#include "event/stream.h"
 #include "motto/catalog.h"
 #include "motto/sharing_graph.h"
 #include "planner/solver.h"
@@ -41,6 +43,23 @@ Result<Jqp> BuildJqp(const SharingGraph& graph, const PlanDecision& decision,
                      const CompositeCatalog& catalog,
                      EventTypeRegistry* registry,
                      PlanProvenance* provenance = nullptr);
+
+/// Plans the selectivity evaluation order of every eligible pattern node of
+/// a built plan (SEQ/CONJ with 2..kMaxLazyOperands operands) and installs
+/// it into PatternSpec::eval_order, so a kSelectivity run anchors each node
+/// on its rarest operand (DESIGN.md §13). Effective operand rates are
+/// propagated in topological order exactly as the cost predictions are:
+/// raw-channel operands sum the stream rates of their accepted types times
+/// the binding predicate's selectivity; composite operands inherit the
+/// producing node's estimated output rate.
+///
+/// `node_multipliers` optionally supplies a per-node calibration cost
+/// multiplier, parallel to jqp->nodes (empty or non-positive entries mean
+/// 1.0); see PlanEvalOrder. Returns one OrderPlan per node, parallel to
+/// jqp->nodes (default-constructed for ineligible nodes and filters).
+std::vector<OrderPlan> AnnotateEvalOrders(
+    Jqp* jqp, const StreamStats& stats,
+    const std::vector<double>& node_multipliers = {});
 
 }  // namespace motto
 

@@ -33,9 +33,12 @@ PathMatches SinkMatches(const RunResult& run,
   return out;
 }
 
-Result<RunResult> RunJqp(const Jqp& jqp, const EventStream& stream) {
+Result<RunResult> RunJqp(const Jqp& jqp, const EventStream& stream,
+                         EvalOrderMode eval_order = EvalOrderMode::kArrival) {
   MOTTO_ASSIGN_OR_RETURN(Executor executor, Executor::Create(jqp));
-  return executor.Run(stream);
+  ExecutorOptions run_options;
+  run_options.eval_order = eval_order;
+  return executor.Run(stream, run_options);
 }
 
 Result<OptimizeOutcome> OptimizePlan(const std::vector<Query>& queries,
@@ -125,6 +128,14 @@ Result<CaseReport> CheckCase(const std::vector<Query>& queries,
                      /*approximate=*/false));
     MOTTO_ASSIGN_OR_RETURN(RunResult run, RunJqp(outcome.jqp, stream));
     paths.emplace_back("unshared", SinkMatches(run, queries));
+
+    // Path "unshared-lazy": the same chains with every eligible node
+    // evaluated in its planner-chosen selectivity order — the minimal
+    // eager-vs-lazy differential, no sharing rewrites in the way.
+    MOTTO_ASSIGN_OR_RETURN(
+        RunResult lazy_run,
+        RunJqp(outcome.jqp, stream, EvalOrderMode::kSelectivity));
+    paths.emplace_back("unshared-lazy", SinkMatches(lazy_run, queries));
   }
 
   // Paths "motto-bnb" / "motto-par": the fully optimized JQP from the exact
@@ -138,6 +149,14 @@ Result<CaseReport> CheckCase(const std::vector<Query>& queries,
                      /*approximate=*/false));
     MOTTO_ASSIGN_OR_RETURN(RunResult run, RunJqp(outcome.jqp, stream));
     paths.emplace_back("motto-bnb", SinkMatches(run, queries));
+
+    // Path "motto-lazy": the same fully rewritten plan in selectivity
+    // order. Lazy buffering must survive composite operands, merge nodes
+    // and selector predicates, not just bare per-query chains.
+    MOTTO_ASSIGN_OR_RETURN(
+        RunResult lazy_run,
+        RunJqp(outcome.jqp, stream, EvalOrderMode::kSelectivity));
+    paths.emplace_back("motto-lazy", SinkMatches(lazy_run, queries));
 
     MOTTO_ASSIGN_OR_RETURN(
         ParallelExecutor parallel,

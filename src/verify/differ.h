@@ -58,11 +58,12 @@ struct CaseReport {
 };
 
 /// Runs every execution path — oracle, per-query NFA matcher plans,
-/// whole-workload unshared plan, MOTTO JQP from the exact solver, MOTTO JQP
-/// from simulated annealing, and the parallel and sharded executors over
-/// the exact JQP — on one (workload, stream) pair and diffs all per-query
-/// match multisets against the oracle. kOutOfRange means the oracle budget
-/// was exceeded (callers treat the case as skipped).
+/// whole-workload unshared plan (in arrival order and in selectivity-
+/// ordered lazy mode), MOTTO JQP from the exact solver (both eval modes),
+/// MOTTO JQP from simulated annealing, and the parallel and sharded
+/// executors over the exact JQP — on one (workload, stream) pair and diffs
+/// all per-query match multisets against the oracle. kOutOfRange means the
+/// oracle budget was exceeded (callers treat the case as skipped).
 Result<CaseReport> CheckCase(const std::vector<Query>& queries,
                              const EventStream& stream,
                              EventTypeRegistry* registry,

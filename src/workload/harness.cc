@@ -82,6 +82,7 @@ Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
     OptimizerOptions optimizer_options;
     optimizer_options.mode = mode;
     optimizer_options.planner = options.planner;
+    optimizer_options.calibration = options.calibration;
     Optimizer optimizer(registry, stats, optimizer_options);
     MOTTO_ASSIGN_OR_RETURN(OptimizeOutcome outcome,
                            optimizer.Optimize(queries));
@@ -104,6 +105,7 @@ Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
   // the host hit every mode instead of one mode's whole measurement.
   ExecutorOptions measure_options;
   measure_options.count_matches_only = true;
+  measure_options.eval_order = options.eval_order;
   std::vector<double> best_elapsed(modes.size(),
                                    std::numeric_limits<double>::infinity());
   int rounds = std::max(1, options.measure_runs);
@@ -152,7 +154,10 @@ Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
           std::to_string(na_matches));
     }
     if (options.verify_matches) {
-      MOTTO_ASSIGN_OR_RETURN(RunResult verify_run, executors[m].Run(stream));
+      ExecutorOptions verify_options;
+      verify_options.eval_order = options.eval_order;
+      MOTTO_ASSIGN_OR_RETURN(RunResult verify_run,
+                             executors[m].Run(stream, verify_options));
       std::map<std::string, MatchSet> fingerprints =
           SinkFingerprints(verify_run);
       if (m == 0) {
@@ -174,6 +179,7 @@ Result<std::vector<ModeRun>> CompareModes(const std::vector<Query>& queries,
     ExecutorOptions report_options;
     report_options.collect_node_timing = true;
     report_options.count_matches_only = true;
+    report_options.eval_order = options.eval_order;
     for (size_t m = 0; m < modes.size(); ++m) {
       MOTTO_ASSIGN_OR_RETURN(RunResult run,
                              executors[m].Run(stream, report_options));

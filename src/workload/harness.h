@@ -55,6 +55,13 @@ struct ComparisonOptions {
   int threads = 1;
   size_t batch_size = 512;
   size_t pipe_depth = 4;
+  /// Operand evaluation mode for every measured replay (and the optional
+  /// verification replays): kSelectivity runs each pattern node in its
+  /// planner-chosen rarest-first order (DESIGN.md §13).
+  EvalOrderMode eval_order = EvalOrderMode::kArrival;
+  /// Per-family cost calibration forwarded to every mode's optimizer
+  /// (OptimizerOptions::calibration).
+  std::vector<std::pair<std::string, double>> calibration;
 };
 
 /// Optimizes and replays `queries` over `stream` once per mode, reporting

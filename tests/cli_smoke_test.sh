@@ -64,6 +64,19 @@ edge_lines = [l for l in dot if " -> " in l]
 assert len(node_lines) == len(nodes), (len(node_lines), len(nodes))
 assert len(edge_lines) == sum(len(n["inputs"]) for n in nodes)
 assert any("fillcolor" in l for l in node_lines), "shared nodes not filled"
+# Selectivity-order annotations (DESIGN.md §13): every node reports its
+# planner-chosen eval order and predicted partial-count reduction; eligible
+# pattern nodes (SEQ/CONJ, 2+ operands) carry a non-empty order, and the
+# lazy chain never predicts more partials than arrival order.
+for n in nodes:
+    for key in ("eval_order", "order_arrival_partials", "order_lazy_partials",
+                "order_reduction", "lazy_beneficial"):
+        assert key in n, (key, n)
+ordered = [n for n in nodes if n["eval_order"]]
+assert ordered, "no node got an eval order"
+for n in ordered:
+    assert sorted(n["eval_order"]) == list(range(len(n["eval_order"]))), n
+    assert n["order_reduction"] >= 1.0 - 1e-9, n
 EOF
 
 # Single-threaded run with the full observability surface.
@@ -186,12 +199,36 @@ grep "matches" single_run.out > single_matches.out
 diff -q shard_matches.out single_matches.out >/dev/null \
   || fail "sharded match counts diverge from single-threaded"
 
+# Selectivity-ordered lazy mode: identical per-query match counts, and an
+# unknown mode name is a usage error.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --eval-order=selectivity \
+  > lazy_run.out || fail "run --eval-order=selectivity"
+grep "matches" lazy_run.out > lazy_matches.out
+diff -q lazy_matches.out single_matches.out >/dev/null \
+  || fail "lazy match counts diverge from arrival order"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --eval-order=bogus \
+  >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--eval-order=bogus should exit 1"
+# Calibration multipliers feed the order planner; malformed specs are usage
+# errors (run/explain/compare all take the flag).
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --eval-order=selectivity \
+  --calibration=DST=0.73,MST=1.03 >/dev/null \
+  || fail "run --calibration"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --calibration=DST=zero \
+  >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--calibration=DST=zero should exit 1"
+"${MOTTO}" explain --workload=w.ccl --stream=s.csv \
+  --calibration=unshared=1.2 >/dev/null || fail "explain --calibration"
+
 "${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --reports \
   > compare.out || fail "compare --reports"
 grep -q "x NA" compare.out || fail "compare table missing"
 grep -q -- "-- MOTTO report --" compare.out || fail "mode report missing"
 
-# compare accepts the engine-selection knobs (sharded + pipelined sizing).
+# compare accepts the engine-selection knobs (sharded + pipelined sizing)
+# and the lazy eval mode.
+"${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 \
+  --eval-order=selectivity >/dev/null || fail "compare --eval-order"
 "${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --shards=2 \
   >/dev/null || fail "compare --shards=2"
 "${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --threads=2 \

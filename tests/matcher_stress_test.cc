@@ -1,8 +1,10 @@
 // Randomized equivalence stress for the arena-backed matcher hot path: for
 // random flat patterns (all operators, optional negation and payload
 // predicates) over random streams, the brute-force reference semantics, the
-// directly-driven PatternMatcher, the single-threaded Executor and the
-// ParallelExecutor must produce identical sink-fingerprint multisets.
+// directly-driven PatternMatcher (in arrival order AND in selectivity-
+// ordered lazy mode under a random evaluation order), the single-threaded
+// Executor (both eval modes) and the ParallelExecutor must produce
+// identical sink-fingerprint multisets.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -103,8 +105,10 @@ PatternSpec MakeSpec(Scenario* s) {
 /// Drives a PatternMatcher directly, the way the single-threaded executor
 /// would: watermark then event, plus a terminal flush for deferred-negation
 /// emissions.
-MatchSet DirectMatcherRun(const PatternSpec& spec, const EventStream& stream) {
+MatchSet DirectMatcherRun(const PatternSpec& spec, const EventStream& stream,
+                          EvalOrderMode mode = EvalOrderMode::kArrival) {
   PatternMatcher matcher(spec);
+  matcher.SetEvalMode(mode);
   std::vector<Event> out;
   std::vector<Event> collected;
   for (const Event& e : stream) {
@@ -121,7 +125,21 @@ MatchSet DirectMatcherRun(const PatternSpec& spec, const EventStream& stream) {
   EXPECT_GE(matcher.arena().live_chunks(), matcher.PartialCount());
   matcher.Reset();
   EXPECT_EQ(matcher.arena().live_chunks(), 0u);
+  EXPECT_EQ(matcher.BufferedCount(), 0u);
   return Fingerprints(collected);
+}
+
+/// A random permutation of the operand indexes — lazy mode must agree with
+/// the reference under ANY evaluation order, not just the planner's pick.
+std::vector<int32_t> RandomEvalOrder(Rng* rng, size_t n) {
+  std::vector<int32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<int32_t>(i);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<size_t>(rng->Uniform(
+                  0, static_cast<int64_t>(i) - 1))]);
+  }
+  return order;
 }
 
 Jqp MakeSingleNodePlan(const PatternSpec& spec) {
@@ -134,10 +152,13 @@ Jqp MakeSingleNodePlan(const PatternSpec& spec) {
   return jqp;
 }
 
-MatchSet ExecutorRun(const PatternSpec& spec, const EventStream& stream) {
+MatchSet ExecutorRun(const PatternSpec& spec, const EventStream& stream,
+                     EvalOrderMode mode = EvalOrderMode::kArrival) {
   auto executor = Executor::Create(MakeSingleNodePlan(spec));
   EXPECT_TRUE(executor.ok()) << executor.status().ToString();
-  auto run = executor->Run(stream);
+  ExecutorOptions options;
+  options.eval_order = mode;
+  auto run = executor->Run(stream, options);
   EXPECT_TRUE(run.ok()) << run.status().ToString();
   return Fingerprints(run->sink_events.at("q"));
 }
@@ -166,10 +187,29 @@ TEST_P(MatcherStressTest, AllPathsAgreeWithReferenceSemantics) {
     ASSERT_EQ(direct, reference)
         << "matcher vs reference, seed " << seed << ", pattern "
         << s.flat.ToString(s.registry);
+    // Lazy mode under a random evaluation order: identical match multiset,
+    // both on the bare matcher and through the executor option.
+    Rng order_rng(seed * 31 + 5);
+    PatternSpec lazy_spec = spec;
+    lazy_spec.eval_order = RandomEvalOrder(&order_rng, spec.operands.size());
+    std::string order_str;
+    for (int32_t k : lazy_spec.eval_order) {
+      order_str += std::to_string(k) + ",";
+    }
+    MatchSet lazy =
+        DirectMatcherRun(lazy_spec, s.stream, EvalOrderMode::kSelectivity);
+    ASSERT_EQ(lazy, reference)
+        << "lazy matcher vs reference, seed " << seed << ", order "
+        << order_str << ", pattern " << s.flat.ToString(s.registry);
     MatchSet sequential = ExecutorRun(spec, s.stream);
     ASSERT_EQ(sequential, reference)
         << "executor vs reference, seed " << seed << ", pattern "
         << s.flat.ToString(s.registry);
+    MatchSet lazy_exec =
+        ExecutorRun(lazy_spec, s.stream, EvalOrderMode::kSelectivity);
+    ASSERT_EQ(lazy_exec, reference)
+        << "lazy executor vs reference, seed " << seed << ", order "
+        << order_str << ", pattern " << s.flat.ToString(s.registry);
     MatchSet parallel = ParallelRun(spec, s.stream, 3, 16);
     ASSERT_EQ(parallel, reference)
         << "parallel executor vs reference, seed " << seed << ", pattern "

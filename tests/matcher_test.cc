@@ -50,6 +50,18 @@ class MatcherTest : public ::testing::Test {
     return RunMatcher(&matcher, stream);
   }
 
+  /// Same as Run but in selectivity-ordered (lazy) mode under the given
+  /// evaluation order (empty = identity).
+  std::vector<Event> RunLazy(const FlatPattern& flat, Duration window,
+                             const EventStream& stream,
+                             std::vector<int32_t> eval_order = {}) {
+    PatternSpec spec = MakeRawPatternSpec(flat, window, &registry_);
+    spec.eval_order = std::move(eval_order);
+    PatternMatcher matcher(spec);
+    matcher.SetEvalMode(EvalOrderMode::kSelectivity);
+    return RunMatcher(&matcher, stream);
+  }
+
   EventTypeRegistry registry_;
 };
 
@@ -268,6 +280,127 @@ TEST_F(MatcherTest, DuplicateOperandTypesUseDistinctEvents) {
 }
 
 // ---------------------------------------------------------------------------
+// Selectivity-ordered (lazy) mode: identical match semantics under any
+// evaluation order, with buffering instead of eager partial fan-out.
+// ---------------------------------------------------------------------------
+
+TEST_F(MatcherTest, LazySeqAnchorLastStillReconstructsOrder) {
+  // Anchor E3 arrives last; E1/E2 are buffered, then joined retroactively.
+  FlatPattern flat = Pattern(PatternOp::kSeq, {"E1", "E2", "E3"});
+  EventStream s = MakeStream(&registry_, {{"E1", 10}, {"E2", 20}, {"E3", 30}});
+  std::vector<Event> out = RunLazy(flat, Seconds(10), s, {2, 0, 1});
+  ASSERT_EQ(out.size(), 1u);
+  const Event& m = out[0];
+  EXPECT_EQ(m.begin(), 10);
+  EXPECT_EQ(m.end(), 30);
+  ASSERT_EQ(m.constituents().size(), 3u);
+  // Emitted constituents are slot-ordered regardless of evaluation order.
+  EXPECT_EQ(m.constituents()[0].slot, 0);
+  EXPECT_EQ(m.constituents()[1].slot, 1);
+  EXPECT_EQ(m.constituents()[2].slot, 2);
+}
+
+TEST_F(MatcherTest, LazySeqRejectsWrongOrderAndTiedTimestamps) {
+  FlatPattern flat = Pattern(PatternOp::kSeq, {"E1", "E2"});
+  EventStream wrong = MakeStream(&registry_, {{"E2", 10}, {"E1", 20}});
+  EXPECT_TRUE(RunLazy(flat, Seconds(10), wrong, {1, 0}).empty());
+  // Equal timestamps do not chain in lazy mode either (strict < guard).
+  EventStream tied = MakeStream(&registry_, {{"E1", 10}, {"E2", 10}});
+  EXPECT_TRUE(RunLazy(flat, Seconds(10), tied, {1, 0}).empty());
+  EXPECT_TRUE(RunLazy(flat, Seconds(10), tied, {0, 1}).empty());
+}
+
+TEST_F(MatcherTest, LazyWindowBoundaryIsInclusive) {
+  FlatPattern flat = Pattern(PatternOp::kSeq, {"E1", "E2"});
+  EventStream hit = MakeStream(&registry_, {{"E1", 0}, {"E2", Seconds(10)}});
+  EXPECT_EQ(RunLazy(flat, Seconds(10), hit, {1, 0}).size(), 1u);
+  EventStream miss =
+      MakeStream(&registry_, {{"E1", 0}, {"E2", Seconds(10) + 1}});
+  EXPECT_TRUE(RunLazy(flat, Seconds(10), miss, {1, 0}).empty());
+}
+
+TEST_F(MatcherTest, LazyConjCountsCombinationsUnderEveryOrder) {
+  FlatPattern flat = Pattern(PatternOp::kConj, {"E1", "E2"});
+  EventStream s = MakeStream(&registry_,
+                             {{"E1", 1}, {"E1", 2}, {"E2", 3}, {"E1", 4}});
+  EXPECT_EQ(RunLazy(flat, Seconds(10), s, {0, 1}).size(), 3u);
+  EXPECT_EQ(RunLazy(flat, Seconds(10), s, {1, 0}).size(), 3u);
+}
+
+TEST_F(MatcherTest, LazyDuplicateOperandTypesUseDistinctEvents) {
+  // Both operands share type E1, so the operand buffers overlap: one
+  // physical event must never fill both slots of one match.
+  FlatPattern flat = Pattern(PatternOp::kSeq, {"E1", "E1"});
+  EventStream one = MakeStream(&registry_, {{"E1", 1}});
+  EXPECT_TRUE(RunLazy(flat, Seconds(10), one, {1, 0}).empty());
+  EventStream two = MakeStream(&registry_, {{"E1", 1}, {"E1", 2}});
+  EXPECT_EQ(RunLazy(flat, Seconds(10), two, {1, 0}).size(), 1u);
+  EXPECT_EQ(RunLazy(flat, Seconds(10), two, {0, 1}).size(), 1u);
+}
+
+TEST_F(MatcherTest, LazyNegEmissionDeferredUntilExpiry) {
+  FlatPattern flat = Pattern(PatternOp::kSeq, {"E1", "E3"}, {"E2"});
+  Duration w = Seconds(1);
+  PatternSpec spec = MakeRawPatternSpec(flat, w, &registry_);
+  spec.eval_order = {1, 0};
+  PatternMatcher matcher(spec);
+  matcher.SetEvalMode(EvalOrderMode::kSelectivity);
+  EventStream s = MakeStream(&registry_, {{"E1", 0}, {"E3", 10}});
+  std::vector<Event> out;
+  for (const Event& e : s) {
+    matcher.OnWatermark(e.begin(), &out);
+    matcher.OnEvent(kRawChannel, e, &out);
+  }
+  EXPECT_TRUE(out.empty());  // Deferred, exactly as in arrival mode.
+  matcher.OnWatermark(w + 1, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(MatcherTest, LazyNegKillsPendingMatchOnLateNegatedEvent) {
+  FlatPattern flat = Pattern(PatternOp::kConj, {"E1", "E3"}, {"E2"});
+  Duration w = Seconds(1);
+  EventStream s = MakeStream(&registry_, {{"E3", 0}, {"E1", 10}, {"E2", 500}});
+  EXPECT_TRUE(RunLazy(flat, w, s, {1, 0}).empty());
+  EventStream edge = MakeStream(&registry_, {{"E1", 0}, {"E3", 5}, {"E2", w}});
+  EXPECT_TRUE(RunLazy(flat, w, edge, {0, 1}).empty());
+}
+
+TEST_F(MatcherTest, LazyBuffersAndPartialsAreSwept) {
+  FlatPattern flat = Pattern(PatternOp::kSeq, {"E1", "E2"});
+  Duration w = 100;
+  PatternSpec spec = MakeRawPatternSpec(flat, w, &registry_);
+  spec.eval_order = {1, 0};  // E1 is the frequent, buffered operand.
+  PatternMatcher matcher(spec);
+  matcher.SetEvalMode(EvalOrderMode::kSelectivity);
+  std::vector<Event> out;
+  EventTypeId e1 = registry_.Find("E1");
+  for (int i = 0; i < 1000; ++i) {
+    Timestamp ts = i * 1000;
+    matcher.OnWatermark(ts, &out);
+    matcher.OnEvent(kRawChannel, Event::Primitive(e1, ts), &out);
+  }
+  // Only the most recent few E1s can still join a future anchor; the rest
+  // must have been evicted from the operand buffer by the sweep.
+  EXPECT_LT(matcher.BufferedCount(), 70u);
+  EXPECT_EQ(matcher.PartialCount(), 0u);  // No anchors -> no runs at all.
+  matcher.Reset();
+  EXPECT_EQ(matcher.BufferedCount(), 0u);
+}
+
+TEST_F(MatcherTest, LazyFallsBackForDisjAndMalformedOrder) {
+  // DISJ ignores SetEvalMode(kSelectivity) and stays pass-through.
+  FlatPattern disj = Pattern(PatternOp::kDisj, {"E1", "E2"});
+  EventStream s = MakeStream(
+      &registry_, {{"E1", 1}, {"X", 2}, {"E2", 3}, {"E1", 4}});
+  EXPECT_EQ(RunLazy(disj, Seconds(10), s).size(), 3u);
+  // A malformed eval_order (wrong size) falls back to identity order
+  // instead of corrupting dispatch.
+  FlatPattern seq = Pattern(PatternOp::kSeq, {"E1", "E2"});
+  EventStream ok = MakeStream(&registry_, {{"E1", 1}, {"E2", 2}});
+  EXPECT_EQ(RunLazy(seq, Seconds(10), ok, {0}).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Property tests: the NFA matcher agrees with brute-force reference
 // semantics on randomized streams, across operators, windows and negation.
 // ---------------------------------------------------------------------------
@@ -317,6 +450,29 @@ TEST_P(MatcherPropertyTest, AgreesWithReference) {
     EXPECT_EQ(actual, expected)
         << "round " << round << " op=" << PatternOpName(flat.op)
         << " pattern=" << flat.ToString(registry) << " window=" << param.window;
+    // Lazy mode must agree under the identity order and a random shuffle.
+    PatternSpec lazy_spec = MakeRawPatternSpec(flat, param.window, &registry);
+    for (int variant = 0; variant < 2; ++variant) {
+      if (variant == 1) {
+        lazy_spec.eval_order.resize(flat.operands.size());
+        for (size_t i = 0; i < lazy_spec.eval_order.size(); ++i) {
+          lazy_spec.eval_order[i] = static_cast<int32_t>(i);
+        }
+        for (size_t i = lazy_spec.eval_order.size(); i > 1; --i) {
+          std::swap(lazy_spec.eval_order[i - 1],
+                    lazy_spec.eval_order[static_cast<size_t>(
+                        rng.Uniform(0, static_cast<int64_t>(i) - 1))]);
+        }
+      }
+      PatternMatcher lazy(lazy_spec);
+      lazy.SetEvalMode(EvalOrderMode::kSelectivity);
+      MatchSet lazy_actual = Fingerprints(RunMatcher(&lazy, stream));
+      EXPECT_EQ(lazy_actual, expected)
+          << "lazy round " << round << " variant " << variant
+          << " op=" << PatternOpName(flat.op)
+          << " pattern=" << flat.ToString(registry)
+          << " window=" << param.window;
+    }
   }
 }
 

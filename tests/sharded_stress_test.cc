@@ -6,7 +6,9 @@
 // repeated runs at a fixed shard count (the determinism contract of
 // DESIGN.md §12). Negated terminal queries exercise deferred attribution
 // keys across slice boundaries; chained consumers exercise multi-node
-// components.
+// components. Half the shard configs run in selectivity-ordered lazy mode
+// (planner-annotated eval orders; DESIGN.md §13), so lazy buffering is
+// exercised against slice warm-up and replica round-robin too.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -17,6 +19,7 @@
 #include "engine/executor.h"
 #include "engine/plan_util.h"
 #include "engine/sharded_executor.h"
+#include "planner/plan_builder.h"
 #include "test_util.h"
 
 namespace motto {
@@ -123,6 +126,9 @@ Scenario MakeScenario(uint64_t seed) {
             rng.Uniform(0, static_cast<int64_t>(all_types.size()) - 1))],
         ts));
   }
+  // Install planner-chosen eval orders so lazy-mode configs anchor each
+  // node on its rarest operand, the way an optimized run would.
+  AnnotateEvalOrders(&s.jqp, ComputeStats(s.stream));
   return s;
 }
 
@@ -157,30 +163,46 @@ TEST(ShardedStressTest, MatchesSingleThreadedAcrossShardAndThreadCounts) {
     auto expected_order = OrderedSinks(*expected);
     with_matches += expected->TotalMatches();
 
+    // Lazy single-threaded run: same match multisets as eager.
+    ExecutorOptions lazy_options;
+    lazy_options.eval_order = EvalOrderMode::kSelectivity;
+    auto lazy_single = single->Run(s.stream, lazy_options);
+    ASSERT_TRUE(lazy_single.ok()) << lazy_single.status();
+    EXPECT_EQ(SinkSets(*lazy_single), expected_sets)
+        << "lazy single-threaded diverged, seed " << seed;
+
     const int threads[] = {1, 2, 4, 8};
     int config = 0;
     for (int shards : {1, 2, 3, 5, 8}) {
       int thread_count =
           threads[(seed + static_cast<uint64_t>(config)) % 4];
+      // Alternate eval modes across configs so lazy buffering also meets
+      // time-sliced replicas and warm-up replays.
+      ExecutorOptions run_options;
+      run_options.eval_order = (seed + static_cast<uint64_t>(config)) % 2 == 0
+                                   ? EvalOrderMode::kSelectivity
+                                   : EvalOrderMode::kArrival;
       ++config;
       auto sharded = ShardedExecutor::Create(s.jqp, shards, thread_count);
       ASSERT_TRUE(sharded.ok()) << sharded.status();
-      auto run = sharded->Run(s.stream);
+      auto run = sharded->Run(s.stream, run_options);
       ASSERT_TRUE(run.ok()) << run.status();
       EXPECT_EQ(SinkSets(*run), expected_sets)
           << "seed " << seed << " shards " << shards << " threads "
-          << thread_count;
+          << thread_count << " lazy "
+          << (run_options.eval_order == EvalOrderMode::kSelectivity);
       EXPECT_EQ(run->sink_counts, expected->sink_counts)
           << "seed " << seed << " shards " << shards;
-      if (sharded->plan().PureComponentPartition()) {
+      if (run_options.eval_order == EvalOrderMode::kArrival &&
+          sharded->plan().PureComponentPartition()) {
         EXPECT_EQ(OrderedSinks(*run), expected_order)
             << "component partition lost order, seed " << seed << " shards "
             << shards;
-      } else {
-        ++sliced_configs;
       }
-      // Same executor, same stream, same shard count: byte-identical.
-      auto rerun = sharded->Run(s.stream);
+      if (!sharded->plan().PureComponentPartition()) ++sliced_configs;
+      // Same executor, same stream, same shard count and eval mode:
+      // byte-identical.
+      auto rerun = sharded->Run(s.stream, run_options);
       ASSERT_TRUE(rerun.ok());
       EXPECT_EQ(OrderedSinks(*rerun), OrderedSinks(*run))
           << "rerun diverged, seed " << seed << " shards " << shards;

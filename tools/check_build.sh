@@ -25,6 +25,11 @@
 #   ctest -L shard     sharded data-parallel runtime alone (partition plans,
 #                      replica equivalence, randomized sharded-vs-single
 #                      stress; DESIGN.md §12)
+#   ctest -L order     selectivity-ordered evaluation alone (order planner
+#                      math + plan annotation; DESIGN.md §13). The lazy
+#                      *matcher* is covered by matcher_test/MatcherStress/
+#                      ShardedStress/DifferentialTest, so it runs under both
+#                      sanitizer slices below too.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

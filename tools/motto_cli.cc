@@ -5,15 +5,20 @@
 //                      --out=FILE.ccl
 //   motto explain     --workload=FILE.ccl [--stream=FILE.csv] [--mode=...]
 //                     [--solver=bnb|sa] [--shards=N]
+//                     [--calibration=FAMILY=MULT,...]
 //                     [--json[=FILE]] [--dot[=FILE]]
 //   motto run         --workload=FILE.ccl --stream=FILE.csv
 //                     [--mode=na|mst|lcse|motto] [--shards=N] [--threads=N]
 //                     [--batch-size=B] [--pipe-depth=D]
+//                     [--eval-order=arrival|selectivity]
+//                     [--calibration=FAMILY=MULT,...]
 //                     [--stats[=json]] [--calibrate[=json]]
 //                     [--trace=FILE.json] [--metrics-out=FILE.json]
 //   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
 //                     [--shards=N] [--threads=N] [--batch-size=B]
 //                     [--pipe-depth=D] [--reports]
+//                     [--eval-order=arrival|selectivity]
+//                     [--calibration=FAMILY=MULT,...]
 //   motto verify      --seed=S --iters=N [--queries=Q] [--events=E]
 //                     [--threads=T] [--shards=N] [--dump=DIR]  (fuzz mode)
 //   motto verify      --workload=FILE.ccl --stream=FILE.csv  (repro mode)
@@ -21,9 +26,11 @@
 // Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
 //   lost: SELECT * FROM dc MATCHING [30 sec : SEQ(a, b, NEG(c))]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "engine/executor.h"
@@ -94,6 +101,44 @@ Result<OptimizerMode> ModeFrom(const std::string& name) {
   if (name == "motto" || name.empty()) return OptimizerMode::kMotto;
   return InvalidArgumentError("unknown mode '" + name +
                               "' (na|mst|lcse|motto)");
+}
+
+Result<EvalOrderMode> EvalOrderFrom(const std::string& name) {
+  if (name == "arrival" || name.empty()) return EvalOrderMode::kArrival;
+  if (name == "selectivity" || name == "lazy") {
+    return EvalOrderMode::kSelectivity;
+  }
+  return InvalidArgumentError("unknown eval order '" + name +
+                              "' (arrival|selectivity)");
+}
+
+/// Parses `--calibration=FAMILY=MULT,...` (e.g. "DST=0.73,MST=1.03"):
+/// per-family measured/predicted miss ratios from a prior `motto run
+/// --calibrate`, fed to evaluation-order planning.
+Result<std::vector<std::pair<std::string, double>>> CalibrationFrom(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, double>> calibration;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return InvalidArgumentError("bad calibration entry '" + entry +
+                                  "' (want FAMILY=MULTIPLIER)");
+    }
+    char* end = nullptr;
+    std::string value = entry.substr(eq + 1);
+    double multiplier = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || multiplier <= 0.0) {
+      return InvalidArgumentError("bad calibration multiplier in '" + entry +
+                                  "' (want a positive number)");
+    }
+    calibration.emplace_back(entry.substr(0, eq), multiplier);
+    pos = comma + 1;
+  }
+  return calibration;
 }
 
 int Fail(const Status& status) {
@@ -194,6 +239,9 @@ int Explain(const Args& args) {
 
   OptimizerOptions options;
   options.mode = *mode;
+  auto calibration = CalibrationFrom(args.Get("calibration", ""));
+  if (!calibration.ok()) return Fail(calibration.status());
+  options.calibration = *calibration;
   std::string solver = args.Get("solver", "bnb");
   if (solver == "sa") {
     options.planner.force_approximate = true;
@@ -262,10 +310,15 @@ int RunWorkload(const Args& args) {
 
   OptimizerOptions options;
   options.mode = *mode;
+  auto calibration = CalibrationFrom(args.Get("calibration", ""));
+  if (!calibration.ok()) return Fail(calibration.status());
+  options.calibration = *calibration;
   Optimizer optimizer(&registry, *stats, options);
   auto outcome = optimizer.Optimize(*queries);
   if (!outcome.ok()) return Fail(outcome.status());
 
+  auto eval_order = EvalOrderFrom(args.Get("eval-order", "arrival"));
+  if (!eval_order.ok()) return Fail(eval_order.status());
   auto threads_arg = GetPositive(args, "threads", 1);
   if (!threads_arg.ok()) return Fail(threads_arg.status());
   int threads = static_cast<int>(*threads_arg);
@@ -286,6 +339,7 @@ int RunWorkload(const Args& args) {
   obs::MetricsRegistry metrics;
   obs::TraceSink trace_sink;
   ExecutorOptions exec_options;
+  exec_options.eval_order = *eval_order;
   // Calibration joins predicted costs against measured per-node timing.
   exec_options.collect_node_timing = want_stats || want_calibrate;
   if (want_stats || !metrics_path.empty()) exec_options.metrics = &metrics;
@@ -397,6 +451,12 @@ int Compare(const Args& args) {
   auto depth = GetPositive(args, "pipe-depth", 4);
   if (!depth.ok()) return Fail(depth.status());
   options.pipe_depth = static_cast<size_t>(*depth);
+  auto eval_order = EvalOrderFrom(args.Get("eval-order", "arrival"));
+  if (!eval_order.ok()) return Fail(eval_order.status());
+  options.eval_order = *eval_order;
+  auto calibration = CalibrationFrom(args.Get("calibration", ""));
+  if (!calibration.ok()) return Fail(calibration.status());
+  options.calibration = *calibration;
   auto runs = CompareModes(*queries, stream, &registry, options);
   if (!runs.ok()) return Fail(runs.status());
   std::printf(" mode  | events/s  | x NA  | opt s  | plan nodes | matches\n");
