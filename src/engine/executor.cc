@@ -151,6 +151,22 @@ Result<RunResult> Executor::Run(const EventStream& stream,
 
 RunResult Executor::RunSpan(const Event* events, size_t count,
                             const ExecutorOptions& options) {
+  BeginSession(options);
+  FeedSession(events, count);
+  return FinishSession();
+}
+
+void Executor::SetSinkBeginHorizons(std::vector<Timestamp> horizons) {
+  MOTTO_CHECK(horizons.empty() || horizons.size() == jqp_.sinks.size())
+      << "sink horizons must parallel Jqp::sinks";
+  sink_begin_horizons_ = std::move(horizons);
+}
+
+void Executor::BeginSession(const ExecutorOptions& options) {
+  session_options_ = options;
+  session_seq_ = 0;
+  session_active_ = true;
+
   for (auto& runtime : runtimes_) runtime->Reset();
 
   size_t n = jqp_.nodes.size();
@@ -162,23 +178,22 @@ RunResult Executor::RunSpan(const Event* events, size_t count,
     runtimes_[i]->SetEvalMode(options.eval_order);
   }
   obs::TraceSink* trace = options.trace;
-  const int64_t stream_tid = static_cast<int64_t>(n);  // Watermark row.
   if (trace != nullptr) {
     for (size_t i = 0; i < n; ++i) {
       trace->NameThread(static_cast<int64_t>(i),
                         jqp_.NodeLabel(static_cast<int32_t>(i)));
     }
-    trace->NameThread(stream_tid, "stream");
+    trace->NameThread(static_cast<int64_t>(n), "stream");  // Watermark row.
   }
 
-  RunResult result;
-  result.raw_events = count;
-  result.node_stats.assign(n, NodeStats{});
+  session_result_ = RunResult{};
+  session_result_.node_stats.assign(n, NodeStats{});
   for (const Jqp::Sink& sink : jqp_.sinks) {
     if (!options.count_matches_only) {
-      result.sink_events.emplace(sink.query_name, std::vector<Event>{});
+      session_result_.sink_events.emplace(sink.query_name,
+                                          std::vector<Event>{});
     }
-    result.sink_counts.emplace(sink.query_name, 0);
+    session_result_.sink_counts.emplace(sink.query_name, 0);
   }
 
   // Round-local state lives in member scratch: buffers keep their capacity
@@ -188,120 +203,154 @@ RunResult Executor::RunSpan(const Event* events, size_t count,
   for (auto& buffer : buffers_) buffer.clear();
   raw_stamp_.assign(n, 0);
   active_stamp_.assign(n, 0);
-  uint64_t seq = 0;
+}
 
-  Clock::time_point run_start = Clock::now();
-
-  // Only nodes touched this round run: nodes routed the raw event, nodes
-  // whose upstream emitted, and (on the final flush) everyone. Skipping idle
-  // nodes is safe: watermark advancement only matters when a node processes
-  // input or flushes deferred negation matches, and the latter is driven by
-  // negated-type arrivals (routed) or the final flush.
-  auto process_round = [&](const Event* raw, Timestamp watermark,
-                           bool activate_all) {
-    if (activate_all) {
-      for (size_t i = 0; i < n; ++i) active_stamp_[i] = seq;
+// Only nodes touched this round run: nodes routed the raw event, nodes
+// whose upstream emitted, and (on a flush) everyone. Skipping idle nodes is
+// safe: watermark advancement only matters when a node processes input or
+// flushes deferred negation matches, and the latter is driven by
+// negated-type arrivals (routed) or an explicit flush round.
+void Executor::ProcessRound(const Event* raw, Timestamp watermark,
+                            bool activate_all) {
+  size_t n = jqp_.nodes.size();
+  const ExecutorOptions& options = session_options_;
+  obs::TraceSink* trace = options.trace;
+  RunResult& result = session_result_;
+  const uint64_t seq = session_seq_;
+  if (activate_all) {
+    for (size_t i = 0; i < n; ++i) active_stamp_[i] = seq;
+  }
+  bool any_sink_output = false;
+  for (int32_t idx : topo_order_) {
+    size_t ui = static_cast<size_t>(idx);
+    if (active_stamp_[ui] != seq) continue;
+    NodeRuntime& runtime = *runtimes_[ui];
+    const JqpNode& node = jqp_.nodes[ui];
+    std::vector<Event>& out = buffers_[ui];
+    out.clear();
+    // When tracing, the span's begin/end double as the busy-time clock
+    // reads so the traced and untraced timing paths cost the same.
+    double span_start = 0.0;
+    Clock::time_point node_start;
+    if (trace != nullptr) {
+      span_start = trace->NowMicros();
+    } else if (options.collect_node_timing) {
+      node_start = Clock::now();
     }
-    bool any_sink_output = false;
-    for (int32_t idx : topo_order_) {
-      size_t ui = static_cast<size_t>(idx);
-      if (active_stamp_[ui] != seq) continue;
-      NodeRuntime& runtime = *runtimes_[ui];
-      const JqpNode& node = jqp_.nodes[ui];
-      std::vector<Event>& out = buffers_[ui];
-      out.clear();
-      // When tracing, the span's begin/end double as the busy-time clock
-      // reads so the traced and untraced timing paths cost the same.
-      double span_start = 0.0;
-      Clock::time_point node_start;
-      if (trace != nullptr) {
-        span_start = trace->NowMicros();
-      } else if (options.collect_node_timing) {
-        node_start = Clock::now();
+    runtime.OnWatermark(watermark, &out);
+    if (raw != nullptr && raw_stamp_[ui] == seq) {
+      runtime.OnEvent(kRawChannel, *raw, &out);
+      ++result.node_stats[ui].events_in;
+    }
+    for (size_t c = 0; c < node.inputs.size(); ++c) {
+      size_t input = static_cast<size_t>(node.inputs[c]);
+      if (active_stamp_[input] != seq) continue;
+      const std::vector<Event>& upstream = buffers_[input];
+      Channel channel = static_cast<Channel>(c + 1);
+      for (const Event& ev : upstream) {
+        runtime.OnEvent(channel, ev, &out);
       }
-      runtime.OnWatermark(watermark, &out);
-      if (raw != nullptr && raw_stamp_[ui] == seq) {
-        runtime.OnEvent(kRawChannel, *raw, &out);
-        ++result.node_stats[ui].events_in;
-      }
-      for (size_t c = 0; c < node.inputs.size(); ++c) {
-        size_t input = static_cast<size_t>(node.inputs[c]);
-        if (active_stamp_[input] != seq) continue;
-        const std::vector<Event>& upstream = buffers_[input];
-        Channel channel = static_cast<Channel>(c + 1);
-        for (const Event& ev : upstream) {
-          runtime.OnEvent(channel, ev, &out);
-        }
-        result.node_stats[ui].events_in += upstream.size();
-      }
-      if (trace != nullptr) {
-        double span_end = trace->NowMicros();
-        trace->Span("round", "node", static_cast<int64_t>(ui), span_start,
-                    span_end - span_start);
-        result.node_stats[ui].busy_seconds += (span_end - span_start) * 1e-6;
-      } else if (options.collect_node_timing) {
-        result.node_stats[ui].busy_seconds += SecondsSince(node_start);
-      }
-      if (!out.empty()) {
-        result.node_stats[ui].events_out += out.size();
-        any_sink_output = true;
-        for (int32_t consumer : consumers_[ui]) {
-          active_stamp_[static_cast<size_t>(consumer)] = seq;
-        }
+      result.node_stats[ui].events_in += upstream.size();
+    }
+    if (trace != nullptr) {
+      double span_end = trace->NowMicros();
+      trace->Span("round", "node", static_cast<int64_t>(ui), span_start,
+                  span_end - span_start);
+      result.node_stats[ui].busy_seconds += (span_end - span_start) * 1e-6;
+    } else if (options.collect_node_timing) {
+      result.node_stats[ui].busy_seconds += SecondsSince(node_start);
+    }
+    if (!out.empty()) {
+      result.node_stats[ui].events_out += out.size();
+      any_sink_output = true;
+      for (int32_t consumer : consumers_[ui]) {
+        active_stamp_[static_cast<size_t>(consumer)] = seq;
       }
     }
-    if (!any_sink_output) return;
-    for (size_t s = 0; s < jqp_.sinks.size(); ++s) {
-      const Jqp::Sink& sink = jqp_.sinks[s];
-      size_t node = static_cast<size_t>(sink.node);
-      if (active_stamp_[node] != seq || buffers_[node].empty()) continue;
-      std::vector<Event>& out = buffers_[node];
-      if (options.sink_ranges != nullptr) {
-        // Time-sliced shard: keep only matches whose attribution key this
-        // shard owns; everything else is context warm-up another shard (or
-        // no shard) is responsible for.
-        const SinkEmitRange& range = (*options.sink_ranges)[s];
-        uint64_t kept = 0;
-        for (Event& ev : out) {
-          Timestamp key = range.deferred_window >= 0
-                              ? ev.begin() + range.deferred_window
-                              : ev.end();
-          if (key <= range.min_exclusive || key > range.max_inclusive) {
-            continue;
+  }
+  if (!any_sink_output) return;
+  for (size_t s = 0; s < jqp_.sinks.size(); ++s) {
+    const Jqp::Sink& sink = jqp_.sinks[s];
+    size_t node = static_cast<size_t>(sink.node);
+    if (active_stamp_[node] != seq || buffers_[node].empty()) continue;
+    std::vector<Event>& out = buffers_[node];
+    const Timestamp begin_horizon =
+        s < sink_begin_horizons_.size()
+            ? sink_begin_horizons_[s]
+            : std::numeric_limits<Timestamp>::min();
+    if (options.sink_ranges != nullptr) {
+      // Time-sliced shard: keep only matches whose attribution key this
+      // shard owns; everything else is context warm-up another shard (or
+      // no shard) is responsible for.
+      const SinkEmitRange& range = (*options.sink_ranges)[s];
+      uint64_t kept = 0;
+      for (Event& ev : out) {
+        Timestamp key = range.deferred_window >= 0
+                            ? ev.begin() + range.deferred_window
+                            : ev.end();
+        if (key <= range.min_exclusive || key > range.max_inclusive) {
+          continue;
+        }
+        if (ev.begin() < begin_horizon) continue;
+        ++kept;
+        if (!options.count_matches_only) {
+          auto& collected = result.sink_events[sink.query_name];
+          if (movable_sink_[node]) {
+            collected.push_back(std::move(ev));
+          } else {
+            collected.push_back(ev);
           }
-          ++kept;
-          if (!options.count_matches_only) {
-            auto& collected = result.sink_events[sink.query_name];
-            if (movable_sink_[node]) {
-              collected.push_back(std::move(ev));
-            } else {
-              collected.push_back(ev);
-            }
+        }
+      }
+      result.sink_counts[sink.query_name] += kept;
+      continue;
+    }
+    if (begin_horizon > std::numeric_limits<Timestamp>::min()) {
+      // Add-point visibility (DESIGN.md §14): a sink born mid-stream only
+      // owns matches whose earliest constituent arrived at or after its
+      // birth; earlier-rooted matches belong to no plan epoch of this sink.
+      uint64_t kept = 0;
+      for (Event& ev : out) {
+        if (ev.begin() < begin_horizon) continue;
+        ++kept;
+        if (!options.count_matches_only) {
+          auto& collected = result.sink_events[sink.query_name];
+          if (movable_sink_[node]) {
+            collected.push_back(std::move(ev));
+          } else {
+            collected.push_back(ev);
           }
         }
-        result.sink_counts[sink.query_name] += kept;
-        continue;
       }
-      result.sink_counts[sink.query_name] += out.size();
-      if (!options.count_matches_only) {
-        auto& collected = result.sink_events[sink.query_name];
-        if (movable_sink_[node]) {
-          // Terminal single-sink node: nothing else reads this buffer, so
-          // matches move instead of deep-copying their constituent vectors.
-          collected.insert(collected.end(),
-                           std::make_move_iterator(out.begin()),
-                           std::make_move_iterator(out.end()));
-        } else {
-          collected.insert(collected.end(), out.begin(), out.end());
-        }
+      result.sink_counts[sink.query_name] += kept;
+      continue;
+    }
+    result.sink_counts[sink.query_name] += out.size();
+    if (!options.count_matches_only) {
+      auto& collected = result.sink_events[sink.query_name];
+      if (movable_sink_[node]) {
+        // Terminal single-sink node: nothing else reads this buffer, so
+        // matches move instead of deep-copying their constituent vectors.
+        collected.insert(collected.end(),
+                         std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
+      } else {
+        collected.insert(collected.end(), out.begin(), out.end());
       }
     }
-  };
+  }
+}
 
+void Executor::FeedSession(const Event* events, size_t count) {
+  MOTTO_CHECK(session_active_) << "FeedSession without BeginSession";
+  obs::TraceSink* trace = session_options_.trace;
+  const int64_t stream_tid = static_cast<int64_t>(jqp_.nodes.size());
+  session_result_.raw_events += count;
+  Clock::time_point feed_start = Clock::now();
   for (size_t pos = 0; pos < count; ++pos) {
     const Event& raw = events[pos];
-    ++seq;
-    if (trace != nullptr && (seq & 511) == 1) {
+    ++session_seq_;
+    if (trace != nullptr && (session_seq_ & 511) == 1) {
       // Sampled watermark ticks anchor stream time to wall time on the
       // trace's "stream" row without drowning the view in instants.
       trace->Instant("watermark", stream_tid, trace->NowMicros(),
@@ -310,8 +359,8 @@ RunResult Executor::RunSpan(const Event* events, size_t count,
     bool routed = false;
     if (static_cast<size_t>(raw.type()) < raw_interest_.size()) {
       for (int32_t idx : raw_interest_[static_cast<size_t>(raw.type())]) {
-        raw_stamp_[static_cast<size_t>(idx)] = seq;
-        active_stamp_[static_cast<size_t>(idx)] = seq;
+        raw_stamp_[static_cast<size_t>(idx)] = session_seq_;
+        active_stamp_[static_cast<size_t>(idx)] = session_seq_;
         routed = true;
       }
     }
@@ -320,21 +369,46 @@ RunResult Executor::RunSpan(const Event* events, size_t count,
     // so skip the topo scan entirely. Sub-plan shards see mostly foreign
     // types, which makes this the sharded path's fast lane.
     if (!routed) continue;
-    process_round(&raw, raw.begin(), /*activate_all=*/false);
+    ProcessRound(&raw, raw.begin(), /*activate_all=*/false);
   }
-  // Final flush so window-expiry (NEG) emissions at the stream tail appear.
-  ++seq;
-  if (trace != nullptr) {
-    trace->Instant("final_flush", stream_tid, trace->NowMicros());
-  }
-  process_round(nullptr, kFinalWatermark, /*activate_all=*/true);
+  session_result_.elapsed_seconds += SecondsSince(feed_start);
+}
 
-  result.elapsed_seconds = SecondsSince(run_start);
-  for (size_t i = 0; i < n; ++i) {
-    runtimes_[i]->CollectStats(&result.node_stats[i]);
+void Executor::FlushSessionAt(Timestamp watermark) {
+  MOTTO_CHECK(session_active_) << "FlushSessionAt without BeginSession";
+  Clock::time_point start = Clock::now();
+  ++session_seq_;
+  ProcessRound(nullptr, watermark, /*activate_all=*/true);
+  session_result_.elapsed_seconds += SecondsSince(start);
+}
+
+RunResult Executor::SuspendSession() {
+  MOTTO_CHECK(session_active_) << "SuspendSession without BeginSession";
+  session_active_ = false;
+  for (size_t i = 0; i < jqp_.nodes.size(); ++i) {
+    runtimes_[i]->CollectStats(&session_result_.node_stats[i]);
   }
-  ExportRunMetrics(result, options.metrics);
-  return result;
+  return std::move(session_result_);
+}
+
+RunResult Executor::FinishSession() {
+  MOTTO_CHECK(session_active_) << "FinishSession without BeginSession";
+  obs::TraceSink* trace = session_options_.trace;
+  Clock::time_point start = Clock::now();
+  // Final flush so window-expiry (NEG) emissions at the stream tail appear.
+  ++session_seq_;
+  if (trace != nullptr) {
+    trace->Instant("final_flush", static_cast<int64_t>(jqp_.nodes.size()),
+                   trace->NowMicros());
+  }
+  ProcessRound(nullptr, kFinalWatermark, /*activate_all=*/true);
+  session_result_.elapsed_seconds += SecondsSince(start);
+  session_active_ = false;
+  for (size_t i = 0; i < jqp_.nodes.size(); ++i) {
+    runtimes_[i]->CollectStats(&session_result_.node_stats[i]);
+  }
+  ExportRunMetrics(session_result_, session_options_.metrics);
+  return std::move(session_result_);
 }
 
 }  // namespace motto

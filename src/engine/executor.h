@@ -178,13 +178,60 @@ class Executor {
   /// Replays a contiguous span of an already-validated stream (sorted, all
   /// primitive). ShardedExecutor feeds each replica its slice-plus-context
   /// window through this without copying or re-validating the events.
+  /// Equivalent to BeginSession + FeedSession + FinishSession.
   RunResult RunSpan(const Event* events, size_t count,
                     const ExecutorOptions& options = ExecutorOptions{});
+
+  // --- Streaming session API (live plan migration, DESIGN.md §14) ---
+
+  /// Starts a streaming session: resets node runtimes, installs probes and
+  /// the evaluation mode, and initializes the accumulated result. Pointers
+  /// inside `options` (metrics/trace/sink_ranges) must stay valid until the
+  /// session ends.
+  void BeginSession(const ExecutorOptions& options = ExecutorOptions{});
+
+  /// Feeds a contiguous, timestamp-ordered span of primitive events into
+  /// the active session. May be called repeatedly; timestamps must be
+  /// nondecreasing across calls.
+  void FeedSession(const Event* events, size_t count);
+
+  /// Forces a watermark-only round at `watermark` on every node, emitting
+  /// every deferred match already sealed strictly before it. This is the
+  /// hot-swap boundary flush: afterwards a removed query's sink has emitted
+  /// exactly the matches whose fate was decided before the removal point,
+  /// and everything still pending can be exported to the successor plan.
+  void FlushSessionAt(Timestamp watermark);
+
+  /// Ends the session WITHOUT the final flush and returns the result so
+  /// far; node runtimes keep their live state for ExportState handoff.
+  RunResult SuspendSession();
+
+  /// Ends the session with the final flush (all windows expire), collects
+  /// node stats and exports metrics — the streaming tail of RunSpan.
+  RunResult FinishSession();
+
+  /// Node runtime accessor for state migration (ExportState/ImportState).
+  NodeRuntime* runtime(int32_t node) {
+    return runtimes_[static_cast<size_t>(node)].get();
+  }
+
+  /// Per-sink add-point visibility horizons, parallel to Jqp::sinks: a sink
+  /// with horizon h only collects matches with begin() >= h, so a query
+  /// added mid-stream sees exactly the matches whose constituents all
+  /// arrive at or after its add point (begin() is the earliest constituent
+  /// timestamp). Empty (the default) disables the filter entirely. Applies
+  /// to Run/RunSpan and sessions alike and persists across runs.
+  void SetSinkBeginHorizons(std::vector<Timestamp> horizons);
 
   const Jqp& jqp() const { return jqp_; }
 
  private:
   explicit Executor(Jqp jqp);
+
+  /// One executor round: watermark + this round's inputs on every activated
+  /// node in topo order, then sink collection (shared by the batch and
+  /// session paths; reads session_options_/session_result_/session_seq_).
+  void ProcessRound(const Event* raw, Timestamp watermark, bool activate_all);
 
   Jqp jqp_;
   std::vector<int32_t> topo_order_;
@@ -207,6 +254,15 @@ class Executor {
   std::vector<std::vector<Event>> buffers_;
   std::vector<uint64_t> raw_stamp_;
   std::vector<uint64_t> active_stamp_;
+
+  /// Sink-level add-point filter (SetSinkBeginHorizons); empty = off.
+  std::vector<Timestamp> sink_begin_horizons_;
+
+  // Active-session state (also carries one RunSpan invocation).
+  ExecutorOptions session_options_;
+  RunResult session_result_;
+  uint64_t session_seq_ = 0;
+  bool session_active_ = false;
 };
 
 }  // namespace motto

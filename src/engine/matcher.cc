@@ -162,6 +162,145 @@ size_t PatternMatcher::BufferedCount() const {
   return total;
 }
 
+void PatternMatcher::ExportState(NodeState* out) {
+  *out = NodeState{};
+  out->stateless = false;
+  out->eval_mode = eval_mode_;
+  out->watermark = watermark_;
+  out->sweep_tick = sweep_tick_;
+  out->arrival_seq = arrival_seq_;
+  const size_t n = spec_.operands.size();
+  for (size_t s = 0; s < partials_by_state_.size(); ++s) {
+    for (const Partial& p : partials_by_state_[s]) {
+      NodePartialState ps;
+      ps.state = static_cast<int32_t>(s);
+      ps.min_begin = p.min_begin;
+      ps.max_end = p.max_end;
+      ps.last_end = p.last_end;
+      arena_.Materialize(p.tail, &ps.constituents);
+      out->partials.push_back(std::move(ps));
+    }
+  }
+  for (size_t s = 0; s < lazy_by_state_.size(); ++s) {
+    for (const LazyPartial& p : lazy_by_state_[s]) {
+      NodePartialState ps;
+      ps.state = static_cast<int32_t>(s);
+      ps.min_begin = p.min_begin;
+      ps.max_end = p.max_end;
+      arena_.Materialize(p.tail, &ps.constituents);
+      ps.op_begin.assign(p.op_begin, p.op_begin + n);
+      ps.op_end.assign(p.op_end, p.op_end + n);
+      ps.op_arrival.assign(p.op_arrival, p.op_arrival + n);
+      out->lazy_partials.push_back(std::move(ps));
+    }
+  }
+  for (const PendingMatch& p : pending_) {
+    NodePartialState ps;
+    ps.min_begin = p.min_begin;
+    ps.max_end = p.max_end;
+    arena_.Materialize(p.tail, &ps.constituents);
+    out->pending.push_back(std::move(ps));
+  }
+  out->negated_history.assign(negated_history_.begin(),
+                              negated_history_.end());
+  for (size_t k = 0; k < buffers_.size(); ++k) {
+    for (const BufferedEvent& b : buffers_[k]) {
+      NodeBufferedEvent nb;
+      nb.operand = static_cast<int32_t>(k);
+      nb.begin = b.begin;
+      nb.end = b.end;
+      nb.arrival = b.arrival;
+      nb.event = b.event;
+      out->buffered.push_back(std::move(nb));
+    }
+  }
+}
+
+bool PatternMatcher::ImportState(const NodeState& in) {
+  Reset();
+  if (in.stateless) return true;
+  // A snapshot only fits a matcher running the same evaluation strategy:
+  // eager partials and lazy runs are not interconvertible (lazy runs need
+  // the per-operand bound intervals the eager chain never records).
+  if (in.eval_mode != eval_mode_) return false;
+  const int32_t n = static_cast<int32_t>(spec_.operands.size());
+  for (const NodePartialState& ps : in.partials) {
+    if (ps.state < 0 ||
+        ps.state >= static_cast<int32_t>(partials_by_state_.size()) ||
+        ps.constituents.empty()) {
+      Reset();
+      return false;
+    }
+  }
+  for (const NodePartialState& ps : in.lazy_partials) {
+    if (ps.state < 1 ||
+        ps.state >= static_cast<int32_t>(lazy_by_state_.size()) ||
+        ps.constituents.empty() ||
+        ps.op_begin.size() != static_cast<size_t>(n) ||
+        ps.op_end.size() != static_cast<size_t>(n) ||
+        ps.op_arrival.size() != static_cast<size_t>(n)) {
+      Reset();
+      return false;
+    }
+  }
+  for (const NodeBufferedEvent& nb : in.buffered) {
+    if (nb.operand < 0 || nb.operand >= n) {
+      Reset();
+      return false;
+    }
+  }
+  if (!in.lazy_partials.empty() || !in.buffered.empty()) {
+    if (!lazy_active_) {
+      Reset();
+      return false;
+    }
+  }
+  watermark_ = in.watermark;
+  sweep_tick_ = in.sweep_tick;
+  arrival_seq_ = in.arrival_seq;
+  // Each history is rebuilt as a single flat chunk: Emit re-sorts
+  // constituents by (slot, ts, type) at materialization, so losing the
+  // original chunk boundaries cannot change any emitted composite.
+  for (const NodePartialState& ps : in.partials) {
+    Partial p;
+    p.min_begin = ps.min_begin;
+    p.max_end = ps.max_end;
+    p.last_end = ps.last_end;
+    p.tail = arena_.Extend(PartialArena::kNullRef, ps.constituents.data(),
+                           ps.constituents.size());
+    partials_by_state_[static_cast<size_t>(ps.state)].push_back(p);
+  }
+  for (const NodePartialState& ps : in.lazy_partials) {
+    LazyPartial p;
+    p.min_begin = ps.min_begin;
+    p.max_end = ps.max_end;
+    for (int32_t k = 0; k < n; ++k) {
+      p.op_begin[static_cast<size_t>(k)] = ps.op_begin[static_cast<size_t>(k)];
+      p.op_end[static_cast<size_t>(k)] = ps.op_end[static_cast<size_t>(k)];
+      p.op_arrival[static_cast<size_t>(k)] =
+          ps.op_arrival[static_cast<size_t>(k)];
+    }
+    p.tail = arena_.Extend(PartialArena::kNullRef, ps.constituents.data(),
+                           ps.constituents.size());
+    lazy_by_state_[static_cast<size_t>(ps.state)].push_back(p);
+  }
+  for (const NodePartialState& ps : in.pending) {
+    PendingMatch p;
+    p.min_begin = ps.min_begin;
+    p.max_end = ps.max_end;
+    p.tail = arena_.Extend(PartialArena::kNullRef, ps.constituents.data(),
+                           ps.constituents.size());
+    pending_.push_back(p);
+  }
+  negated_history_.assign(in.negated_history.begin(),
+                          in.negated_history.end());
+  for (const NodeBufferedEvent& nb : in.buffered) {
+    buffers_[static_cast<size_t>(nb.operand)].push_back(
+        BufferedEvent{nb.begin, nb.end, nb.arrival, nb.event});
+  }
+  return true;
+}
+
 void PatternMatcher::RelabelInto(const Event& event,
                                  const OperandBinding& binding) {
   relabeled_scratch_.clear();

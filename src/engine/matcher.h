@@ -75,6 +75,15 @@ class PatternMatcher : public NodeRuntime {
   /// kSelectivity is honored for SEQ/CONJ with 2..kMaxLazyOperands
   /// operands; DISJ and wider patterns keep the arrival path.
   void SetEvalMode(EvalOrderMode mode) override;
+  /// Lifts every live partial, pending match, negation timestamp and lazy
+  /// buffer out of the arena into `out` (DESIGN.md §14). The matcher keeps
+  /// running; exporting is read-only apart from scratch reuse.
+  void ExportState(NodeState* out) override;
+  /// Resets, then rebuilds the state captured by ExportState on a matcher
+  /// with the same operator shape. Fails (leaving the matcher empty) when
+  /// the snapshot does not fit this spec — wrong operand count, NFA state
+  /// out of range, or a different evaluation mode.
+  bool ImportState(const NodeState& in) override;
 
   /// Live partial matches (diagnostics/tests), both modes.
   size_t PartialCount() const;

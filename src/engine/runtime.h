@@ -50,6 +50,48 @@ struct NodeStats {
   uint64_t arena_slab_high_water = 0;
 };
 
+/// One partial match (or deferred pending match) lifted out of a matcher,
+/// with its constituent history materialized out of the arena. `state` is
+/// the NFA state (eager partials) or the matched-prefix length (lazy runs);
+/// the op_* arrays are only filled for lazy runs.
+struct NodePartialState {
+  int32_t state = 0;
+  Timestamp min_begin = 0;
+  Timestamp max_end = 0;
+  Timestamp last_end = 0;
+  std::vector<Constituent> constituents;
+  std::vector<Timestamp> op_begin;
+  std::vector<Timestamp> op_end;
+  std::vector<uint64_t> op_arrival;
+};
+
+/// One event parked in a lazy-mode operand buffer.
+struct NodeBufferedEvent {
+  int32_t operand = 0;
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  uint64_t arrival = 0;
+  Event event;
+};
+
+/// Complete serialized runtime state of one JQP node, used by live plan
+/// migration (DESIGN.md §14): a surviving node's state is exported from the
+/// old executor and imported into its successor in the new plan, so no
+/// in-flight partial match is lost across a hot swap. Stateless nodes
+/// (filters, DISJ pass-through with no negation) export `stateless = true`.
+struct NodeState {
+  bool stateless = true;
+  EvalOrderMode eval_mode = EvalOrderMode::kArrival;
+  Timestamp watermark = 0;
+  uint64_t sweep_tick = 0;
+  uint64_t arrival_seq = 0;
+  std::vector<NodePartialState> partials;       // Eager NFA runs.
+  std::vector<NodePartialState> lazy_partials;  // Lazy-mode runs.
+  std::vector<NodePartialState> pending;        // NEG-deferred matches.
+  std::vector<Timestamp> negated_history;       // Sorted negated-event ts.
+  std::vector<NodeBufferedEvent> buffered;      // Lazy operand buffers.
+};
+
 /// Runtime state of one JQP node. The executor drives each node with a
 /// watermark call followed by this round's input events; the node appends
 /// emissions to `out`.
@@ -97,6 +139,17 @@ class NodeRuntime {
   /// across runs; it must not be switched while the node holds state.
   /// Stateless nodes ignore it.
   virtual void SetEvalMode(EvalOrderMode mode) { (void)mode; }
+
+  /// Serializes this node's live state into `out` for migration to a
+  /// successor node in a hot-swapped plan. Default: stateless.
+  virtual void ExportState(NodeState* out) { *out = NodeState{}; }
+
+  /// Restores state previously produced by ExportState on a node with a
+  /// compatible spec (same operator shape and evaluation mode). Resets
+  /// first, so a failed import leaves the node empty, not half-migrated.
+  /// Returns false when `in` is incompatible (the migration layer then
+  /// counts the state as dropped and the node starts fresh).
+  virtual bool ImportState(const NodeState& in) { return in.stateless; }
 };
 
 /// Instantiates the runtime for `spec`.

@@ -1,0 +1,224 @@
+#ifndef MOTTO_MOTTO_CHURN_H_
+#define MOTTO_MOTTO_CHURN_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "common/time.h"
+#include "cost/cost_model.h"
+#include "engine/executor.h"
+#include "event/stream.h"
+#include "motto/catalog.h"
+#include "motto/optimizer.h"
+#include "motto/sharing_graph.h"
+#include "planner/plan_builder.h"
+#include "planner/solver.h"
+
+namespace motto {
+
+/// Online query churn (DESIGN.md §14): incremental re-optimization of a live
+/// MQO workload plus state-preserving hot swap of the running plan.
+
+/// One scripted workload change. The swap takes effect at `ts`: it is
+/// applied after every stream event with timestamp < ts and before the
+/// first event with timestamp >= ts.
+struct ChurnCommand {
+  Timestamp ts = 0;
+  bool add = true;
+  std::string name;
+  /// Filled for add commands.
+  Query query;
+};
+
+struct ChurnScript {
+  std::vector<ChurnCommand> commands;
+};
+
+/// Parses a churn script. One command per non-empty line; '#' starts a
+/// comment. Formats (timestamps in microseconds, nondecreasing):
+///
+///   <ts> add <name>: <CCL query>
+///   <ts> remove <name>
+///
+/// e.g. "120 add spike: SELECT * FROM t MATCHING [10 s : SEQ(A, B)]".
+Result<ChurnScript> ParseChurnScript(const std::string& text,
+                                     EventTypeRegistry* registry);
+Result<ChurnScript> LoadChurnScript(const std::string& path,
+                                    EventTypeRegistry* registry);
+
+/// Telemetry of one incremental re-plan (one AddQuery / RemoveQuery).
+struct ReoptimizeStats {
+  bool added = false;
+  std::string query;
+  /// Whole sharing graph after the change.
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  /// The re-solved region: every connected component containing a node the
+  /// change created or touched. Removals never re-solve (region 0).
+  size_t region_nodes = 0;
+  /// Region nodes pinned to their incumbent recipe (already-running
+  /// operators, modeled at zero marginal cost).
+  size_t pinned_nodes = 0;
+  /// Region nodes the solver actually decided.
+  size_t free_nodes = 0;
+  double solve_seconds = 0.0;
+  bool exact = true;
+  /// Validated cost-model cost of the composed full decision.
+  double plan_cost = 0.0;
+};
+
+/// Aggregate live-migration counters across the hot swaps of a churn run.
+struct MigrationStats {
+  size_t swaps = 0;
+  /// Physical plan nodes whose state survived into the next plan.
+  size_t nodes_kept = 0;
+  /// Nodes of a new plan started fresh (no predecessor with the same
+  /// physical identity).
+  size_t nodes_new = 0;
+  /// Old physical nodes with no successor (their state was discarded).
+  size_t nodes_dropped = 0;
+  /// Snapshots rejected by ImportState (counted, then fresh-started).
+  size_t imports_failed = 0;
+  size_t partials_transferred = 0;
+  size_t pending_transferred = 0;
+  size_t buffered_transferred = 0;
+};
+
+/// A live MQO workload: owns the sharing graph, the incumbent DSMT decision
+/// and the built JQP, and applies AddQuery / RemoveQuery incrementally.
+///
+/// Invariants (the migration protocol depends on them):
+///   - graph node/edge storage is append-only (ExtendSharingGraph);
+///   - nodes already selected keep their incumbent recipe forever: adds pin
+///     them during the regional re-solve, removals only deselect;
+///   - therefore every surviving jqp node reappears under the same
+///     PhysicalKeys() entry after a rebuild, which is what keys the state
+///     handoff in RunChurn.
+///
+/// Requires OptimizerMode::kMotto: the incremental rewriter re-entry is only
+/// equivalent to a from-scratch build when all techniques are enabled
+/// (restricted modes gate edge enumeration on terminal flags, which churn
+/// flips).
+class WorkloadSession {
+ public:
+  /// `registry` must outlive the session; `stats` describe the stream the
+  /// cost model plans against.
+  WorkloadSession(EventTypeRegistry* registry, StreamStats stats,
+                  OptimizerOptions options = OptimizerOptions{});
+
+  /// Full initial optimization of `queries` (equivalent to
+  /// Optimizer::Optimize under the same options).
+  Status Initialize(const std::vector<Query>& queries);
+
+  /// Adds one query: divides it, extends the sharing graph in place, and
+  /// re-solves only the affected region — the connected components
+  /// containing a new or touched node — with every already-selected node
+  /// pinned. Untouched components keep their incumbent choices verbatim.
+  Result<ReoptimizeStats> AddQuery(const Query& query);
+
+  /// Removes one query: drops its terminal obligations and deselects every
+  /// node no longer reachable from a surviving terminal through the chosen
+  /// recipes. Never re-solves, so surviving queries keep their plan shape.
+  Result<ReoptimizeStats> RemoveQuery(const std::string& name);
+
+  bool HasQuery(const std::string& name) const;
+  std::vector<std::string> QueryNames() const;
+
+  const Jqp& jqp() const { return jqp_; }
+  const SharingGraph& graph() const { return graph_; }
+  const PlanDecision& decision() const { return decision_; }
+  const PlanProvenance& provenance() const { return provenance_; }
+
+  /// Stable physical identity of every jqp node, parallel to jqp().nodes:
+  /// the sharing-node key plus the node's role and (for recipe realizations)
+  /// the recipe kind, source key and covered set. Equal keys across rebuilds
+  /// mean "the same physical operator", so its matcher state may be carried
+  /// over a plan swap.
+  std::vector<std::string> PhysicalKeys() const;
+
+ private:
+  Status RegisterChain(const std::string& user_name,
+                       const std::vector<FlatQuery>& chain);
+  /// Regional re-solve: components containing a marked node are re-decided
+  /// with already-selected nodes pinned; everything else keeps its choice.
+  Result<ReoptimizeStats> SolveTouchedRegion(const std::vector<char>& touched);
+  /// Rebuilds jqp_/provenance_ from graph_ + decision_ and re-annotates
+  /// evaluation orders.
+  Status Rebuild();
+
+  EventTypeRegistry* registry_;
+  StreamStats stats_;
+  OptimizerOptions options_;
+  CostModel cost_model_;
+  CompositeCatalog catalog_;
+  SharingGraph graph_;
+  PlanDecision decision_;
+  Jqp jqp_;
+  PlanProvenance provenance_;
+  std::vector<OrderPlan> eval_orders_;
+  bool initialized_ = false;
+  /// User query name -> its divided chain's flat-query names (inner first).
+  std::map<std::string, std::vector<std::string>> query_chains_;
+  /// Flat query name -> graph node answering it.
+  std::unordered_map<std::string, int32_t> flat_node_;
+  /// Graph node -> flat names requiring it as a terminal.
+  std::unordered_map<int32_t, std::set<std::string>> terminal_owners_;
+};
+
+struct ChurnRunOptions {
+  /// Per-epoch executor settings (eval order, metrics, tracing...).
+  ExecutorOptions executor;
+};
+
+/// A query's live window within a churn run: [first, second). `first` is
+/// kAlwaysLive for initial queries; `second` is kNeverRemoved for queries
+/// still live at end of stream.
+inline constexpr Timestamp kAlwaysLive = std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kNeverRemoved = std::numeric_limits<Timestamp>::max();
+
+struct ChurnOutcome {
+  /// Merged across all plan epochs: per-sink match multisets, raw counts,
+  /// elapsed time summed.
+  RunResult result;
+  std::vector<ReoptimizeStats> reoptimizations;
+  MigrationStats migration;
+  /// Live window per user query (see kAlwaysLive / kNeverRemoved).
+  std::map<std::string, std::pair<Timestamp, Timestamp>> windows;
+};
+
+/// Replays `stream` against the `initial` workload while applying `script`:
+/// at each command timestamp T the running plan is flushed at watermark T
+/// (emitting every match already sealed before T), its matcher state is
+/// exported, the workload is re-optimized incrementally, and a new executor
+/// picks up — surviving physical nodes import their state, new nodes start
+/// fresh with a sink-level begin horizon of T, so
+///   - surviving queries see the exact match multiset an uninterrupted run
+///     would produce,
+///   - an added query emits exactly the matches built only from events
+///     arriving at or after its add point,
+///   - a removed query emits exactly its matches sealed before its remove
+///     point, and nothing after.
+/// Requires OptimizerMode::kMotto (see WorkloadSession).
+Result<ChurnOutcome> RunChurn(const std::vector<Query>& initial,
+                              const ChurnScript& script,
+                              const EventStream& stream,
+                              EventTypeRegistry* registry,
+                              const OptimizerOptions& optimizer_options,
+                              const ChurnRunOptions& run_options =
+                                  ChurnRunOptions{});
+
+/// Maps a flat (divided) sink name back to its user query: strips the
+/// "#in<k>" suffixes DivideNested appends to inner sub-queries.
+std::string UserQueryOf(std::string_view sink_name);
+
+}  // namespace motto
+
+#endif  // MOTTO_MOTTO_CHURN_H_

@@ -114,11 +114,8 @@ Status AppendChainsUnshared(const std::vector<std::vector<FlatQuery>>& chains,
   return Status::Ok();
 }
 
-/// Per-node calibration multipliers for evaluation-order planning: each
-/// node maps to its provenance family (same classification as the
-/// calibration report in obs/explain.cc) and picks up that family's
-/// measured/predicted miss ratio from the user-supplied spec. Nodes of
-/// families not in the spec keep 1.0.
+}  // namespace
+
 std::vector<double> CalibrationMultipliers(
     const Jqp& jqp, const PlanProvenance& provenance,
     const SharingGraph& graph,
@@ -145,8 +142,6 @@ std::vector<double> CalibrationMultipliers(
   }
   return multipliers;
 }
-
-}  // namespace
 
 std::string_view OptimizerModeName(OptimizerMode mode) {
   switch (mode) {

@@ -65,6 +65,18 @@ struct OptimizeOutcome {
   std::vector<OrderPlan> eval_orders;
 };
 
+/// Per-node calibration multipliers for evaluation-order planning: each
+/// node maps to its provenance family (same classification as the
+/// calibration report in obs/explain.cc) and picks up that family's
+/// measured/predicted miss ratio from the user-supplied spec. Nodes of
+/// families not in the spec keep 1.0. Shared by the optimizer and the
+/// online-churn session (motto/churn.h), which re-annotates eval orders
+/// after every incremental re-plan.
+std::vector<double> CalibrationMultipliers(
+    const Jqp& jqp, const PlanProvenance& provenance,
+    const SharingGraph& graph,
+    const std::vector<std::pair<std::string, double>>& calibration);
+
 /// MOTTO's front door: divides (possibly nested) queries, discovers sharing,
 /// solves the DSMT instance, and materializes the jumbo query plan.
 class Optimizer {

@@ -103,6 +103,69 @@ class RewriterImpl {
     return std::move(graph_);
   }
 
+  SharingGraphExtension Extend(SharingGraph* graph,
+                               const std::vector<FlatQuery>& added) {
+    graph_ = std::move(*graph);
+    // Warm-start the composite-rate memo from the existing nodes so edge
+    // costs involving old outputs are computed from the same estimates the
+    // original build used.
+    for (const SharingNode& node : graph_.nodes) {
+      composite_rates_[node.output_type] = node.output_rate;
+      cost_->SetRate(node.output_type, node.output_rate);
+    }
+    SharingGraphExtension ext;
+    ext.first_new_node = graph_.nodes.size();
+    ext.first_new_edge = graph_.edges.size();
+    for (const FlatQuery& query : added) {
+      std::string key = SharingNodeKey(query.pattern.Canonical(),
+                                       query.window);
+      auto it = graph_.index.find(key);
+      if (it != graph_.index.end()) ext.touched_existing.push_back(it->second);
+      AddNode(query.pattern, query.window, /*terminal=*/true, query.name);
+    }
+    if (options_.enable_dst || options_.lcse_only) {
+      size_t size = graph_.nodes.size();
+      // Only pairs with a new endpoint: old-old pairs were processed when
+      // the graph was built (AddCandidate recursion keeps this invariant
+      // for Steiner nodes discovered now).
+      for (size_t a = 0; a < ext.first_new_node; ++a) {
+        for (size_t b = ext.first_new_node; b < size; ++b) {
+          pair_worklist_.emplace_back(static_cast<int32_t>(a),
+                                      static_cast<int32_t>(b));
+        }
+      }
+      for (size_t a = ext.first_new_node; a < size; ++a) {
+        for (size_t b = a + 1; b < size; ++b) {
+          pair_worklist_.emplace_back(static_cast<int32_t>(a),
+                                      static_cast<int32_t>(b));
+        }
+      }
+      while (!pair_worklist_.empty() &&
+             graph_.nodes.size() < options_.max_nodes) {
+        auto [a, b] = pair_worklist_.front();
+        pair_worklist_.pop_front();
+        ProcessPair(a, b);
+      }
+    }
+    int32_t n = static_cast<int32_t>(graph_.nodes.size());
+    int32_t first_new = static_cast<int32_t>(ext.first_new_node);
+    for (int32_t u = 0; u < n; ++u) {
+      for (int32_t v = 0; v < n; ++v) {
+        if (u == v) continue;
+        if (u < first_new && v < first_new) continue;  // Already enumerated.
+        TryEdges(u, v);
+      }
+    }
+    if (options_.probe != nullptr) {
+      obs::RewriterTelemetry& t = options_.probe->rewriter;
+      t.graph_nodes = graph_.nodes.size();
+      t.graph_edges = graph_.edges.size();
+      t.recorded = true;
+    }
+    *graph = std::move(graph_);
+    return ext;
+  }
+
  private:
   bool SameWindowRequired() const { return !options_.enable_windows; }
 
@@ -564,6 +627,16 @@ SharingGraph BuildSharingGraph(const std::vector<FlatQuery>& queries,
                                CostModel* cost_model) {
   RewriterImpl impl(options, registry, catalog, cost_model);
   return impl.Build(queries);
+}
+
+SharingGraphExtension ExtendSharingGraph(SharingGraph* graph,
+                                         const std::vector<FlatQuery>& added,
+                                         const RewriterOptions& options,
+                                         EventTypeRegistry* registry,
+                                         CompositeCatalog* catalog,
+                                         CostModel* cost_model) {
+  RewriterImpl impl(options, registry, catalog, cost_model);
+  return impl.Extend(graph, added);
 }
 
 OperatorEstimate EstimateFlatPattern(const FlatPattern& pattern,

@@ -74,6 +74,35 @@ SharingGraph BuildSharingGraph(const std::vector<FlatQuery>& queries,
                                CompositeCatalog* catalog,
                                CostModel* cost_model);
 
+/// Outcome of ExtendSharingGraph. Node and edge storage is append-only, so
+/// everything at or past the recorded marks was created by the call.
+struct SharingGraphExtension {
+  /// Nodes [first_new_node, graph.nodes.size()) are new.
+  size_t first_new_node = 0;
+  /// Edges [first_new_edge, graph.edges.size()) are new.
+  size_t first_new_edge = 0;
+  /// Pre-existing nodes an added query deduplicated onto (their terminal
+  /// flag / query_names changed; their recipe-relevant fields did not).
+  std::vector<int32_t> touched_existing;
+};
+
+/// Incremental rewriter re-entry for online churn (DESIGN.md §14): adds the
+/// `added` flat queries to an existing sharing graph in place. Existing
+/// nodes and edges are never removed or reordered — new terminals are
+/// appended, the DST sub-query search runs only over pairs involving a new
+/// node, and edge enumeration is restricted to pairs with at least one new
+/// endpoint. Under the full-MOTTO RewriterOptions this yields exactly the
+/// graph a from-scratch build over the union workload would (modulo node /
+/// edge order): old-old pairs were already enumerated when the graph was
+/// first built, and the enabled-technique gates do not depend on the
+/// terminal flags an added query may flip.
+SharingGraphExtension ExtendSharingGraph(SharingGraph* graph,
+                                         const std::vector<FlatQuery>& added,
+                                         const RewriterOptions& options,
+                                         EventTypeRegistry* registry,
+                                         CompositeCatalog* catalog,
+                                         CostModel* cost_model);
+
 /// Cost/output estimate for a flat pattern whose operands may be composite
 /// types: composite operand rates are resolved recursively through the
 /// catalog and memoized into the cost model.

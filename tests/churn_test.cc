@@ -1,0 +1,511 @@
+// Online query churn (DESIGN.md §14): churn-script parsing, the
+// WorkloadSession incremental re-optimizer (regional pinned re-solve,
+// prune-only removal, physical-key stability), matcher state
+// export/import round-trips across executor sessions (eager partials,
+// lazy buffers, negation history, pending deferred matches), and the
+// end-to-end RunChurn visibility guarantees on a hand-built case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/runtime.h"
+#include "event/stream.h"
+#include "motto/churn.h"
+#include "motto/optimizer.h"
+#include "test_util.h"
+#include "workload/io.h"
+
+namespace motto {
+namespace {
+
+using testing::Fingerprints;
+using testing::MakeStream;
+using testing::MatchSet;
+
+// ---------------------------------------------------------------------------
+// Script parsing.
+
+TEST(ChurnScriptTest, ParsesAddsRemovesAndComments) {
+  EventTypeRegistry registry;
+  auto script = ParseChurnScript(
+      "# workload churn\n"
+      "\n"
+      "100 add spike: SELECT * FROM s MATCHING [10 us : SEQ(A, B)]\n"
+      "100 add dip: SELECT * FROM s MATCHING [5 us : CONJ(A & C)]\n"
+      "250 remove spike  # retired\n",
+      &registry);
+  ASSERT_TRUE(script.ok()) << script.status();
+  ASSERT_EQ(script->commands.size(), 3u);
+  EXPECT_EQ(script->commands[0].ts, 100);
+  EXPECT_TRUE(script->commands[0].add);
+  EXPECT_EQ(script->commands[0].name, "spike");
+  EXPECT_EQ(script->commands[0].query.name, "spike");
+  EXPECT_EQ(script->commands[0].query.window, 10);
+  EXPECT_TRUE(script->commands[1].add);
+  EXPECT_EQ(script->commands[1].name, "dip");
+  EXPECT_FALSE(script->commands[2].add);
+  EXPECT_EQ(script->commands[2].ts, 250);
+  EXPECT_EQ(script->commands[2].name, "spike");
+}
+
+TEST(ChurnScriptTest, RejectsMalformedLines) {
+  EventTypeRegistry registry;
+  struct Bad {
+    const char* text;
+    const char* expect;
+  };
+  const Bad cases[] = {
+      {"abc add q: SELECT * FROM s MATCHING [1 us : SEQ(A, B)]",
+       "bad timestamp"},
+      {"100 add q SEQ(A, B)", "add needs '<name>: <query>'"},
+      {"100 add : SELECT * FROM s MATCHING [1 us : SEQ(A, B)]",
+       "add needs a query name"},
+      {"100 remove", "remove needs a query name"},
+      {"100 drop q", "unknown command 'drop'"},
+      {"100 add q: not ccl at all", ""},
+  };
+  for (const Bad& bad : cases) {
+    auto script = ParseChurnScript(bad.text, &registry);
+    ASSERT_FALSE(script.ok()) << bad.text;
+    EXPECT_NE(script.status().ToString().find("churn script line 1"),
+              std::string::npos)
+        << script.status();
+    EXPECT_NE(script.status().ToString().find(bad.expect), std::string::npos)
+        << script.status();
+  }
+}
+
+TEST(ChurnScriptTest, RejectsDecreasingTimestamps) {
+  EventTypeRegistry registry;
+  auto script = ParseChurnScript(
+      "200 add q: SELECT * FROM s MATCHING [1 us : SEQ(A, B)]\n"
+      "100 remove q\n",
+      &registry);
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(script.status().ToString().find("nondecreasing"),
+            std::string::npos)
+      << script.status();
+}
+
+TEST(ChurnScriptTest, LoadRejectsMissingFile) {
+  EventTypeRegistry registry;
+  auto script = LoadChurnScript("/nonexistent/churn.script", &registry);
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(script.status().ToString().find("cannot read churn script"),
+            std::string::npos);
+}
+
+TEST(ChurnScriptTest, UserQueryOfStripsDivisionSuffix) {
+  EXPECT_EQ(UserQueryOf("spike"), "spike");
+  EXPECT_EQ(UserQueryOf("spike#in0"), "spike");
+  EXPECT_EQ(UserQueryOf("spike#in0#in1"), "spike");
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadSession: incremental re-optimization.
+
+std::vector<Query> ParseWorkload(const std::string& text,
+                                 EventTypeRegistry* registry) {
+  auto queries = ParseWorkloadText(text, registry);
+  EXPECT_TRUE(queries.ok()) << queries.status();
+  return queries.ok() ? *queries : std::vector<Query>{};
+}
+
+/// A stream with a few events of every type the tests mention, so the cost
+/// model sees nonzero rates for each.
+EventStream SessionStream(EventTypeRegistry* registry,
+                          const std::vector<std::string>& types) {
+  std::vector<std::pair<std::string, Timestamp>> events;
+  Timestamp ts = 1;
+  for (int round = 0; round < 4; ++round) {
+    for (const std::string& type : types) {
+      events.emplace_back(type, ts);
+      ts += 3;
+    }
+  }
+  return MakeStream(registry, std::move(events));
+}
+
+OptimizerOptions MottoOptions() {
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kMotto;
+  return options;
+}
+
+TEST(WorkloadSessionTest, RequiresMottoMode) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkload(
+      "q0: SELECT * FROM s MATCHING [10 us : SEQ(A, B)]\n", &registry);
+  EventStream stream = SessionStream(&registry, {"A", "B"});
+  OptimizerOptions na;
+  na.mode = OptimizerMode::kNa;
+  WorkloadSession session(&registry, ComputeStats(stream), na);
+  Status status = session.Initialize(queries);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("mode=motto"), std::string::npos);
+}
+
+TEST(WorkloadSessionTest, AddExtendsGraphAndRemovePrunes) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkload(
+      "q0: SELECT * FROM s MATCHING [20 us : SEQ(A, B, C)]\n"
+      "q1: SELECT * FROM s MATCHING [20 us : SEQ(A, B, D)]\n",
+      &registry);
+  EventStream stream = SessionStream(&registry, {"A", "B", "C", "D"});
+  WorkloadSession session(&registry, ComputeStats(stream), MottoOptions());
+  ASSERT_TRUE(session.Initialize(queries).ok());
+  const size_t nodes_before = session.graph().nodes.size();
+  std::vector<std::string> keys_before = session.PhysicalKeys();
+
+  // Errors: double-add, unknown remove.
+  auto dup = session.AddQuery(queries[0]);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().ToString().find("already live"), std::string::npos);
+  auto missing = session.RemoveQuery("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("unknown query"),
+            std::string::npos);
+
+  // Add a sharing-friendly sibling: graph extends in place, decision stays
+  // valid, and every pre-existing physical identity survives the rebuild.
+  auto added = ParseWorkload(
+      "q2: SELECT * FROM s MATCHING [20 us : SEQ(A, B, C, D)]\n", &registry);
+  ASSERT_EQ(added.size(), 1u);
+  auto stats = session.AddQuery(added[0]);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->added);
+  EXPECT_EQ(stats->query, "q2");
+  EXPECT_GT(stats->graph_nodes, nodes_before);
+  EXPECT_GT(stats->region_nodes, 0u);
+  EXPECT_EQ(stats->pinned_nodes + stats->free_nodes, stats->region_nodes);
+  EXPECT_GT(stats->free_nodes, 0u);
+  EXPECT_GT(stats->plan_cost, 0.0);
+  EXPECT_TRUE(session.HasQuery("q2"));
+  std::vector<std::string> keys_after = session.PhysicalKeys();
+  std::set<std::string> after_set(keys_after.begin(), keys_after.end());
+  for (const std::string& key : keys_before) {
+    EXPECT_TRUE(after_set.count(key))
+        << "surviving node lost its physical identity: " << key;
+  }
+  bool q2_sink = false;
+  for (const Jqp::Sink& sink : session.jqp().sinks) {
+    if (UserQueryOf(sink.query_name) == "q2") q2_sink = true;
+  }
+  EXPECT_TRUE(q2_sink);
+
+  // Removal prunes without re-solving; the removed sink disappears and the
+  // remaining physical keys are a subset of what ran before.
+  auto removed = session.RemoveQuery("q2");
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  EXPECT_FALSE(removed->added);
+  EXPECT_EQ(removed->region_nodes, 0u);
+  EXPECT_EQ(removed->free_nodes, 0u);
+  EXPECT_FALSE(session.HasQuery("q2"));
+  for (const Jqp::Sink& sink : session.jqp().sinks) {
+    EXPECT_NE(UserQueryOf(sink.query_name), "q2");
+  }
+  std::set<std::string> final_set;
+  for (const std::string& key : session.PhysicalKeys()) {
+    final_set.insert(key);
+    EXPECT_TRUE(after_set.count(key))
+        << "removal introduced a fresh node: " << key;
+  }
+  EXPECT_EQ(session.QueryNames(),
+            (std::vector<std::string>{"q0", "q1"}));
+}
+
+TEST(WorkloadSessionTest, AddResolvesOnlyTheTouchedRegion) {
+  // 20 queries over disjoint type families: the sharing graph splits into
+  // 20 unconnected components. Adding a query that shares family 0's types
+  // must re-solve only that component, not the whole graph — this is the
+  // incrementality the online path exists for.
+  EventTypeRegistry registry;
+  std::string text;
+  std::vector<std::string> types;
+  for (int family = 0; family < 20; ++family) {
+    std::string a = "F" + std::to_string(family) + "A";
+    std::string b = "F" + std::to_string(family) + "B";
+    std::string c = "F" + std::to_string(family) + "C";
+    text += "q" + std::to_string(family) +
+            ": SELECT * FROM s MATCHING [30 us : SEQ(" + a + ", " + b + ", " +
+            c + ")]\n";
+    types.push_back(a);
+    types.push_back(b);
+    types.push_back(c);
+  }
+  auto queries = ParseWorkload(text, &registry);
+  ASSERT_EQ(queries.size(), 20u);
+  EventStream stream = SessionStream(&registry, types);
+  WorkloadSession session(&registry, ComputeStats(stream), MottoOptions());
+  ASSERT_TRUE(session.Initialize(queries).ok());
+
+  auto added = ParseWorkload(
+      "hot: SELECT * FROM s MATCHING [30 us : SEQ(F0A, F0B)]\n", &registry);
+  auto stats = session.AddQuery(added[0]);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->region_nodes, 0u);
+  EXPECT_LT(stats->region_nodes, stats->graph_nodes)
+      << "regional re-solve touched the whole graph";
+  // The untouched 19 families dominate the graph, so the region must stay
+  // well under half of it.
+  EXPECT_LT(stats->region_nodes * 2, stats->graph_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// Matcher state export/import across executor sessions.
+
+/// Feeds `stream` split at the first event with begin() >= boundary through
+/// two executors with a full state handoff in between, and returns the
+/// merged per-sink fingerprints. Expects every import to succeed.
+std::map<std::string, MatchSet> SplitRun(const Jqp& jqp,
+                                         const EventStream& stream,
+                                         Timestamp boundary,
+                                         const ExecutorOptions& options) {
+  auto split = std::partition_point(
+      stream.begin(), stream.end(),
+      [boundary](const Event& e) { return e.begin() < boundary; });
+  const size_t prefix = static_cast<size_t>(split - stream.begin());
+
+  auto first = Executor::Create(jqp);
+  EXPECT_TRUE(first.ok()) << first.status();
+  first->BeginSession(options);
+  first->FeedSession(stream.data(), prefix);
+  first->FlushSessionAt(boundary);
+  RunResult seg1 = first->SuspendSession();
+
+  auto second = Executor::Create(jqp);
+  EXPECT_TRUE(second.ok()) << second.status();
+  second->BeginSession(options);
+  size_t stateful = 0;
+  for (int32_t node = 0; node < static_cast<int32_t>(jqp.nodes.size());
+       ++node) {
+    NodeState state;
+    first->runtime(node)->ExportState(&state);
+    if (!state.stateless) ++stateful;
+    EXPECT_TRUE(second->runtime(node)->ImportState(state))
+        << "import failed for node " << node;
+  }
+  EXPECT_GT(stateful, 0u) << "boundary carried no live state; the round-trip "
+                             "test is vacuous";
+  second->FeedSession(stream.data() + prefix, stream.size() - prefix);
+  RunResult seg2 = second->FinishSession();
+
+  std::map<std::string, MatchSet> merged;
+  for (const RunResult* seg : {&seg1, &seg2}) {
+    for (const auto& [sink, events] : seg->sink_events) {
+      MatchSet set = Fingerprints(events);
+      merged[sink].insert(set.begin(), set.end());
+    }
+  }
+  return merged;
+}
+
+/// Workload exercising every state family: eager SEQ partials, CONJ, a
+/// negation root (pending deferred matches + negated-event history).
+constexpr char kStatefulWorkload[] =
+    "q0: SELECT * FROM s MATCHING [30 us : SEQ(A, B, C)]\n"
+    "q1: SELECT * FROM s MATCHING [25 us : CONJ(A & D)]\n"
+    "q2: SELECT * FROM s MATCHING [20 us : SEQ(A, B, NEG(E))]\n";
+
+EventStream StatefulStream(EventTypeRegistry* registry) {
+  std::vector<std::pair<std::string, Timestamp>> events;
+  const char* cycle[] = {"A", "B", "D", "A", "C", "E", "B", "A", "D", "C"};
+  Timestamp ts = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (const char* type : cycle) {
+      events.emplace_back(type, ts);
+      ts += (ts % 3) + 1;  // Irregular gaps, some short enough to overlap.
+    }
+  }
+  return MakeStream(registry, std::move(events));
+}
+
+void CheckSplitRunEquivalence(EvalOrderMode mode) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkload(kStatefulWorkload, &registry);
+  EventStream stream = StatefulStream(&registry);
+  Optimizer optimizer(&registry, ComputeStats(stream), MottoOptions());
+  auto outcome = optimizer.Optimize(queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  ExecutorOptions options;
+  options.eval_order = mode;
+  auto reference_exec = Executor::Create(outcome->jqp);
+  ASSERT_TRUE(reference_exec.ok()) << reference_exec.status();
+  auto reference = reference_exec->Run(stream, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Split at several boundaries, including mid-window ones where partials,
+  // buffers and pending matches straddle the handoff.
+  const Timestamp last = stream.back().begin();
+  for (Timestamp boundary :
+       {last / 4, last / 2, last / 2 + 1, (3 * last) / 4}) {
+    std::map<std::string, MatchSet> merged =
+        SplitRun(outcome->jqp, stream, boundary, options);
+    for (const auto& [sink, events] : reference->sink_events) {
+      MatchSet expect = Fingerprints(events);
+      EXPECT_EQ(merged[sink], expect)
+          << "sink " << sink << " diverged at boundary " << boundary;
+    }
+  }
+}
+
+TEST(StateMigrationTest, SplitRunEqualsUninterruptedArrival) {
+  CheckSplitRunEquivalence(EvalOrderMode::kArrival);
+}
+
+TEST(StateMigrationTest, SplitRunEqualsUninterruptedLazy) {
+  // Selectivity order runs the lazy chain: buffered operand events and lazy
+  // runs (with per-operand bound intervals) must survive the handoff too.
+  CheckSplitRunEquivalence(EvalOrderMode::kSelectivity);
+}
+
+TEST(StateMigrationTest, ImportRejectsEvalModeMismatch) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkload(kStatefulWorkload, &registry);
+  EventStream stream = StatefulStream(&registry);
+  Optimizer optimizer(&registry, ComputeStats(stream), MottoOptions());
+  auto outcome = optimizer.Optimize(queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  ExecutorOptions arrival;
+  arrival.eval_order = EvalOrderMode::kArrival;
+  auto first = Executor::Create(outcome->jqp);
+  ASSERT_TRUE(first.ok()) << first.status();
+  first->BeginSession(arrival);
+  first->FeedSession(stream.data(), stream.size() / 2);
+  first->SuspendSession();
+
+  ExecutorOptions lazy;
+  lazy.eval_order = EvalOrderMode::kSelectivity;
+  auto second = Executor::Create(outcome->jqp);
+  ASSERT_TRUE(second.ok()) << second.status();
+  second->BeginSession(lazy);
+  bool any_rejected = false;
+  for (int32_t node = 0;
+       node < static_cast<int32_t>(outcome->jqp.nodes.size()); ++node) {
+    NodeState state;
+    first->runtime(node)->ExportState(&state);
+    if (state.stateless) continue;
+    // A snapshot only fits the evaluation strategy that produced it.
+    if (!second->runtime(node)->ImportState(state)) any_rejected = true;
+  }
+  EXPECT_TRUE(any_rejected);
+  second->FinishSession();
+}
+
+TEST(StateMigrationTest, ImportRejectsMalformedState) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkload(
+      "q0: SELECT * FROM s MATCHING [30 us : SEQ(A, B, C)]\n", &registry);
+  EventStream stream = SessionStream(&registry, {"A", "B", "C"});
+  Optimizer optimizer(&registry, ComputeStats(stream), MottoOptions());
+  auto outcome = optimizer.Optimize(queries);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  auto exec = Executor::Create(outcome->jqp);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  exec->BeginSession();
+  for (int32_t node = 0;
+       node < static_cast<int32_t>(outcome->jqp.nodes.size()); ++node) {
+    NodeState bogus;
+    bogus.stateless = false;
+    bogus.partials.push_back(NodePartialState{});
+    bogus.partials.back().state = 9999;  // Out of range for any matcher.
+    NodeState probe;
+    exec->runtime(node)->ExportState(&probe);
+    if (probe.stateless) continue;  // Filters ignore snapshots entirely.
+    EXPECT_FALSE(exec->runtime(node)->ImportState(bogus))
+        << "node " << node << " accepted a corrupt snapshot";
+  }
+  exec->FinishSession();
+}
+
+// ---------------------------------------------------------------------------
+// RunChurn end-to-end visibility guarantees on a deterministic case.
+
+TEST(RunChurnTest, AddAndRemoveVisibilityWindows) {
+  EventTypeRegistry registry;
+  // One (A, B) pair every 10 us: A@t, B@t+2 for t = 10..200, so SEQ(A, B)
+  // with a 5 us window matches exactly once per pair, sealed at B's arrival.
+  std::vector<std::pair<std::string, Timestamp>> raw;
+  for (Timestamp t = 10; t <= 200; t += 10) {
+    raw.emplace_back("A", t);
+    raw.emplace_back("B", t + 2);
+  }
+  EventStream stream = MakeStream(&registry, std::move(raw));
+  auto initial = ParseWorkload(
+      "q0: SELECT * FROM s MATCHING [5 us : SEQ(A, B)]\n", &registry);
+  auto script = ParseChurnScript(
+      "100 add q1: SELECT * FROM s MATCHING [5 us : SEQ(A, B)]\n"
+      "150 remove q0\n",
+      &registry);
+  ASSERT_TRUE(script.ok()) << script.status();
+
+  auto outcome =
+      RunChurn(initial, *script, stream, &registry, MottoOptions());
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  // Live windows: q0 = [always, 150), q1 = [100, never).
+  ASSERT_EQ(outcome->windows.size(), 2u);
+  EXPECT_EQ(outcome->windows.at("q0"),
+            (std::pair<Timestamp, Timestamp>{kAlwaysLive, 150}));
+  EXPECT_EQ(outcome->windows.at("q1"),
+            (std::pair<Timestamp, Timestamp>{100, kNeverRemoved}));
+
+  // q0 sees pairs t = 10..140 (its last event before removal is B@142);
+  // q1, added at 100, sees exactly the pairs built wholly from events at or
+  // after 100: t = 100..200.
+  const auto& sinks = outcome->result.sink_events;
+  ASSERT_TRUE(sinks.count("q0"));
+  ASSERT_TRUE(sinks.count("q1"));
+  EXPECT_EQ(sinks.at("q0").size(), 14u);
+  EXPECT_EQ(sinks.at("q1").size(), 11u);
+  for (const Event& e : sinks.at("q1")) {
+    EXPECT_GE(e.begin(), 100) << "added query saw a pre-add constituent";
+  }
+  for (const Event& e : sinks.at("q0")) {
+    EXPECT_LT(e.begin(), 150) << "removed query emitted past its removal";
+  }
+
+  // Telemetry: one re-plan per command, two hot swaps, state carried over.
+  ASSERT_EQ(outcome->reoptimizations.size(), 2u);
+  EXPECT_TRUE(outcome->reoptimizations[0].added);
+  EXPECT_GT(outcome->reoptimizations[0].region_nodes, 0u);
+  EXPECT_FALSE(outcome->reoptimizations[1].added);
+  EXPECT_EQ(outcome->reoptimizations[1].region_nodes, 0u);
+  EXPECT_EQ(outcome->migration.swaps, 2u);
+  EXPECT_GT(outcome->migration.nodes_kept, 0u);
+  EXPECT_EQ(outcome->migration.imports_failed, 0u);
+  EXPECT_EQ(outcome->result.raw_events, stream.size());
+}
+
+TEST(RunChurnTest, RejectsUnknownRemoveAndNonMottoMode) {
+  EventTypeRegistry registry;
+  auto initial = ParseWorkload(
+      "q0: SELECT * FROM s MATCHING [5 us : SEQ(A, B)]\n", &registry);
+  EventStream stream = SessionStream(&registry, {"A", "B"});
+  auto script = ParseChurnScript("50 remove ghost\n", &registry);
+  ASSERT_TRUE(script.ok()) << script.status();
+  auto outcome =
+      RunChurn(initial, *script, stream, &registry, MottoOptions());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().ToString().find("unknown query"),
+            std::string::npos);
+
+  OptimizerOptions na;
+  na.mode = OptimizerMode::kNa;
+  auto bad_mode =
+      RunChurn(initial, ChurnScript{}, stream, &registry, na);
+  ASSERT_FALSE(bad_mode.ok());
+  EXPECT_NE(bad_mode.status().ToString().find("mode=motto"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the motto CLI: generates a stream and workload, then
 # exercises explain/run/compare including the observability flags
-# (--stats[=json], --trace, --metrics-out), validating exit codes and that
-# the emitted trace/metrics/report JSON is well-formed.
+# (--stats[=json], --trace, --metrics-out) and the online-churn path
+# (--churn), validating exit codes — malformed or bare flag values must be
+# usage errors naming the flag — and that the emitted trace/metrics/report
+# JSON is well-formed.
 set -u
 
 MOTTO="${1:?usage: cli_smoke_test.sh <path-to-motto-binary>}"
@@ -219,6 +221,64 @@ diff -q lazy_matches.out single_matches.out >/dev/null \
 [ $? -eq 1 ] || fail "--calibration=DST=zero should exit 1"
 "${MOTTO}" explain --workload=w.ccl --stream=s.csv \
   --calibration=unshared=1.2 >/dev/null || fail "explain --calibration"
+
+# Malformed numeric flag values and bare value-flags are usage errors whose
+# message names the offending flag (they used to be silently misparsed).
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --threads=2 --batch-size=abc \
+  >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "--batch-size=abc should exit 1"
+grep -q -- "bad --batch-size='abc'" err.txt \
+  || fail "--batch-size error should name the flag"
+"${MOTTO}" gen-stream --events=10 --seed=12x --out=bad.csv >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "--seed=12x should exit 1"
+grep -q -- "bad --seed='12x'" err.txt || fail "--seed error should name the flag"
+"${MOTTO}" gen-stream --events=10 --scenario=bogus --out=bad.csv \
+  >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "--scenario=bogus should exit 1"
+grep -q "unknown scenario 'bogus'" err.txt \
+  || fail "--scenario error should name the value"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --shards >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "bare --shards should exit 1"
+grep -q -- "--shards needs a value" err.txt \
+  || fail "bare value-flag error should name the flag"
+
+# Online churn (DESIGN.md §14): a script of timed add/remove commands
+# replayed with incremental re-plans and live state migration.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --churn=missing.script \
+  >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "missing churn script should exit 1"
+grep -q "cannot read churn script" err.txt || fail "churn script error missing"
+cat > churn.script <<'EOF'
+# mid-stream workload churn
+800000000 add spike: SELECT * FROM stream MATCHING [10000000 us : SEQ(AMZN, GOOG, FB)]
+1600000000 remove q1
+EOF
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --churn=churn.script \
+  --metrics-out=churn_metrics.json > churn.out || fail "run --churn"
+grep -q "plan swaps" churn.out || fail "churn banner missing"
+grep -q "re-plan add 'spike'" churn.out || fail "churn add re-plan missing"
+grep -q "re-plan remove 'q1'" churn.out || fail "churn remove re-plan missing"
+grep -q "migration:" churn.out || fail "churn migration counters missing"
+grep -q "live \[800000000, end)" churn.out || fail "added live window missing"
+grep -q "live \[start, 1600000000)" churn.out \
+  || fail "removed live window missing"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --churn=churn.script \
+  --eval-order=selectivity >/dev/null || fail "run --churn --eval-order"
+python3 - <<'EOF' || fail "churn metrics invalid"
+import json
+m = json.load(open("churn_metrics.json"))
+c = m["counters"]
+assert c["churn.swaps"] == 2, c
+assert c["churn.reoptimizations"] == 2, c
+assert c["churn.nodes_kept"] >= 1, c
+EOF
+# --churn composes only with the single-threaded motto engine.
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --churn=churn.script \
+  --shards=2 >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--churn with --shards should exit 1"
+"${MOTTO}" run --workload=w.ccl --stream=s.csv --churn=churn.script \
+  --mode=na >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--churn with --mode=na should exit 1"
 
 "${MOTTO}" compare --workload=w.ccl --stream=s.csv --runs=1 --reports \
   > compare.out || fail "compare --reports"

@@ -30,6 +30,9 @@
 #                      *matcher* is covered by matcher_test/MatcherStress/
 #                      ShardedStress/DifferentialTest, so it runs under both
 #                      sanitizer slices below too.
+#   ctest -L churn     online query churn alone (incremental re-optimization,
+#                      state-migration round-trips, and the fuzzed
+#                      migration-equivalence differ; DESIGN.md §14)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,7 +59,9 @@ fi
 # ShardedExecutor/ShardedStress run JQP replicas concurrently on the worker
 # pool (one mutable Executor per shard, merge on the caller thread) — the
 # data-parallel counterpart of the pipelined traffic above.
-TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress'
+# ChurnStress cross-checks every fuzzed oracle through the sharded executor,
+# so its migration cases also exercise the worker pool.
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress|ChurnStress'
 
 run_config() {
   local dir="$1" sanitize="$2" test_filter="$3"

@@ -14,6 +14,9 @@
 //                     [--calibration=FAMILY=MULT,...]
 //                     [--stats[=json]] [--calibrate[=json]]
 //                     [--trace=FILE.json] [--metrics-out=FILE.json]
+//                     [--churn=FILE.script]   (live add/remove + plan swap;
+//                      script lines: "<ts_us> add <name>: <CCL query>" or
+//                      "<ts_us> remove <name>")
 //   motto compare     --workload=FILE.ccl --stream=FILE.csv [--runs=N]
 //                     [--shards=N] [--threads=N] [--batch-size=B]
 //                     [--pipe-depth=D] [--reports]
@@ -33,10 +36,12 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parse.h"
 #include "engine/executor.h"
 #include "engine/parallel_executor.h"
 #include "engine/partition.h"
 #include "engine/sharded_executor.h"
+#include "motto/churn.h"
 #include "motto/optimizer.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
@@ -76,22 +81,58 @@ class Args {
     }
     return false;
   }
-  int64_t GetInt(const std::string& name, int64_t fallback) const {
-    std::string v = Get(name, "");
-    return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+  /// True when the flag appears with no "=value" part.
+  bool HasBare(const std::string& name) const {
+    std::string bare = "--" + name;
+    for (const std::string& arg : args_) {
+      if (arg == bare) return true;
+    }
+    return false;
   }
-  double GetDouble(const std::string& name, double fallback) const {
-    std::string v = Get(name, "");
-    return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+  /// Accessor for flags that require a value: a bare `--name` is a usage
+  /// error instead of a silent fallback.
+  Result<std::string> GetValue(const std::string& name,
+                               const std::string& fallback) const {
+    if (HasBare(name)) {
+      return InvalidArgumentError("--" + name + " needs a value (use --" +
+                                  name + "=...)");
+    }
+    return Get(name, fallback);
+  }
+  /// Checked numeric accessors: a malformed or bare value is an error naming
+  /// the flag, never a silently-wrong number (strtoll with a null endptr
+  /// turns "--seed=12x" into 12 and "--batch-size=abc" into 0).
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const {
+    MOTTO_ASSIGN_OR_RETURN(std::string v, GetValue(name, ""));
+    if (v.empty()) return fallback;
+    Result<int64_t> parsed = ParseInt64(v);
+    if (!parsed.ok()) {
+      return InvalidArgumentError("bad --" + name + "='" + v +
+                                  "': " + parsed.status().message());
+    }
+    return *parsed;
+  }
+  Result<double> GetDouble(const std::string& name, double fallback) const {
+    MOTTO_ASSIGN_OR_RETURN(std::string v, GetValue(name, ""));
+    if (v.empty()) return fallback;
+    Result<double> parsed = ParseDouble(v);
+    if (!parsed.ok()) {
+      return InvalidArgumentError("bad --" + name + "='" + v +
+                                  "': " + parsed.status().message());
+    }
+    return *parsed;
   }
 
  private:
   std::vector<std::string> args_;
 };
 
-Scenario ScenarioFrom(const std::string& name) {
-  return name == "dc" || name == "datacenter" ? Scenario::kDataCenter
-                                              : Scenario::kStockMarket;
+Result<Scenario> ScenarioFrom(const std::string& name) {
+  if (name == "stock" || name == "stock-market" || name.empty()) {
+    return Scenario::kStockMarket;
+  }
+  if (name == "dc" || name == "datacenter") return Scenario::kDataCenter;
+  return InvalidArgumentError("unknown scenario '" + name + "' (stock|dc)");
 }
 
 Result<OptimizerMode> ModeFrom(const std::string& name) {
@@ -150,7 +191,7 @@ int Fail(const Status& status) {
 /// or non-positive value is a usage error rather than a silent fallback.
 Result<int64_t> GetPositive(const Args& args, const std::string& name,
                             int64_t fallback) {
-  int64_t value = args.GetInt(name, fallback);
+  MOTTO_ASSIGN_OR_RETURN(int64_t value, args.GetInt(name, fallback));
   if (value < 1) {
     return InvalidArgumentError("--" + name + " must be a positive integer");
   }
@@ -160,9 +201,15 @@ Result<int64_t> GetPositive(const Args& args, const std::string& name,
 int GenStream(const Args& args) {
   EventTypeRegistry registry;
   StreamOptions options;
-  options.scenario = ScenarioFrom(args.Get("scenario", "stock"));
-  options.num_events = args.GetInt("events", 100000);
-  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  auto scenario = ScenarioFrom(args.Get("scenario", "stock"));
+  if (!scenario.ok()) return Fail(scenario.status());
+  options.scenario = *scenario;
+  auto events = args.GetInt("events", 100000);
+  if (!events.ok()) return Fail(events.status());
+  options.num_events = *events;
+  auto seed = args.GetInt("seed", 42);
+  if (!seed.ok()) return Fail(seed.status());
+  options.seed = static_cast<uint64_t>(*seed);
   EventStream stream = GenerateStream(options, &registry);
   std::string out = args.Get("out", "stream.csv");
   Status status = SaveStreamCsv(out, stream, registry);
@@ -176,11 +223,21 @@ int GenStream(const Args& args) {
 int GenWorkload(const Args& args) {
   EventTypeRegistry registry;
   WorkloadOptions options;
-  options.scenario = ScenarioFrom(args.Get("scenario", "stock"));
-  options.num_queries = static_cast<int>(args.GetInt("queries", 100));
-  options.basic_ratio = args.GetDouble("ratio", 100.0) / 100.0;
-  options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
-  options.nested_level = static_cast<int>(args.GetInt("nested_level", 2));
+  auto scenario = ScenarioFrom(args.Get("scenario", "stock"));
+  if (!scenario.ok()) return Fail(scenario.status());
+  options.scenario = *scenario;
+  auto queries = args.GetInt("queries", 100);
+  if (!queries.ok()) return Fail(queries.status());
+  options.num_queries = static_cast<int>(*queries);
+  auto ratio = args.GetDouble("ratio", 100.0);
+  if (!ratio.ok()) return Fail(ratio.status());
+  options.basic_ratio = *ratio / 100.0;
+  auto seed = args.GetInt("seed", 7);
+  if (!seed.ok()) return Fail(seed.status());
+  options.seed = static_cast<uint64_t>(*seed);
+  auto nested = args.GetInt("nested_level", 2);
+  if (!nested.ok()) return Fail(nested.status());
+  options.nested_level = static_cast<int>(*nested);
   auto workload = GenerateWorkload(options, &registry);
   if (!workload.ok()) return Fail(workload.status());
   std::string out = args.Get("out", "workload.ccl");
@@ -193,11 +250,12 @@ int GenWorkload(const Args& args) {
 
 Result<StreamStats> StatsFor(const Args& args, EventTypeRegistry* registry,
                              EventStream* stream_out) {
-  std::string stream_path = args.Get("stream", "");
+  MOTTO_ASSIGN_OR_RETURN(std::string stream_path, args.GetValue("stream", ""));
   if (stream_path.empty()) {
     // No stream given: synthesize one for statistics only.
     StreamOptions options;
-    options.scenario = ScenarioFrom(args.Get("scenario", "stock"));
+    MOTTO_ASSIGN_OR_RETURN(options.scenario,
+                           ScenarioFrom(args.Get("scenario", "stock")));
     options.num_events = 30000;
     EventStream stream = GenerateStream(options, registry);
     StreamStats stats = ComputeStats(stream);
@@ -297,7 +355,112 @@ int Explain(const Args& args) {
   return 0;
 }
 
+/// `motto run --churn=FILE.script`: replays the stream while applying the
+/// scripted add/remove commands — each one triggers an incremental re-plan
+/// (only the affected sharing-graph region is re-solved) and a live plan
+/// swap that migrates surviving matcher state (DESIGN.md §14).
+int ChurnWorkload(const Args& args) {
+  EventTypeRegistry registry;
+  auto workload_path = args.GetValue("workload", "workload.ccl");
+  if (!workload_path.ok()) return Fail(workload_path.status());
+  auto queries = LoadWorkloadFile(*workload_path, &registry);
+  if (!queries.ok()) return Fail(queries.status());
+  EventStream stream;
+  auto stats = StatsFor(args, &registry, &stream);
+  if (!stats.ok()) return Fail(stats.status());
+  auto mode_name = args.GetValue("mode", "motto");
+  if (!mode_name.ok()) return Fail(mode_name.status());
+  auto mode = ModeFrom(*mode_name);
+  if (!mode.ok()) return Fail(mode.status());
+  if (*mode != OptimizerMode::kMotto) {
+    return Fail(InvalidArgumentError("--churn requires --mode=motto"));
+  }
+  auto shards = GetPositive(args, "shards", 1);
+  if (!shards.ok()) return Fail(shards.status());
+  auto threads = GetPositive(args, "threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  if (*shards > 1 || *threads > 1) {
+    return Fail(InvalidArgumentError(
+        "--churn migrates state between single-threaded executor sessions; "
+        "drop --shards/--threads"));
+  }
+  auto churn_path = args.GetValue("churn", "");
+  if (!churn_path.ok()) return Fail(churn_path.status());
+  auto script = LoadChurnScript(*churn_path, &registry);
+  if (!script.ok()) return Fail(script.status());
+  auto eval_order = EvalOrderFrom(args.Get("eval-order", "arrival"));
+  if (!eval_order.ok()) return Fail(eval_order.status());
+
+  OptimizerOptions options;
+  options.mode = *mode;
+  auto calibration = CalibrationFrom(args.Get("calibration", ""));
+  if (!calibration.ok()) return Fail(calibration.status());
+  options.calibration = *calibration;
+
+  obs::MetricsRegistry metrics;
+  std::string metrics_path = args.Get("metrics-out", "");
+  ChurnRunOptions run_options;
+  run_options.executor.eval_order = *eval_order;
+  if (!metrics_path.empty()) run_options.executor.metrics = &metrics;
+
+  auto outcome =
+      RunChurn(*queries, *script, stream, &registry, options, run_options);
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  const RunResult& run = outcome->result;
+  std::printf("%llu events in %.3fs (%.0f events/s), %zu commands, "
+              "%zu plan swaps\n",
+              static_cast<unsigned long long>(run.raw_events),
+              run.elapsed_seconds, run.ThroughputEps(),
+              script->commands.size(), outcome->migration.swaps);
+  for (const ReoptimizeStats& r : outcome->reoptimizations) {
+    if (r.added) {
+      std::printf("  re-plan add '%s': re-solved %zu of %zu graph nodes "
+                  "(%zu pinned, %zu re-decided), %s, %.3fs\n",
+                  r.query.c_str(), r.region_nodes, r.graph_nodes,
+                  r.pinned_nodes, r.free_nodes,
+                  r.exact ? "exact" : "approximate", r.solve_seconds);
+    } else {
+      std::printf("  re-plan remove '%s': pruned (no re-solve), "
+                  "plan cost %.2f\n",
+                  r.query.c_str(), r.plan_cost);
+    }
+  }
+  const MigrationStats& m = outcome->migration;
+  std::printf("  migration: %zu nodes kept, %zu fresh, %zu dropped, "
+              "%zu failed imports; %zu partials + %zu pending + %zu buffered "
+              "transferred\n",
+              m.nodes_kept, m.nodes_new, m.nodes_dropped, m.imports_failed,
+              m.partials_transferred, m.pending_transferred,
+              m.buffered_transferred);
+  for (const auto& [name, window] : outcome->windows) {
+    auto it = run.sink_counts.find(name);
+    std::string live = "[";
+    live += window.first == kAlwaysLive ? "start"
+                                        : std::to_string(window.first);
+    live += ", ";
+    live += window.second == kNeverRemoved ? "end"
+                                           : std::to_string(window.second);
+    live += ")";
+    std::printf("  %-16s %llu matches, live %s\n", name.c_str(),
+                static_cast<unsigned long long>(
+                    it == run.sink_counts.end() ? 0 : it->second),
+                live.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) return Fail(InternalError("cannot open " + metrics_path));
+    out << metrics.ToJson() << "\n";
+    if (!out.flush()) {
+      return Fail(InternalError("write failed for " + metrics_path));
+    }
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 int RunWorkload(const Args& args) {
+  if (args.Has("churn")) return ChurnWorkload(args);
   EventTypeRegistry registry;
   auto queries = LoadWorkloadFile(args.Get("workload", "workload.ccl"),
                                   &registry);
@@ -437,7 +600,9 @@ int Compare(const Args& args) {
 
   ComparisonOptions options;
   options.warmup = true;
-  options.measure_runs = static_cast<int>(args.GetInt("runs", 3));
+  auto runs_arg = args.GetInt("runs", 3);
+  if (!runs_arg.ok()) return Fail(runs_arg.status());
+  options.measure_runs = static_cast<int>(*runs_arg);
   options.collect_reports = args.Has("reports");
   auto shards = GetPositive(args, "shards", 1);
   if (!shards.ok()) return Fail(shards.status());
@@ -484,14 +649,24 @@ int Compare(const Args& args) {
 /// cases across every execution path; repro mode replays one dumped case.
 int Verify(const Args& args) {
   verify::DifferOptions options;
-  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
-  options.iterations = static_cast<int>(args.GetInt("iters", 100));
-  options.threads = static_cast<int>(args.GetInt("threads", 3));
+  auto seed = args.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  options.seed = static_cast<uint64_t>(*seed);
+  auto iters = args.GetInt("iters", 100);
+  if (!iters.ok()) return Fail(iters.status());
+  options.iterations = static_cast<int>(*iters);
+  auto threads = args.GetInt("threads", 3);
+  if (!threads.ok()) return Fail(threads.status());
+  options.threads = static_cast<int>(*threads);
   auto shards = GetPositive(args, "shards", 5);
   if (!shards.ok()) return Fail(shards.status());
   options.shards = static_cast<int>(*shards);
-  options.fuzz.num_queries = static_cast<int>(args.GetInt("queries", 3));
-  options.fuzz.num_events = static_cast<int>(args.GetInt("events", 36));
+  auto fuzz_queries = args.GetInt("queries", 3);
+  if (!fuzz_queries.ok()) return Fail(fuzz_queries.status());
+  options.fuzz.num_queries = static_cast<int>(*fuzz_queries);
+  auto fuzz_events = args.GetInt("events", 36);
+  if (!fuzz_events.ok()) return Fail(fuzz_events.status());
+  options.fuzz.num_events = static_cast<int>(*fuzz_events);
   options.dump_dir = args.Get("dump", "");
 
   std::string workload_path = args.Get("workload", "");
