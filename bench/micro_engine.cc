@@ -2,6 +2,11 @@
 // per-operator matcher throughput, filter throughput, executor dispatch.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
+
+#include <unistd.h>
+
 #include <algorithm>
 
 #include "common/rng.h"
@@ -12,6 +17,9 @@
 #include "engine/sharded_executor.h"
 #include "event/stream.h"
 #include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "workload/io.h"
 
 namespace motto {
 namespace {
@@ -370,6 +378,101 @@ BENCHMARK(BM_ShardedExecutor)
     ->Args({2, 2})
     ->Args({4, 4})
     ->Args({8, 8})
+    ->UseRealTime();
+
+// --- `motto serve` ingest path (DESIGN.md §15) ---------------------------
+// Sustained OnFrame throughput through the full server core (wire frame ->
+// admission -> executor session -> checkpoint-batched release), plus the
+// p99 per-frame service latency a client observes — the tail includes the
+// checkpoint stalls on the emit path. Rows: ephemeral (no snapshots),
+// periodic release without durability, and durable snapshots on disk.
+void BM_ServeIngest(benchmark::State& state) {
+  const uint64_t interval = static_cast<uint64_t>(state.range(0));
+  const bool durable = state.range(1) != 0;
+  constexpr char kWorkload[] =
+      "q0: SELECT * FROM s MATCHING [10 s : SEQ(T0, T1)]\n"
+      "q1: SELECT * FROM s MATCHING [10 s : SEQ(T1, T2, T3)]\n"
+      "q2: SELECT * FROM s MATCHING [10 s : CONJ(T0 & T4)]\n"
+      "q3: SELECT * FROM s MATCHING [10 s : SEQ(T2, T5)]\n";
+  EventTypeRegistry registry;
+  auto queries = ParseWorkloadText(kWorkload, &registry);
+  EventStream stream = MakeStream(50000, 6, 1.0, Seconds(10), 21);
+  StreamStats stats = ComputeStats(stream);
+
+  // Pre-decode the wire bytes once; the loop measures frame application,
+  // not encoding.
+  std::vector<serve::Frame> frames;
+  {
+    serve::EncodeStreamOptions encode;
+    encode.with_end = false;
+    std::string bytes = serve::EncodeStream(stream, registry, encode);
+    serve::FrameDecoder decoder;
+    decoder.Append(bytes.data(), bytes.size());
+    serve::Frame frame;
+    while (decoder.Next(&frame) == serve::FrameDecoder::Outcome::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+
+  const std::string ckpt_dir =
+      durable ? (std::filesystem::temp_directory_path() /
+                 ("motto-bench-serve-" + std::to_string(::getpid())))
+                    .string()
+              : std::string();
+  serve::ServeOptions options;
+  options.checkpoint_dir = ckpt_dir;
+  options.checkpoint_interval = interval;
+  options.out_dir.clear();  // Count-and-discard release mode.
+
+  obs::Histogram latency(obs::Histogram::ExponentialBounds(1e-7, 2.0, 24));
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!ckpt_dir.empty()) std::filesystem::remove_all(ckpt_dir);
+    auto core = serve::ServeCore::Create(*queries, registry, stats, options);
+    if (!core.ok()) {
+      state.SkipWithError(core.status().message().c_str());
+      break;
+    }
+    state.ResumeTiming();
+    for (const serve::Frame& frame : frames) {
+      auto start = std::chrono::steady_clock::now();
+      auto applied = (*core)->OnFrame(frame);
+      latency.Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+      if (!applied.ok()) {
+        state.SkipWithError(applied.status().message().c_str());
+        break;
+      }
+    }
+    auto finished = (*core)->Finish();
+    if (!finished.ok()) {
+      state.SkipWithError(finished.status().message().c_str());
+      break;
+    }
+    matches = 0;
+    for (const auto& [sink, count] : (*core)->sink_released()) {
+      (void)sink;
+      matches += count;
+    }
+  }
+  if (!ckpt_dir.empty()) std::filesystem::remove_all(ckpt_dir);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["p99_ingest_to_emit_us"] = latency.Quantile(0.99) * 1e6;
+  if (interval > 0) {
+    state.counters["checkpoints"] = static_cast<double>(
+        (stream.size() + interval - 1) / interval);
+  }
+}
+BENCHMARK(BM_ServeIngest)
+    ->ArgNames({"interval", "durable"})
+    ->Args({0, 0})
+    ->Args({5000, 0})
+    ->Args({5000, 1})
     ->UseRealTime();
 
 }  // namespace

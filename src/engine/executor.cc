@@ -382,6 +382,22 @@ void Executor::FlushSessionAt(Timestamp watermark) {
   session_result_.elapsed_seconds += SecondsSince(start);
 }
 
+std::unordered_map<std::string, std::vector<Event>>
+Executor::DrainSessionOutput() {
+  MOTTO_CHECK(session_active_) << "DrainSessionOutput without BeginSession";
+  std::unordered_map<std::string, std::vector<Event>> drained;
+  drained.swap(session_result_.sink_events);
+  // Re-seed the empty per-sink vectors so later rounds append in place and
+  // FinishSession still reports every sink.
+  if (!session_options_.count_matches_only) {
+    for (const Jqp::Sink& sink : jqp_.sinks) {
+      session_result_.sink_events.emplace(sink.query_name,
+                                          std::vector<Event>{});
+    }
+  }
+  return drained;
+}
+
 RunResult Executor::SuspendSession() {
   MOTTO_CHECK(session_active_) << "SuspendSession without BeginSession";
   session_active_ = false;

@@ -210,6 +210,15 @@ class Executor {
   /// node stats and exports metrics — the streaming tail of RunSpan.
   RunResult FinishSession();
 
+  /// Moves the matches accumulated since BeginSession (or the previous
+  /// drain) out of the active session, keyed by sink name. Counts in the
+  /// eventual session result stay cumulative; only the retained events are
+  /// handed off. This is `motto serve`'s checkpoint outbox: matches leave
+  /// the engine in bounded batches instead of accruing for the process
+  /// lifetime, and each batch becomes durable with the snapshot that
+  /// captured it (DESIGN.md §15).
+  std::unordered_map<std::string, std::vector<Event>> DrainSessionOutput();
+
   /// Node runtime accessor for state migration (ExportState/ImportState).
   NodeRuntime* runtime(int32_t node) {
     return runtimes_[static_cast<size_t>(node)].get();

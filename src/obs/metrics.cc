@@ -73,6 +73,29 @@ void Histogram::Record(double v) {
   sum += v;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the requested quantile (1-based), then the bucket holding it.
+  double target = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    double lo = i == 0 ? min : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max;
+    double next = static_cast<double>(seen + counts[i]);
+    if (next >= target) {
+      double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+      double v = lo + (hi - lo) * within;
+      return std::min(std::max(v, min), max);
+    }
+    seen += counts[i];
+  }
+  return max;
+}
+
 std::vector<double> Histogram::ExponentialBounds(double first, double factor,
                                                  int count) {
   std::vector<double> bounds;

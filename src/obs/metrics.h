@@ -55,6 +55,12 @@ struct Histogram {
   void Record(double v);
   double Mean() const { return count > 0 ? sum / count : 0.0; }
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// owning bucket, clamped to the recorded min/max. Samples in the overflow
+  /// bucket interpolate between the last bound and the recorded max. 0 when
+  /// nothing was recorded.
+  double Quantile(double q) const;
+
   /// `count` geometric buckets: first, first*factor, ... Suits latencies
   /// (seconds) and sizes (counts) alike.
   static std::vector<double> ExponentialBounds(double first, double factor,

@@ -1,0 +1,384 @@
+#include "serve/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace motto::serve {
+
+namespace fs = std::filesystem;
+
+void PutEvent(std::string* out, const Event& event) {
+  PutI32(out, event.type());
+  PutI64(out, event.begin());
+  PutI64(out, event.end());
+  PutF64(out, event.payload().value);
+  PutI64(out, event.payload().aux);
+  PutU32(out, static_cast<uint32_t>(event.constituents().size()));
+  for (const Constituent& c : event.constituents()) {
+    PutI32(out, c.type);
+    PutI64(out, c.ts);
+    PutI32(out, c.slot);
+  }
+}
+
+Event ReadEvent(ByteReader* reader) {
+  EventTypeId type = reader->I32();
+  Timestamp begin = reader->I64();
+  Timestamp end = reader->I64();
+  Payload payload;
+  payload.value = reader->F64();
+  payload.aux = reader->I64();
+  uint32_t n = reader->U32();
+  if (n == 0) {
+    // Primitive: begin == end == ts, payload carried on the wire.
+    return Event::Primitive(type, begin, payload);
+  }
+  std::vector<Constituent> parts;
+  parts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Constituent c;
+    c.type = reader->I32();
+    c.ts = reader->I64();
+    c.slot = reader->I32();
+    parts.push_back(c);
+  }
+  // Composites are matcher products and never carry a payload.
+  return Event::Composite(type, std::move(parts), end, begin);
+}
+
+namespace {
+
+void PutPartial(std::string* out, const NodePartialState& p) {
+  PutI32(out, p.state);
+  PutI64(out, p.min_begin);
+  PutI64(out, p.max_end);
+  PutI64(out, p.last_end);
+  PutU32(out, static_cast<uint32_t>(p.constituents.size()));
+  for (const Constituent& c : p.constituents) {
+    PutI32(out, c.type);
+    PutI64(out, c.ts);
+    PutI32(out, c.slot);
+  }
+  PutU32(out, static_cast<uint32_t>(p.op_begin.size()));
+  for (Timestamp t : p.op_begin) PutI64(out, t);
+  PutU32(out, static_cast<uint32_t>(p.op_end.size()));
+  for (Timestamp t : p.op_end) PutI64(out, t);
+  PutU32(out, static_cast<uint32_t>(p.op_arrival.size()));
+  for (uint64_t a : p.op_arrival) PutU64(out, a);
+}
+
+NodePartialState ReadPartial(ByteReader* reader) {
+  NodePartialState p;
+  p.state = reader->I32();
+  p.min_begin = reader->I64();
+  p.max_end = reader->I64();
+  p.last_end = reader->I64();
+  uint32_t n = reader->U32();
+  p.constituents.reserve(n);
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    Constituent c;
+    c.type = reader->I32();
+    c.ts = reader->I64();
+    c.slot = reader->I32();
+    p.constituents.push_back(c);
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    p.op_begin.push_back(reader->I64());
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    p.op_end.push_back(reader->I64());
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    p.op_arrival.push_back(reader->U64());
+  }
+  return p;
+}
+
+}  // namespace
+
+void PutNodeState(std::string* out, const NodeState& state) {
+  PutU8(out, state.stateless ? 1 : 0);
+  PutU8(out, state.eval_mode == EvalOrderMode::kSelectivity ? 1 : 0);
+  PutI64(out, state.watermark);
+  PutU64(out, state.sweep_tick);
+  PutU64(out, state.arrival_seq);
+  PutU32(out, static_cast<uint32_t>(state.partials.size()));
+  for (const NodePartialState& p : state.partials) PutPartial(out, p);
+  PutU32(out, static_cast<uint32_t>(state.lazy_partials.size()));
+  for (const NodePartialState& p : state.lazy_partials) PutPartial(out, p);
+  PutU32(out, static_cast<uint32_t>(state.pending.size()));
+  for (const NodePartialState& p : state.pending) PutPartial(out, p);
+  PutU32(out, static_cast<uint32_t>(state.negated_history.size()));
+  for (Timestamp t : state.negated_history) PutI64(out, t);
+  PutU32(out, static_cast<uint32_t>(state.buffered.size()));
+  for (const NodeBufferedEvent& b : state.buffered) {
+    PutI32(out, b.operand);
+    PutI64(out, b.begin);
+    PutI64(out, b.end);
+    PutU64(out, b.arrival);
+    PutEvent(out, b.event);
+  }
+}
+
+NodeState ReadNodeState(ByteReader* reader) {
+  NodeState state;
+  state.stateless = reader->U8() != 0;
+  state.eval_mode = reader->U8() != 0 ? EvalOrderMode::kSelectivity
+                                      : EvalOrderMode::kArrival;
+  state.watermark = reader->I64();
+  state.sweep_tick = reader->U64();
+  state.arrival_seq = reader->U64();
+  uint32_t n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    state.partials.push_back(ReadPartial(reader));
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    state.lazy_partials.push_back(ReadPartial(reader));
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    state.pending.push_back(ReadPartial(reader));
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    state.negated_history.push_back(reader->I64());
+  }
+  n = reader->U32();
+  for (uint32_t i = 0; i < n && !reader->failed(); ++i) {
+    NodeBufferedEvent b;
+    b.operand = reader->I32();
+    b.begin = reader->I64();
+    b.end = reader->I64();
+    b.arrival = reader->U64();
+    b.event = ReadEvent(reader);
+    state.buffered.push_back(std::move(b));
+  }
+  return state;
+}
+
+std::string SerializeCheckpoint(const CheckpointState& state) {
+  std::string payload;
+  PutU64(&payload, state.seq);
+  PutU64(&payload, state.ingested);
+  PutI64(&payload, state.watermark);
+  PutU8(&payload,
+        state.eval_mode == EvalOrderMode::kSelectivity ? 1 : 0);
+  PutU32(&payload, state.connection);
+  PutU64(&payload, state.released_lines);
+  PutU32(&payload, static_cast<uint32_t>(state.sink_released.size()));
+  for (const auto& [sink, count] : state.sink_released) {
+    PutString(&payload, sink);
+    PutU64(&payload, count);
+  }
+  PutU32(&payload, static_cast<uint32_t>(state.registry.size()));
+  for (const RegistryEntry& entry : state.registry) {
+    PutString(&payload, entry.name);
+    PutU8(&payload, entry.is_primitive ? 1 : 0);
+  }
+  PutU32(&payload, static_cast<uint32_t>(state.nodes.size()));
+  for (const auto& [key, node] : state.nodes) {
+    PutString(&payload, key);
+    PutNodeState(&payload, node);
+  }
+  PutU32(&payload, static_cast<uint32_t>(state.outbox.size()));
+  for (const auto& [sink, event] : state.outbox) {
+    PutString(&payload, sink);
+    PutEvent(&payload, event);
+  }
+
+  std::string out;
+  PutU32(&out, kCheckpointMagic);
+  PutU32(&out, kCheckpointVersion);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  PutU32(&out, Crc32(payload));
+  return out;
+}
+
+Result<CheckpointState> ParseCheckpoint(std::string_view bytes) {
+  ByteReader header(bytes.data(), bytes.size());
+  uint32_t magic = header.U32();
+  uint32_t version = header.U32();
+  uint32_t payload_len = header.U32();
+  if (header.failed()) return InvalidArgumentError("truncated header");
+  if (magic != kCheckpointMagic) return InvalidArgumentError("bad magic");
+  if (version != kCheckpointVersion) {
+    return InvalidArgumentError("unsupported checkpoint version " +
+                                std::to_string(version));
+  }
+  if (bytes.size() < 12 + static_cast<size_t>(payload_len) + 4) {
+    return InvalidArgumentError("truncated payload");
+  }
+  std::string_view payload = bytes.substr(12, payload_len);
+  ByteReader crc_reader(bytes.data() + 12 + payload_len, 4);
+  if (crc_reader.U32() != Crc32(payload)) {
+    return InvalidArgumentError("payload CRC mismatch");
+  }
+
+  CheckpointState state;
+  ByteReader reader(payload.data(), payload.size());
+  state.seq = reader.U64();
+  state.ingested = reader.U64();
+  state.watermark = reader.I64();
+  state.eval_mode = reader.U8() != 0 ? EvalOrderMode::kSelectivity
+                                     : EvalOrderMode::kArrival;
+  state.connection = reader.U32();
+  state.released_lines = reader.U64();
+  uint32_t n = reader.U32();
+  for (uint32_t i = 0; i < n && !reader.failed(); ++i) {
+    std::string sink = reader.String();
+    uint64_t count = reader.U64();
+    state.sink_released.emplace_back(std::move(sink), count);
+  }
+  n = reader.U32();
+  for (uint32_t i = 0; i < n && !reader.failed(); ++i) {
+    RegistryEntry entry;
+    entry.name = reader.String();
+    entry.is_primitive = reader.U8() != 0;
+    state.registry.push_back(std::move(entry));
+  }
+  n = reader.U32();
+  for (uint32_t i = 0; i < n && !reader.failed(); ++i) {
+    std::string key = reader.String();
+    NodeState node = ReadNodeState(&reader);
+    state.nodes.emplace_back(std::move(key), std::move(node));
+  }
+  n = reader.U32();
+  for (uint32_t i = 0; i < n && !reader.failed(); ++i) {
+    std::string sink = reader.String();
+    Event event = ReadEvent(&reader);
+    state.outbox.emplace_back(std::move(sink), std::move(event));
+  }
+  if (reader.failed() || reader.remaining() > 0) {
+    return InvalidArgumentError("malformed checkpoint payload");
+  }
+  return state;
+}
+
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%016llu.mck",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+namespace {
+
+Status WriteFileDurably(const fs::path& path, std::string_view bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return InternalError("open " + path.string() + ": " +
+                         std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = InternalError("write " + path.string() + ": " +
+                                    std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = InternalError("fsync " + path.string() + ": " +
+                                  std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+void FsyncDir(const fs::path& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Checkpoint files in `dir` sorted newest-first (names embed the seq).
+std::vector<fs::path> ListCheckpoints(const std::string& dir) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".mck") == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() > b.filename().string();
+            });
+  return files;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& dir, const CheckpointState& state,
+                      int keep) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("create checkpoint dir " + dir + ": " + ec.message());
+  }
+  fs::path final_path = fs::path(dir) / CheckpointFileName(state.seq);
+  fs::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  MOTTO_RETURN_IF_ERROR(
+      WriteFileDurably(tmp_path, SerializeCheckpoint(state)));
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return InternalError("rename " + tmp_path.string() + ": " + ec.message());
+  }
+  FsyncDir(dir);
+  std::vector<fs::path> files = ListCheckpoints(dir);
+  for (size_t i = static_cast<size_t>(keep < 1 ? 1 : keep); i < files.size();
+       ++i) {
+    fs::remove(files[i], ec);
+  }
+  return Status::Ok();
+}
+
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  LoadedCheckpoint loaded;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return NotFoundError("no checkpoint directory " + dir);
+  }
+  for (const fs::path& path : ListCheckpoints(dir)) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    Result<CheckpointState> parsed = ParseCheckpoint(bytes.str());
+    if (parsed.ok()) {
+      loaded.state = std::move(parsed).value();
+      loaded.path = path.string();
+      return loaded;
+    }
+    loaded.warnings.push_back("skipping torn checkpoint " + path.string() +
+                              " (" + parsed.status().message() + ")");
+  }
+  std::string detail;
+  for (const std::string& w : loaded.warnings) detail += "; " + w;
+  return NotFoundError("no valid checkpoint in " + dir + detail);
+}
+
+}  // namespace motto::serve

@@ -1,0 +1,105 @@
+#ifndef MOTTO_SERVE_CHECKPOINT_H_
+#define MOTTO_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "engine/runtime.h"
+#include "event/event.h"
+#include "serve/wire.h"
+
+namespace motto::serve {
+
+/// Durable snapshot of a running `motto serve` session (DESIGN.md §15).
+///
+/// File layout: [u32 magic "MCKP"][u32 version][u32 payload_len]
+/// [payload][u32 crc32-of-payload]. A kill at any byte of the write leaves
+/// either no file, a torn file (short or CRC-mismatched — recovery skips it
+/// with a warning and falls back to the previous snapshot), or a complete
+/// file; the atomic temp+fsync+rename protocol below means the *named*
+/// checkpoint is only ever one of {absent, previous-complete, new-complete}
+/// unless the filesystem itself tears the rename.
+
+inline constexpr uint32_t kCheckpointMagic = 0x504B434Du;  // "MCKP" LE.
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+struct RegistryEntry {
+  std::string name;
+  bool is_primitive = true;
+};
+
+/// Everything needed to resume emission-equivalent to a never-killed run.
+struct CheckpointState {
+  /// Monotonic checkpoint number; file names embed it so the latest valid
+  /// snapshot is the lexicographically greatest parseable file.
+  uint64_t seq = 0;
+  /// Event frames ingested so far — the resume offset a client re-sends
+  /// from (`motto wire-encode --skip=N`).
+  uint64_t ingested = 0;
+  Timestamp watermark = 0;
+  EvalOrderMode eval_mode = EvalOrderMode::kArrival;
+  /// Connection index whose output file was live at snapshot time.
+  uint32_t connection = 0;
+  /// Complete output lines durably released *before* this checkpoint's
+  /// outbox. Recovery truncates the output file to exactly this many lines,
+  /// then re-appends the outbox — the output-commit discipline that makes
+  /// "pre-kill output union post-recovery output == uninterrupted output"
+  /// hold even for kills between the checkpoint rename and the release.
+  uint64_t released_lines = 0;
+  /// Per-sink released-match counts, as of before this outbox.
+  std::vector<std::pair<std::string, uint64_t>> sink_released;
+  /// Full event-type table in id order. Restore rebuilds its own registry,
+  /// verifies this is a prefix-compatible snapshot, and registers the tail
+  /// (types the optimizer of the restarted process has not re-derived).
+  std::vector<RegistryEntry> registry;
+  /// Physical plan-node key -> exported matcher state.
+  std::vector<std::pair<std::string, NodeState>> nodes;
+  /// Matches sealed since the previous checkpoint, in release order
+  /// (sink name, match event). Written to the output file only after the
+  /// snapshot is durable.
+  std::vector<std::pair<std::string, Event>> outbox;
+};
+
+// --- Event / node-state serialization (shared with tests) ---
+
+void PutEvent(std::string* out, const Event& event);
+Event ReadEvent(ByteReader* reader);
+void PutNodeState(std::string* out, const NodeState& state);
+NodeState ReadNodeState(ByteReader* reader);
+
+/// Serializes the full file image (header + payload + CRC).
+std::string SerializeCheckpoint(const CheckpointState& state);
+/// Parses a full file image; kInvalidArgument on torn/corrupt bytes.
+Result<CheckpointState> ParseCheckpoint(std::string_view bytes);
+
+// --- Durable storage ---
+
+/// File name for checkpoint `seq` ("ckpt-<seq, zero padded>.mck").
+std::string CheckpointFileName(uint64_t seq);
+
+/// Atomically writes `state` into `dir` (created if missing): serialize to
+/// `<name>.tmp`, fsync, rename over `<name>`, fsync the directory. Old
+/// snapshots beyond the newest `keep` are pruned afterwards.
+Status SaveCheckpoint(const std::string& dir, const CheckpointState& state,
+                      int keep = 2);
+
+struct LoadedCheckpoint {
+  CheckpointState state;
+  std::string path;
+  /// Torn/corrupt snapshots skipped on the way to this one.
+  std::vector<std::string> warnings;
+};
+
+/// Loads the newest parseable checkpoint in `dir`, skipping torn files with
+/// a warning. kNotFound when the directory holds no valid snapshot (fresh
+/// start); the warnings of a fully-torn directory are folded into the
+/// kNotFound message.
+Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir);
+
+}  // namespace motto::serve
+
+#endif  // MOTTO_SERVE_CHECKPOINT_H_

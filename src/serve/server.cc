@@ -1,0 +1,638 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace motto::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+void Count(obs::MetricsRegistry* metrics, const char* name, uint64_t n = 1) {
+  if (metrics != nullptr) metrics->GetCounter(name)->Add(n);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServeCore>> ServeCore::Create(
+    const std::vector<Query>& workload, const EventTypeRegistry& registry,
+    StreamStats stats, ServeOptions options) {
+  if (options.optimizer.mode != OptimizerMode::kMotto) {
+    return InvalidArgumentError(
+        "motto serve requires the motto optimizer mode (WorkloadSession)");
+  }
+  std::unique_ptr<ServeCore> core(new ServeCore());
+  core->options_ = std::move(options);
+  core->registry_ = registry;
+  core->session_.emplace(&core->registry_, std::move(stats),
+                         core->options_.optimizer);
+  MOTTO_RETURN_IF_ERROR(core->session_->Initialize(workload));
+  core->keys_ = core->session_->PhysicalKeys();
+  for (const Jqp::Sink& sink : core->session_->jqp().sinks) {
+    core->sink_names_.push_back(sink.query_name);
+    core->sink_released_.emplace(sink.query_name, 0);
+  }
+  MOTTO_ASSIGN_OR_RETURN(Executor executor,
+                         Executor::Create(core->session_->jqp()));
+  core->executor_ = std::move(executor);
+  MOTTO_RETURN_IF_ERROR(core->RecoverOrStart());
+  return core;
+}
+
+ServeCore::~ServeCore() {
+  // Nothing is buffered between releases, so tearing a core down mid-stream
+  // writes nothing — the recovery differ relies on "abandon the object" being
+  // byte-equivalent to SIGKILL at a frame boundary.
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+const Jqp& ServeCore::jqp() const { return session_->jqp(); }
+
+std::string ServeCore::OutputPath() const {
+  if (options_.out_dir.empty()) return std::string();
+  return (fs::path(options_.out_dir) /
+          ("conn" + std::to_string(connection_) + ".matches"))
+      .string();
+}
+
+Status ServeCore::RecoverOrStart() {
+  ExecutorOptions exec_options;
+  exec_options.metrics = options_.metrics;
+  exec_options.eval_order = options_.eval_order;
+  executor_->BeginSession(exec_options);
+
+  if (!options_.checkpoint_dir.empty()) {
+    Result<LoadedCheckpoint> loaded =
+        LoadLatestCheckpoint(options_.checkpoint_dir);
+    if (loaded.ok()) {
+      recovery_.warnings = loaded->warnings;
+      MOTTO_RETURN_IF_ERROR(ImportCheckpoint(loaded->state));
+      Count(options_.metrics, "serve.recoveries");
+      Count(options_.metrics, "serve.recovery_imports_failed",
+            recovery_.imports_failed);
+      return Status::Ok();
+    }
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+    if (loaded.status().message().find("skipping") != std::string::npos) {
+      // Every snapshot was torn: start fresh, but say so.
+      recovery_.warnings.push_back(loaded.status().message());
+    }
+  }
+  return RepairOutput(0, {});
+}
+
+Status ServeCore::ImportCheckpoint(const CheckpointState& ck) {
+  if (ck.eval_mode != options_.eval_order) {
+    return InvalidArgumentError(
+        "checkpoint was taken under a different --eval-order; restart with "
+        "the original mode or clear the checkpoint directory");
+  }
+  // Registry reconciliation: re-optimizing the same workload re-derives a
+  // deterministic prefix of the snapshot's table; the tail (types learned
+  // from the wire after optimization) is re-registered in id order so every
+  // serialized type id still means the same type.
+  if (ck.registry.size() < static_cast<size_t>(registry_.size())) {
+    return InvalidArgumentError(
+        "checkpoint registry is smaller than the optimized workload's; "
+        "the workload changed since the snapshot");
+  }
+  for (size_t id = 0; id < ck.registry.size(); ++id) {
+    const RegistryEntry& entry = ck.registry[id];
+    if (id < static_cast<size_t>(registry_.size())) {
+      if (entry.name != registry_.NameOf(static_cast<EventTypeId>(id))) {
+        return InvalidArgumentError(
+            "checkpoint registry diverges at type id " + std::to_string(id) +
+            " (" + entry.name + " vs " +
+            registry_.NameOf(static_cast<EventTypeId>(id)) +
+            "); the workload changed since the snapshot");
+      }
+      continue;
+    }
+    EventTypeId got = entry.is_primitive
+                          ? registry_.RegisterPrimitive(entry.name)
+                          : registry_.RegisterComposite(entry.name);
+    if (got != static_cast<EventTypeId>(id)) {
+      return InternalError("registry restore produced id " +
+                           std::to_string(got) + " for snapshot id " +
+                           std::to_string(id));
+    }
+  }
+  std::unordered_map<std::string_view, const NodeState*> by_key;
+  for (const auto& [key, state] : ck.nodes) by_key.emplace(key, &state);
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    auto it = by_key.find(keys_[i]);
+    if (it == by_key.end()) {
+      ++recovery_.nodes_fresh;
+      continue;
+    }
+    if (executor_->runtime(static_cast<int32_t>(i))
+            ->ImportState(*it->second)) {
+      ++recovery_.nodes_kept;
+    } else {
+      ++recovery_.imports_failed;
+      recovery_.warnings.push_back("state import rejected for node " +
+                                   keys_[i] + "; starting it fresh");
+    }
+  }
+  ingested_ = ck.ingested;
+  watermark_ = ck.watermark;
+  seq_ = ck.seq + 1;
+  connection_ = ck.connection;
+  released_lines_ = ck.released_lines;
+  for (const auto& [sink, count] : ck.sink_released) {
+    sink_released_[sink] = count;
+  }
+  recovery_.recovered = true;
+  recovery_.checkpoint_seq = ck.seq;
+  recovery_.ingested = ck.ingested;
+  recovery_.watermark = ck.watermark;
+  // Repair the output file to the snapshot horizon and re-apply the
+  // snapshot's outbox: idempotent whether the pre-kill process released it
+  // fully, partially (torn last line), or not at all.
+  MOTTO_RETURN_IF_ERROR(RepairOutput(ck.released_lines, ck.outbox));
+  CountReleased(ck.outbox);
+  released_lines_ += ck.outbox.size();
+  return Status::Ok();
+}
+
+namespace {
+
+void AppendMatchLine(std::string* out, const std::string& sink,
+                     const Event& event) {
+  out->append(sink);
+  out->push_back('\t');
+  out->append(std::to_string(event.begin()));
+  out->push_back('\t');
+  out->append(std::to_string(event.end()));
+  out->push_back('\t');
+  out->append(event.Fingerprint());
+  out->push_back('\n');
+}
+
+}  // namespace
+
+Status ServeCore::RepairOutput(
+    uint64_t released_lines,
+    const std::vector<std::pair<std::string, Event>>& outbox) {
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  if (options_.out_dir.empty()) return Status::Ok();  // Discard mode.
+  std::error_code ec;
+  fs::create_directories(options_.out_dir, ec);
+  if (ec) {
+    return InternalError("create out dir " + options_.out_dir + ": " +
+                         ec.message());
+  }
+  const std::string path = OutputPath();
+  std::string content;
+  {
+    // Keep exactly the first `released_lines` complete lines; a torn tail
+    // (kill mid-append) and anything past the snapshot horizon vanish here
+    // and are re-created from the snapshot's outbox.
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    uint64_t kept = 0;
+    while (kept < released_lines && std::getline(in, line)) {
+      content += line;
+      content += '\n';
+      ++kept;
+    }
+  }
+  for (const auto& [sink, event] : outbox) {
+    AppendMatchLine(&content, sink, event);
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return InternalError("open " + tmp + ": " + std::strerror(errno));
+    }
+    size_t written = 0;
+    while (written < content.size()) {
+      ssize_t n = ::write(fd, content.data() + written,
+                          content.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status =
+            InternalError("write " + tmp + ": " + std::strerror(errno));
+        ::close(fd);
+        return status;
+      }
+      written += static_cast<size_t>(n);
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return InternalError("rename " + tmp + ": " + ec.message());
+  }
+  out_ = std::fopen(path.c_str(), "ab");
+  if (out_ == nullptr) {
+    return InternalError("open " + path + " for append: " +
+                         std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status ServeCore::ReleaseOutbox(
+    const std::vector<std::pair<std::string, Event>>& outbox) {
+  if (!options_.out_dir.empty()) {
+    if (out_ == nullptr) {
+      return InternalError("output file is not open");
+    }
+    std::string lines;
+    for (const auto& [sink, event] : outbox) {
+      AppendMatchLine(&lines, sink, event);
+    }
+    if (std::fwrite(lines.data(), 1, lines.size(), out_) != lines.size()) {
+      return InternalError("append to " + OutputPath() + " failed");
+    }
+    std::fflush(out_);
+    ::fsync(fileno(out_));
+  }
+  CountReleased(outbox);
+  released_lines_ += outbox.size();
+  return Status::Ok();
+}
+
+void ServeCore::CountReleased(
+    const std::vector<std::pair<std::string, Event>>& outbox) {
+  for (const auto& [sink, event] : outbox) {
+    (void)event;
+    ++sink_released_[sink];
+  }
+  Count(options_.metrics, "serve.released_matches", outbox.size());
+}
+
+std::vector<std::pair<std::string, Event>> ServeCore::FlattenSinkEvents(
+    std::unordered_map<std::string, std::vector<Event>>* sink_events) {
+  std::vector<std::pair<std::string, Event>> outbox;
+  for (const std::string& sink : sink_names_) {
+    auto it = sink_events->find(sink);
+    if (it == sink_events->end()) continue;
+    for (Event& event : it->second) {
+      outbox.emplace_back(sink, std::move(event));
+    }
+    sink_events->erase(it);
+  }
+  return outbox;
+}
+
+std::vector<std::pair<std::string, Event>> ServeCore::DrainOutbox() {
+  std::unordered_map<std::string, std::vector<Event>> drained =
+      executor_->DrainSessionOutput();
+  return FlattenSinkEvents(&drained);
+}
+
+CheckpointState ServeCore::BuildCheckpoint(
+    std::vector<std::pair<std::string, Event>> outbox) {
+  CheckpointState ck;
+  ck.seq = seq_;
+  ck.ingested = ingested_;
+  ck.watermark = watermark_;
+  ck.eval_mode = options_.eval_order;
+  ck.connection = connection_;
+  ck.released_lines = released_lines_;
+  for (const auto& [sink, count] : sink_released_) {
+    ck.sink_released.emplace_back(sink, count);
+  }
+  for (EventTypeId id = 0; id < registry_.size(); ++id) {
+    ck.registry.push_back({registry_.NameOf(id), registry_.IsPrimitive(id)});
+  }
+  ck.nodes.reserve(keys_.size());
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    NodeState state;
+    executor_->runtime(static_cast<int32_t>(i))->ExportState(&state);
+    ck.nodes.emplace_back(keys_[i], std::move(state));
+  }
+  ck.outbox = std::move(outbox);
+  return ck;
+}
+
+Status ServeCore::SaveAndRelease(
+    std::vector<std::pair<std::string, Event>> outbox) {
+  if (!options_.checkpoint_dir.empty()) {
+    SteadyClock::time_point start = SteadyClock::now();
+    CheckpointState ck = BuildCheckpoint(outbox);
+    MOTTO_RETURN_IF_ERROR(SaveCheckpoint(options_.checkpoint_dir, ck,
+                                         options_.keep_checkpoints));
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("serve.checkpoints")->Add();
+      options_.metrics->GetGauge("serve.checkpoint_seconds")
+          ->Set(SecondsSince(start));
+    }
+  }
+  ++seq_;
+  if (fault_skip_release_once_) {
+    fault_skip_release_once_ = false;
+    return InternalError(
+        "fault injection: crashed between checkpoint rename and outbox "
+        "release");
+  }
+  return ReleaseOutbox(outbox);
+}
+
+Status ServeCore::Checkpoint() {
+  if (finished_) return Status::Ok();
+  return SaveAndRelease(DrainOutbox());
+}
+
+Status ServeCore::BeginConnection() {
+  MOTTO_RETURN_IF_ERROR(Checkpoint());
+  ++connection_;
+  released_lines_ = 0;
+  return RepairOutput(0, {});
+}
+
+Result<bool> ServeCore::OnFrame(const Frame& frame) {
+  if (finished_) {
+    return InternalError("frame received after Finish");
+  }
+  obs::MetricsRegistry* metrics = options_.metrics;
+  Count(metrics, "serve.frames");
+  switch (frame.type) {
+    case FrameType::kHello:
+      // Connection preamble; the decoder already validated magic/version.
+      break;
+    case FrameType::kRegisterType: {
+      EventTypeId id = frame.is_primitive
+                           ? registry_.RegisterPrimitive(frame.name)
+                           : registry_.RegisterComposite(frame.name);
+      wire_map_[frame.wire_type] = id;
+      break;
+    }
+    case FrameType::kEvent: {
+      auto it = wire_map_.find(frame.wire_type);
+      if (it == wire_map_.end()) {
+        Count(metrics, "serve.unknown_type_events");
+        break;
+      }
+      if (frame.ts < watermark_) {
+        // The engine requires nondecreasing timestamps; a straggler behind
+        // the watermark is counted out, not allowed to corrupt the session.
+        Count(metrics, "serve.late_events");
+        break;
+      }
+      Event event = Event::Primitive(it->second, frame.ts, frame.payload);
+      executor_->FeedSession(&event, 1);
+      ++ingested_;
+      watermark_ = frame.ts;
+      Count(metrics, "serve.ingested_events");
+      if (options_.checkpoint_interval > 0 &&
+          ingested_ % options_.checkpoint_interval == 0) {
+        MOTTO_RETURN_IF_ERROR(Checkpoint());
+      }
+      break;
+    }
+    case FrameType::kWatermark:
+      if (frame.ts > watermark_) {
+        watermark_ = frame.ts;
+        executor_->FlushSessionAt(frame.ts);
+      }
+      break;
+    case FrameType::kFlush:
+      if (watermark_ > std::numeric_limits<Timestamp>::min()) {
+        executor_->FlushSessionAt(watermark_);
+      }
+      break;
+    case FrameType::kCheckpoint:
+      MOTTO_RETURN_IF_ERROR(Checkpoint());
+      break;
+    case FrameType::kEnd:
+      return false;
+  }
+  return true;
+}
+
+Result<RunResult> ServeCore::Finish() {
+  if (finished_) return InternalError("Finish called twice");
+  RunResult result = executor_->FinishSession();
+  std::vector<std::pair<std::string, Event>> outbox =
+      FlattenSinkEvents(&result.sink_events);
+  MOTTO_RETURN_IF_ERROR(SaveAndRelease(std::move(outbox)));
+  finished_ = true;
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+  return result;
+}
+
+// --- IngestQueue ---
+
+bool IngestQueue::Push(Item item) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool sheddable =
+      shed_events_ && item.frame.type == FrameType::kEvent;
+  while (!closed_ && items_.size() >= capacity_) {
+    if (sheddable) {
+      ++shed_count_;
+      return false;
+    }
+    space_.wait(lock);
+  }
+  if (closed_) return false;
+  items_.push_back(std::move(item));
+  max_depth_ = std::max(max_depth_, items_.size());
+  ready_.notify_one();
+  return true;
+}
+
+bool IngestQueue::PopAll(std::vector<Item>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;
+  out->clear();
+  while (!items_.empty()) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  space_.notify_all();
+  return true;
+}
+
+void IngestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  ready_.notify_all();
+  space_.notify_all();
+}
+
+uint64_t IngestQueue::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_count_;
+}
+
+size_t IngestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+// --- Front-end loops ---
+
+Result<IngestLoopResult> RunIngestLoop(ServeCore* core, int fd,
+                                       const IngestOptions& options) {
+  IngestQueue queue(options.queue_capacity, options.shed);
+  std::string reader_error;  // Written before Close(), read after join.
+  std::thread reader([fd, &queue, &reader_error] {
+    FrameDecoder decoder;
+    char buf[65536];
+    bool done = false;
+    while (!done) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        reader_error = std::string("read: ") + std::strerror(errno);
+        break;
+      }
+      if (n == 0) break;  // EOF.
+      decoder.Append(buf, static_cast<size_t>(n));
+      Frame frame;
+      for (;;) {
+        FrameDecoder::Outcome outcome = decoder.Next(&frame);
+        if (outcome == FrameDecoder::Outcome::kNeedMore) break;
+        if (outcome == FrameDecoder::Outcome::kError) {
+          reader_error = decoder.error();
+          done = true;
+          break;
+        }
+        queue.Push({frame, SteadyClock::now()});
+      }
+    }
+    queue.Close();
+  });
+
+  IngestLoopResult result;
+  obs::MetricsRegistry* metrics = core->options().metrics;
+  obs::Histogram* latency =
+      metrics != nullptr
+          ? metrics->GetHistogram("serve.ingest_to_emit_seconds",
+                                  obs::LatencySecondsBounds())
+          : nullptr;
+  Status failure;
+  uint64_t samples = 0;
+  std::vector<IngestQueue::Item> batch;
+  while (queue.PopAll(&batch)) {
+    for (IngestQueue::Item& item : batch) {
+      ++result.frames;
+      // After end/failure: keep draining so a blocked reader can finish,
+      // but apply nothing further to the engine.
+      if (result.end_seen || !failure.ok()) continue;
+      Result<bool> applied = core->OnFrame(item.frame);
+      if (!applied.ok()) {
+        failure = applied.status();
+        queue.Close();
+        continue;
+      }
+      if (!*applied) {
+        result.end_seen = true;
+        queue.Close();
+        continue;
+      }
+      if (latency != nullptr && item.frame.type == FrameType::kEvent &&
+          (samples++ & 15) == 0) {
+        latency->Record(SecondsSince(item.arrival));
+      }
+    }
+  }
+  reader.join();
+  result.error = reader_error;
+  result.shed = queue.shed();
+  result.max_queue_depth = queue.max_depth();
+  if (metrics != nullptr) {
+    metrics->GetCounter("serve.shed_events")->Add(result.shed);
+    metrics->GetGauge("serve.queue_depth")
+        ->Set(static_cast<double>(result.max_queue_depth));
+  }
+  if (!failure.ok()) return failure;
+  return result;
+}
+
+Result<int> ListenTcp(int port, int* actual_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        InternalError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 8) != 0) {
+    Status status =
+        InternalError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (actual_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *actual_port = ntohs(bound.sin_port);
+    }
+  }
+  return fd;
+}
+
+Result<IngestLoopResult> ServeTcpLoop(ServeCore* core, int listen_fd,
+                                      const IngestOptions& options,
+                                      void (*banner)(uint32_t connection)) {
+  IngestLoopResult total;
+  for (;;) {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(std::string("accept: ") + std::strerror(errno));
+    }
+    if (banner != nullptr) banner(core->connection());
+    Result<IngestLoopResult> r = RunIngestLoop(core, conn, options);
+    ::close(conn);
+    if (!r.ok()) return r.status();
+    total.frames += r->frames;
+    total.shed += r->shed;
+    total.max_queue_depth = std::max(total.max_queue_depth,
+                                     r->max_queue_depth);
+    if (!r->error.empty()) total.error = r->error;
+    if (r->end_seen) {
+      total.end_seen = true;
+      return total;
+    }
+    // Client hung up without kEnd: persist what we have and rotate to a
+    // fresh per-connection sink file for the next client.
+    MOTTO_RETURN_IF_ERROR(core->BeginConnection());
+  }
+}
+
+}  // namespace motto::serve

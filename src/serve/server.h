@@ -1,0 +1,240 @@
+#ifndef MOTTO_SERVE_SERVER_H_
+#define MOTTO_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "engine/executor.h"
+#include "event/event_type.h"
+#include "event/stream.h"
+#include "motto/churn.h"
+#include "serve/checkpoint.h"
+#include "serve/wire.h"
+
+namespace motto::serve {
+
+/// `motto serve` (DESIGN.md §15): a long-running ingest server over the
+/// streaming Executor session API. ServeCore is the transport-independent
+/// state machine — frames in, durable match lines out — shared by the stdin
+/// pipe, the TCP front-end, the recovery differ (which "kills" a core by
+/// abandoning it mid-stream) and the ingest benchmark.
+///
+/// Output-commit discipline: matches accumulate inside the executor session
+/// and only reach the per-connection output file as part of a checkpoint —
+/// snapshot first (carrying the undelivered outbox), then append. Recovery
+/// truncates the output file to the snapshot's released-line count and
+/// re-appends the snapshot's outbox, so the union of pre-kill durable
+/// output and post-recovery output is exactly the uninterrupted run's match
+/// multiset: no loss, no duplication, for a kill at *any* frame boundary —
+/// including between the checkpoint rename and the release append.
+
+struct ServeOptions {
+  /// Empty disables durability: matches are still released in checkpoint-
+  /// sized batches, but no snapshot is written (bench / ephemeral mode).
+  std::string checkpoint_dir;
+  /// Checkpoint every N ingested event frames (0 = only explicit
+  /// kCheckpoint frames and the final one).
+  uint64_t checkpoint_interval = 10000;
+  /// Snapshots retained after each save.
+  int keep_checkpoints = 2;
+  /// Directory of per-connection match files ("conn<k>.matches"); empty
+  /// discards released matches after counting them (bench mode).
+  std::string out_dir;
+  EvalOrderMode eval_order = EvalOrderMode::kArrival;
+  /// Must keep OptimizerMode::kMotto (WorkloadSession requirement).
+  OptimizerOptions optimizer;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct RecoveryInfo {
+  bool recovered = false;
+  uint64_t checkpoint_seq = 0;
+  uint64_t ingested = 0;
+  Timestamp watermark = 0;
+  size_t nodes_kept = 0;
+  size_t nodes_fresh = 0;
+  size_t imports_failed = 0;
+  /// Torn snapshots skipped, registry reconciliation notes.
+  std::vector<std::string> warnings;
+};
+
+class ServeCore {
+ public:
+  /// Optimizes `workload` against `stats`, then recovers from the latest
+  /// valid checkpoint in options.checkpoint_dir (if any): node states are
+  /// imported by physical plan-node key, the output file is repaired to the
+  /// snapshot's horizon, and recovery() reports the resume offset a client
+  /// re-sends from.
+  static Result<std::unique_ptr<ServeCore>> Create(
+      const std::vector<Query>& workload, const EventTypeRegistry& registry,
+      StreamStats stats, ServeOptions options);
+
+  ~ServeCore();
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  /// Applies one frame. Returns false when the frame was kEnd (caller then
+  /// calls Finish), true otherwise. Protocol-level anomalies (unknown wire
+  /// type, late event) are counted and dropped, not errors.
+  Result<bool> OnFrame(const Frame& frame);
+
+  /// Snapshot + release now (also used by the periodic interval).
+  Status Checkpoint();
+
+  /// Graceful shutdown: final flush (all windows expire), final checkpoint,
+  /// final release. Returns the session result of this process's lifetime
+  /// (counts since the last recovery, not since stream start).
+  Result<RunResult> Finish();
+
+  /// Rotates to the next per-connection output file (TCP front-end, after
+  /// a client hangs up without kEnd): releases pending output to the old
+  /// file first, then starts "conn<k+1>.matches" fresh.
+  Status BeginConnection();
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  const ServeOptions& options() const { return options_; }
+  /// Event frames ingested across the session's whole life (survives
+  /// recovery — this is the client's resume offset).
+  uint64_t ingested() const { return ingested_; }
+  Timestamp watermark() const { return watermark_; }
+  uint64_t checkpoints_taken() const { return seq_; }
+  uint32_t connection() const { return connection_; }
+  const Jqp& jqp() const;
+  const std::map<std::string, uint64_t>& sink_released() const {
+    return sink_released_;
+  }
+  /// Path of the current connection's output file ("" in discard mode).
+  std::string OutputPath() const;
+
+  /// Test-only fault injection: the next Checkpoint() makes the snapshot
+  /// durable and then fails *before* releasing the outbox — the recovery
+  /// differ's "killed between rename and release" case.
+  void FailNextReleaseForTest() { fault_skip_release_once_ = true; }
+
+ private:
+  ServeCore() = default;
+
+  Status RecoverOrStart();
+  Status ImportCheckpoint(const CheckpointState& state);
+  /// Drains the session outbox in deterministic sink order.
+  std::vector<std::pair<std::string, Event>> DrainOutbox();
+  std::vector<std::pair<std::string, Event>> FlattenSinkEvents(
+      std::unordered_map<std::string, std::vector<Event>>* sink_events);
+  CheckpointState BuildCheckpoint(
+      std::vector<std::pair<std::string, Event>> outbox);
+  Status SaveAndRelease(std::vector<std::pair<std::string, Event>> outbox);
+  /// Rewrites the current output file to exactly `released_lines` complete
+  /// lines plus `outbox`, then reopens it for appending.
+  Status RepairOutput(uint64_t released_lines,
+                      const std::vector<std::pair<std::string, Event>>& outbox);
+  Status ReleaseOutbox(
+      const std::vector<std::pair<std::string, Event>>& outbox);
+  void CountReleased(const std::vector<std::pair<std::string, Event>>& outbox);
+
+  ServeOptions options_;
+  EventTypeRegistry registry_;
+  std::optional<WorkloadSession> session_;
+  std::optional<Executor> executor_;
+  std::vector<std::string> keys_;        ///< Physical key per jqp node.
+  std::vector<std::string> sink_names_;  ///< Jqp sink order (release order).
+  std::unordered_map<uint32_t, EventTypeId> wire_map_;
+  RecoveryInfo recovery_;
+
+  uint64_t ingested_ = 0;
+  uint64_t seq_ = 0;  ///< Next checkpoint sequence number.
+  Timestamp watermark_ = std::numeric_limits<Timestamp>::min();
+  uint32_t connection_ = 0;
+  uint64_t released_lines_ = 0;  ///< Complete lines in the current file.
+  std::map<std::string, uint64_t> sink_released_;
+  std::FILE* out_ = nullptr;
+  bool finished_ = false;
+  bool fault_skip_release_once_ = false;
+};
+
+/// Bounded handoff between the transport reader thread and the engine
+/// thread. Control frames always block when full (losing a checkpoint or
+/// end frame is never acceptable); event frames block or shed per policy.
+class IngestQueue {
+ public:
+  struct Item {
+    Frame frame;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  IngestQueue(size_t capacity, bool shed_events)
+      : capacity_(capacity == 0 ? 1 : capacity), shed_events_(shed_events) {}
+
+  /// False when the item was shed (event frames under the shed policy).
+  bool Push(Item item);
+  /// Blocks for items; moves everything buffered into `*out`. False when
+  /// the queue is closed and drained.
+  bool PopAll(std::vector<Item>* out);
+  void Close();
+
+  uint64_t shed() const;
+  size_t max_depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<Item> items_;
+  size_t capacity_;
+  bool shed_events_;
+  bool closed_ = false;
+  uint64_t shed_count_ = 0;
+  size_t max_depth_ = 0;
+};
+
+struct IngestOptions {
+  size_t queue_capacity = 4096;
+  /// Admission policy when the queue is full: false = block the transport
+  /// (backpressure), true = shed the incoming event frame and count it.
+  bool shed = false;
+};
+
+struct IngestLoopResult {
+  /// A kEnd frame arrived (caller runs Finish + clean shutdown).
+  bool end_seen = false;
+  /// Decoder/protocol failure, empty when the stream was well-formed.
+  std::string error;
+  uint64_t frames = 0;
+  uint64_t shed = 0;
+  size_t max_queue_depth = 0;
+};
+
+/// Pumps frames from `fd` (pipe or socket) through an IngestQueue into
+/// `core` until end-of-stream, kEnd, or a decode error: the transport is
+/// read on a dedicated thread; decoding and the engine run on the calling
+/// thread. Ingest-to-emit latency (queue wait + engine application) is
+/// sampled into "serve.ingest_to_emit_seconds" when `core` has metrics.
+Result<IngestLoopResult> RunIngestLoop(ServeCore* core, int fd,
+                                       const IngestOptions& options);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Returns the fd;
+/// `*actual_port` gets the bound port.
+Result<int> ListenTcp(int port, int* actual_port);
+
+/// Accepts one client at a time on `listen_fd`, running each connection
+/// through RunIngestLoop. A client hangup without kEnd checkpoints and
+/// rotates to the next connection file; kEnd ends the loop (caller
+/// finishes). `banner` (if non-null) is invoked after each accept.
+Result<IngestLoopResult> ServeTcpLoop(ServeCore* core, int listen_fd,
+                                      const IngestOptions& options,
+                                      void (*banner)(uint32_t connection));
+
+}  // namespace motto::serve
+
+#endif  // MOTTO_SERVE_SERVER_H_

@@ -1,0 +1,324 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace motto::serve {
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kRegisterType:
+      return "register-type";
+    case FrameType::kEvent:
+      return "event";
+    case FrameType::kWatermark:
+      return "watermark";
+    case FrameType::kFlush:
+      return "flush";
+    case FrameType::kCheckpoint:
+      return "checkpoint";
+    case FrameType::kEnd:
+      return "end";
+  }
+  return "unknown";
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v & 0xFF));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  out->append(v.data(), v.size());
+}
+
+bool ByteReader::Need(size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::U8() {
+  if (!Need(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::U16() {
+  if (!Need(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+int32_t ByteReader::I32() { return static_cast<int32_t>(U32()); }
+
+int64_t ByteReader::I64() { return static_cast<int64_t>(U64()); }
+
+double ByteReader::F64() {
+  uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::String() {
+  uint32_t len = U32();
+  if (!Need(len)) return std::string();
+  std::string v(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return v;
+}
+
+namespace {
+
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  const uint32_t* table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : bytes) {
+    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size() + 1));
+  size_t body_start = out->size();
+  PutU8(out, static_cast<uint8_t>(type));
+  out->append(payload.data(), payload.size());
+  uint32_t crc = Crc32(
+      std::string_view(out->data() + body_start, out->size() - body_start));
+  PutU32(out, crc);
+}
+
+void AppendHello(std::string* out) {
+  std::string payload;
+  PutU32(&payload, kWireMagic);
+  PutU16(&payload, kWireVersion);
+  AppendFrame(out, FrameType::kHello, payload);
+}
+
+void AppendRegisterType(std::string* out, uint32_t wire_type,
+                        std::string_view name, bool is_primitive) {
+  std::string payload;
+  PutU32(&payload, wire_type);
+  PutU8(&payload, is_primitive ? 1 : 0);
+  PutU16(&payload, static_cast<uint16_t>(name.size()));
+  payload.append(name.data(), name.size());
+  AppendFrame(out, FrameType::kRegisterType, payload);
+}
+
+void AppendEvent(std::string* out, uint32_t wire_type, Timestamp ts,
+                 const Payload& payload) {
+  std::string body;
+  PutU32(&body, wire_type);
+  PutI64(&body, ts);
+  PutF64(&body, payload.value);
+  PutI64(&body, payload.aux);
+  AppendFrame(out, FrameType::kEvent, body);
+}
+
+void AppendWatermark(std::string* out, Timestamp ts) {
+  std::string payload;
+  PutI64(&payload, ts);
+  AppendFrame(out, FrameType::kWatermark, payload);
+}
+
+void AppendControl(std::string* out, FrameType type) {
+  AppendFrame(out, type, std::string_view());
+}
+
+std::string EncodeStream(const EventStream& stream,
+                         const EventTypeRegistry& registry,
+                         const EncodeStreamOptions& options) {
+  std::string out;
+  AppendHello(&out);
+  for (EventTypeId id = 0; id < registry.size(); ++id) {
+    AppendRegisterType(&out, static_cast<uint32_t>(id), registry.NameOf(id),
+                       registry.IsPrimitive(id));
+  }
+  uint64_t sent = 0;
+  uint64_t index = 0;
+  for (const Event& event : stream) {
+    ++index;
+    if (index <= options.skip_events) continue;
+    if (options.limit_events > 0 && sent >= options.limit_events) break;
+    AppendEvent(&out, static_cast<uint32_t>(event.type()), event.begin(),
+                event.payload());
+    ++sent;
+    if (options.checkpoint_every > 0 && sent % options.checkpoint_every == 0) {
+      AppendControl(&out, FrameType::kCheckpoint);
+    }
+  }
+  if (options.with_end) AppendControl(&out, FrameType::kEnd);
+  return out;
+}
+
+void FrameDecoder::Append(const void* data, size_t size) {
+  // Compact the consumed prefix before it outgrows the live tail; amortized
+  // O(1) per byte, keeps the buffer at ~2x the largest in-flight frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+FrameDecoder::Outcome FrameDecoder::Fail(std::string message) {
+  failed_ = true;
+  error_ = std::move(message);
+  return Outcome::kError;
+}
+
+FrameDecoder::Outcome FrameDecoder::Next(Frame* out) {
+  if (failed_) return Outcome::kError;
+  std::string_view view(buffer_.data() + consumed_,
+                        buffer_.size() - consumed_);
+  if (view.size() < 4) return Outcome::kNeedMore;
+  ByteReader header(view.data(), 4);
+  uint32_t body_len = header.U32();
+  if (body_len == 0) return Fail("zero-length frame");
+  if (body_len > kMaxFramePayload + 1) {
+    return Fail("oversized frame: " + std::to_string(body_len) + " bytes");
+  }
+  size_t total = 4 + static_cast<size_t>(body_len) + 4;
+  if (view.size() < total) return Outcome::kNeedMore;
+  std::string_view body = view.substr(4, body_len);
+  ByteReader crc_reader(view.data() + 4 + body_len, 4);
+  uint32_t want_crc = crc_reader.U32();
+  uint32_t got_crc = Crc32(body);
+  if (want_crc != got_crc) return Fail("frame CRC mismatch");
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(body[0]));
+  ByteReader payload(body.data() + 1, body.size() - 1);
+  switch (frame.type) {
+    case FrameType::kHello:
+      frame.magic = payload.U32();
+      frame.version = payload.U16();
+      if (payload.failed()) return Fail("short hello frame");
+      if (frame.magic != kWireMagic) return Fail("bad magic");
+      if (frame.version != kWireVersion) {
+        return Fail("unsupported wire version " +
+                    std::to_string(frame.version));
+      }
+      break;
+    case FrameType::kRegisterType: {
+      frame.wire_type = payload.U32();
+      frame.is_primitive = payload.U8() != 0;
+      uint16_t name_len = payload.U16();
+      frame.name.clear();
+      for (uint16_t i = 0; i < name_len && !payload.failed(); ++i) {
+        frame.name.push_back(static_cast<char>(payload.U8()));
+      }
+      if (payload.failed()) return Fail("short register-type frame");
+      break;
+    }
+    case FrameType::kEvent:
+      frame.wire_type = payload.U32();
+      frame.ts = payload.I64();
+      frame.payload.value = payload.F64();
+      frame.payload.aux = payload.I64();
+      if (payload.failed()) return Fail("short event frame");
+      break;
+    case FrameType::kWatermark:
+      frame.ts = payload.I64();
+      if (payload.failed()) return Fail("short watermark frame");
+      break;
+    case FrameType::kFlush:
+    case FrameType::kCheckpoint:
+    case FrameType::kEnd:
+      break;
+    default:
+      return Fail("unknown frame type " +
+                  std::to_string(static_cast<int>(frame.type)));
+  }
+  if (payload.remaining() > 0) {
+    return Fail(std::string("trailing bytes in ") +
+                std::string(FrameTypeName(frame.type)) + " frame");
+  }
+  if (!saw_hello_) {
+    if (frame.type != FrameType::kHello) {
+      return Fail("first frame must be hello, got " +
+                  std::string(FrameTypeName(frame.type)));
+    }
+    saw_hello_ = true;
+  }
+  consumed_ += total;
+  *out = frame;
+  return Outcome::kFrame;
+}
+
+}  // namespace motto::serve

@@ -1,0 +1,186 @@
+#ifndef MOTTO_SERVE_WIRE_H_
+#define MOTTO_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/time.h"
+#include "event/event.h"
+#include "event/event_type.h"
+#include "event/stream.h"
+
+namespace motto::serve {
+
+/// Compact binary wire format of `motto serve` (DESIGN.md §15).
+///
+/// A connection is a sequence of frames:
+///
+///   [u32 length][u8 type][payload: length-1 bytes][u32 crc32]
+///
+/// `length` counts the type byte plus the payload; the CRC (IEEE 802.3,
+/// reflected) covers those same bytes, so a flipped bit anywhere between the
+/// length prefix and the checksum is detected. All integers are
+/// little-endian; doubles travel as their IEEE-754 bit pattern.
+///
+/// The first frame of every connection must be a hello frame carrying the
+/// magic and the format version — the decoder rejects anything else up
+/// front, so a text stream or a stale client fails on byte one instead of
+/// corrupting the session.
+
+/// Wire magic: "MOTW" read as a little-endian u32.
+inline constexpr uint32_t kWireMagic = 0x57544F4Du;
+inline constexpr uint16_t kWireVersion = 1;
+/// Frames above this payload size are rejected (a corrupt length prefix
+/// must not make the decoder buffer gigabytes).
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;
+
+enum class FrameType : uint8_t {
+  /// [u32 magic][u16 version] — mandatory first frame.
+  kHello = 1,
+  /// [u32 wire_type][u8 is_primitive][u16 name_len][name] — binds a
+  /// client-chosen dense id to an event-type name before first use.
+  kRegisterType = 2,
+  /// [u32 wire_type][i64 ts][f64 value][i64 aux] — one primitive event.
+  kEvent = 3,
+  /// [i64 ts] — advances event time and seals matches decided before `ts`.
+  kWatermark = 4,
+  /// Flush at the current watermark (emit everything already sealed).
+  kFlush = 5,
+  /// Force a checkpoint now (in addition to the periodic interval).
+  kCheckpoint = 6,
+  /// Graceful end of stream: final flush, final checkpoint, shutdown.
+  kEnd = 7,
+};
+
+std::string_view FrameTypeName(FrameType type);
+
+/// One decoded frame; only the fields of its type are meaningful.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  uint32_t magic = 0;       // kHello
+  uint16_t version = 0;     // kHello
+  uint32_t wire_type = 0;   // kRegisterType, kEvent
+  bool is_primitive = true; // kRegisterType
+  std::string name;         // kRegisterType
+  Timestamp ts = 0;         // kEvent, kWatermark
+  Payload payload;          // kEvent
+};
+
+// --- Little-endian primitives (shared with the checkpoint codec) ---
+
+void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI32(std::string* out, int32_t v);
+void PutI64(std::string* out, int64_t v);
+void PutF64(std::string* out, double v);
+void PutString(std::string* out, std::string_view v);  ///< u32 len + bytes.
+
+/// Sequential reader over a byte buffer. Reads past the end set `failed`
+/// and return zero values; callers check once at the end instead of after
+/// every field.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int32_t I32();
+  int64_t I64();
+  double F64();
+  std::string String();  ///< u32 len + bytes.
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Need(size_t n);
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/final xor 0xFFFFFFFF) over `bytes`.
+uint32_t Crc32(std::string_view bytes);
+
+// --- Encoding ---
+
+/// Appends one complete frame (length prefix + type + payload + CRC).
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+void AppendHello(std::string* out);
+void AppendRegisterType(std::string* out, uint32_t wire_type,
+                        std::string_view name, bool is_primitive);
+void AppendEvent(std::string* out, uint32_t wire_type, Timestamp ts,
+                 const Payload& payload);
+void AppendWatermark(std::string* out, Timestamp ts);
+/// For the payload-free control frames (kFlush / kCheckpoint / kEnd).
+void AppendControl(std::string* out, FrameType type);
+
+struct EncodeStreamOptions {
+  /// Event frames to omit from the front — the resume path: a client
+  /// re-sending after recovery skips everything the checkpoint already
+  /// ingested (registrations are always sent; they are idempotent).
+  uint64_t skip_events = 0;
+  /// Event frames to emit after the skip (0 = all remaining). Lets a test
+  /// or staged replay feed a stream in slices on frame boundaries.
+  uint64_t limit_events = 0;
+  /// Append a kEnd frame after the last event.
+  bool with_end = true;
+  /// Insert a kCheckpoint frame every N event frames (0 = never).
+  uint64_t checkpoint_every = 0;
+};
+
+/// Encodes a validated primitive stream as one connection: hello,
+/// registrations for every type in the registry (wire id == registry id),
+/// then the events. This is what `motto wire-encode` and the smoke test
+/// drive through the server's stdin.
+std::string EncodeStream(const EventStream& stream,
+                         const EventTypeRegistry& registry,
+                         const EncodeStreamOptions& options =
+                             EncodeStreamOptions{});
+
+// --- Decoding ---
+
+/// Incremental frame decoder: feed arbitrary byte chunks (socket reads,
+/// pipe reads), pull complete frames. The mandatory hello frame is
+/// validated here so every front-end shares the rejection behaviour.
+class FrameDecoder {
+ public:
+  enum class Outcome {
+    kFrame,     ///< `*out` holds the next frame.
+    kNeedMore,  ///< No complete frame buffered; Append more bytes.
+    kError,     ///< Stream is corrupt; `error()` says why. Terminal.
+  };
+
+  void Append(const void* data, size_t size);
+
+  /// Decodes the next buffered frame into `*out`.
+  Outcome Next(Frame* out);
+
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by complete frames.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  Outcome Fail(std::string message);
+
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool saw_hello_ = false;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace motto::serve
+
+#endif  // MOTTO_SERVE_WIRE_H_

@@ -1,0 +1,121 @@
+#ifndef MOTTO_VERIFY_RECOVERY_DIFFER_H_
+#define MOTTO_VERIFY_RECOVERY_DIFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccl/pattern.h"
+#include "common/result.h"
+#include "engine/runtime.h"
+#include "event/stream.h"
+#include "verify/differ.h"
+#include "verify/fuzzer.h"
+
+namespace motto::verify {
+
+/// Crash-recovery differential harness for `motto serve` (DESIGN.md §15).
+///
+/// Each fuzzed case builds a (workload, stream, kill-plan) triple, renders
+/// the stream as a wire-frame sequence with interleaved watermark / flush /
+/// checkpoint control frames, and checks the recovery invariant: a server
+/// killed at arbitrary frame boundaries (including mid-checkpoint and with
+/// post-kill disk damage), restarted from the latest valid snapshot and
+/// re-fed from its reported resume offset, must release exactly the match
+/// multiset of a never-killed run — which itself must equal the batch
+/// Executor and ShardedExecutor on the same plan. Additionally, everything
+/// durable before each kill must be a sub-multiset of the final output
+/// (nothing ever released gets lost or contradicted).
+
+struct RecoveryKill {
+  enum class Kind {
+    /// Abandon the server at a frame boundary (SIGKILL equivalent: the
+    /// core writes output only inside checkpoint releases, so dropping the
+    /// object loses exactly what a kill would lose).
+    kPlain,
+    /// After the kill, forge a torn higher-seq snapshot file: recovery
+    /// must skip it with a warning and use the previous valid one.
+    kTornCheckpoint,
+    /// After the kill, tear the output file's un-checkpointed tail
+    /// (a kill mid-release-append); bytes covered by the latest valid
+    /// snapshot's released-line horizon are never touched, matching what
+    /// a real crash can tear.
+    kTornOutput,
+    /// Fault injection inside the server: the checkpoint becomes durable
+    /// but the process dies before releasing its outbox — the kill window
+    /// between the snapshot rename and the output append.
+    kMidCheckpoint,
+  };
+
+  /// Kill once `ingested` reaches this many events (thresholds ascend
+  /// across the plan, so later kills can land during catch-up replay).
+  uint64_t after_events = 0;
+  Kind kind = Kind::kPlain;
+};
+
+std::string_view RecoveryKillKindName(RecoveryKill::Kind kind);
+
+struct RecoveryDifferOptions {
+  /// Root seed; case i uses seed + i (same convention as DifferOptions).
+  uint64_t seed = 1;
+  int iterations = 40;
+  FuzzOptions fuzz = {.num_event_types = 5, .num_events = 160, .max_gap = 15};
+  /// Sharded cross-check configuration.
+  int shards = 5;
+  int threads = 2;
+  /// Scratch root for checkpoint/output directories; empty uses the system
+  /// temp directory. Case subdirectories are removed after each case.
+  std::string work_dir;
+};
+
+/// Everything that parameterizes one recovery case beyond the fuzzed
+/// workload/stream pair.
+struct RecoveryCaseSpec {
+  std::vector<RecoveryKill> kills;
+  EvalOrderMode eval_order = EvalOrderMode::kArrival;
+  uint64_t checkpoint_interval = 10;
+  int shards = 5;
+  int threads = 2;
+  /// Seeds the control-frame interleaving.
+  uint64_t frame_seed = 1;
+  /// Scratch directory for this case (created/overwritten as needed).
+  std::string case_dir;
+};
+
+/// Runs one case: batch reference, sharded cross-check, uninterrupted
+/// serve run, then the killed-and-recovered run per `spec.kills`; returns
+/// the per-sink multiset mismatches (empty report = invariant held).
+Result<CaseReport> CheckRecoveryCase(const std::vector<Query>& queries,
+                                     const EventStream& stream,
+                                     EventTypeRegistry* registry,
+                                     const RecoveryCaseSpec& spec);
+
+struct RecoveryFailure {
+  uint64_t case_seed = 0;
+  std::string report;
+  /// Kill plan, eval order and interval of the failing case.
+  std::string detail;
+};
+
+struct RecoveryOutcome {
+  int iterations = 0;
+  /// Cases abandoned because the fuzzed workload's match volume blew past
+  /// the budget (combinatorial explosion); mirrors the plan differ's
+  /// oracle-budget skips.
+  int skipped = 0;
+  uint64_t kills = 0;
+  uint64_t torn_checkpoints = 0;
+  uint64_t torn_outputs = 0;
+  uint64_t mid_checkpoint_faults = 0;
+  std::vector<RecoveryFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// The fuzz loop behind `motto verify --recovery`: `iterations` cases from
+/// the root seed, alternating eval-order modes, each with a randomized
+/// checkpoint interval and a 1-2 kill plan of mixed kinds.
+Result<RecoveryOutcome> RunRecoveryDiffer(const RecoveryDifferOptions& options);
+
+}  // namespace motto::verify
+
+#endif  // MOTTO_VERIFY_RECOVERY_DIFFER_H_

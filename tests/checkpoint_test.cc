@@ -1,0 +1,373 @@
+// Durable serve checkpoints (DESIGN.md §15): NodeState / Event / full
+// CheckpointState serialization round trips, a mid-window serialized
+// matcher-state handoff that must reproduce the uninterrupted run, torn- and
+// truncated-file recovery behaviour, and checkpoint pruning.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/runtime.h"
+#include "event/stream.h"
+#include "motto/optimizer.h"
+#include "serve/checkpoint.h"
+#include "test_util.h"
+#include "workload/io.h"
+
+namespace motto {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::ByteReader;
+using serve::CheckpointState;
+using serve::LoadedCheckpoint;
+using serve::LoadLatestCheckpoint;
+using serve::ParseCheckpoint;
+using serve::PutEvent;
+using serve::PutNodeState;
+using serve::ReadEvent;
+using serve::ReadNodeState;
+using serve::SaveCheckpoint;
+using serve::SerializeCheckpoint;
+using testing::Fingerprints;
+using testing::MakeStream;
+using testing::MatchSet;
+
+/// Workload exercising every serialized state family: eager SEQ partials,
+/// CONJ, and a negation root (pending deferred matches + negated history).
+constexpr char kStatefulWorkload[] =
+    "q0: SELECT * FROM s MATCHING [30 us : SEQ(A, B, C)]\n"
+    "q1: SELECT * FROM s MATCHING [25 us : CONJ(A & D)]\n"
+    "q2: SELECT * FROM s MATCHING [20 us : SEQ(A, B, NEG(E))]\n";
+
+EventStream StatefulStream(EventTypeRegistry* registry) {
+  std::vector<std::pair<std::string, Timestamp>> events;
+  const char* cycle[] = {"A", "B", "D", "A", "C", "E", "B", "A", "D", "C"};
+  Timestamp ts = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (const char* type : cycle) {
+      events.emplace_back(type, ts);
+      ts += (ts % 3) + 1;  // Irregular gaps, some short enough to overlap.
+    }
+  }
+  return MakeStream(registry, std::move(events));
+}
+
+Result<Jqp> OptimizedPlan(const std::vector<Query>& queries,
+                          EventTypeRegistry* registry,
+                          const EventStream& stream) {
+  OptimizerOptions options;
+  options.mode = OptimizerMode::kMotto;
+  Optimizer optimizer(registry, ComputeStats(stream), options);
+  MOTTO_ASSIGN_OR_RETURN(OptimizeOutcome outcome, optimizer.Optimize(queries));
+  return std::move(outcome.jqp);
+}
+
+void ExpectPartialEq(const NodePartialState& a, const NodePartialState& b,
+                     const char* what) {
+  EXPECT_EQ(a.state, b.state) << what;
+  EXPECT_EQ(a.min_begin, b.min_begin) << what;
+  EXPECT_EQ(a.max_end, b.max_end) << what;
+  EXPECT_EQ(a.last_end, b.last_end) << what;
+  ASSERT_EQ(a.constituents.size(), b.constituents.size()) << what;
+  for (size_t i = 0; i < a.constituents.size(); ++i) {
+    EXPECT_TRUE(a.constituents[i] == b.constituents[i]) << what;
+  }
+  EXPECT_EQ(a.op_begin, b.op_begin) << what;
+  EXPECT_EQ(a.op_end, b.op_end) << what;
+  EXPECT_EQ(a.op_arrival, b.op_arrival) << what;
+}
+
+void ExpectNodeStateEq(const NodeState& a, const NodeState& b) {
+  EXPECT_EQ(a.stateless, b.stateless);
+  EXPECT_EQ(a.eval_mode, b.eval_mode);
+  EXPECT_EQ(a.watermark, b.watermark);
+  EXPECT_EQ(a.sweep_tick, b.sweep_tick);
+  EXPECT_EQ(a.arrival_seq, b.arrival_seq);
+  ASSERT_EQ(a.partials.size(), b.partials.size());
+  for (size_t i = 0; i < a.partials.size(); ++i) {
+    ExpectPartialEq(a.partials[i], b.partials[i], "partial");
+  }
+  ASSERT_EQ(a.lazy_partials.size(), b.lazy_partials.size());
+  for (size_t i = 0; i < a.lazy_partials.size(); ++i) {
+    ExpectPartialEq(a.lazy_partials[i], b.lazy_partials[i], "lazy");
+  }
+  ASSERT_EQ(a.pending.size(), b.pending.size());
+  for (size_t i = 0; i < a.pending.size(); ++i) {
+    ExpectPartialEq(a.pending[i], b.pending[i], "pending");
+  }
+  EXPECT_EQ(a.negated_history, b.negated_history);
+  ASSERT_EQ(a.buffered.size(), b.buffered.size());
+  for (size_t i = 0; i < a.buffered.size(); ++i) {
+    EXPECT_EQ(a.buffered[i].operand, b.buffered[i].operand);
+    EXPECT_EQ(a.buffered[i].begin, b.buffered[i].begin);
+    EXPECT_EQ(a.buffered[i].end, b.buffered[i].end);
+    EXPECT_EQ(a.buffered[i].arrival, b.buffered[i].arrival);
+    EXPECT_EQ(a.buffered[i].event.Fingerprint(),
+              b.buffered[i].event.Fingerprint());
+  }
+}
+
+TEST(CheckpointCodecTest, EventRoundTrips) {
+  std::string buf;
+  Payload payload;
+  payload.value = 3.25;
+  payload.aux = -9;
+  PutEvent(&buf, Event::Primitive(4, 117, payload));
+  std::vector<Constituent> parts = {{2, 100, 0}, {3, 110, 1}};
+  PutEvent(&buf, Event::Composite(7, parts, 110, 100));
+
+  ByteReader reader(buf);
+  Event primitive = ReadEvent(&reader);
+  EXPECT_EQ(primitive.type(), 4);
+  EXPECT_EQ(primitive.begin(), 117);
+  EXPECT_EQ(primitive.end(), 117);
+  EXPECT_EQ(primitive.payload().value, 3.25);
+  EXPECT_EQ(primitive.payload().aux, -9);
+  Event composite = ReadEvent(&reader);
+  EXPECT_EQ(composite.type(), 7);
+  EXPECT_EQ(composite.begin(), 100);
+  EXPECT_EQ(composite.end(), 110);
+  ASSERT_EQ(composite.constituents().size(), 2u);
+  EXPECT_TRUE(composite.constituents()[0] == parts[0]);
+  EXPECT_TRUE(composite.constituents()[1] == parts[1]);
+  EXPECT_FALSE(reader.failed());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+void CheckNodeStateRoundTrip(EvalOrderMode mode) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkloadText(kStatefulWorkload, &registry);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  ASSERT_EQ(queries->size(), 3u);
+  EventStream stream = StatefulStream(&registry);
+  auto jqp = OptimizedPlan(*queries, &registry, stream);
+  ASSERT_TRUE(jqp.ok()) << jqp.status();
+
+  auto executor = Executor::Create(*jqp);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  ExecutorOptions options;
+  options.eval_order = mode;
+  executor->BeginSession(options);
+  // Stop mid-window so partials, buffers and pending matches are in flight.
+  executor->FeedSession(stream.data(), stream.size() / 2);
+
+  size_t stateful = 0;
+  for (int32_t node = 0; node < static_cast<int32_t>(jqp->nodes.size());
+       ++node) {
+    NodeState original;
+    executor->runtime(node)->ExportState(&original);
+    if (!original.stateless) ++stateful;
+    std::string buf;
+    PutNodeState(&buf, original);
+    ByteReader reader(buf);
+    NodeState decoded = ReadNodeState(&reader);
+    EXPECT_FALSE(reader.failed()) << "node " << node;
+    EXPECT_EQ(reader.remaining(), 0u) << "node " << node;
+    ExpectNodeStateEq(original, decoded);
+  }
+  EXPECT_GT(stateful, 0u) << "mid-window export carried no live state; the "
+                             "round-trip test is vacuous";
+}
+
+TEST(CheckpointCodecTest, NodeStateRoundTripsArrival) {
+  CheckNodeStateRoundTrip(EvalOrderMode::kArrival);
+}
+
+TEST(CheckpointCodecTest, NodeStateRoundTripsSelectivity) {
+  CheckNodeStateRoundTrip(EvalOrderMode::kSelectivity);
+}
+
+/// The recovery invariant at executor level, through the full serialized
+/// checkpoint: a mid-window handoff (export -> serialize -> parse -> import
+/// into a fresh executor) must make segment-1 + segment-2 output equal the
+/// uninterrupted run, in both evaluation-order modes.
+void CheckSerializedHandoff(EvalOrderMode mode) {
+  EventTypeRegistry registry;
+  auto queries = ParseWorkloadText(kStatefulWorkload, &registry);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  EventStream stream = StatefulStream(&registry);
+  auto jqp = OptimizedPlan(*queries, &registry, stream);
+  ASSERT_TRUE(jqp.ok()) << jqp.status();
+  ExecutorOptions options;
+  options.eval_order = mode;
+
+  auto batch = Executor::Create(*jqp);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  auto batch_run = batch->Run(stream, options);
+  ASSERT_TRUE(batch_run.ok()) << batch_run.status();
+
+  auto first = Executor::Create(*jqp);
+  ASSERT_TRUE(first.ok()) << first.status();
+  first->BeginSession(options);
+  const size_t prefix = stream.size() / 2;
+  first->FeedSession(stream.data(), prefix);
+  // What serve releases at a checkpoint: output so far plus node snapshots.
+  auto seg1 = first->DrainSessionOutput();
+  CheckpointState ck;
+  for (int32_t node = 0; node < static_cast<int32_t>(jqp->nodes.size());
+       ++node) {
+    NodeState state;
+    first->runtime(node)->ExportState(&state);
+    ck.nodes.emplace_back("node" + std::to_string(node), std::move(state));
+  }
+  // The first executor is abandoned here — the SIGKILL analogue.
+
+  auto parsed = ParseCheckpoint(SerializeCheckpoint(ck));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto second = Executor::Create(*jqp);
+  ASSERT_TRUE(second.ok()) << second.status();
+  second->BeginSession(options);
+  for (int32_t node = 0; node < static_cast<int32_t>(jqp->nodes.size());
+       ++node) {
+    ASSERT_TRUE(second->runtime(node)->ImportState(
+        parsed->nodes[static_cast<size_t>(node)].second))
+        << "import failed for node " << node;
+  }
+  second->FeedSession(stream.data() + prefix, stream.size() - prefix);
+  RunResult seg2 = second->FinishSession();
+
+  for (const auto& [sink, events] : batch_run->sink_events) {
+    MatchSet expected = Fingerprints(events);
+    MatchSet merged = Fingerprints(seg1[sink]);
+    MatchSet tail = Fingerprints(seg2.sink_events[sink]);
+    merged.insert(tail.begin(), tail.end());
+    EXPECT_EQ(expected, merged) << "sink " << sink;
+  }
+}
+
+TEST(CheckpointHandoffTest, SerializedMidWindowHandoffMatchesBatchArrival) {
+  CheckSerializedHandoff(EvalOrderMode::kArrival);
+}
+
+TEST(CheckpointHandoffTest,
+     SerializedMidWindowHandoffMatchesBatchSelectivity) {
+  CheckSerializedHandoff(EvalOrderMode::kSelectivity);
+}
+
+// ---------------------------------------------------------------------------
+// Durable storage: atomicity, torn-file skipping, pruning.
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("motto-checkpoint-test-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  CheckpointState State(uint64_t seq) {
+    CheckpointState state;
+    state.seq = seq;
+    state.ingested = seq * 100;
+    state.watermark = static_cast<Timestamp>(seq * 10);
+    state.released_lines = seq;
+    state.registry.push_back({"A", true});
+    state.sink_released.emplace_back("q0", seq);
+    state.outbox.emplace_back("q0", Event::Primitive(0, 5));
+    return state;
+  }
+
+  std::string PathOf(uint64_t seq) {
+    return (fs::path(dir_) / serve::CheckpointFileName(seq)).string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointStoreTest, FullStateRoundTripsThroughDisk) {
+  CheckpointState state = State(3);
+  state.eval_mode = EvalOrderMode::kSelectivity;
+  state.connection = 2;
+  ASSERT_TRUE(SaveCheckpoint(dir_, state).ok());
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->warnings.empty());
+  EXPECT_EQ(loaded->state.seq, 3u);
+  EXPECT_EQ(loaded->state.ingested, 300u);
+  EXPECT_EQ(loaded->state.watermark, 30);
+  EXPECT_EQ(loaded->state.eval_mode, EvalOrderMode::kSelectivity);
+  EXPECT_EQ(loaded->state.connection, 2u);
+  EXPECT_EQ(loaded->state.released_lines, 3u);
+  ASSERT_EQ(loaded->state.registry.size(), 1u);
+  EXPECT_EQ(loaded->state.registry[0].name, "A");
+  ASSERT_EQ(loaded->state.outbox.size(), 1u);
+  EXPECT_EQ(loaded->state.outbox[0].first, "q0");
+}
+
+/// Regression: a torn (truncated) newest checkpoint must be skipped with a
+/// warning, falling back to the previous complete snapshot — never parsed
+/// into garbage, never fatal.
+TEST_F(CheckpointStoreTest, TruncatedLatestFallsBackWithWarning) {
+  ASSERT_TRUE(SaveCheckpoint(dir_, State(0)).ok());
+  ASSERT_TRUE(SaveCheckpoint(dir_, State(1)).ok());
+  // Tear the newest file in half — a kill mid-write that beat the rename
+  // protocol (or a filesystem that tore the rename itself).
+  std::string bytes;
+  {
+    std::ifstream in(PathOf(1), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  {
+    std::ofstream out(PathOf(1), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->state.seq, 0u);
+  ASSERT_EQ(loaded->warnings.size(), 1u);
+  EXPECT_NE(loaded->warnings[0].find("skipping torn checkpoint"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointStoreTest, AllTornReportsNotFoundWithDetails) {
+  ASSERT_TRUE(SaveCheckpoint(dir_, State(0)).ok());
+  {
+    std::ofstream out(PathOf(0), std::ios::binary | std::ios::trunc);
+    out << "MCKP";  // Right magic, hopelessly short.
+  }
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(loaded.status().message().find("skipping torn checkpoint"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointStoreTest, CorruptPayloadRejectedByCrc) {
+  CheckpointState state = State(5);
+  std::string bytes = SerializeCheckpoint(state);
+  bytes[bytes.size() / 2] ^= 0x40;  // Flip one payload bit.
+  auto parsed = ParseCheckpoint(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("CRC"), std::string::npos);
+}
+
+TEST_F(CheckpointStoreTest, PrunesBeyondKeep) {
+  for (uint64_t seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE(SaveCheckpoint(dir_, State(seq), /*keep=*/2).ok());
+  }
+  EXPECT_FALSE(fs::exists(PathOf(0)));
+  EXPECT_FALSE(fs::exists(PathOf(1)));
+  EXPECT_FALSE(fs::exists(PathOf(2)));
+  EXPECT_TRUE(fs::exists(PathOf(3)));
+  EXPECT_TRUE(fs::exists(PathOf(4)));
+  auto loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->state.seq, 4u);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery smoke test for `motto serve` (DESIGN.md §15).
+#
+# Pipes ~100k generated events into a long-running server over stdin,
+# SIGKILLs it twice mid-stream, restarts it from its durable checkpoints
+# (re-encoding the stream from each restart's reported resume offset, the
+# documented client protocol), and demands that the per-query match counts
+# in the released output equal an uninterrupted batch replay exactly.
+#
+# Usage: serve_smoke_test.sh <path-to-motto-binary>
+set -euo pipefail
+
+MOTTO=$1
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/motto-serve-smoke.XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+cd "$TMP"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+EVENTS=100000
+INTERVAL=1000
+
+"$MOTTO" gen-stream --events=$EVENTS --seed=42 --out=stream.csv >/dev/null
+"$MOTTO" gen-workload --queries=10 --seed=7 --out=workload.ccl >/dev/null
+
+# Uninterrupted batch replay: the reference per-query match counts.
+"$MOTTO" run --workload=workload.ccl --stream=stream.csv > batch.out
+awk '/ matches$/ { print $1, $2 }' batch.out | sort > batch_counts.txt
+[ -s batch_counts.txt ] || fail "no per-query counts in batch output"
+
+# Waits until the checkpoint directory has a snapshot and stops changing —
+# the server has drained everything currently in the pipe.
+wait_quiesce() {
+  local last="" now=""
+  for _ in $(seq 1 120); do
+    now=$(ls -ln ckpt 2>/dev/null; wc -c < out/conn0.matches 2>/dev/null)
+    if [ -n "$last" ] && [ "$now" = "$last" ] && ls ckpt/*.mck >/dev/null 2>&1
+    then
+      return 0
+    fi
+    last="$now"
+    sleep 1
+  done
+  fail "server never quiesced"
+}
+
+# Starts the server reading a fresh FIFO on stdin; sets SERVE_PID and opens
+# the FIFO for writing as fd 9. $1 names the log file.
+start_server() {
+  rm -f pipe; mkfifo pipe
+  "$MOTTO" serve --workload=workload.ccl --stream=stream.csv \
+    --checkpoint-dir=ckpt --checkpoint-interval=$INTERVAL --out-dir=out \
+    < pipe > "$1" 2>&1 &
+  SERVE_PID=$!
+  exec 9> pipe
+  for _ in $(seq 1 300); do
+    grep -q "serve: ready" "$1" 2>/dev/null && return 0
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$1" >&2; fail "server died at startup"; }
+    sleep 0.1
+  done
+  fail "server never became ready"
+}
+
+sigkill_server() {
+  kill -9 "$SERVE_PID"
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
+  exec 9>&-
+}
+
+# Parses "serve: recovered checkpoint seq=K ingested=N ..." from a log.
+resume_offset() {
+  sed -n 's/.*recovered checkpoint.*ingested=\([0-9]*\).*/\1/p' "$1" | head -1
+}
+
+# --- Incarnation 1: fresh start, ~60% of the stream, SIGKILL. -------------
+# The slice ends 500 events past a checkpoint boundary, so the kill loses
+# real in-flight matcher state that recovery must re-derive by replay.
+start_server run1.log
+grep -q "serve: fresh start" run1.log || fail "run1 did not start fresh"
+"$MOTTO" wire-encode --stream=stream.csv --limit=60500 --no-end \
+  --out=part1.bin >/dev/null
+cat part1.bin >&9
+wait_quiesce
+sigkill_server
+
+# --- Incarnation 2: recover, feed the rest (no end frame), SIGKILL. -------
+start_server run2.log
+grep -q "serve: recovered checkpoint" run2.log || fail "run2 did not recover"
+N1=$(resume_offset run2.log)
+[ -n "$N1" ] && [ "$N1" -gt 0 ] || fail "run2 reported no resume offset"
+[ "$N1" -le 60500 ] || fail "run2 resume offset $N1 exceeds events fed"
+# Again stop short of the stream end, off a checkpoint boundary.
+"$MOTTO" wire-encode --stream=stream.csv --skip="$N1" \
+  --limit=$((99700 - N1)) --no-end --out=part2.bin >/dev/null
+cat part2.bin >&9
+wait_quiesce
+sigkill_server
+
+# --- Incarnation 3: recover again, replay the tail, clean end frame. ------
+start_server run3.log
+grep -q "serve: recovered checkpoint" run3.log || fail "run3 did not recover"
+N2=$(resume_offset run3.log)
+[ -n "$N2" ] && [ "$N2" -ge "$N1" ] || fail "run3 resume offset went backwards"
+"$MOTTO" wire-encode --stream=stream.csv --skip="$N2" --out=part3.bin \
+  >/dev/null
+cat part3.bin >&9
+exec 9>&-
+wait "$SERVE_PID" || { cat run3.log >&2; fail "final incarnation exited non-zero"; }
+SERVE_PID=""
+grep -q "serve: end of stream" run3.log || fail "run3 never saw the end frame"
+
+# --- The recovery invariant: released output == uninterrupted batch. ------
+[ -f out/conn0.matches ] || fail "no released output file"
+awk -F'\t' '{ count[$1]++ } END { for (s in count) print s, count[s] }' \
+  out/conn0.matches | sort > serve_counts_all.txt
+# Keep only the per-query sinks (the output also carries shared inner
+# sinks, which the batch summary does not print).
+join batch_counts.txt serve_counts_all.txt | awk '$2 != $3' > diverged.txt
+if [ -s diverged.txt ]; then
+  echo "--- batch vs serve (query batch serve) ---" >&2
+  cat diverged.txt >&2
+  fail "match counts diverge after two SIGKILL/restart cycles"
+fi
+missing=$(join -v 1 batch_counts.txt serve_counts_all.txt | awk '$2 != 0')
+[ -z "$missing" ] && : || fail "queries missing from served output: $missing"
+
+echo "PASS: $EVENTS events, 2 SIGKILL/restart cycles (resumed at $N1, $N2), \
+per-query counts equal batch replay"

@@ -1,0 +1,354 @@
+// The serve wire format (DESIGN.md §15): encode/decode round-trip property
+// over fuzzed streams and chunk sizes, table-driven rejection of malformed
+// byte streams (bad magic, wrong version, short frames, CRC damage), resume
+// skipping, and the IngestQueue's backpressure/shed admission policies.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/event_type.h"
+#include "event/stream.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "test_util.h"
+
+namespace motto {
+namespace {
+
+using serve::AppendControl;
+using serve::AppendEvent;
+using serve::AppendFrame;
+using serve::AppendHello;
+using serve::AppendRegisterType;
+using serve::AppendWatermark;
+using serve::EncodeStreamOptions;
+using serve::Frame;
+using serve::FrameDecoder;
+using serve::FrameType;
+using serve::IngestQueue;
+using testing::MakeStream;
+
+/// Decodes `bytes` fed to the decoder in chunks of `chunk` bytes.
+std::vector<Frame> DecodeAll(const std::string& bytes, size_t chunk,
+                             std::string* error) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t n = std::min(chunk, bytes.size() - pos);
+    decoder.Append(bytes.data() + pos, n);
+    pos += n;
+    Frame frame;
+    for (;;) {
+      FrameDecoder::Outcome outcome = decoder.Next(&frame);
+      if (outcome == FrameDecoder::Outcome::kNeedMore) break;
+      if (outcome == FrameDecoder::Outcome::kError) {
+        if (error != nullptr) *error = decoder.error();
+        return frames;
+      }
+      frames.push_back(frame);
+    }
+  }
+  if (error != nullptr) error->clear();
+  return frames;
+}
+
+TEST(WireFormatTest, EncodedStreamRoundTripsAtEveryChunkSize) {
+  EventTypeRegistry registry;
+  EventStream stream = MakeStream(&registry, {{"A", 1},
+                                              {"B", 3},
+                                              {"A", 3},
+                                              {"C", 7},
+                                              {"B", 12}});
+  EncodeStreamOptions options;
+  options.checkpoint_every = 2;
+  std::string bytes = serve::EncodeStream(stream, registry, options);
+
+  // The decoder must be agnostic to how the transport slices the bytes:
+  // byte-at-a-time, tiny, prime-sized, and single-shot reads all agree.
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, bytes.size()}) {
+    std::string error;
+    std::vector<Frame> frames = DecodeAll(bytes, chunk, &error);
+    ASSERT_TRUE(error.empty()) << "chunk " << chunk << ": " << error;
+    // hello + 3 registrations + 5 events + 2 checkpoints + end.
+    ASSERT_EQ(frames.size(), 12u) << "chunk " << chunk;
+    EXPECT_EQ(frames[0].type, FrameType::kHello);
+    EXPECT_EQ(frames[0].magic, serve::kWireMagic);
+    EXPECT_EQ(frames[0].version, serve::kWireVersion);
+    size_t events = 0, checkpoints = 0, registers = 0;
+    std::vector<Timestamp> ts;
+    for (const Frame& f : frames) {
+      if (f.type == FrameType::kEvent) {
+        ++events;
+        ts.push_back(f.ts);
+      }
+      if (f.type == FrameType::kCheckpoint) ++checkpoints;
+      if (f.type == FrameType::kRegisterType) ++registers;
+    }
+    EXPECT_EQ(events, 5u);
+    EXPECT_EQ(checkpoints, 2u);
+    EXPECT_EQ(registers, 3u);
+    EXPECT_EQ(ts, (std::vector<Timestamp>{1, 3, 3, 7, 12}));
+    EXPECT_EQ(frames.back().type, FrameType::kEnd);
+  }
+}
+
+TEST(WireFormatTest, FuzzedFramesRoundTripExactly) {
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string bytes;
+    AppendHello(&bytes);
+    std::vector<Frame> sent;
+    int n = static_cast<int>(rng.Uniform(1, 12));
+    Timestamp ts = 0;
+    for (int i = 0; i < n; ++i) {
+      switch (rng.Uniform(0, 3)) {
+        case 0: {
+          std::string name = "T" + std::to_string(rng.Uniform(0, 9));
+          uint32_t id = static_cast<uint32_t>(rng.Uniform(0, 500));
+          AppendRegisterType(&bytes, id, name, rng.Bernoulli(0.8));
+          Frame f;
+          f.type = FrameType::kRegisterType;
+          f.wire_type = id;
+          f.name = name;
+          sent.push_back(f);
+          break;
+        }
+        case 1: {
+          ts += rng.Uniform(0, 9);
+          Payload payload;
+          payload.value = rng.NextDouble() * 100.0 - 50.0;
+          payload.aux = rng.Uniform(-1000, 1000);
+          uint32_t id = static_cast<uint32_t>(rng.Uniform(0, 500));
+          AppendEvent(&bytes, id, ts, payload);
+          Frame f;
+          f.type = FrameType::kEvent;
+          f.wire_type = id;
+          f.ts = ts;
+          f.payload = payload;
+          sent.push_back(f);
+          break;
+        }
+        case 2: {
+          ts += rng.Uniform(0, 9);
+          AppendWatermark(&bytes, ts);
+          Frame f;
+          f.type = FrameType::kWatermark;
+          f.ts = ts;
+          sent.push_back(f);
+          break;
+        }
+        default: {
+          FrameType t = rng.Bernoulli(0.5) ? FrameType::kFlush
+                                           : FrameType::kCheckpoint;
+          AppendControl(&bytes, t);
+          Frame f;
+          f.type = t;
+          sent.push_back(f);
+          break;
+        }
+      }
+    }
+    std::string error;
+    size_t chunk = static_cast<size_t>(rng.Uniform(1, 64));
+    std::vector<Frame> got = DecodeAll(bytes, chunk, &error);
+    ASSERT_TRUE(error.empty()) << "iter " << iter << ": " << error;
+    ASSERT_EQ(got.size(), sent.size() + 1) << "iter " << iter;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      const Frame& a = sent[i];
+      const Frame& b = got[i + 1];
+      ASSERT_EQ(a.type, b.type) << "iter " << iter << " frame " << i;
+      EXPECT_EQ(a.wire_type, b.wire_type);
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.ts, b.ts);
+      EXPECT_EQ(a.payload.value, b.payload.value);
+      EXPECT_EQ(a.payload.aux, b.payload.aux);
+    }
+  }
+}
+
+TEST(WireFormatTest, SkipEventsEncodesResumeSuffix) {
+  EventTypeRegistry registry;
+  EventStream stream = MakeStream(&registry, {{"A", 1},
+                                              {"B", 3},
+                                              {"A", 5},
+                                              {"C", 7}});
+  EncodeStreamOptions options;
+  options.skip_events = 3;
+  std::string bytes = serve::EncodeStream(stream, registry, options);
+  std::string error;
+  std::vector<Frame> frames = DecodeAll(bytes, 16, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::vector<Timestamp> ts;
+  for (const Frame& f : frames) {
+    if (f.type == FrameType::kEvent) ts.push_back(f.ts);
+  }
+  // Registrations still all present (idempotent), only events skipped.
+  EXPECT_EQ(ts, (std::vector<Timestamp>{7}));
+}
+
+struct RejectCase {
+  const char* label;
+  /// Mutates a valid hello+watermark byte stream into a rejected one.
+  void (*corrupt)(std::string* bytes);
+  const char* expect;  // Substring of the decoder error.
+};
+
+TEST(WireFormatTest, RejectsMalformedStreams) {
+  const RejectCase cases[] = {
+      // The forged hello frames below carry a VALID CRC (AppendFrame
+      // recomputes it), so the magic/version checks — not the CRC check —
+      // must fire.
+      {"bad magic",
+       [](std::string* bytes) {
+         std::string forged, payload;
+         serve::PutU32(&payload, serve::kWireMagic ^ 0xFF);
+         serve::PutU16(&payload, serve::kWireVersion);
+         AppendFrame(&forged, FrameType::kHello, payload);
+         *bytes = forged;
+       },
+       "bad magic"},
+      {"wrong version",
+       [](std::string* bytes) {
+         std::string forged, payload;
+         serve::PutU32(&payload, serve::kWireMagic);
+         serve::PutU16(&payload, 0x7F);
+         AppendFrame(&forged, FrameType::kHello, payload);
+         *bytes = forged;
+       },
+       "version"},
+      {"oversized frame length",
+       [](std::string* bytes) {
+         std::string huge;
+         serve::PutU32(&huge, serve::kMaxFramePayload + 64);
+         bytes->append(huge);
+         bytes->append(8, '\0');
+       },
+       "oversized frame"},
+      {"zero frame length",
+       [](std::string* bytes) { bytes->append(4, '\0'); },
+       "zero-length frame"},
+      {"short frame payload",
+       [](std::string* bytes) {
+         AppendFrame(bytes, FrameType::kWatermark, "xy");
+       },
+       "short"},
+      {"payload CRC damage",
+       [](std::string* bytes) {
+         // Flip a bit inside the last frame's payload (watermark ts).
+         (*bytes)[bytes->size() - 6] ^= 0x01;
+       },
+       "CRC"},
+      {"event before hello",
+       [](std::string* bytes) {
+         std::string fresh;
+         AppendWatermark(&fresh, 5);
+         *bytes = fresh;
+       },
+       "hello"},
+      {"unknown frame type",
+       [](std::string* bytes) {
+         AppendFrame(bytes, static_cast<FrameType>(0x6E), "xx");
+       },
+       "unknown frame type"},
+  };
+  for (const RejectCase& c : cases) {
+    std::string bytes;
+    AppendHello(&bytes);
+    AppendWatermark(&bytes, 42);
+    c.corrupt(&bytes);
+    std::string error;
+    DecodeAll(bytes, bytes.size(), &error);
+    EXPECT_FALSE(error.empty()) << c.label << " was accepted";
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << c.label << ": got error '" << error << "'";
+  }
+}
+
+TEST(WireFormatTest, TruncatedTailIsNeedMoreNotError) {
+  std::string bytes;
+  AppendHello(&bytes);
+  AppendWatermark(&bytes, 42);
+  // Every proper prefix decodes cleanly to fewer frames, never an error — a
+  // half-received frame just waits for more bytes.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string error;
+    std::vector<Frame> frames =
+        DecodeAll(bytes.substr(0, cut), 1 + cut % 5, &error);
+    EXPECT_TRUE(error.empty()) << "cut " << cut << ": " << error;
+    EXPECT_LT(frames.size(), 2u) << "cut " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IngestQueue admission control.
+
+IngestQueue::Item EventItem() {
+  IngestQueue::Item item;
+  item.frame.type = FrameType::kEvent;
+  item.arrival = std::chrono::steady_clock::now();
+  return item;
+}
+
+TEST(IngestQueueTest, ShedPolicyDropsOnlyEventFrames) {
+  IngestQueue queue(/*capacity=*/2, /*shed_events=*/true);
+  EXPECT_TRUE(queue.Push(EventItem()));
+  EXPECT_TRUE(queue.Push(EventItem()));
+  // Full: event frames shed...
+  EXPECT_FALSE(queue.Push(EventItem()));
+  EXPECT_EQ(queue.shed(), 1u);
+  // ...but a control frame must get through once space frees up; drain on
+  // another thread while the push blocks.
+  IngestQueue::Item control;
+  control.frame.type = FrameType::kCheckpoint;
+  std::thread drainer([&queue] {
+    std::vector<IngestQueue::Item> batch;
+    ASSERT_TRUE(queue.PopAll(&batch));
+    EXPECT_EQ(batch.size(), 2u);
+  });
+  EXPECT_TRUE(queue.Push(std::move(control)));
+  drainer.join();
+  std::vector<IngestQueue::Item> rest;
+  ASSERT_TRUE(queue.PopAll(&rest));
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].frame.type, FrameType::kCheckpoint);
+}
+
+TEST(IngestQueueTest, BlockingPolicyLosesNothing) {
+  IngestQueue queue(/*capacity=*/4, /*shed_events=*/false);
+  constexpr int kItems = 1000;
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(queue.Push(EventItem()));
+    }
+    queue.Close();
+  });
+  size_t received = 0;
+  std::vector<IngestQueue::Item> batch;
+  while (queue.PopAll(&batch)) received += batch.size();
+  producer.join();
+  EXPECT_EQ(received, static_cast<size_t>(kItems));
+  EXPECT_EQ(queue.shed(), 0u);
+  EXPECT_LE(queue.max_depth(), 4u);
+}
+
+TEST(IngestQueueTest, CloseUnblocksProducerAndConsumer) {
+  IngestQueue queue(/*capacity=*/1, /*shed_events=*/false);
+  EXPECT_TRUE(queue.Push(EventItem()));
+  std::thread blocked([&queue] {
+    // Blocks on the full queue until Close; a closed queue refuses the item.
+    EXPECT_FALSE(queue.Push(EventItem()));
+  });
+  queue.Close();
+  blocked.join();
+  std::vector<IngestQueue::Item> batch;
+  EXPECT_TRUE(queue.PopAll(&batch));  // The one buffered item drains...
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(queue.PopAll(&batch));  // ...then closed-and-empty.
+}
+
+}  // namespace
+}  // namespace motto

@@ -33,6 +33,11 @@
 #   ctest -L churn     online query churn alone (incremental re-optimization,
 #                      state-migration round-trips, and the fuzzed
 #                      migration-equivalence differ; DESIGN.md §14)
+#   ctest -L serve     `motto serve` alone (wire-format codec, durable
+#                      checkpoints, crash-recovery differ, SIGKILL smoke;
+#                      DESIGN.md §15). MOTTO_RECOVERY_FUZZ_ITERS scales the
+#                      recovery differ's fuzzed kill-plan cases the same way
+#                      MOTTO_FUZZ_ITERS scales the plan differ.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,7 +66,10 @@ fi
 # data-parallel counterpart of the pipelined traffic above.
 # ChurnStress cross-checks every fuzzed oracle through the sharded executor,
 # so its migration cases also exercise the worker pool.
-TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress|ChurnStress'
+# IngestQueue (wire_format_test) is the serve front-end's producer/consumer
+# handoff — blocking, shedding and Close are all cross-thread; the
+# ServeRecovery differ runs the sharded executor per fuzzed case too.
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress|ChurnStress|WireFormat|IngestQueue|ServeRecovery'
 
 run_config() {
   local dir="$1" sanitize="$2" test_filter="$3"

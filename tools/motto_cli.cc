@@ -25,9 +25,23 @@
 //   motto verify      --seed=S --iters=N [--queries=Q] [--events=E]
 //                     [--threads=T] [--shards=N] [--dump=DIR]  (fuzz mode)
 //   motto verify      --workload=FILE.ccl --stream=FILE.csv  (repro mode)
+//   motto verify      --recovery --seed=S --iters=N [--queries=Q]
+//                     [--events=E] [--shards=N] [--threads=T]
+//                     [--work-dir=DIR]   (crash-recovery differential fuzz;
+//                      MOTTO_RECOVERY_FUZZ_ITERS overrides the default depth)
+//   motto serve       --workload=FILE.ccl [--stdin | --listen=PORT]
+//                     [--checkpoint-dir=DIR] [--checkpoint-interval=N]
+//                     [--out-dir=DIR] [--eval-order=arrival|selectivity]
+//                     [--ingest-queue=N] [--admission=block|shed]
+//                     [--stream=FILE.csv | --scenario=...]  (cost stats)
+//                     [--metrics-out=FILE.json]
+//   motto wire-encode --stream=FILE.csv --out=FILE.bin [--skip=N]
+//                     [--limit=N] [--no-end] [--checkpoint-every=N]
 //
 // Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
 //   lost: SELECT * FROM dc MATCHING [30 sec : SEQ(a, b, NEG(c))]
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,7 +63,10 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "planner/solver.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "verify/differ.h"
+#include "verify/recovery_differ.h"
 #include "workload/data_gen.h"
 #include "workload/harness.h"
 #include "workload/io.h"
@@ -645,9 +662,230 @@ int Compare(const Args& args) {
   return 0;
 }
 
+/// `motto wire-encode`: renders a CSV stream as the binary wire format
+/// `motto serve` ingests (DESIGN.md §15). `--skip=N` is the resume path: a
+/// client re-sending after a crash skips the events the server's recovered
+/// checkpoint already ingested.
+int WireEncode(const Args& args) {
+  EventTypeRegistry registry;
+  auto stream_path = args.GetValue("stream", "stream.csv");
+  if (!stream_path.ok()) return Fail(stream_path.status());
+  auto stream = LoadStreamCsv(*stream_path, &registry);
+  if (!stream.ok()) return Fail(stream.status());
+  serve::EncodeStreamOptions options;
+  auto skip = args.GetInt("skip", 0);
+  if (!skip.ok()) return Fail(skip.status());
+  options.skip_events = static_cast<uint64_t>(*skip);
+  auto limit = args.GetInt("limit", 0);
+  if (!limit.ok()) return Fail(limit.status());
+  options.limit_events = static_cast<uint64_t>(*limit);
+  auto every = args.GetInt("checkpoint-every", 0);
+  if (!every.ok()) return Fail(every.status());
+  options.checkpoint_every = static_cast<uint64_t>(*every);
+  options.with_end = !args.Has("no-end");
+  std::string bytes = serve::EncodeStream(*stream, registry, options);
+  std::string out = args.Get("out", "stream.bin");
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  if (!file) return Fail(InternalError("cannot open " + out));
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file.flush()) return Fail(InternalError("write failed for " + out));
+  uint64_t remaining =
+      static_cast<uint64_t>(stream->size()) -
+      std::min(options.skip_events, static_cast<uint64_t>(stream->size()));
+  if (options.limit_events > 0) {
+    remaining = std::min(remaining, options.limit_events);
+  }
+  std::printf("wrote %zu bytes (%llu events, %llu skipped) to %s\n",
+              bytes.size(), static_cast<unsigned long long>(remaining),
+              static_cast<unsigned long long>(options.skip_events),
+              out.c_str());
+  return 0;
+}
+
+/// `motto serve` (DESIGN.md §15): the long-running ingest server. Frames
+/// arrive on stdin (default) or one-at-a-time TCP clients; matches release
+/// to per-connection files under the checkpoint output-commit discipline,
+/// so SIGKILL + restart + re-send from the printed resume offset emits
+/// exactly what a never-killed run would.
+int Serve(const Args& args) {
+  EventTypeRegistry registry;
+  auto queries = LoadWorkloadFile(args.Get("workload", "workload.ccl"),
+                                  &registry);
+  if (!queries.ok()) return Fail(queries.status());
+  auto stats = StatsFor(args, &registry, nullptr);
+  if (!stats.ok()) return Fail(stats.status());
+
+  serve::ServeOptions options;
+  auto ckpt_dir = args.GetValue("checkpoint-dir", "");
+  if (!ckpt_dir.ok()) return Fail(ckpt_dir.status());
+  options.checkpoint_dir = *ckpt_dir;
+  auto interval = args.GetInt("checkpoint-interval", 10000);
+  if (!interval.ok()) return Fail(interval.status());
+  if (*interval < 0) {
+    return Fail(InvalidArgumentError("--checkpoint-interval must be >= 0"));
+  }
+  options.checkpoint_interval = static_cast<uint64_t>(*interval);
+  auto out_dir = args.GetValue("out-dir", "serve_out");
+  if (!out_dir.ok()) return Fail(out_dir.status());
+  options.out_dir = *out_dir;
+  auto eval_order = EvalOrderFrom(args.Get("eval-order", "arrival"));
+  if (!eval_order.ok()) return Fail(eval_order.status());
+  options.eval_order = *eval_order;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+
+  auto core = serve::ServeCore::Create(*queries, registry, *stats,
+                                       std::move(options));
+  if (!core.ok()) return Fail(core.status());
+  for (const std::string& warning : (*core)->recovery().warnings) {
+    std::fprintf(stderr, "serve: warning: %s\n", warning.c_str());
+  }
+  if ((*core)->recovery().recovered) {
+    const serve::RecoveryInfo& r = (*core)->recovery();
+    std::printf("serve: recovered checkpoint seq=%llu ingested=%llu "
+                "watermark=%lld (nodes kept=%zu fresh=%zu failed=%zu)\n",
+                static_cast<unsigned long long>(r.checkpoint_seq),
+                static_cast<unsigned long long>(r.ingested),
+                static_cast<long long>(r.watermark), r.nodes_kept,
+                r.nodes_fresh, r.imports_failed);
+  } else {
+    std::printf("serve: fresh start\n");
+  }
+
+  serve::IngestOptions ingest;
+  auto queue = GetPositive(args, "ingest-queue", 4096);
+  if (!queue.ok()) return Fail(queue.status());
+  ingest.queue_capacity = static_cast<size_t>(*queue);
+  std::string admission = args.Get("admission", "block");
+  if (admission == "shed") {
+    ingest.shed = true;
+  } else if (admission != "block") {
+    return Fail(InvalidArgumentError("unknown --admission '" + admission +
+                                     "' (block|shed)"));
+  }
+
+  Result<serve::IngestLoopResult> loop = serve::IngestLoopResult{};
+  if (args.Has("listen")) {
+    auto port = args.GetInt("listen", 0);
+    if (!port.ok()) return Fail(port.status());
+    int actual_port = 0;
+    auto listen_fd = serve::ListenTcp(static_cast<int>(*port), &actual_port);
+    if (!listen_fd.ok()) return Fail(listen_fd.status());
+    std::printf("serve: listening on 127.0.0.1:%d\n", actual_port);
+    std::fflush(stdout);
+    loop = serve::ServeTcpLoop(core->get(), *listen_fd, ingest,
+                               +[](uint32_t connection) {
+                                 std::printf("serve: connection %u\n",
+                                             connection);
+                                 std::fflush(stdout);
+                               });
+    ::close(*listen_fd);
+  } else {
+    std::printf("serve: ready\n");
+    std::fflush(stdout);
+    loop = serve::RunIngestLoop(core->get(), STDIN_FILENO, ingest);
+  }
+  if (!loop.ok()) return Fail(loop.status());
+
+  int exit_code = 0;
+  if (loop->end_seen) {
+    auto result = (*core)->Finish();
+    if (!result.ok()) return Fail(result.status());
+    std::printf("serve: end of stream: %llu events, %llu checkpoints\n",
+                static_cast<unsigned long long>((*core)->ingested()),
+                static_cast<unsigned long long>((*core)->checkpoints_taken()));
+    for (const auto& [sink, count] : (*core)->sink_released()) {
+      std::printf("  %s: %llu matches\n", sink.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  } else {
+    // EOF (or decode error) without a kEnd frame — the SIGKILL-adjacent
+    // path: persist a final snapshot and suspend; a restart resumes here.
+    Status status = (*core)->Checkpoint();
+    if (!status.ok()) return Fail(status);
+    std::printf("serve: suspended at ingested=%llu (resume with "
+                "wire-encode --skip=%llu)\n",
+                static_cast<unsigned long long>((*core)->ingested()),
+                static_cast<unsigned long long>((*core)->ingested()));
+    if (!loop->error.empty()) {
+      std::fprintf(stderr, "serve: stream error: %s\n", loop->error.c_str());
+      exit_code = 1;
+    }
+  }
+  if (loop->shed > 0) {
+    std::printf("serve: shed %llu events (queue depth peaked at %zu)\n",
+                static_cast<unsigned long long>(loop->shed),
+                loop->max_queue_depth);
+  }
+  std::string metrics_path = args.Get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) return Fail(InternalError("cannot open " + metrics_path));
+    out << metrics.ToJson() << "\n";
+    if (!out.flush()) {
+      return Fail(InternalError("write failed for " + metrics_path));
+    }
+  }
+  return exit_code;
+}
+
+/// The crash-recovery differential loop behind `motto verify --recovery`
+/// (DESIGN.md §15): fuzzed (workload, stream, kill-plan) triples, each
+/// demanding a killed-and-recovered server emit exactly the uninterrupted
+/// multiset.
+int VerifyRecovery(const Args& args) {
+  verify::RecoveryDifferOptions options;
+  auto seed = args.GetInt("seed", 1);
+  if (!seed.ok()) return Fail(seed.status());
+  options.seed = static_cast<uint64_t>(*seed);
+  options.iterations = 40;
+  if (const char* env = std::getenv("MOTTO_RECOVERY_FUZZ_ITERS")) {
+    options.iterations = std::atoi(env);
+  }
+  auto iters = args.GetInt("iters", options.iterations);
+  if (!iters.ok()) return Fail(iters.status());
+  options.iterations = static_cast<int>(*iters);
+  auto fuzz_queries = args.GetInt("queries", options.fuzz.num_queries);
+  if (!fuzz_queries.ok()) return Fail(fuzz_queries.status());
+  options.fuzz.num_queries = static_cast<int>(*fuzz_queries);
+  auto fuzz_events = args.GetInt("events", options.fuzz.num_events);
+  if (!fuzz_events.ok()) return Fail(fuzz_events.status());
+  options.fuzz.num_events = static_cast<int>(*fuzz_events);
+  auto shards = GetPositive(args, "shards", options.shards);
+  if (!shards.ok()) return Fail(shards.status());
+  options.shards = static_cast<int>(*shards);
+  auto threads = GetPositive(args, "threads", options.threads);
+  if (!threads.ok()) return Fail(threads.status());
+  options.threads = static_cast<int>(*threads);
+  options.work_dir = args.Get("work-dir", "");
+
+  auto outcome = verify::RunRecoveryDiffer(options);
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::printf(
+      "verify --recovery: %d cases (seed %llu..%llu, %d skipped), %llu kills "
+      "(torn-ckpt=%llu torn-out=%llu mid-ckpt=%llu), %zu failures\n",
+      outcome->iterations, static_cast<unsigned long long>(options.seed),
+      static_cast<unsigned long long>(
+          options.seed + static_cast<uint64_t>(options.iterations) - 1),
+      outcome->skipped, static_cast<unsigned long long>(outcome->kills),
+      static_cast<unsigned long long>(outcome->torn_checkpoints),
+      static_cast<unsigned long long>(outcome->torn_outputs),
+      static_cast<unsigned long long>(outcome->mid_checkpoint_faults),
+      outcome->failures.size());
+  for (const verify::RecoveryFailure& failure : outcome->failures) {
+    std::printf("\n-- failing case (seed %llu) --\n%s\n%s",
+                static_cast<unsigned long long>(failure.case_seed),
+                failure.detail.c_str(), failure.report.c_str());
+    std::printf("repro: motto verify --recovery --seed=%llu --iters=1\n",
+                static_cast<unsigned long long>(failure.case_seed));
+  }
+  return outcome->ok() ? 0 : 1;
+}
+
 /// Differential verification (DESIGN.md §10). Fuzz mode checks N seeded
 /// cases across every execution path; repro mode replays one dumped case.
 int Verify(const Args& args) {
+  if (args.Has("recovery")) return VerifyRecovery(args);
   verify::DifferOptions options;
   auto seed = args.GetInt("seed", 1);
   if (!seed.ok()) return Fail(seed.status());
@@ -706,8 +944,8 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: motto "
-                 "<gen-stream|gen-workload|explain|run|compare|verify> "
-                 "[--key=value ...]\n");
+                 "<gen-stream|gen-workload|explain|run|compare|verify|"
+                 "serve|wire-encode> [--key=value ...]\n");
     return 2;
   }
   Args args(argc, argv);
@@ -718,6 +956,8 @@ int Main(int argc, char** argv) {
   if (command == "run") return RunWorkload(args);
   if (command == "compare") return Compare(args);
   if (command == "verify") return Verify(args);
+  if (command == "serve") return Serve(args);
+  if (command == "wire-encode") return WireEncode(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

@@ -65,9 +65,12 @@ def collect(build_dir, targets, min_time, filter_regex):
             # `modeled_speedup` is the sharded executor's LPT scaling bound
             # (sum/max of per-shard busy time) — the scaling record on
             # single-vCPU hosts where wall throughput cannot move.
+            # `p99_ingest_to_emit_us` is BM_ServeIngest's tail latency from
+            # frame arrival to match release (serve path, DESIGN.md §15).
             for key in ("expansions", "pruned", "incumbents", "sa_epochs",
                         "sa_accepted", "candidates", "pairs",
-                        "nodes", "edges", "modeled_speedup"):
+                        "nodes", "edges", "modeled_speedup",
+                        "p99_ingest_to_emit_us", "checkpoints"):
                 if key in bench:
                     entry[key] = bench[key]
             benchmarks[f"{target}/{bench['name']}"] = entry
@@ -77,12 +80,19 @@ def collect(build_dir, targets, min_time, filter_regex):
 def compare(benchmarks, baseline_path, regress_threshold):
     """Prints per-benchmark speedups vs the baseline file and returns the
     benchmarks that regressed by more than `regress_threshold` (a fraction,
-    e.g. 0.10 = slower than 90% of the baseline)."""
+    e.g. 0.10 = slower than 90% of the baseline). Benchmarks present on only
+    one side (added since the baseline, or removed/filtered out of this run)
+    are reported instead of crashing the diff."""
     with open(baseline_path) as f:
-        baseline = json.load(f)["benchmarks"]
-    width = max((len(n) for n in benchmarks), default=0)
+        baseline = json.load(f).get("benchmarks", {})
+    names = sorted(set(benchmarks) | set(baseline))
+    width = max((len(n) for n in names), default=0)
     regressions = []
-    for name, entry in sorted(benchmarks.items()):
+    for name in names:
+        entry = benchmarks.get(name)
+        if entry is None:
+            print(f"{name:{width}s} (removed: only in {baseline_path})")
+            continue
         now = entry.get("items_per_second")
         old = baseline.get(name, {}).get("items_per_second")
         if now is None:
