@@ -17,7 +17,9 @@
 #include "engine/sharded_executor.h"
 #include "event/stream.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "serve/server.h"
+#include "serve/status.h"
 #include "serve/wire.h"
 #include "workload/io.h"
 
@@ -386,7 +388,11 @@ BENCHMARK(BM_ShardedExecutor)
 // p99 per-frame service latency a client observes — the tail includes the
 // checkpoint stalls on the emit path. Rows: ephemeral (no snapshots),
 // periodic release without durability, and durable snapshots on disk.
-void BM_ServeIngest(benchmark::State& state) {
+// `telemetry` adds the §16 live-telemetry surface at its hot-path worst
+// case: a registry on the core plus a ServeTelemetry ticked after *every*
+// frame (serve's drain loop ticks per batch, so per frame is an upper
+// bound), publishing a full ServeStatus every 5000 events.
+void RunServeIngest(benchmark::State& state, bool telemetry) {
   const uint64_t interval = static_cast<uint64_t>(state.range(0));
   const bool durable = state.range(1) != 0;
   constexpr char kWorkload[] =
@@ -423,9 +429,12 @@ void BM_ServeIngest(benchmark::State& state) {
   options.checkpoint_dir = ckpt_dir;
   options.checkpoint_interval = interval;
   options.out_dir.clear();  // Count-and-discard release mode.
+  obs::MetricsRegistry metrics;
+  if (telemetry) options.metrics = &metrics;
 
   obs::Histogram latency(obs::Histogram::ExponentialBounds(1e-7, 2.0, 24));
   uint64_t matches = 0;
+  uint64_t snapshots = 0;
   for (auto _ : state) {
     state.PauseTiming();
     if (!ckpt_dir.empty()) std::filesystem::remove_all(ckpt_dir);
@@ -433,6 +442,14 @@ void BM_ServeIngest(benchmark::State& state) {
     if (!core.ok()) {
       state.SkipWithError(core.status().message().c_str());
       break;
+    }
+    std::unique_ptr<serve::ServeTelemetry> live;
+    if (telemetry) {
+      serve::TelemetryOptions telemetry_options;
+      telemetry_options.snapshot_interval_seconds = 0;  // Count-driven only.
+      telemetry_options.snapshot_every_events = 5000;
+      live = std::make_unique<serve::ServeTelemetry>(core->get(),
+                                                     telemetry_options);
     }
     state.ResumeTiming();
     for (const serve::Frame& frame : frames) {
@@ -446,6 +463,7 @@ void BM_ServeIngest(benchmark::State& state) {
         state.SkipWithError(applied.status().message().c_str());
         break;
       }
+      if (live != nullptr) live->Tick();
     }
     auto finished = (*core)->Finish();
     if (!finished.ok()) {
@@ -457,6 +475,7 @@ void BM_ServeIngest(benchmark::State& state) {
       (void)sink;
       matches += count;
     }
+    if (live != nullptr) snapshots = live->snapshots_taken();
   }
   if (!ckpt_dir.empty()) std::filesystem::remove_all(ckpt_dir);
   state.SetItemsProcessed(state.iterations() *
@@ -467,6 +486,10 @@ void BM_ServeIngest(benchmark::State& state) {
     state.counters["checkpoints"] = static_cast<double>(
         (stream.size() + interval - 1) / interval);
   }
+  if (telemetry) state.counters["snapshots"] = static_cast<double>(snapshots);
+}
+void BM_ServeIngest(benchmark::State& state) {
+  RunServeIngest(state, /*telemetry=*/false);
 }
 BENCHMARK(BM_ServeIngest)
     ->ArgNames({"interval", "durable"})
@@ -474,6 +497,54 @@ BENCHMARK(BM_ServeIngest)
     ->Args({5000, 0})
     ->Args({5000, 1})
     ->UseRealTime();
+// The telemetry acceptance row: same shape as the non-durable checkpointed
+// BM_ServeIngest row, so `items_per_second` is directly comparable — the
+// live-telemetry surface must cost within a few percent of it.
+void BM_ServeIngestTelemetry(benchmark::State& state) {
+  RunServeIngest(state, /*telemetry=*/true);
+}
+BENCHMARK(BM_ServeIngestTelemetry)
+    ->ArgNames({"interval", "durable"})
+    ->Args({5000, 0})
+    ->UseRealTime();
+
+// --- Metrics snapshot collection (DESIGN.md §16) -------------------------
+// One MetricsSnapshotter::Collect() over a registry populated like a real
+// serve run: serve counters plus per-node counter/gauge/histogram families.
+// This is the per-tick telemetry cost the engine thread pays.
+void BM_MetricsSnapshot(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  obs::MetricsRegistry registry;
+  registry.GetCounter("serve.frames")->Add(100000);
+  registry.GetCounter("serve.ingested_events")->Add(100000);
+  registry.GetCounter("serve.released_matches")->Add(4000);
+  registry.GetCounter("serve.checkpoints")->Add(20);
+  registry.GetGauge("serve.queue_depth")->Set(17);
+  registry.GetHistogram("serve.ingest_to_emit_seconds",
+                        obs::LatencySecondsBounds())
+      ->Record(0.002);
+  for (int i = 0; i < nodes; ++i) {
+    std::string prefix = "node." + std::to_string(i);
+    registry.GetCounter(prefix + ".events_in")->Add(5000 + i);
+    registry.GetCounter(prefix + ".events_out")->Add(300 + i);
+    registry.GetGauge(prefix + ".busy_seconds")->Set(0.01 * i);
+    obs::Histogram* hist = registry.GetHistogram(prefix + ".live_partials",
+                                                 obs::SizeBounds());
+    for (int j = 0; j < 16; ++j) hist->Record(j);
+  }
+  obs::MetricsSnapshotter snapshotter(&registry);
+  uint64_t instruments = 0;
+  for (auto _ : state) {
+    auto snapshot = snapshotter.Collect();
+    benchmark::DoNotOptimize(snapshot);
+    instruments = snapshot->counters.size() + snapshot->gauges.size() +
+                  snapshot->histograms.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(instruments));
+  state.counters["instruments"] = static_cast<double>(instruments);
+}
+BENCHMARK(BM_MetricsSnapshot)->ArgNames({"nodes"})->Arg(8)->Arg(64);
 
 }  // namespace
 }  // namespace motto

@@ -1,0 +1,269 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace motto {
+
+namespace {
+
+const JsonValue kNullValue;
+const std::string kEmptyString;
+const std::vector<JsonValue> kEmptyArray;
+const std::map<std::string, JsonValue, std::less<>> kEmptyObject;
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view cursor. Depth is bounded so a
+/// hostile (or corrupted) document cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    MOTTO_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("json: " + message + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      }
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false", out);
+      case 'n':
+        return ParseKeyword("null", out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(std::string_view word, JsonValue* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("bad literal");
+    }
+    pos_ += word.size();
+    if (word == "null") {
+      out->kind_ = JsonValue::Kind::kNull;
+    } else {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = (word == "true");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("bad number '" + token + "'");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs in our own
+          // emitters never occur; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue element;
+      MOTTO_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      out->array_.push_back(std::move(element));
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      MOTTO_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      MOTTO_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object_.insert_or_assign(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+int64_t JsonValue::AsInt64(int64_t fallback) const {
+  if (kind_ != Kind::kNumber) return fallback;
+  return static_cast<int64_t>(number_);
+}
+
+const std::string& JsonValue::AsString() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  if (kind_ == Kind::kObject) {
+    auto it = object_.find(key);
+    if (it != object_.end()) return it->second;
+  }
+  return kNullValue;
+}
+
+bool JsonValue::Has(std::string_view key) const {
+  return kind_ == Kind::kObject && object_.find(key) != object_.end();
+}
+
+const std::map<std::string, JsonValue, std::less<>>& JsonValue::object()
+    const {
+  return kind_ == Kind::kObject ? object_ : kEmptyObject;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  return kind_ == Kind::kArray ? array_ : kEmptyArray;
+}
+
+}  // namespace motto

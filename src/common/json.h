@@ -1,0 +1,64 @@
+#ifndef MOTTO_COMMON_JSON_H_
+#define MOTTO_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace motto {
+
+/// Minimal JSON document reader for the telemetry the system itself emits
+/// (`/statusz`, the stats log, metrics files): `motto top` and the tests
+/// consume those documents without shelling out to python. Full RFC 8259
+/// grammar (objects, arrays, strings with escapes, numbers, true/false/
+/// null); numbers are held as double, which is exact for every counter the
+/// registry can realistically emit (< 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; the fallback is returned on any kind mismatch, so
+  /// readers degrade instead of crashing on a schema drift.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt64(int64_t fallback = 0) const;
+  const std::string& AsString() const;  ///< Empty on mismatch.
+
+  /// Object member by key, or a shared null value when absent/not an
+  /// object. Chains safely: doc["a"]["b"].AsDouble().
+  const JsonValue& operator[](std::string_view key) const;
+  bool Has(std::string_view key) const;
+  const std::map<std::string, JsonValue, std::less<>>& object() const;
+
+  /// Array elements (empty on mismatch).
+  const std::vector<JsonValue>& array() const;
+  size_t size() const { return array().size(); }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue, std::less<>> object_;
+};
+
+}  // namespace motto
+
+#endif  // MOTTO_COMMON_JSON_H_

@@ -55,6 +55,10 @@ void ExportRunMetrics(const RunResult& result,
   registry->GetCounter("run.raw_events")->Add(result.raw_events);
   registry->GetCounter("run.matches")->Add(result.TotalMatches());
   registry->GetGauge("run.elapsed_seconds")->Set(result.elapsed_seconds);
+  if (result.trace_dropped_spans > 0) {
+    registry->GetCounter("trace.dropped_spans")
+        ->Add(result.trace_dropped_spans);
+  }
   const ShardedRunStats& sharded = result.sharded;
   if (sharded.shards > 0) {
     registry->GetGauge("shard.count")
@@ -188,6 +192,7 @@ void Executor::BeginSession(const ExecutorOptions& options) {
 
   session_result_ = RunResult{};
   session_result_.node_stats.assign(n, NodeStats{});
+  sink_telemetry_.assign(jqp_.sinks.size(), SinkTelemetry{});
   for (const Jqp::Sink& sink : jqp_.sinks) {
     if (!options.count_matches_only) {
       session_result_.sink_events.emplace(sink.query_name,
@@ -293,6 +298,9 @@ void Executor::ProcessRound(const Event* raw, Timestamp watermark,
         }
         if (ev.begin() < begin_horizon) continue;
         ++kept;
+        if (ev.end() > sink_telemetry_[s].last_emit_ts) {
+          sink_telemetry_[s].last_emit_ts = ev.end();
+        }
         if (!options.count_matches_only) {
           auto& collected = result.sink_events[sink.query_name];
           if (movable_sink_[node]) {
@@ -303,6 +311,7 @@ void Executor::ProcessRound(const Event* raw, Timestamp watermark,
         }
       }
       result.sink_counts[sink.query_name] += kept;
+      sink_telemetry_[s].matches += kept;
       continue;
     }
     if (begin_horizon > std::numeric_limits<Timestamp>::min()) {
@@ -313,6 +322,9 @@ void Executor::ProcessRound(const Event* raw, Timestamp watermark,
       for (Event& ev : out) {
         if (ev.begin() < begin_horizon) continue;
         ++kept;
+        if (ev.end() > sink_telemetry_[s].last_emit_ts) {
+          sink_telemetry_[s].last_emit_ts = ev.end();
+        }
         if (!options.count_matches_only) {
           auto& collected = result.sink_events[sink.query_name];
           if (movable_sink_[node]) {
@@ -323,9 +335,17 @@ void Executor::ProcessRound(const Event* raw, Timestamp watermark,
         }
       }
       result.sink_counts[sink.query_name] += kept;
+      sink_telemetry_[s].matches += kept;
       continue;
     }
     result.sink_counts[sink.query_name] += out.size();
+    {
+      SinkTelemetry& st = sink_telemetry_[s];
+      st.matches += out.size();
+      for (const Event& ev : out) {
+        if (ev.end() > st.last_emit_ts) st.last_emit_ts = ev.end();
+      }
+    }
     if (!options.count_matches_only) {
       auto& collected = result.sink_events[sink.query_name];
       if (movable_sink_[node]) {
@@ -404,7 +424,18 @@ RunResult Executor::SuspendSession() {
   for (size_t i = 0; i < jqp_.nodes.size(); ++i) {
     runtimes_[i]->CollectStats(&session_result_.node_stats[i]);
   }
+  if (session_options_.trace != nullptr) {
+    session_result_.trace_dropped_spans =
+        session_options_.trace->dropped_events();
+  }
   return std::move(session_result_);
+}
+
+void Executor::SnapshotSessionNodeStats(std::vector<NodeStats>* out) const {
+  *out = session_result_.node_stats;
+  for (size_t i = 0; i < runtimes_.size() && i < out->size(); ++i) {
+    runtimes_[i]->CollectStats(&(*out)[i]);
+  }
 }
 
 RunResult Executor::FinishSession() {
@@ -422,6 +453,9 @@ RunResult Executor::FinishSession() {
   session_active_ = false;
   for (size_t i = 0; i < jqp_.nodes.size(); ++i) {
     runtimes_[i]->CollectStats(&session_result_.node_stats[i]);
+  }
+  if (trace != nullptr) {
+    session_result_.trace_dropped_spans = trace->dropped_events();
   }
   ExportRunMetrics(session_result_, session_options_.metrics);
   return std::move(session_result_);

@@ -80,6 +80,17 @@ struct ShardedRunStats {
   std::vector<ShardRunStats> per_shard;
 };
 
+/// Per-sink liveness facts for the serving path (DESIGN.md §16): how many
+/// matches this sink has emitted in the current session and when (event
+/// time) the most recent one was sealed. The serve telemetry joins these
+/// with released-line counts to compute outbox/commit lag per query.
+struct SinkTelemetry {
+  uint64_t matches = 0;
+  /// end() timestamp of the most recent emitted match;
+  /// numeric_limits<Timestamp>::min() when the sink never emitted.
+  Timestamp last_emit_ts = std::numeric_limits<Timestamp>::min();
+};
+
 /// Outcome of replaying one stream through a JQP. (NodeStats lives in
 /// runtime.h so node runtimes can fill their own counters.)
 struct RunResult {
@@ -95,6 +106,10 @@ struct RunResult {
   ParallelRunStats parallel;
   /// Filled by ShardedExecutor runs; `sharded.shards == 0` otherwise.
   ShardedRunStats sharded;
+  /// Spans the run's TraceSink had to drop at its cap (0 when tracing was
+  /// off or nothing was dropped). Surfaced as the `trace.dropped_spans`
+  /// metric and a RunReport warning so truncation is never silent.
+  uint64_t trace_dropped_spans = 0;
 
   /// Raw input events per second of wall time.
   double ThroughputEps() const {
@@ -224,6 +239,25 @@ class Executor {
     return runtimes_[static_cast<size_t>(node)].get();
   }
 
+  /// Live per-sink emission facts of the active session, parallel to
+  /// Jqp::sinks. Counts are cumulative since BeginSession and unaffected by
+  /// DrainSessionOutput. Engine-thread only (same discipline as Feed).
+  const std::vector<SinkTelemetry>& session_sink_telemetry() const {
+    return sink_telemetry_;
+  }
+
+  /// Copies the active session's per-node counters so far (events in/out
+  /// plus each runtime's arena/partial counters) without disturbing the
+  /// session. Engine-thread only; `out` is overwritten.
+  void SnapshotSessionNodeStats(std::vector<NodeStats>* out) const;
+
+  /// Cumulative per-sink match counts of the active session (survives
+  /// DrainSessionOutput). Engine-thread only.
+  const std::unordered_map<std::string, uint64_t>& session_sink_counts()
+      const {
+    return session_result_.sink_counts;
+  }
+
   /// Per-sink add-point visibility horizons, parallel to Jqp::sinks: a sink
   /// with horizon h only collects matches with begin() >= h, so a query
   /// added mid-stream sees exactly the matches whose constituents all
@@ -266,6 +300,10 @@ class Executor {
 
   /// Sink-level add-point filter (SetSinkBeginHorizons); empty = off.
   std::vector<Timestamp> sink_begin_horizons_;
+
+  /// Per-sink live emission facts, parallel to Jqp::sinks; reset per
+  /// session (session_sink_telemetry).
+  std::vector<SinkTelemetry> sink_telemetry_;
 
   // Active-session state (also carries one RunSpan invocation).
   ExecutorOptions session_options_;

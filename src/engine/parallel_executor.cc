@@ -584,6 +584,11 @@ Result<RunResult> ParallelExecutor::Run(const EventStream& stream,
       options.metrics->MergeFrom(*shard);
     }
   }
+  if (options.trace != nullptr) {
+    // Workers share one sink, so overwrite (never add) to avoid
+    // double-counting drops already folded into per-worker results.
+    result.trace_dropped_spans = options.trace->dropped_events();
+  }
   ExportRunMetrics(result, options.metrics);
   return result;
 }

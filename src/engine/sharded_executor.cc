@@ -313,6 +313,11 @@ Result<RunResult> ShardedExecutor::Run(const EventStream& stream,
     sharded.skew = sharded.max_busy_seconds / sharded.mean_busy_seconds;
   }
   merged.elapsed_seconds = SecondsSince(run_start);
+  if (options.trace != nullptr) {
+    // Shards share one sink, so overwrite (never add) to avoid
+    // double-counting drops already folded into per-shard results.
+    merged.trace_dropped_spans = options.trace->dropped_events();
+  }
   ExportRunMetrics(merged, options.metrics);
   return merged;
 }

@@ -135,6 +135,12 @@ RunReport BuildRunReport(const Jqp& jqp, const StreamStats& stats,
                   sharded.mean_busy_seconds, sharded.shards);
     report.warnings.push_back(buf);
   }
+  if (run.trace_dropped_spans > 0) {
+    report.warnings.push_back(
+        "trace sink dropped " + std::to_string(run.trace_dropped_spans) +
+        " spans at its event cap; the trace file undercounts busy time "
+        "(raise the TraceSink cap or trace a shorter run)");
+  }
   return report;
 }
 

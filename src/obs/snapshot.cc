@@ -1,0 +1,150 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json_util.h"
+
+namespace motto::obs {
+
+namespace {
+
+/// Wall-clock stamps need millisecond precision; JsonNum's %.6g would
+/// round a unix timestamp to ~1000-second granularity.
+std::string WallSeconds(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  return buffer;
+}
+
+}  // namespace
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value;
+}
+
+double MetricsSnapshot::Rate(std::string_view name) const {
+  auto it = rates.find(name);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"seq\":" + std::to_string(seq) +
+                    ",\"wall_unix_seconds\":" + WallSeconds(wall_unix_seconds) +
+                    ",\"uptime_seconds\":" + JsonNum(uptime_seconds) +
+                    ",\"interval_seconds\":" + JsonNum(interval_seconds) +
+                    ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(counter.value);
+  }
+  out += "},\"rates\":{";
+  first = true;
+  for (const auto& [name, rate] : rates) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonNum(rate);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"value\":" + JsonNum(gauge.value) +
+           ",\"max\":" + JsonNum(gauge.max) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\":{\"count\":" + std::to_string(histogram.count) +
+           ",\"sum\":" + JsonNum(histogram.sum) +
+           ",\"min\":" + JsonNum(histogram.min) +
+           ",\"max\":" + JsonNum(histogram.max) +
+           ",\"mean\":" + JsonNum(histogram.Mean()) +
+           ",\"p50\":" + JsonNum(histogram.Quantile(0.50)) +
+           ",\"p95\":" + JsonNum(histogram.Quantile(0.95)) +
+           ",\"p99\":" + JsonNum(histogram.Quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsSnapshotter::MetricsSnapshotter(const MetricsRegistry* source,
+                                       size_t history)
+    : source_(source),
+      history_(history == 0 ? 1 : history),
+      epoch_(Clock::now()),
+      last_collect_(epoch_) {}
+
+std::shared_ptr<const MetricsSnapshot> MetricsSnapshotter::Collect() {
+  Clock::time_point now = Clock::now();
+  auto snapshot = std::make_shared<MetricsSnapshot>();
+  snapshot->wall_unix_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  snapshot->uptime_seconds =
+      std::chrono::duration<double>(now - epoch_).count();
+  // The caller is the registry's single writer, so reading it here without a
+  // lock is exactly as safe as the engine's own instrument writes.
+  snapshot->counters = source_->counters();
+  snapshot->gauges = source_->gauges();
+  snapshot->histograms = source_->histograms();
+
+  std::shared_ptr<const MetricsSnapshot> prev = Latest();
+  if (prev != nullptr) {
+    snapshot->interval_seconds =
+        snapshot->uptime_seconds - prev->uptime_seconds;
+  }
+  const double dt = snapshot->interval_seconds;
+  for (const auto& [name, counter] : snapshot->counters) {
+    uint64_t before = prev == nullptr ? 0 : prev->CounterValue(name);
+    // A counter can only shrink if the registry was swapped out from under
+    // the snapshotter; clamp instead of underflowing.
+    uint64_t delta = counter.value >= before ? counter.value - before : 0;
+    snapshot->deltas.emplace(name, delta);
+    snapshot->rates.emplace(
+        name, dt > 0.0 ? static_cast<double>(delta) / dt : 0.0);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->seq = next_seq_++;
+  latest_ = snapshot;
+  ring_.push_back(snapshot);
+  while (ring_.size() > history_) ring_.pop_front();
+  last_collect_ = now;
+  collected_once_ = true;
+  return snapshot;
+}
+
+bool MetricsSnapshotter::TickDue(double interval_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!collected_once_) return true;
+  double elapsed =
+      std::chrono::duration<double>(Clock::now() - last_collect_).count();
+  return elapsed >= interval_seconds;
+}
+
+std::shared_ptr<const MetricsSnapshot> MetricsSnapshotter::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+std::vector<std::shared_ptr<const MetricsSnapshot>>
+MetricsSnapshotter::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t MetricsSnapshotter::snapshots_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+}  // namespace motto::obs

@@ -1,0 +1,110 @@
+#ifndef MOTTO_OBS_SNAPSHOT_H_
+#define MOTTO_OBS_SNAPSHOT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace motto::obs {
+
+/// Live telemetry for long-running processes (DESIGN.md §16). The
+/// MetricsRegistry is single-writer by the engine's ownership discipline, so
+/// it can never be read from another thread while the engine is running.
+/// MetricsSnapshotter bridges that gap: the *owning* thread periodically
+/// collects the registry into an immutable, versioned MetricsSnapshot and
+/// publishes it behind a pointer swap; any number of reader threads
+/// (status endpoint, `motto top`, tests) then consume the published
+/// snapshots without ever touching the live instruments.
+///
+/// Lock budget: Collect copies the registry outside any lock (the caller is
+/// the only writer), then takes one short mutex to swap the published
+/// shared_ptr and append to the ring; readers take the same mutex only long
+/// enough to copy a shared_ptr. The engine hot path itself is untouched —
+/// snapshot cost is paid once per interval, not per event.
+
+/// One immutable observation of a registry, stamped and delta-annotated.
+struct MetricsSnapshot {
+  /// Monotonic sequence number, starting at 1. Strictly increasing across a
+  /// snapshotter's lifetime; a gap-free JSONL stats log is therefore
+  /// checkable by sequence alone.
+  uint64_t seq = 0;
+  /// Wall-clock time of collection (unix seconds, fractional).
+  double wall_unix_seconds = 0.0;
+  /// Seconds since the snapshotter was created (steady clock).
+  double uptime_seconds = 0.0;
+  /// Seconds since the previous snapshot (0 for the first).
+  double interval_seconds = 0.0;
+
+  /// Full copy of every instrument at collection time.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+
+  /// Per-counter delta since the previous snapshot and its rate per second
+  /// over `interval_seconds` (both 0 for the first snapshot or when the
+  /// counter is new). Keys mirror `counters`.
+  std::map<std::string, uint64_t, std::less<>> deltas;
+  std::map<std::string, double, std::less<>> rates;
+
+  uint64_t CounterValue(std::string_view name) const;
+  double Rate(std::string_view name) const;
+
+  /// One JSON object:
+  /// {"seq":..,"wall_unix_seconds":..,"uptime_seconds":..,
+  ///  "interval_seconds":..,"counters":{..},"rates":{..},"gauges":{..},
+  ///  "histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}.
+  /// Histograms render their quantile estimates, not raw buckets — the raw
+  /// bucket layout stays a /metrics (Prometheus) concern.
+  std::string ToJson() const;
+};
+
+/// Periodic collector: owns the snapshot ring and the published pointer.
+/// Collect must only be called from the thread that owns (writes) the source
+/// registry; Latest/History/TickDue are safe from any thread.
+class MetricsSnapshotter {
+ public:
+  /// `source` must outlive the snapshotter. `history` bounds the ring
+  /// (oldest snapshots fall off; min 1).
+  explicit MetricsSnapshotter(const MetricsRegistry* source,
+                              size_t history = 64);
+
+  /// Collects now (owner thread only). Returns the published snapshot.
+  std::shared_ptr<const MetricsSnapshot> Collect();
+
+  /// True when at least `interval_seconds` elapsed since the last Collect
+  /// (or since construction, for the first). A 0 interval is always due.
+  bool TickDue(double interval_seconds) const;
+
+  /// Most recent snapshot (null before the first Collect).
+  std::shared_ptr<const MetricsSnapshot> Latest() const;
+
+  /// Ring contents, oldest first.
+  std::vector<std::shared_ptr<const MetricsSnapshot>> History() const;
+
+  uint64_t snapshots_taken() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const MetricsRegistry* source_;
+  const size_t history_;
+  const Clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const MetricsSnapshot>> ring_;
+  std::shared_ptr<const MetricsSnapshot> latest_;
+  uint64_t next_seq_ = 1;
+  Clock::time_point last_collect_;
+  bool collected_once_ = false;
+};
+
+}  // namespace motto::obs
+
+#endif  // MOTTO_OBS_SNAPSHOT_H_

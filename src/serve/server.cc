@@ -2,10 +2,12 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -43,6 +45,11 @@ Result<std::unique_ptr<ServeCore>> ServeCore::Create(
   }
   std::unique_ptr<ServeCore> core(new ServeCore());
   core->options_ = std::move(options);
+  if (core->options_.metrics != nullptr) {
+    core->frames_counter_ = core->options_.metrics->GetCounter("serve.frames");
+    core->ingested_counter_ =
+        core->options_.metrics->GetCounter("serve.ingested_events");
+  }
   core->registry_ = registry;
   core->session_.emplace(&core->registry_, std::move(stats),
                          core->options_.optimizer);
@@ -67,6 +74,10 @@ ServeCore::~ServeCore() {
 }
 
 const Jqp& ServeCore::jqp() const { return session_->jqp(); }
+
+double ServeCore::seconds_since_checkpoint() const {
+  return SecondsSince(last_checkpoint_time_);
+}
 
 std::string ServeCore::OutputPath() const {
   if (options_.out_dir.empty()) return std::string();
@@ -347,6 +358,7 @@ Status ServeCore::SaveAndRelease(
           ->Set(SecondsSince(start));
     }
   }
+  last_checkpoint_time_ = SteadyClock::now();
   ++seq_;
   if (fault_skip_release_once_) {
     fault_skip_release_once_ = false;
@@ -374,7 +386,7 @@ Result<bool> ServeCore::OnFrame(const Frame& frame) {
     return InternalError("frame received after Finish");
   }
   obs::MetricsRegistry* metrics = options_.metrics;
-  Count(metrics, "serve.frames");
+  if (frames_counter_ != nullptr) frames_counter_->Add();
   switch (frame.type) {
     case FrameType::kHello:
       // Connection preamble; the decoder already validated magic/version.
@@ -402,7 +414,7 @@ Result<bool> ServeCore::OnFrame(const Frame& frame) {
       executor_->FeedSession(&event, 1);
       ++ingested_;
       watermark_ = frame.ts;
-      Count(metrics, "serve.ingested_events");
+      if (ingested_counter_ != nullptr) ingested_counter_->Add();
       if (options_.checkpoint_interval > 0 &&
           ingested_ % options_.checkpoint_interval == 0) {
         MOTTO_RETURN_IF_ERROR(Checkpoint());
@@ -476,6 +488,21 @@ bool IngestQueue::PopAll(std::vector<Item>* out) {
   return true;
 }
 
+bool IngestQueue::PopAll(std::vector<Item>* out,
+                         std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait_until(lock, deadline,
+                    [&] { return closed_ || !items_.empty(); });
+  out->clear();
+  if (items_.empty()) return !closed_;  // Timeout: tick, then re-poll.
+  while (!items_.empty()) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  space_.notify_all();
+  return true;
+}
+
 void IngestQueue::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   closed_ = true;
@@ -493,17 +520,43 @@ size_t IngestQueue::max_depth() const {
   return max_depth_;
 }
 
+size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
 // --- Front-end loops ---
 
 Result<IngestLoopResult> RunIngestLoop(ServeCore* core, int fd,
                                        const IngestOptions& options) {
   IngestQueue queue(options.queue_capacity, options.shed);
   std::string reader_error;  // Written before Close(), read after join.
-  std::thread reader([fd, &queue, &reader_error] {
+  std::atomic<bool> shutdown_requested{false};
+  const int shutdown_fd = options.shutdown_fd;
+  std::thread reader([fd, shutdown_fd, &queue, &reader_error,
+                      &shutdown_requested] {
     FrameDecoder decoder;
     char buf[65536];
     bool done = false;
     while (!done) {
+      if (shutdown_fd >= 0) {
+        // The signal handler writes to the shutdown pipe; a signal landing
+        // mid-poll just surfaces as EINTR and the retry sees the byte.
+        pollfd fds[2] = {{fd, POLLIN, 0}, {shutdown_fd, POLLIN, 0}};
+        int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+          if (errno == EINTR) continue;
+          reader_error = std::string("poll: ") + std::strerror(errno);
+          break;
+        }
+        if (fds[1].revents != 0) {
+          // Graceful drain: stop pulling the transport; whatever reached
+          // the queue is still applied by the engine thread below.
+          shutdown_requested.store(true);
+          break;
+        }
+        if (fds[0].revents == 0) continue;
+      }
       ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -528,6 +581,7 @@ Result<IngestLoopResult> RunIngestLoop(ServeCore* core, int fd,
   });
 
   IngestLoopResult result;
+  core->SetIngestQueue(&queue);
   obs::MetricsRegistry* metrics = core->options().metrics;
   obs::Histogram* latency =
       metrics != nullptr
@@ -537,7 +591,16 @@ Result<IngestLoopResult> RunIngestLoop(ServeCore* core, int fd,
   Status failure;
   uint64_t samples = 0;
   std::vector<IngestQueue::Item> batch;
-  while (queue.PopAll(&batch)) {
+  const bool ticking = static_cast<bool>(options.tick);
+  const auto period = std::chrono::duration_cast<SteadyClock::duration>(
+      std::chrono::duration<double>(options.tick_period_seconds > 0
+                                        ? options.tick_period_seconds
+                                        : 1.0));
+  SteadyClock::time_point next_tick = SteadyClock::now() + period;
+  for (;;) {
+    const bool alive =
+        ticking ? queue.PopAll(&batch, next_tick) : queue.PopAll(&batch);
+    if (!alive) break;
     for (IngestQueue::Item& item : batch) {
       ++result.frames;
       // After end/failure: keep draining so a blocked reader can finish,
@@ -559,9 +622,17 @@ Result<IngestLoopResult> RunIngestLoop(ServeCore* core, int fd,
         latency->Record(SecondsSince(item.arrival));
       }
     }
+    if (ticking) {
+      options.tick();  // The hook applies its own interval gating.
+      if (SteadyClock::now() >= next_tick) {
+        next_tick = SteadyClock::now() + period;
+      }
+    }
   }
   reader.join();
+  core->SetIngestQueue(nullptr);
   result.error = reader_error;
+  result.shutdown_seen = shutdown_requested.load();
   result.shed = queue.shed();
   result.max_queue_depth = queue.max_depth();
   if (metrics != nullptr) {
@@ -611,6 +682,32 @@ Result<IngestLoopResult> ServeTcpLoop(ServeCore* core, int listen_fd,
                                       void (*banner)(uint32_t connection)) {
   IngestLoopResult total;
   for (;;) {
+    if (options.shutdown_fd >= 0 || options.tick) {
+      // Between clients: wait for a connection, a shutdown byte, or the
+      // next telemetry tick deadline (so /statusz stays fresh while idle).
+      pollfd fds[2] = {{listen_fd, POLLIN, 0},
+                       {options.shutdown_fd, POLLIN, 0}};
+      const nfds_t nfds = options.shutdown_fd >= 0 ? 2 : 1;
+      const int timeout_ms =
+          options.tick && options.tick_period_seconds > 0
+              ? std::max(1, static_cast<int>(options.tick_period_seconds *
+                                             1000))
+              : -1;
+      int ready = ::poll(fds, nfds, timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return InternalError(std::string("poll: ") + std::strerror(errno));
+      }
+      if (nfds == 2 && fds[1].revents != 0) {
+        total.shutdown_seen = true;
+        return total;
+      }
+      if (ready == 0) {
+        if (options.tick) options.tick();
+        continue;
+      }
+      if (fds[0].revents == 0) continue;
+    }
     int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) continue;
@@ -627,6 +724,10 @@ Result<IngestLoopResult> ServeTcpLoop(ServeCore* core, int listen_fd,
     if (!r->error.empty()) total.error = r->error;
     if (r->end_seen) {
       total.end_seen = true;
+      return total;
+    }
+    if (r->shutdown_seen) {
+      total.shutdown_seen = true;
       return total;
     }
     // Client hung up without kEnd: persist what we have and rotate to a

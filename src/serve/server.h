@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,7 +24,13 @@
 #include "serve/checkpoint.h"
 #include "serve/wire.h"
 
+namespace motto::obs {
+struct Counter;
+}  // namespace motto::obs
+
 namespace motto::serve {
+
+class IngestQueue;
 
 /// `motto serve` (DESIGN.md §15): a long-running ingest server over the
 /// streaming Executor session API. ServeCore is the transport-independent
@@ -115,6 +122,15 @@ class ServeCore {
   const std::map<std::string, uint64_t>& sink_released() const {
     return sink_released_;
   }
+  /// Engine-thread telemetry access (session sink counts, node stats).
+  const Executor& executor() const { return *executor_; }
+  /// Seconds since the last successful checkpoint save (process start when
+  /// none happened yet). Telemetry's checkpoint-age signal.
+  double seconds_since_checkpoint() const;
+  /// The live ingest queue while an ingest loop drives this core (set by
+  /// RunIngestLoop, engine thread only); null between connections.
+  void SetIngestQueue(const IngestQueue* queue) { ingest_queue_ = queue; }
+  const IngestQueue* ingest_queue() const { return ingest_queue_; }
   /// Path of the current connection's output file ("" in discard mode).
   std::string OutputPath() const;
 
@@ -151,6 +167,10 @@ class ServeCore {
   std::vector<std::string> sink_names_;  ///< Jqp sink order (release order).
   std::unordered_map<uint32_t, EventTypeId> wire_map_;
   RecoveryInfo recovery_;
+  /// Hot-path instruments resolved once at Create (GetCounter is a map
+  /// lookup; OnFrame bumps these per frame). Null when metrics are off.
+  obs::Counter* frames_counter_ = nullptr;
+  obs::Counter* ingested_counter_ = nullptr;
 
   uint64_t ingested_ = 0;
   uint64_t seq_ = 0;  ///< Next checkpoint sequence number.
@@ -161,6 +181,9 @@ class ServeCore {
   std::FILE* out_ = nullptr;
   bool finished_ = false;
   bool fault_skip_release_once_ = false;
+  const IngestQueue* ingest_queue_ = nullptr;
+  std::chrono::steady_clock::time_point last_checkpoint_time_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Bounded handoff between the transport reader thread and the engine
@@ -181,10 +204,17 @@ class IngestQueue {
   /// Blocks for items; moves everything buffered into `*out`. False when
   /// the queue is closed and drained.
   bool PopAll(std::vector<Item>* out);
+  /// Timed variant for telemetry ticks: waits until `deadline`, then
+  /// returns true with `*out` empty so the caller can tick and re-poll.
+  /// Still false only when the queue is closed and drained.
+  bool PopAll(std::vector<Item>* out,
+              std::chrono::steady_clock::time_point deadline);
   void Close();
 
   uint64_t shed() const;
   size_t max_depth() const;
+  size_t depth() const;
+  size_t capacity() const { return capacity_; }
 
  private:
   mutable std::mutex mu_;
@@ -203,11 +233,24 @@ struct IngestOptions {
   /// Admission policy when the queue is full: false = block the transport
   /// (backpressure), true = shed the incoming event frame and count it.
   bool shed = false;
+  /// Graceful-shutdown signal: when >= 0 the reader thread also polls this
+  /// fd (the read end of a signal self-pipe); once readable it stops
+  /// reading the transport, the engine drains what is queued, and the loop
+  /// returns with shutdown_seen set.
+  int shutdown_fd = -1;
+  /// Telemetry hook, invoked on the engine thread between frame batches
+  /// and at least every `tick_period_seconds` even when the stream is idle
+  /// (the queue wait is bounded by the tick deadline).
+  std::function<void()> tick;
+  double tick_period_seconds = 1.0;
 };
 
 struct IngestLoopResult {
   /// A kEnd frame arrived (caller runs Finish + clean shutdown).
   bool end_seen = false;
+  /// The shutdown fd fired: the queue was drained into the engine and the
+  /// caller should Finish (final checkpoint + final snapshot) and exit 0.
+  bool shutdown_seen = false;
   /// Decoder/protocol failure, empty when the stream was well-formed.
   std::string error;
   uint64_t frames = 0;

@@ -1,0 +1,634 @@
+#include "serve/status.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "engine/runtime.h"
+#include "obs/json_util.h"
+
+namespace motto::serve {
+
+namespace {
+
+using obs::JsonEscape;
+using obs::JsonNum;
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+constexpr Timestamp kNoTimestamp = std::numeric_limits<Timestamp>::min();
+
+}  // namespace
+
+// --- Attribution ---
+
+std::vector<std::vector<size_t>> NodeQuerySets(const Jqp& jqp) {
+  std::vector<std::vector<size_t>> sets(jqp.nodes.size());
+  std::vector<char> seen;
+  for (size_t q = 0; q < jqp.sinks.size(); ++q) {
+    seen.assign(jqp.nodes.size(), 0);
+    // Iterative DFS from the sink node over `inputs` edges: every reached
+    // node contributes work to this query.
+    std::vector<int32_t> stack;
+    if (jqp.sinks[q].node >= 0 &&
+        static_cast<size_t>(jqp.sinks[q].node) < jqp.nodes.size()) {
+      stack.push_back(jqp.sinks[q].node);
+    }
+    while (!stack.empty()) {
+      int32_t at = stack.back();
+      stack.pop_back();
+      size_t u = static_cast<size_t>(at);
+      if (seen[u]) continue;
+      seen[u] = 1;
+      sets[u].push_back(q);
+      for (int32_t up : jqp.nodes[u].inputs) {
+        if (up >= 0 && static_cast<size_t>(up) < jqp.nodes.size() &&
+            !seen[static_cast<size_t>(up)]) {
+          stack.push_back(up);
+        }
+      }
+    }
+  }
+  return sets;
+}
+
+// --- ServeStatus rendering ---
+
+bool ServeStatus::Healthy(std::string* reason) const {
+  if (watermark_stalled) {
+    if (reason != nullptr) {
+      *reason = "watermark stalled for " + JsonNum(watermark_idle_seconds) +
+                "s while ingesting";
+    }
+    return false;
+  }
+  if (queue_saturated) {
+    if (reason != nullptr) {
+      *reason = "ingest queue saturated (" + std::to_string(queue_depth) +
+                "/" + std::to_string(queue_capacity) + ")";
+    }
+    return false;
+  }
+  if (reason != nullptr) reason->clear();
+  return true;
+}
+
+std::string ServeStatus::ToStatuszJson() const {
+  std::string health_reason;
+  const bool healthy = Healthy(&health_reason);
+  std::string out = "{";
+  if (snapshot != nullptr) {
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", snapshot->wall_unix_seconds);
+    out += "\"seq\":" + std::to_string(snapshot->seq) +
+           ",\"wall_unix_seconds\":" + wall +
+           ",\"uptime_seconds\":" + JsonNum(snapshot->uptime_seconds) +
+           ",\"interval_seconds\":" + JsonNum(snapshot->interval_seconds) +
+           ",";
+  }
+  out += "\"ingested\":" + std::to_string(ingested);
+  out += ",\"watermark\":";
+  out += watermark == kNoTimestamp ? std::string("null")
+                                   : std::to_string(watermark);
+  out += ",\"watermark_idle_seconds\":" + JsonNum(watermark_idle_seconds);
+  out += ",\"checkpoints\":" + std::to_string(checkpoints);
+  out += ",\"checkpoint_age_seconds\":" + JsonNum(checkpoint_age_seconds);
+  out += ",\"connection\":" + std::to_string(connection);
+  out += ",\"recovered\":";
+  out += recovered ? "true" : "false";
+  out +=
+      ",\"recovery_imports_failed\":" + std::to_string(recovery_imports_failed);
+  out += ",\"queue\":{\"depth\":" + std::to_string(queue_depth) +
+         ",\"capacity\":" + std::to_string(queue_capacity) +
+         ",\"max_depth\":" + std::to_string(queue_max_depth) +
+         ",\"shed\":" + std::to_string(queue_shed) + "}";
+  out += ",\"events_per_sec\":" + JsonNum(events_per_sec);
+  out += ",\"matches_per_sec\":" + JsonNum(matches_per_sec);
+  out += ",\"healthy\":";
+  out += healthy ? "true" : "false";
+  out += ",\"health_reason\":\"" + JsonEscape(health_reason) + "\"";
+  out += ",\"queries\":[";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryHealth& q = queries[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(q.name) + "\",\"state\":\"" +
+           q.state + "\",\"matches\":" + std::to_string(q.matches) +
+           ",\"released\":" + std::to_string(q.released) +
+           ",\"outbox_lag\":" + std::to_string(q.outbox_lag) +
+           ",\"last_emit_ts\":";
+    out += q.last_emit_ts == kNoTimestamp ? std::string("null")
+                                          : std::to_string(q.last_emit_ts);
+    out += ",\"cpu_share\":" + JsonNum(q.cpu_share) + "}";
+  }
+  out += "],\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeHealth& n = nodes[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":" + std::to_string(n.id) + ",\"label\":\"" +
+           JsonEscape(n.label) +
+           "\",\"events_in\":" + std::to_string(n.events_in) +
+           ",\"events_out\":" + std::to_string(n.events_out) +
+           ",\"busy_seconds\":" + JsonNum(n.busy_seconds) +
+           ",\"cost_share\":" + JsonNum(n.cost_share) + ",\"queries\":[";
+    for (size_t j = 0; j < n.queries.size(); ++j) {
+      if (j > 0) out += ',';
+      out += "\"" + JsonEscape(n.queries[j]) + "\"";
+    }
+    out += "]}";
+  }
+  out += "]";
+  if (snapshot != nullptr) {
+    out += ",\"metrics\":" + snapshot->ToJson();
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string MangleMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 6);
+  out += "motto_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeLabel(std::string_view value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// "node.<i>.<rest>" folds into a labeled family so per-node instruments
+/// stay one family per stat instead of one per node id.
+bool SplitNodeMetric(std::string_view name, std::string* rest,
+                     std::string* node) {
+  if (name.substr(0, 5) != "node.") return false;
+  size_t dot = name.find('.', 5);
+  if (dot == std::string_view::npos || dot == 5) return false;
+  for (size_t i = 5; i < dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  *node = std::string(name.substr(5, dot - 5));
+  *rest = std::string(name.substr(dot + 1));
+  return true;
+}
+
+void EmitFamily(std::string* out, const std::string& family,
+                const char* type,
+                const std::vector<std::pair<std::string, std::string>>&
+                    samples) {
+  *out += "# TYPE " + family + " " + type + "\n";
+  for (const auto& [labels, value] : samples) {
+    *out += family + labels + " " + value + "\n";
+  }
+}
+
+}  // namespace
+
+std::string ServeStatus::ToPrometheus() const {
+  std::string out;
+  using Samples = std::vector<std::pair<std::string, std::string>>;
+  std::map<std::string, Samples> counter_families;
+  std::map<std::string, Samples> gauge_families;
+  if (snapshot != nullptr) {
+    for (const auto& [name, counter] : snapshot->counters) {
+      std::string rest;
+      std::string node;
+      if (SplitNodeMetric(name, &rest, &node)) {
+        counter_families[MangleMetricName("node_" + rest) + "_total"]
+            .emplace_back("{node=\"" + node + "\"}",
+                          std::to_string(counter.value));
+      } else {
+        counter_families[MangleMetricName(name) + "_total"].emplace_back(
+            "", std::to_string(counter.value));
+      }
+    }
+    for (const auto& [name, gauge] : snapshot->gauges) {
+      std::string rest;
+      std::string node;
+      if (SplitNodeMetric(name, &rest, &node)) {
+        gauge_families[MangleMetricName("node_" + rest)].emplace_back(
+            "{node=\"" + node + "\"}", JsonNum(gauge.value));
+      } else {
+        gauge_families[MangleMetricName(name)].emplace_back(
+            "", JsonNum(gauge.value));
+      }
+    }
+  }
+
+  // Serve-level gauges derived from the status itself.
+  gauge_families["motto_up"].emplace_back("", "1");
+  if (snapshot != nullptr) {
+    gauge_families["motto_snapshot_seq"].emplace_back(
+        "", std::to_string(snapshot->seq));
+    gauge_families["motto_uptime_seconds"].emplace_back(
+        "", JsonNum(snapshot->uptime_seconds));
+  }
+  counter_families["motto_serve_ingested_total"].emplace_back(
+      "", std::to_string(ingested));
+  counter_families["motto_serve_checkpoints_taken_total"].emplace_back(
+      "", std::to_string(checkpoints));
+  gauge_families["motto_serve_checkpoint_age_seconds"].emplace_back(
+      "", JsonNum(checkpoint_age_seconds));
+  gauge_families["motto_serve_watermark_idle_seconds"].emplace_back(
+      "", JsonNum(watermark_idle_seconds));
+  if (watermark != kNoTimestamp) {
+    gauge_families["motto_serve_watermark"].emplace_back(
+        "", std::to_string(watermark));
+  }
+  gauge_families["motto_serve_ingest_queue_depth"].emplace_back(
+      "", std::to_string(queue_depth));
+  gauge_families["motto_serve_ingest_queue_capacity"].emplace_back(
+      "", std::to_string(queue_capacity));
+  gauge_families["motto_serve_events_per_sec"].emplace_back(
+      "", JsonNum(events_per_sec));
+  gauge_families["motto_serve_matches_per_sec"].emplace_back(
+      "", JsonNum(matches_per_sec));
+  gauge_families["motto_serve_healthy"].emplace_back(
+      "", Healthy(nullptr) ? "1" : "0");
+
+  for (const QueryHealth& q : queries) {
+    const std::string label = "{query=\"" + EscapeLabel(q.name) + "\"}";
+    counter_families["motto_query_matches_total"].emplace_back(
+        label, std::to_string(q.matches));
+    counter_families["motto_query_released_total"].emplace_back(
+        label, std::to_string(q.released));
+    gauge_families["motto_query_outbox_lag"].emplace_back(
+        label, std::to_string(q.outbox_lag));
+    gauge_families["motto_query_cpu_share"].emplace_back(label,
+                                                         JsonNum(q.cpu_share));
+    if (q.last_emit_ts != kNoTimestamp) {
+      gauge_families["motto_query_last_emit_ts"].emplace_back(
+          label, std::to_string(q.last_emit_ts));
+    }
+    gauge_families["motto_query_state"].emplace_back(
+        "{query=\"" + EscapeLabel(q.name) + "\",state=\"" + q.state + "\"}",
+        "1");
+  }
+  for (const NodeHealth& n : nodes) {
+    gauge_families["motto_node_cost_share"].emplace_back(
+        "{node=\"" + std::to_string(n.id) + "\"}", JsonNum(n.cost_share));
+  }
+
+  for (const auto& [family, samples] : counter_families) {
+    EmitFamily(&out, family, "counter", samples);
+  }
+  for (const auto& [family, samples] : gauge_families) {
+    EmitFamily(&out, family, "gauge", samples);
+  }
+  if (snapshot != nullptr) {
+    for (const auto& [name, histogram] : snapshot->histograms) {
+      const std::string family = MangleMetricName(name);
+      out += "# TYPE " + family + " histogram\n";
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < histogram.bounds.size(); ++b) {
+        cumulative += b < histogram.counts.size() ? histogram.counts[b] : 0;
+        out += family + "_bucket{le=\"" + JsonNum(histogram.bounds[b]) +
+               "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += family + "_bucket{le=\"+Inf\"} " +
+             std::to_string(histogram.count) + "\n";
+      out += family + "_sum " + JsonNum(histogram.sum) + "\n";
+      out += family + "_count " + std::to_string(histogram.count) + "\n";
+    }
+  }
+  return out;
+}
+
+// --- ServeTelemetry ---
+
+ServeTelemetry::ServeTelemetry(ServeCore* core, TelemetryOptions options)
+    : core_(core),
+      options_(std::move(options)),
+      snapshotter_(core->options().metrics, options_.history),
+      node_queries_(NodeQuerySets(core->jqp())),
+      last_watermark_change_(SteadyClock::now()) {
+  last_snapshot_ingested_ = core_->ingested();
+  last_watermark_ = core_->watermark();
+  ingested_at_watermark_change_ = core_->ingested();
+  if (!options_.stats_log_path.empty()) {
+    stats_log_ = std::fopen(options_.stats_log_path.c_str(), "ab");
+    if (stats_log_ == nullptr) {
+      status_ = InternalError("open stats log " + options_.stats_log_path +
+                              ": " + std::strerror(errno));
+    }
+  }
+}
+
+ServeTelemetry::~ServeTelemetry() {
+  if (stats_log_ != nullptr) std::fclose(stats_log_);
+}
+
+void ServeTelemetry::Tick(bool force) {
+  bool due = force;
+  if (!due && options_.snapshot_interval_seconds > 0) {
+    due = snapshotter_.TickDue(options_.snapshot_interval_seconds);
+  }
+  if (!due && options_.snapshot_every_events > 0) {
+    due = core_->ingested() - last_snapshot_ingested_ >=
+          options_.snapshot_every_events;
+  }
+  if (!due) return;
+  std::shared_ptr<const ServeStatus> built = Build();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_ = built;
+  }
+  if (stats_log_ != nullptr) {
+    std::string line = built->ToStatuszJson();
+    line.push_back('\n');
+    if (std::fwrite(line.data(), 1, line.size(), stats_log_) != line.size() &&
+        status_.ok()) {
+      status_ = InternalError("stats log write failed for " +
+                              options_.stats_log_path);
+    }
+    std::fflush(stats_log_);
+  }
+}
+
+std::shared_ptr<const ServeStatus> ServeTelemetry::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+std::shared_ptr<const ServeStatus> ServeTelemetry::Build() {
+  auto status = std::make_shared<ServeStatus>();
+  status->snapshot = snapshotter_.Collect();
+  status->ingested = core_->ingested();
+  status->watermark = core_->watermark();
+  status->checkpoints = core_->checkpoints_taken();
+  status->checkpoint_age_seconds = core_->seconds_since_checkpoint();
+  status->connection = core_->connection();
+  status->recovered = core_->recovery().recovered;
+  status->recovery_imports_failed = core_->recovery().imports_failed;
+  last_snapshot_ingested_ = status->ingested;
+
+  if (status->watermark != last_watermark_) {
+    last_watermark_ = status->watermark;
+    last_watermark_change_ = SteadyClock::now();
+    ingested_at_watermark_change_ = status->ingested;
+  }
+  status->watermark_idle_seconds = SecondsSince(last_watermark_change_);
+  status->watermark_stalled =
+      status->ingested > ingested_at_watermark_change_ &&
+      status->watermark_idle_seconds > options_.stall_seconds;
+
+  const IngestQueue* queue = core_->ingest_queue();
+  if (queue != nullptr) {
+    status->queue_depth = queue->depth();
+    status->queue_capacity = queue->capacity();
+    status->queue_max_depth = queue->max_depth();
+    status->queue_shed = queue->shed();
+    status->queue_saturated = status->queue_capacity > 0 &&
+                              status->queue_depth >= status->queue_capacity;
+  }
+
+  // Per-node health plus a cost proxy: measured busy time when the run
+  // collected it, otherwise events handled (in + out).
+  const Jqp& jqp = core_->jqp();
+  std::vector<NodeStats> node_stats;
+  core_->executor().SnapshotSessionNodeStats(&node_stats);
+  double total_busy = 0.0;
+  for (const NodeStats& ns : node_stats) total_busy += ns.busy_seconds;
+  std::vector<double> cost(node_stats.size(), 0.0);
+  double total_cost = 0.0;
+  for (size_t i = 0; i < node_stats.size(); ++i) {
+    cost[i] = total_busy > 0.0
+                  ? node_stats[i].busy_seconds
+                  : static_cast<double>(node_stats[i].events_in +
+                                        node_stats[i].events_out);
+    total_cost += cost[i];
+  }
+  status->nodes.resize(node_stats.size());
+  for (size_t i = 0; i < node_stats.size(); ++i) {
+    NodeHealth& n = status->nodes[i];
+    n.id = static_cast<int32_t>(i);
+    n.label = jqp.NodeLabel(static_cast<int32_t>(i));
+    n.events_in = node_stats[i].events_in;
+    n.events_out = node_stats[i].events_out;
+    n.busy_seconds = node_stats[i].busy_seconds;
+    n.cost_share = total_cost > 0.0 ? cost[i] / total_cost : 0.0;
+    if (i < node_queries_.size()) {
+      for (size_t q : node_queries_[i]) {
+        n.queries.push_back(jqp.sinks[q].query_name);
+      }
+    }
+  }
+
+  // Apportion shared-node cost evenly across each node's owning queries
+  // (paper §III sharing: a node serving k queries bills each 1/k of its
+  // work), then normalize to shares of the whole plan's cost.
+  std::vector<double> query_cost(jqp.sinks.size(), 0.0);
+  for (size_t i = 0; i < node_queries_.size() && i < cost.size(); ++i) {
+    if (node_queries_[i].empty()) continue;
+    const double slice =
+        cost[i] / static_cast<double>(node_queries_[i].size());
+    for (size_t q : node_queries_[i]) query_cost[q] += slice;
+  }
+
+  const std::vector<SinkTelemetry>& sinks =
+      core_->executor().session_sink_telemetry();
+  const std::map<std::string, uint64_t>& released = core_->sink_released();
+  prev_query_matches_.resize(jqp.sinks.size(), 0);
+  if (baseline_released_.empty()) {
+    // First build: everything already released belongs to pre-recovery life.
+    baseline_released_ = released;
+  }
+  uint64_t total_matches = 0;
+  status->queries.resize(jqp.sinks.size());
+  for (size_t q = 0; q < jqp.sinks.size(); ++q) {
+    QueryHealth& health = status->queries[q];
+    health.name = jqp.sinks[q].query_name;
+    health.matches = q < sinks.size() ? sinks[q].matches : 0;
+    health.last_emit_ts = q < sinks.size() ? sinks[q].last_emit_ts
+                                           : kNoTimestamp;
+    auto it = released.find(health.name);
+    health.released = it != released.end() ? it->second : 0;
+    uint64_t released_baseline = 0;
+    auto base = baseline_released_.find(health.name);
+    if (base != baseline_released_.end()) released_baseline = base->second;
+    const uint64_t released_this_life =
+        health.released >= released_baseline
+            ? health.released - released_baseline
+            : 0;
+    health.outbox_lag = health.matches >= released_this_life
+                            ? health.matches - released_this_life
+                            : 0;
+    health.cpu_share =
+        total_cost > 0.0 ? query_cost[q] / total_cost : 0.0;
+    const uint64_t delta = health.matches >= prev_query_matches_[q]
+                               ? health.matches - prev_query_matches_[q]
+                               : health.matches;
+    if (delta > 0) {
+      health.state = "live";
+    } else if (health.matches > 0 || health.released > 0) {
+      health.state = "idle";
+    } else {
+      health.state = status->ingested > 0 ? "starved" : "idle";
+    }
+    prev_query_matches_[q] = health.matches;
+    total_matches += health.matches;
+  }
+
+  status->events_per_sec = status->snapshot->Rate("serve.ingested_events");
+  const double dt = status->snapshot->interval_seconds;
+  if (dt > 0 && total_matches >= prev_total_matches_) {
+    status->matches_per_sec =
+        static_cast<double>(total_matches - prev_total_matches_) / dt;
+  }
+  prev_total_matches_ = total_matches;
+  return status;
+}
+
+// --- StatusServer ---
+
+Result<std::unique_ptr<StatusServer>> StatusServer::Start(int port,
+                                                          StatusFn source) {
+  std::unique_ptr<StatusServer> server(new StatusServer());
+  server->source_ = std::move(source);
+  MOTTO_ASSIGN_OR_RETURN(server->listen_fd_,
+                         ListenTcp(port, &server->port_));
+  server->thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+StatusServer::~StatusServer() { Stop(); }
+
+void StatusServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Unblock accept(); the fd itself is closed only after the join so the
+  // number cannot be reused under the accept thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void StatusServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Shutdown (or a fatal accept error) ends the server.
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void StatusServer::HandleConnection(int fd) {
+  // Requests are a single short line; read until the header terminator or a
+  // small cap, with a poll timeout so a stuck client cannot wedge the loop.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 2000);
+    if (ready <= 0) return;
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t sp1 = request.find(' ');
+  if (sp1 == std::string::npos) {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                              "bad request\n"));
+    return;
+  }
+  size_t sp2 = request.find(' ', sp1 + 1);
+  std::string path = request.substr(
+      sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::shared_ptr<const ServeStatus> status =
+      source_ ? source_() : nullptr;
+  if (status == nullptr) {
+    WriteAll(fd, HttpResponse(503, "Service Unavailable", "text/plain",
+                              "no status published yet\n"));
+    return;
+  }
+  if (path == "/metrics") {
+    WriteAll(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                              status->ToPrometheus()));
+  } else if (path == "/statusz") {
+    WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                              status->ToStatuszJson() + "\n"));
+  } else if (path == "/healthz") {
+    std::string reason;
+    const bool healthy = status->Healthy(&reason);
+    std::string body = std::string("{\"healthy\":") +
+                       (healthy ? "true" : "false") + ",\"reason\":\"" +
+                       JsonEscape(reason) + "\"}\n";
+    if (healthy) {
+      WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+    } else {
+      WriteAll(fd, HttpResponse(503, "Service Unavailable",
+                                "application/json", body));
+    }
+  } else {
+    WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                              "unknown path (try /metrics, /statusz, "
+                              "/healthz)\n"));
+  }
+}
+
+}  // namespace motto::serve

@@ -1,0 +1,204 @@
+#ifndef MOTTO_SERVE_STATUS_H_
+#define MOTTO_SERVE_STATUS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "engine/graph.h"
+#include "obs/snapshot.h"
+#include "serve/server.h"
+
+namespace motto::serve {
+
+/// Live serve telemetry (DESIGN.md §16). Three layers, split by thread:
+///
+///   engine thread:   ServeTelemetry::Tick — collects a MetricsSnapshot,
+///                    joins it with per-query/per-node health read straight
+///                    off the ServeCore (safe: same thread), publishes an
+///                    immutable ServeStatus, appends one JSONL line to the
+///                    stats log.
+///   status thread:   StatusServer — a minimal HTTP/1.0 responder serving
+///                    /metrics (Prometheus text), /statusz (JSON), /healthz
+///                    from the *published* ServeStatus only. It never
+///                    touches the live registry or the core.
+///   any thread:      ServeStatus itself is immutable after publication.
+
+/// Health of one user query, with shared-plan cost apportioned to it.
+struct QueryHealth {
+  std::string name;
+  /// "live"   — emitted new matches in the last snapshot interval;
+  /// "idle"   — has matched before, nothing new this interval;
+  /// "starved"— never matched despite ingested events.
+  std::string state = "idle";
+  /// Matches accumulated by this process's session (since start/recovery).
+  uint64_t matches = 0;
+  /// Matches durably released to the output file (whole stream life).
+  uint64_t released = 0;
+  /// Matches held in the outbox awaiting the next checkpoint's release —
+  /// the output-commit lag of this query.
+  uint64_t outbox_lag = 0;
+  /// Stream-time end of the last emitted match (min() = never emitted).
+  Timestamp last_emit_ts = std::numeric_limits<Timestamp>::min();
+  /// Estimated share of engine cost attributed to this query: each shared
+  /// node's cost is split evenly across the queries reachable from it.
+  double cpu_share = 0.0;
+};
+
+/// Health of one plan node, with its transitive owning queries.
+struct NodeHealth {
+  int32_t id = -1;
+  std::string label;
+  uint64_t events_in = 0;
+  uint64_t events_out = 0;
+  double busy_seconds = 0.0;
+  double cost_share = 0.0;
+  std::vector<std::string> queries;
+};
+
+/// One immutable published observation of a running server.
+struct ServeStatus {
+  std::shared_ptr<const obs::MetricsSnapshot> snapshot;
+
+  uint64_t ingested = 0;
+  Timestamp watermark = std::numeric_limits<Timestamp>::min();
+  uint64_t checkpoints = 0;
+  double checkpoint_age_seconds = 0.0;
+  /// Seconds since the watermark last advanced (0 until it first moves).
+  double watermark_idle_seconds = 0.0;
+  uint32_t connection = 0;
+  bool recovered = false;
+  uint64_t recovery_imports_failed = 0;
+
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  size_t queue_max_depth = 0;
+  uint64_t queue_shed = 0;
+
+  double events_per_sec = 0.0;
+  double matches_per_sec = 0.0;
+
+  std::vector<QueryHealth> queries;
+  std::vector<NodeHealth> nodes;
+
+  /// Liveness verdict: false when the server ingests but the watermark has
+  /// stalled past the telemetry stall threshold, or the ingest queue is
+  /// saturated. `reason` (optional) gets a one-line explanation.
+  bool Healthy(std::string* reason) const;
+
+  /// Single-line JSON object (also the stats-log JSONL line).
+  std::string ToStatuszJson() const;
+  /// Prometheus text exposition format 0.0.4.
+  std::string ToPrometheus() const;
+
+  bool watermark_stalled = false;
+  bool queue_saturated = false;
+};
+
+/// Per-node transitive query attribution: result[node] lists the sink
+/// indexes whose output depends on that node. A node shared by k queries
+/// appears in k sets; the cost apportioner divides its cost by k.
+std::vector<std::vector<size_t>> NodeQuerySets(const Jqp& jqp);
+
+struct TelemetryOptions {
+  /// Time-driven snapshot cadence; <= 0 disables the timer (snapshots then
+  /// only happen on force ticks or the event-count trigger).
+  double snapshot_interval_seconds = 1.0;
+  /// Also snapshot after this many newly ingested events (0 = off).
+  uint64_t snapshot_every_events = 0;
+  /// JSONL sink; one ToStatuszJson line per snapshot. Empty = off.
+  std::string stats_log_path;
+  /// Watermark stall threshold for /healthz.
+  double stall_seconds = 5.0;
+  size_t history = 64;
+};
+
+/// Engine-thread telemetry coordinator. Tick() must be called from the
+/// thread driving the ServeCore; Latest() is safe from any thread.
+class ServeTelemetry {
+ public:
+  /// `core` must outlive the telemetry object and have a metrics registry.
+  ServeTelemetry(ServeCore* core, TelemetryOptions options);
+  ~ServeTelemetry();
+  ServeTelemetry(const ServeTelemetry&) = delete;
+  ServeTelemetry& operator=(const ServeTelemetry&) = delete;
+
+  /// Snapshot + publish when due (interval elapsed or enough new events);
+  /// `force` skips the due check (startup, shutdown, checkpoint edges).
+  void Tick(bool force = false);
+
+  std::shared_ptr<const ServeStatus> Latest() const;
+
+  /// Sticky first stats-log write error (telemetry must never kill serving,
+  /// so failures park here instead of propagating).
+  const Status& status() const { return status_; }
+
+  uint64_t snapshots_taken() const { return snapshotter_.snapshots_taken(); }
+
+ private:
+  std::shared_ptr<const ServeStatus> Build();
+
+  ServeCore* core_;
+  TelemetryOptions options_;
+  obs::MetricsSnapshotter snapshotter_;
+  std::vector<std::vector<size_t>> node_queries_;
+  std::FILE* stats_log_ = nullptr;
+  Status status_;
+
+  uint64_t last_snapshot_ingested_ = 0;
+  Timestamp last_watermark_ = std::numeric_limits<Timestamp>::min();
+  std::chrono::steady_clock::time_point last_watermark_change_;
+  uint64_t ingested_at_watermark_change_ = 0;
+  /// sink_released() at the first snapshot: released counts cover the whole
+  /// stream life, session matches only this process's; the baseline aligns
+  /// the two so outbox lag never goes "negative" after a recovery.
+  std::map<std::string, uint64_t> baseline_released_;
+  uint64_t prev_total_matches_ = 0;
+  std::vector<uint64_t> prev_query_matches_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServeStatus> latest_;
+};
+
+/// Minimal HTTP/1.0 status responder on 127.0.0.1:`port` (0 = ephemeral),
+/// one request per connection, on a dedicated accept thread. Routes:
+/// /metrics, /statusz, /healthz. Unknown paths get 404; before the first
+/// published status everything gets 503.
+class StatusServer {
+ public:
+  using StatusFn = std::function<std::shared_ptr<const ServeStatus>()>;
+
+  static Result<std::unique_ptr<StatusServer>> Start(int port,
+                                                     StatusFn source);
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  int port() const { return port_; }
+  void Stop();
+
+ private:
+  StatusServer() = default;
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  StatusFn source_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace motto::serve
+
+#endif  // MOTTO_SERVE_STATUS_H_

@@ -318,6 +318,41 @@ EOF
 "${MOTTO}" explain --workload=w.ccl --stream=s.csv --shards=0 >/dev/null 2>&1
 [ $? -eq 1 ] || fail "explain --shards=0 should exit 1"
 
+# Live serve telemetry (DESIGN.md §16): a batch-mode serve run appends
+# statusz-shaped snapshots to --stats-log, which `motto top --from-log`
+# renders; flag errors must name the flag.
+"${MOTTO}" wire-encode --stream=s.csv --out=s.bin >/dev/null \
+  || fail "wire-encode for top"
+"${MOTTO}" serve --workload=w.ccl --stream=s.csv --stats-log=top.jsonl \
+  < s.bin > serve_top.out 2>&1 || fail "batch serve with --stats-log"
+grep -q "serve: end of stream" serve_top.out || fail "serve end banner missing"
+[ -s top.jsonl ] || fail "stats log empty after batch serve"
+"${MOTTO}" top --from-log=top.jsonl --once > top.out \
+  || fail "motto top --from-log"
+grep -q "motto serve  seq" top.out || fail "top header missing"
+grep -q "QUERY" top.out || fail "top per-query table missing"
+grep -q "NODE" top.out || fail "top per-node table missing"
+grep -q "ingested 5000" top.out || fail "top did not show the full stream"
+"${MOTTO}" top >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "top without --port/--from-log should exit 1"
+grep -q "motto top needs --port" err.txt \
+  || fail "top usage error should explain the sources"
+"${MOTTO}" top --from-log=top.jsonl --interval=0 >/dev/null 2>&1
+[ $? -eq 1 ] || fail "top --interval=0 should exit 1"
+"${MOTTO}" serve --workload=w.ccl --stream=s.csv --snapshot-interval=abc \
+  < s.bin >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "--snapshot-interval=abc should exit 1"
+grep -q -- "bad --snapshot-interval='abc'" err.txt \
+  || fail "--snapshot-interval error should name the flag"
+"${MOTTO}" serve --workload=w.ccl --stream=s.csv --stats-log \
+  < s.bin >/dev/null 2>err.txt
+[ $? -eq 1 ] || fail "bare --stats-log should exit 1"
+grep -q -- "--stats-log needs a value" err.txt \
+  || fail "bare --stats-log error should name the flag"
+"${MOTTO}" serve --workload=w.ccl --stream=s.csv --snapshot-every=-1 \
+  < s.bin >/dev/null 2>&1
+[ $? -eq 1 ] || fail "--snapshot-every=-1 should exit 1"
+
 # Differential verification: a short fuzz sweep (oracle vs every execution
 # path) and the curated repro corpus replayed one pair at a time.
 "${MOTTO}" verify --seed=7 --iters=25 > verify.out || fail "verify fuzz"

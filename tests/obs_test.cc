@@ -278,6 +278,45 @@ TEST_F(ObsEngineTest, RunReportComparesPredictedAndMeasured) {
   EXPECT_NE(report.ToTable().find("pred%"), std::string::npos);
 }
 
+TEST_F(ObsEngineTest, TraceDropsSurfaceInMetricsAndReport) {
+  Jqp jqp = TwoQueryPlan();
+  auto executor = Executor::Create(jqp);
+  ASSERT_TRUE(executor.ok()) << executor.status();
+  EventStream stream = BigStream();
+
+  // A sink far too small for this run: the overflow must be visible as a
+  // counter and a report warning, never silent truncation.
+  obs::TraceSink tiny(/*max_events=*/16);
+  obs::MetricsRegistry metrics;
+  ExecutorOptions options;
+  options.metrics = &metrics;
+  options.trace = &tiny;
+  auto run = executor->Run(stream, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  EXPECT_GT(tiny.dropped_events(), 0u);
+  EXPECT_EQ(run->trace_dropped_spans, tiny.dropped_events());
+  EXPECT_EQ(metrics.GetCounter("trace.dropped_spans")->value,
+            run->trace_dropped_spans);
+  obs::RunReport report =
+      obs::BuildRunReport(jqp, ComputeStats(stream), *run);
+  bool warned = false;
+  for (const std::string& warning : report.warnings) {
+    warned = warned || warning.find("dropped") != std::string::npos;
+  }
+  EXPECT_TRUE(warned) << "no trace-drop warning in the run report";
+
+  // An ample sink drops nothing and adds no warning or counter.
+  obs::TraceSink ample;
+  obs::MetricsRegistry clean;
+  options.trace = &ample;
+  options.metrics = &clean;
+  auto full = executor->Run(stream, options);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->trace_dropped_spans, 0u);
+  EXPECT_EQ(clean.counters().count("trace.dropped_spans"), 0u);
+}
+
 TEST_F(ObsEngineTest, RunReportFlagsMissingTiming) {
   Jqp jqp = TwoQueryPlan();
   auto executor = Executor::Create(jqp);

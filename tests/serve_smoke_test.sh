@@ -50,20 +50,57 @@ wait_quiesce() {
 }
 
 # Starts the server reading a fresh FIFO on stdin; sets SERVE_PID and opens
-# the FIFO for writing as fd 9. $1 names the log file.
+# the FIFO for writing as fd 9. $1 names the log file. Every incarnation
+# also runs the live-telemetry surface: an ephemeral status port and a
+# per-incarnation stats log (snapshot seqs restart with the process, so the
+# monotonicity check below is per file). STATUS_PORT gets the bound port.
+STATUS_PORT=""
 start_server() {
   rm -f pipe; mkfifo pipe
   "$MOTTO" serve --workload=workload.ccl --stream=stream.csv \
     --checkpoint-dir=ckpt --checkpoint-interval=$INTERVAL --out-dir=out \
+    --status-port=0 --stats-log="${1%.log}.stats.jsonl" \
+    --snapshot-interval=0.5 \
     < pipe > "$1" 2>&1 &
   SERVE_PID=$!
   exec 9> pipe
   for _ in $(seq 1 300); do
-    grep -q "serve: ready" "$1" 2>/dev/null && return 0
+    grep -q "serve: ready" "$1" 2>/dev/null && break
     kill -0 "$SERVE_PID" 2>/dev/null || { cat "$1" >&2; fail "server died at startup"; }
     sleep 0.1
   done
-  fail "server never became ready"
+  grep -q "serve: ready" "$1" || fail "server never became ready"
+  STATUS_PORT=$(sed -n 's/.*serve: status on 127.0.0.1:\([0-9]*\).*/\1/p' "$1")
+  [ -n "$STATUS_PORT" ] || fail "no status port announced in $1"
+}
+
+# Scrapes one status route; prints "<http-code> <body>".
+scrape() {
+  curl -s -o body.txt -w '%{http_code}' "http://127.0.0.1:$STATUS_PORT$1" \
+    || fail "curl $1 failed against port $STATUS_PORT"
+}
+
+# The server must look alive: /healthz 200, /metrics exposing the ingest
+# counter, /statusz carrying per-query health.
+check_status_alive() {
+  code=$(scrape /healthz)
+  [ "$code" = 200 ] || { cat body.txt >&2; fail "$1: /healthz returned $code"; }
+  grep -q '"healthy":true' body.txt || fail "$1: /healthz body not healthy"
+  code=$(scrape /metrics)
+  [ "$code" = 200 ] || fail "$1: /metrics returned $code"
+  grep -q "motto_serve_ingested_events_total" body.txt \
+    || fail "$1: ingest counter missing from /metrics"
+  grep -q 'motto_query_matches_total{query=' body.txt \
+    || fail "$1: per-query families missing from /metrics"
+  code=$(scrape /statusz)
+  [ "$code" = 200 ] || fail "$1: /statusz returned $code"
+  python3 -c '
+import json, sys
+d = json.load(open("body.txt"))
+assert d["queries"], "no per-query health"
+for q in d["queries"]:
+    assert q["state"] in ("live", "idle", "starved"), q
+' || fail "$1: /statusz JSON invalid"
 }
 
 sigkill_server() {
@@ -87,6 +124,7 @@ grep -q "serve: fresh start" run1.log || fail "run1 did not start fresh"
   --out=part1.bin >/dev/null
 cat part1.bin >&9
 wait_quiesce
+check_status_alive run1
 sigkill_server
 
 # --- Incarnation 2: recover, feed the rest (no end frame), SIGKILL. -------
@@ -100,6 +138,7 @@ N1=$(resume_offset run2.log)
   --limit=$((99700 - N1)) --no-end --out=part2.bin >/dev/null
 cat part2.bin >&9
 wait_quiesce
+check_status_alive run2
 sigkill_server
 
 # --- Incarnation 3: recover again, replay the tail, clean end frame. ------
@@ -130,5 +169,71 @@ fi
 missing=$(join -v 1 batch_counts.txt serve_counts_all.txt | awk '$2 != 0')
 [ -z "$missing" ] && : || fail "queries missing from served output: $missing"
 
+# --- Stats logs: well-formed JSONL, strictly monotone seq per process. ----
+# run1/run2 idle through wait_quiesce, so at a 0.5 s cadence they must log
+# several snapshots; run3 replays the tail and may exit within one interval,
+# where only the forced shutdown snapshot is guaranteed.
+for spec in run1:3 run2:3 run3:1; do
+  log="${spec%:*}.stats.jsonl"
+  [ -s "$log" ] || fail "$log missing or empty"
+  python3 - "$log" "${spec#*:}" <<'EOF' || fail "stats log validation failed"
+import json, sys
+last = 0
+lines = 0
+for line in open(sys.argv[1]):
+    d = json.loads(line)
+    assert d["seq"] > last, (sys.argv[1], d["seq"], last)
+    last = d["seq"]
+    assert d["ingested"] >= 0 and "queries" in d and "metrics" in d
+    lines += 1
+assert lines >= int(sys.argv[2]), f"{sys.argv[1]}: only {lines} snapshots"
+EOF
+done
+# The final incarnation's closing snapshot covers the whole stream.
+tail -1 run3.stats.jsonl | python3 -c '
+import json, sys
+d = json.loads(sys.stdin.read())
+assert d["ingested"] == 100000, d["ingested"]
+' || fail "final stats-log line does not cover the full stream"
+
+# --- SIGTERM graceful drain: checkpoint + exit 0, then a clean resume. ----
+rm -rf ckpt out
+start_server term.log
+grep -q "serve: fresh start" term.log || fail "term run did not start fresh"
+"$MOTTO" wire-encode --stream=stream.csv --limit=40000 --no-end \
+  --out=term1.bin >/dev/null
+cat term1.bin >&9
+wait_quiesce
+check_status_alive term
+kill -TERM "$SERVE_PID"     # FIFO still open: the self-pipe must win.
+code=0
+wait "$SERVE_PID" || code=$?
+[ "$code" = 0 ] || { cat term.log >&2; fail "SIGTERM exit code $code"; }
+SERVE_PID=""
+exec 9>&-
+grep -q "serve: graceful shutdown: drained queue" term.log \
+  || { cat term.log >&2; fail "graceful-shutdown banner missing"; }
+TN=$(sed -n 's/.*graceful shutdown: drained queue at ingested=\([0-9]*\).*/\1/p' term.log)
+[ "$TN" = 40000 ] || fail "graceful drain lost events (ingested=$TN)"
+
+start_server term2.log
+grep -q "serve: recovered checkpoint" term2.log \
+  || fail "no recovery after graceful shutdown"
+TN2=$(resume_offset term2.log)
+[ "$TN2" = 40000 ] || fail "resume offset $TN2 after graceful shutdown"
+"$MOTTO" wire-encode --stream=stream.csv --skip="$TN2" --out=term2.bin \
+  >/dev/null
+cat term2.bin >&9
+exec 9>&-
+wait "$SERVE_PID" || { cat term2.log >&2; fail "post-SIGTERM resume failed"; }
+SERVE_PID=""
+grep -q "serve: end of stream" term2.log || fail "resume never saw end frame"
+awk -F'\t' '{ count[$1]++ } END { for (s in count) print s, count[s] }' \
+  out/conn0.matches | sort > term_counts.txt
+join batch_counts.txt term_counts.txt | awk '$2 != $3' > term_diverged.txt
+[ -s term_diverged.txt ] && { cat term_diverged.txt >&2; \
+  fail "match counts diverge across SIGTERM graceful drain"; } || true
+
 echo "PASS: $EVENTS events, 2 SIGKILL/restart cycles (resumed at $N1, $N2), \
-per-query counts equal batch replay"
+per-query counts equal batch replay; /healthz+/metrics+/statusz live across \
+restarts, stats logs monotone, SIGTERM drain resumed at $TN2"

@@ -1,0 +1,160 @@
+// MetricsSnapshotter (DESIGN.md §16): immutable versioned snapshots of a
+// single-writer MetricsRegistry — monotonic sequence numbers, delta/rate
+// annotation against the previous snapshot, bounded ring history, and the
+// time-driven TickDue cadence check.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace motto {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::MetricsSnapshotter;
+
+TEST(SnapshotTest, FirstCollectCapturesEverythingWithZeroRates) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.ingested_events")->Add(42);
+  registry.GetGauge("queue.depth")->Set(7.0);
+  registry.GetHistogram("lat", {0.001, 0.01, 0.1})->Record(0.005);
+
+  MetricsSnapshotter snapshotter(&registry);
+  EXPECT_EQ(snapshotter.Latest(), nullptr);
+  EXPECT_EQ(snapshotter.snapshots_taken(), 0u);
+
+  auto snapshot = snapshotter.Collect();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->seq, 1u);
+  EXPECT_GT(snapshot->wall_unix_seconds, 0.0);
+  EXPECT_GE(snapshot->uptime_seconds, 0.0);
+  // First snapshot has no predecessor: interval and rates are zero, deltas
+  // equal the raw values (everything is "new since the beginning").
+  EXPECT_EQ(snapshot->interval_seconds, 0.0);
+  EXPECT_EQ(snapshot->CounterValue("serve.ingested_events"), 42u);
+  EXPECT_EQ(snapshot->deltas.at("serve.ingested_events"), 42u);
+  EXPECT_EQ(snapshot->Rate("serve.ingested_events"), 0.0);
+  EXPECT_EQ(snapshot->gauges.at("queue.depth").value, 7.0);
+  EXPECT_EQ(snapshot->histograms.at("lat").count, 1u);
+  EXPECT_EQ(snapshotter.Latest(), snapshot);
+  EXPECT_EQ(snapshotter.snapshots_taken(), 1u);
+}
+
+TEST(SnapshotTest, DeltasAndRatesTrackTheIncrementOnly) {
+  MetricsRegistry registry;
+  obs::Counter* events = registry.GetCounter("events");
+  events->Add(100);
+
+  MetricsSnapshotter snapshotter(&registry);
+  snapshotter.Collect();
+  events->Add(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto second = snapshotter.Collect();
+
+  EXPECT_EQ(second->seq, 2u);
+  EXPECT_GT(second->interval_seconds, 0.0);
+  EXPECT_EQ(second->CounterValue("events"), 150u);
+  EXPECT_EQ(second->deltas.at("events"), 50u);
+  EXPECT_NEAR(second->Rate("events"),
+              50.0 / second->interval_seconds, 1e-6);
+}
+
+TEST(SnapshotTest, CounterAppearingMidStreamGetsFullValueAsDelta) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snapshotter(&registry);
+  snapshotter.Collect();
+  registry.GetCounter("late.arrival")->Add(9);
+  auto snapshot = snapshotter.Collect();
+  EXPECT_EQ(snapshot->deltas.at("late.arrival"), 9u);
+}
+
+TEST(SnapshotTest, SnapshotsAreImmutableAfterPublication) {
+  MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("c");
+  counter->Add(1);
+  MetricsSnapshotter snapshotter(&registry);
+  auto first = snapshotter.Collect();
+  counter->Add(1000);
+  snapshotter.Collect();
+  // The earlier snapshot still reports the value at its collection time.
+  EXPECT_EQ(first->CounterValue("c"), 1u);
+}
+
+TEST(SnapshotTest, RingHistoryKeepsNewestAndBoundsSize) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snapshotter(&registry, /*history=*/3);
+  for (int i = 0; i < 5; ++i) snapshotter.Collect();
+  std::vector<std::shared_ptr<const MetricsSnapshot>> history =
+      snapshotter.History();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.front()->seq, 3u);  // Oldest surviving.
+  EXPECT_EQ(history.back()->seq, 5u);
+  EXPECT_EQ(snapshotter.Latest()->seq, 5u);
+  EXPECT_EQ(snapshotter.snapshots_taken(), 5u);
+}
+
+TEST(SnapshotTest, SequenceIsStrictlyMonotonic) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snapshotter(&registry, /*history=*/2);
+  uint64_t last = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto snapshot = snapshotter.Collect();
+    EXPECT_GT(snapshot->seq, last);
+    last = snapshot->seq;
+  }
+}
+
+TEST(SnapshotTest, TickDueBeforeFirstCollectAndAfterInterval) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snapshotter(&registry);
+  // Never collected: always due, whatever the interval.
+  EXPECT_TRUE(snapshotter.TickDue(3600.0));
+  snapshotter.Collect();
+  EXPECT_FALSE(snapshotter.TickDue(3600.0));
+  // A zero interval is always due once collection has happened.
+  EXPECT_TRUE(snapshotter.TickDue(0.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_TRUE(snapshotter.TickDue(0.01));
+}
+
+TEST(SnapshotTest, ToJsonCarriesAllSectionsAndPreciseWallClock) {
+  MetricsRegistry registry;
+  registry.GetCounter("run.matches")->Add(3);
+  registry.GetGauge("queue.depth")->Set(2.0);
+  registry.GetHistogram("lat", {0.001, 0.01})->Record(0.002);
+  MetricsSnapshotter snapshotter(&registry);
+  std::string json = snapshotter.Collect()->ToJson();
+
+  EXPECT_NE(json.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"run.matches\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"rates\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // Unix timestamps must keep sub-second precision — a %.6g rendering would
+  // collapse them to scientific notation with ~1000 s granularity.
+  size_t pos = json.find("\"wall_unix_seconds\":");
+  ASSERT_NE(pos, std::string::npos);
+  std::string stamp = json.substr(pos + 20, 18);
+  EXPECT_EQ(stamp.find('e'), std::string::npos) << stamp;
+  EXPECT_NE(stamp.find('.'), std::string::npos) << stamp;
+}
+
+TEST(SnapshotTest, MissingNamesReadAsZero) {
+  MetricsRegistry registry;
+  MetricsSnapshotter snapshotter(&registry);
+  auto snapshot = snapshotter.Collect();
+  EXPECT_EQ(snapshot->CounterValue("no.such.counter"), 0u);
+  EXPECT_EQ(snapshot->Rate("no.such.counter"), 0.0);
+}
+
+}  // namespace
+}  // namespace motto

@@ -1,0 +1,585 @@
+// Live serve telemetry (DESIGN.md §16): per-node transitive query
+// attribution, the ServeTelemetry engine-thread coordinator (per-query
+// health, outbox lag, stats-log JSONL), golden-file checks of the /statusz
+// JSON and Prometheus expositions, and the StatusServer HTTP responder —
+// including a concurrent-scrape run that the tsan slice exercises.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "event/stream.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "serve/server.h"
+#include "serve/status.h"
+#include "serve/wire.h"
+#include "test_util.h"
+#include "workload/io.h"
+
+namespace motto {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::Frame;
+using serve::FrameType;
+using serve::NodeHealth;
+using serve::NodeQuerySets;
+using serve::QueryHealth;
+using serve::ServeCore;
+using serve::ServeOptions;
+using serve::ServeStatus;
+using serve::ServeTelemetry;
+using serve::StatusServer;
+using serve::TelemetryOptions;
+
+// q0 is a shared prefix of q1 (the paper's MQO case — the optimizer reuses
+// the SEQ(A, B) node for both), and q2 waits on a type the stream never
+// sends, so it stays starved — the three per-query states in one workload.
+constexpr char kWorkload[] =
+    "q0: SELECT * FROM s MATCHING [30 us : SEQ(A, B)]\n"
+    "q1: SELECT * FROM s MATCHING [30 us : SEQ(A, B, C)]\n"
+    "q2: SELECT * FROM s MATCHING [20 us : SEQ(A, Z)]\n";
+
+/// A ServeCore in ephemeral mode (no checkpoint dir, discarded output) with
+/// its metrics registry, plus frame-level feeding helpers.
+struct CoreBundle {
+  EventTypeRegistry registry;
+  std::vector<Query> queries;
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<ServeCore> core;
+
+  void FeedRegistrations() {
+    for (EventTypeId id : registry.PrimitiveTypes()) {
+      Frame frame;
+      frame.type = FrameType::kRegisterType;
+      frame.wire_type = static_cast<uint32_t>(id);
+      frame.is_primitive = true;
+      frame.name = registry.NameOf(id);
+      ASSERT_TRUE(core->OnFrame(frame).ok());
+    }
+  }
+
+  void FeedEvent(const char* type, Timestamp ts) {
+    Frame frame;
+    frame.type = FrameType::kEvent;
+    frame.wire_type = static_cast<uint32_t>(registry.Find(type));
+    frame.ts = ts;
+    ASSERT_TRUE(core->OnFrame(frame).ok());
+  }
+
+  void FeedWatermark(Timestamp ts) {
+    Frame frame;
+    frame.type = FrameType::kWatermark;
+    frame.ts = ts;
+    ASSERT_TRUE(core->OnFrame(frame).ok());
+  }
+
+  /// Next event timestamp; bursts advance it so repeated bursts stay ahead
+  /// of the watermark (events behind it would be dropped as late).
+  Timestamp next_ts = 0;
+};
+
+void MakeCore(CoreBundle* bundle) {
+  auto queries = ParseWorkloadText(kWorkload, &bundle->registry);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+  bundle->queries = std::move(*queries);
+  // Rates tuned so the rewriter accepts the q0->q1 prefix sharing: A/B are
+  // common, C is rare, which makes reusing SEQ(A, B) clearly profitable.
+  std::vector<std::pair<std::string, Timestamp>> sample;
+  Timestamp sample_ts = 0;
+  for (int i = 0; i < 600; ++i) {
+    sample_ts += 6 + (i % 10);
+    sample.emplace_back("A", sample_ts);
+    sample.emplace_back("B", sample_ts + 2);
+    if (i % 10 == 0) sample.emplace_back("C", sample_ts + 4);
+  }
+  StreamStats stats =
+      ComputeStats(testing::MakeStream(&bundle->registry, sample));
+  ServeOptions options;
+  options.checkpoint_interval = 0;  // Only explicit Checkpoint() calls.
+  options.metrics = &bundle->metrics;
+  auto core = ServeCore::Create(bundle->queries, bundle->registry, stats,
+                                std::move(options));
+  ASSERT_TRUE(core.ok()) << core.status();
+  bundle->core = std::move(*core);
+}
+
+/// A/B/C triples: plenty of q0/q1 matches, none for q2. Each triple emits 3
+/// events; the burst ends with a watermark just past the widest window
+/// (30 us) so every match is sealed before the next telemetry tick.
+void FeedBurst(CoreBundle* bundle, int triples) {
+  Timestamp ts = bundle->next_ts;
+  for (int i = 0; i < triples; ++i) {
+    bundle->FeedEvent("A", ts);
+    bundle->FeedEvent("B", ts + 2);
+    bundle->FeedEvent("C", ts + 4);
+    ts += 9;
+  }
+  bundle->FeedWatermark(ts + 100);
+  bundle->next_ts = ts + 101;
+}
+
+TEST(NodeQuerySetsTest, EverySinkOwnsItsNodeAndSharedNodesListAllOwners) {
+  CoreBundle bundle;
+  ASSERT_NO_FATAL_FAILURE(MakeCore(&bundle));
+  const Jqp& jqp = bundle.core->jqp();
+  std::vector<std::vector<size_t>> sets = NodeQuerySets(jqp);
+  ASSERT_EQ(sets.size(), jqp.nodes.size());
+
+  for (size_t q = 0; q < jqp.sinks.size(); ++q) {
+    ASSERT_GE(jqp.sinks[q].node, 0);
+    const std::vector<size_t>& owners =
+        sets[static_cast<size_t>(jqp.sinks[q].node)];
+    EXPECT_NE(std::find(owners.begin(), owners.end(), q), owners.end())
+        << "sink " << q << " missing from its own node's owner set";
+  }
+  size_t shared_nodes = 0;
+  for (const std::vector<size_t>& owners : sets) {
+    // Owner lists are sorted and duplicate-free (DFS visits per query once).
+    EXPECT_TRUE(std::is_sorted(owners.begin(), owners.end()));
+    EXPECT_EQ(std::set<size_t>(owners.begin(), owners.end()).size(),
+              owners.size());
+    for (size_t q : owners) EXPECT_LT(q, jqp.sinks.size());
+    if (owners.size() >= 2) ++shared_nodes;
+  }
+  // q0/q1/q2 all read the A input: the plan must share at least one node.
+  EXPECT_GE(shared_nodes, 1u);
+}
+
+class ServeTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("motto-status-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ServeTelemetryTest, PerQueryHealthStatesAndOutboxLag) {
+  CoreBundle bundle;
+  ASSERT_NO_FATAL_FAILURE(MakeCore(&bundle));
+  TelemetryOptions options;
+  options.snapshot_interval_seconds = 0;  // Explicit force ticks only.
+  ServeTelemetry telemetry(bundle.core.get(), options);
+
+  bundle.FeedRegistrations();
+  FeedBurst(&bundle, 40);
+  telemetry.Tick(true);
+
+  std::shared_ptr<const ServeStatus> status = telemetry.Latest();
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->ingested, 120u);
+  ASSERT_EQ(status->queries.size(), 3u);
+  const QueryHealth& q0 = status->queries[0];
+  const QueryHealth& q1 = status->queries[1];
+  const QueryHealth& q2 = status->queries[2];
+  EXPECT_EQ(q0.name, "q0");
+  EXPECT_GT(q0.matches, 0u);
+  EXPECT_EQ(q0.state, "live");
+  EXPECT_GT(q1.matches, 0u);
+  EXPECT_EQ(q1.state, "live");
+  EXPECT_EQ(q2.matches, 0u);
+  EXPECT_EQ(q2.state, "starved");
+  // Nothing checkpointed yet: every match is output-commit lag.
+  EXPECT_EQ(q0.outbox_lag, q0.matches);
+  EXPECT_GT(q0.last_emit_ts, 0);
+  EXPECT_EQ(q2.last_emit_ts, std::numeric_limits<Timestamp>::min());
+
+  // CPU attribution: shares are a partition of the whole plan's cost.
+  double share_sum = 0.0;
+  for (const QueryHealth& q : status->queries) {
+    EXPECT_GE(q.cpu_share, 0.0);
+    share_sum += q.cpu_share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  ASSERT_EQ(status->nodes.size(), bundle.core->jqp().nodes.size());
+  double node_sum = 0.0;
+  for (const NodeHealth& n : status->nodes) {
+    EXPECT_FALSE(n.label.empty());
+    EXPECT_FALSE(n.queries.empty());
+    node_sum += n.cost_share;
+  }
+  EXPECT_NEAR(node_sum, 1.0, 1e-9);
+
+  // Checkpoint releases the outbox; lag returns to zero and the queries go
+  // idle (matched before, nothing new this interval).
+  ASSERT_TRUE(bundle.core->Checkpoint().ok());
+  telemetry.Tick(true);
+  status = telemetry.Latest();
+  EXPECT_EQ(status->queries[0].outbox_lag, 0u);
+  EXPECT_EQ(status->queries[0].released, status->queries[0].matches);
+  EXPECT_EQ(status->queries[0].state, "idle");
+  EXPECT_EQ(status->queries[2].state, "starved");
+}
+
+TEST_F(ServeTelemetryTest, StatsLogIsWellFormedJsonlWithMonotonicSeq) {
+  CoreBundle bundle;
+  ASSERT_NO_FATAL_FAILURE(MakeCore(&bundle));
+  TelemetryOptions options;
+  options.snapshot_interval_seconds = 0;
+  options.stats_log_path = dir_ + "/stats.jsonl";
+  ServeTelemetry telemetry(bundle.core.get(), options);
+  ASSERT_TRUE(telemetry.status().ok()) << telemetry.status();
+
+  bundle.FeedRegistrations();
+  for (int round = 0; round < 4; ++round) {
+    FeedBurst(&bundle, 5);
+    telemetry.Tick(true);
+  }
+
+  std::ifstream log(options.stats_log_path);
+  ASSERT_TRUE(log.good());
+  std::string line;
+  uint64_t last_seq = 0;
+  uint64_t last_ingested = 0;
+  size_t lines = 0;
+  while (std::getline(log, line)) {
+    ++lines;
+    auto doc = JsonValue::Parse(line);
+    ASSERT_TRUE(doc.ok()) << doc.status() << " line: " << line;
+    uint64_t seq = static_cast<uint64_t>((*doc)["seq"].AsInt64());
+    EXPECT_GT(seq, last_seq) << "stats log seq must be strictly monotone";
+    last_seq = seq;
+    uint64_t ingested = static_cast<uint64_t>((*doc)["ingested"].AsInt64());
+    EXPECT_GE(ingested, last_ingested);
+    last_ingested = ingested;
+    EXPECT_TRUE((*doc)["queries"].is_array());
+    EXPECT_EQ((*doc)["queries"].size(), 3u);
+    EXPECT_TRUE((*doc)["metrics"]["counters"].is_object());
+  }
+  EXPECT_EQ(lines, 4u);
+  EXPECT_EQ(last_ingested, 60u);
+  EXPECT_EQ(telemetry.snapshots_taken(), 4u);
+}
+
+TEST_F(ServeTelemetryTest, EventCountTriggerFiresWithoutTimer) {
+  CoreBundle bundle;
+  ASSERT_NO_FATAL_FAILURE(MakeCore(&bundle));
+  TelemetryOptions options;
+  options.snapshot_interval_seconds = 0;
+  options.snapshot_every_events = 10;
+  ServeTelemetry telemetry(bundle.core.get(), options);
+
+  bundle.FeedRegistrations();
+  telemetry.Tick(false);  // 0 new events: not due.
+  EXPECT_EQ(telemetry.snapshots_taken(), 0u);
+  EXPECT_EQ(telemetry.Latest(), nullptr);
+
+  FeedBurst(&bundle, 3);  // 9 events: still below the trigger.
+  telemetry.Tick(false);
+  EXPECT_EQ(telemetry.snapshots_taken(), 0u);
+
+  FeedBurst(&bundle, 3);  // 18 total: due now.
+  telemetry.Tick(false);
+  EXPECT_EQ(telemetry.snapshots_taken(), 1u);
+  ASSERT_NE(telemetry.Latest(), nullptr);
+  EXPECT_EQ(telemetry.Latest()->ingested, 18u);
+}
+
+// --- Golden expositions -----------------------------------------------------
+
+/// A fully deterministic ServeStatus: every field pinned so the rendered
+/// /statusz JSON and Prometheus text are byte-stable.
+std::shared_ptr<ServeStatus> GoldenStatus() {
+  auto snapshot = std::make_shared<obs::MetricsSnapshot>();
+  snapshot->seq = 7;
+  snapshot->wall_unix_seconds = 1700000000.125;
+  snapshot->uptime_seconds = 12.5;
+  snapshot->interval_seconds = 1.0;
+  snapshot->counters["serve.ingested_events"].Add(13506);
+  snapshot->counters["run.matches"].Add(311);
+  snapshot->counters["node.0.events_in"].Add(9000);
+  snapshot->counters["node.12.events_in"].Add(450);
+  snapshot->deltas["serve.ingested_events"] = 1000;
+  snapshot->rates["serve.ingested_events"] = 1000.0;
+  snapshot->gauges["queue.depth"].Set(96.0);
+  snapshot->gauges["queue.depth"].Set(3.0);  // value 3, high-water 96.
+  obs::Histogram latency({0.001, 0.01, 0.1});
+  latency.Record(0.002);
+  latency.Record(0.0005);
+  latency.Record(0.05);
+  latency.Record(0.5);
+  snapshot->histograms.emplace("serve.ingest_to_emit_seconds", latency);
+
+  auto status = std::make_shared<ServeStatus>();
+  status->snapshot = snapshot;
+  status->ingested = 13506;
+  status->watermark = 987654;
+  status->checkpoints = 3;
+  status->checkpoint_age_seconds = 1.25;
+  status->watermark_idle_seconds = 0.5;
+  status->connection = 1;
+  status->recovered = true;
+  status->recovery_imports_failed = 0;
+  status->queue_depth = 3;
+  status->queue_capacity = 4096;
+  status->queue_max_depth = 96;
+  status->queue_shed = 0;
+  status->events_per_sec = 1000.0;
+  status->matches_per_sec = 23.5;
+
+  QueryHealth q0;
+  q0.name = "q0";
+  q0.state = "live";
+  q0.matches = 2807;
+  q0.released = 2800;
+  q0.outbox_lag = 7;
+  q0.last_emit_ts = 987000;
+  q0.cpu_share = 0.625;
+  QueryHealth q1;
+  q1.name = "q1";
+  q1.state = "starved";
+  q1.cpu_share = 0.375;
+  status->queries = {q0, q1};
+
+  NodeHealth n0;
+  n0.id = 0;
+  n0.label = "SEQ(A, B)";
+  n0.events_in = 9000;
+  n0.events_out = 120;
+  n0.cost_share = 0.75;
+  n0.queries = {"q0"};
+  NodeHealth n1;
+  n1.id = 1;
+  n1.label = "A";
+  n1.events_in = 4500;
+  n1.events_out = 4500;
+  n1.cost_share = 0.25;
+  n1.queries = {"q0", "q1"};
+  status->nodes = {n0, n1};
+  return status;
+}
+
+/// Byte-exact comparison against tests/golden/<name>; regenerate with
+/// MOTTO_REGEN_GOLDENS=1 after an intentional format change.
+void CompareGolden(const std::string& name, const std::string& actual) {
+  const std::string path = std::string(MOTTO_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("MOTTO_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with MOTTO_REGEN_GOLDENS=1)";
+  std::string expected((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(actual, expected)
+      << "golden mismatch for " << name
+      << "; if the format change is intentional, rerun with "
+         "MOTTO_REGEN_GOLDENS=1 and review the diff";
+}
+
+TEST(StatusGoldenTest, PrometheusExposition) {
+  std::string text = GoldenStatus()->ToPrometheus();
+  CompareGolden("status_metrics.prom", text);
+  // Structural spot checks, independent of the golden bytes: node metrics
+  // fold into one labeled family, counters carry the _total suffix.
+  EXPECT_NE(text.find("motto_node_events_in_total{node=\"0\"} 9000"),
+            std::string::npos);
+  EXPECT_NE(text.find("motto_node_events_in_total{node=\"12\"} 450"),
+            std::string::npos);
+  EXPECT_NE(text.find("motto_serve_ingested_events_total 13506"),
+            std::string::npos);
+  EXPECT_NE(text.find("motto_query_matches_total{query=\"q0\"} 2807"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("motto_serve_ingest_to_emit_seconds_bucket{le=\"+Inf\"} 4"),
+      std::string::npos);
+  EXPECT_NE(text.find("motto_up 1"), std::string::npos);
+}
+
+TEST(StatusGoldenTest, StatuszJson) {
+  std::string json = GoldenStatus()->ToStatuszJson();
+  CompareGolden("statusz.json", json);
+  auto doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)["seq"].AsInt64(), 7);
+  EXPECT_DOUBLE_EQ((*doc)["wall_unix_seconds"].AsDouble(), 1700000000.125);
+  EXPECT_EQ((*doc)["ingested"].AsInt64(), 13506);
+  EXPECT_TRUE((*doc)["healthy"].AsBool());
+  EXPECT_EQ((*doc)["queries"].size(), 2u);
+  EXPECT_EQ((*doc)["queries"].array()[1]["state"].AsString(), "starved");
+  // q1 never emitted: its timestamp is null, not a sentinel number.
+  EXPECT_TRUE((*doc)["queries"].array()[1]["last_emit_ts"].is_null());
+  EXPECT_EQ((*doc)["nodes"].array()[1]["queries"].size(), 2u);
+  EXPECT_EQ(
+      (*doc)["metrics"]["counters"]["serve.ingested_events"].AsInt64(),
+      13506);
+}
+
+TEST(StatusHealthTest, StallAndSaturationTurnUnhealthyWithReasons) {
+  std::shared_ptr<ServeStatus> status = GoldenStatus();
+  std::string reason;
+  EXPECT_TRUE(status->Healthy(&reason));
+  EXPECT_TRUE(reason.empty());
+
+  status->watermark_stalled = true;
+  status->watermark_idle_seconds = 9.5;
+  EXPECT_FALSE(status->Healthy(&reason));
+  EXPECT_NE(reason.find("stalled"), std::string::npos);
+
+  status->watermark_stalled = false;
+  status->queue_saturated = true;
+  status->queue_depth = status->queue_capacity;
+  EXPECT_FALSE(status->Healthy(&reason));
+  EXPECT_NE(reason.find("saturated"), std::string::npos);
+  EXPECT_NE(std::string(GoldenStatus()->ToStatuszJson())
+                .find("\"healthy\":true"),
+            std::string::npos);
+  EXPECT_NE(status->ToStatuszJson().find("\"healthy\":false"),
+            std::string::npos);
+}
+
+// --- StatusServer (HTTP) ----------------------------------------------------
+
+/// Minimal HTTP/1.0 GET; returns the status code, body via out-param.
+int HttpGet(int port, const std::string& path, std::string* body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return -1;
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t sp = response.find(' ');
+  if (sp == std::string::npos) return -1;
+  int code = std::atoi(response.c_str() + sp + 1);
+  if (body != nullptr) {
+    size_t end = response.find("\r\n\r\n");
+    *body = end == std::string::npos ? "" : response.substr(end + 4);
+  }
+  return code;
+}
+
+TEST(StatusServerTest, RoutesAndStatusCodes) {
+  std::mutex mu;
+  std::shared_ptr<const ServeStatus> published;
+  auto source = [&]() {
+    std::lock_guard<std::mutex> lock(mu);
+    return published;
+  };
+  auto server = StatusServer::Start(0, source);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+  ASSERT_GT(port, 0);
+
+  // Nothing published yet: every route is 503.
+  std::string body;
+  EXPECT_EQ(HttpGet(port, "/metrics", &body), 503);
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 503);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    published = GoldenStatus();
+  }
+  EXPECT_EQ(HttpGet(port, "/metrics", &body), 200);
+  EXPECT_NE(body.find("motto_up 1"), std::string::npos);
+  EXPECT_EQ(HttpGet(port, "/statusz", &body), 200);
+  auto doc = JsonValue::Parse(
+      body.substr(0, body.find_last_not_of('\n') + 1));
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)["ingested"].AsInt64(), 13506);
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 200);
+  EXPECT_NE(body.find("\"healthy\":true"), std::string::npos);
+  // Query strings are stripped before routing.
+  EXPECT_EQ(HttpGet(port, "/healthz?verbose=1", &body), 200);
+  EXPECT_EQ(HttpGet(port, "/nope", &body), 404);
+
+  // An unhealthy status flips /healthz to 503 with the reason in the body.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto sick = GoldenStatus();
+    sick->queue_saturated = true;
+    published = std::move(sick);
+  }
+  EXPECT_EQ(HttpGet(port, "/healthz", &body), 503);
+  EXPECT_NE(body.find("saturated"), std::string::npos);
+
+  (*server)->Stop();
+  (*server)->Stop();  // Idempotent.
+}
+
+// The tsan slice's serve-telemetry case: one engine thread feeding frames
+// and ticking telemetry, two scraper threads hammering the HTTP endpoint.
+// The only shared state is the published shared_ptr swap.
+TEST(StatusServerTest, ConcurrentScrapeDuringIngest) {
+  CoreBundle bundle;
+  ASSERT_NO_FATAL_FAILURE(MakeCore(&bundle));
+  TelemetryOptions options;
+  options.snapshot_interval_seconds = 0;
+  ServeTelemetry telemetry(bundle.core.get(), options);
+  auto server =
+      StatusServer::Start(0, [&telemetry] { return telemetry.Latest(); });
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+
+  bundle.FeedRegistrations();
+  std::vector<std::thread> scrapers;
+  std::vector<int> ok_scrapes(2, 0);
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([port, t, &ok_scrapes] {
+      const char* path = t == 0 ? "/metrics" : "/statusz";
+      for (int i = 0; i < 40; ++i) {
+        std::string body;
+        int code = HttpGet(port, path, &body);
+        if (code == 200 && !body.empty()) ++ok_scrapes[t];
+      }
+    });
+  }
+  for (int round = 0; round < 30; ++round) {
+    FeedBurst(&bundle, 10);
+    telemetry.Tick(true);
+  }
+  for (std::thread& scraper : scrapers) scraper.join();
+  (*server)->Stop();
+
+  // Scrapes before the first Tick see 503; after it they must succeed.
+  EXPECT_GT(ok_scrapes[0] + ok_scrapes[1], 0);
+  std::shared_ptr<const ServeStatus> last = telemetry.Latest();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->ingested, 900u);
+  EXPECT_GT(last->queries[0].matches, 0u);
+}
+
+}  // namespace
+}  // namespace motto

@@ -57,6 +57,11 @@ if [[ "${1:-}" == "--jobs" ]]; then
   JOBS="$2"
 fi
 
+# Telemetry contract first: docs/METRICS.md must match the registered metric
+# names before anything builds (the same lint runs in ctest as
+# check_metrics, but failing here is faster).
+python3 tools/check_metrics.py
+
 # ObsEngineTest covers the instrumented executors (metrics shards + trace
 # sink under the worker pool), so it belongs in the threaded tsan slice.
 # DifferentialTest drives every fuzzed case through ParallelExecutor with
@@ -69,7 +74,10 @@ fi
 # IngestQueue (wire_format_test) is the serve front-end's producer/consumer
 # handoff — blocking, shedding and Close are all cross-thread; the
 # ServeRecovery differ runs the sharded executor per fuzzed case too.
-TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress|ChurnStress|WireFormat|IngestQueue|ServeRecovery'
+# StatusServer scrapes /metrics and /statusz from responder threads while an
+# engine thread ingests and publishes snapshots — the live-telemetry
+# reader/writer handoff (DESIGN.md §16).
+TSAN_FILTER='WorkerPool|ParallelExecutor|ParallelStress|ExecutorTest|MatcherStress|ObsEngineTest|TraceTest|DifferentialTest|ShardedExecutor|ShardedStress|ChurnStress|WireFormat|IngestQueue|ServeRecovery|StatusServer'
 
 run_config() {
   local dir="$1" sanitize="$2" test_filter="$3"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Lints docs/METRICS.md against the metric names the code registers.
+
+Two-way check:
+  1. every instrument registered in src/ or tools/ must have a row in
+     docs/METRICS.md (no undocumented telemetry);
+  2. every documented row must still exist in code (no stale docs).
+
+Names are registered either as full string literals
+(`GetCounter("run.matches")`, `Count(metrics, "serve.frames")`) or as a
+dynamic family prefix plus a literal suffix
+(`"node." + std::to_string(i)` ... `GetCounter(prefix + ".events_in")`).
+Docs rows spell dynamic families with an `<i>` placeholder
+(`node.<i>.events_in`); the linter requires both the family prefix and the
+suffix to appear in code.
+
+Usage: check_metrics.py [repo-root]   (defaults to the parent of tools/)
+Exit 0 clean, 1 with a report of every mismatch.
+"""
+import pathlib
+import re
+import sys
+
+
+def collect_code_names(src_dirs):
+    """Returns (full_names, families, suffixes) registered anywhere in code."""
+    register = re.compile(
+        r'(?:GetCounter|GetGauge|GetHistogram)\(\s*"([a-z0-9_.]+)"')
+    count_helper = re.compile(r'\bCount\([^,()]+,\s*"([a-z0-9_.]+)"')
+    # `GetCounter(prefix + ".events_in")`, possibly with a bounds argument.
+    dynamic_suffix = re.compile(
+        r'(?:GetCounter|GetGauge|GetHistogram)\(\s*[A-Za-z_][^";]*?'
+        r'"(\.[a-z0-9_.]+)"')
+    # `prefix = "node." + std::to_string(...)` and the inline
+    # `"worker." + std::to_string(id) + ".activations"` form.
+    family = re.compile(r'"([a-z0-9_]+\.)"\s*\+\s*std::to_string')
+    # AttachProbe(registry, "node." + ...) hands a family prefix to a helper
+    # that registers its own suffixes.
+    probe = re.compile(r'AttachProbe\([^,]+,\s*"([a-z0-9_]+\.)"')
+    inline_tail = re.compile(r'std::to_string\([^)]*\)\s*\+\s*"(\.[a-z0-9_.]+)"')
+
+    full, families, suffixes = set(), set(), set()
+    for src_dir in src_dirs:
+        for path in sorted(src_dir.rglob("*.cc")) + sorted(src_dir.rglob("*.h")):
+            text = path.read_text(encoding="utf-8")
+            full.update(register.findall(text))
+            full.update(count_helper.findall(text))
+            suffixes.update(dynamic_suffix.findall(text))
+            suffixes.update(inline_tail.findall(text))
+            families.update(family.findall(text))
+            families.update(probe.findall(text))
+    # A literal that is itself a family prefix ("worker.") is not a metric.
+    full = {name for name in full if not name.endswith(".")}
+    return full, families, suffixes
+
+
+def collect_documented(metrics_md):
+    """Returns the metric names from every docs table row, in order."""
+    row = re.compile(r"^\|\s*`([a-z0-9_.<>]+)`\s*\|")
+    names = []
+    for line in metrics_md.read_text(encoding="utf-8").splitlines():
+        match = row.match(line)
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def main():
+    root = pathlib.Path(
+        sys.argv[1] if len(sys.argv) > 1 else pathlib.Path(__file__).parent.parent)
+    metrics_md = root / "docs" / "METRICS.md"
+    if not metrics_md.exists():
+        print(f"check_metrics: {metrics_md} missing", file=sys.stderr)
+        return 1
+    full, families, suffixes = collect_code_names(
+        [root / "src", root / "tools"])
+    documented = collect_documented(metrics_md)
+    if not documented:
+        print("check_metrics: no metric rows found in docs/METRICS.md",
+              file=sys.stderr)
+        return 1
+
+    errors = []
+    doc_full = set()
+    doc_families, doc_suffixes = set(), set()
+    for name in documented:
+        if "<" in name:
+            head, _, tail = re.split(r"(<[a-z]+>)", name, maxsplit=1)
+            doc_families.add(head)
+            doc_suffixes.add(tail)
+            if head not in families:
+                errors.append(
+                    f"stale docs: family `{head}<i>` never built in code "
+                    f"(documented as `{name}`)")
+            if tail not in suffixes:
+                errors.append(
+                    f"stale docs: suffix `{tail}` never registered in code "
+                    f"(documented as `{name}`)")
+        else:
+            doc_full.add(name)
+            if name not in full:
+                errors.append(f"stale docs: `{name}` not registered anywhere")
+
+    for name in sorted(full - doc_full):
+        errors.append(f"undocumented metric: `{name}` (add to docs/METRICS.md)")
+    for prefix in sorted(families - doc_families):
+        errors.append(
+            f"undocumented family: `{prefix}<i>.*` (add rows to docs/METRICS.md)")
+    for suffix in sorted(suffixes - doc_suffixes):
+        errors.append(
+            f"undocumented dynamic suffix: `<family>{suffix}` "
+            f"(add a row to docs/METRICS.md)")
+
+    if errors:
+        print(f"check_metrics: {len(errors)} problem(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"check_metrics: OK — {len(doc_full)} static names, "
+          f"{len(doc_suffixes)} dynamic suffixes across "
+          f"{len(doc_families)} families all match code.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

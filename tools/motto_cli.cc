@@ -35,21 +35,35 @@
 //                     [--ingest-queue=N] [--admission=block|shed]
 //                     [--stream=FILE.csv | --scenario=...]  (cost stats)
 //                     [--metrics-out=FILE.json]
+//                     [--status-port=P] [--stats-log=FILE.jsonl]
+//                     [--snapshot-interval=SECONDS] [--snapshot-every=N]
+//                      (telemetry: /metrics /statusz /healthz on the status
+//                       port; SIGTERM/SIGINT drain + checkpoint + exit 0)
+//   motto top         --port=P [--interval=SECONDS] [--iterations=N]
+//                     [--once] [--no-clear] | --from-log=FILE.jsonl
 //   motto wire-encode --stream=FILE.csv --out=FILE.bin [--skip=N]
 //                     [--limit=N] [--no-end] [--checkpoint-every=N]
 //
 // Queries: one CCL statement per line, optional "name:" prefix, '#' comments:
 //   lost: SELECT * FROM dc MATCHING [30 sec : SEQ(a, b, NEG(c))]
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "common/parse.h"
 #include "engine/executor.h"
 #include "engine/parallel_executor.h"
@@ -64,6 +78,7 @@
 #include "obs/trace.h"
 #include "planner/solver.h"
 #include "serve/server.h"
+#include "serve/status.h"
 #include "serve/wire.h"
 #include "verify/differ.h"
 #include "verify/recovery_differ.h"
@@ -702,6 +717,33 @@ int WireEncode(const Args& args) {
   return 0;
 }
 
+/// Self-pipe for graceful shutdown (DESIGN.md §16): the handler writes one
+/// byte; the ingest loop's reader thread polls the read end alongside the
+/// transport, so SIGTERM/SIGINT drain the queue, checkpoint, and exit 0.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*signum*/) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; a full pipe just means a byte is already
+  // pending, which is all the poller needs.
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+Result<int> InstallShutdownPipe() {
+  if (g_shutdown_pipe[0] < 0 && ::pipe(g_shutdown_pipe) != 0) {
+    return InternalError(std::string("pipe: ") + std::strerror(errno));
+  }
+  struct sigaction action {};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking reads/polls must wake with EINTR and re-check.
+  if (::sigaction(SIGTERM, &action, nullptr) != 0 ||
+      ::sigaction(SIGINT, &action, nullptr) != 0) {
+    return InternalError(std::string("sigaction: ") + std::strerror(errno));
+  }
+  return g_shutdown_pipe[0];
+}
+
 /// `motto serve` (DESIGN.md §15): the long-running ingest server. Frames
 /// arrive on stdin (default) or one-at-a-time TCP clients; matches release
 /// to per-connection files under the checkpoint output-commit discipline,
@@ -763,6 +805,53 @@ int Serve(const Args& args) {
     return Fail(InvalidArgumentError("unknown --admission '" + admission +
                                      "' (block|shed)"));
   }
+  auto shutdown_fd = InstallShutdownPipe();
+  if (!shutdown_fd.ok()) return Fail(shutdown_fd.status());
+  ingest.shutdown_fd = *shutdown_fd;
+
+  // Telemetry (DESIGN.md §16): periodic snapshots whenever a status port or
+  // stats log asks for them; the tick runs on the engine thread.
+  serve::TelemetryOptions telemetry_options;
+  auto snapshot_interval = args.GetDouble("snapshot-interval", 1.0);
+  if (!snapshot_interval.ok()) return Fail(snapshot_interval.status());
+  telemetry_options.snapshot_interval_seconds = *snapshot_interval;
+  auto snapshot_every = args.GetInt("snapshot-every", 0);
+  if (!snapshot_every.ok()) return Fail(snapshot_every.status());
+  if (*snapshot_every < 0) {
+    return Fail(InvalidArgumentError("--snapshot-every must be >= 0"));
+  }
+  telemetry_options.snapshot_every_events =
+      static_cast<uint64_t>(*snapshot_every);
+  auto stats_log = args.GetValue("stats-log", "");
+  if (!stats_log.ok()) return Fail(stats_log.status());
+  telemetry_options.stats_log_path = *stats_log;
+  const bool want_telemetry =
+      args.Has("status-port") || !telemetry_options.stats_log_path.empty() ||
+      telemetry_options.snapshot_every_events > 0;
+
+  std::optional<serve::ServeTelemetry> telemetry;
+  std::unique_ptr<serve::StatusServer> status_server;
+  if (want_telemetry) {
+    telemetry.emplace(core->get(), telemetry_options);
+    if (!telemetry->status().ok()) return Fail(telemetry->status());
+    telemetry->Tick(/*force=*/true);  // Publish before the first request.
+    if (args.Has("status-port")) {
+      auto status_port = args.GetInt("status-port", 0);
+      if (!status_port.ok()) return Fail(status_port.status());
+      auto server = serve::StatusServer::Start(
+          static_cast<int>(*status_port),
+          [t = &*telemetry] { return t->Latest(); });
+      if (!server.ok()) return Fail(server.status());
+      status_server = std::move(*server);
+      std::printf("serve: status on 127.0.0.1:%d\n", status_server->port());
+      std::fflush(stdout);
+    }
+    ingest.tick = [t = &*telemetry] { t->Tick(); };
+    ingest.tick_period_seconds =
+        telemetry_options.snapshot_interval_seconds > 0
+            ? telemetry_options.snapshot_interval_seconds
+            : 1.0;
+  }
 
   Result<serve::IngestLoopResult> loop = serve::IngestLoopResult{};
   if (args.Has("listen")) {
@@ -798,6 +887,16 @@ int Serve(const Args& args) {
       std::printf("  %s: %llu matches\n", sink.c_str(),
                   static_cast<unsigned long long>(count));
     }
+  } else if (loop->shutdown_seen) {
+    // SIGTERM/SIGINT: the queue is already drained into the engine; persist
+    // a resumable checkpoint (no final window flush — a restart must emit
+    // exactly what an uninterrupted run would) and leave cleanly.
+    Status status = (*core)->Checkpoint();
+    if (!status.ok()) return Fail(status);
+    std::printf("serve: graceful shutdown: drained queue at ingested=%llu, "
+                "checkpoint saved (resume with wire-encode --skip=%llu)\n",
+                static_cast<unsigned long long>((*core)->ingested()),
+                static_cast<unsigned long long>((*core)->ingested()));
   } else {
     // EOF (or decode error) without a kEnd frame — the SIGKILL-adjacent
     // path: persist a final snapshot and suspend; a restart resumes here.
@@ -817,6 +916,16 @@ int Serve(const Args& args) {
                 static_cast<unsigned long long>(loop->shed),
                 loop->max_queue_depth);
   }
+  if (telemetry.has_value()) {
+    // Final snapshot after the final checkpoint, so the last stats-log line
+    // and the last scrape carry the closing counters.
+    telemetry->Tick(/*force=*/true);
+    if (status_server != nullptr) status_server->Stop();
+    if (!telemetry->status().ok()) {
+      const std::string message(telemetry->status().message());
+      std::fprintf(stderr, "serve: warning: %s\n", message.c_str());
+    }
+  }
   std::string metrics_path = args.Get("metrics-out", "");
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -827,6 +936,179 @@ int Serve(const Args& args) {
     }
   }
   return exit_code;
+}
+
+/// One-shot HTTP/1.0 GET against the local status endpoint.
+Result<std::string> HttpGetLocal(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = InternalError("connect 127.0.0.1:" + std::to_string(port) +
+                                  ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t written = 0;
+  while (written < request.size()) {
+    ssize_t n = ::write(fd, request.data() + written,
+                        request.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = InternalError(std::string("write: ") +
+                                    std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t header_end = response.find("\r\n\r\n");
+  size_t code_at = response.find(' ');
+  if (header_end == std::string::npos || code_at == std::string::npos) {
+    return InternalError("malformed HTTP response from status port");
+  }
+  std::string code = response.substr(code_at + 1, 3);
+  std::string body = response.substr(header_end + 4);
+  if (code != "200") {
+    return InternalError("status endpoint returned HTTP " + code + ": " +
+                         body);
+  }
+  return body;
+}
+
+/// Last non-empty line of a stats-log JSONL file (the freshest snapshot).
+Result<std::string> LastStatsLogLine(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return InternalError("cannot open " + path);
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  if (last.empty()) {
+    return InternalError("no snapshot lines in " + path + " yet");
+  }
+  return last;
+}
+
+void RenderTop(const JsonValue& s) {
+  std::string reason(s["health_reason"].AsString());
+  std::printf("motto serve  seq %lld  up %.1fs  conn %lld  healthy %s%s%s\n",
+              static_cast<long long>(s["seq"].AsInt64(0)),
+              s["uptime_seconds"].AsDouble(0),
+              static_cast<long long>(s["connection"].AsInt64(0)),
+              s["healthy"].AsBool(false) ? "yes" : "NO",
+              reason.empty() ? "" : " — ", reason.c_str());
+  std::printf("ingested %lld (%.0f ev/s)  watermark %lld (idle %.1fs)  "
+              "matches/s %.1f\n",
+              static_cast<long long>(s["ingested"].AsInt64(0)),
+              s["events_per_sec"].AsDouble(0),
+              static_cast<long long>(s["watermark"].AsInt64(-1)),
+              s["watermark_idle_seconds"].AsDouble(0),
+              s["matches_per_sec"].AsDouble(0));
+  const JsonValue& queue = s["queue"];
+  std::printf("checkpoints %lld (age %.1fs)  queue %lld/%lld (peak %lld, "
+              "shed %lld)\n",
+              static_cast<long long>(s["checkpoints"].AsInt64(0)),
+              s["checkpoint_age_seconds"].AsDouble(0),
+              static_cast<long long>(queue["depth"].AsInt64(0)),
+              static_cast<long long>(queue["capacity"].AsInt64(0)),
+              static_cast<long long>(queue["max_depth"].AsInt64(0)),
+              static_cast<long long>(queue["shed"].AsInt64(0)));
+  std::printf("\n %-16s %-8s %10s %10s %6s %6s %12s\n", "QUERY", "STATE",
+              "MATCHES", "RELEASED", "LAG", "CPU%", "LAST_EMIT");
+  for (const JsonValue& q : s["queries"].array()) {
+    char emit_buf[24];
+    if (q["last_emit_ts"].AsInt64(std::numeric_limits<int64_t>::min()) ==
+        std::numeric_limits<int64_t>::min()) {
+      std::snprintf(emit_buf, sizeof(emit_buf), "-");
+    } else {
+      std::snprintf(emit_buf, sizeof(emit_buf), "%lld",
+                    static_cast<long long>(q["last_emit_ts"].AsInt64(0)));
+    }
+    std::printf(" %-16s %-8s %10lld %10lld %6lld %6.1f %12s\n",
+                q["name"].AsString().c_str(), q["state"].AsString().c_str(),
+                static_cast<long long>(q["matches"].AsInt64(0)),
+                static_cast<long long>(q["released"].AsInt64(0)),
+                static_cast<long long>(q["outbox_lag"].AsInt64(0)),
+                q["cpu_share"].AsDouble(0) * 100.0, emit_buf);
+  }
+  std::printf("\n %-5s %6s %10s %10s  %-24s %s\n", "NODE", "COST%", "IN",
+              "OUT", "QUERIES", "LABEL");
+  for (const JsonValue& n : s["nodes"].array()) {
+    std::string owners;
+    for (const JsonValue& q : n["queries"].array()) {
+      if (!owners.empty()) owners += ",";
+      owners += q.AsString();
+    }
+    if (owners.size() > 24) {
+      owners.resize(21);
+      owners += "...";
+    }
+    std::printf(" %-5lld %6.1f %10lld %10lld  %-24s %s\n",
+                static_cast<long long>(n["id"].AsInt64(0)),
+                n["cost_share"].AsDouble(0) * 100.0,
+                static_cast<long long>(n["events_in"].AsInt64(0)),
+                static_cast<long long>(n["events_out"].AsInt64(0)),
+                owners.c_str(), n["label"].AsString().c_str());
+  }
+}
+
+/// `motto top`: a refreshing terminal view of a running server's health,
+/// polled from /statusz (--port) or tailed from a stats log (--from-log).
+int Top(const Args& args) {
+  auto from_log = args.GetValue("from-log", "");
+  if (!from_log.ok()) return Fail(from_log.status());
+  auto port_arg = args.GetInt("port", 0);
+  if (!port_arg.ok()) return Fail(port_arg.status());
+  int port = static_cast<int>(*port_arg);
+  if (from_log->empty() && port <= 0) {
+    return Fail(InvalidArgumentError(
+        "motto top needs --port=P (a serve --status-port) or "
+        "--from-log=FILE.jsonl"));
+  }
+  auto interval = args.GetDouble("interval", 2.0);
+  if (!interval.ok()) return Fail(interval.status());
+  if (*interval <= 0) {
+    return Fail(InvalidArgumentError("--interval must be > 0"));
+  }
+  auto iterations = args.GetInt("iterations", 0);
+  if (!iterations.ok()) return Fail(iterations.status());
+  int64_t remaining = *iterations;
+  if (args.Has("once")) remaining = 1;
+  const bool clear = !args.Has("no-clear") && remaining != 1;
+  for (int64_t shown = 0;; ++shown) {
+    Result<std::string> body = from_log->empty()
+                                   ? HttpGetLocal(port, "/statusz")
+                                   : LastStatsLogLine(*from_log);
+    if (!body.ok()) return Fail(body.status());
+    auto parsed = JsonValue::Parse(*body);
+    if (!parsed.ok()) return Fail(parsed.status());
+    if (clear) std::printf("\x1b[H\x1b[2J");
+    RenderTop(*parsed);
+    std::fflush(stdout);
+    if (remaining > 0 && shown + 1 >= remaining) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(*interval));
+  }
+  return 0;
 }
 
 /// The crash-recovery differential loop behind `motto verify --recovery`
@@ -945,7 +1227,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: motto "
                  "<gen-stream|gen-workload|explain|run|compare|verify|"
-                 "serve|wire-encode> [--key=value ...]\n");
+                 "serve|top|wire-encode> [--key=value ...]\n");
     return 2;
   }
   Args args(argc, argv);
@@ -957,6 +1239,7 @@ int Main(int argc, char** argv) {
   if (command == "compare") return Compare(args);
   if (command == "verify") return Verify(args);
   if (command == "serve") return Serve(args);
+  if (command == "top") return Top(args);
   if (command == "wire-encode") return WireEncode(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;

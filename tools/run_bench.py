@@ -67,10 +67,14 @@ def collect(build_dir, targets, min_time, filter_regex):
             # single-vCPU hosts where wall throughput cannot move.
             # `p99_ingest_to_emit_us` is BM_ServeIngest's tail latency from
             # frame arrival to match release (serve path, DESIGN.md §15).
+            # `snapshots`/`instruments` are the §16 telemetry benches:
+            # ServeStatus publications per ingest pass and registry size per
+            # Collect() respectively.
             for key in ("expansions", "pruned", "incumbents", "sa_epochs",
                         "sa_accepted", "candidates", "pairs",
                         "nodes", "edges", "modeled_speedup",
-                        "p99_ingest_to_emit_us", "checkpoints"):
+                        "p99_ingest_to_emit_us", "checkpoints",
+                        "snapshots", "instruments"):
                 if key in bench:
                     entry[key] = bench[key]
             benchmarks[f"{target}/{bench['name']}"] = entry
